@@ -1,0 +1,177 @@
+//! Memory spaces and variable placement maps.
+//!
+//! The parallel-program-model construction stage "obtains the final memory
+//! address mapping of the variables and the buffers" (paper § II-C). The
+//! [`MemoryMap`] type is that artefact: every program variable is assigned
+//! a [`MemSpace`] and, for addressable spaces, a base address. The
+//! code-level WCET analysis, the scratchpad allocator and the platform
+//! simulator all consume the same map, so analysis and execution can never
+//! disagree about where a variable lives.
+
+use crate::{CoreId, Platform};
+use std::collections::BTreeMap;
+
+/// Where a variable lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Registers / core-local stack: scalar accesses at `local_access`
+    /// cost, never contended.
+    Local,
+    /// The scratchpad of a specific core.
+    Spm(CoreId),
+    /// The shared memory behind the bus/NoC (contended).
+    Shared,
+}
+
+/// Placement record of one variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Assigned space.
+    pub space: MemSpace,
+    /// Base byte address within the space (0 for [`MemSpace::Local`]).
+    pub base_addr: u64,
+    /// Footprint in bytes.
+    pub size_bytes: u64,
+}
+
+/// Variable → placement map for one parallel program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemoryMap {
+    entries: BTreeMap<String, Placement>,
+}
+
+impl MemoryMap {
+    /// Creates an empty map.
+    pub fn new() -> MemoryMap {
+        MemoryMap::default()
+    }
+
+    /// Inserts or replaces a placement.
+    pub fn insert(&mut self, var: impl Into<String>, placement: Placement) {
+        self.entries.insert(var.into(), placement);
+    }
+
+    /// Looks up a variable's placement.
+    pub fn placement(&self, var: &str) -> Option<&Placement> {
+        self.entries.get(var)
+    }
+
+    /// The memory space of `var`, defaulting to [`MemSpace::Local`] for
+    /// unplaced variables (scalars not touched by the allocator).
+    pub fn space_of(&self, var: &str) -> MemSpace {
+        self.entries.get(var).map_or(MemSpace::Local, |p| p.space)
+    }
+
+    /// Iterates over all `(variable, placement)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Placement)> {
+        self.entries.iter()
+    }
+
+    /// Number of placed variables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no variable is placed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes placed in the scratchpad of `core`.
+    pub fn spm_usage(&self, core: CoreId) -> u64 {
+        self.entries
+            .values()
+            .filter(|p| p.space == MemSpace::Spm(core))
+            .map(|p| p.size_bytes)
+            .sum()
+    }
+
+    /// Total bytes placed in shared memory.
+    pub fn shared_usage(&self) -> u64 {
+        self.entries
+            .values()
+            .filter(|p| p.space == MemSpace::Shared)
+            .map(|p| p.size_bytes)
+            .sum()
+    }
+
+    /// Checks capacity constraints against a platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first overflowing memory.
+    pub fn check_capacity(&self, platform: &Platform) -> Result<(), String> {
+        for core in &platform.cores {
+            let used = self.spm_usage(core.id);
+            if used > core.spm_bytes {
+                return Err(format!(
+                    "{} scratchpad overflow: {used} bytes used, {} available",
+                    core.id, core.spm_bytes
+                ));
+            }
+        }
+        let shared = self.shared_usage();
+        if shared > platform.shared.size_bytes {
+            return Err(format!(
+                "shared memory overflow: {shared} bytes used, {} available",
+                platform.shared.size_bytes
+            ));
+        }
+        Ok(())
+    }
+
+    /// Byte address of element `flat_index` of `var` in its space
+    /// (element size 8); used by the cache model.
+    pub fn elem_addr(&self, var: &str, flat_index: u64) -> u64 {
+        let base = self.entries.get(var).map_or(0, |p| p.base_addr);
+        base + flat_index * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn placed(space: MemSpace, base: u64, size: u64) -> Placement {
+        Placement { space, base_addr: base, size_bytes: size }
+    }
+
+    #[test]
+    fn default_space_is_local() {
+        let m = MemoryMap::new();
+        assert_eq!(m.space_of("anything"), MemSpace::Local);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn usage_accounting() {
+        let mut m = MemoryMap::new();
+        m.insert("a", placed(MemSpace::Spm(CoreId(0)), 0, 1024));
+        m.insert("b", placed(MemSpace::Spm(CoreId(0)), 1024, 512));
+        m.insert("c", placed(MemSpace::Spm(CoreId(1)), 0, 256));
+        m.insert("d", placed(MemSpace::Shared, 0, 4096));
+        assert_eq!(m.spm_usage(CoreId(0)), 1536);
+        assert_eq!(m.spm_usage(CoreId(1)), 256);
+        assert_eq!(m.shared_usage(), 4096);
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn capacity_check_detects_overflow() {
+        let p = Platform::xentium_manycore(2); // 16 KiB SPMs
+        let mut m = MemoryMap::new();
+        m.insert("big", placed(MemSpace::Spm(CoreId(0)), 0, 20 * 1024));
+        assert!(m.check_capacity(&p).is_err());
+        let mut m2 = MemoryMap::new();
+        m2.insert("ok", placed(MemSpace::Spm(CoreId(0)), 0, 8 * 1024));
+        m2.check_capacity(&p).unwrap();
+    }
+
+    #[test]
+    fn elem_addresses_offset_from_base() {
+        let mut m = MemoryMap::new();
+        m.insert("arr", placed(MemSpace::Shared, 0x1000, 256));
+        assert_eq!(m.elem_addr("arr", 0), 0x1000);
+        assert_eq!(m.elem_addr("arr", 3), 0x1000 + 24);
+    }
+}

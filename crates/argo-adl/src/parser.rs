@@ -1,0 +1,416 @@
+//! Textual ADL format.
+//!
+//! A platform is described by a small line-oriented format; `#` starts a
+//! comment. Example:
+//!
+//! ```text
+//! platform quad
+//! core kind=xentium spm=16384 spm_latency=1 tile=0,0
+//! core kind=xentium spm=16384 spm_latency=1 tile=0,1
+//! shared size=16777216 latency=12
+//! bus arb=wrr slot=4 weights=1,1
+//! ```
+//!
+//! or, for a NoC platform:
+//!
+//! ```text
+//! platform tiles
+//! core kind=leon3 spm=8192 spm_latency=2 tile=0,0
+//! core kind=leon3 spm=8192 spm_latency=2 tile=0,1
+//! shared size=67108864 latency=20
+//! noc rows=1 cols=2 router=3 link=1 flit=8 weight=1
+//! ```
+
+use crate::{
+    Arbitration, CacheConfig, Core, CoreId, CoreKind, CoreTiming, Interconnect, Platform,
+    SharedMemory,
+};
+use std::fmt;
+
+/// Error from the ADL text parser.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdlParseError {
+    /// Human-readable message.
+    pub msg: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl fmt::Display for AdlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ADL parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AdlParseError {}
+
+fn err(line: u32, msg: impl Into<String>) -> AdlParseError {
+    AdlParseError { msg: msg.into(), line }
+}
+
+struct Fields<'a> {
+    line: u32,
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Fields<'a> {
+    fn parse(line_no: u32, rest: &'a str) -> Result<Fields<'a>, AdlParseError> {
+        let mut pairs = Vec::new();
+        for word in rest.split_whitespace() {
+            let Some((k, v)) = word.split_once('=') else {
+                return Err(err(line_no, format!("expected key=value, found `{word}`")));
+            };
+            pairs.push((k, v));
+        }
+        Ok(Fields { line: line_no, pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.pairs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    fn req(&self, key: &str) -> Result<&'a str, AdlParseError> {
+        self.get(key)
+            .ok_or_else(|| err(self.line, format!("missing required field `{key}`")))
+    }
+
+    fn u64_of(&self, key: &str, default: Option<u64>) -> Result<u64, AdlParseError> {
+        match (self.get(key), default) {
+            (Some(v), _) => v
+                .parse()
+                .map_err(|_| err(self.line, format!("field `{key}` must be an integer"))),
+            (None, Some(d)) => Ok(d),
+            (None, None) => Err(err(self.line, format!("missing required field `{key}`"))),
+        }
+    }
+
+    fn usize_of(&self, key: &str, default: Option<usize>) -> Result<usize, AdlParseError> {
+        self.u64_of(key, default.map(|d| d as u64)).map(|v| v as usize)
+    }
+}
+
+/// Parses a platform description from ADL text.
+///
+/// # Errors
+///
+/// Returns an [`AdlParseError`] on syntax errors and a validation error
+/// (wrapped with line 0) if the resulting platform is inconsistent.
+pub fn parse_platform(src: &str) -> Result<Platform, AdlParseError> {
+    let mut name: Option<String> = None;
+    let mut cores: Vec<Core> = Vec::new();
+    let mut shared: Option<SharedMemory> = None;
+    let mut interconnect: Option<Interconnect> = None;
+
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = (i + 1) as u32;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (head, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        match head {
+            "platform" => {
+                name = Some(rest.trim().to_string());
+            }
+            "core" => {
+                let f = Fields::parse(line_no, rest)?;
+                let kind = match f.req("kind")? {
+                    "xentium" => CoreKind::XentiumDsp,
+                    "leon3" => CoreKind::Leon3Risc,
+                    "custom" => CoreKind::Custom,
+                    other => return Err(err(line_no, format!("unknown core kind `{other}`"))),
+                };
+                let timing = match kind {
+                    CoreKind::XentiumDsp | CoreKind::Custom => CoreTiming::xentium(),
+                    CoreKind::Leon3Risc => CoreTiming::leon3(),
+                };
+                let tile = match f.get("tile") {
+                    Some(t) => {
+                        let Some((r, c)) = t.split_once(',') else {
+                            return Err(err(line_no, "tile must be `row,col`"));
+                        };
+                        let r = r.parse().map_err(|_| err(line_no, "bad tile row"))?;
+                        let c = c.parse().map_err(|_| err(line_no, "bad tile col"))?;
+                        (r, c)
+                    }
+                    None => (0, cores.len()),
+                };
+                // Optional data cache: `cache=sets,ways,line,hit,miss`.
+                let cache = match f.get("cache") {
+                    Some(spec) => {
+                        let parts: Vec<u64> = spec
+                            .split(',')
+                            .map(|x| x.parse().map_err(|_| err(line_no, "bad cache spec")))
+                            .collect::<Result<_, _>>()?;
+                        if parts.len() != 5 {
+                            return Err(err(
+                                line_no,
+                                "cache spec must be sets,ways,line,hit,miss",
+                            ));
+                        }
+                        Some(CacheConfig {
+                            sets: parts[0] as usize,
+                            ways: parts[1] as usize,
+                            line_bytes: parts[2],
+                            hit_cycles: parts[3],
+                            miss_penalty: parts[4],
+                        })
+                    }
+                    None => None,
+                };
+                let spm_default = if cache.is_some() { 0 } else { 16 * 1024 };
+                cores.push(Core {
+                    id: CoreId(cores.len()),
+                    kind,
+                    timing,
+                    spm_bytes: f.u64_of("spm", Some(spm_default))?,
+                    spm_latency: f.u64_of("spm_latency", Some(1))?,
+                    cache,
+                    tile,
+                });
+            }
+            "shared" => {
+                let f = Fields::parse(line_no, rest)?;
+                shared = Some(SharedMemory {
+                    size_bytes: f.u64_of("size", Some(16 << 20))?,
+                    latency: f.u64_of("latency", None)?,
+                });
+            }
+            "bus" => {
+                let f = Fields::parse(line_no, rest)?;
+                let arbitration = match f.req("arb")? {
+                    "tdma" => Arbitration::Tdma {
+                        slot_cycles: f.u64_of("slot", Some(4))?,
+                        total_slots: f.u64_of("slots", Some(cores.len().max(1) as u64))?,
+                    },
+                    "wrr" => {
+                        let slot_cycles = f.u64_of("slot", Some(4))?;
+                        let weights = match f.get("weights") {
+                            Some(w) => w
+                                .split(',')
+                                .map(|x| {
+                                    x.parse::<u64>()
+                                        .map_err(|_| err(line_no, "bad WRR weight"))
+                                })
+                                .collect::<Result<Vec<u64>, _>>()?,
+                            None => vec![1; cores.len()],
+                        };
+                        Arbitration::Wrr { weights, slot_cycles }
+                    }
+                    "fixedprio" => {
+                        let priorities = match f.get("priorities") {
+                            Some(p) => p
+                                .split(',')
+                                .map(|x| {
+                                    x.parse::<usize>()
+                                        .map_err(|_| err(line_no, "bad priority"))
+                                })
+                                .collect::<Result<Vec<usize>, _>>()?,
+                            None => (0..cores.len()).collect(),
+                        };
+                        Arbitration::FixedPriority { priorities }
+                    }
+                    other => {
+                        return Err(err(line_no, format!("unknown arbitration `{other}`")))
+                    }
+                };
+                interconnect = Some(Interconnect::Bus { arbitration });
+            }
+            "noc" => {
+                let f = Fields::parse(line_no, rest)?;
+                interconnect = Some(Interconnect::Noc {
+                    rows: f.usize_of("rows", None)?,
+                    cols: f.usize_of("cols", None)?,
+                    router_latency: f.u64_of("router", Some(3))?,
+                    link_latency: f.u64_of("link", Some(1))?,
+                    flit_bytes: f.u64_of("flit", Some(8))?,
+                    wrr_weight: f.u64_of("weight", Some(1))?,
+                });
+            }
+            other => return Err(err(line_no, format!("unknown directive `{other}`"))),
+        }
+    }
+
+    let platform = Platform {
+        name: name.ok_or_else(|| err(0, "missing `platform` line"))?,
+        cores,
+        shared: shared.ok_or_else(|| err(0, "missing `shared` line"))?,
+        interconnect: interconnect.ok_or_else(|| err(0, "missing `bus` or `noc` line"))?,
+    };
+    platform
+        .validate()
+        .map_err(|e| err(0, e.msg))?;
+    Ok(platform)
+}
+
+/// Renders a platform back to ADL text (round-trips through
+/// [`parse_platform`]).
+pub fn print_platform(p: &Platform) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "platform {}", p.name);
+    for c in &p.cores {
+        let _ = write!(
+            out,
+            "core kind={} spm={} spm_latency={} tile={},{}",
+            c.kind, c.spm_bytes, c.spm_latency, c.tile.0, c.tile.1
+        );
+        if let Some(cc) = &c.cache {
+            let _ = write!(
+                out,
+                " cache={},{},{},{},{}",
+                cc.sets, cc.ways, cc.line_bytes, cc.hit_cycles, cc.miss_penalty
+            );
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out, "shared size={} latency={}", p.shared.size_bytes, p.shared.latency);
+    match &p.interconnect {
+        Interconnect::Bus { arbitration } => match arbitration {
+            Arbitration::Tdma { slot_cycles, total_slots } => {
+                let _ = writeln!(out, "bus arb=tdma slot={slot_cycles} slots={total_slots}");
+            }
+            Arbitration::Wrr { weights, slot_cycles } => {
+                let w: Vec<String> = weights.iter().map(|x| x.to_string()).collect();
+                let _ = writeln!(out, "bus arb=wrr slot={slot_cycles} weights={}", w.join(","));
+            }
+            Arbitration::FixedPriority { priorities } => {
+                let pr: Vec<String> = priorities.iter().map(|x| x.to_string()).collect();
+                let _ = writeln!(out, "bus arb=fixedprio priorities={}", pr.join(","));
+            }
+        },
+        Interconnect::Noc { rows, cols, router_latency, link_latency, flit_bytes, wrr_weight } => {
+            let _ = writeln!(
+                out,
+                "noc rows={rows} cols={cols} router={router_latency} link={link_latency} \
+                 flit={flit_bytes} weight={wrr_weight}"
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUAD: &str = "\
+# a quad-core WRR platform
+platform quad
+core kind=xentium spm=16384 spm_latency=1
+core kind=xentium spm=16384 spm_latency=1
+core kind=xentium spm=16384 spm_latency=1
+core kind=xentium spm=16384 spm_latency=1
+shared size=16777216 latency=12
+bus arb=wrr slot=4 weights=1,1,1,1
+";
+
+    #[test]
+    fn parses_quad_bus_platform() {
+        let p = parse_platform(QUAD).unwrap();
+        assert_eq!(p.name, "quad");
+        assert_eq!(p.core_count(), 4);
+        assert_eq!(p.shared.latency, 12);
+        assert!(matches!(
+            p.interconnect,
+            Interconnect::Bus { arbitration: Arbitration::Wrr { .. } }
+        ));
+    }
+
+    #[test]
+    fn parses_noc_platform() {
+        let src = "\
+platform mesh
+core kind=leon3 tile=0,0
+core kind=leon3 tile=0,1
+core kind=leon3 tile=1,0
+core kind=leon3 tile=1,1
+shared latency=20
+noc rows=2 cols=2 router=3 link=1
+";
+        let p = parse_platform(src).unwrap();
+        assert!(p.interconnect.is_noc());
+        assert_eq!(p.cores[3].tile, (1, 1));
+        assert_eq!(p.cores[1].kind, CoreKind::Leon3Risc);
+    }
+
+    #[test]
+    fn defaults_are_applied() {
+        let src = "platform p\ncore kind=xentium\nshared latency=10\nbus arb=tdma\n";
+        let p = parse_platform(src).unwrap();
+        assert_eq!(p.cores[0].spm_bytes, 16 * 1024);
+        assert!(matches!(
+            p.interconnect,
+            Interconnect::Bus { arbitration: Arbitration::Tdma { slot_cycles: 4, total_slots: 1 } }
+        ));
+    }
+
+    #[test]
+    fn round_trips_presets() {
+        for p in [
+            Platform::xentium_manycore(3),
+            Platform::kit_tile_noc(2, 2),
+            Platform::generic_bus(2, Arbitration::FixedPriority { priorities: vec![1, 0] }),
+        ] {
+            let text = print_platform(&p);
+            let q = parse_platform(&text).unwrap();
+            assert_eq!(q.core_count(), p.core_count());
+            assert_eq!(q.shared, p.shared);
+            assert_eq!(q.interconnect, p.interconnect);
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_directive() {
+        let e = parse_platform("platform p\nfrobnicate x=1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn rejects_missing_required_field() {
+        let e = parse_platform("platform p\ncore kind=xentium\nshared size=1\nbus arb=wrr\n")
+            .unwrap_err();
+        assert!(e.msg.contains("latency"));
+    }
+
+    #[test]
+    fn rejects_invalid_platform_semantics() {
+        // 2 cores but 1 WRR weight.
+        let src = "platform p\ncore kind=xentium\ncore kind=xentium\nshared latency=5\n\
+                   bus arb=wrr weights=1\n";
+        let e = parse_platform(src).unwrap_err();
+        assert!(e.msg.contains("weight"));
+    }
+
+    #[test]
+    fn parses_cache_spec() {
+        let src = "platform p\ncore kind=xentium cache=16,2,32,1,12\nshared latency=9\nbus arb=tdma\n";
+        let p = parse_platform(src).unwrap();
+        let c = p.cores[0].cache.expect("cache parsed");
+        assert_eq!(c.sets, 16);
+        assert_eq!(c.ways, 2);
+        assert_eq!(c.capacity_bytes(), 1024);
+        assert_eq!(p.cores[0].spm_bytes, 0, "cache replaces the scratchpad");
+    }
+
+    #[test]
+    fn cache_platform_round_trips() {
+        let p = Platform::xentium_manycore(2).with_caches(crate::CacheConfig::small());
+        let text = print_platform(&p);
+        let q = parse_platform(&text).unwrap();
+        assert_eq!(q.cores[0].cache, p.cores[0].cache);
+    }
+
+    #[test]
+    fn rejects_malformed_cache_spec() {
+        let src = "platform p\ncore kind=xentium cache=16,2\nshared latency=9\nbus arb=tdma\n";
+        assert!(parse_platform(src).is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let src = "\n# comment\nplatform p  # trailing\n\ncore kind=custom\nshared latency=7\nbus arb=tdma\n";
+        let p = parse_platform(src).unwrap();
+        assert_eq!(p.name, "p");
+    }
+}

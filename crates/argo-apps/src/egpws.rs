@@ -1,0 +1,218 @@
+//! Enhanced Ground Proximity Warning System (paper § IV-A).
+//!
+//! "EGPWS combines high resolution terrain databases, GPS and other
+//! sensors to provide feedback to pilots." The kernel scans a predicted
+//! flight path over a terrain-elevation grid, computes the clearance at
+//! each look-ahead point via bilinear interpolation, derives closure
+//! rates, and classifies alert levels — the classic terrain-awareness
+//! pipeline.
+//!
+//! Synthetic substitution: the proprietary terrain database is replaced
+//! by a seeded value-noise heightmap (same grid lookup and interpolation
+//! structure); the flight path by a parametric descent trajectory.
+
+use crate::UseCase;
+use argo_ir::interp::{ArgVal, ArrayData};
+use argo_ir::parse::parse_program;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Terrain grid side (GRID×GRID elevations).
+pub const GRID: usize = 64;
+/// Number of look-ahead points along the predicted path.
+pub const PATH: usize = 128;
+
+/// The EGPWS kernel in mini-C.
+///
+/// Inputs: flattened terrain grid, path coordinates and altitudes.
+/// Outputs: per-point clearance and alert level (0 none, 1 caution,
+/// 2 warning, 3 pull-up).
+pub const SOURCE: &str = r#"
+void egpws(real terrain[4096], real path_x[128], real path_y[128],
+           real path_alt[128], real clearance[128], real alert[128]) {
+    int i;
+    // Clearance scan: bilinear terrain interpolation under each point.
+    for (i = 0; i < 128; i = i + 1) {
+        real x; real y;
+        x = path_x[i];
+        y = path_y[i];
+        int gx; int gy;
+        gx = (int) x;
+        gy = (int) y;
+        gx = imax(0, imin(gx, 62));
+        gy = imax(0, imin(gy, 62));
+        real fx; real fy;
+        fx = x - (real) gx;
+        fy = y - (real) gy;
+        real h00; real h01; real h10; real h11;
+        h00 = terrain[gy * 64 + gx];
+        h01 = terrain[gy * 64 + gx + 1];
+        h10 = terrain[(gy + 1) * 64 + gx];
+        h11 = terrain[(gy + 1) * 64 + gx + 1];
+        real h0; real h1; real h;
+        h0 = h00 + fx * (h01 - h00);
+        h1 = h10 + fx * (h11 - h10);
+        h = h0 + fy * (h1 - h0);
+        clearance[i] = path_alt[i] - h;
+    }
+    // Alert classification with look-ahead closure rate.
+    for (i = 0; i < 128; i = i + 1) {
+        real c; real cnext; real closure;
+        c = clearance[i];
+        cnext = clearance[imin(i + 1, 127)];
+        closure = c - cnext;
+        real level;
+        level = 0.0;
+        if (c < 100.0) {
+            level = 3.0;
+        } else if (c < 300.0 && closure > 5.0) {
+            level = 2.0;
+        } else if (c < 600.0 && closure > 0.0) {
+            level = 1.0;
+        } else { }
+        alert[i] = level;
+    }
+}
+"#;
+
+/// Generates the seeded synthetic terrain (smooth value noise built from
+/// a coarse random lattice, bilinearly upsampled — ridge-like terrain).
+pub fn synthetic_terrain(seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    const COARSE: usize = 9;
+    let lattice: Vec<f64> =
+        (0..COARSE * COARSE).map(|_| rng.gen_range(0.0..2500.0)).collect();
+    let mut out = Vec::with_capacity(GRID * GRID);
+    let scale = (COARSE - 1) as f64 / (GRID - 1) as f64;
+    for y in 0..GRID {
+        for x in 0..GRID {
+            let fx = x as f64 * scale;
+            let fy = y as f64 * scale;
+            let (ix, iy) = (fx as usize, fy as usize);
+            let (dx, dy) = (fx - ix as f64, fy - iy as f64);
+            let at = |r: usize, c: usize| {
+                lattice[r.min(COARSE - 1) * COARSE + c.min(COARSE - 1)]
+            };
+            let h0 = at(iy, ix) * (1.0 - dx) + at(iy, ix + 1) * dx;
+            let h1 = at(iy + 1, ix) * (1.0 - dx) + at(iy + 1, ix + 1) * dx;
+            out.push(h0 * (1.0 - dy) + h1 * dy);
+        }
+    }
+    out
+}
+
+/// Generates a descending approach path diagonally across the grid.
+pub fn synthetic_path(seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9);
+    let x0 = rng.gen_range(2.0..8.0);
+    let y0 = rng.gen_range(2.0..8.0);
+    let alt0 = rng.gen_range(3500.0..5000.0);
+    let mut xs = Vec::with_capacity(PATH);
+    let mut ys = Vec::with_capacity(PATH);
+    let mut alts = Vec::with_capacity(PATH);
+    for i in 0..PATH {
+        let t = i as f64 / (PATH - 1) as f64;
+        xs.push(x0 + t * (GRID as f64 - 12.0));
+        ys.push(y0 + t * (GRID as f64 - 12.0) * 0.8);
+        alts.push(alt0 - t * 2200.0);
+    }
+    (xs, ys, alts)
+}
+
+/// Builds the packaged use case.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to parse (bug; covered by tests).
+pub fn use_case(seed: u64) -> UseCase {
+    let program = parse_program(SOURCE).expect("EGPWS source parses");
+    let (xs, ys, alts) = synthetic_path(seed);
+    UseCase {
+        name: "egpws",
+        program,
+        entry: "egpws",
+        args: vec![
+            ArgVal::Array(ArrayData::from_reals(&synthetic_terrain(seed))),
+            ArgVal::Array(ArrayData::from_reals(&xs)),
+            ArgVal::Array(ArrayData::from_reals(&ys)),
+            ArgVal::Array(ArrayData::from_reals(&alts)),
+            ArgVal::Array(ArrayData::from_reals(&vec![0.0; PATH])),
+            ArgVal::Array(ArrayData::from_reals(&vec![0.0; PATH])),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argo_ir::interp::{Interp, NullHook};
+
+    fn run(seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let uc = use_case(seed);
+        let mut interp = Interp::new(&uc.program);
+        let out = interp.call_full(uc.entry, uc.args, &mut NullHook).unwrap();
+        let clearance = out.arrays.iter().find(|(n, _)| n == "clearance").unwrap();
+        let alert = out.arrays.iter().find(|(n, _)| n == "alert").unwrap();
+        (clearance.1.to_reals(), alert.1.to_reals())
+    }
+
+    #[test]
+    fn produces_clearances_and_alerts() {
+        let (clearance, alert) = run(42);
+        assert_eq!(clearance.len(), PATH);
+        // Descending into terrain: clearance shrinks overall.
+        assert!(clearance[PATH - 1] < clearance[0]);
+        // Alert levels are valid classes.
+        assert!(alert.iter().all(|&a| [0.0, 1.0, 2.0, 3.0].contains(&a)));
+    }
+
+    #[test]
+    fn low_clearance_raises_pull_up() {
+        // Force a path 50 ft above the terrain everywhere: every point
+        // must be a pull-up (level 3).
+        let uc = use_case(1);
+        let terrain = synthetic_terrain(1);
+        let (xs, ys, _) = synthetic_path(1);
+        // Altitude = terrain under the path + 50 via nearest lookup.
+        let alts: Vec<f64> = xs
+            .iter()
+            .zip(&ys)
+            .map(|(&x, &y)| {
+                let gx = (x as usize).min(GRID - 1);
+                let gy = (y as usize).min(GRID - 1);
+                terrain[gy * GRID + gx] + 50.0
+            })
+            .collect();
+        let mut interp = Interp::new(&uc.program);
+        let args = vec![
+            ArgVal::Array(ArrayData::from_reals(&terrain)),
+            ArgVal::Array(ArrayData::from_reals(&xs)),
+            ArgVal::Array(ArrayData::from_reals(&ys)),
+            ArgVal::Array(ArrayData::from_reals(&alts)),
+            ArgVal::Array(ArrayData::from_reals(&vec![0.0; PATH])),
+            ArgVal::Array(ArrayData::from_reals(&vec![0.0; PATH])),
+        ];
+        let out = interp.call_full("egpws", args, &mut NullHook).unwrap();
+        let alert = out.arrays.iter().find(|(n, _)| n == "alert").unwrap().1.to_reals();
+        let pull_ups = alert.iter().filter(|&&a| a == 3.0).count();
+        assert!(
+            pull_ups > PATH / 2,
+            "flying 50ft over terrain must trigger mostly pull-ups, got {pull_ups}"
+        );
+    }
+
+    #[test]
+    fn terrain_is_smooth() {
+        let t = synthetic_terrain(3);
+        // Neighbouring cells differ by less than the global range.
+        let max = t.iter().cloned().fold(f64::MIN, f64::max);
+        let min = t.iter().cloned().fold(f64::MAX, f64::min);
+        let range = max - min;
+        for y in 0..GRID {
+            for x in 1..GRID {
+                let d = (t[y * GRID + x] - t[y * GRID + x - 1]).abs();
+                assert!(d < range * 0.35, "terrain jumps too hard at ({x},{y})");
+            }
+        }
+    }
+}

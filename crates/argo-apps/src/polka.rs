@@ -1,0 +1,201 @@
+//! POLKA polarization camera pipeline (paper § IV-B).
+//!
+//! "POLKA uses a novel sensor that measures the polarization of light to
+//! detect residual stress in glass containers." The kernel implements the
+//! standard division-of-focal-plane pipeline: each 2×2 superpixel carries
+//! four analyser orientations (0°, 45°, 90°, 135°); from these the Stokes
+//! parameters S0/S1/S2 are computed, then the degree and angle of linear
+//! polarization (DoLP/AoLP), a 3×3 smoothing of the DoLP map, and a
+//! threshold producing the stress-defect mask used by in-line inspection.
+//!
+//! Synthetic substitution: camera frames are replaced by seeded images of
+//! a uniform background with embedded high-DoLP "stress" blobs — the same
+//! superpixel layout and arithmetic as real frames.
+
+use crate::UseCase;
+use argo_ir::interp::{ArgVal, ArrayData};
+use argo_ir::parse::parse_program;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Raw sensor width/height (pixels); superpixel grid is half this.
+pub const RAW: usize = 32;
+/// Superpixel grid side.
+pub const SP: usize = RAW / 2;
+
+/// The POLKA kernel in mini-C.
+///
+/// `raw` is the RAW×RAW mosaic (row-major, orientation pattern
+/// `[0° 45° / 90° 135°]` per 2×2 superpixel). Outputs: DoLP map, AoLP
+/// map, smoothed DoLP and the binary stress mask (SP×SP each,
+/// flattened).
+pub const SOURCE: &str = r#"
+void polka(real raw[1024], real dolp[256], real aolp[256],
+           real smooth[256], real mask[256]) {
+    int r; int c;
+    // Stokes parameters per 2x2 superpixel, then DoLP/AoLP.
+    for (r = 0; r < 16; r = r + 1) {
+        for (c = 0; c < 16; c = c + 1) {
+            real i0; real i45; real i90; real i135;
+            i0   = raw[(2*r) * 32 + (2*c)];
+            i45  = raw[(2*r) * 32 + (2*c + 1)];
+            i90  = raw[(2*r + 1) * 32 + (2*c)];
+            i135 = raw[(2*r + 1) * 32 + (2*c + 1)];
+            real s0; real s1; real s2;
+            s0 = (i0 + i45 + i90 + i135) * 0.5;
+            s1 = i0 - i90;
+            s2 = i45 - i135;
+            real d;
+            d = sqrt(s1 * s1 + s2 * s2) / (s0 + 0.0001);
+            dolp[r * 16 + c] = d;
+            aolp[r * 16 + c] = 0.5 * atan2(s2, s1 + 0.0001);
+        }
+    }
+    // 3x3 box smoothing of the DoLP map (clamped borders).
+    for (r = 0; r < 16; r = r + 1) {
+        for (c = 0; c < 16; c = c + 1) {
+            real acc; int dr; int dc;
+            acc = 0.0;
+            for (dr = 0; dr < 3; dr = dr + 1) {
+                for (dc = 0; dc < 3; dc = dc + 1) {
+                    int rr; int cc;
+                    rr = imax(0, imin(r + dr - 1, 15));
+                    cc = imax(0, imin(c + dc - 1, 15));
+                    acc = acc + dolp[rr * 16 + cc];
+                }
+            }
+            smooth[r * 16 + c] = acc / 9.0;
+        }
+    }
+    // Stress threshold.
+    for (r = 0; r < 16; r = r + 1) {
+        for (c = 0; c < 16; c = c + 1) {
+            if (smooth[r * 16 + c] > 0.25) {
+                mask[r * 16 + c] = 1.0;
+            } else {
+                mask[r * 16 + c] = 0.0;
+            }
+        }
+    }
+}
+"#;
+
+/// Synthetic polarization mosaic: unpolarized background plus `blobs`
+/// polarized stress spots.
+pub fn synthetic_frame(seed: u64, blobs: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Per-superpixel polarization state.
+    let mut dolp = vec![0.02f64; SP * SP];
+    let mut aolp = vec![0.0f64; SP * SP];
+    for _ in 0..blobs {
+        let cr = rng.gen_range(2..SP - 2) as i64;
+        let cc = rng.gen_range(2..SP - 2) as i64;
+        let strength = rng.gen_range(0.5..0.9);
+        let angle = rng.gen_range(0.0..std::f64::consts::PI);
+        for r in 0..SP as i64 {
+            for c in 0..SP as i64 {
+                let d2 = ((r - cr).pow(2) + (c - cc).pow(2)) as f64;
+                let w = (-d2 / 4.0).exp();
+                let idx = (r * SP as i64 + c) as usize;
+                dolp[idx] = dolp[idx].max(strength * w);
+                if w > 0.3 {
+                    aolp[idx] = angle;
+                }
+            }
+        }
+    }
+    // Render mosaic: Malus-law intensities per analyser orientation.
+    let mut raw = vec![0.0f64; RAW * RAW];
+    for r in 0..SP {
+        for c in 0..SP {
+            let s0 = 1000.0 + rng.gen_range(-20.0..20.0);
+            let d = dolp[r * SP + c];
+            let th = aolp[r * SP + c];
+            let inten = |analyser: f64| {
+                0.5 * s0 * (1.0 + d * (2.0 * (th - analyser)).cos())
+            };
+            raw[(2 * r) * RAW + 2 * c] = inten(0.0);
+            raw[(2 * r) * RAW + 2 * c + 1] = inten(std::f64::consts::FRAC_PI_4);
+            raw[(2 * r + 1) * RAW + 2 * c] = inten(std::f64::consts::FRAC_PI_2);
+            raw[(2 * r + 1) * RAW + 2 * c + 1] = inten(3.0 * std::f64::consts::FRAC_PI_4);
+        }
+    }
+    raw
+}
+
+/// Builds the packaged use case (two stress blobs).
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to parse (bug; covered by tests).
+pub fn use_case(seed: u64) -> UseCase {
+    let program = parse_program(SOURCE).expect("POLKA source parses");
+    UseCase {
+        name: "polka",
+        program,
+        entry: "polka",
+        args: vec![
+            ArgVal::Array(ArrayData::from_reals(&synthetic_frame(seed, 2))),
+            ArgVal::Array(ArrayData::from_reals(&vec![0.0; SP * SP])),
+            ArgVal::Array(ArrayData::from_reals(&vec![0.0; SP * SP])),
+            ArgVal::Array(ArrayData::from_reals(&vec![0.0; SP * SP])),
+            ArgVal::Array(ArrayData::from_reals(&vec![0.0; SP * SP])),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argo_ir::interp::{Interp, NullHook};
+
+    fn run(blobs: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let program = parse_program(SOURCE).unwrap();
+        let mut interp = Interp::new(&program);
+        let args = vec![
+            ArgVal::Array(ArrayData::from_reals(&synthetic_frame(seed, blobs))),
+            ArgVal::Array(ArrayData::from_reals(&vec![0.0; SP * SP])),
+            ArgVal::Array(ArrayData::from_reals(&vec![0.0; SP * SP])),
+            ArgVal::Array(ArrayData::from_reals(&vec![0.0; SP * SP])),
+            ArgVal::Array(ArrayData::from_reals(&vec![0.0; SP * SP])),
+        ];
+        let out = interp.call_full("polka", args, &mut NullHook).unwrap();
+        let get = |n: &str| {
+            out.arrays
+                .iter()
+                .find(|(name, _)| name == n)
+                .unwrap()
+                .1
+                .to_reals()
+        };
+        (get("dolp"), get("mask"))
+    }
+
+    #[test]
+    fn clean_glass_has_no_stress_detections() {
+        let (_, mask) = run(0, 11);
+        assert!(mask.iter().all(|&m| m == 0.0), "false positives on clean frame");
+    }
+
+    #[test]
+    fn stressed_glass_is_detected() {
+        let (dolp, mask) = run(3, 11);
+        assert!(mask.iter().any(|&m| m == 1.0), "missed stress blobs");
+        // DoLP peaks where the mask fires.
+        let best = dolp.iter().cloned().fold(0.0f64, f64::max);
+        assert!(best > 0.4);
+    }
+
+    #[test]
+    fn dolp_is_physical() {
+        let (dolp, _) = run(2, 7);
+        assert!(dolp.iter().all(|&d| (0.0..=1.2).contains(&d)));
+    }
+
+    #[test]
+    fn more_blobs_more_detections() {
+        let count = |blobs| run(blobs, 9).1.iter().filter(|&&m| m == 1.0).count();
+        assert!(count(4) >= count(1));
+        assert!(count(1) >= 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! Wake Encounter Avoidance and Advisory system (paper § IV-A).
+//!
+//! "WEAA predicts wake vortices, performs conflict detection and generates
+//! evasion trajectories." The kernel advects a set of decaying wake-vortex
+//! pairs left by a leading aircraft, evaluates the induced roll-moment
+//! hazard along the own-ship trajectory (conflict detection), and scores a
+//! set of lateral/vertical evasion candidates, picking the lowest-hazard
+//! one — the "tactical small-scale evasion" of the paper.
+//!
+//! Synthetic substitution: recorded wake data is replaced by a seeded
+//! vortex-pair field with Burnham–Hallock-style induced velocity and
+//! exponential circulation decay — the same arithmetic structure
+//! (distance computations, rational kernels, exponentials) as the real
+//! predictor.
+
+use crate::UseCase;
+use argo_ir::interp::{ArgVal, ArrayData};
+use argo_ir::parse::parse_program;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of vortex pairs tracked.
+pub const VORTICES: usize = 16;
+/// Own-ship trajectory points.
+pub const TRAJ: usize = 64;
+/// Number of evasion candidates scored.
+pub const CANDIDATES: usize = 8;
+
+/// The WEAA kernel in mini-C.
+///
+/// Vortex state arrays hold per-vortex `(y, z)` position, circulation and
+/// age; the trajectory holds `(y, z)` per point. Outputs: hazard along
+/// the nominal trajectory, per-candidate scores, and the chosen evasion
+/// offset index in `best[0]`.
+pub const SOURCE: &str = r#"
+real induced(real dy, real dz, real gamma) {
+    real r2; real rc2;
+    r2 = dy * dy + dz * dz;
+    rc2 = 4.0;
+    return gamma * r2 / ((r2 + rc2) * (r2 + rc2) + 1.0);
+}
+
+void weaa(real vy[16], real vz[16], real gamma[16], real age[16],
+          real ty[64], real tz[64],
+          real hazard[64], real scores[8], real best[1]) {
+    int i; int j; int c;
+    // Conflict detection: worst induced hazard at each trajectory point.
+    for (i = 0; i < 64; i = i + 1) {
+        real h;
+        h = 0.0;
+        for (j = 0; j < 16; j = j + 1) {
+            real decay; real contrib;
+            decay = exp(0.0 - age[j] * 0.05);
+            contrib = induced(ty[i] - vy[j], tz[i] - vz[j], gamma[j] * decay);
+            h = fmax(h, fabs(contrib));
+        }
+        hazard[i] = h;
+    }
+    // Evasion scoring: lateral/vertical offset candidates.
+    for (c = 0; c < 8; c = c + 1) {
+        real dy_off; real dz_off; real worst;
+        dy_off = ((real) (c % 4)) * 15.0 - 22.5;
+        dz_off = ((real) (c / 4)) * 30.0 - 15.0;
+        worst = 0.0;
+        for (i = 0; i < 64; i = i + 1) {
+            real hc;
+            hc = 0.0;
+            for (j = 0; j < 16; j = j + 1) {
+                real decay2; real contrib2;
+                decay2 = exp(0.0 - age[j] * 0.05);
+                contrib2 = induced(ty[i] + dy_off - vy[j],
+                                   tz[i] + dz_off - vz[j],
+                                   gamma[j] * decay2);
+                hc = fmax(hc, fabs(contrib2));
+            }
+            worst = fmax(worst, hc);
+        }
+        scores[c] = worst;
+    }
+    // Pick the lowest-hazard candidate.
+    real bestscore; real bestidx;
+    bestscore = scores[0];
+    bestidx = 0.0;
+    for (c = 1; c < 8; c = c + 1) {
+        if (scores[c] < bestscore) {
+            bestscore = scores[c];
+            bestidx = (real) c;
+        } else { }
+    }
+    best[0] = bestidx;
+}
+"#;
+
+/// Seeded synthetic vortex field and own-ship trajectory.
+pub fn synthetic_scene(seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut vy = Vec::new();
+    let mut vz = Vec::new();
+    let mut gamma = Vec::new();
+    let mut age = Vec::new();
+    for p in 0..VORTICES / 2 {
+        // Counter-rotating pairs drifting down behind the leader.
+        let cy = rng.gen_range(-40.0..40.0);
+        let cz = rng.gen_range(-25.0..5.0) - p as f64 * 0.5;
+        let g = rng.gen_range(300.0..600.0);
+        let a = rng.gen_range(0.0..30.0);
+        vy.push(cy - 10.0);
+        vz.push(cz);
+        gamma.push(g);
+        age.push(a);
+        vy.push(cy + 10.0);
+        vz.push(cz);
+        gamma.push(-g);
+        age.push(a);
+    }
+    let mut ty = Vec::new();
+    let mut tz = Vec::new();
+    for i in 0..TRAJ {
+        let t = i as f64 / (TRAJ - 1) as f64;
+        ty.push(-60.0 + 120.0 * t + rng.gen_range(-0.5..0.5));
+        tz.push(-5.0 + 2.0 * (t * 6.0).sin());
+    }
+    (vy, vz, gamma, age, ty, tz)
+}
+
+/// Builds the packaged use case.
+///
+/// # Panics
+///
+/// Panics if the embedded source fails to parse (bug; covered by tests).
+pub fn use_case(seed: u64) -> UseCase {
+    let program = parse_program(SOURCE).expect("WEAA source parses");
+    let (vy, vz, gamma, age, ty, tz) = synthetic_scene(seed);
+    UseCase {
+        name: "weaa",
+        program,
+        entry: "weaa",
+        args: vec![
+            ArgVal::Array(ArrayData::from_reals(&vy)),
+            ArgVal::Array(ArrayData::from_reals(&vz)),
+            ArgVal::Array(ArrayData::from_reals(&gamma)),
+            ArgVal::Array(ArrayData::from_reals(&age)),
+            ArgVal::Array(ArrayData::from_reals(&ty)),
+            ArgVal::Array(ArrayData::from_reals(&tz)),
+            ArgVal::Array(ArrayData::from_reals(&vec![0.0; TRAJ])),
+            ArgVal::Array(ArrayData::from_reals(&vec![0.0; CANDIDATES])),
+            ArgVal::Array(ArrayData::from_reals(&[0.0])),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argo_ir::interp::{Interp, NullHook};
+
+    fn run(seed: u64) -> (Vec<f64>, Vec<f64>, f64) {
+        let uc = use_case(seed);
+        let mut interp = Interp::new(&uc.program);
+        let out = interp.call_full(uc.entry, uc.args, &mut NullHook).unwrap();
+        let get = |n: &str| {
+            out.arrays
+                .iter()
+                .find(|(name, _)| name == n)
+                .unwrap()
+                .1
+                .to_reals()
+        };
+        (get("hazard"), get("scores"), get("best")[0])
+    }
+
+    #[test]
+    fn computes_hazard_and_picks_best_candidate() {
+        let (hazard, scores, best) = run(42);
+        assert_eq!(hazard.len(), TRAJ);
+        assert_eq!(scores.len(), CANDIDATES);
+        assert!(hazard.iter().all(|&h| h >= 0.0));
+        let bi = best as usize;
+        assert!(bi < CANDIDATES);
+        // The chosen candidate really is a minimiser.
+        let min = scores.iter().cloned().fold(f64::MAX, f64::min);
+        assert!((scores[bi] - min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hazard_is_higher_near_vortices() {
+        // A trajectory passing straight through a vortex core must see
+        // more hazard than one far away.
+        let uc = use_case(3);
+        let (vy, vz, gamma, age, _, _) = synthetic_scene(3);
+        let near_ty: Vec<f64> = (0..TRAJ).map(|_| vy[0] + 3.0).collect();
+        let near_tz: Vec<f64> = (0..TRAJ).map(|_| vz[0]).collect();
+        let far_ty: Vec<f64> = (0..TRAJ).map(|_| 500.0).collect();
+        let far_tz: Vec<f64> = (0..TRAJ).map(|_| 500.0).collect();
+        let run_with = |ty: &[f64], tz: &[f64]| {
+            let mut interp = Interp::new(&uc.program);
+            let args = vec![
+                ArgVal::Array(ArrayData::from_reals(&vy)),
+                ArgVal::Array(ArrayData::from_reals(&vz)),
+                ArgVal::Array(ArrayData::from_reals(&gamma)),
+                ArgVal::Array(ArrayData::from_reals(&age)),
+                ArgVal::Array(ArrayData::from_reals(ty)),
+                ArgVal::Array(ArrayData::from_reals(tz)),
+                ArgVal::Array(ArrayData::from_reals(&vec![0.0; TRAJ])),
+                ArgVal::Array(ArrayData::from_reals(&vec![0.0; CANDIDATES])),
+                ArgVal::Array(ArrayData::from_reals(&[0.0])),
+            ];
+            let out = interp.call_full("weaa", args, &mut NullHook).unwrap();
+            out.arrays
+                .iter()
+                .find(|(n, _)| n == "hazard")
+                .unwrap()
+                .1
+                .to_reals()
+                .iter()
+                .cloned()
+                .fold(0.0f64, f64::max)
+        };
+        assert!(run_with(&near_ty, &near_tz) > run_with(&far_ty, &far_tz) * 10.0);
+    }
+
+    #[test]
+    fn vortex_pairs_have_opposite_circulation() {
+        let (_, _, gamma, _, _, _) = synthetic_scene(5);
+        for p in gamma.chunks(2) {
+            assert!((p[0] + p[1]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: prints the e1_toolflow table (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", argo_bench::e1_toolflow());
+}

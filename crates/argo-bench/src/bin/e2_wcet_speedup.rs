@@ -1,0 +1,4 @@
+//! Experiment binary: prints the e2_wcet_speedup table (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", argo_bench::e2_wcet_speedup(&[1,2,4,8,16]));
+}

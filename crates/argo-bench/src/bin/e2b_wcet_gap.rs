@@ -1,0 +1,4 @@
+//! Experiment binary: prints the E2b average-vs-worst gap table.
+fn main() {
+    print!("{}", argo_bench::e2b_wcet_gap());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: prints the e3_tightness table (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", argo_bench::e3_tightness());
+}

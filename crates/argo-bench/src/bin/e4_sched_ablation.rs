@@ -1,0 +1,4 @@
+//! Experiment binary: prints the e4_sched_ablation table (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", argo_bench::e4_sched_ablation(&[6,8,10,12,16,24]));
+}

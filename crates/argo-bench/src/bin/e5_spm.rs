@@ -1,0 +1,4 @@
+//! Experiment binary: prints the e5_spm table (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", argo_bench::e5_spm(&[0,2048,4096,8192,16384,32768,65536]));
+}

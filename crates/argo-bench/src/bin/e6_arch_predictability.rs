@@ -1,0 +1,4 @@
+//! Experiment binary: prints the e6_arch_predictability table (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", argo_bench::e6_arch_predictability());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: prints the e7_granularity table (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", argo_bench::e7_granularity());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary: prints the e8_parmerasa table (see EXPERIMENTS.md).
+fn main() {
+    print!("{}", argo_bench::e8_parmerasa());
+}

@@ -1,0 +1,401 @@
+//! # argo-bench — experiment drivers for the evaluation suite
+//!
+//! One driver per experiment of EXPERIMENTS.md (E1–E8). Each driver
+//! returns the table text it prints, so the binaries (`src/bin/eN_*.rs`)
+//! and the Criterion benches share the exact same code paths.
+//!
+//! The source paper (DATE 2017 project overview) contains a single figure
+//! — the tool-flow diagram — and no quantitative tables; the experiments
+//! quantify each claim of §§ I–III instead (see DESIGN.md § 5).
+
+use argo_adl::{Arbitration, CacheConfig, Platform};
+use argo_core::{compile, SchedulerKind, ToolchainConfig};
+use argo_htg::Granularity;
+use argo_sched::anneal::SimulatedAnnealing;
+use argo_sched::bnb::BranchAndBound;
+use argo_sched::list::ListScheduler;
+use argo_sched::random::{random_task_graph, RandomGraphParams};
+use argo_sched::{SchedCtx, Scheduler};
+use argo_sim::{simulate, SimConfig, SimMode};
+use argo_wcet::system::MhpMode;
+use std::fmt::Write as _;
+
+/// E1 (Fig. 1): the complete tool flow on all three use cases.
+pub fn e1_toolflow() -> String {
+    let mut out = String::from(
+        "E1 (Fig.1) end-to-end tool flow — 4-core WRR bus\n\
+         use-case     tasks  signals  seq-WCET   par-WCET  speedup  observed  sound\n",
+    );
+    let platform = Platform::xentium_manycore(4);
+    for uc in argo_apps::all_use_cases(42) {
+        let r = compile(uc.program.clone(), uc.entry, &platform, &ToolchainConfig::default())
+            .expect("compile");
+        let sim = simulate(&r.parallel, &platform, uc.args.clone(), &SimConfig::default())
+            .expect("simulate");
+        let _ = writeln!(
+            out,
+            "{:<12} {:>5} {:>8} {:>9} {:>10} {:>7.2}x {:>9}  {}",
+            uc.name,
+            r.parallel.graph.len(),
+            r.parallel.sync_count(),
+            r.sequential_bound,
+            r.system.bound,
+            r.wcet_speedup(),
+            sim.cycles,
+            if sim.cycles <= r.system.bound { "yes" } else { "NO!" },
+        );
+    }
+    out
+}
+
+/// E2: guaranteed WCET speedup vs core count, per use case.
+pub fn e2_wcet_speedup(core_counts: &[usize]) -> String {
+    let mut out = String::from("E2 guaranteed WCET speedup vs cores (WRR bus)\nuse-case    ");
+    for &c in core_counts {
+        let _ = write!(out, "{c:>8}c");
+    }
+    out.push('\n');
+    for uc in argo_apps::all_use_cases(42) {
+        let _ = write!(out, "{:<12}", uc.name);
+        for &cores in core_counts {
+            let platform = Platform::xentium_manycore(cores);
+            let r =
+                compile(uc.program.clone(), uc.entry, &platform, &ToolchainConfig::default())
+                    .expect("compile");
+            let _ = write!(out, "{:>8.2}x", r.wcet_speedup());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// E3: bound tightness per MHP mode vs simulator observation.
+///
+/// Two workloads: POLKA (fully parallel chunks — all modes coincide, the
+/// contention is real) and a pipelined two-chain program where only the
+/// schedule proves that at most two tasks overlap — there the MHP
+/// precision ladder separates.
+pub fn e3_tightness() -> String {
+    let mut out = String::from(
+        "E3 system-level WCET bound per MHP precision (4-core WRR)\n\
+         workload   mhp-mode     bound      observed  bound/observed\n",
+    );
+    let platform = Platform::xentium_manycore(4);
+    let polka = &argo_apps::all_use_cases(42)[2];
+    let pipe_src = r#"
+        void main(real a[256], real b[256], real c[256], real d[256], real e[256]) {
+            int i;
+            for (i = 1; i < 256; i = i + 1) { b[i] = b[i-1] * 0.5 + a[i]; }
+            for (i = 1; i < 256; i = i + 1) { c[i] = c[i-1] * 0.25 + b[i]; }
+            for (i = 1; i < 256; i = i + 1) { d[i] = d[i-1] * 0.5 + a[i] * 2.0; }
+            for (i = 1; i < 256; i = i + 1) { e[i] = e[i-1] * 0.25 + d[i]; }
+        }
+    "#;
+    let pipe_program = argo_ir::parse::parse_program(pipe_src).expect("pipe source");
+    let pipe_args: Vec<argo_ir::interp::ArgVal> = (0..5)
+        .map(|_| {
+            argo_ir::interp::ArgVal::Array(argo_ir::interp::ArrayData::from_reals(&[1.0; 256]))
+        })
+        .collect();
+    let workloads: Vec<(&str, &argo_ir::Program, &str, Vec<argo_ir::interp::ArgVal>)> = vec![
+        ("polka", &polka.program, polka.entry, polka.args.clone()),
+        ("pipelines", &pipe_program, "main", pipe_args),
+    ];
+    for (wname, program, entry, args) in workloads {
+        for mhp in [MhpMode::Naive, MhpMode::Static, MhpMode::Windows] {
+            let cfg = ToolchainConfig { mhp, ..Default::default() };
+            let r = compile(program.clone(), entry, &platform, &cfg).expect("compile");
+            let sim = simulate(&r.parallel, &platform, args.clone(), &SimConfig::default())
+                .expect("simulate");
+            let _ = writeln!(
+                out,
+                "{wname:<10} {:<12} {:>9} {:>12} {:>13.2}x",
+                mhp.to_string(),
+                r.system.bound,
+                sim.cycles,
+                r.system.bound as f64 / sim.cycles.max(1) as f64
+            );
+        }
+    }
+    out.push_str("(window MHP requires time-triggered dispatch; static is the sound default)\n");
+    out
+}
+
+/// E4: scheduler ablation on random layered DAGs — makespan and runtime.
+pub fn e4_sched_ablation(sizes: &[usize]) -> String {
+    let mut out = String::from(
+        "E4 scheduler ablation (random layered DAGs, 4 cores, mean of 5 seeds)\n\
+         tasks   list-ms   bnb-ms    sa-ms   bnb/list  sa/list   bnb-nodes\n",
+    );
+    let platform = Platform::xentium_manycore(4);
+    let ctx = SchedCtx::new(&platform);
+    for &n in sizes {
+        let params = RandomGraphParams { tasks: n, ..Default::default() };
+        let (mut l, mut b, mut s, mut nodes) = (0f64, 0f64, 0f64, 0u64);
+        const SEEDS: u64 = 5;
+        for seed in 0..SEEDS {
+            let g = random_task_graph(seed, &params);
+            l += ListScheduler::new().schedule(&g, &ctx).makespan() as f64;
+            let (bs, nn) = BranchAndBound::new().schedule_counted(&g, &ctx);
+            b += bs.makespan() as f64;
+            nodes += nn;
+            s += SimulatedAnnealing::with_seed(seed).schedule(&g, &ctx).makespan() as f64;
+        }
+        let (l, b, s) = (l / SEEDS as f64, b / SEEDS as f64, s / SEEDS as f64);
+        let _ = writeln!(
+            out,
+            "{n:>5} {l:>9.0} {b:>8.0} {s:>8.0} {:>9.3} {:>8.3} {:>11}",
+            b / l,
+            s / l,
+            nodes / SEEDS
+        );
+    }
+    out
+}
+
+/// E5: WCET-directed scratchpad allocation — bound vs SPM capacity.
+pub fn e5_spm(capacities: &[u64]) -> String {
+    let mut out = String::from(
+        "E5 scratchpad allocation (EGPWS, 1 core: all arrays single-core)\n\
+         spm-bytes   seq-WCET-bound   vs-no-spm\n",
+    );
+    let uc = argo_apps::egpws::use_case(42);
+    let mut base = 0u64;
+    for &cap in capacities {
+        let mut platform = Platform::xentium_manycore(1);
+        platform.cores[0].spm_bytes = cap;
+        let r = compile(uc.program.clone(), uc.entry, &platform, &ToolchainConfig::default())
+            .expect("compile");
+        if cap == 0 {
+            base = r.system.bound;
+        }
+        let _ = writeln!(
+            out,
+            "{cap:>9} {:>16} {:>10.2}x",
+            r.system.bound,
+            base as f64 / r.system.bound.max(1) as f64
+        );
+    }
+    out
+}
+
+/// E6: architecture-predictability ablation (§ III-B guidelines).
+pub fn e6_arch_predictability() -> String {
+    let mut out = String::from(
+        "E6 architecture predictability (POLKA, 4 cores): bound and tightness\n\
+         variant            bound      observed  bound/obs\n",
+    );
+    let uc = &argo_apps::all_use_cases(42)[2];
+    let variants: Vec<(String, Platform)> = vec![
+        ("wrr-spm".into(), Platform::xentium_manycore(4)),
+        (
+            "tdma-spm".into(),
+            Platform::generic_bus(4, Arbitration::Tdma { slot_cycles: 12, total_slots: 4 }),
+        ),
+        (
+            "fixedprio-spm".into(),
+            Platform::generic_bus(4, Arbitration::FixedPriority { priorities: vec![0, 1, 2, 3] }),
+        ),
+        (
+            "wrr-cache".into(),
+            Platform::xentium_manycore(4).with_caches(CacheConfig::small()),
+        ),
+    ];
+    for (name, platform) in variants {
+        let r = compile(uc.program.clone(), uc.entry, &platform, &ToolchainConfig::default())
+            .expect("compile");
+        let sim = simulate(&r.parallel, &platform, uc.args.clone(), &SimConfig::default())
+            .expect("simulate");
+        let _ = writeln!(
+            out,
+            "{name:<18} {:>9} {:>12} {:>9.2}x",
+            r.system.bound,
+            sim.cycles,
+            r.system.bound as f64 / sim.cycles.max(1) as f64
+        );
+    }
+    out
+}
+
+/// E7: task-granularity sweep (§ III-C trade-off).
+pub fn e7_granularity() -> String {
+    let mut out = String::from(
+        "E7 granularity sweep (WEAA, 4 cores)\n\
+         granularity  tasks  signals  par-WCET   speedup\n",
+    );
+    let platform = Platform::xentium_manycore(4);
+    let uc = &argo_apps::all_use_cases(42)[1];
+    for (name, g) in [
+        ("loop", Granularity::Loop),
+        ("block", Granularity::Block),
+        ("stmt", Granularity::Stmt),
+    ] {
+        let cfg = ToolchainConfig { granularity: g, ..Default::default() };
+        let r = compile(uc.program.clone(), uc.entry, &platform, &cfg).expect("compile");
+        let _ = writeln!(
+            out,
+            "{name:<12} {:>5} {:>8} {:>9} {:>8.2}x",
+            r.parallel.graph.len(),
+            r.parallel.sync_count(),
+            r.system.bound,
+            r.wcet_speedup()
+        );
+    }
+    out
+}
+
+/// E8: ARGO schedule-aware bound vs manual fork-join (parMERASA, ref [4]).
+///
+/// ARGO uses the window-MHP bound — legitimate because the generated
+/// schedule is enforced time-triggered; the manual version has no
+/// schedule knowledge, so every access is all-contend and every level
+/// pays a barrier. This is precisely the asymmetry ref [4] observed.
+pub fn e8_parmerasa() -> String {
+    let mut out = String::from(
+        "E8 manual fork-join vs ARGO schedule-aware WCET (4-core WRR)\n\
+         use-case     manual-bound  argo-bound  pessimism\n",
+    );
+    let platform = Platform::xentium_manycore(4);
+    let cfg = ToolchainConfig { mhp: MhpMode::Windows, ..Default::default() };
+    for uc in argo_apps::all_use_cases(42) {
+        let r = compile(uc.program.clone(), uc.entry, &platform, &cfg)
+            .expect("compile");
+        let manual = argo_wcet::system::manual_fork_join_bound(
+            &r.parallel.graph,
+            &platform,
+            &r.iso_costs,
+            &r.shared_accesses,
+        );
+        let _ = writeln!(
+            out,
+            "{:<12} {:>13} {:>11} {:>9.2}x",
+            uc.name,
+            manual,
+            r.system.bound,
+            manual as f64 / r.system.bound.max(1) as f64
+        );
+    }
+    // Pipelined synthetic program: two independent 2-stage chains of
+    // *sequential* (non-chunkable) filters. The schedule proves that at
+    // most two tasks overlap (k=2); the manual analysis must assume all
+    // cores contend (k=4) — where schedule knowledge really pays.
+    let src = r#"
+        void main(real a[256], real b[256], real c[256], real d[256], real e[256]) {
+            int i;
+            for (i = 1; i < 256; i = i + 1) { b[i] = b[i-1] * 0.5 + a[i]; }
+            for (i = 1; i < 256; i = i + 1) { c[i] = c[i-1] * 0.25 + b[i]; }
+            for (i = 1; i < 256; i = i + 1) { d[i] = d[i-1] * 0.5 + a[i] * 2.0; }
+            for (i = 1; i < 256; i = i + 1) { e[i] = e[i-1] * 0.25 + d[i]; }
+        }
+    "#;
+    let program = argo_ir::parse::parse_program(src).expect("pipeline source");
+    let r = compile(program, "main", &platform, &cfg).expect("compile");
+    let manual = argo_wcet::system::manual_fork_join_bound(
+        &r.parallel.graph,
+        &platform,
+        &r.iso_costs,
+        &r.shared_accesses,
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>13} {:>11} {:>9.2}x",
+        "pipelines",
+        manual,
+        r.system.bound,
+        manual as f64 / r.system.bound.max(1) as f64
+    );
+    out
+}
+
+/// E2 auxiliary: average-vs-worst-case gap per use case (motivates the
+/// WCET "tightness" discussion of § I).
+pub fn e2b_wcet_gap() -> String {
+    let mut out = String::from(
+        "E2b bound vs average observed (4-core WRR)\n\
+         use-case     bound     avg-observed  gap\n",
+    );
+    let platform = Platform::xentium_manycore(4);
+    for uc in argo_apps::all_use_cases(42) {
+        let r = compile(uc.program.clone(), uc.entry, &platform, &ToolchainConfig::default())
+            .expect("compile");
+        let avg = simulate(
+            &r.parallel,
+            &platform,
+            uc.args.clone(),
+            &SimConfig { mode: SimMode::Random { seed: 9 } },
+        )
+        .expect("simulate");
+        let _ = writeln!(
+            out,
+            "{:<12} {:>8} {:>13} {:>6.2}x",
+            uc.name,
+            r.system.bound,
+            avg.cycles,
+            r.system.bound as f64 / avg.cycles.max(1) as f64
+        );
+    }
+    out
+}
+
+/// Scheduler-kind sweep used by E4's tool-chain-level variant.
+pub fn compile_with_scheduler(kind: SchedulerKind) -> f64 {
+    let platform = Platform::xentium_manycore(4);
+    let uc = &argo_apps::all_use_cases(42)[2];
+    let cfg = ToolchainConfig { scheduler: kind, ..Default::default() };
+    let r = compile(uc.program.clone(), uc.entry, &platform, &cfg).expect("compile");
+    r.wcet_speedup()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_reports_sound_rows_for_all_use_cases() {
+        let t = e1_toolflow();
+        assert_eq!(t.matches("yes").count(), 3);
+        assert!(!t.contains("NO!"));
+    }
+
+    #[test]
+    fn e3_naive_is_loosest() {
+        let t = e3_tightness();
+        // The `pipelines` rows separate the MHP precision ladder.
+        let bounds: Vec<u64> = t
+            .lines()
+            .filter(|l| l.starts_with("pipelines"))
+            .map(|l| l.split_whitespace().nth(2).unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(bounds.len(), 3);
+        assert!(bounds[0] > bounds[1], "naive must exceed static on pipelines");
+        assert!(bounds[1] >= bounds[2]);
+    }
+
+    #[test]
+    fn e4_exact_never_worse() {
+        let t = e4_sched_ablation(&[8]);
+        let row = t.lines().nth(2).unwrap();
+        let ratio: f64 = row.split_whitespace().nth(4).unwrap().parse().unwrap();
+        assert!(ratio <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn e8_manual_is_more_pessimistic() {
+        let t = e8_parmerasa();
+        let mut ratios = Vec::new();
+        for line in t.lines().skip(2) {
+            let p: f64 = line
+                .split_whitespace()
+                .last()
+                .unwrap()
+                .trim_end_matches('x')
+                .parse()
+                .unwrap();
+            // Never meaningfully better than ARGO (display rounding aside)…
+            assert!(p >= 0.99, "manual beat ARGO: {line}");
+            ratios.push(p);
+        }
+        // …and clearly worse where parallelism exists.
+        assert!(ratios.iter().any(|&p| p > 1.2), "no pessimism shown: {ratios:?}");
+    }
+}

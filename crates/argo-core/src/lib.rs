@@ -1,0 +1,438 @@
+//! # argo-core — the ARGO tool-chain driver (paper Fig. 1)
+//!
+//! Chains every stage of the ARGO design workflow:
+//!
+//! ```text
+//! model/mini-C ──► transforms ──► HTG extraction ──► scheduling/mapping
+//!      ▲                                                    │
+//!      │                                                    ▼
+//!      └─── iterative optimisation ◄── system-level ◄── parallel model
+//!                (§ II-E feedback)       WCET (§ II-D)     (§ II-C)
+//! ```
+//!
+//! The phase-ordering problem the paper calls out — task WCETs depend on
+//! memory placement, placement depends on the schedule, the schedule
+//! depends on task WCETs — is resolved exactly as § II-E prescribes:
+//! "WCET information is fed back to the previous compilation phases to
+//! enable an iterative optimization of the parallelization process".
+//! [`compile`] starts from a conservative all-shared placement, then
+//! re-costs, re-schedules and re-places until the assignment stabilises
+//! (bounded by [`ToolchainConfig::feedback_rounds`]).
+
+use argo_adl::{MemoryMap, Placement, Platform};
+use argo_htg::accesses::AnnotateCtx;
+use argo_htg::{extract::extract, Granularity, Htg};
+use argo_ir::ast::Program;
+use argo_parir::ParallelProgram;
+use argo_sched::anneal::SimulatedAnnealing;
+use argo_sched::bnb::BranchAndBound;
+use argo_sched::list::ListScheduler;
+use argo_sched::{evaluate_assignment, CommModel, SchedCtx, Schedule, Scheduler, TaskGraph};
+use argo_transform::chunk::chunk_all_parallel_loops;
+use argo_transform::fold::ConstantFold;
+use argo_transform::Pass;
+use argo_wcet::cost::CostCtx;
+use argo_wcet::schema::{function_wcets, stmt_ids_wcet};
+use argo_wcet::system::{analyze, task_shared_accesses, MhpMode, SystemWcet};
+use argo_wcet::value::{loop_bounds, LoopBounds, ValueCtx};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which scheduler the mapping stage uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// HEFT-style list scheduling (default).
+    List,
+    /// Exact branch-and-bound (small graphs).
+    BranchAndBound,
+    /// Simulated annealing refinement.
+    Anneal,
+}
+
+/// Tool-chain configuration.
+#[derive(Debug, Clone)]
+pub struct ToolchainConfig {
+    /// Task extraction granularity.
+    pub granularity: Granularity,
+    /// Chunk parallelizable loops into `core_count` chunks first.
+    pub chunk_loops: bool,
+    /// Scheduler for the mapping stage.
+    pub scheduler: SchedulerKind,
+    /// MHP precision of the system-level analysis.
+    pub mhp: MhpMode,
+    /// Maximum feedback iterations (≥ 1).
+    pub feedback_rounds: u32,
+    /// Ranges for entry-function integer parameters (loop bounds).
+    pub value_ctx: ValueCtx,
+}
+
+impl Default for ToolchainConfig {
+    fn default() -> ToolchainConfig {
+        ToolchainConfig {
+            granularity: Granularity::Loop,
+            chunk_loops: true,
+            scheduler: SchedulerKind::List,
+            // Static precedence MHP is sound for any dispatch timing;
+            // window MHP is tighter but assumes time-triggered release.
+            mhp: MhpMode::Static,
+            feedback_rounds: 3,
+            value_ctx: ValueCtx::default(),
+        }
+    }
+}
+
+/// Everything the tool-chain produced for one program/platform pair.
+#[derive(Debug, Clone)]
+pub struct ToolchainResult {
+    /// The explicitly parallel program (schedule, plans, memory map).
+    pub parallel: ParallelProgram,
+    /// System-level WCET analysis result; `system.bound` is the headline
+    /// guaranteed parallel WCET.
+    pub system: SystemWcet,
+    /// WCET bound of the same task set executed sequentially on one core
+    /// (with the same memory map) — the speedup baseline.
+    pub sequential_bound: u64,
+    /// Per-task isolated WCETs (final feedback round).
+    pub iso_costs: Vec<u64>,
+    /// Per-task worst-case shared-access counts.
+    pub shared_accesses: Vec<u64>,
+    /// Loop bounds used by the code-level analysis.
+    pub bounds: LoopBounds,
+    /// The HTG (post-transformation).
+    pub htg: Htg,
+    /// Feedback iterations actually performed.
+    pub feedback_iterations: u32,
+}
+
+impl ToolchainResult {
+    /// Guaranteed WCET speedup of the parallel version over sequential
+    /// execution (values < 1 mean parallelization did not pay off).
+    pub fn wcet_speedup(&self) -> f64 {
+        self.sequential_bound as f64 / self.system.bound.max(1) as f64
+    }
+
+    /// Human-readable summary report.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "ARGO tool-chain report — entry `{}`", self.parallel.entry);
+        let _ = writeln!(
+            s,
+            "  tasks: {}   signals: {}   feedback iterations: {}",
+            self.parallel.graph.len(),
+            self.parallel.sync_count(),
+            self.feedback_iterations
+        );
+        let _ = writeln!(s, "  sequential WCET bound: {:>12} cycles", self.sequential_bound);
+        let _ = writeln!(s, "  parallel   WCET bound: {:>12} cycles", self.system.bound);
+        let _ = writeln!(s, "  guaranteed speedup:    {:>12.2}x", self.wcet_speedup());
+        let _ = writeln!(s, "  per-task (iso → inflated, contenders):");
+        for t in 0..self.parallel.graph.len() {
+            let _ = writeln!(
+                s,
+                "    {:<24} core{} {:>9} → {:>9}  k={}",
+                self.parallel.graph.names[t],
+                self.parallel.schedule.assignment[t].0,
+                self.system.iso_wcet[t],
+                self.system.task_wcet[t],
+                self.system.contenders[t],
+            );
+        }
+        s
+    }
+}
+
+/// Tool-chain error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolchainError {
+    /// The stage that failed.
+    pub stage: &'static str,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for ToolchainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tool-chain error in {}: {}", self.stage, self.msg)
+    }
+}
+
+impl std::error::Error for ToolchainError {}
+
+fn stage_err<E: fmt::Display>(stage: &'static str) -> impl Fn(E) -> ToolchainError {
+    move |e| ToolchainError { stage, msg: e.to_string() }
+}
+
+/// Runs the complete ARGO flow on `program` for `platform`.
+///
+/// # Errors
+///
+/// Returns [`ToolchainError`] naming the failing stage: validation,
+/// transformation, loop-bound analysis, extraction, WCET or parallel-model
+/// construction.
+pub fn compile(
+    mut program: Program,
+    entry: &str,
+    platform: &Platform,
+    cfg: &ToolchainConfig,
+) -> Result<ToolchainResult, ToolchainError> {
+    platform.validate().map_err(stage_err("platform"))?;
+    argo_ir::validate::validate(&program).map_err(stage_err("validate"))?;
+    if program.function(entry).is_none() {
+        return Err(ToolchainError {
+            stage: "entry",
+            msg: format!("no function `{entry}` in program"),
+        });
+    }
+
+    // --- Program analysis & predictability transformations (§ II-B).
+    ConstantFold.run(&mut program).map_err(stage_err("transform"))?;
+    program.renumber();
+    if cfg.chunk_loops && platform.core_count() > 1 {
+        chunk_all_parallel_loops(&mut program, entry, platform.core_count())
+            .map_err(stage_err("chunk"))?;
+        ConstantFold.run(&mut program).map_err(stage_err("transform"))?;
+        program.renumber();
+    }
+    argo_ir::validate::validate(&program).map_err(stage_err("validate-post-transform"))?;
+
+    // --- Loop bounds (value analysis).
+    let bounds =
+        loop_bounds(&program, entry, &cfg.value_ctx).map_err(stage_err("loop-bounds"))?;
+
+    // --- Task extraction (HTG) + access annotation.
+    let mut htg = extract(&program, entry, cfg.granularity).map_err(stage_err("extract"))?;
+    let actx = AnnotateCtx { bounds: bounds.clone(), default_bound: 1 };
+    argo_htg::accesses::annotate(&mut htg, &program, &actx);
+
+    // --- Iterative schedule ↔ placement ↔ WCET loop (§ II-E).
+    let mut mem = all_shared_map(&program, entry);
+    let mut assignment: Option<Vec<argo_adl::CoreId>> = None;
+    let mut schedule: Option<Schedule> = None;
+    let mut graph = TaskGraph::default();
+    let mut iso_costs: Vec<u64> = Vec::new();
+    let mut iterations = 0;
+    for round in 0..cfg.feedback_rounds.max(1) {
+        iterations = round + 1;
+        // Code-level WCET per task, on its (current) core, isolated.
+        let mut costs: BTreeMap<argo_htg::TaskId, u64> = BTreeMap::new();
+        for (idx, &tid) in htg.top_level.iter().enumerate() {
+            let core = match &assignment {
+                Some(a) => a[idx],
+                None => argo_adl::CoreId(0),
+            };
+            let ctx = CostCtx::new(&program, platform, core, 1, &mem);
+            let fw = function_wcets(&ctx, &bounds).map_err(stage_err("code-wcet"))?;
+            let task = htg.task(tid);
+            let w = stmt_ids_wcet(&ctx, &bounds, &fw, entry, &task.stmts)
+                .map_err(stage_err("task-wcet"))?;
+            costs.insert(tid, w.max(1));
+        }
+        graph = TaskGraph::from_htg(&htg, &costs);
+        iso_costs = graph.cost.clone();
+
+        // Mapping/scheduling stage.
+        let ctx = SchedCtx { platform, comm: CommModel::SignalOnly };
+        let sched: Schedule = match cfg.scheduler {
+            SchedulerKind::List => ListScheduler::new().schedule(&graph, &ctx),
+            SchedulerKind::BranchAndBound => BranchAndBound::new().schedule(&graph, &ctx),
+            SchedulerKind::Anneal => SimulatedAnnealing::new().schedule(&graph, &ctx),
+        };
+        let stable = assignment.as_ref() == Some(&sched.assignment);
+        assignment = Some(sched.assignment.clone());
+        schedule = Some(sched);
+
+        // Memory placement for the new mapping (WCET fed back).
+        mem = argo_parir::mem_assign::assign(
+            &program,
+            &htg,
+            &graph,
+            schedule.as_ref().expect("just set"),
+            platform,
+        )
+        .map_err(stage_err("mem-assign"))?;
+        if stable {
+            break;
+        }
+    }
+    let schedule = schedule.expect("at least one round");
+
+    // --- Parallel program model (§ II-C).
+    let parallel = ParallelProgram::build(program, &htg, graph, schedule, platform)
+        .map_err(stage_err("parallel-model"))?;
+
+    // --- System-level WCET (§ II-D).
+    let shared_accesses = task_shared_accesses(&htg, &parallel.graph, &parallel.memory_map);
+    let system = analyze(&parallel, platform, &iso_costs, &shared_accesses, cfg.mhp);
+
+    // --- Sequential baseline: same tasks, one core, no parallel overlap.
+    let seq_ctx = SchedCtx { platform, comm: CommModel::SignalOnly };
+    let seq = evaluate_assignment(
+        &parallel.graph,
+        &seq_ctx,
+        &vec![argo_adl::CoreId(0); parallel.graph.len()],
+    );
+    let sequential_bound = seq.makespan();
+
+    Ok(ToolchainResult {
+        parallel,
+        system,
+        sequential_bound,
+        iso_costs,
+        shared_accesses,
+        bounds,
+        htg,
+        feedback_iterations: iterations,
+    })
+}
+
+/// The conservative round-0 placement: every array in shared memory.
+fn all_shared_map(program: &Program, entry: &str) -> MemoryMap {
+    let mut map = MemoryMap::new();
+    let Some(f) = program.function(entry) else {
+        return map;
+    };
+    let mut cursor = 0u64;
+    for (name, ty) in argo_ir::validate::symbol_table(f) {
+        if ty.is_array() {
+            map.insert(
+                name,
+                Placement {
+                    space: argo_adl::MemSpace::Shared,
+                    base_addr: cursor,
+                    size_bytes: ty.size_bytes(),
+                },
+            );
+            cursor += ty.size_bytes();
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argo_ir::parse::parse_program;
+
+    // A compute-heavy map + reduction, the shape of the paper's use-case
+    // kernels (transcendental math per element). Compute-to-traffic ratio
+    // matters: memory-bound kernels gain little guaranteed speedup because
+    // contention inflation eats the overlap — exactly the trade-off
+    // experiment E2 sweeps.
+    const MAP_REDUCE: &str = r#"
+        real main(real a[256], real b[256]) {
+            real s; int i;
+            s = 0.0;
+            for (i = 0; i < 256; i = i + 1) {
+                b[i] = sqrt(a[i]) * 2.0 + sin(a[i]) + pow(a[i], 2.0);
+            }
+            for (i = 0; i < 256; i = i + 1) { s = s + b[i]; }
+            return s;
+        }
+    "#;
+
+    #[test]
+    fn end_to_end_compiles_and_improves_wcet() {
+        let program = parse_program(MAP_REDUCE).unwrap();
+        let platform = Platform::xentium_manycore(4);
+        let r = compile(program, "main", &platform, &ToolchainConfig::default()).unwrap();
+        r.parallel.validate().unwrap();
+        assert!(r.system.bound > 0);
+        assert!(
+            r.wcet_speedup() > 1.2,
+            "parallel WCET should beat sequential: speedup {}",
+            r.wcet_speedup()
+        );
+    }
+
+    #[test]
+    fn single_core_has_speedup_one() {
+        let program = parse_program(MAP_REDUCE).unwrap();
+        let platform = Platform::xentium_manycore(1);
+        let r = compile(program, "main", &platform, &ToolchainConfig::default()).unwrap();
+        assert_eq!(r.parallel.sync_count(), 0);
+        assert!((r.wcet_speedup() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn feedback_loop_terminates_and_stabilises() {
+        let program = parse_program(MAP_REDUCE).unwrap();
+        let platform = Platform::xentium_manycore(2);
+        let cfg = ToolchainConfig { feedback_rounds: 5, ..Default::default() };
+        let r = compile(program, "main", &platform, &cfg).unwrap();
+        assert!(r.feedback_iterations <= 5);
+    }
+
+    #[test]
+    fn all_schedulers_produce_valid_results() {
+        for sk in [SchedulerKind::List, SchedulerKind::BranchAndBound, SchedulerKind::Anneal] {
+            let program = parse_program(MAP_REDUCE).unwrap();
+            let platform = Platform::xentium_manycore(2);
+            let cfg = ToolchainConfig { scheduler: sk, ..Default::default() };
+            let r = compile(program, "main", &platform, &cfg).unwrap();
+            r.parallel.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn report_mentions_key_numbers() {
+        let program = parse_program(MAP_REDUCE).unwrap();
+        let platform = Platform::xentium_manycore(2);
+        let r = compile(program, "main", &platform, &ToolchainConfig::default()).unwrap();
+        let rep = r.report();
+        assert!(rep.contains("parallel   WCET bound"));
+        assert!(rep.contains("guaranteed speedup"));
+    }
+
+    #[test]
+    fn unknown_entry_is_reported_with_stage() {
+        let program = parse_program(MAP_REDUCE).unwrap();
+        let platform = Platform::xentium_manycore(2);
+        let err =
+            compile(program, "nonexistent", &platform, &ToolchainConfig::default()).unwrap_err();
+        assert_eq!(err.stage, "entry");
+    }
+
+    #[test]
+    fn sequential_loop_is_not_parallelized_but_compiles() {
+        let src = r#"
+            void main(real b[64]) {
+                int i;
+                for (i = 1; i < 64; i = i + 1) { b[i] = b[i-1] + 1.0; }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let platform = Platform::xentium_manycore(4);
+        let r = compile(program, "main", &platform, &ToolchainConfig::default()).unwrap();
+        assert!(r.wcet_speedup() <= 1.05);
+    }
+
+    #[test]
+    fn noc_platform_compiles() {
+        let program = parse_program(MAP_REDUCE).unwrap();
+        let platform = Platform::kit_tile_noc(2, 2);
+        let r = compile(program, "main", &platform, &ToolchainConfig::default()).unwrap();
+        assert!(r.system.bound > 0);
+    }
+
+    #[test]
+    fn finer_granularity_yields_more_tasks() {
+        let program = parse_program(MAP_REDUCE).unwrap();
+        let platform = Platform::xentium_manycore(2);
+        let coarse = compile(
+            program.clone(),
+            "main",
+            &platform,
+            &ToolchainConfig { granularity: Granularity::Loop, ..Default::default() },
+        )
+        .unwrap();
+        let fine = compile(
+            program,
+            "main",
+            &platform,
+            &ToolchainConfig { granularity: Granularity::Stmt, ..Default::default() },
+        )
+        .unwrap();
+        assert!(fine.parallel.graph.len() >= coarse.parallel.graph.len());
+    }
+}

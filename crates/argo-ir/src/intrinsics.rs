@@ -1,0 +1,71 @@
+//! Built-in math intrinsics of the mini-C language.
+//!
+//! Intrinsics are pure scalar functions with fixed signatures. They matter
+//! to three consumers: the validator (type checking), the interpreter
+//! (evaluation) and the WCET timing model (every intrinsic has an
+//! architecture-defined worst-case latency, looked up by name).
+
+use crate::types::Scalar;
+
+/// Signature of an intrinsic function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    /// Intrinsic name as written in source.
+    pub name: &'static str,
+    /// Parameter scalar types.
+    pub params: &'static [Scalar],
+    /// Return scalar type.
+    pub ret: Scalar,
+}
+
+const R: Scalar = Scalar::Real;
+const I: Scalar = Scalar::Int;
+
+/// All intrinsics known to the language.
+pub const ALL: &[Signature] = &[
+    Signature { name: "sqrt", params: &[R], ret: R },
+    Signature { name: "sin", params: &[R], ret: R },
+    Signature { name: "cos", params: &[R], ret: R },
+    Signature { name: "tan", params: &[R], ret: R },
+    Signature { name: "atan2", params: &[R, R], ret: R },
+    Signature { name: "exp", params: &[R], ret: R },
+    Signature { name: "log", params: &[R], ret: R },
+    Signature { name: "pow", params: &[R, R], ret: R },
+    Signature { name: "floor", params: &[R], ret: R },
+    Signature { name: "fabs", params: &[R], ret: R },
+    Signature { name: "fmin", params: &[R, R], ret: R },
+    Signature { name: "fmax", params: &[R, R], ret: R },
+    Signature { name: "iabs", params: &[I], ret: I },
+    Signature { name: "imin", params: &[I, I], ret: I },
+    Signature { name: "imax", params: &[I, I], ret: I },
+];
+
+/// Looks up an intrinsic signature by name.
+pub fn lookup(name: &str) -> Option<&'static Signature> {
+    ALL.iter().find(|s| s.name == name)
+}
+
+/// Returns `true` if `name` denotes an intrinsic.
+pub fn is_intrinsic(name: &str) -> bool {
+    lookup(name).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_finds_known_intrinsics() {
+        assert_eq!(lookup("sqrt").unwrap().ret, Scalar::Real);
+        assert_eq!(lookup("imax").unwrap().params.len(), 2);
+        assert!(lookup("nope").is_none());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = ALL.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL.len());
+    }
+}

@@ -1,0 +1,260 @@
+//! Hand-written lexer for the mini-C surface syntax.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Identifier or keyword.
+    Ident(String),
+    /// Punctuation / operator token, e.g. `"+"`, `"<="`, `"("`.
+    Punct(&'static str),
+    /// `#pragma <ident> <int>` directive (only `bound` is used).
+    Pragma(String, i64),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Real(v) => write!(f, "{v}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Punct(p) => write!(f, "{p}"),
+            Tok::Pragma(k, v) => write!(f, "#pragma {k} {v}"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token plus its 1-based source line, for error messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Error produced while lexing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCTS2: &[&str] = &["<=", ">=", "==", "!=", "&&", "||", "+="];
+const PUNCTS1: &[&str] = &[
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "(", ")", "{", "}", "[", "]", ";", ",",
+];
+
+/// Lexes `src` into a token stream terminated by [`Tok::Eof`].
+///
+/// # Errors
+///
+/// Returns [`LexError`] on malformed numbers, unknown characters or
+/// malformed `#pragma` directives. Line comments (`//`) and block comments
+/// (`/* */`) are skipped.
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    while i < n {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            while i < n && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            i += 2;
+            loop {
+                if i + 1 >= n {
+                    return Err(LexError { msg: "unterminated block comment".into(), line });
+                }
+                if bytes[i] == '\n' {
+                    line += 1;
+                }
+                if bytes[i] == '*' && bytes[i + 1] == '/' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        // Pragma.
+        if c == '#' {
+            let start = i;
+            while i < n && bytes[i] != '\n' {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            let words: Vec<&str> = text.split_whitespace().collect();
+            if words.len() == 3 && words[0] == "#pragma" {
+                let val: i64 = words[2].parse().map_err(|_| LexError {
+                    msg: format!("bad pragma value `{}`", words[2]),
+                    line,
+                })?;
+                toks.push(SpannedTok { tok: Tok::Pragma(words[1].to_string(), val), line });
+                continue;
+            }
+            return Err(LexError { msg: format!("malformed directive `{text}`"), line });
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_real = false;
+            while i < n && (bytes[i].is_ascii_digit() || bytes[i] == '.' || bytes[i] == 'e'
+                || bytes[i] == 'E'
+                || ((bytes[i] == '+' || bytes[i] == '-')
+                    && i > start
+                    && (bytes[i - 1] == 'e' || bytes[i - 1] == 'E')))
+            {
+                if bytes[i] == '.' || bytes[i] == 'e' || bytes[i] == 'E' {
+                    is_real = true;
+                }
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            if is_real {
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| LexError { msg: format!("bad real literal `{text}`"), line })?;
+                toks.push(SpannedTok { tok: Tok::Real(v), line });
+            } else {
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| LexError { msg: format!("bad int literal `{text}`"), line })?;
+                toks.push(SpannedTok { tok: Tok::Int(v), line });
+            }
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            toks.push(SpannedTok { tok: Tok::Ident(text), line });
+            continue;
+        }
+        // Two-char punctuation first.
+        if i + 1 < n {
+            let two: String = [bytes[i], bytes[i + 1]].iter().collect();
+            if let Some(p) = PUNCTS2.iter().find(|p| ***p == two) {
+                toks.push(SpannedTok { tok: Tok::Punct(p), line });
+                i += 2;
+                continue;
+            }
+        }
+        let one = c.to_string();
+        if let Some(p) = PUNCTS1.iter().find(|p| ***p == one) {
+            toks.push(SpannedTok { tok: Tok::Punct(p), line });
+            i += 1;
+            continue;
+        }
+        return Err(LexError { msg: format!("unexpected character `{c}`"), line });
+    }
+    toks.push(SpannedTok { tok: Tok::Eof, line });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_simple_assignment() {
+        assert_eq!(
+            kinds("x = 42;"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Int(42),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_reals_and_exponents() {
+        assert_eq!(kinds("1.5")[0], Tok::Real(1.5));
+        assert_eq!(kinds("2e3")[0], Tok::Real(2000.0));
+        assert_eq!(kinds("1.25e-2")[0], Tok::Real(0.0125));
+    }
+
+    #[test]
+    fn two_char_ops_take_precedence() {
+        assert_eq!(kinds("a <= b")[1], Tok::Punct("<="));
+        assert_eq!(kinds("a < = b")[1], Tok::Punct("<"));
+        assert_eq!(kinds("a == b")[1], Tok::Punct("=="));
+        assert_eq!(kinds("a && b")[1], Tok::Punct("&&"));
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let toks = lex("// hello\nx /* multi\nline */ = 1;").unwrap();
+        assert_eq!(toks[0].tok, Tok::Ident("x".into()));
+        assert_eq!(toks[0].line, 2);
+        assert_eq!(toks[1].tok, Tok::Punct("="));
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn lexes_pragma_bound() {
+        let toks = kinds("#pragma bound 16\nwhile (x < y) { }");
+        assert_eq!(toks[0], Tok::Pragma("bound".into(), 16));
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(lex("x = $;").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = lex("x = 1;\ny = $;").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

@@ -1,0 +1,49 @@
+//! # argo-ir — C-subset intermediate representation
+//!
+//! The ARGO tool-chain compiles Xcos/Scilab models to "an intermediate
+//! program representation (IR) based on a subset of the C language"
+//! (paper § II-B). This crate is that IR:
+//!
+//! * a typed, structured AST ([`ast`]) with `int`/`real`/`bool` scalars and
+//!   constant-shape arrays — no pointers, no `goto`, no recursion, so every
+//!   program is statically analysable;
+//! * a lexer/parser for the *mini-C* surface syntax ([`parse`]);
+//! * a pretty-printer that emits mini-C back ([`printer`]);
+//! * semantic validation: symbols, types, recursion freedom ([`validate`]);
+//! * a reference interpreter used as the functional oracle and as the
+//!   execution engine inside the platform simulator ([`interp`]);
+//! * a structured control-flow graph for IPET-style WCET analysis ([`cfg`]).
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = r#"
+//!     int sum(int n) {
+//!         int s; int i;
+//!         s = 0;
+//!         for (i = 0; i < n; i = i + 1) { s = s + i; }
+//!         return s;
+//!     }
+//! "#;
+//! let program = argo_ir::parse::parse_program(src)?;
+//! argo_ir::validate::validate(&program)?;
+//! let mut interp = argo_ir::interp::Interp::new(&program);
+//! let result = interp.call_scalar("sum", &[argo_ir::interp::ScalarVal::Int(10)])?;
+//! assert_eq!(result, Some(argo_ir::interp::ScalarVal::Int(45)));
+//! # Ok(()) }
+//! ```
+
+pub mod ast;
+pub mod cfg;
+pub mod interp;
+pub mod intrinsics;
+pub mod lexer;
+pub mod parse;
+pub mod printer;
+pub mod types;
+pub mod validate;
+pub mod visit;
+
+pub use ast::{Block, Expr, Function, LValue, Program, Stmt, StmtId, StmtKind};
+pub use types::{Scalar, Type};

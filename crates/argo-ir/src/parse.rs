@@ -1,0 +1,702 @@
+//! Recursive-descent parser for the mini-C surface syntax.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! program  := function*
+//! function := ("int"|"real"|"bool"|"void") IDENT "(" params ")" block
+//! param    := ("int"|"real"|"bool") IDENT ("[" INT "]")*
+//! block    := "{" stmt* "}"
+//! stmt     := decl | assign | if | for | while | call ";" | return
+//! decl     := type IDENT ("[" INT "]")* ("=" expr)? ";"
+//! assign   := lvalue ("=" | "+=") expr ";"
+//! for      := "for" "(" IDENT "=" expr ";" IDENT ("<"|"<=") expr ";"
+//!             IDENT ("=" IDENT "+" INT | "+=" INT) ")" block
+//! while    := "#pragma bound N" "while" "(" expr ")" block
+//! if       := "if" "(" expr ")" block ("else" (block | if))?
+//! ```
+//!
+//! Expressions use conventional C precedence. `(int) e`, `(real) e` and
+//! `(bool) e` are casts.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, SpannedTok, Tok};
+use crate::types::{Scalar, Type};
+use std::fmt;
+
+/// Error produced while parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub msg: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError { msg: e.msg, line: e.line }
+    }
+}
+
+/// Parses a complete mini-C program and assigns statement ids.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on any lexical or syntactic error, with the
+/// offending source line.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut program = Program::new();
+    while !p.at_eof() {
+        program.functions.push(p.function()?);
+    }
+    program.renumber();
+    Ok(program)
+}
+
+/// Parses a single expression (used by the Scilab-like frontend and tests).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] if `src` is not exactly one expression.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    if !p.at_eof() {
+        return Err(p.err("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { msg: msg.into(), line: self.line() }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected `{p}`, found `{other}`"))),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn scalar_keyword(&self) -> Option<Scalar> {
+        match self.peek() {
+            Tok::Ident(s) if s == "int" => Some(Scalar::Int),
+            Tok::Ident(s) if s == "real" => Some(Scalar::Real),
+            Tok::Ident(s) if s == "bool" => Some(Scalar::Bool),
+            _ => None,
+        }
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        let ret = if self.eat_keyword("void") {
+            None
+        } else if let Some(s) = self.scalar_keyword() {
+            self.bump();
+            Some(s)
+        } else {
+            return Err(self.err("expected return type (`int`, `real`, `bool`, `void`)"));
+        };
+        let name = self.expect_ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                let Some(elem) = self.scalar_keyword() else {
+                    return Err(self.err("expected parameter type"));
+                };
+                self.bump();
+                let pname = self.expect_ident()?;
+                let dims = self.array_dims()?;
+                let ty = if dims.is_empty() {
+                    Type::Scalar(elem)
+                } else {
+                    Type::Array { elem, dims }
+                };
+                params.push(Param { name: pname, ty });
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        let body = self.block()?;
+        Ok(Function { name, params, ret, body })
+    }
+
+    fn array_dims(&mut self) -> Result<Vec<usize>, ParseError> {
+        let mut dims = Vec::new();
+        while self.eat_punct("[") {
+            match self.bump() {
+                Tok::Int(v) if v > 0 => dims.push(v as usize),
+                other => {
+                    return Err(self.err(format!(
+                        "array dimension must be a positive integer literal, found `{other}`"
+                    )))
+                }
+            }
+            self.expect_punct("]")?;
+        }
+        Ok(dims)
+    }
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if self.at_eof() {
+                return Err(self.err("unexpected end of input inside block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block::of(stmts))
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        // #pragma bound N  while (...) { ... }
+        if let Tok::Pragma(kind, val) = self.peek().clone() {
+            self.bump();
+            if kind != "bound" {
+                return Err(self.err(format!("unknown pragma `{kind}`")));
+            }
+            if val < 0 {
+                return Err(self.err("loop bound must be non-negative"));
+            }
+            if !self.eat_keyword("while") {
+                return Err(self.err("`#pragma bound` must be followed by `while`"));
+            }
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::new(StmtKind::While { cond, bound: val as u64, body }));
+        }
+        if self.peek_keyword("while") {
+            return Err(self.err("`while` requires a preceding `#pragma bound N`"));
+        }
+        if self.peek_keyword("if") {
+            return self.if_stmt();
+        }
+        if self.eat_keyword("for") {
+            return self.for_stmt();
+        }
+        if self.eat_keyword("return") {
+            let value = if self.eat_punct(";") {
+                None
+            } else {
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Some(e)
+            };
+            return Ok(Stmt::new(StmtKind::Return { value }));
+        }
+        // Declaration?
+        if let Some(elem) = self.scalar_keyword() {
+            self.bump();
+            let name = self.expect_ident()?;
+            let dims = self.array_dims()?;
+            let ty = if dims.is_empty() {
+                Type::Scalar(elem)
+            } else {
+                Type::Array { elem, dims }
+            };
+            let init = if self.eat_punct("=") {
+                if ty.is_array() {
+                    return Err(self.err("array declarations cannot have initialisers"));
+                }
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect_punct(";")?;
+            return Ok(Stmt::new(StmtKind::Decl { name, ty, init }));
+        }
+        // Assignment or call statement: both start with IDENT.
+        let name = self.expect_ident()?;
+        if self.eat_punct("(") {
+            let args = self.call_args()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::new(StmtKind::Call { name, args }));
+        }
+        let target = if matches!(self.peek(), Tok::Punct("[")) {
+            let mut indices = Vec::new();
+            while self.eat_punct("[") {
+                indices.push(self.expr()?);
+                self.expect_punct("]")?;
+            }
+            LValue::ArrayElem { array: name.clone(), indices }
+        } else {
+            LValue::Var(name.clone())
+        };
+        if self.eat_punct("+=") {
+            let rhs = self.expr()?;
+            self.expect_punct(";")?;
+            let read = match &target {
+                LValue::Var(n) => Expr::Var(n.clone()),
+                LValue::ArrayElem { array, indices } => {
+                    Expr::ArrayElem { array: array.clone(), indices: indices.clone() }
+                }
+            };
+            return Ok(Stmt::new(StmtKind::Assign {
+                target,
+                value: Expr::bin(BinOp::Add, read, rhs),
+            }));
+        }
+        self.expect_punct("=")?;
+        let value = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::new(StmtKind::Assign { target, value }))
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        assert!(self.eat_keyword("if"));
+        self.expect_punct("(")?;
+        let cond = self.expr()?;
+        self.expect_punct(")")?;
+        let then_blk = self.block()?;
+        let else_blk = if self.eat_keyword("else") {
+            if self.peek_keyword("if") {
+                Block::of(vec![self.if_stmt()?])
+            } else {
+                self.block()?
+            }
+        } else {
+            Block::new()
+        };
+        Ok(Stmt::new(StmtKind::If { cond, then_blk, else_blk }))
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_punct("(")?;
+        let var = self.expect_ident()?;
+        self.expect_punct("=")?;
+        let lo = self.expr()?;
+        self.expect_punct(";")?;
+        let var2 = self.expect_ident()?;
+        if var2 != var {
+            return Err(self.err(format!(
+                "for-loop condition must test induction variable `{var}`, found `{var2}`"
+            )));
+        }
+        let le = if self.eat_punct("<") {
+            false
+        } else if self.eat_punct("<=") {
+            true
+        } else {
+            return Err(self.err("for-loop condition must use `<` or `<=`"));
+        };
+        let mut hi = self.expr()?;
+        if le {
+            // Normalise `i <= e` to `i < e + 1`.
+            hi = Expr::bin(BinOp::Add, hi, Expr::int(1));
+        }
+        self.expect_punct(";")?;
+        let var3 = self.expect_ident()?;
+        if var3 != var {
+            return Err(self.err(format!(
+                "for-loop increment must update induction variable `{var}`, found `{var3}`"
+            )));
+        }
+        let step = if self.eat_punct("+=") {
+            match self.bump() {
+                Tok::Int(v) => v,
+                other => return Err(self.err(format!("expected constant step, found `{other}`"))),
+            }
+        } else {
+            self.expect_punct("=")?;
+            let var4 = self.expect_ident()?;
+            if var4 != var {
+                return Err(self.err("for-loop increment must be `v = v + C`"));
+            }
+            self.expect_punct("+")?;
+            match self.bump() {
+                Tok::Int(v) => v,
+                other => return Err(self.err(format!("expected constant step, found `{other}`"))),
+            }
+        };
+        if step <= 0 {
+            return Err(self.err("for-loop step must be positive"));
+        }
+        self.expect_punct(")")?;
+        let body = self.block()?;
+        Ok(Stmt::new(StmtKind::For { var, lo, hi, step, body }))
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        let mut args = Vec::new();
+        if self.eat_punct(")") {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expr()?);
+            if self.eat_punct(")") {
+                return Ok(args);
+            }
+            self.expect_punct(",")?;
+        }
+    }
+
+    // ----- expressions (precedence climbing) -----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_punct("||") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat_punct("&&") {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Punct("<") => BinOp::Lt,
+            Tok::Punct("<=") => BinOp::Le,
+            Tok::Punct(">") => BinOp::Gt,
+            Tok::Punct(">=") => BinOp::Ge,
+            Tok::Punct("==") => BinOp::Eq,
+            Tok::Punct("!=") => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::bin(op, lhs, rhs))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("+") => BinOp::Add,
+                Tok::Punct("-") => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("*") => BinOp::Mul,
+                Tok::Punct("/") => BinOp::Div,
+                Tok::Punct("%") => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("-") {
+            let arg = self.unary_expr()?;
+            return Ok(Expr::Unary { op: UnOp::Neg, arg: Box::new(arg) });
+        }
+        if self.eat_punct("!") {
+            let arg = self.unary_expr()?;
+            return Ok(Expr::Unary { op: UnOp::Not, arg: Box::new(arg) });
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::IntLit(v))
+            }
+            Tok::Real(v) => {
+                self.bump();
+                Ok(Expr::RealLit(v))
+            }
+            Tok::Punct("(") => {
+                // Cast `(int) e` / `(real) e` / `(bool) e` or parenthesised expr.
+                if let Tok::Ident(kw) = self.peek2().clone() {
+                    let cast_to = match kw.as_str() {
+                        "int" => Some(Scalar::Int),
+                        "real" => Some(Scalar::Real),
+                        "bool" => Some(Scalar::Bool),
+                        _ => None,
+                    };
+                    if let Some(to) = cast_to {
+                        self.bump(); // (
+                        self.bump(); // type
+                        self.expect_punct(")")?;
+                        let arg = self.unary_expr()?;
+                        return Ok(Expr::Cast { to, arg: Box::new(arg) });
+                    }
+                }
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                match name.as_str() {
+                    "true" => return Ok(Expr::BoolLit(true)),
+                    "false" => return Ok(Expr::BoolLit(false)),
+                    _ => {}
+                }
+                if self.eat_punct("(") {
+                    let args = self.call_args()?;
+                    return Ok(Expr::Call { name, args });
+                }
+                if matches!(self.peek(), Tok::Punct("[")) {
+                    let mut indices = Vec::new();
+                    while self.eat_punct("[") {
+                        indices.push(self.expr()?);
+                        self.expect_punct("]")?;
+                    }
+                    return Ok(Expr::ArrayElem { array: name, indices });
+                }
+                Ok(Expr::Var(name))
+            }
+            other => Err(self.err(format!("expected expression, found `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_function() {
+        let p = parse_program("void f() { }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].name, "f");
+        assert!(p.functions[0].ret.is_none());
+    }
+
+    #[test]
+    fn parses_params_and_arrays() {
+        let p = parse_program("int g(int n, real a[4][8]) { return n; }").unwrap();
+        let f = &p.functions[0];
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[1].ty, Type::array2(Scalar::Real, 4, 8));
+    }
+
+    #[test]
+    fn parses_for_loop_canonical_and_sugar() {
+        let p = parse_program(
+            "void f(int n) { int i; for (i = 0; i < n; i = i + 2) { } \
+             for (i = 1; i <= n; i += 1) { } }",
+        )
+        .unwrap();
+        let body = &p.functions[0].body;
+        match &body.stmts[1].kind {
+            StmtKind::For { step, .. } => assert_eq!(*step, 2),
+            _ => panic!("expected for"),
+        }
+        match &body.stmts[2].kind {
+            StmtKind::For { lo, hi, step, .. } => {
+                assert_eq!(lo.as_int_const(), Some(1));
+                // `<= n` normalised to `< n + 1`
+                assert!(matches!(hi, Expr::Binary { op: BinOp::Add, .. }));
+                assert_eq!(*step, 1);
+            }
+            _ => panic!("expected for"),
+        }
+    }
+
+    #[test]
+    fn while_requires_bound_pragma() {
+        assert!(parse_program("void f() { while (true) { } }").is_err());
+        let p = parse_program("void f() { #pragma bound 8\n while (true) { } }").unwrap();
+        match &p.functions[0].body.stmts[0].kind {
+            StmtKind::While { bound, .. } => assert_eq!(*bound, 8),
+            _ => panic!("expected while"),
+        }
+    }
+
+    #[test]
+    fn precedence_is_conventional() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        match e {
+            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            _ => panic!("wrong precedence"),
+        }
+        let e = parse_expr("a < b && c < d || e < f").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Or, .. }));
+    }
+
+    #[test]
+    fn parses_casts() {
+        let e = parse_expr("(real) 3").unwrap();
+        assert!(matches!(e, Expr::Cast { to: Scalar::Real, .. }));
+        // Parenthesised expression is not a cast.
+        let e = parse_expr("(x) + 1").unwrap();
+        assert!(matches!(e, Expr::Binary { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn parses_compound_assign() {
+        let p = parse_program("void f() { int x; x = 0; x += 3; }").unwrap();
+        match &p.functions[0].body.stmts[2].kind {
+            StmtKind::Assign { value, .. } => {
+                assert!(matches!(value, Expr::Binary { op: BinOp::Add, .. }))
+            }
+            _ => panic!("expected assign"),
+        }
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let p = parse_program(
+            "void f(int x) { int y; if (x < 0) { y = 0; } else if (x < 10) { y = 1; } \
+             else { y = 2; } }",
+        )
+        .unwrap();
+        match &p.functions[0].body.stmts[1].kind {
+            StmtKind::If { else_blk, .. } => {
+                assert_eq!(else_blk.stmts.len(), 1);
+                assert!(matches!(else_blk.stmts[0].kind, StmtKind::If { .. }));
+            }
+            _ => panic!("expected if"),
+        }
+    }
+
+    #[test]
+    fn parses_calls_in_stmt_and_expr_position() {
+        let p = parse_program(
+            "void g(int x) { } \
+             int h(int x) { return x + 1; } \
+             void f() { int y; g(3); y = h(4) * 2; }",
+        )
+        .unwrap();
+        let f = p.function("f").unwrap();
+        assert!(matches!(f.body.stmts[1].kind, StmtKind::Call { .. }));
+    }
+
+    #[test]
+    fn rejects_nonconstant_step() {
+        assert!(parse_program("void f(int n) { int i; for (i=0;i<n;i=i+n) { } }").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_induction_var() {
+        assert!(parse_program("void f(int n) { int i; int j; for (i=0;j<n;i=i+1) { } }").is_err());
+    }
+
+    #[test]
+    fn parses_array_assign_and_read() {
+        let p = parse_program("void f(real a[8]) { int i; i = 2; a[i] = a[i+1] * 0.5; }").unwrap();
+        match &p.functions[0].body.stmts[2].kind {
+            StmtKind::Assign { target: LValue::ArrayElem { array, .. }, value } => {
+                assert_eq!(array, "a");
+                assert!(matches!(value, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            _ => panic!("expected array assign"),
+        }
+    }
+
+    #[test]
+    fn reports_error_line() {
+        let err = parse_program("void f() {\n  x = ;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn statement_ids_are_assigned() {
+        let p = parse_program("void f() { int x; x = 1; x = 2; }").unwrap();
+        let ids: Vec<u32> = p.functions[0].body.stmts.iter().map(|s| s.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Pretty-printer: emits mini-C source from the AST.
+//!
+//! The printer produces text the parser accepts, giving a round-trip
+//! property that is exercised by the property tests:
+//! `parse(print(p)) == p` (up to statement ids).
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole program as mini-C source.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, f) in p.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_function(f, &mut out);
+    }
+    out
+}
+
+/// Renders a single function.
+pub fn print_function(f: &Function, out: &mut String) {
+    let ret = f.ret.map_or("void", |s| s.keyword());
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|p| {
+            let mut s = format!("{} {}", p.ty.elem().keyword(), p.name);
+            for d in p.ty.dims() {
+                let _ = write!(s, "[{d}]");
+            }
+            s
+        })
+        .collect();
+    let _ = writeln!(out, "{ret} {}({}) {{", f.name, params.join(", "));
+    print_block(&f.body, 1, out);
+    out.push_str("}\n");
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(b: &Block, level: usize, out: &mut String) {
+    for s in &b.stmts {
+        print_stmt(s, level, out);
+    }
+}
+
+fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match &s.kind {
+        StmtKind::Decl { name, ty, init } => {
+            let mut d = format!("{} {}", ty.elem().keyword(), name);
+            for dim in ty.dims() {
+                let _ = write!(d, "[{dim}]");
+            }
+            match init {
+                Some(e) => {
+                    let _ = writeln!(out, "{d} = {};", print_expr(e));
+                }
+                None => {
+                    let _ = writeln!(out, "{d};");
+                }
+            }
+        }
+        StmtKind::Assign { target, value } => {
+            let _ = writeln!(out, "{} = {};", print_lvalue(target), print_expr(value));
+        }
+        StmtKind::If { cond, then_blk, else_blk } => {
+            let _ = writeln!(out, "if ({}) {{", print_expr(cond));
+            print_block(then_blk, level + 1, out);
+            if else_blk.stmts.is_empty() {
+                indent(level, out);
+                out.push_str("}\n");
+            } else {
+                indent(level, out);
+                out.push_str("} else {\n");
+                print_block(else_blk, level + 1, out);
+                indent(level, out);
+                out.push_str("}\n");
+            }
+        }
+        StmtKind::For { var, lo, hi, step, body } => {
+            let _ = writeln!(
+                out,
+                "for ({var} = {}; {var} < {}; {var} = {var} + {step}) {{",
+                print_expr(lo),
+                print_expr(hi)
+            );
+            print_block(body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        StmtKind::While { cond, bound, body } => {
+            let _ = writeln!(out, "#pragma bound {bound}");
+            indent(level, out);
+            let _ = writeln!(out, "while ({}) {{", print_expr(cond));
+            print_block(body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        StmtKind::Call { name, args } => {
+            let args: Vec<String> = args.iter().map(print_expr).collect();
+            let _ = writeln!(out, "{name}({});", args.join(", "));
+        }
+        StmtKind::Return { value } => match value {
+            Some(e) => {
+                let _ = writeln!(out, "return {};", print_expr(e));
+            }
+            None => {
+                let _ = writeln!(out, "return;");
+            }
+        },
+    }
+}
+
+/// Renders an lvalue.
+pub fn print_lvalue(lv: &LValue) -> String {
+    match lv {
+        LValue::Var(n) => n.clone(),
+        LValue::ArrayElem { array, indices } => {
+            let mut s = array.clone();
+            for i in indices {
+                let _ = write!(s, "[{}]", print_expr(i));
+            }
+            s
+        }
+    }
+}
+
+/// Renders an expression with full parenthesisation (safe for re-parsing).
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::IntLit(v) => v.to_string(),
+        Expr::RealLit(v) => {
+            // Guarantee a re-parseable real literal (always with `.` or `e`).
+            let s = format!("{v}");
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Expr::BoolLit(v) => v.to_string(),
+        Expr::Var(n) => n.clone(),
+        Expr::ArrayElem { array, indices } => {
+            let mut s = array.clone();
+            for i in indices {
+                let _ = write!(s, "[{}]", print_expr(i));
+            }
+            s
+        }
+        Expr::Unary { op, arg } => format!("({op}{})", print_expr(arg)),
+        Expr::Binary { op, lhs, rhs } => {
+            format!("({} {op} {})", print_expr(lhs), print_expr(rhs))
+        }
+        Expr::Call { name, args } => {
+            let args: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        Expr::Cast { to, arg } => format!("(({}) {})", to.keyword(), print_expr(arg)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    /// Strips statement ids so structural equality can be compared.
+    fn strip_ids(p: &mut Program) {
+        fn walk(b: &mut Block) {
+            for s in &mut b.stmts {
+                s.id = StmtId(0);
+                match &mut s.kind {
+                    StmtKind::If { then_blk, else_blk, .. } => {
+                        walk(then_blk);
+                        walk(else_blk);
+                    }
+                    StmtKind::For { body, .. } | StmtKind::While { body, .. } => walk(body),
+                    _ => {}
+                }
+            }
+        }
+        for f in &mut p.functions {
+            walk(&mut f.body);
+        }
+    }
+
+    #[test]
+    fn round_trips_representative_program() {
+        let src = r#"
+            real dot(real a[16], real b[16], int n) {
+                real s; int i;
+                s = 0.0;
+                for (i = 0; i < n; i = i + 1) {
+                    s = s + a[i] * b[i];
+                }
+                if (s < 0.0) { s = (-s); } else { }
+                #pragma bound 4
+                while (s >= 16.0) { s = s / 2.0; }
+                return s;
+            }
+        "#;
+        let mut p1 = parse_program(src).unwrap();
+        let printed = print_program(&p1);
+        let mut p2 = parse_program(&printed).unwrap();
+        strip_ids(&mut p1);
+        strip_ids(&mut p2);
+        assert_eq!(p1, p2, "printed program:\n{printed}");
+    }
+
+    #[test]
+    fn real_literals_reparse_as_reals() {
+        assert_eq!(print_expr(&Expr::real(2.0)), "2.0");
+        assert_eq!(print_expr(&Expr::real(0.5)), "0.5");
+    }
+
+    #[test]
+    fn prints_casts_reparseably() {
+        let src = "void f() { real x; x = (real) 3; }";
+        let p = parse_program(src).unwrap();
+        let printed = print_program(&p);
+        assert!(parse_program(&printed).is_ok(), "printed:\n{printed}");
+    }
+}

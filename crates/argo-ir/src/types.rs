@@ -1,0 +1,168 @@
+//! Scalar and aggregate types of the mini-C IR.
+
+use std::fmt;
+
+/// A scalar value type.
+///
+/// The IR deliberately has only three scalar types: 64-bit signed integers,
+/// 64-bit IEEE floats and booleans. This keeps the value analysis and the
+/// timing model small without losing any of the structure the ARGO flow
+/// cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scalar {
+    /// `int` — 64-bit signed integer.
+    Int,
+    /// `real` — 64-bit IEEE-754 float.
+    Real,
+    /// `bool` — boolean.
+    Bool,
+}
+
+impl Scalar {
+    /// Size of one element in bytes, used for communication-volume and
+    /// scratchpad-footprint computations.
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            Scalar::Int | Scalar::Real => 8,
+            Scalar::Bool => 1,
+        }
+    }
+
+    /// The mini-C keyword for this scalar.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Scalar::Int => "int",
+            Scalar::Real => "real",
+            Scalar::Bool => "bool",
+        }
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A variable type: either a scalar or a constant-shape array of scalars.
+///
+/// Arrays have compile-time constant dimensions — the property that makes
+/// footprints, communication volumes and scratchpad allocation statically
+/// computable (paper § III-B asks for exactly this kind of predictability).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// A scalar variable.
+    Scalar(Scalar),
+    /// An array with element type `elem` and constant dimensions `dims`
+    /// (row-major, outermost dimension first).
+    Array {
+        /// Element scalar type.
+        elem: Scalar,
+        /// Constant extents, outermost first. Never empty.
+        dims: Vec<usize>,
+    },
+}
+
+impl Type {
+    /// Convenience constructor for a 1-D array.
+    pub fn array1(elem: Scalar, n: usize) -> Type {
+        Type::Array { elem, dims: vec![n] }
+    }
+
+    /// Convenience constructor for a 2-D array.
+    pub fn array2(elem: Scalar, rows: usize, cols: usize) -> Type {
+        Type::Array { elem, dims: vec![rows, cols] }
+    }
+
+    /// The scalar element type (`self` for scalars, element type for arrays).
+    pub fn elem(&self) -> Scalar {
+        match self {
+            Type::Scalar(s) => *s,
+            Type::Array { elem, .. } => *elem,
+        }
+    }
+
+    /// Returns `true` if this is an array type.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Type::Array { .. })
+    }
+
+    /// Total number of scalar elements (1 for scalars).
+    pub fn elem_count(&self) -> usize {
+        match self {
+            Type::Scalar(_) => 1,
+            Type::Array { dims, .. } => dims.iter().product(),
+        }
+    }
+
+    /// Total memory footprint in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.elem().size_bytes() * self.elem_count() as u64
+    }
+
+    /// Array dimensions (empty slice for scalars).
+    pub fn dims(&self) -> &[usize] {
+        match self {
+            Type::Scalar(_) => &[],
+            Type::Array { dims, .. } => dims,
+        }
+    }
+}
+
+impl From<Scalar> for Type {
+    fn from(s: Scalar) -> Type {
+        Type::Scalar(s)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Scalar(s) => write!(f, "{s}"),
+            Type::Array { elem, dims } => {
+                write!(f, "{elem}")?;
+                for d in dims {
+                    write!(f, "[{d}]")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(Scalar::Int.size_bytes(), 8);
+        assert_eq!(Scalar::Real.size_bytes(), 8);
+        assert_eq!(Scalar::Bool.size_bytes(), 1);
+    }
+
+    #[test]
+    fn array_footprint() {
+        let t = Type::array2(Scalar::Real, 16, 16);
+        assert_eq!(t.elem_count(), 256);
+        assert_eq!(t.size_bytes(), 2048);
+        assert!(t.is_array());
+        assert_eq!(t.dims(), &[16, 16]);
+    }
+
+    #[test]
+    fn scalar_type_properties() {
+        let t: Type = Scalar::Int.into();
+        assert!(!t.is_array());
+        assert_eq!(t.elem_count(), 1);
+        assert_eq!(t.size_bytes(), 8);
+        assert!(t.dims().is_empty());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::array1(Scalar::Int, 4).to_string(), "int[4]");
+        assert_eq!(Type::array2(Scalar::Bool, 2, 3).to_string(), "bool[2][3]");
+        assert_eq!(Type::Scalar(Scalar::Real).to_string(), "real");
+    }
+}

@@ -1,0 +1,544 @@
+//! Semantic validation: symbols, types, call graph (no recursion).
+//!
+//! Validation establishes the invariants the rest of the tool-chain relies
+//! on: every name is declared exactly once per function, every expression is
+//! well-typed (with implicit `int`→`real` widening only), arrays are only
+//! used with full index lists or passed whole to calls, and the call graph
+//! is acyclic — recursion would make WCET analysis unsound.
+
+use crate::ast::*;
+use crate::intrinsics;
+use crate::types::{Scalar, Type};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Error produced by [`validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidateError {
+    /// Human-readable message.
+    pub msg: String,
+    /// Function in which the error occurred, if applicable.
+    pub function: Option<String>,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.function {
+            Some(name) => write!(f, "validation error in `{name}`: {}", self.msg),
+            None => write!(f, "validation error: {}", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Per-function symbol table: every parameter and local declaration.
+pub type SymbolTable = BTreeMap<String, Type>;
+
+/// Builds the symbol table of a function (parameters plus all declarations,
+/// including those nested inside loops and conditionals).
+pub fn symbol_table(f: &Function) -> SymbolTable {
+    let mut table = SymbolTable::new();
+    for p in &f.params {
+        table.insert(p.name.clone(), p.ty.clone());
+    }
+    crate::visit::walk_stmts(&f.body, &mut |s| {
+        if let StmtKind::Decl { name, ty, .. } = &s.kind {
+            table.insert(name.clone(), ty.clone());
+        }
+    });
+    table
+}
+
+/// Validates a whole program.
+///
+/// # Errors
+///
+/// Returns the first [`ValidateError`] found: duplicate or undeclared
+/// symbols, type errors, array-usage errors, bad calls, non-`int` loop
+/// variables, or recursion in the call graph.
+pub fn validate(p: &Program) -> Result<(), ValidateError> {
+    // Function table, duplicate detection, intrinsic collision.
+    let mut funcs: BTreeMap<&str, &Function> = BTreeMap::new();
+    for f in &p.functions {
+        if intrinsics::lookup(&f.name).is_some() {
+            return Err(ValidateError {
+                msg: format!("function `{}` shadows an intrinsic", f.name),
+                function: None,
+            });
+        }
+        if funcs.insert(&f.name, f).is_some() {
+            return Err(ValidateError {
+                msg: format!("duplicate function `{}`", f.name),
+                function: None,
+            });
+        }
+    }
+    for f in &p.functions {
+        let mut checker = Checker { program: p, f, table: SymbolTable::new() };
+        checker.check_function()?;
+    }
+    check_no_recursion(p)?;
+    Ok(())
+}
+
+struct Checker<'a> {
+    program: &'a Program,
+    f: &'a Function,
+    table: SymbolTable,
+}
+
+impl<'a> Checker<'a> {
+    fn err(&self, msg: impl Into<String>) -> ValidateError {
+        ValidateError { msg: msg.into(), function: Some(self.f.name.clone()) }
+    }
+
+    fn check_function(&mut self) -> Result<(), ValidateError> {
+        // Declarations: unique across the whole function (C89-like).
+        for p in &self.f.params {
+            if self.table.insert(p.name.clone(), p.ty.clone()).is_some() {
+                return Err(self.err(format!("duplicate parameter `{}`", p.name)));
+            }
+        }
+        let mut decl_err = None;
+        crate::visit::walk_stmts(&self.f.body, &mut |s| {
+            if let StmtKind::Decl { name, ty, .. } = &s.kind {
+                if self.table.insert(name.clone(), ty.clone()).is_some() && decl_err.is_none() {
+                    decl_err = Some(name.clone());
+                }
+            }
+        });
+        if let Some(name) = decl_err {
+            return Err(self.err(format!("duplicate declaration of `{name}`")));
+        }
+        self.check_block(&self.f.body)?;
+        Ok(())
+    }
+
+    fn var_type(&self, name: &str) -> Result<&Type, ValidateError> {
+        self.table
+            .get(name)
+            .ok_or_else(|| self.err(format!("use of undeclared variable `{name}`")))
+    }
+
+    fn check_block(&self, b: &Block) -> Result<(), ValidateError> {
+        for s in &b.stmts {
+            self.check_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(&self, s: &Stmt) -> Result<(), ValidateError> {
+        match &s.kind {
+            StmtKind::Decl { name, ty, init } => {
+                if let Some(e) = init {
+                    if ty.is_array() {
+                        return Err(self.err(format!("array `{name}` cannot have initialiser")));
+                    }
+                    let et = self.expr_type(e)?;
+                    self.check_assignable(ty.elem(), et, name)?;
+                }
+                Ok(())
+            }
+            StmtKind::Assign { target, value } => {
+                let target_scalar = match target {
+                    LValue::Var(n) => {
+                        let t = self.var_type(n)?;
+                        if t.is_array() {
+                            return Err(
+                                self.err(format!("cannot assign whole array `{n}` directly"))
+                            );
+                        }
+                        t.elem()
+                    }
+                    LValue::ArrayElem { array, indices } => {
+                        self.check_indices(array, indices)?
+                    }
+                };
+                let vt = self.expr_type(value)?;
+                self.check_assignable(target_scalar, vt, target.base())
+            }
+            StmtKind::If { cond, then_blk, else_blk } => {
+                self.expect_bool(cond, "if condition")?;
+                self.check_block(then_blk)?;
+                self.check_block(else_blk)
+            }
+            StmtKind::For { var, lo, hi, body, .. } => {
+                let t = self.var_type(var)?;
+                if *t != Type::Scalar(Scalar::Int) {
+                    return Err(self.err(format!("loop variable `{var}` must be a scalar int")));
+                }
+                self.expect_int(lo, "loop lower bound")?;
+                self.expect_int(hi, "loop upper bound")?;
+                self.check_block(body)
+            }
+            StmtKind::While { cond, body, .. } => {
+                self.expect_bool(cond, "while condition")?;
+                self.check_block(body)
+            }
+            StmtKind::Call { name, args } => {
+                let ret = self.check_call(name, args)?;
+                // Statement-position calls may discard any return value.
+                let _ = ret;
+                Ok(())
+            }
+            StmtKind::Return { value } => match (self.f.ret, value) {
+                (None, None) => Ok(()),
+                (None, Some(_)) => Err(self.err("void function returns a value")),
+                (Some(_), None) => Err(self.err("non-void function returns no value")),
+                (Some(rt), Some(e)) => {
+                    let et = self.expr_type(e)?;
+                    self.check_assignable(rt, et, "return value")
+                }
+            },
+        }
+    }
+
+    fn check_assignable(
+        &self,
+        target: Scalar,
+        value: Scalar,
+        what: &str,
+    ) -> Result<(), ValidateError> {
+        let ok = target == value || (target == Scalar::Real && value == Scalar::Int);
+        if ok {
+            Ok(())
+        } else {
+            Err(self.err(format!("cannot assign `{value}` to `{target}` ({what})")))
+        }
+    }
+
+    fn check_indices(&self, array: &str, indices: &[Expr]) -> Result<Scalar, ValidateError> {
+        let t = self.var_type(array)?;
+        let Type::Array { elem, dims } = t else {
+            return Err(self.err(format!("`{array}` is not an array")));
+        };
+        if dims.len() != indices.len() {
+            return Err(self.err(format!(
+                "`{array}` has {} dimension(s) but {} index(es) given",
+                dims.len(),
+                indices.len()
+            )));
+        }
+        for idx in indices {
+            self.expect_int(idx, "array index")?;
+        }
+        Ok(*elem)
+    }
+
+    fn expect_bool(&self, e: &Expr, what: &str) -> Result<(), ValidateError> {
+        let t = self.expr_type(e)?;
+        if t != Scalar::Bool {
+            return Err(self.err(format!("{what} must be bool, found `{t}`")));
+        }
+        Ok(())
+    }
+
+    fn expect_int(&self, e: &Expr, what: &str) -> Result<(), ValidateError> {
+        let t = self.expr_type(e)?;
+        if t != Scalar::Int {
+            return Err(self.err(format!("{what} must be int, found `{t}`")));
+        }
+        Ok(())
+    }
+
+    fn check_call(&self, name: &str, args: &[Expr]) -> Result<Option<Scalar>, ValidateError> {
+        if let Some(sig) = intrinsics::lookup(name) {
+            if sig.params.len() != args.len() {
+                return Err(self.err(format!(
+                    "intrinsic `{name}` takes {} argument(s), {} given",
+                    sig.params.len(),
+                    args.len()
+                )));
+            }
+            for (a, &pt) in args.iter().zip(sig.params) {
+                let at = self.expr_type(a)?;
+                self.check_assignable(pt, at, &format!("argument of `{name}`"))?;
+            }
+            return Ok(Some(sig.ret));
+        }
+        let Some(callee) = self.program.function(name) else {
+            return Err(self.err(format!("call to unknown function `{name}`")));
+        };
+        if callee.params.len() != args.len() {
+            return Err(self.err(format!(
+                "`{name}` takes {} argument(s), {} given",
+                callee.params.len(),
+                args.len()
+            )));
+        }
+        for (a, p) in args.iter().zip(&callee.params) {
+            if p.ty.is_array() {
+                // Arrays must be passed whole, by name, with matching shape.
+                let Expr::Var(arg_name) = a else {
+                    return Err(self.err(format!(
+                        "array parameter `{}` of `{name}` requires an array variable argument",
+                        p.name
+                    )));
+                };
+                let at = self.var_type(arg_name)?;
+                if at != &p.ty {
+                    return Err(self.err(format!(
+                        "array argument `{arg_name}` has type `{at}` but `{name}` expects `{}`",
+                        p.ty
+                    )));
+                }
+            } else {
+                let at = self.expr_type(a)?;
+                self.check_assignable(p.ty.elem(), at, &format!("argument of `{name}`"))?;
+            }
+        }
+        Ok(callee.ret)
+    }
+
+    fn expr_type(&self, e: &Expr) -> Result<Scalar, ValidateError> {
+        match e {
+            Expr::IntLit(_) => Ok(Scalar::Int),
+            Expr::RealLit(_) => Ok(Scalar::Real),
+            Expr::BoolLit(_) => Ok(Scalar::Bool),
+            Expr::Var(n) => {
+                let t = self.var_type(n)?;
+                if t.is_array() {
+                    return Err(self.err(format!(
+                        "array `{n}` used as a scalar (arrays may only be indexed or passed whole)"
+                    )));
+                }
+                Ok(t.elem())
+            }
+            Expr::ArrayElem { array, indices } => self.check_indices(array, indices),
+            Expr::Unary { op, arg } => {
+                let t = self.expr_type(arg)?;
+                match op {
+                    UnOp::Neg if t == Scalar::Int || t == Scalar::Real => Ok(t),
+                    UnOp::Not if t == Scalar::Bool => Ok(Scalar::Bool),
+                    _ => Err(self.err(format!("unary `{op}` not applicable to `{t}`"))),
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let lt = self.expr_type(lhs)?;
+                let rt = self.expr_type(rhs)?;
+                if op.is_logical() {
+                    if lt == Scalar::Bool && rt == Scalar::Bool {
+                        return Ok(Scalar::Bool);
+                    }
+                    return Err(self.err(format!("`{op}` requires bool operands")));
+                }
+                // Arithmetic / comparison: int, real, with int→real promotion.
+                let unified = match (lt, rt) {
+                    (Scalar::Int, Scalar::Int) => Scalar::Int,
+                    (Scalar::Real, Scalar::Real)
+                    | (Scalar::Int, Scalar::Real)
+                    | (Scalar::Real, Scalar::Int) => Scalar::Real,
+                    (Scalar::Bool, _) | (_, Scalar::Bool) => {
+                        if matches!(op, BinOp::Eq | BinOp::Ne)
+                            && lt == Scalar::Bool
+                            && rt == Scalar::Bool
+                        {
+                            return Ok(Scalar::Bool);
+                        }
+                        return Err(
+                            self.err(format!("`{op}` not applicable to bool operands here"))
+                        );
+                    }
+                };
+                if op.is_comparison() {
+                    Ok(Scalar::Bool)
+                } else if *op == BinOp::Rem && unified != Scalar::Int {
+                    Err(self.err("`%` requires int operands"))
+                } else {
+                    Ok(unified)
+                }
+            }
+            Expr::Call { name, args } => match self.check_call(name, args)? {
+                Some(t) => Ok(t),
+                None => Err(self.err(format!("void function `{name}` used in expression"))),
+            },
+            Expr::Cast { to, arg } => {
+                let _ = self.expr_type(arg)?;
+                Ok(*to)
+            }
+        }
+    }
+}
+
+fn check_no_recursion(p: &Program) -> Result<(), ValidateError> {
+    // Kahn-style cycle detection over the call graph.
+    let mut edges: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+    for f in &p.functions {
+        let mut callees = BTreeSet::new();
+        for s in &f.body.stmts {
+            callees.extend(crate::visit::called_functions(s));
+        }
+        callees.retain(|c| p.function(c).is_some());
+        edges.insert(&f.name, callees);
+    }
+    let mut visiting = BTreeSet::new();
+    let mut done = BTreeSet::new();
+    fn dfs<'a>(
+        name: &'a str,
+        edges: &'a BTreeMap<&str, BTreeSet<String>>,
+        visiting: &mut BTreeSet<&'a str>,
+        done: &mut BTreeSet<&'a str>,
+    ) -> Result<(), String> {
+        if done.contains(name) {
+            return Ok(());
+        }
+        if !visiting.insert(name) {
+            return Err(name.to_string());
+        }
+        if let Some(callees) = edges.get(name) {
+            for c in callees {
+                dfs(c, edges, visiting, done)?;
+            }
+        }
+        visiting.remove(name);
+        done.insert(name);
+        Ok(())
+    }
+    let names: Vec<&str> = edges.keys().copied().collect();
+    for name in names {
+        if let Err(cycle_at) = dfs(name, &edges, &mut visiting, &mut done) {
+            return Err(ValidateError {
+                msg: format!("recursion detected involving `{cycle_at}` (WCET requires an acyclic call graph)"),
+                function: None,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    fn check(src: &str) -> Result<(), ValidateError> {
+        validate(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_well_typed_program() {
+        check(
+            "real norm(real v[8]) { real s; int i; s = 0.0; \
+             for (i=0;i<8;i=i+1) { s = s + v[i]*v[i]; } return sqrt(s); }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_undeclared_variable() {
+        let err = check("void f() { x = 1; }").unwrap_err();
+        assert!(err.msg.contains("undeclared"));
+    }
+
+    #[test]
+    fn rejects_duplicate_declaration() {
+        let err = check("void f() { int x; real x; }").unwrap_err();
+        assert!(err.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_type_mismatch_assignment() {
+        let err = check("void f() { int x; x = 1.5; }").unwrap_err();
+        assert!(err.msg.contains("cannot assign"));
+    }
+
+    #[test]
+    fn allows_int_to_real_widening() {
+        check("void f() { real x; x = 3; x = x + 1; }").unwrap();
+    }
+
+    #[test]
+    fn rejects_bool_arithmetic() {
+        assert!(check("void f() { bool b; b = true; b = b + b; }").is_err());
+    }
+
+    #[test]
+    fn rejects_nonbool_condition() {
+        let err = check("void f() { int x; x = 1; if (x) { } else { } }").unwrap_err();
+        assert!(err.msg.contains("must be bool"));
+    }
+
+    #[test]
+    fn rejects_wrong_index_count() {
+        let err = check("void f(real a[4][4]) { real x; x = a[1]; }").unwrap_err();
+        assert!(err.msg.contains("dimension"));
+    }
+
+    #[test]
+    fn rejects_array_as_scalar() {
+        let err = check("void f(real a[4]) { real x; x = a; }").unwrap_err();
+        assert!(err.msg.contains("used as a scalar"));
+    }
+
+    #[test]
+    fn rejects_recursion() {
+        let err = check("int f(int n) { return g(n); } int g(int n) { return f(n); }")
+            .unwrap_err();
+        assert!(err.msg.contains("recursion"));
+    }
+
+    #[test]
+    fn rejects_self_recursion() {
+        let err = check("int f(int n) { return f(n); }").unwrap_err();
+        assert!(err.msg.contains("recursion"));
+    }
+
+    #[test]
+    fn accepts_dag_call_graph() {
+        check(
+            "int leaf(int x) { return x + 1; } \
+             int mid(int x) { return leaf(x) + leaf(x); } \
+             int top(int x) { return mid(leaf(x)); }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_call() {
+        let err = check("void f() { mystery(1); }").unwrap_err();
+        assert!(err.msg.contains("unknown function"));
+    }
+
+    #[test]
+    fn checks_intrinsic_arity_and_types() {
+        assert!(check("void f() { real x; x = sqrt(2.0, 3.0); }").is_err());
+        assert!(check("void f() { real x; x = sqrt(true); }").is_err());
+        check("void f() { real x; x = sqrt(2); }").unwrap(); // int widens
+    }
+
+    #[test]
+    fn rejects_intrinsic_shadowing() {
+        let err = check("real sqrt(real x) { return x; }").unwrap_err();
+        assert!(err.msg.contains("shadows an intrinsic"));
+    }
+
+    #[test]
+    fn array_arguments_must_match_shape() {
+        let err = check(
+            "void g(real a[8]) { } void f(real b[4]) { g(b); }",
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("array argument"));
+    }
+
+    #[test]
+    fn rejects_noninteger_loop_var() {
+        let err = check("void f() { real i; for (i=0;i<4;i=i+1) { } }").unwrap_err();
+        assert!(err.msg.contains("must be a scalar int"));
+    }
+
+    #[test]
+    fn rejects_rem_on_reals() {
+        assert!(check("void f() { real x; x = 1.0; x = x % 2.0; }").is_err());
+    }
+
+    #[test]
+    fn symbol_table_collects_nested_decls() {
+        let p = parse_program("void f(int n) { int i; for (i=0;i<n;i=i+1) { real t; t = 0.0; } }")
+            .unwrap();
+        let t = symbol_table(&p.functions[0]);
+        assert_eq!(t.len(), 3);
+        assert!(t.contains_key("t"));
+    }
+}

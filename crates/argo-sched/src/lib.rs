@@ -1,0 +1,481 @@
+//! # argo-sched — WCET-aware static scheduling and mapping
+//!
+//! "Parallelizing a real-time application on a multi-core involves a static
+//! scheduling and mapping stage. Such a problem is known to be a
+//! challenging (NP-hard) combinatorial optimization problem … we envision
+//! an approach using a combination of exact techniques and advanced
+//! heuristics." (paper § III-C)
+//!
+//! This crate provides exactly that combination:
+//!
+//! * [`list::ListScheduler`] — a HEFT-style upward-rank list scheduler
+//!   (polynomial, scales to thousands of tasks);
+//! * [`bnb::BranchAndBound`] — an exact depth-first branch-and-bound
+//!   solver with critical-path lower bounds (small graphs);
+//! * [`anneal::SimulatedAnnealing`] — a metaheuristic that refines the
+//!   list schedule.
+//!
+//! All schedulers consume a flattened [`TaskGraph`] (derived from the
+//! top level of an HTG plus per-task WCETs) and produce a [`Schedule`]
+//! whose makespan *is* the parallel WCET estimate before system-level
+//! interference inflation. Because the schedule is fully static, "at any
+//! point in time, all shared resource contenders are known" (§ II) — the
+//! property the system-level WCET analysis exploits.
+
+pub mod anneal;
+pub mod bnb;
+pub mod list;
+pub mod random;
+
+use argo_adl::{CoreId, Platform};
+use argo_htg::{Htg, TaskId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A flattened task DAG: the scheduling view of one HTG hierarchy level.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaskGraph {
+    /// Per-task WCET in cycles (code-level, isolation).
+    pub cost: Vec<u64>,
+    /// Directed edges `(from, to, bytes)`. The graph must be acyclic.
+    pub edges: Vec<(usize, usize, u64)>,
+    /// Human-readable task names (same length as `cost`).
+    pub names: Vec<String>,
+    /// Original HTG task ids (empty when the graph is synthetic).
+    pub htg_ids: Vec<TaskId>,
+}
+
+impl TaskGraph {
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.cost.len()
+    }
+
+    /// Returns `true` if the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.cost.is_empty()
+    }
+
+    /// Builds the scheduling view of the top level of an HTG.
+    ///
+    /// `costs` maps every top-level HTG task to its code-level WCET.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a top-level task has no cost entry.
+    pub fn from_htg(htg: &Htg, costs: &BTreeMap<TaskId, u64>) -> TaskGraph {
+        let index: BTreeMap<TaskId, usize> =
+            htg.top_level.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let mut g = TaskGraph::default();
+        for &t in &htg.top_level {
+            g.cost.push(costs[&t]);
+            g.names.push(htg.task(t).name.clone());
+            g.htg_ids.push(t);
+        }
+        for e in htg.top_level_edges() {
+            g.edges.push((index[&e.from], index[&e.to], e.bytes));
+        }
+        g
+    }
+
+    /// Predecessor list per task as `(pred, bytes)`.
+    pub fn preds(&self) -> Vec<Vec<(usize, u64)>> {
+        let mut p = vec![Vec::new(); self.len()];
+        for &(f, t, b) in &self.edges {
+            p[t].push((f, b));
+        }
+        p
+    }
+
+    /// Successor list per task as `(succ, bytes)`.
+    pub fn succs(&self) -> Vec<Vec<(usize, u64)>> {
+        let mut s = vec![Vec::new(); self.len()];
+        for &(f, t, b) in &self.edges {
+            s[f].push((t, b));
+        }
+        s
+    }
+
+    /// A topological order of the tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph contains a cycle.
+    pub fn topo_order(&self) -> Vec<usize> {
+        let mut indeg = vec![0usize; self.len()];
+        for &(_, t, _) in &self.edges {
+            indeg[t] += 1;
+        }
+        let succs = self.succs();
+        let mut queue: Vec<usize> = (0..self.len()).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(self.len());
+        while let Some(t) = queue.pop() {
+            order.push(t);
+            for &(s, _) in &succs[t] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        assert_eq!(order.len(), self.len(), "task graph contains a cycle");
+        order
+    }
+
+    /// Length of the critical path ignoring communication — a lower bound
+    /// on any schedule's makespan.
+    pub fn critical_path(&self) -> u64 {
+        let order = self.topo_order();
+        let preds = self.preds();
+        let mut dist = vec![0u64; self.len()];
+        let mut best = 0;
+        for &t in &order {
+            let in_max = preds[t].iter().map(|&(p, _)| dist[p]).max().unwrap_or(0);
+            dist[t] = in_max + self.cost[t];
+            best = best.max(dist[t]);
+        }
+        best
+    }
+
+    /// Sum of all task costs — the single-core makespan.
+    pub fn total_work(&self) -> u64 {
+        self.cost.iter().sum()
+    }
+}
+
+/// Communication-cost model used during scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommModel {
+    /// Communication is free (ideal shared memory; useful as an ablation).
+    Free,
+    /// Worst-case platform communication with all cores as contenders
+    /// (conservative but sound before the system-level analysis refines
+    /// contender sets). Use for abstract task graphs whose node costs do
+    /// NOT already include the data movement.
+    PlatformWorstCase,
+    /// Only the synchronization handshake is charged (flag write + flag
+    /// read through shared memory), independent of the data volume. This
+    /// is the correct model when task WCETs were computed from real code
+    /// with a memory map: the producer's writes and the consumer's reads
+    /// of the shared buffer are already inside the task WCETs, and
+    /// charging volume-proportional costs again would double-count.
+    SignalOnly,
+}
+
+/// Scheduling context: the target platform plus cost-model knobs.
+#[derive(Debug, Clone)]
+pub struct SchedCtx<'a> {
+    /// The target platform (core count, comm costs).
+    pub platform: &'a Platform,
+    /// Communication model.
+    pub comm: CommModel,
+}
+
+impl<'a> SchedCtx<'a> {
+    /// Creates a context with the conservative platform comm model.
+    pub fn new(platform: &'a Platform) -> SchedCtx<'a> {
+        SchedCtx { platform, comm: CommModel::PlatformWorstCase }
+    }
+
+    /// Cost of moving `bytes` from `from` to `to`.
+    pub fn comm_cost(&self, from: CoreId, to: CoreId, bytes: u64) -> u64 {
+        match self.comm {
+            CommModel::Free => 0,
+            CommModel::PlatformWorstCase => {
+                self.platform
+                    .worst_case_comm(from, to, bytes, self.platform.core_count())
+            }
+            CommModel::SignalOnly => {
+                let k = self.platform.core_count();
+                self.platform.worst_case_shared_access(from, k)
+                    + self.platform.worst_case_shared_access(to, k)
+            }
+        }
+    }
+
+    /// Number of cores available.
+    pub fn cores(&self) -> usize {
+        self.platform.core_count()
+    }
+}
+
+/// A static schedule: mapping + start times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Task → core.
+    pub assignment: Vec<CoreId>,
+    /// Task → start cycle.
+    pub start: Vec<u64>,
+    /// Task → finish cycle.
+    pub finish: Vec<u64>,
+}
+
+impl Schedule {
+    /// The schedule makespan (parallel WCET before interference
+    /// inflation).
+    pub fn makespan(&self) -> u64 {
+        self.finish.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Tasks assigned to `core`, ordered by start time.
+    pub fn tasks_on(&self, core: CoreId) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..self.assignment.len())
+            .filter(|&t| self.assignment[t] == core)
+            .collect();
+        v.sort_by_key(|&t| (self.start[t], t));
+        v
+    }
+
+    /// Checks precedence and per-core exclusivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self, g: &TaskGraph, ctx: &SchedCtx<'_>) -> Result<(), String> {
+        if self.assignment.len() != g.len() {
+            return Err("assignment length mismatch".into());
+        }
+        for t in 0..g.len() {
+            if self.finish[t] != self.start[t] + g.cost[t] {
+                return Err(format!("task {t}: finish != start + cost"));
+            }
+        }
+        for &(f, t, bytes) in &g.edges {
+            let comm = if self.assignment[f] == self.assignment[t] {
+                0
+            } else {
+                ctx.comm_cost(self.assignment[f], self.assignment[t], bytes)
+            };
+            if self.start[t] < self.finish[f] + comm {
+                return Err(format!(
+                    "precedence violated: task {t} starts at {} but pred {f} \
+                     finishes at {} (+{comm} comm)",
+                    self.start[t], self.finish[f]
+                ));
+            }
+        }
+        for core in 0..ctx.cores() {
+            let tasks = self.tasks_on(CoreId(core));
+            for w in tasks.windows(2) {
+                if self.start[w[1]] < self.finish[w[0]] {
+                    return Err(format!("core {core}: tasks {} and {} overlap", w[0], w[1]));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-core utilisation: busy cycles / makespan.
+    pub fn utilisation(&self, g: &TaskGraph, cores: usize) -> Vec<f64> {
+        let ms = self.makespan().max(1) as f64;
+        (0..cores)
+            .map(|c| {
+                let busy: u64 = (0..g.len())
+                    .filter(|&t| self.assignment[t] == CoreId(c))
+                    .map(|t| g.cost[t])
+                    .sum();
+                busy as f64 / ms
+            })
+            .collect()
+    }
+}
+
+/// Evaluates a fixed task→core `assignment` into a full [`Schedule`] by
+/// dispatching tasks in topological order, as early as possible.
+///
+/// This is the shared evaluation kernel of the annealer and the exact
+/// solver; it is deterministic (ready ties broken by task index).
+pub fn evaluate_assignment(
+    g: &TaskGraph,
+    ctx: &SchedCtx<'_>,
+    assignment: &[CoreId],
+) -> Schedule {
+    let preds = g.preds();
+    let succs = g.succs();
+    let mut start = vec![0u64; g.len()];
+    let mut finish = vec![0u64; g.len()];
+    let mut core_avail = vec![0u64; ctx.cores()];
+    let mut indeg = vec![0usize; g.len()];
+    for &(_, t, _) in &g.edges {
+        indeg[t] += 1;
+    }
+    let mut ready: Vec<usize> = (0..g.len()).filter(|&i| indeg[i] == 0).collect();
+    while !ready.is_empty() {
+        ready.sort_unstable();
+        let t = ready.remove(0);
+        let core = assignment[t];
+        let mut est = core_avail[core.0];
+        for &(p, bytes) in &preds[t] {
+            let comm = if assignment[p] == core {
+                0
+            } else {
+                ctx.comm_cost(assignment[p], core, bytes)
+            };
+            est = est.max(finish[p] + comm);
+        }
+        start[t] = est;
+        finish[t] = est + g.cost[t];
+        core_avail[core.0] = finish[t];
+        for &(s, _) in &succs[t] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    Schedule { assignment: assignment.to_vec(), start, finish }
+}
+
+/// The common scheduler interface.
+pub trait Scheduler {
+    /// Computes a schedule of `g` on the context platform.
+    fn schedule(&self, g: &TaskGraph, ctx: &SchedCtx<'_>) -> Schedule;
+
+    /// Short identifier for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The trivial single-core schedule (baseline for WCET speedup numbers).
+pub fn sequential_schedule(g: &TaskGraph, ctx: &SchedCtx<'_>) -> Schedule {
+    evaluate_assignment(g, ctx, &vec![CoreId(0); g.len()])
+}
+
+/// Error type for scheduler configuration problems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedError {
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scheduling error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+#[cfg(test)]
+pub(crate) mod test_graphs {
+    use super::TaskGraph;
+
+    /// A diamond: 0 → {1, 2} → 3.
+    pub fn diamond() -> TaskGraph {
+        TaskGraph {
+            cost: vec![10, 20, 20, 10],
+            edges: vec![(0, 1, 64), (0, 2, 64), (1, 3, 64), (2, 3, 64)],
+            names: vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            htg_ids: vec![],
+        }
+    }
+
+    /// A wide fork-join: 0 → {1..=w} → w+1, each middle task `cost`.
+    pub fn fork_join(w: usize, cost: u64) -> TaskGraph {
+        let n = w + 2;
+        let mut g = TaskGraph {
+            cost: vec![1; n],
+            edges: Vec::new(),
+            names: (0..n).map(|i| format!("t{i}")).collect(),
+            htg_ids: vec![],
+        };
+        for i in 1..=w {
+            g.cost[i] = cost;
+            g.edges.push((0, i, 8));
+            g.edges.push((i, w + 1, 8));
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_graphs::diamond;
+    use super::*;
+
+    #[test]
+    fn topo_order_is_valid() {
+        let g = diamond();
+        let order = g.topo_order();
+        let pos: BTreeMap<usize, usize> =
+            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        for &(f, t, _) in &g.edges {
+            assert!(pos[&f] < pos[&t]);
+        }
+    }
+
+    #[test]
+    fn critical_path_and_total_work() {
+        let g = diamond();
+        assert_eq!(g.critical_path(), 40);
+        assert_eq!(g.total_work(), 60);
+    }
+
+    #[test]
+    fn sequential_schedule_is_total_work() {
+        let p = Platform::xentium_manycore(4);
+        let ctx = SchedCtx::new(&p);
+        let g = diamond();
+        let s = sequential_schedule(&g, &ctx);
+        assert_eq!(s.makespan(), g.total_work());
+        s.validate(&g, &ctx).unwrap();
+    }
+
+    #[test]
+    fn evaluate_assignment_respects_comm() {
+        let p = Platform::xentium_manycore(2);
+        let ctx = SchedCtx::new(&p);
+        let g = diamond();
+        let a = vec![CoreId(0), CoreId(0), CoreId(1), CoreId(0)];
+        let s = evaluate_assignment(&g, &ctx, &a);
+        s.validate(&g, &ctx).unwrap();
+        let comm = ctx.comm_cost(CoreId(0), CoreId(1), 64);
+        assert!(comm > 0);
+        assert!(s.start[2] >= s.finish[0] + comm);
+    }
+
+    #[test]
+    fn free_comm_model_is_cheaper() {
+        let p = Platform::xentium_manycore(2);
+        let ctx_wc = SchedCtx::new(&p);
+        let ctx_free = SchedCtx { platform: &p, comm: CommModel::Free };
+        let g = diamond();
+        let a = vec![CoreId(0), CoreId(0), CoreId(1), CoreId(0)];
+        let s_wc = evaluate_assignment(&g, &ctx_wc, &a);
+        let s_free = evaluate_assignment(&g, &ctx_free, &a);
+        assert!(s_free.makespan() <= s_wc.makespan());
+    }
+
+    #[test]
+    fn validate_catches_overlap() {
+        let p = Platform::xentium_manycore(2);
+        let ctx = SchedCtx::new(&p);
+        let g = diamond();
+        let mut s = sequential_schedule(&g, &ctx);
+        s.start[1] = s.start[0];
+        s.finish[1] = s.start[1] + g.cost[1];
+        assert!(s.validate(&g, &ctx).is_err());
+    }
+
+    #[test]
+    fn utilisation_accounts_busy_time() {
+        let p = Platform::xentium_manycore(2);
+        let ctx = SchedCtx::new(&p);
+        let g = diamond();
+        let s = sequential_schedule(&g, &ctx);
+        let u = s.utilisation(&g, 2);
+        assert!((u[0] - 1.0).abs() < 1e-9);
+        assert_eq!(u[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cyclic_graph_panics() {
+        let g = TaskGraph {
+            cost: vec![1, 1],
+            edges: vec![(0, 1, 0), (1, 0, 0)],
+            names: vec!["x".into(), "y".into()],
+            htg_ids: vec![],
+        };
+        g.topo_order();
+    }
+}

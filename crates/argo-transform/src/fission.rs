@@ -1,0 +1,228 @@
+//! Loop distribution (fission) of DOALL loops.
+//!
+//! Splits a DOALL loop whose body consists of several statements into one
+//! loop per statement group. After fission, each new loop can be chunked
+//! or scheduled independently — useful when body statements touch
+//! different arrays and would otherwise serialise behind one another.
+//!
+//! Only DOALL loops are distributed: for them, any body partitioning in
+//! original order is legal because there are no loop-carried dependences
+//! and intra-iteration dependences are preserved by keeping the statement
+//! order across the new loops (statement `j` of iteration `i` still
+//! executes after statement `j-1` of iteration `i` — in a *later* loop,
+//! which is a legal reordering when no dependence crosses iterations).
+
+use crate::{fresh_name, rename_var_stmt, taken_names, TransformError};
+use argo_htg::deps::{classify_loop, LoopParallelism};
+use argo_ir::ast::*;
+use argo_ir::types::{Scalar, Type};
+use argo_ir::StmtId;
+
+/// Distributes the top-level DOALL loop `loop_id` of `func` into one loop
+/// per body statement; returns the number of loops produced.
+///
+/// Body statements that are declarations (iteration-local temporaries) are
+/// replicated into every produced loop that mentions them — the simple,
+/// sound policy: they are replicated into **all** produced loops.
+///
+/// # Errors
+///
+/// Returns [`TransformError`] if the loop is missing, not DOALL, or has
+/// fewer than two body statements.
+pub fn distribute_loop(
+    program: &mut Program,
+    func: &str,
+    loop_id: StmtId,
+) -> Result<usize, TransformError> {
+    let f = program
+        .function_mut(func)
+        .ok_or_else(|| TransformError::new(format!("no function `{func}`")))?;
+    let pos = f
+        .body
+        .stmts
+        .iter()
+        .position(|s| s.id == loop_id)
+        .ok_or_else(|| TransformError::new(format!("no top-level statement {loop_id}")))?;
+    let stmt = f.body.stmts[pos].clone();
+    let StmtKind::For { var, lo, hi, step, body } = &stmt.kind else {
+        return Err(TransformError::new(format!("{loop_id} is not a for loop")));
+    };
+    if classify_loop(&stmt) != LoopParallelism::Doall {
+        return Err(TransformError::new("only DOALL loops can be distributed"));
+    }
+    // Payload statements: array writers / calls. Scalar-defining
+    // statements (assignments to scalars, declarations) are replicated
+    // into the backward slice of each payload — the "redundant
+    // computation" trade-off of paper ref [9], perfectly acceptable in a
+    // predictable-performance context.
+    let is_scalar_def = |s: &Stmt| {
+        matches!(
+            s.kind,
+            StmtKind::Decl { .. } | StmtKind::Assign { target: LValue::Var(_), .. }
+        )
+    };
+    let payloads: Vec<usize> = body
+        .stmts
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !is_scalar_def(s))
+        .map(|(i, _)| i)
+        .collect();
+    if payloads.len() < 2 {
+        return Err(TransformError::new("loop body has fewer than two statements"));
+    }
+
+    let mut taken = taken_names(f);
+    let mut new_stmts: Vec<Stmt> = Vec::new();
+    let mut loops: Vec<Stmt> = Vec::new();
+    for (idx, &pi) in payloads.iter().enumerate() {
+        let iv = fresh_name(&mut taken, &format!("{var}__f{idx}"));
+        new_stmts.push(Stmt::new(StmtKind::Decl {
+            name: iv.clone(),
+            ty: Type::Scalar(Scalar::Int),
+            init: None,
+        }));
+        // Backward slice: scalar-def statements before the payload whose
+        // written scalar is (transitively) read by the payload.
+        let payload = &body.stmts[pi];
+        let (mut needed, _) = argo_ir::visit::stmt_rw(payload);
+        let mut include = vec![false; pi];
+        loop {
+            let mut changed = false;
+            for j in (0..pi).rev() {
+                if include[j] || !is_scalar_def(&body.stmts[j]) {
+                    continue;
+                }
+                let (r, w) = argo_ir::visit::stmt_rw(&body.stmts[j]);
+                if w.iter().any(|v| needed.contains(v)) {
+                    include[j] = true;
+                    needed.extend(r);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut body_stmts: Vec<Stmt> = Vec::new();
+        for (j, inc) in include.iter().enumerate() {
+            if *inc {
+                body_stmts.push(rename_var_stmt(&body.stmts[j], var, &iv));
+            }
+        }
+        body_stmts.push(rename_var_stmt(payload, var, &iv));
+        // Replicated locals must get per-loop fresh names, or the
+        // function would declare them twice.
+        let local_decls: Vec<String> = body_stmts
+            .iter()
+            .filter_map(|s| match &s.kind {
+                StmtKind::Decl { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        for d in local_decls {
+            let fresh = fresh_name(&mut taken, &format!("{d}__f{idx}"));
+            body_stmts = body_stmts
+                .iter()
+                .map(|s| rename_var_stmt(s, &d, &fresh))
+                .collect();
+        }
+        loops.push(Stmt::new(StmtKind::For {
+            var: iv,
+            lo: lo.clone(),
+            hi: hi.clone(),
+            step: *step,
+            body: Block::of(body_stmts),
+        }));
+    }
+    let n = loops.len();
+    new_stmts.extend(loops);
+    let f = program.function_mut(func).expect("checked above");
+    f.body.stmts.splice(pos..=pos, new_stmts);
+    program.renumber();
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argo_ir::interp::{ArgVal, ArrayData, Interp, NullHook};
+    use argo_ir::parse::parse_program;
+    use argo_ir::validate::validate;
+
+    fn first_loop_id(p: &Program) -> StmtId {
+        p.functions[0]
+            .body
+            .stmts
+            .iter()
+            .find(|s| matches!(s.kind, StmtKind::For { .. }))
+            .unwrap()
+            .id
+    }
+
+    #[test]
+    fn distributes_independent_statements() {
+        let src = "void main(real a[32], real b[32], real c[32]) { int i; \
+             for (i=0;i<32;i=i+1) { b[i] = a[i] * 2.0; c[i] = a[i] + 1.0; } }";
+        let original = parse_program(src).unwrap();
+        let mut p = original.clone();
+        let lid = first_loop_id(&p);
+        let n = distribute_loop(&mut p, "main", lid).unwrap();
+        assert_eq!(n, 2);
+        validate(&p).unwrap();
+        // Semantics preserved.
+        let args = || {
+            vec![
+                ArgVal::Array(ArrayData::from_reals(&(0..32).map(|i| i as f64).collect::<Vec<_>>())),
+                ArgVal::Array(ArrayData::from_reals(&[0.0; 32])),
+                ArgVal::Array(ArrayData::from_reals(&[0.0; 32])),
+            ]
+        };
+        let o1 = Interp::new(&original).call_full("main", args(), &mut NullHook).unwrap();
+        let o2 = Interp::new(&p).call_full("main", args(), &mut NullHook).unwrap();
+        assert_eq!(o1.arrays, o2.arrays);
+    }
+
+    #[test]
+    fn replicates_local_decls() {
+        let src = "void main(real a[16], real b[16], real c[16]) { int i; \
+             for (i=0;i<16;i=i+1) { real t; t = a[i] * 3.0; b[i] = t; c[i] = t + 1.0; } }";
+        let original = parse_program(src).unwrap();
+        let mut p = original.clone();
+        // Two array-writing payloads; `t`'s definition is replicated into
+        // both loops (redundant computation, ref [9]).
+        let lid = first_loop_id(&p);
+        let n = distribute_loop(&mut p, "main", lid).unwrap();
+        assert_eq!(n, 2);
+        validate(&p).unwrap();
+        let args = || {
+            vec![
+                ArgVal::Array(ArrayData::from_reals(&(0..16).map(|i| 1.0 + i as f64).collect::<Vec<_>>())),
+                ArgVal::Array(ArrayData::from_reals(&[0.0; 16])),
+                ArgVal::Array(ArrayData::from_reals(&[0.0; 16])),
+            ]
+        };
+        let o1 = Interp::new(&original).call_full("main", args(), &mut NullHook).unwrap();
+        let o2 = Interp::new(&p).call_full("main", args(), &mut NullHook).unwrap();
+        assert_eq!(o1.arrays, o2.arrays);
+    }
+
+    #[test]
+    fn rejects_sequential_loop() {
+        let src = "void main(real b[16]) { int i; \
+             for (i=1;i<16;i=i+1) { b[i] = b[i-1]; b[i] = b[i] + 1.0; } }";
+        let mut p = parse_program(src).unwrap();
+        let lid = first_loop_id(&p);
+        let err = distribute_loop(&mut p, "main", lid).unwrap_err();
+        assert!(err.msg.contains("DOALL"));
+    }
+
+    #[test]
+    fn rejects_single_statement_body() {
+        let src = "void main(real b[16]) { int i; for (i=0;i<16;i=i+1) { b[i] = 0.0; } }";
+        let mut p = parse_program(src).unwrap();
+        let lid = first_loop_id(&p);
+        let err = distribute_loop(&mut p, "main", lid).unwrap_err();
+        assert!(err.msg.contains("fewer than two"));
+    }
+}

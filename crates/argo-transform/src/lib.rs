@@ -1,0 +1,365 @@
+//! # argo-transform — predictability-enhancing program transformations
+//!
+//! The GeCoS role of the tool flow: "the IR is used as input by the GeCoS
+//! source-to-source transformation framework, which performs several
+//! predictability enhancing program transformations (scratchpad management
+//! for data, predictability oriented task parallelism extraction through
+//! loop transformations, etc.)" (paper § II-B).
+//!
+//! Transformation catalogue:
+//!
+//! * [`fold`] — constant folding (enables static loop bounds);
+//! * [`chunk`] — DOALL/reduction loop chunking across cores: the
+//!   transformation that actually *extracts task parallelism* from loops;
+//! * [`fission`] — loop distribution of independent body statements;
+//! * [`unroll`] — full unrolling of small constant-trip loops;
+//! * [`split`] — index-set splitting (paper ref [10]) and strip-mining;
+//! * [`spm`] — WCET-directed scratchpad allocation (knapsack; ref [6]).
+//!
+//! All structural passes leave the program re-validated and renumbered.
+
+pub mod chunk;
+pub mod fission;
+pub mod fold;
+pub mod split;
+pub mod spm;
+pub mod unroll;
+
+use argo_ir::ast::*;
+use argo_ir::StmtId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Error from a transformation pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformError {
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl TransformError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> TransformError {
+        TransformError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transform error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// A source-to-source transformation pass.
+pub trait Pass {
+    /// Runs the pass; returns `true` if the program changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TransformError`] if the pass cannot be applied.
+    fn run(&self, program: &mut Program) -> Result<bool, TransformError>;
+
+    /// Short identifier for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Runs passes in order, repeating the whole sequence until a fixpoint
+/// (bounded by `max_rounds`); renumbers statement ids afterwards.
+///
+/// # Errors
+///
+/// Propagates the first pass error.
+pub fn run_pipeline(
+    program: &mut Program,
+    passes: &[&dyn Pass],
+    max_rounds: u32,
+) -> Result<u32, TransformError> {
+    let mut rounds = 0;
+    for _ in 0..max_rounds {
+        let mut changed = false;
+        for p in passes {
+            changed |= p.run(program)?;
+        }
+        rounds += 1;
+        if !changed {
+            break;
+        }
+    }
+    program.renumber();
+    Ok(rounds)
+}
+
+/// All variable names already used in a function (params + decls + loop
+/// vars); used to generate fresh names.
+pub fn taken_names(f: &Function) -> BTreeSet<String> {
+    let mut names: BTreeSet<String> =
+        f.params.iter().map(|p| p.name.clone()).collect();
+    argo_ir::visit::walk_stmts(&f.body, &mut |s| match &s.kind {
+        StmtKind::Decl { name, .. } => {
+            names.insert(name.clone());
+        }
+        StmtKind::For { var, .. } => {
+            names.insert(var.clone());
+        }
+        _ => {}
+    });
+    names
+}
+
+/// Generates a fresh name with the given base, registering it in `taken`.
+pub fn fresh_name(taken: &mut BTreeSet<String>, base: &str) -> String {
+    if !taken.contains(base) {
+        taken.insert(base.to_string());
+        return base.to_string();
+    }
+    for i in 0.. {
+        let cand = format!("{base}_{i}");
+        if !taken.contains(&cand) {
+            taken.insert(cand.clone());
+            return cand;
+        }
+    }
+    unreachable!()
+}
+
+/// Substitutes every read of scalar `var` in `e` with `replacement`.
+pub fn subst_var(e: &Expr, var: &str, replacement: &Expr) -> Expr {
+    match e {
+        Expr::Var(n) if n == var => replacement.clone(),
+        Expr::IntLit(_) | Expr::RealLit(_) | Expr::BoolLit(_) | Expr::Var(_) => e.clone(),
+        Expr::ArrayElem { array, indices } => Expr::ArrayElem {
+            array: array.clone(),
+            indices: indices.iter().map(|i| subst_var(i, var, replacement)).collect(),
+        },
+        Expr::Unary { op, arg } => {
+            Expr::Unary { op: *op, arg: Box::new(subst_var(arg, var, replacement)) }
+        }
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(subst_var(lhs, var, replacement)),
+            rhs: Box::new(subst_var(rhs, var, replacement)),
+        },
+        Expr::Call { name, args } => Expr::Call {
+            name: name.clone(),
+            args: args.iter().map(|a| subst_var(a, var, replacement)).collect(),
+        },
+        Expr::Cast { to, arg } => {
+            Expr::Cast { to: *to, arg: Box::new(subst_var(arg, var, replacement)) }
+        }
+    }
+}
+
+/// Substitutes reads of `var` throughout a statement subtree (including
+/// lvalue indices but not lvalue bases, which are writes).
+pub fn subst_var_stmt(s: &Stmt, var: &str, replacement: &Expr) -> Stmt {
+    let kind = match &s.kind {
+        StmtKind::Decl { name, ty, init } => StmtKind::Decl {
+            name: name.clone(),
+            ty: ty.clone(),
+            init: init.as_ref().map(|e| subst_var(e, var, replacement)),
+        },
+        StmtKind::Assign { target, value } => StmtKind::Assign {
+            target: match target {
+                LValue::Var(n) => LValue::Var(n.clone()),
+                LValue::ArrayElem { array, indices } => LValue::ArrayElem {
+                    array: array.clone(),
+                    indices: indices.iter().map(|i| subst_var(i, var, replacement)).collect(),
+                },
+            },
+            value: subst_var(value, var, replacement),
+        },
+        StmtKind::If { cond, then_blk, else_blk } => StmtKind::If {
+            cond: subst_var(cond, var, replacement),
+            then_blk: subst_block(then_blk, var, replacement),
+            else_blk: subst_block(else_blk, var, replacement),
+        },
+        StmtKind::For { var: lv, lo, hi, step, body } => StmtKind::For {
+            var: lv.clone(),
+            lo: subst_var(lo, var, replacement),
+            hi: subst_var(hi, var, replacement),
+            step: *step,
+            // Inner loop shadowing: if the inner loop redefines `var`,
+            // stop substituting in its body.
+            body: if lv == var {
+                body.clone()
+            } else {
+                subst_block(body, var, replacement)
+            },
+        },
+        StmtKind::While { cond, bound, body } => StmtKind::While {
+            cond: subst_var(cond, var, replacement),
+            bound: *bound,
+            body: subst_block(body, var, replacement),
+        },
+        StmtKind::Call { name, args } => StmtKind::Call {
+            name: name.clone(),
+            args: args.iter().map(|a| subst_var(a, var, replacement)).collect(),
+        },
+        StmtKind::Return { value } => StmtKind::Return {
+            value: value.as_ref().map(|e| subst_var(e, var, replacement)),
+        },
+    };
+    Stmt { id: s.id, kind }
+}
+
+fn subst_block(b: &Block, var: &str, replacement: &Expr) -> Block {
+    Block::of(b.stmts.iter().map(|s| subst_var_stmt(s, var, replacement)).collect())
+}
+
+/// Renames every occurrence of scalar `old` (reads **and** writes,
+/// declarations and loop headers, through the whole subtree — renaming is
+/// not substitution, so shadowing does not stop it) to `new`. Used by loop
+/// chunking/fission to give each copy private locals.
+pub fn rename_var_stmt(s: &Stmt, old: &str, new: &str) -> Stmt {
+    let rn = |n: &String| if n == old { new.to_string() } else { n.clone() };
+    let re = |e: &Expr| rename_expr(e, old, new);
+    let kind = match &s.kind {
+        StmtKind::Decl { name, ty, init } => StmtKind::Decl {
+            name: rn(name),
+            ty: ty.clone(),
+            init: init.as_ref().map(&re),
+        },
+        StmtKind::Assign { target, value } => StmtKind::Assign {
+            target: match target {
+                LValue::Var(n) => LValue::Var(rn(n)),
+                LValue::ArrayElem { array, indices } => LValue::ArrayElem {
+                    array: rn(array),
+                    indices: indices.iter().map(&re).collect(),
+                },
+            },
+            value: re(value),
+        },
+        StmtKind::If { cond, then_blk, else_blk } => StmtKind::If {
+            cond: re(cond),
+            then_blk: rename_block(then_blk, old, new),
+            else_blk: rename_block(else_blk, old, new),
+        },
+        StmtKind::For { var, lo, hi, step, body } => StmtKind::For {
+            var: rn(var),
+            lo: re(lo),
+            hi: re(hi),
+            step: *step,
+            body: rename_block(body, old, new),
+        },
+        StmtKind::While { cond, bound, body } => StmtKind::While {
+            cond: re(cond),
+            bound: *bound,
+            body: rename_block(body, old, new),
+        },
+        StmtKind::Call { name, args } => StmtKind::Call {
+            name: name.clone(),
+            args: args.iter().map(&re).collect(),
+        },
+        StmtKind::Return { value } => StmtKind::Return { value: value.as_ref().map(&re) },
+    };
+    Stmt { id: s.id, kind }
+}
+
+fn rename_block(b: &Block, old: &str, new: &str) -> Block {
+    Block::of(b.stmts.iter().map(|s| rename_var_stmt(s, old, new)).collect())
+}
+
+/// Renames variable `old` to `new` in an expression — both scalar reads
+/// and array bases (unlike [`subst_var`], which substitutes scalar reads
+/// only).
+pub fn rename_expr(e: &Expr, old: &str, new: &str) -> Expr {
+    match e {
+        Expr::Var(n) if n == old => Expr::Var(new.to_string()),
+        Expr::IntLit(_) | Expr::RealLit(_) | Expr::BoolLit(_) | Expr::Var(_) => e.clone(),
+        Expr::ArrayElem { array, indices } => Expr::ArrayElem {
+            array: if array == old { new.to_string() } else { array.clone() },
+            indices: indices.iter().map(|i| rename_expr(i, old, new)).collect(),
+        },
+        Expr::Unary { op, arg } => {
+            Expr::Unary { op: *op, arg: Box::new(rename_expr(arg, old, new)) }
+        }
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(rename_expr(lhs, old, new)),
+            rhs: Box::new(rename_expr(rhs, old, new)),
+        },
+        Expr::Call { name, args } => Expr::Call {
+            name: name.clone(),
+            args: args.iter().map(|a| rename_expr(a, old, new)).collect(),
+        },
+        Expr::Cast { to, arg } => {
+            Expr::Cast { to: *to, arg: Box::new(rename_expr(arg, old, new)) }
+        }
+    }
+}
+
+/// Finds the position of a top-level statement by id in a function body.
+pub fn top_level_position(f: &Function, id: StmtId) -> Option<usize> {
+    f.body.stmts.iter().position(|s| s.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argo_ir::parse::{parse_expr, parse_program};
+    use argo_ir::printer::print_expr;
+
+    #[test]
+    fn fresh_names_avoid_collisions() {
+        let mut taken: BTreeSet<String> = ["i".to_string(), "i_0".to_string()].into();
+        assert_eq!(fresh_name(&mut taken, "j"), "j");
+        assert_eq!(fresh_name(&mut taken, "i"), "i_1");
+        assert_eq!(fresh_name(&mut taken, "i"), "i_2");
+    }
+
+    #[test]
+    fn subst_replaces_reads_only() {
+        let e = parse_expr("a[i] + i * 2").unwrap();
+        let r = subst_var(&e, "i", &Expr::int(5));
+        assert_eq!(print_expr(&r), "(a[5] + (5 * 2))");
+    }
+
+    #[test]
+    fn subst_respects_inner_loop_shadowing() {
+        let p = parse_program(
+            "void f(int n, real a[4]) { int i; int k; k = n; \
+             for (i=0;i<k;i=i+1) { a[i] = 0.0; } }",
+        )
+        .unwrap();
+        let loop_stmt = &p.functions[0].body.stmts[3];
+        // Substituting `i` outside must not touch the loop body that
+        // redefines i.
+        let out = subst_var_stmt(loop_stmt, "i", &Expr::int(9));
+        match &out.kind {
+            StmtKind::For { body, .. } => match &body.stmts[0].kind {
+                StmtKind::Assign { target: LValue::ArrayElem { indices, .. }, .. } => {
+                    assert_eq!(indices[0], Expr::var("i"));
+                }
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn rename_touches_reads_and_writes() {
+        let p = parse_program("void f() { int s; s = 0; s = s + 1; }").unwrap();
+        let s2 = rename_var_stmt(&p.functions[0].body.stmts[2], "s", "s_p");
+        match &s2.kind {
+            StmtKind::Assign { target: LValue::Var(n), value } => {
+                assert_eq!(n, "s_p");
+                assert_eq!(argo_ir::printer::print_expr(value), "(s_p + 1)");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn taken_names_include_everything() {
+        let p = parse_program(
+            "void f(int n, real a[4]) { int i; for (i=0;i<n;i=i+1) { real t; t = 0.0; } }",
+        )
+        .unwrap();
+        let names = taken_names(&p.functions[0]);
+        for n in ["n", "a", "i", "t"] {
+            assert!(names.contains(n));
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Full loop unrolling for small constant-trip loops.
+//!
+//! Unrolling replaces `for (i = lo; i < hi; i = i + s)` (literal bounds)
+//! with one body copy per iteration, substituting the induction variable
+//! by its literal value. For WCET analysis this removes all loop
+//! bookkeeping and makes every iteration's path explicit — a tightness
+//! win for short loops, at a code-size cost.
+
+use crate::{subst_var_stmt, Pass, TransformError};
+use argo_ir::ast::*;
+use argo_ir::StmtId;
+
+/// Pass that fully unrolls every loop with a literal trip count of at
+/// most `max_trip`.
+#[derive(Debug, Clone, Copy)]
+pub struct FullUnroll {
+    /// Largest trip count that will be unrolled.
+    pub max_trip: u64,
+}
+
+impl Default for FullUnroll {
+    fn default() -> FullUnroll {
+        FullUnroll { max_trip: 8 }
+    }
+}
+
+impl Pass for FullUnroll {
+    fn run(&self, program: &mut Program) -> Result<bool, TransformError> {
+        let mut changed = false;
+        for f in &mut program.functions {
+            changed |= unroll_block(&mut f.body, self.max_trip);
+        }
+        if changed {
+            program.renumber();
+        }
+        Ok(changed)
+    }
+
+    fn name(&self) -> &'static str {
+        "full-unroll"
+    }
+}
+
+/// Unrolls the specific loop `loop_id` (anywhere in `func`), regardless of
+/// trip count.
+///
+/// # Errors
+///
+/// Returns [`TransformError`] if the loop is missing or its bounds are
+/// not integer literals.
+pub fn unroll_loop(
+    program: &mut Program,
+    func: &str,
+    loop_id: StmtId,
+) -> Result<u64, TransformError> {
+    let f = program
+        .function_mut(func)
+        .ok_or_else(|| TransformError::new(format!("no function `{func}`")))?;
+    let mut result = Err(TransformError::new(format!("no loop {loop_id} in `{func}`")));
+    unroll_targeted(&mut f.body, loop_id, &mut result);
+    if result.is_ok() {
+        program.renumber();
+    }
+    result
+}
+
+fn unroll_targeted(b: &mut Block, id: StmtId, result: &mut Result<u64, TransformError>) {
+    let mut i = 0;
+    while i < b.stmts.len() {
+        if b.stmts[i].id == id {
+            match expand(&b.stmts[i]) {
+                Some(expansion) => {
+                    let n = expansion.len() as u64;
+                    b.stmts.splice(i..=i, expansion);
+                    *result = Ok(n);
+                }
+                None => {
+                    *result = Err(TransformError::new(
+                        "loop bounds are not integer literals; cannot fully unroll",
+                    ));
+                }
+            }
+            return;
+        }
+        match &mut b.stmts[i].kind {
+            StmtKind::If { then_blk, else_blk, .. } => {
+                unroll_targeted(then_blk, id, result);
+                unroll_targeted(else_blk, id, result);
+            }
+            StmtKind::For { body, .. } | StmtKind::While { body, .. } => {
+                unroll_targeted(body, id, result);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+fn unroll_block(b: &mut Block, max_trip: u64) -> bool {
+    let mut changed = false;
+    let mut i = 0;
+    while i < b.stmts.len() {
+        // Recurse first so inner loops unroll before outer ones are
+        // considered.
+        match &mut b.stmts[i].kind {
+            StmtKind::If { then_blk, else_blk, .. } => {
+                changed |= unroll_block(then_blk, max_trip);
+                changed |= unroll_block(else_blk, max_trip);
+            }
+            StmtKind::For { body, .. } | StmtKind::While { body, .. } => {
+                changed |= unroll_block(body, max_trip);
+            }
+            _ => {}
+        }
+        let trip = trip_count(&b.stmts[i]);
+        if let Some(t) = trip {
+            if t <= max_trip {
+                if let Some(expansion) = expand(&b.stmts[i]) {
+                    b.stmts.splice(i..=i, expansion);
+                    changed = true;
+                    continue; // re-examine at same index
+                }
+            }
+        }
+        i += 1;
+    }
+    changed
+}
+
+fn trip_count(s: &Stmt) -> Option<u64> {
+    if let StmtKind::For { lo, hi, step, .. } = &s.kind {
+        let (l, h) = (lo.as_int_const()?, hi.as_int_const()?);
+        if h <= l {
+            return Some(0);
+        }
+        return Some(((h - l) as u64).div_ceil(*step as u64));
+    }
+    None
+}
+
+/// Produces the unrolled statement list, or `None` for non-literal
+/// bounds. The final induction-variable value is materialised with a
+/// trailing assignment (the variable may be read after the loop).
+fn expand(s: &Stmt) -> Option<Vec<Stmt>> {
+    let StmtKind::For { var, lo, hi, step, body } = &s.kind else {
+        return None;
+    };
+    let (l, h) = (lo.as_int_const()?, hi.as_int_const()?);
+    let mut out = Vec::new();
+    let mut i = l;
+    while i < h {
+        for bs in &body.stmts {
+            out.push(subst_var_stmt(bs, var, &Expr::IntLit(i)));
+        }
+        i += step;
+    }
+    out.push(Stmt::new(StmtKind::Assign {
+        target: LValue::Var(var.clone()),
+        value: Expr::IntLit(i),
+    }));
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argo_ir::interp::{Interp, ScalarVal};
+    use argo_ir::parse::parse_program;
+    use argo_ir::validate::validate;
+
+    #[test]
+    fn unrolls_small_constant_loop() {
+        let mut p = parse_program(
+            "int main() { int s; int i; s = 0; \
+             for (i=0;i<4;i=i+1) { s = s + i; } return s; }",
+        )
+        .unwrap();
+        let changed = FullUnroll::default().run(&mut p).unwrap();
+        assert!(changed);
+        validate(&p).unwrap();
+        // No loops remain.
+        let has_loop = p.functions[0]
+            .body
+            .stmts
+            .iter()
+            .any(|s| matches!(s.kind, StmtKind::For { .. }));
+        assert!(!has_loop);
+        let v = Interp::new(&p).call_scalar("main", &[]).unwrap();
+        assert_eq!(v, Some(ScalarVal::Int(6)));
+    }
+
+    #[test]
+    fn respects_max_trip() {
+        let mut p = parse_program(
+            "int main() { int s; int i; s = 0; \
+             for (i=0;i<100;i=i+1) { s = s + 1; } return s; }",
+        )
+        .unwrap();
+        let changed = FullUnroll { max_trip: 8 }.run(&mut p).unwrap();
+        assert!(!changed);
+    }
+
+    #[test]
+    fn final_induction_value_is_preserved() {
+        let mut p = parse_program(
+            "int main() { int i; for (i=0;i<5;i=i+1) { } return i; }",
+        )
+        .unwrap();
+        FullUnroll::default().run(&mut p).unwrap();
+        let v = Interp::new(&p).call_scalar("main", &[]).unwrap();
+        assert_eq!(v, Some(ScalarVal::Int(5)));
+    }
+
+    #[test]
+    fn unrolls_nested_inner_loop_only() {
+        let mut p = parse_program(
+            "int main(int n) { int s; int i; int j; s = 0; \
+             for (i=0;i<n;i=i+1) { for (j=0;j<3;j=j+1) { s = s + 1; } } return s; }",
+        )
+        .unwrap();
+        FullUnroll { max_trip: 4 }.run(&mut p).unwrap();
+        validate(&p).unwrap();
+        let v = Interp::new(&p)
+            .call_scalar("main", &[ScalarVal::Int(5)])
+            .unwrap();
+        assert_eq!(v, Some(ScalarVal::Int(15)));
+        // Outer loop must still exist (non-constant bound).
+        let outer = p.functions[0]
+            .body
+            .stmts
+            .iter()
+            .any(|s| matches!(s.kind, StmtKind::For { .. }));
+        assert!(outer);
+    }
+
+    #[test]
+    fn zero_trip_loop_unrolls_to_final_assignment() {
+        let mut p = parse_program(
+            "int main() { int i; for (i=7;i<7;i=i+1) { } return i; }",
+        )
+        .unwrap();
+        FullUnroll::default().run(&mut p).unwrap();
+        let v = Interp::new(&p).call_scalar("main", &[]).unwrap();
+        assert_eq!(v, Some(ScalarVal::Int(7)));
+    }
+
+    #[test]
+    fn targeted_unroll_ignores_max_trip() {
+        let mut p = parse_program(
+            "int main() { int s; int i; s = 0; \
+             for (i=0;i<50;i=i+1) { s = s + 2; } return s; }",
+        )
+        .unwrap();
+        let lid = p.functions[0]
+            .body
+            .stmts
+            .iter()
+            .find(|s| matches!(s.kind, StmtKind::For { .. }))
+            .unwrap()
+            .id;
+        unroll_loop(&mut p, "main", lid).unwrap();
+        let v = Interp::new(&p).call_scalar("main", &[]).unwrap();
+        assert_eq!(v, Some(ScalarVal::Int(100)));
+    }
+
+    #[test]
+    fn targeted_unroll_rejects_nonliteral_bounds() {
+        let mut p = parse_program(
+            "int main(int n) { int s; int i; s = 0; \
+             for (i=0;i<n;i=i+1) { s = s + 1; } return s; }",
+        )
+        .unwrap();
+        let lid = p.functions[0]
+            .body
+            .stmts
+            .iter()
+            .find(|s| matches!(s.kind, StmtKind::For { .. }))
+            .unwrap()
+            .id;
+        assert!(unroll_loop(&mut p, "main", lid).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Static data-cache classification (persistence analysis).
+//!
+//! Supports the § III-B ablation: "scratchpad memories are preferred to
+//! caches because they enable more precise WCET estimation". The analysis
+//! answers one question per loop: *can every memory block accessed inside
+//! the loop stay resident once loaded?* If yes (the loop is *persistent*),
+//! each block misses at most once per loop entry and all further accesses
+//! are hits; otherwise every access must be assumed a miss.
+//!
+//! Residency is checked exactly against the set-associative geometry:
+//! concrete base addresses from the memory map are folded into cache sets
+//! and the per-set occupancy must not exceed the associativity — total
+//! footprint alone is NOT sufficient for LRU set-associative caches
+//! (conflict misses), and using it would be unsound.
+
+use argo_adl::CacheConfig;
+
+/// Returns `true` if all blocks of the given `(name, base, size)` regions
+/// fit simultaneously: every cache set holds at most `ways` of them.
+pub fn loop_is_persistent(arrays: &[(String, u64, u64)], cfg: &CacheConfig) -> bool {
+    let mut per_set = vec![0usize; cfg.sets];
+    for (_, base, size) in arrays {
+        if *size == 0 {
+            continue;
+        }
+        let first = cfg.block_of(*base);
+        let last = cfg.block_of(base + size - 1);
+        for b in first..=last {
+            let s = cfg.set_of(b);
+            per_set[s] += 1;
+            if per_set[s] > cfg.ways {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Total number of distinct blocks covered by the regions.
+pub fn block_count(arrays: &[(String, u64, u64)], cfg: &CacheConfig) -> u64 {
+    arrays
+        .iter()
+        .filter(|(_, _, size)| *size > 0)
+        .map(|(_, base, size)| cfg.block_of(base + size - 1) - cfg.block_of(*base) + 1)
+        .sum()
+}
+
+/// One-time fill cost for a persistent loop: every block misses once.
+pub fn loop_fill_cost(arrays: &[(String, u64, u64)], cfg: &CacheConfig, miss_cost: u64) -> u64 {
+    block_count(arrays, cfg) * miss_cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regions(specs: &[(u64, u64)]) -> Vec<(String, u64, u64)> {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(base, size))| (format!("a{i}"), base, size))
+            .collect()
+    }
+
+    #[test]
+    fn small_footprint_is_persistent() {
+        let cfg = CacheConfig::small(); // 1 KiB, 16 sets, 2-way, 32 B lines
+        let r = regions(&[(0, 256), (512, 256)]);
+        assert!(loop_is_persistent(&r, &cfg));
+        assert_eq!(block_count(&r, &cfg), 16);
+    }
+
+    #[test]
+    fn capacity_overflow_is_not_persistent() {
+        let cfg = CacheConfig::small();
+        let r = regions(&[(0, 2048)]); // 2 KiB > 1 KiB capacity
+        assert!(!loop_is_persistent(&r, &cfg));
+    }
+
+    #[test]
+    fn conflict_misses_detected_despite_small_footprint() {
+        // Three 32-byte blocks mapping to the same set of a 2-way cache:
+        // total footprint 96 B ≪ capacity, but not persistent.
+        let cfg = CacheConfig { sets: 16, ways: 2, line_bytes: 32, hit_cycles: 1, miss_penalty: 10 };
+        let set_stride = cfg.sets as u64 * cfg.line_bytes; // 512
+        let r = regions(&[(0, 32), (set_stride, 32), (2 * set_stride, 32)]);
+        assert!(!loop_is_persistent(&r, &cfg));
+        // Two of them are fine.
+        let r2 = regions(&[(0, 32), (set_stride, 32)]);
+        assert!(loop_is_persistent(&r2, &cfg));
+    }
+
+    #[test]
+    fn fill_cost_scales_with_blocks() {
+        let cfg = CacheConfig::small();
+        let r = regions(&[(0, 320)]); // 10 blocks
+        assert_eq!(loop_fill_cost(&r, &cfg, 13), 130);
+    }
+
+    #[test]
+    fn unaligned_regions_count_straddled_blocks() {
+        let cfg = CacheConfig::small();
+        // 40 bytes starting at 16: straddles blocks 0 and 1.
+        let r = regions(&[(16, 40)]);
+        assert_eq!(block_count(&r, &cfg), 2);
+    }
+
+    #[test]
+    fn empty_regions_are_trivially_persistent() {
+        let cfg = CacheConfig::small();
+        assert!(loop_is_persistent(&[], &cfg));
+        assert_eq!(block_count(&[], &cfg), 0);
+    }
+}

@@ -1,0 +1,61 @@
+//! # argo-wcet — code-level and system-level WCET analysis
+//!
+//! "Code-level and system-level WCET analysis jointly calculate the
+//! multi-core WCET for the target architectures. … Code-level WCET
+//! estimation calculates the isolated WCET of code fragments on one core
+//! … System-level WCET estimation builds on the parallel program
+//! representation to precisely identify resource conflicts … through (i) a
+//! static analysis that determines as accurately as possible if several
+//! code snippets may happen in parallel and (ii) a cost model of the
+//! interference derived from the platform abstract models." (paper § II-D)
+//!
+//! Module map:
+//!
+//! * [`value`] — interval analysis computing loop bounds (the aiT role's
+//!   value analysis);
+//! * [`cost`] — the per-operation/per-access worst-case cost model,
+//!   parameterised by core timing table and memory map;
+//! * [`schema`] — tree-based (timing-schema) code-level WCET over the
+//!   structured AST;
+//! * [`ipet`] — IPET-style longest-path WCET over the CFG with innermost-
+//!   first loop collapsing; cross-validates [`schema`];
+//! * [`cache`] — persistence-style data-cache classification for the
+//!   cache-vs-scratchpad ablation (§ III-B);
+//! * [`system`] — system-level analysis: may-happen-in-parallel + WRR/bus
+//!   interference inflation, with both static-precedence MHP (sound,
+//!   time-independent) and time-window MHP (tighter, fixed-point).
+//!
+//! The soundness contract of the whole reproduction: for every program,
+//! platform and schedule, the simulator's observed cycles never exceed
+//! the bound computed here. Integration tests enforce it.
+
+pub mod cache;
+pub mod cost;
+pub mod ipet;
+pub mod schema;
+pub mod system;
+pub mod value;
+
+use std::fmt;
+
+/// Error from WCET analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WcetError {
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl WcetError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> WcetError {
+        WcetError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for WcetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WCET error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for WcetError {}

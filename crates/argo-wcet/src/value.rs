@@ -1,0 +1,543 @@
+//! Interval value analysis for loop bounds.
+//!
+//! A small abstract interpreter over the integer interval domain. Its one
+//! job is the classical aiT-style *loop bound analysis*: derive, for every
+//! `for` loop, a static upper bound on the trip count, given optional
+//! ranges for the entry function's integer parameters.
+//!
+//! Reals and booleans are tracked as ⊤. Loop bodies are analysed to a
+//! fixpoint with widening after a fixed number of rounds, so the analysis
+//! always terminates.
+
+use crate::WcetError;
+use argo_ir::ast::*;
+use argo_ir::StmtId;
+use std::collections::BTreeMap;
+
+/// An integer interval `[lo, hi]`; `None` endpoints mean unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Lower endpoint (`None` = −∞).
+    pub lo: Option<i64>,
+    /// Upper endpoint (`None` = +∞).
+    pub hi: Option<i64>,
+}
+
+impl Interval {
+    /// The unbounded interval ⊤.
+    pub const TOP: Interval = Interval { lo: None, hi: None };
+
+    /// A singleton interval.
+    pub fn exact(v: i64) -> Interval {
+        Interval { lo: Some(v), hi: Some(v) }
+    }
+
+    /// A bounded interval `[lo, hi]`.
+    pub fn range(lo: i64, hi: i64) -> Interval {
+        Interval { lo: Some(lo), hi: Some(hi) }
+    }
+
+    /// Join (union hull).
+    pub fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: match (self.lo, other.lo) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                _ => None,
+            },
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Abstract addition.
+    pub fn add(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.zip(other.lo).and_then(|(a, b)| a.checked_add(b)),
+            hi: self.hi.zip(other.hi).and_then(|(a, b)| a.checked_add(b)),
+        }
+    }
+
+    /// Abstract subtraction.
+    pub fn sub(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.zip(other.hi).and_then(|(a, b)| a.checked_sub(b)),
+            hi: self.hi.zip(other.lo).and_then(|(a, b)| a.checked_sub(b)),
+        }
+    }
+
+    /// Abstract multiplication (corner products).
+    pub fn mul(self, other: Interval) -> Interval {
+        let corners = |a: Option<i64>, b: Option<i64>| a.zip(b).and_then(|(x, y)| x.checked_mul(y));
+        let products = [
+            corners(self.lo, other.lo),
+            corners(self.lo, other.hi),
+            corners(self.hi, other.lo),
+            corners(self.hi, other.hi),
+        ];
+        if products.iter().any(|p| p.is_none())
+            || self.lo.is_none()
+            || self.hi.is_none()
+            || other.lo.is_none()
+            || other.hi.is_none()
+        {
+            return Interval::TOP;
+        }
+        let vals: Vec<i64> = products.iter().map(|p| p.unwrap()).collect();
+        Interval {
+            lo: vals.iter().copied().min(),
+            hi: vals.iter().copied().max(),
+        }
+    }
+
+    /// Abstract truncating division (conservative corner division).
+    pub fn div(self, other: Interval) -> Interval {
+        // Division by an interval possibly containing 0: ⊤ (runtime error
+        // path aside, stay sound).
+        match (other.lo, other.hi) {
+            (Some(l), Some(h)) if l > 0 || h < 0 => {
+                let (Some(a), Some(b)) = (self.lo, self.hi) else {
+                    return Interval::TOP;
+                };
+                let candidates = [a / l, a / h, b / l, b / h];
+                Interval {
+                    lo: candidates.iter().copied().min(),
+                    hi: candidates.iter().copied().max(),
+                }
+            }
+            _ => Interval::TOP,
+        }
+    }
+
+    /// Returns `true` if both endpoints are finite.
+    pub fn is_bounded(self) -> bool {
+        self.lo.is_some() && self.hi.is_some()
+    }
+}
+
+/// Analysis context: ranges for entry-function integer parameters.
+#[derive(Debug, Clone, Default)]
+pub struct ValueCtx {
+    /// Parameter name → interval. Parameters without an entry are ⊤.
+    pub param_ranges: BTreeMap<String, Interval>,
+}
+
+impl ValueCtx {
+    /// Context with one bounded parameter.
+    pub fn with_param(name: impl Into<String>, lo: i64, hi: i64) -> ValueCtx {
+        let mut c = ValueCtx::default();
+        c.param_ranges.insert(name.into(), Interval::range(lo, hi));
+        c
+    }
+}
+
+/// Result of the analysis: an upper trip-count bound per `for`/`while`
+/// loop statement id.
+pub type LoopBounds = BTreeMap<StmtId, u64>;
+
+/// Computes loop bounds for `func` in `program`.
+///
+/// # Errors
+///
+/// Returns [`WcetError`] if a `for` loop's trip count cannot be bounded
+/// (WCET analysis would be impossible) or the function is unknown.
+pub fn loop_bounds(
+    program: &Program,
+    func: &str,
+    ctx: &ValueCtx,
+) -> Result<LoopBounds, WcetError> {
+    let f = program
+        .function(func)
+        .ok_or_else(|| WcetError::new(format!("no function `{func}`")))?;
+    let mut env: Env = BTreeMap::new();
+    for p in &f.params {
+        if !p.ty.is_array() {
+            let iv = ctx
+                .param_ranges
+                .get(&p.name)
+                .copied()
+                .unwrap_or(Interval::TOP);
+            env.insert(p.name.clone(), iv);
+        }
+    }
+    let mut bounds = LoopBounds::new();
+    let mut an = Analyzer { program, bounds: &mut bounds };
+    an.block(&f.body, &mut env)?;
+    // Callee loops: analyse every function reachable from `func` with ⊤
+    // parameters (conservative: their own literal bounds must suffice).
+    let mut visited = vec![func.to_string()];
+    let mut queue: Vec<String> = callees_of(f);
+    while let Some(name) = queue.pop() {
+        if visited.contains(&name) {
+            continue;
+        }
+        visited.push(name.clone());
+        if let Some(cf) = program.function(&name) {
+            let mut cenv: Env = BTreeMap::new();
+            for p in &cf.params {
+                if !p.ty.is_array() {
+                    cenv.insert(p.name.clone(), Interval::TOP);
+                }
+            }
+            let mut an = Analyzer { program, bounds: &mut bounds };
+            an.block(&cf.body, &mut cenv)?;
+            queue.extend(callees_of(cf));
+        }
+    }
+    Ok(bounds)
+}
+
+fn callees_of(f: &Function) -> Vec<String> {
+    let mut out = Vec::new();
+    for s in &f.body.stmts {
+        out.extend(argo_ir::visit::called_functions(s));
+    }
+    out.retain(|n| !argo_ir::intrinsics::is_intrinsic(n));
+    out
+}
+
+type Env = BTreeMap<String, Interval>;
+
+struct Analyzer<'a> {
+    program: &'a Program,
+    bounds: &'a mut LoopBounds,
+}
+
+impl<'a> Analyzer<'a> {
+    fn block(&mut self, b: &Block, env: &mut Env) -> Result<(), WcetError> {
+        for s in &b.stmts {
+            self.stmt(s, env)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt, env: &mut Env) -> Result<(), WcetError> {
+        match &s.kind {
+            StmtKind::Decl { name, ty, init } => {
+                if !ty.is_array() {
+                    let iv = match init {
+                        Some(e) => self.eval(e, env),
+                        None => Interval::TOP,
+                    };
+                    env.insert(name.clone(), iv);
+                }
+                Ok(())
+            }
+            StmtKind::Assign { target, value } => {
+                if let LValue::Var(n) = target {
+                    let iv = self.eval(value, env);
+                    env.insert(n.clone(), iv);
+                }
+                Ok(())
+            }
+            StmtKind::If { then_blk, else_blk, .. } => {
+                let mut env_then = env.clone();
+                let mut env_else = env.clone();
+                self.block(then_blk, &mut env_then)?;
+                self.block(else_blk, &mut env_else)?;
+                // Join.
+                let keys: Vec<String> = env.keys().cloned().collect();
+                for k in keys {
+                    let a = env_then.get(&k).copied().unwrap_or(Interval::TOP);
+                    let b = env_else.get(&k).copied().unwrap_or(Interval::TOP);
+                    env.insert(k, a.join(b));
+                }
+                // Newly declared block-locals go out of scope; ignore.
+                Ok(())
+            }
+            StmtKind::For { var, lo, hi, step, body } => {
+                let lo_iv = self.eval(lo, env);
+                let hi_iv = self.eval(hi, env);
+                let trip = match (lo_iv.lo, hi_iv.hi) {
+                    (Some(l), Some(h)) if h > l => ((h - l) as u64).div_ceil(*step as u64),
+                    (Some(l), Some(h)) if h <= l => 0,
+                    _ => {
+                        return Err(WcetError::new(format!(
+                            "cannot bound loop {} over `{var}`: bounds not statically bounded",
+                            s.id
+                        )))
+                    }
+                };
+                self.bounds.insert(s.id, trip);
+                // Body fixpoint with widening after 2 rounds.
+                let mut body_env = env.clone();
+                body_env.insert(
+                    var.clone(),
+                    Interval {
+                        lo: lo_iv.lo,
+                        hi: hi_iv.hi.map(|h| h - 1),
+                    },
+                );
+                for round in 0..4 {
+                    let before = body_env.clone();
+                    self.block(body, &mut body_env)?;
+                    body_env.insert(
+                        var.clone(),
+                        Interval { lo: lo_iv.lo, hi: hi_iv.hi.map(|h| h - 1) },
+                    );
+                    if body_env == before {
+                        break;
+                    }
+                    if round >= 2 {
+                        // Widen unstable entries to ⊤.
+                        let keys: Vec<String> = body_env.keys().cloned().collect();
+                        for k in keys {
+                            if body_env.get(&k) != before.get(&k) && k != *var {
+                                body_env.insert(k.clone(), Interval::TOP);
+                            }
+                        }
+                    }
+                }
+                // After the loop: merge body effects; induction var ends
+                // in [lo, hi+step-1] hull.
+                for (k, v) in body_env {
+                    let cur = env.get(&k).copied().unwrap_or(Interval::TOP);
+                    env.insert(k, cur.join(v));
+                }
+                env.insert(var.clone(), lo_iv.join(hi_iv.add(Interval::exact(*step - 1))));
+                Ok(())
+            }
+            StmtKind::While { bound, body, .. } => {
+                self.bounds.insert(s.id, *bound);
+                // Analyse body to a widened fixpoint.
+                let mut body_env = env.clone();
+                for round in 0..4 {
+                    let before = body_env.clone();
+                    self.block(body, &mut body_env)?;
+                    if body_env == before {
+                        break;
+                    }
+                    if round >= 2 {
+                        let keys: Vec<String> = body_env.keys().cloned().collect();
+                        for k in keys {
+                            if body_env.get(&k) != before.get(&k) {
+                                body_env.insert(k.clone(), Interval::TOP);
+                            }
+                        }
+                    }
+                }
+                for (k, v) in body_env {
+                    let cur = env.get(&k).copied().unwrap_or(Interval::TOP);
+                    env.insert(k, cur.join(v));
+                }
+                Ok(())
+            }
+            StmtKind::Call { .. } | StmtKind::Return { .. } => Ok(()),
+        }
+    }
+
+    fn eval(&self, e: &Expr, env: &Env) -> Interval {
+        match e {
+            Expr::IntLit(v) => Interval::exact(*v),
+            Expr::Var(n) => env.get(n).copied().unwrap_or(Interval::TOP),
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.eval(lhs, env);
+                let b = self.eval(rhs, env);
+                match op {
+                    BinOp::Add => a.add(b),
+                    BinOp::Sub => a.sub(b),
+                    BinOp::Mul => a.mul(b),
+                    BinOp::Div => a.div(b),
+                    BinOp::Rem => match (b.lo, b.hi) {
+                        (Some(l), Some(h)) if l > 0 => Interval::range(0, h - 1),
+                        _ => Interval::TOP,
+                    },
+                    _ => Interval::TOP,
+                }
+            }
+            Expr::Unary { op: UnOp::Neg, arg } => {
+                Interval::exact(0).sub(self.eval(arg, env))
+            }
+            Expr::Cast { to: argo_ir::Scalar::Int, arg } => {
+                // Casting an int-valued expression is the identity; real
+                // sources are ⊤ (we don't track reals).
+                match &**arg {
+                    Expr::IntLit(v) => Interval::exact(*v),
+                    Expr::Var(n) => env.get(n).copied().unwrap_or(Interval::TOP),
+                    _ => Interval::TOP,
+                }
+            }
+            Expr::Call { name, args } => match name.as_str() {
+                "imin" if args.len() == 2 => {
+                    let a = self.eval(&args[0], env);
+                    let b = self.eval(&args[1], env);
+                    Interval {
+                        lo: a.lo.zip(b.lo).map(|(x, y)| x.min(y)).or(a.lo).or(b.lo),
+                        hi: match (a.hi, b.hi) {
+                            (Some(x), Some(y)) => Some(x.min(y)),
+                            (Some(x), None) | (None, Some(x)) => Some(x),
+                            (None, None) => None,
+                        },
+                    }
+                }
+                "imax" if args.len() == 2 => {
+                    let a = self.eval(&args[0], env);
+                    let b = self.eval(&args[1], env);
+                    Interval {
+                        lo: match (a.lo, b.lo) {
+                            (Some(x), Some(y)) => Some(x.max(y)),
+                            (Some(x), None) | (None, Some(x)) => Some(x),
+                            (None, None) => None,
+                        },
+                        hi: a.hi.zip(b.hi).map(|(x, y)| x.max(y)).or(a.hi).or(b.hi),
+                    }
+                }
+                "iabs" if args.len() == 1 => {
+                    let a = self.eval(&args[0], env);
+                    match (a.lo, a.hi) {
+                        (Some(l), Some(h)) => {
+                            let m = l.abs().max(h.abs());
+                            Interval::range(0, m)
+                        }
+                        _ => Interval { lo: Some(0), hi: None },
+                    }
+                }
+                _ => Interval::TOP,
+            },
+            _ => Interval::TOP,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argo_ir::parse::parse_program;
+
+    fn bounds_of(src: &str, ctx: &ValueCtx) -> Result<Vec<u64>, WcetError> {
+        let p = parse_program(src).unwrap();
+        let b = loop_bounds(&p, "main", ctx)?;
+        let mut v: Vec<(StmtId, u64)> = b.into_iter().collect();
+        v.sort();
+        Ok(v.into_iter().map(|(_, n)| n).collect())
+    }
+
+    #[test]
+    fn constant_bounds() {
+        let b = bounds_of(
+            "void main(real a[64]) { int i; for (i=0;i<64;i=i+1) { a[i] = 0.0; } }",
+            &ValueCtx::default(),
+        )
+        .unwrap();
+        assert_eq!(b, vec![64]);
+    }
+
+    #[test]
+    fn stepped_and_nested_bounds() {
+        let b = bounds_of(
+            "void main(real a[8][8]) { int i; int j; \
+             for (i=0;i<8;i=i+2) { for (j=0;j<8;j=j+1) { a[i][j] = 0.0; } } }",
+            &ValueCtx::default(),
+        )
+        .unwrap();
+        assert_eq!(b, vec![4, 8]);
+    }
+
+    #[test]
+    fn parameter_ranges_bound_loops() {
+        let ctx = ValueCtx::with_param("n", 0, 100);
+        let b = bounds_of(
+            "void main(real a[128], int n) { int i; for (i=0;i<n;i=i+1) { a[i] = 0.0; } }",
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(b, vec![100]);
+    }
+
+    #[test]
+    fn unbounded_parameter_is_an_error() {
+        let err = bounds_of(
+            "void main(real a[128], int n) { int i; for (i=0;i<n;i=i+1) { a[i] = 0.0; } }",
+            &ValueCtx::default(),
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("cannot bound"));
+    }
+
+    #[test]
+    fn derived_bounds_through_arithmetic() {
+        let ctx = ValueCtx::with_param("n", 1, 16);
+        let b = bounds_of(
+            "void main(real a[64], int n) { int i; int m; m = n * 2 + 1; \
+             for (i=0;i<m;i=i+1) { a[i] = 0.0; } }",
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(b, vec![33]);
+    }
+
+    #[test]
+    fn while_uses_pragma_bound() {
+        let b = bounds_of(
+            "void main() { real x; x = 100.0; #pragma bound 12\n \
+             while (x > 1.0) { x = x / 2.0; } }",
+            &ValueCtx::default(),
+        )
+        .unwrap();
+        assert_eq!(b, vec![12]);
+    }
+
+    #[test]
+    fn branch_join_takes_hull() {
+        let ctx = ValueCtx::with_param("k", 0, 1);
+        let b = bounds_of(
+            "void main(real a[32], int k) { int m; int i; \
+             if (k > 0) { m = 8; } else { m = 20; } \
+             for (i=0;i<m;i=i+1) { a[i] = 0.0; } }",
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(b, vec![20]);
+    }
+
+    #[test]
+    fn loop_body_updates_widen_safely() {
+        // `acc` grows in the loop: widening must not diverge, and the
+        // loop bound stays 10.
+        let b = bounds_of(
+            "void main(real a[16]) { int i; int acc; acc = 0; \
+             for (i=0;i<10;i=i+1) { acc = acc + 3; a[0] = 0.0; } }",
+            &ValueCtx::default(),
+        )
+        .unwrap();
+        assert_eq!(b, vec![10]);
+    }
+
+    #[test]
+    fn chunked_bounds_divide() {
+        // The shapes produced by the chunking transformation:
+        // lo + d*c/k style bounds must stay bounded.
+        let b = bounds_of(
+            "void main(real a[64]) { int i0; int i1; \
+             for (i0 = 0 + (64 - 0) * 0 / 2; i0 < 0 + (64 - 0) * 1 / 2; i0 = i0 + 1) { a[i0] = 0.0; } \
+             for (i1 = 0 + (64 - 0) * 1 / 2; i1 < 0 + (64 - 0) * 2 / 2; i1 = i1 + 1) { a[i1] = 1.0; } }",
+            &ValueCtx::default(),
+        )
+        .unwrap();
+        // Each chunk: analysis sees [0,32) and [32,64): exactly 32 each.
+        assert_eq!(b, vec![32, 32]);
+    }
+
+    #[test]
+    fn callee_loops_are_bounded_too() {
+        let src = "void helper(real a[8]) { int i; for (i=0;i<8;i=i+1) { a[i] = 0.0; } } \
+                   void main(real a[8]) { helper(a); }";
+        let p = parse_program(src).unwrap();
+        let b = loop_bounds(&p, "main", &ValueCtx::default()).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(*b.values().next().unwrap(), 8);
+    }
+
+    #[test]
+    fn interval_arithmetic_basics() {
+        let a = Interval::range(2, 5);
+        let b = Interval::range(-1, 3);
+        assert_eq!(a.add(b), Interval::range(1, 8));
+        assert_eq!(a.sub(b), Interval::range(-1, 6));
+        assert_eq!(a.mul(b), Interval::range(-5, 15));
+        assert_eq!(a.join(b), Interval::range(-1, 5));
+        assert_eq!(Interval::range(10, 20).div(Interval::exact(3)), Interval::range(3, 6));
+        assert!(!Interval::TOP.is_bounded());
+    }
+}

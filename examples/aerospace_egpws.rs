@@ -1,0 +1,54 @@
+//! Aerospace use case (paper § IV-A): Enhanced Ground Proximity Warning
+//! System, compiled by the ARGO flow for both target platform families and
+//! validated on the simulator.
+//!
+//! ```sh
+//! cargo run --example aerospace_egpws
+//! ```
+
+use argo_adl::Platform;
+use argo_core::{compile, ToolchainConfig};
+use argo_sim::{simulate, SimConfig, SimMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let uc = argo_apps::egpws::use_case(2026);
+    println!("=== EGPWS on two ARGO target platforms ===\n");
+
+    for platform in [Platform::xentium_manycore(4), Platform::kit_tile_noc(2, 2)] {
+        let r = compile(uc.program.clone(), uc.entry, &platform, &ToolchainConfig::default())?;
+        let wc = simulate(&r.parallel, &platform, uc.args.clone(), &SimConfig::default())?;
+        let avg = simulate(
+            &r.parallel,
+            &platform,
+            uc.args.clone(),
+            &SimConfig { mode: SimMode::Random { seed: 1 } },
+        )?;
+        println!("platform {:<18}", platform.name);
+        println!("  sequential WCET bound : {:>9}", r.sequential_bound);
+        println!("  parallel   WCET bound : {:>9}", r.system.bound);
+        println!("  guaranteed speedup    : {:>9.2}x", r.wcet_speedup());
+        println!("  observed worst-case   : {:>9}", wc.cycles);
+        println!("  observed average-case : {:>9}", avg.cycles);
+        println!(
+            "  WCET gap (bound/avg)  : {:>9.2}x\n",
+            r.system.bound as f64 / avg.cycles as f64
+        );
+        assert!(wc.cycles <= r.system.bound);
+
+        // Show the alerts the parallel run produced.
+        let alerts = wc
+            .outputs
+            .iter()
+            .find(|(n, _)| n == "alert")
+            .expect("alert output")
+            .1
+            .to_reals();
+        let counts = [0.0, 1.0, 2.0, 3.0]
+            .map(|l| alerts.iter().filter(|&&a| a == l).count());
+        println!(
+            "  path points: {} clear, {} caution, {} warning, {} pull-up\n",
+            counts[0], counts[1], counts[2], counts[3]
+        );
+    }
+    Ok(())
+}

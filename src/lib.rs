@@ -1,0 +1,2 @@
+//! Root crate re-exporting the ARGO reproduction workspace (see `argo_core`).
+pub use argo_core as core;
