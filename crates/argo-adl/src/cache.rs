@@ -28,12 +28,24 @@ impl CacheConfig {
     /// A small 1 KiB, 2-way cache with 32-byte lines — deliberately tight
     /// so the ablation shows capacity misses.
     pub fn small() -> CacheConfig {
-        CacheConfig { sets: 16, ways: 2, line_bytes: 32, hit_cycles: 1, miss_penalty: 12 }
+        CacheConfig {
+            sets: 16,
+            ways: 2,
+            line_bytes: 32,
+            hit_cycles: 1,
+            miss_penalty: 12,
+        }
     }
 
     /// A 16 KiB, 4-way cache with 32-byte lines.
     pub fn large() -> CacheConfig {
-        CacheConfig { sets: 128, ways: 4, line_bytes: 32, hit_cycles: 1, miss_penalty: 12 }
+        CacheConfig {
+            sets: 128,
+            ways: 4,
+            line_bytes: 32,
+            hit_cycles: 1,
+            miss_penalty: 12,
+        }
     }
 
     /// Total capacity in bytes.
@@ -72,7 +84,12 @@ pub struct LruCache {
 impl LruCache {
     /// Creates an empty (all-invalid) cache.
     pub fn new(cfg: CacheConfig) -> LruCache {
-        LruCache { cfg, sets: vec![Vec::new(); cfg.sets], hits: 0, misses: 0 }
+        LruCache {
+            cfg,
+            sets: vec![Vec::new(); cfg.sets],
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// The configuration this cache was built with.
@@ -137,7 +154,13 @@ mod tests {
     fn lru_eviction_order() {
         // 2-way: after touching 3 blocks mapping to the same set, the
         // first is evicted.
-        let cfg = CacheConfig { sets: 1, ways: 2, line_bytes: 32, hit_cycles: 1, miss_penalty: 10 };
+        let cfg = CacheConfig {
+            sets: 1,
+            ways: 2,
+            line_bytes: 32,
+            hit_cycles: 1,
+            miss_penalty: 10,
+        };
         let mut c = LruCache::new(cfg);
         c.access(0); // block 0
         c.access(32); // block 1
@@ -150,7 +173,13 @@ mod tests {
 
     #[test]
     fn lru_promotion_on_hit() {
-        let cfg = CacheConfig { sets: 1, ways: 2, line_bytes: 32, hit_cycles: 1, miss_penalty: 10 };
+        let cfg = CacheConfig {
+            sets: 1,
+            ways: 2,
+            line_bytes: 32,
+            hit_cycles: 1,
+            miss_penalty: 10,
+        };
         let mut c = LruCache::new(cfg);
         c.access(0);
         c.access(32);
@@ -173,7 +202,9 @@ mod tests {
     fn working_set_within_capacity_eventually_all_hits() {
         let cfg = CacheConfig::small();
         let mut c = LruCache::new(cfg);
-        let addrs: Vec<u64> = (0..cfg.capacity_lines()).map(|i| i * cfg.line_bytes).collect();
+        let addrs: Vec<u64> = (0..cfg.capacity_lines())
+            .map(|i| i * cfg.line_bytes)
+            .collect();
         for &a in &addrs {
             c.access(a);
         }

@@ -66,7 +66,10 @@ impl Arbitration {
             // TDMA: the request can just miss the core's slot and must
             // wait for the full remaining round, regardless of actual
             // contention (predictable but wasteful at low load).
-            Arbitration::Tdma { slot_cycles, total_slots } => {
+            Arbitration::Tdma {
+                slot_cycles,
+                total_slots,
+            } => {
                 let slot = (*slot_cycles).max(txn_cycles);
                 slot * total_slots.saturating_sub(1) + slot.saturating_sub(1)
             }
@@ -75,7 +78,10 @@ impl Arbitration {
             // (slots sized to cover one transaction's bus occupancy). At
             // most `others` contenders are simultaneously active, and for
             // a sound bound we must assume the *largest-weight* subset is.
-            Arbitration::Wrr { weights, slot_cycles } => {
+            Arbitration::Wrr {
+                weights,
+                slot_cycles,
+            } => {
                 let mut ws: Vec<u64> = weights
                     .iter()
                     .enumerate()
@@ -136,7 +142,11 @@ pub fn noc_worst_route_latency(
     link_contenders: u64,
     contender_weight: u64,
 ) -> u64 {
-    let blocking = if link_contenders > 0 { link_latency * flits } else { 0 };
+    let blocking = if link_contenders > 0 {
+        link_latency * flits
+    } else {
+        0
+    };
     let per_hop_wait = link_contenders * contender_weight * link_latency * flits + blocking;
     let head = hops * (router_latency + link_latency + per_hop_wait);
     let body = flits.saturating_sub(1) * link_latency;
@@ -149,7 +159,10 @@ mod tests {
 
     #[test]
     fn tdma_bound_is_contender_independent() {
-        let a = Arbitration::Tdma { slot_cycles: 8, total_slots: 4 };
+        let a = Arbitration::Tdma {
+            slot_cycles: 8,
+            total_slots: 4,
+        };
         let w1 = a.worst_wait(0, 1, 10);
         let w4 = a.worst_wait(0, 4, 10);
         // The bound is identical regardless of how many cores actually
@@ -162,7 +175,10 @@ mod tests {
 
     #[test]
     fn wrr_wait_grows_with_contenders() {
-        let a = Arbitration::Wrr { weights: vec![1; 8], slot_cycles: 4 };
+        let a = Arbitration::Wrr {
+            weights: vec![1; 8],
+            slot_cycles: 4,
+        };
         let mut prev = 0;
         for k in 1..=8 {
             let w = a.worst_wait(0, k, 12);
@@ -176,16 +192,24 @@ mod tests {
     fn wrr_respects_weights() {
         // Core 0 has weight 4, others weight 1: core 1 waits longer than
         // core 0 would with the roles reversed.
-        let a = Arbitration::Wrr { weights: vec![4, 1, 1, 1], slot_cycles: 4 };
+        let a = Arbitration::Wrr {
+            weights: vec![4, 1, 1, 1],
+            slot_cycles: 4,
+        };
         let wait_of_low = a.worst_wait(1, 2, 12); // may wait for weight-4 core
-        let b = Arbitration::Wrr { weights: vec![1, 1, 1, 1], slot_cycles: 4 };
+        let b = Arbitration::Wrr {
+            weights: vec![1, 1, 1, 1],
+            slot_cycles: 4,
+        };
         let wait_uniform = b.worst_wait(1, 2, 12);
         assert!(wait_of_low > wait_uniform);
     }
 
     #[test]
     fn fixed_priority_favours_high_priority() {
-        let a = Arbitration::FixedPriority { priorities: vec![0, 1, 2, 3] };
+        let a = Arbitration::FixedPriority {
+            priorities: vec![0, 1, 2, 3],
+        };
         let top = a.worst_wait(0, 4, 12);
         let bottom = a.worst_wait(3, 4, 12);
         assert!(bottom > top);
@@ -197,7 +221,9 @@ mod tests {
 
     #[test]
     fn fixed_priority_no_contention_no_wait() {
-        let a = Arbitration::FixedPriority { priorities: vec![0, 1] };
+        let a = Arbitration::FixedPriority {
+            priorities: vec![0, 1],
+        };
         assert_eq!(a.worst_wait(1, 1, 12), 0);
     }
 
@@ -206,7 +232,10 @@ mod tests {
         let base = noc_worst_route_latency(2, 4, 3, 1, 1, 1);
         assert!(noc_worst_route_latency(3, 4, 3, 1, 1, 1) > base, "hops");
         assert!(noc_worst_route_latency(2, 8, 3, 1, 1, 1) > base, "flits");
-        assert!(noc_worst_route_latency(2, 4, 3, 1, 3, 1) > base, "contenders");
+        assert!(
+            noc_worst_route_latency(2, 4, 3, 1, 3, 1) > base,
+            "contenders"
+        );
         assert!(noc_worst_route_latency(2, 4, 3, 1, 1, 4) > base, "weights");
     }
 

@@ -191,9 +191,15 @@ impl Platform {
         Platform {
             name: format!("xentium{n}-wrr"),
             cores,
-            shared: SharedMemory { size_bytes: 16 << 20, latency: 12 },
+            shared: SharedMemory {
+                size_bytes: 16 << 20,
+                latency: 12,
+            },
             interconnect: Interconnect::Bus {
-                arbitration: Arbitration::Wrr { weights: vec![1; n], slot_cycles: 4 },
+                arbitration: Arbitration::Wrr {
+                    weights: vec![1; n],
+                    slot_cycles: 4,
+                },
             },
         }
     }
@@ -218,7 +224,10 @@ impl Platform {
         Platform {
             name: format!("kit-{rows}x{cols}-inoc"),
             cores,
-            shared: SharedMemory { size_bytes: 64 << 20, latency: 20 },
+            shared: SharedMemory {
+                size_bytes: 64 << 20,
+                latency: 20,
+            },
             interconnect: Interconnect::Noc {
                 rows,
                 cols,
@@ -271,7 +280,9 @@ impl Platform {
     /// Returns a [`PlatformError`] describing the first inconsistency.
     pub fn validate(&self) -> Result<(), PlatformError> {
         if self.cores.is_empty() {
-            return Err(PlatformError { msg: "platform has no cores".into() });
+            return Err(PlatformError {
+                msg: "platform has no cores".into(),
+            });
         }
         for (i, c) in self.cores.iter().enumerate() {
             if c.id.0 != i {
@@ -297,7 +308,7 @@ impl Platform {
                             ),
                         });
                     }
-                    if weights.iter().any(|&w| w == 0) {
+                    if weights.contains(&0) {
                         return Err(PlatformError {
                             msg: "WRR weights must be positive".into(),
                         });
@@ -436,9 +447,15 @@ mod tests {
     fn presets_validate() {
         Platform::xentium_manycore(4).validate().unwrap();
         Platform::kit_tile_noc(2, 3).validate().unwrap();
-        Platform::generic_bus(2, Arbitration::Tdma { slot_cycles: 8, total_slots: 2 })
-            .validate()
-            .unwrap();
+        Platform::generic_bus(
+            2,
+            Arbitration::Tdma {
+                slot_cycles: 8,
+                total_slots: 2,
+            },
+        )
+        .validate()
+        .unwrap();
     }
 
     #[test]
@@ -490,7 +507,10 @@ mod tests {
     fn validation_catches_bad_wrr_weights() {
         let mut p = Platform::xentium_manycore(4);
         p.interconnect = Interconnect::Bus {
-            arbitration: Arbitration::Wrr { weights: vec![1, 1], slot_cycles: 4 },
+            arbitration: Arbitration::Wrr {
+                weights: vec![1, 1],
+                slot_cycles: 4,
+            },
         };
         assert!(p.validate().is_err());
     }

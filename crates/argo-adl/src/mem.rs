@@ -133,7 +133,11 @@ mod tests {
     use super::*;
 
     fn placed(space: MemSpace, base: u64, size: u64) -> Placement {
-        Placement { space, base_addr: base, size_bytes: size }
+        Placement {
+            space,
+            base_addr: base,
+            size_bytes: size,
+        }
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl fmt::Display for AdlParseError {
 impl std::error::Error for AdlParseError {}
 
 fn err(line: u32, msg: impl Into<String>) -> AdlParseError {
-    AdlParseError { msg: msg.into(), line }
+    AdlParseError {
+        msg: msg.into(),
+        line,
+    }
 }
 
 struct Fields<'a> {
@@ -62,7 +65,10 @@ impl<'a> Fields<'a> {
             };
             pairs.push((k, v));
         }
-        Ok(Fields { line: line_no, pairs })
+        Ok(Fields {
+            line: line_no,
+            pairs,
+        })
     }
 
     fn get(&self, key: &str) -> Option<&'a str> {
@@ -85,7 +91,8 @@ impl<'a> Fields<'a> {
     }
 
     fn usize_of(&self, key: &str, default: Option<usize>) -> Result<usize, AdlParseError> {
-        self.u64_of(key, default.map(|d| d as u64)).map(|v| v as usize)
+        self.u64_of(key, default.map(|d| d as u64))
+            .map(|v| v as usize)
     }
 }
 
@@ -143,10 +150,7 @@ pub fn parse_platform(src: &str) -> Result<Platform, AdlParseError> {
                             .map(|x| x.parse().map_err(|_| err(line_no, "bad cache spec")))
                             .collect::<Result<_, _>>()?;
                         if parts.len() != 5 {
-                            return Err(err(
-                                line_no,
-                                "cache spec must be sets,ways,line,hit,miss",
-                            ));
+                            return Err(err(line_no, "cache spec must be sets,ways,line,hit,miss"));
                         }
                         Some(CacheConfig {
                             sets: parts[0] as usize,
@@ -189,30 +193,29 @@ pub fn parse_platform(src: &str) -> Result<Platform, AdlParseError> {
                             Some(w) => w
                                 .split(',')
                                 .map(|x| {
-                                    x.parse::<u64>()
-                                        .map_err(|_| err(line_no, "bad WRR weight"))
+                                    x.parse::<u64>().map_err(|_| err(line_no, "bad WRR weight"))
                                 })
                                 .collect::<Result<Vec<u64>, _>>()?,
                             None => vec![1; cores.len()],
                         };
-                        Arbitration::Wrr { weights, slot_cycles }
+                        Arbitration::Wrr {
+                            weights,
+                            slot_cycles,
+                        }
                     }
                     "fixedprio" => {
                         let priorities = match f.get("priorities") {
                             Some(p) => p
                                 .split(',')
                                 .map(|x| {
-                                    x.parse::<usize>()
-                                        .map_err(|_| err(line_no, "bad priority"))
+                                    x.parse::<usize>().map_err(|_| err(line_no, "bad priority"))
                                 })
                                 .collect::<Result<Vec<usize>, _>>()?,
                             None => (0..cores.len()).collect(),
                         };
                         Arbitration::FixedPriority { priorities }
                     }
-                    other => {
-                        return Err(err(line_no, format!("unknown arbitration `{other}`")))
-                    }
+                    other => return Err(err(line_no, format!("unknown arbitration `{other}`"))),
                 };
                 interconnect = Some(Interconnect::Bus { arbitration });
             }
@@ -237,9 +240,7 @@ pub fn parse_platform(src: &str) -> Result<Platform, AdlParseError> {
         shared: shared.ok_or_else(|| err(0, "missing `shared` line"))?,
         interconnect: interconnect.ok_or_else(|| err(0, "missing `bus` or `noc` line"))?,
     };
-    platform
-        .validate()
-        .map_err(|e| err(0, e.msg))?;
+    platform.validate().map_err(|e| err(0, e.msg))?;
     Ok(platform)
 }
 
@@ -264,22 +265,43 @@ pub fn print_platform(p: &Platform) -> String {
         }
         let _ = writeln!(out);
     }
-    let _ = writeln!(out, "shared size={} latency={}", p.shared.size_bytes, p.shared.latency);
+    let _ = writeln!(
+        out,
+        "shared size={} latency={}",
+        p.shared.size_bytes, p.shared.latency
+    );
     match &p.interconnect {
         Interconnect::Bus { arbitration } => match arbitration {
-            Arbitration::Tdma { slot_cycles, total_slots } => {
+            Arbitration::Tdma {
+                slot_cycles,
+                total_slots,
+            } => {
                 let _ = writeln!(out, "bus arb=tdma slot={slot_cycles} slots={total_slots}");
             }
-            Arbitration::Wrr { weights, slot_cycles } => {
+            Arbitration::Wrr {
+                weights,
+                slot_cycles,
+            } => {
                 let w: Vec<String> = weights.iter().map(|x| x.to_string()).collect();
-                let _ = writeln!(out, "bus arb=wrr slot={slot_cycles} weights={}", w.join(","));
+                let _ = writeln!(
+                    out,
+                    "bus arb=wrr slot={slot_cycles} weights={}",
+                    w.join(",")
+                );
             }
             Arbitration::FixedPriority { priorities } => {
                 let pr: Vec<String> = priorities.iter().map(|x| x.to_string()).collect();
                 let _ = writeln!(out, "bus arb=fixedprio priorities={}", pr.join(","));
             }
         },
-        Interconnect::Noc { rows, cols, router_latency, link_latency, flit_bytes, wrr_weight } => {
+        Interconnect::Noc {
+            rows,
+            cols,
+            router_latency,
+            link_latency,
+            flit_bytes,
+            wrr_weight,
+        } => {
             let _ = writeln!(
                 out,
                 "noc rows={rows} cols={cols} router={router_latency} link={link_latency} \
@@ -313,7 +335,9 @@ bus arb=wrr slot=4 weights=1,1,1,1
         assert_eq!(p.shared.latency, 12);
         assert!(matches!(
             p.interconnect,
-            Interconnect::Bus { arbitration: Arbitration::Wrr { .. } }
+            Interconnect::Bus {
+                arbitration: Arbitration::Wrr { .. }
+            }
         ));
     }
 
@@ -341,7 +365,12 @@ noc rows=2 cols=2 router=3 link=1
         assert_eq!(p.cores[0].spm_bytes, 16 * 1024);
         assert!(matches!(
             p.interconnect,
-            Interconnect::Bus { arbitration: Arbitration::Tdma { slot_cycles: 4, total_slots: 1 } }
+            Interconnect::Bus {
+                arbitration: Arbitration::Tdma {
+                    slot_cycles: 4,
+                    total_slots: 1
+                }
+            }
         ));
     }
 
@@ -350,7 +379,12 @@ noc rows=2 cols=2 router=3 link=1
         for p in [
             Platform::xentium_manycore(3),
             Platform::kit_tile_noc(2, 2),
-            Platform::generic_bus(2, Arbitration::FixedPriority { priorities: vec![1, 0] }),
+            Platform::generic_bus(
+                2,
+                Arbitration::FixedPriority {
+                    priorities: vec![1, 0],
+                },
+            ),
         ] {
             let text = print_platform(&p);
             let q = parse_platform(&text).unwrap();
@@ -384,7 +418,8 @@ noc rows=2 cols=2 router=3 link=1
 
     #[test]
     fn parses_cache_spec() {
-        let src = "platform p\ncore kind=xentium cache=16,2,32,1,12\nshared latency=9\nbus arb=tdma\n";
+        let src =
+            "platform p\ncore kind=xentium cache=16,2,32,1,12\nshared latency=9\nbus arb=tdma\n";
         let p = parse_platform(src).unwrap();
         let c = p.cores[0].cache.expect("cache parsed");
         assert_eq!(c.sets, 16);

@@ -146,7 +146,11 @@ fn standard_intrinsics(base: u64) -> BTreeMap<String, u64> {
     ] {
         // Cheap select-style intrinsics cost a couple of cycles, the
         // transcendental ones scale with `base`.
-        let cycles = if factor == 1 && matches!(name, "fabs" | "fmin" | "fmax" | "iabs" | "imin" | "imax" | "floor") {
+        let cycles = if factor == 1
+            && matches!(
+                name,
+                "fabs" | "fmin" | "fmax" | "iabs" | "imin" | "imax" | "floor"
+            ) {
             2
         } else {
             base * factor

@@ -80,8 +80,9 @@ void egpws(real terrain[4096], real path_x[128], real path_y[128],
 pub fn synthetic_terrain(seed: u64) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
     const COARSE: usize = 9;
-    let lattice: Vec<f64> =
-        (0..COARSE * COARSE).map(|_| rng.gen_range(0.0..2500.0)).collect();
+    let lattice: Vec<f64> = (0..COARSE * COARSE)
+        .map(|_| rng.gen_range(0.0..2500.0))
+        .collect();
     let mut out = Vec::with_capacity(GRID * GRID);
     let scale = (COARSE - 1) as f64 / (GRID - 1) as f64;
     for y in 0..GRID {
@@ -90,9 +91,7 @@ pub fn synthetic_terrain(seed: u64) -> Vec<f64> {
             let fy = y as f64 * scale;
             let (ix, iy) = (fx as usize, fy as usize);
             let (dx, dy) = (fx - ix as f64, fy - iy as f64);
-            let at = |r: usize, c: usize| {
-                lattice[r.min(COARSE - 1) * COARSE + c.min(COARSE - 1)]
-            };
+            let at = |r: usize, c: usize| lattice[r.min(COARSE - 1) * COARSE + c.min(COARSE - 1)];
             let h0 = at(iy, ix) * (1.0 - dx) + at(iy, ix + 1) * dx;
             let h1 = at(iy + 1, ix) * (1.0 - dx) + at(iy + 1, ix + 1) * dx;
             out.push(h0 * (1.0 - dy) + h1 * dy);
@@ -193,7 +192,13 @@ mod tests {
             ArgVal::Array(ArrayData::from_reals(&vec![0.0; PATH])),
         ];
         let out = interp.call_full("egpws", args, &mut NullHook).unwrap();
-        let alert = out.arrays.iter().find(|(n, _)| n == "alert").unwrap().1.to_reals();
+        let alert = out
+            .arrays
+            .iter()
+            .find(|(n, _)| n == "alert")
+            .unwrap()
+            .1
+            .to_reals();
         let pull_ups = alert.iter().filter(|&&a| a == 3.0).count();
         assert!(
             pull_ups > PATH / 2,

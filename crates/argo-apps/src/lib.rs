@@ -47,7 +47,11 @@ pub struct UseCase {
 /// Panics only if the embedded sources fail to parse — a bug, covered by
 /// tests.
 pub fn all_use_cases(seed: u64) -> Vec<UseCase> {
-    vec![egpws::use_case(seed), weaa::use_case(seed), polka::use_case(seed)]
+    vec![
+        egpws::use_case(seed),
+        weaa::use_case(seed),
+        polka::use_case(seed),
+    ]
 }
 
 #[cfg(test)]
@@ -58,8 +62,7 @@ mod tests {
     #[test]
     fn all_use_cases_parse_validate_and_run() {
         for uc in all_use_cases(42) {
-            argo_ir::validate::validate(&uc.program)
-                .unwrap_or_else(|e| panic!("{}: {e}", uc.name));
+            argo_ir::validate::validate(&uc.program).unwrap_or_else(|e| panic!("{}: {e}", uc.name));
             let mut interp = Interp::new(&uc.program);
             interp
                 .call_full(uc.entry, uc.args.clone(), &mut NullHook)

@@ -111,9 +111,7 @@ pub fn synthetic_frame(seed: u64, blobs: usize) -> Vec<f64> {
             let s0 = 1000.0 + rng.gen_range(-20.0..20.0);
             let d = dolp[r * SP + c];
             let th = aolp[r * SP + c];
-            let inten = |analyser: f64| {
-                0.5 * s0 * (1.0 + d * (2.0 * (th - analyser)).cos())
-            };
+            let inten = |analyser: f64| 0.5 * s0 * (1.0 + d * (2.0 * (th - analyser)).cos());
             raw[(2 * r) * RAW + 2 * c] = inten(0.0);
             raw[(2 * r) * RAW + 2 * c + 1] = inten(std::f64::consts::FRAC_PI_4);
             raw[(2 * r + 1) * RAW + 2 * c] = inten(std::f64::consts::FRAC_PI_2);
@@ -174,13 +172,16 @@ mod tests {
     #[test]
     fn clean_glass_has_no_stress_detections() {
         let (_, mask) = run(0, 11);
-        assert!(mask.iter().all(|&m| m == 0.0), "false positives on clean frame");
+        assert!(
+            mask.iter().all(|&m| m == 0.0),
+            "false positives on clean frame"
+        );
     }
 
     #[test]
     fn stressed_glass_is_detected() {
         let (dolp, mask) = run(3, 11);
-        assert!(mask.iter().any(|&m| m == 1.0), "missed stress blobs");
+        assert!(mask.contains(&1.0), "missed stress blobs");
         // DoLP peaks where the mask fires.
         let best = dolp.iter().cloned().fold(0.0f64, f64::max);
         assert!(best > 0.4);

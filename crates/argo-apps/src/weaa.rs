@@ -91,8 +91,12 @@ void weaa(real vy[16], real vz[16], real gamma[16], real age[16],
 }
 "#;
 
+/// The synthetic scene arrays: vortex `(y, z, circulation, age)` plus the
+/// own-ship trajectory `(y, z)` samples.
+pub type SceneArrays = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>);
+
 /// Seeded synthetic vortex field and own-ship trajectory.
-pub fn synthetic_scene(seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+pub fn synthetic_scene(seed: u64) -> SceneArrays {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut vy = Vec::new();
     let mut vz = Vec::new();
@@ -143,7 +147,7 @@ pub fn use_case(seed: u64) -> UseCase {
             ArgVal::Array(ArrayData::from_reals(&ty)),
             ArgVal::Array(ArrayData::from_reals(&tz)),
             ArgVal::Array(ArrayData::from_reals(&vec![0.0; TRAJ])),
-            ArgVal::Array(ArrayData::from_reals(&vec![0.0; CANDIDATES])),
+            ArgVal::Array(ArrayData::from_reals(&[0.0; CANDIDATES])),
             ArgVal::Array(ArrayData::from_reals(&[0.0])),
         ],
     }
@@ -202,7 +206,7 @@ mod tests {
                 ArgVal::Array(ArrayData::from_reals(ty)),
                 ArgVal::Array(ArrayData::from_reals(tz)),
                 ArgVal::Array(ArrayData::from_reals(&vec![0.0; TRAJ])),
-                ArgVal::Array(ArrayData::from_reals(&vec![0.0; CANDIDATES])),
+                ArgVal::Array(ArrayData::from_reals(&[0.0; CANDIDATES])),
                 ArgVal::Array(ArrayData::from_reals(&[0.0])),
             ];
             let out = interp.call_full("weaa", args, &mut NullHook).unwrap();

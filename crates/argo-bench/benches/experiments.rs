@@ -42,8 +42,13 @@ fn bench_simulator(c: &mut Criterion) {
     g.sample_size(10);
     let uc = &argo_apps::all_use_cases(42)[2];
     let platform = Platform::xentium_manycore(4);
-    let r = compile(uc.program.clone(), uc.entry, &platform, &ToolchainConfig::default())
-        .unwrap();
+    let r = compile(
+        uc.program.clone(),
+        uc.entry,
+        &platform,
+        &ToolchainConfig::default(),
+    )
+    .unwrap();
     g.bench_function("simulate_polka_4core", |b| {
         b.iter(|| {
             let s = simulate(
@@ -64,16 +69,38 @@ fn bench_schedulers(c: &mut Criterion) {
     g.sample_size(10);
     let platform = Platform::xentium_manycore(4);
     let ctx = SchedCtx::new(&platform);
-    let graph = random_task_graph(1, &RandomGraphParams { tasks: 12, ..Default::default() });
+    let graph = random_task_graph(
+        1,
+        &RandomGraphParams {
+            tasks: 12,
+            ..Default::default()
+        },
+    );
     g.bench_function("list_12", |b| {
-        b.iter(|| black_box(ListScheduler::new().schedule(black_box(&graph), &ctx).makespan()))
+        b.iter(|| {
+            black_box(
+                ListScheduler::new()
+                    .schedule(black_box(&graph), &ctx)
+                    .makespan(),
+            )
+        })
     });
     g.bench_function("bnb_12", |b| {
-        b.iter(|| black_box(BranchAndBound::new().schedule(black_box(&graph), &ctx).makespan()))
+        b.iter(|| {
+            black_box(
+                BranchAndBound::new()
+                    .schedule(black_box(&graph), &ctx)
+                    .makespan(),
+            )
+        })
     });
     g.bench_function("anneal_12", |b| {
         b.iter(|| {
-            black_box(SimulatedAnnealing::with_seed(1).schedule(black_box(&graph), &ctx).makespan())
+            black_box(
+                SimulatedAnnealing::with_seed(1)
+                    .schedule(black_box(&graph), &ctx)
+                    .makespan(),
+            )
         })
     });
     g.finish();
@@ -85,37 +112,30 @@ fn bench_wcet(c: &mut Criterion) {
     let uc = argo_apps::egpws::use_case(42);
     let platform = Platform::xentium_manycore(1);
     let mem = argo_adl::MemoryMap::new();
-    let bounds =
-        argo_wcet::value::loop_bounds(&uc.program, uc.entry, &Default::default()).unwrap();
+    let bounds = argo_wcet::value::loop_bounds(&uc.program, uc.entry, &Default::default()).unwrap();
     g.bench_function("schema_egpws", |b| {
         b.iter(|| {
-            let ctx = argo_wcet::cost::CostCtx::new(
-                &uc.program,
-                &platform,
-                argo_adl::CoreId(0),
-                1,
-                &mem,
-            );
+            let ctx =
+                argo_wcet::cost::CostCtx::new(&uc.program, &platform, argo_adl::CoreId(0), 1, &mem);
             black_box(argo_wcet::schema::function_wcets(&ctx, &bounds).unwrap())
         })
     });
     g.bench_function("ipet_egpws", |b| {
-        let ctx = argo_wcet::cost::CostCtx::new(
-            &uc.program,
-            &platform,
-            argo_adl::CoreId(0),
-            1,
-            &mem,
-        );
+        let ctx =
+            argo_wcet::cost::CostCtx::new(&uc.program, &platform, argo_adl::CoreId(0), 1, &mem);
         let fw = argo_wcet::schema::function_wcets(&ctx, &bounds).unwrap();
         b.iter(|| {
-            black_box(
-                argo_wcet::ipet::function_wcet_ipet(&ctx, &bounds, &fw, uc.entry).unwrap(),
-            )
+            black_box(argo_wcet::ipet::function_wcet_ipet(&ctx, &bounds, &fw, uc.entry).unwrap())
         })
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_toolchain, bench_simulator, bench_schedulers, bench_wcet);
+criterion_group!(
+    benches,
+    bench_toolchain,
+    bench_simulator,
+    bench_schedulers,
+    bench_wcet
+);
 criterion_main!(benches);

@@ -1,4 +1,8 @@
-//! Experiment binary: prints the e1_toolflow table (see EXPERIMENTS.md).
-fn main() {
-    print!("{}", argo_bench::e1_toolflow());
+//! E1 (paper Fig. 1): the complete tool flow on all three use cases —
+//! task counts, sequential/parallel WCET bounds, guaranteed speedup and
+//! a simulator soundness check per use case.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    argo_bench::run_binary("e1_toolflow", argo_bench::e1_toolflow)
 }

@@ -1,4 +1,12 @@
-//! Experiment binary: prints the e2_wcet_speedup table (see EXPERIMENTS.md).
-fn main() {
-    print!("{}", argo_bench::e2_wcet_speedup(&[1,2,4,8,16]));
+//! E2: guaranteed WCET speedup vs core count, per use case.
+//!
+//! Optional argument: comma-separated core counts (default `1,2,4,8,16`),
+//! e.g. `e2_wcet_speedup 1,2,4`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let cores = argo_bench::parse_list_arg("e2_wcet_speedup [cores,...]", &[1, 2, 4, 8, 16]);
+    argo_bench::run_binary("e2_wcet_speedup", move || {
+        argo_bench::e2_wcet_speedup(&cores)
+    })
 }

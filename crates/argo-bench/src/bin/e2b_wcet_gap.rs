@@ -1,4 +1,7 @@
-//! Experiment binary: prints the E2b average-vs-worst gap table.
-fn main() {
-    print!("{}", argo_bench::e2b_wcet_gap());
+//! E2b: worst-case bound vs average observed cycles per use case — the
+//! § I "tightness" motivation.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    argo_bench::run_binary("e2b_wcet_gap", argo_bench::e2b_wcet_gap)
 }

@@ -1,4 +1,7 @@
-//! Experiment binary: prints the e3_tightness table (see EXPERIMENTS.md).
-fn main() {
-    print!("{}", argo_bench::e3_tightness());
+//! E3: system-level WCET bound per MHP precision mode vs simulator
+//! observation, on POLKA and a pipelined synthetic workload.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    argo_bench::run_binary("e3_tightness", argo_bench::e3_tightness)
 }

@@ -1,4 +1,14 @@
-//! Experiment binary: prints the e4_sched_ablation table (see EXPERIMENTS.md).
-fn main() {
-    print!("{}", argo_bench::e4_sched_ablation(&[6,8,10,12,16,24]));
+//! E4: scheduler ablation (list vs branch-and-bound vs annealing) on
+//! random layered DAGs, parallelized over the `argo-dse` executor.
+//!
+//! Optional argument: comma-separated DAG sizes (default
+//! `6,8,10,12,16,24`), e.g. `e4_sched_ablation 8,16`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let sizes =
+        argo_bench::parse_list_arg("e4_sched_ablation [tasks,...]", &[6, 8, 10, 12, 16, 24]);
+    argo_bench::run_binary("e4_sched_ablation", move || {
+        argo_bench::e4_sched_ablation(&sizes)
+    })
 }

@@ -1,4 +1,14 @@
-//! Experiment binary: prints the e5_spm table (see EXPERIMENTS.md).
-fn main() {
-    print!("{}", argo_bench::e5_spm(&[0,2048,4096,8192,16384,32768,65536]));
+//! E5: WCET-directed scratchpad allocation — bound vs SPM capacity,
+//! swept as an `argo-dse` design space on EGPWS.
+//!
+//! Optional argument: comma-separated capacities in bytes (default
+//! `0,2048,4096,8192,16384,32768,65536`), e.g. `e5_spm 0,4096`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let caps = argo_bench::parse_list_arg(
+        "e5_spm [bytes,...]",
+        &[0, 2048, 4096, 8192, 16384, 32768, 65536],
+    );
+    argo_bench::run_binary("e5_spm", move || argo_bench::e5_spm(&caps))
 }

@@ -1,4 +1,7 @@
-//! Experiment binary: prints the e6_arch_predictability table (see EXPERIMENTS.md).
-fn main() {
-    print!("{}", argo_bench::e6_arch_predictability());
+//! E6: architecture-predictability ablation (§ III-B guidelines) —
+//! bound and tightness across arbitration policies and cache vs SPM.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    argo_bench::run_binary("e6_arch_predictability", argo_bench::e6_arch_predictability)
 }

@@ -1,4 +1,7 @@
-//! Experiment binary: prints the e7_granularity table (see EXPERIMENTS.md).
-fn main() {
-    print!("{}", argo_bench::e7_granularity());
+//! E7: task-granularity sweep (§ III-C trade-off) on WEAA, swept as an
+//! `argo-dse` design space along the granularity axis.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    argo_bench::run_binary("e7_granularity", argo_bench::e7_granularity)
 }

@@ -1,4 +1,7 @@
-//! Experiment binary: prints the e8_parmerasa table (see EXPERIMENTS.md).
-fn main() {
-    print!("{}", argo_bench::e8_parmerasa());
+//! E8: manual fork-join WCET (parMERASA-style, ref [4]) vs ARGO's
+//! schedule-aware bound — quantifies what schedule knowledge buys.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    argo_bench::run_binary("e8_parmerasa", argo_bench::e8_parmerasa)
 }

@@ -28,10 +28,20 @@ pub fn e1_toolflow() -> String {
     );
     let platform = Platform::xentium_manycore(4);
     for uc in argo_apps::all_use_cases(42) {
-        let r = compile(uc.program.clone(), uc.entry, &platform, &ToolchainConfig::default())
-            .expect("compile");
-        let sim = simulate(&r.parallel, &platform, uc.args.clone(), &SimConfig::default())
-            .expect("simulate");
+        let r = compile(
+            uc.program.clone(),
+            uc.entry,
+            &platform,
+            &ToolchainConfig::default(),
+        )
+        .expect("compile");
+        let sim = simulate(
+            &r.parallel,
+            &platform,
+            uc.args.clone(),
+            &SimConfig::default(),
+        )
+        .expect("simulate");
         let _ = writeln!(
             out,
             "{:<12} {:>5} {:>8} {:>9} {:>10} {:>7.2}x {:>9}  {}",
@@ -42,7 +52,11 @@ pub fn e1_toolflow() -> String {
             r.system.bound,
             r.wcet_speedup(),
             sim.cycles,
-            if sim.cycles <= r.system.bound { "yes" } else { "NO!" },
+            if sim.cycles <= r.system.bound {
+                "yes"
+            } else {
+                "NO!"
+            },
         );
     }
     out
@@ -59,9 +73,13 @@ pub fn e2_wcet_speedup(core_counts: &[usize]) -> String {
         let _ = write!(out, "{:<12}", uc.name);
         for &cores in core_counts {
             let platform = Platform::xentium_manycore(cores);
-            let r =
-                compile(uc.program.clone(), uc.entry, &platform, &ToolchainConfig::default())
-                    .expect("compile");
+            let r = compile(
+                uc.program.clone(),
+                uc.entry,
+                &platform,
+                &ToolchainConfig::default(),
+            )
+            .expect("compile");
             let _ = write!(out, "{:>8.2}x", r.wcet_speedup());
         }
         out.push('\n');
@@ -103,7 +121,10 @@ pub fn e3_tightness() -> String {
     ];
     for (wname, program, entry, args) in workloads {
         for mhp in [MhpMode::Naive, MhpMode::Static, MhpMode::Windows] {
-            let cfg = ToolchainConfig { mhp, ..Default::default() };
+            let cfg = ToolchainConfig {
+                mhp,
+                ..Default::default()
+            };
             let r = compile(program.clone(), entry, &platform, &cfg).expect("compile");
             let sim = simulate(&r.parallel, &platform, args.clone(), &SimConfig::default())
                 .expect("simulate");
@@ -122,6 +143,9 @@ pub fn e3_tightness() -> String {
 }
 
 /// E4: scheduler ablation on random layered DAGs — makespan and runtime.
+///
+/// Runs on the `argo-dse` work-stealing executor: each DAG size is an
+/// independent job, evaluated in parallel with deterministic row order.
 pub fn e4_sched_ablation(sizes: &[usize]) -> String {
     let mut out = String::from(
         "E4 scheduler ablation (random layered DAGs, 4 cores, mean of 5 seeds)\n\
@@ -129,51 +153,74 @@ pub fn e4_sched_ablation(sizes: &[usize]) -> String {
     );
     let platform = Platform::xentium_manycore(4);
     let ctx = SchedCtx::new(&platform);
-    for &n in sizes {
-        let params = RandomGraphParams { tasks: n, ..Default::default() };
-        let (mut l, mut b, mut s, mut nodes) = (0f64, 0f64, 0f64, 0u64);
-        const SEEDS: u64 = 5;
-        for seed in 0..SEEDS {
-            let g = random_task_graph(seed, &params);
-            l += ListScheduler::new().schedule(&g, &ctx).makespan() as f64;
-            let (bs, nn) = BranchAndBound::new().schedule_counted(&g, &ctx);
-            b += bs.makespan() as f64;
-            nodes += nn;
-            s += SimulatedAnnealing::with_seed(seed).schedule(&g, &ctx).makespan() as f64;
-        }
-        let (l, b, s) = (l / SEEDS as f64, b / SEEDS as f64, s / SEEDS as f64);
-        let _ = writeln!(
-            out,
-            "{n:>5} {l:>9.0} {b:>8.0} {s:>8.0} {:>9.3} {:>8.3} {:>11}",
-            b / l,
-            s / l,
-            nodes / SEEDS
-        );
+    let rows = argo_dse::executor::parallel_map(
+        sizes.to_vec(),
+        argo_dse::executor::default_threads(),
+        &|_idx, n| {
+            let params = RandomGraphParams {
+                tasks: n,
+                ..Default::default()
+            };
+            let (mut l, mut b, mut s, mut nodes) = (0f64, 0f64, 0f64, 0u64);
+            const SEEDS: u64 = 5;
+            for seed in 0..SEEDS {
+                let g = random_task_graph(seed, &params);
+                l += ListScheduler::new().schedule(&g, &ctx).makespan() as f64;
+                let (bs, nn) = BranchAndBound::new().schedule_counted(&g, &ctx);
+                b += bs.makespan() as f64;
+                nodes += nn;
+                s += SimulatedAnnealing::with_seed(seed)
+                    .schedule(&g, &ctx)
+                    .makespan() as f64;
+            }
+            let (l, b, s) = (l / SEEDS as f64, b / SEEDS as f64, s / SEEDS as f64);
+            format!(
+                "{n:>5} {l:>9.0} {b:>8.0} {s:>8.0} {:>9.3} {:>8.3} {:>11}\n",
+                b / l,
+                s / l,
+                nodes / SEEDS
+            )
+        },
+    );
+    for row in rows {
+        out.push_str(&row);
     }
     out
 }
 
 /// E5: WCET-directed scratchpad allocation — bound vs SPM capacity.
+///
+/// Runs as an `argo-dse` design-space sweep along the SPM axis (EGPWS,
+/// one core); capacities sharing the frontend artifact hit the cache.
 pub fn e5_spm(capacities: &[u64]) -> String {
     let mut out = String::from(
         "E5 scratchpad allocation (EGPWS, 1 core: all arrays single-core)\n\
          spm-bytes   seq-WCET-bound   vs-no-spm\n",
     );
-    let uc = argo_apps::egpws::use_case(42);
-    let mut base = 0u64;
-    for &cap in capacities {
-        let mut platform = Platform::xentium_manycore(1);
-        platform.cores[0].spm_bytes = cap;
-        let r = compile(uc.program.clone(), uc.entry, &platform, &ToolchainConfig::default())
-            .expect("compile");
-        if cap == 0 {
-            base = r.system.bound;
-        }
+    let space = argo_dse::DesignSpace::new()
+        .app("egpws")
+        .cores(vec![1])
+        .spm_capacities(capacities.iter().map(|&c| Some(c)).collect());
+    let report = argo_dse::Explorer::new().explore(&space);
+    // Baseline for the ratio column: the no-SPM row wherever it appears
+    // in the list, else the first row (the binary accepts arbitrary
+    // capacity lists, so 0 is not guaranteed to lead).
+    let bound_of = |row: &argo_dse::ReportRow| row.outcome.as_ref().expect("compile").par_bound;
+    let base = report
+        .rows
+        .iter()
+        .find(|r| r.point.spm_bytes == Some(0))
+        .or_else(|| report.rows.first())
+        .map(&bound_of)
+        .unwrap_or(0);
+    for row in &report.rows {
+        let cap = row.point.spm_bytes.expect("explicit capacity axis");
+        let bound = bound_of(row);
         let _ = writeln!(
             out,
             "{cap:>9} {:>16} {:>10.2}x",
-            r.system.bound,
-            base as f64 / r.system.bound.max(1) as f64
+            bound,
+            base as f64 / bound.max(1) as f64
         );
     }
     out
@@ -190,11 +237,22 @@ pub fn e6_arch_predictability() -> String {
         ("wrr-spm".into(), Platform::xentium_manycore(4)),
         (
             "tdma-spm".into(),
-            Platform::generic_bus(4, Arbitration::Tdma { slot_cycles: 12, total_slots: 4 }),
+            Platform::generic_bus(
+                4,
+                Arbitration::Tdma {
+                    slot_cycles: 12,
+                    total_slots: 4,
+                },
+            ),
         ),
         (
             "fixedprio-spm".into(),
-            Platform::generic_bus(4, Arbitration::FixedPriority { priorities: vec![0, 1, 2, 3] }),
+            Platform::generic_bus(
+                4,
+                Arbitration::FixedPriority {
+                    priorities: vec![0, 1, 2, 3],
+                },
+            ),
         ),
         (
             "wrr-cache".into(),
@@ -202,10 +260,20 @@ pub fn e6_arch_predictability() -> String {
         ),
     ];
     for (name, platform) in variants {
-        let r = compile(uc.program.clone(), uc.entry, &platform, &ToolchainConfig::default())
-            .expect("compile");
-        let sim = simulate(&r.parallel, &platform, uc.args.clone(), &SimConfig::default())
-            .expect("simulate");
+        let r = compile(
+            uc.program.clone(),
+            uc.entry,
+            &platform,
+            &ToolchainConfig::default(),
+        )
+        .expect("compile");
+        let sim = simulate(
+            &r.parallel,
+            &platform,
+            uc.args.clone(),
+            &SimConfig::default(),
+        )
+        .expect("simulate");
         let _ = writeln!(
             out,
             "{name:<18} {:>9} {:>12} {:>9.2}x",
@@ -218,27 +286,33 @@ pub fn e6_arch_predictability() -> String {
 }
 
 /// E7: task-granularity sweep (§ III-C trade-off).
+///
+/// Runs as an `argo-dse` design-space sweep along the granularity axis
+/// (WEAA, 4 cores), with the three granularities explored in parallel.
 pub fn e7_granularity() -> String {
     let mut out = String::from(
         "E7 granularity sweep (WEAA, 4 cores)\n\
          granularity  tasks  signals  par-WCET   speedup\n",
     );
-    let platform = Platform::xentium_manycore(4);
-    let uc = &argo_apps::all_use_cases(42)[1];
-    for (name, g) in [
-        ("loop", Granularity::Loop),
-        ("block", Granularity::Block),
-        ("stmt", Granularity::Stmt),
-    ] {
-        let cfg = ToolchainConfig { granularity: g, ..Default::default() };
-        let r = compile(uc.program.clone(), uc.entry, &platform, &cfg).expect("compile");
+    let space = argo_dse::DesignSpace::new()
+        .app("weaa")
+        .cores(vec![4])
+        .granularities(vec![
+            Granularity::Loop,
+            Granularity::Block,
+            Granularity::Stmt,
+        ]);
+    let report = argo_dse::Explorer::new().explore(&space);
+    for row in &report.rows {
+        let m = row.outcome.as_ref().expect("compile");
         let _ = writeln!(
             out,
-            "{name:<12} {:>5} {:>8} {:>9} {:>8.2}x",
-            r.parallel.graph.len(),
-            r.parallel.sync_count(),
-            r.system.bound,
-            r.wcet_speedup()
+            "{:<12} {:>5} {:>8} {:>9} {:>8.2}x",
+            argo_dse::space::granularity_label(row.point.granularity),
+            m.tasks,
+            m.signals,
+            m.par_bound,
+            m.speedup
         );
     }
     out
@@ -256,10 +330,12 @@ pub fn e8_parmerasa() -> String {
          use-case     manual-bound  argo-bound  pessimism\n",
     );
     let platform = Platform::xentium_manycore(4);
-    let cfg = ToolchainConfig { mhp: MhpMode::Windows, ..Default::default() };
+    let cfg = ToolchainConfig {
+        mhp: MhpMode::Windows,
+        ..Default::default()
+    };
     for uc in argo_apps::all_use_cases(42) {
-        let r = compile(uc.program.clone(), uc.entry, &platform, &cfg)
-            .expect("compile");
+        let r = compile(uc.program.clone(), uc.entry, &platform, &cfg).expect("compile");
         let manual = argo_wcet::system::manual_fork_join_bound(
             &r.parallel.graph,
             &platform,
@@ -316,13 +392,20 @@ pub fn e2b_wcet_gap() -> String {
     );
     let platform = Platform::xentium_manycore(4);
     for uc in argo_apps::all_use_cases(42) {
-        let r = compile(uc.program.clone(), uc.entry, &platform, &ToolchainConfig::default())
-            .expect("compile");
+        let r = compile(
+            uc.program.clone(),
+            uc.entry,
+            &platform,
+            &ToolchainConfig::default(),
+        )
+        .expect("compile");
         let avg = simulate(
             &r.parallel,
             &platform,
             uc.args.clone(),
-            &SimConfig { mode: SimMode::Random { seed: 9 } },
+            &SimConfig {
+                mode: SimMode::Random { seed: 9 },
+            },
         )
         .expect("simulate");
         let _ = writeln!(
@@ -337,11 +420,57 @@ pub fn e2b_wcet_gap() -> String {
     out
 }
 
+/// Entry point shared by the `eN_*` experiment binaries: runs the driver,
+/// prints its table, and converts panics into a nonzero exit with the
+/// failure on stderr (experiment drivers assert their own invariants and
+/// panic on violation).
+pub fn run_binary(
+    name: &str,
+    table: impl FnOnce() -> String + std::panic::UnwindSafe,
+) -> std::process::ExitCode {
+    match std::panic::catch_unwind(table) {
+        Ok(t) => {
+            print!("{t}");
+            std::process::ExitCode::SUCCESS
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("unknown panic");
+            eprintln!("{name}: FAILED: {msg}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses a comma-separated numeric list CLI argument, falling back to
+/// `default` when absent; exits with usage on malformed input.
+pub fn parse_list_arg<T>(usage: &str, default: &[T]) -> Vec<T>
+where
+    T: std::str::FromStr + Copy,
+{
+    match std::env::args().nth(1) {
+        None => default.to_vec(),
+        Some(arg) => match arg.split(',').map(str::trim).map(str::parse).collect() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("usage: {usage}");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
 /// Scheduler-kind sweep used by E4's tool-chain-level variant.
 pub fn compile_with_scheduler(kind: SchedulerKind) -> f64 {
     let platform = Platform::xentium_manycore(4);
     let uc = &argo_apps::all_use_cases(42)[2];
-    let cfg = ToolchainConfig { scheduler: kind, ..Default::default() };
+    let cfg = ToolchainConfig {
+        scheduler: kind,
+        ..Default::default()
+    };
     let r = compile(uc.program.clone(), uc.entry, &platform, &cfg).expect("compile");
     r.wcet_speedup()
 }
@@ -367,7 +496,10 @@ mod tests {
             .map(|l| l.split_whitespace().nth(2).unwrap().parse().unwrap())
             .collect();
         assert_eq!(bounds.len(), 3);
-        assert!(bounds[0] > bounds[1], "naive must exceed static on pipelines");
+        assert!(
+            bounds[0] > bounds[1],
+            "naive must exceed static on pipelines"
+        );
         assert!(bounds[1] >= bounds[2]);
     }
 
@@ -377,6 +509,56 @@ mod tests {
         let row = t.lines().nth(2).unwrap();
         let ratio: f64 = row.split_whitespace().nth(4).unwrap().parse().unwrap();
         assert!(ratio <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn e5_dse_rows_match_direct_compile() {
+        let caps = [0u64, 16384];
+        let table = e5_spm(&caps);
+        for (line, &cap) in table.lines().skip(2).zip(&caps) {
+            let mut platform = Platform::xentium_manycore(1);
+            platform.cores[0].spm_bytes = cap;
+            let uc = argo_apps::egpws::use_case(42);
+            let direct = compile(
+                uc.program.clone(),
+                uc.entry,
+                &platform,
+                &ToolchainConfig::default(),
+            )
+            .expect("compile");
+            let bound: u64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+            assert_eq!(bound, direct.system.bound, "capacity {cap}: {line}");
+        }
+    }
+
+    #[test]
+    fn e7_dse_rows_match_direct_compile() {
+        let table = e7_granularity();
+        let platform = Platform::xentium_manycore(4);
+        let uc = argo_apps::weaa::use_case(42);
+        for (line, g) in
+            table
+                .lines()
+                .skip(2)
+                .zip([Granularity::Loop, Granularity::Block, Granularity::Stmt])
+        {
+            let cfg = ToolchainConfig {
+                granularity: g,
+                ..Default::default()
+            };
+            let direct = compile(uc.program.clone(), uc.entry, &platform, &cfg).expect("compile");
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(
+                cols[1].parse::<usize>().unwrap(),
+                direct.parallel.graph.len(),
+                "{line}"
+            );
+            assert_eq!(
+                cols[3].parse::<u64>().unwrap(),
+                direct.system.bound,
+                "{line}"
+            );
+        }
     }
 
     #[test]
@@ -396,6 +578,9 @@ mod tests {
             ratios.push(p);
         }
         // …and clearly worse where parallelism exists.
-        assert!(ratios.iter().any(|&p| p > 1.2), "no pessimism shown: {ratios:?}");
+        assert!(
+            ratios.iter().any(|&p| p > 1.2),
+            "no pessimism shown: {ratios:?}"
+        );
     }
 }

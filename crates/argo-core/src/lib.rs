@@ -115,7 +115,11 @@ impl ToolchainResult {
     pub fn report(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        let _ = writeln!(s, "ARGO tool-chain report — entry `{}`", self.parallel.entry);
+        let _ = writeln!(
+            s,
+            "ARGO tool-chain report — entry `{}`",
+            self.parallel.entry
+        );
         let _ = writeln!(
             s,
             "  tasks: {}   signals: {}   feedback iterations: {}",
@@ -123,8 +127,16 @@ impl ToolchainResult {
             self.parallel.sync_count(),
             self.feedback_iterations
         );
-        let _ = writeln!(s, "  sequential WCET bound: {:>12} cycles", self.sequential_bound);
-        let _ = writeln!(s, "  parallel   WCET bound: {:>12} cycles", self.system.bound);
+        let _ = writeln!(
+            s,
+            "  sequential WCET bound: {:>12} cycles",
+            self.sequential_bound
+        );
+        let _ = writeln!(
+            s,
+            "  parallel   WCET bound: {:>12} cycles",
+            self.system.bound
+        );
         let _ = writeln!(s, "  guaranteed speedup:    {:>12.2}x", self.wcet_speedup());
         let _ = writeln!(s, "  per-task (iso → inflated, contenders):");
         for t in 0..self.parallel.graph.len() {
@@ -160,23 +172,51 @@ impl fmt::Display for ToolchainError {
 impl std::error::Error for ToolchainError {}
 
 fn stage_err<E: fmt::Display>(stage: &'static str) -> impl Fn(E) -> ToolchainError {
-    move |e| ToolchainError { stage, msg: e.to_string() }
+    move |e| ToolchainError {
+        stage,
+        msg: e.to_string(),
+    }
 }
 
-/// Runs the complete ARGO flow on `program` for `platform`.
+/// The reusable result of the program-side compilation stages: the
+/// transformed program, its loop bounds and the annotated HTG.
+///
+/// Two exploration points that share `(program, entry, granularity,
+/// chunking, core count, value context)` produce *identical* frontend
+/// artifacts regardless of platform, scheduler or memory configuration —
+/// which is what makes them cacheable across a design-space sweep
+/// (see the `argo-dse` crate).
+#[derive(Debug, Clone)]
+pub struct FrontendArtifact {
+    /// The program after predictability transformations.
+    pub program: Program,
+    /// Loop bounds from the value analysis.
+    pub bounds: LoopBounds,
+    /// The extracted, access-annotated HTG.
+    pub htg: Htg,
+}
+
+/// Per-task isolated code-level WCETs, keyed by HTG task id.
+pub type TaskCosts = BTreeMap<argo_htg::TaskId, u64>;
+
+/// Runs the program-side stages: validation, predictability
+/// transformations (§ II-B), loop-bound value analysis and HTG task
+/// extraction with access annotation.
+///
+/// `core_count` is the only platform property the frontend observes (it
+/// controls DOALL chunking); pass `platform.core_count()` when driving a
+/// single compile, or the point's core count when sweeping a design space.
 ///
 /// # Errors
 ///
-/// Returns [`ToolchainError`] naming the failing stage: validation,
-/// transformation, loop-bound analysis, extraction, WCET or parallel-model
-/// construction.
-pub fn compile(
+/// Returns [`ToolchainError`] naming the failing stage: validation, entry
+/// lookup, transformation, loop-bound analysis or extraction.
+pub fn frontend(
     mut program: Program,
     entry: &str,
-    platform: &Platform,
+    core_count: usize,
     cfg: &ToolchainConfig,
-) -> Result<ToolchainResult, ToolchainError> {
-    platform.validate().map_err(stage_err("platform"))?;
+) -> Result<FrontendArtifact, ToolchainError> {
     argo_ir::validate::validate(&program).map_err(stage_err("validate"))?;
     if program.function(entry).is_none() {
         return Err(ToolchainError {
@@ -186,24 +226,90 @@ pub fn compile(
     }
 
     // --- Program analysis & predictability transformations (§ II-B).
-    ConstantFold.run(&mut program).map_err(stage_err("transform"))?;
+    ConstantFold
+        .run(&mut program)
+        .map_err(stage_err("transform"))?;
     program.renumber();
-    if cfg.chunk_loops && platform.core_count() > 1 {
-        chunk_all_parallel_loops(&mut program, entry, platform.core_count())
-            .map_err(stage_err("chunk"))?;
-        ConstantFold.run(&mut program).map_err(stage_err("transform"))?;
+    if cfg.chunk_loops && core_count > 1 {
+        chunk_all_parallel_loops(&mut program, entry, core_count).map_err(stage_err("chunk"))?;
+        ConstantFold
+            .run(&mut program)
+            .map_err(stage_err("transform"))?;
         program.renumber();
     }
     argo_ir::validate::validate(&program).map_err(stage_err("validate-post-transform"))?;
 
     // --- Loop bounds (value analysis).
-    let bounds =
-        loop_bounds(&program, entry, &cfg.value_ctx).map_err(stage_err("loop-bounds"))?;
+    let bounds = loop_bounds(&program, entry, &cfg.value_ctx).map_err(stage_err("loop-bounds"))?;
 
     // --- Task extraction (HTG) + access annotation.
     let mut htg = extract(&program, entry, cfg.granularity).map_err(stage_err("extract"))?;
-    let actx = AnnotateCtx { bounds: bounds.clone(), default_bound: 1 };
+    let actx = AnnotateCtx {
+        bounds: bounds.clone(),
+        default_bound: 1,
+    };
     argo_htg::accesses::annotate(&mut htg, &program, &actx);
+
+    Ok(FrontendArtifact {
+        program,
+        bounds,
+        htg,
+    })
+}
+
+/// Computes the feedback round-0 code-level WCETs: every task costed on
+/// core 0 with the conservative all-shared memory placement.
+///
+/// This table depends only on `(artifact, entry, platform)` — not on the
+/// scheduler or MHP mode — so design-space points that share a platform
+/// and program can reuse it (the second cache tier of `argo-dse`).
+///
+/// # Errors
+///
+/// Returns [`ToolchainError`] if the code-level analysis fails.
+pub fn seed_costs(
+    artifact: &FrontendArtifact,
+    entry: &str,
+    platform: &Platform,
+) -> Result<TaskCosts, ToolchainError> {
+    let mem = all_shared_map(&artifact.program, entry);
+    let ctx = CostCtx::new(&artifact.program, platform, argo_adl::CoreId(0), 1, &mem);
+    let fw = function_wcets(&ctx, &artifact.bounds).map_err(stage_err("code-wcet"))?;
+    let mut costs: TaskCosts = BTreeMap::new();
+    for &tid in &artifact.htg.top_level {
+        let task = artifact.htg.task(tid);
+        let w = stmt_ids_wcet(&ctx, &artifact.bounds, &fw, entry, &task.stmts)
+            .map_err(stage_err("task-wcet"))?;
+        costs.insert(tid, w.max(1));
+    }
+    Ok(costs)
+}
+
+/// Runs the platform-side stages on a frontend artifact: the iterative
+/// schedule ↔ placement ↔ WCET feedback loop (§ II-E), parallel model
+/// construction (§ II-C) and system-level WCET analysis (§ II-D).
+///
+/// `seed` optionally supplies the round-0 task costs (as produced by
+/// [`seed_costs`] for the same artifact and platform), skipping the first
+/// code-level WCET pass. Passing `None` computes them in place; the result
+/// is identical either way.
+///
+/// # Errors
+///
+/// Returns [`ToolchainError`] naming the failing stage.
+pub fn backend(
+    artifact: FrontendArtifact,
+    entry: &str,
+    platform: &Platform,
+    cfg: &ToolchainConfig,
+    seed: Option<&TaskCosts>,
+) -> Result<ToolchainResult, ToolchainError> {
+    platform.validate().map_err(stage_err("platform"))?;
+    let FrontendArtifact {
+        program,
+        bounds,
+        htg,
+    } = artifact;
 
     // --- Iterative schedule ↔ placement ↔ WCET loop (§ II-E).
     let mut mem = all_shared_map(&program, entry);
@@ -214,25 +320,41 @@ pub fn compile(
     let mut iterations = 0;
     for round in 0..cfg.feedback_rounds.max(1) {
         iterations = round + 1;
-        // Code-level WCET per task, on its (current) core, isolated.
-        let mut costs: BTreeMap<argo_htg::TaskId, u64> = BTreeMap::new();
-        for (idx, &tid) in htg.top_level.iter().enumerate() {
-            let core = match &assignment {
-                Some(a) => a[idx],
-                None => argo_adl::CoreId(0),
-            };
-            let ctx = CostCtx::new(&program, platform, core, 1, &mem);
-            let fw = function_wcets(&ctx, &bounds).map_err(stage_err("code-wcet"))?;
-            let task = htg.task(tid);
-            let w = stmt_ids_wcet(&ctx, &bounds, &fw, entry, &task.stmts)
-                .map_err(stage_err("task-wcet"))?;
-            costs.insert(tid, w.max(1));
-        }
+        // Code-level WCET per task, on its (current) core, isolated. The
+        // function-WCET table only depends on the core, so it is computed
+        // once per distinct core rather than once per task.
+        let costs: TaskCosts = match (round, seed) {
+            (0, Some(seeded)) => seeded.clone(),
+            _ => {
+                let mut costs: TaskCosts = BTreeMap::new();
+                let mut fw_by_core: BTreeMap<argo_adl::CoreId, _> = BTreeMap::new();
+                for (idx, &tid) in htg.top_level.iter().enumerate() {
+                    let core = match &assignment {
+                        Some(a) => a[idx],
+                        None => argo_adl::CoreId(0),
+                    };
+                    let ctx = CostCtx::new(&program, platform, core, 1, &mem);
+                    if let std::collections::btree_map::Entry::Vacant(e) = fw_by_core.entry(core) {
+                        let fw = function_wcets(&ctx, &bounds).map_err(stage_err("code-wcet"))?;
+                        e.insert(fw);
+                    }
+                    let fw = &fw_by_core[&core];
+                    let task = htg.task(tid);
+                    let w = stmt_ids_wcet(&ctx, &bounds, fw, entry, &task.stmts)
+                        .map_err(stage_err("task-wcet"))?;
+                    costs.insert(tid, w.max(1));
+                }
+                costs
+            }
+        };
         graph = TaskGraph::from_htg(&htg, &costs);
         iso_costs = graph.cost.clone();
 
         // Mapping/scheduling stage.
-        let ctx = SchedCtx { platform, comm: CommModel::SignalOnly };
+        let ctx = SchedCtx {
+            platform,
+            comm: CommModel::SignalOnly,
+        };
         let sched: Schedule = match cfg.scheduler {
             SchedulerKind::List => ListScheduler::new().schedule(&graph, &ctx),
             SchedulerKind::BranchAndBound => BranchAndBound::new().schedule(&graph, &ctx),
@@ -266,7 +388,10 @@ pub fn compile(
     let system = analyze(&parallel, platform, &iso_costs, &shared_accesses, cfg.mhp);
 
     // --- Sequential baseline: same tasks, one core, no parallel overlap.
-    let seq_ctx = SchedCtx { platform, comm: CommModel::SignalOnly };
+    let seq_ctx = SchedCtx {
+        platform,
+        comm: CommModel::SignalOnly,
+    };
     let seq = evaluate_assignment(
         &parallel.graph,
         &seq_ctx,
@@ -284,6 +409,25 @@ pub fn compile(
         htg,
         feedback_iterations: iterations,
     })
+}
+
+/// Runs the complete ARGO flow on `program` for `platform`:
+/// [`frontend`] followed by [`backend`].
+///
+/// # Errors
+///
+/// Returns [`ToolchainError`] naming the failing stage: validation,
+/// transformation, loop-bound analysis, extraction, WCET or parallel-model
+/// construction.
+pub fn compile(
+    program: Program,
+    entry: &str,
+    platform: &Platform,
+    cfg: &ToolchainConfig,
+) -> Result<ToolchainResult, ToolchainError> {
+    platform.validate().map_err(stage_err("platform"))?;
+    let artifact = frontend(program, entry, platform.core_count(), cfg)?;
+    backend(artifact, entry, platform, cfg, None)
 }
 
 /// The conservative round-0 placement: every array in shared memory.
@@ -358,17 +502,27 @@ mod tests {
     fn feedback_loop_terminates_and_stabilises() {
         let program = parse_program(MAP_REDUCE).unwrap();
         let platform = Platform::xentium_manycore(2);
-        let cfg = ToolchainConfig { feedback_rounds: 5, ..Default::default() };
+        let cfg = ToolchainConfig {
+            feedback_rounds: 5,
+            ..Default::default()
+        };
         let r = compile(program, "main", &platform, &cfg).unwrap();
         assert!(r.feedback_iterations <= 5);
     }
 
     #[test]
     fn all_schedulers_produce_valid_results() {
-        for sk in [SchedulerKind::List, SchedulerKind::BranchAndBound, SchedulerKind::Anneal] {
+        for sk in [
+            SchedulerKind::List,
+            SchedulerKind::BranchAndBound,
+            SchedulerKind::Anneal,
+        ] {
             let program = parse_program(MAP_REDUCE).unwrap();
             let platform = Platform::xentium_manycore(2);
-            let cfg = ToolchainConfig { scheduler: sk, ..Default::default() };
+            let cfg = ToolchainConfig {
+                scheduler: sk,
+                ..Default::default()
+            };
             let r = compile(program, "main", &platform, &cfg).unwrap();
             r.parallel.validate().unwrap();
         }
@@ -388,8 +542,13 @@ mod tests {
     fn unknown_entry_is_reported_with_stage() {
         let program = parse_program(MAP_REDUCE).unwrap();
         let platform = Platform::xentium_manycore(2);
-        let err =
-            compile(program, "nonexistent", &platform, &ToolchainConfig::default()).unwrap_err();
+        let err = compile(
+            program,
+            "nonexistent",
+            &platform,
+            &ToolchainConfig::default(),
+        )
+        .unwrap_err();
         assert_eq!(err.stage, "entry");
     }
 
@@ -416,6 +575,55 @@ mod tests {
     }
 
     #[test]
+    fn staged_pipeline_matches_monolithic_compile() {
+        let program = parse_program(MAP_REDUCE).unwrap();
+        let platform = Platform::xentium_manycore(4);
+        let cfg = ToolchainConfig::default();
+        let whole = compile(program.clone(), "main", &platform, &cfg).unwrap();
+        let art = frontend(program, "main", platform.core_count(), &cfg).unwrap();
+        let staged = backend(art, "main", &platform, &cfg, None).unwrap();
+        assert_eq!(whole.system, staged.system);
+        assert_eq!(whole.sequential_bound, staged.sequential_bound);
+        assert_eq!(whole.iso_costs, staged.iso_costs);
+        assert_eq!(whole.feedback_iterations, staged.feedback_iterations);
+    }
+
+    #[test]
+    fn seeded_backend_matches_unseeded() {
+        let program = parse_program(MAP_REDUCE).unwrap();
+        let platform = Platform::xentium_manycore(4);
+        for sk in [
+            SchedulerKind::List,
+            SchedulerKind::BranchAndBound,
+            SchedulerKind::Anneal,
+        ] {
+            let cfg = ToolchainConfig {
+                scheduler: sk,
+                ..Default::default()
+            };
+            let art = frontend(program.clone(), "main", platform.core_count(), &cfg).unwrap();
+            let costs = seed_costs(&art, "main", &platform).unwrap();
+            let seeded = backend(art.clone(), "main", &platform, &cfg, Some(&costs)).unwrap();
+            let plain = backend(art, "main", &platform, &cfg, None).unwrap();
+            assert_eq!(seeded.system, plain.system);
+            assert_eq!(seeded.iso_costs, plain.iso_costs);
+            assert_eq!(seeded.sequential_bound, plain.sequential_bound);
+        }
+    }
+
+    #[test]
+    fn frontend_is_deterministic_for_equal_inputs() {
+        let cfg = ToolchainConfig::default();
+        let a = frontend(parse_program(MAP_REDUCE).unwrap(), "main", 4, &cfg).unwrap();
+        let b = frontend(parse_program(MAP_REDUCE).unwrap(), "main", 4, &cfg).unwrap();
+        assert_eq!(
+            argo_ir::printer::print_program(&a.program),
+            argo_ir::printer::print_program(&b.program)
+        );
+        assert_eq!(a.htg, b.htg);
+    }
+
+    #[test]
     fn finer_granularity_yields_more_tasks() {
         let program = parse_program(MAP_REDUCE).unwrap();
         let platform = Platform::xentium_manycore(2);
@@ -423,14 +631,20 @@ mod tests {
             program.clone(),
             "main",
             &platform,
-            &ToolchainConfig { granularity: Granularity::Loop, ..Default::default() },
+            &ToolchainConfig {
+                granularity: Granularity::Loop,
+                ..Default::default()
+            },
         )
         .unwrap();
         let fine = compile(
             program,
             "main",
             &platform,
-            &ToolchainConfig { granularity: Granularity::Stmt, ..Default::default() },
+            &ToolchainConfig {
+                granularity: Granularity::Stmt,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(fine.parallel.graph.len() >= coarse.parallel.graph.len());

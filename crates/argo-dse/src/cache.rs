@@ -1,0 +1,249 @@
+//! Content-hash keyed artifact cache for shared-prefix exploration points.
+//!
+//! The staged `argo_core` pipeline factors one compile into
+//! `frontend → seed_costs → backend`. Only the backend depends on the
+//! scheduler and the memory/interference configuration, so a sweep along
+//! the scheduler axis (or any axis that leaves program and platform
+//! alone) re-derives identical frontends and identical round-0 WCET
+//! tables. This cache keys both artifact tiers by a content hash —
+//! the printed program text plus every configuration field the stage
+//! observes — rather than by axis position, so *any* two points that
+//! would recompute the same artifact share one entry, even across
+//! different `DesignSpace`s or repeated runs on one [`crate::Explorer`].
+//!
+//! Concurrency: each key maps to an `Arc<OnceLock>` slot; the map lock is
+//! held only to find/create the slot, and the (expensive) build runs
+//! under the slot's own once-initialization, so two workers never build
+//! the same artifact twice and distinct keys never serialize each other.
+
+use argo_core::{FrontendArtifact, TaskCosts, ToolchainError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// FNV-1a content fingerprint over labeled parts.
+///
+/// Parts are length-prefixed so `["ab","c"]` and `["a","bc"]` differ.
+pub fn fingerprint(parts: &[&str]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for part in parts {
+        eat(&(part.len() as u64).to_le_bytes());
+        eat(part.as_bytes());
+    }
+    h
+}
+
+/// Hit/miss counters for both cache tiers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Frontend artifacts served from cache.
+    pub frontend_hits: u64,
+    /// Frontend artifacts built.
+    pub frontend_misses: u64,
+    /// Seed-cost tables served from cache.
+    pub cost_hits: u64,
+    /// Seed-cost tables built.
+    pub cost_misses: u64,
+}
+
+impl CacheStats {
+    /// Total hits across both tiers.
+    pub fn hits(&self) -> u64 {
+        self.frontend_hits + self.cost_hits
+    }
+
+    /// Total misses across both tiers.
+    pub fn misses(&self) -> u64 {
+        self.frontend_misses + self.cost_misses
+    }
+
+    /// Hit rate in `[0, 1]` (0 when nothing was requested).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+}
+
+type Slot<T> = Arc<OnceLock<Result<Arc<T>, ToolchainError>>>;
+
+/// Two-tier artifact cache (frontend artifacts, seed-cost tables).
+#[derive(Default)]
+pub struct ArtifactCache {
+    frontend: Mutex<HashMap<u64, Slot<FrontendArtifact>>>,
+    costs: Mutex<HashMap<u64, Slot<TaskCosts>>>,
+    frontend_hits: AtomicU64,
+    frontend_misses: AtomicU64,
+    cost_hits: AtomicU64,
+    cost_misses: AtomicU64,
+}
+
+fn get_or_build<T>(
+    map: &Mutex<HashMap<u64, Slot<T>>>,
+    hits: &AtomicU64,
+    misses: &AtomicU64,
+    key: u64,
+    build: impl FnOnce() -> Result<T, ToolchainError>,
+) -> Result<Arc<T>, ToolchainError> {
+    let (slot, created) = {
+        let mut map = map.lock().unwrap();
+        match map.get(&key) {
+            Some(slot) => (Arc::clone(slot), false),
+            None => {
+                let slot: Slot<T> = Arc::new(OnceLock::new());
+                map.insert(key, Arc::clone(&slot));
+                (slot, true)
+            }
+        }
+    };
+    if created {
+        misses.fetch_add(1, Ordering::Relaxed);
+    } else {
+        hits.fetch_add(1, Ordering::Relaxed);
+    }
+    slot.get_or_init(|| build().map(Arc::new)).clone()
+}
+
+impl ArtifactCache {
+    /// Empty cache.
+    pub fn new() -> ArtifactCache {
+        ArtifactCache::default()
+    }
+
+    /// Returns the frontend artifact for `key`, building it at most once.
+    ///
+    /// # Errors
+    ///
+    /// Returns the builder's [`ToolchainError`]; failures are cached too,
+    /// so a failing point does not rebuild per retry.
+    pub fn frontend(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<FrontendArtifact, ToolchainError>,
+    ) -> Result<Arc<FrontendArtifact>, ToolchainError> {
+        get_or_build(
+            &self.frontend,
+            &self.frontend_hits,
+            &self.frontend_misses,
+            key,
+            build,
+        )
+    }
+
+    /// Returns the seed-cost table for `key`, building it at most once.
+    ///
+    /// # Errors
+    ///
+    /// Returns the builder's [`ToolchainError`] (cached like a success).
+    pub fn seed_costs(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<TaskCosts, ToolchainError>,
+    ) -> Result<Arc<TaskCosts>, ToolchainError> {
+        get_or_build(&self.costs, &self.cost_hits, &self.cost_misses, key, build)
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            frontend_hits: self.frontend_hits.load(Ordering::Relaxed),
+            frontend_misses: self.frontend_misses.load(Ordering::Relaxed),
+            cost_hits: self.cost_hits.load(Ordering::Relaxed),
+            cost_misses: self.cost_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argo_core::{frontend, ToolchainConfig};
+    use argo_ir::parse::parse_program;
+
+    const SRC: &str = "void main(real a[8], real b[8]) {\n\
+                       int i;\n\
+                       for (i = 0; i < 8; i = i + 1) { b[i] = a[i] * 2.0; }\n\
+                       }";
+
+    #[test]
+    fn fingerprint_separates_parts() {
+        assert_ne!(fingerprint(&["ab", "c"]), fingerprint(&["a", "bc"]));
+        assert_eq!(fingerprint(&["x", "y"]), fingerprint(&["x", "y"]));
+        assert_ne!(fingerprint(&[]), fingerprint(&[""]));
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_artifact() {
+        let cache = ArtifactCache::new();
+        let cfg = ToolchainConfig::default();
+        let build = || frontend(parse_program(SRC).unwrap(), "main", 2, &cfg);
+        let a = cache.frontend(7, build).unwrap();
+        let b = cache.frontend(7, build).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.frontend_hits, s.frontend_misses), (1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_keys_build_independently() {
+        let cache = ArtifactCache::new();
+        let cfg = ToolchainConfig::default();
+        for key in [1u64, 2, 3] {
+            cache
+                .frontend(key, || {
+                    frontend(parse_program(SRC).unwrap(), "main", 2, &cfg)
+                })
+                .unwrap();
+        }
+        assert_eq!(cache.stats().frontend_misses, 3);
+        assert_eq!(cache.stats().frontend_hits, 0);
+    }
+
+    #[test]
+    fn failures_are_cached() {
+        let cache = ArtifactCache::new();
+        let cfg = ToolchainConfig::default();
+        let mut calls = 0;
+        for _ in 0..2 {
+            let r = cache.frontend(9, || {
+                calls += 1;
+                frontend(parse_program(SRC).unwrap(), "nonexistent", 2, &cfg)
+            });
+            assert!(r.is_err());
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn concurrent_same_key_builds_once() {
+        let cache = ArtifactCache::new();
+        let built = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let cfg = ToolchainConfig::default();
+                    cache
+                        .frontend(1, || {
+                            built.fetch_add(1, Ordering::Relaxed);
+                            frontend(parse_program(SRC).unwrap(), "main", 2, &cfg)
+                        })
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(built.load(Ordering::Relaxed), 1);
+        let s = cache.stats();
+        assert_eq!(s.frontend_hits + s.frontend_misses, 8);
+        assert_eq!(s.frontend_misses, 1);
+    }
+}

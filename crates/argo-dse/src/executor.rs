@@ -1,0 +1,195 @@
+//! Work-stealing parallel executor with deterministic result ordering.
+//!
+//! Built from std threads, mutex-guarded deques and an mpsc channel — the
+//! container ships no external concurrency crates, and the workload
+//! (dozens to thousands of independent compile/analyze jobs, each many
+//! milliseconds) does not need lock-free deques to scale.
+//!
+//! Scheme: the items are dealt round-robin onto one deque per worker.
+//! A worker pops from the *front* of its own deque and, when empty,
+//! steals from the *back* of a victim's deque (classic Arora–Blumofe–
+//! Plaxton orientation, which keeps owner and thief mostly on opposite
+//! ends). Results carry their original index and are re-assembled into
+//! input order, so the output is identical for any thread count or
+//! steal interleaving.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Number of workers to use by default: the machine's parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on a work-stealing pool of `threads` workers
+/// and returns the results **in input order**.
+///
+/// `f` receives `(index, item)` and must be safe to call from any worker.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by `f` (remaining jobs may or may
+/// not have run).
+pub fn parallel_map<I, T, F>(items: Vec<I>, threads: usize, f: &F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.max(1).min(n);
+    if workers == 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    // Deal the indexed items round-robin onto per-worker deques.
+    let deques: Vec<Mutex<VecDeque<(usize, I)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        deques[i % workers].lock().unwrap().push_back((i, item));
+    }
+
+    type JobOutcome<T> = Result<T, Box<dyn std::any::Any + Send>>;
+    let (tx, rx) = mpsc::channel::<(usize, JobOutcome<T>)>();
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let tx = tx.clone();
+            let deques = &deques;
+            scope.spawn(move || loop {
+                // Own work first (front). The guard MUST drop before the
+                // steal scan: holding the own lock while taking a victim's
+                // lock is an AB-BA deadlock once two workers steal from
+                // each other simultaneously.
+                let own = deques[me].lock().unwrap().pop_front();
+                let job = own.or_else(|| {
+                    (1..workers)
+                        .map(|d| (me + d) % workers)
+                        .find_map(|victim| deques[victim].lock().unwrap().pop_back())
+                });
+                match job {
+                    Some((idx, item)) => {
+                        // Capture a panicking job's payload instead of
+                        // letting it kill the worker: the caller re-raises
+                        // the original panic, not a secondary
+                        // "missing result" one.
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(idx, item)));
+                        if tx.send((idx, outcome)).is_err() {
+                            return;
+                        }
+                    }
+                    // All deques empty: the static job set is exhausted
+                    // (no job spawns new jobs), so this worker is done.
+                    None => return,
+                }
+            });
+        }
+        drop(tx);
+
+        let mut slots: Vec<Option<JobOutcome<T>>> = (0..n).map(|_| None).collect();
+        for (idx, value) in rx {
+            slots[idx] = Some(value);
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| match s {
+                Some(Ok(v)) => v,
+                Some(Err(payload)) => std::panic::resume_unwind(payload),
+                None => panic!("job {i} produced no result"),
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let square = |_i: usize, x: u64| x * x;
+        let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(
+                parallel_map(items.clone(), threads, &square),
+                expect,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn runs_every_job_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(items, 7, &|i, x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i + x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(out[99], 198);
+    }
+
+    #[test]
+    fn uneven_job_durations_are_stolen() {
+        // First worker gets the slow jobs under round-robin dealing; the
+        // result must still be ordered and complete.
+        let items: Vec<u64> = (0..32).collect();
+        let out = parallel_map(items, 4, &|i, x| {
+            if i % 4 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=32).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u8> = parallel_map(Vec::<u8>::new(), 4, &|_, x| x);
+        assert!(out.is_empty());
+    }
+
+    /// Regression: with one job per worker, every worker enters the steal
+    /// scan at the same time. Holding the own-deque lock across the scan
+    /// (the original code shape) deadlocks here within a few hundred
+    /// iterations; the fix drops the own guard before stealing.
+    #[test]
+    fn simultaneous_stealing_does_not_deadlock() {
+        for round in 0..500 {
+            let items: Vec<u64> = vec![round, round + 1];
+            let out = parallel_map(items, 2, &|_, x| x * 2);
+            assert_eq!(out, vec![round * 2, (round + 1) * 2]);
+        }
+    }
+
+    #[test]
+    fn job_panic_propagates_with_original_message() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map((0..8).collect::<Vec<u32>>(), 3, &|i, x| {
+                assert!(i != 5, "job five exploded");
+                x
+            })
+        });
+        let payload = result.unwrap_err();
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .expect("panic payload is a message");
+        assert!(msg.contains("job five exploded"), "got: {msg}");
+    }
+}

@@ -1,0 +1,361 @@
+//! The exploration engine: resolves programs, fans points out onto the
+//! work-stealing executor, shares artifacts through the content-hash
+//! cache and assembles the deterministic report.
+
+use crate::cache::{fingerprint, ArtifactCache, CacheStats};
+use crate::executor::{default_threads, parallel_map};
+use crate::pareto::pareto_front;
+use crate::report::{ExplorationReport, PointMetrics, ReportRow};
+use crate::space::{granularity_label, DesignSpace, ExplorationPoint};
+use argo_core::{backend, frontend, seed_costs, ToolchainConfig};
+use argo_ir::ast::Program;
+use argo_wcet::value::ValueCtx;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A program ready to explore: IR, entry point and its content hash basis.
+struct ResolvedApp {
+    program: Program,
+    entry: String,
+    /// Printed program text — the content part of every cache key.
+    text: String,
+}
+
+/// Drives [`DesignSpace`] sweeps. The artifact cache lives on the
+/// explorer, so repeated [`Explorer::explore`] calls (and overlapping
+/// spaces) keep sharing artifacts.
+pub struct Explorer {
+    threads: usize,
+    cache: ArtifactCache,
+    custom: HashMap<String, Arc<ResolvedApp>>,
+}
+
+impl Default for Explorer {
+    fn default() -> Explorer {
+        Explorer::new()
+    }
+}
+
+impl Explorer {
+    /// Explorer using all available hardware threads.
+    pub fn new() -> Explorer {
+        Explorer::with_threads(default_threads())
+    }
+
+    /// Explorer with an explicit worker count (≥ 1).
+    pub fn with_threads(threads: usize) -> Explorer {
+        Explorer {
+            threads: threads.max(1),
+            cache: ArtifactCache::new(),
+            custom: HashMap::new(),
+        }
+    }
+
+    /// Worker threads this explorer uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Registers a custom program under `name`, shadowing the built-in
+    /// use cases. Useful for exploring programs that are not part of
+    /// `argo_apps` (and for fast tests).
+    pub fn register_program(&mut self, name: &str, program: Program, entry: &str) {
+        let text = argo_ir::printer::print_program(&program);
+        self.custom.insert(
+            name.to_string(),
+            Arc::new(ResolvedApp {
+                program,
+                entry: entry.to_string(),
+                text,
+            }),
+        );
+    }
+
+    /// Current artifact-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    fn resolve(&self, name: &str, seed: u64) -> Result<Arc<ResolvedApp>, String> {
+        if let Some(app) = self.custom.get(name) {
+            return Ok(Arc::clone(app));
+        }
+        let uc = match name {
+            "egpws" => argo_apps::egpws::use_case(seed),
+            "weaa" => argo_apps::weaa::use_case(seed),
+            "polka" => argo_apps::polka::use_case(seed),
+            other => {
+                return Err(format!(
+                    "unknown use case `{other}` (built-ins: egpws, weaa, polka; \
+                     or register a custom program)"
+                ))
+            }
+        };
+        let text = argo_ir::printer::print_program(&uc.program);
+        Ok(Arc::new(ResolvedApp {
+            program: uc.program,
+            entry: uc.entry.to_string(),
+            text,
+        }))
+    }
+
+    /// Runs the full sweep and returns the report. Rows are in
+    /// [`DesignSpace::points`] order regardless of thread count.
+    pub fn explore(&self, space: &DesignSpace) -> ExplorationReport {
+        let t0 = Instant::now();
+        let points = space.points();
+
+        // Resolve each distinct app once, sequentially and in order —
+        // use-case construction is itself seeded and deterministic.
+        let mut apps: HashMap<String, Result<Arc<ResolvedApp>, String>> = HashMap::new();
+        for p in &points {
+            if !apps.contains_key(&p.app) {
+                apps.insert(p.app.clone(), self.resolve(&p.app, space.seed));
+            }
+        }
+
+        let rows = parallel_map(
+            points,
+            self.threads,
+            &|_idx, point: ExplorationPoint| match &apps[&point.app] {
+                Ok(app) => self.evaluate(app, point, space),
+                Err(e) => {
+                    let spm_effective = point.spm_bytes.unwrap_or(0);
+                    ReportRow {
+                        point,
+                        spm_effective,
+                        outcome: Err(e.clone()),
+                    }
+                }
+            },
+        );
+
+        let successes: Vec<(usize, [u64; 3])> = rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| Some(i).zip(r.objectives()))
+            .collect();
+        let objectives: Vec<[u64; 3]> = successes.iter().map(|(_, o)| *o).collect();
+        let pareto: Vec<usize> = pareto_front(&objectives)
+            .into_iter()
+            .map(|k| successes[k].0)
+            .collect();
+
+        ExplorationReport {
+            rows,
+            pareto,
+            cache: self.cache.stats(),
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            threads: self.threads,
+        }
+    }
+
+    fn evaluate(
+        &self,
+        app: &ResolvedApp,
+        point: ExplorationPoint,
+        space: &DesignSpace,
+    ) -> ReportRow {
+        let cfg = ToolchainConfig {
+            granularity: point.granularity,
+            chunk_loops: point.chunk_loops,
+            scheduler: point.scheduler,
+            mhp: point.mhp,
+            feedback_rounds: space.feedback_rounds,
+            value_ctx: ValueCtx::default(),
+        };
+        let platform = point.platform.build(point.cores, point.spm_bytes);
+        let spm_effective = platform.cores.first().map(|c| c.spm_bytes).unwrap_or(0);
+        if let Err(e) = platform.validate() {
+            return ReportRow {
+                point,
+                spm_effective,
+                outcome: Err(e.to_string()),
+            };
+        }
+        let core_count = platform.core_count();
+
+        // Tier 1: frontend artifact — shared by every point with the same
+        // program text, entry, transform options and core count.
+        let frontend_key = fingerprint(&[
+            &app.text,
+            &app.entry,
+            granularity_label(point.granularity),
+            if point.chunk_loops {
+                "chunk"
+            } else {
+                "nochunk"
+            },
+            &core_count.to_string(),
+            &format!("{:?}", cfg.value_ctx),
+        ]);
+        let artifact = match self.cache.frontend(frontend_key, || {
+            frontend(app.program.clone(), &app.entry, core_count, &cfg)
+        }) {
+            Ok(a) => a,
+            Err(e) => {
+                return ReportRow {
+                    point,
+                    spm_effective,
+                    outcome: Err(e.to_string()),
+                }
+            }
+        };
+
+        // Tier 2: round-0 code-level WCETs — shared by every point with
+        // the same frontend artifact *and* platform (e.g. the scheduler
+        // axis).
+        let cost_key = fingerprint(&[&frontend_key.to_string(), &format!("{:?}", platform)]);
+        let costs = match self
+            .cache
+            .seed_costs(cost_key, || seed_costs(&artifact, &app.entry, &platform))
+        {
+            Ok(c) => c,
+            Err(e) => {
+                return ReportRow {
+                    point,
+                    spm_effective,
+                    outcome: Err(e.to_string()),
+                }
+            }
+        };
+
+        match backend(
+            (*artifact).clone(),
+            &app.entry,
+            &platform,
+            &cfg,
+            Some(&costs),
+        ) {
+            Ok(r) => ReportRow {
+                point,
+                spm_effective,
+                outcome: Ok(PointMetrics {
+                    tasks: r.parallel.graph.len(),
+                    signals: r.parallel.sync_count(),
+                    seq_bound: r.sequential_bound,
+                    par_bound: r.system.bound,
+                    speedup: r.wcet_speedup(),
+                    feedback_iterations: r.feedback_iterations,
+                }),
+            },
+            Err(e) => ReportRow {
+                point,
+                spm_effective,
+                outcome: Err(e.to_string()),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::PlatformKind;
+    use argo_core::SchedulerKind;
+    use argo_ir::parse::parse_program;
+
+    const MAP_REDUCE: &str = r#"
+        real main(real a[64], real b[64]) {
+            real s; int i;
+            s = 0.0;
+            for (i = 0; i < 64; i = i + 1) {
+                b[i] = sqrt(a[i]) * 2.0 + sin(a[i]);
+            }
+            for (i = 0; i < 64; i = i + 1) { s = s + b[i]; }
+            return s;
+        }
+    "#;
+
+    fn tiny_explorer() -> Explorer {
+        let mut ex = Explorer::with_threads(4);
+        ex.register_program("tiny", parse_program(MAP_REDUCE).unwrap(), "main");
+        ex
+    }
+
+    fn tiny_space() -> DesignSpace {
+        DesignSpace::new()
+            .app("tiny")
+            .cores(vec![1, 2, 4])
+            .schedulers(vec![SchedulerKind::List, SchedulerKind::Anneal])
+    }
+
+    #[test]
+    fn sweep_produces_ordered_successful_rows_and_front() {
+        let ex = tiny_explorer();
+        let report = ex.explore(&tiny_space());
+        assert_eq!(report.rows.len(), 6);
+        assert_eq!(report.failures(), 0);
+        assert!(!report.pareto.is_empty());
+        // Row order follows the axis order (cores slowest of the two).
+        assert_eq!(report.rows[0].point.cores, 1);
+        assert_eq!(report.rows[0].point.scheduler, SchedulerKind::List);
+        assert_eq!(report.rows[1].point.scheduler, SchedulerKind::Anneal);
+        assert_eq!(report.rows[5].point.cores, 4);
+    }
+
+    #[test]
+    fn scheduler_axis_shares_both_artifact_tiers() {
+        let ex = tiny_explorer();
+        ex.explore(
+            &DesignSpace::new()
+                .app("tiny")
+                .cores(vec![2])
+                .schedulers(vec![
+                    SchedulerKind::List,
+                    SchedulerKind::BranchAndBound,
+                    SchedulerKind::Anneal,
+                ]),
+        );
+        let s = ex.cache_stats();
+        // One frontend and one cost table, shared across 3 schedulers.
+        assert_eq!(s.frontend_misses, 1);
+        assert_eq!(s.frontend_hits, 2);
+        assert_eq!(s.cost_misses, 1);
+        assert_eq!(s.cost_hits, 2);
+    }
+
+    #[test]
+    fn unknown_app_yields_error_rows_not_panics() {
+        let ex = Explorer::with_threads(2);
+        let report = ex.explore(&DesignSpace::new().app("nope"));
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.failures(), 1);
+        assert!(report.pareto.is_empty());
+        assert!(report.rows[0]
+            .outcome
+            .as_ref()
+            .unwrap_err()
+            .contains("unknown use case"));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let space = tiny_space();
+        let csv: Vec<String> = [1, 2, 8]
+            .iter()
+            .map(|&t| {
+                let mut ex = Explorer::with_threads(t);
+                ex.register_program("tiny", parse_program(MAP_REDUCE).unwrap(), "main");
+                ex.explore(&space).to_csv()
+            })
+            .collect();
+        assert_eq!(csv[0], csv[1]);
+        assert_eq!(csv[1], csv[2]);
+    }
+
+    #[test]
+    fn noc_points_compile_too() {
+        let ex = tiny_explorer();
+        let report = ex.explore(
+            &DesignSpace::new()
+                .app("tiny")
+                .platforms(vec![PlatformKind::Noc])
+                .cores(vec![4]),
+        );
+        assert_eq!(report.failures(), 0);
+        let m = report.rows[0].outcome.as_ref().unwrap();
+        assert!(m.par_bound > 0);
+    }
+}

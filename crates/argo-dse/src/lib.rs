@@ -1,0 +1,49 @@
+//! # argo-dse — parallel design-space exploration over the ARGO toolflow
+//!
+//! The ARGO paper (§ III) describes a *toolflow*, not a single compiler
+//! invocation: the parallelization result depends on a lattice of design
+//! decisions — which platform family (§ III-B: the Recore Xentium
+//! many-core bus architecture vs the KIT tile NoC), how many cores, which
+//! mapping/scheduling strategy, which predictability transformations and
+//! task granularity (§ III-C), and how much scratchpad memory each core
+//! owns (WCET-directed SPM allocation). Navigating that lattice under
+//! WCET constraints *is* the design process the paper advocates; this
+//! crate makes it a first-class, parallel, cached subsystem:
+//!
+//! * [`space::DesignSpace`] — a builder enumerating [`space::ExplorationPoint`]s
+//!   as the cartesian product of the axes above (use case × platform ×
+//!   core count × scheduler × granularity × chunking × SPM capacity);
+//! * [`executor`] — a work-stealing thread pool (std threads + channels
+//!   only) that compiles and analyzes points concurrently while keeping
+//!   result order deterministic, so reports are byte-stable regardless of
+//!   thread count;
+//! * [`cache::ArtifactCache`] — a content-hash keyed artifact store
+//!   exploiting the staged [`argo_core`] pipeline: points sharing
+//!   `(program, transforms, core count)` reuse one
+//!   [`argo_core::FrontendArtifact`] (HTG extraction), and points sharing
+//!   `(program, platform)` additionally reuse the round-0 code-level WCET
+//!   table ([`argo_core::seed_costs`]). Hit/miss counters are surfaced in
+//!   every report;
+//! * [`pareto`] — extraction of the Pareto front over the objective
+//!   triple (core count, guaranteed parallel WCET bound, SPM bytes),
+//!   i.e. the § II-E trade-off between resources and guaranteed timing;
+//! * [`report`] — text, JSON and CSV emission of the full sweep plus the
+//!   front and the cache statistics;
+//! * the `argo-dse` CLI binary, e.g.
+//!   `argo-dse explore --app egpws --cores 1..8 --schedulers list,bnb,anneal`.
+//!
+//! The experiment drivers in `argo-bench` (E4 scheduler ablation, E5 SPM
+//! sweep, E7 granularity sweep) run on top of this engine.
+
+pub mod cache;
+pub mod executor;
+pub mod explore;
+pub mod pareto;
+pub mod report;
+pub mod space;
+
+pub use cache::{ArtifactCache, CacheStats};
+pub use explore::Explorer;
+pub use pareto::pareto_front;
+pub use report::{ExplorationReport, PointMetrics, ReportRow};
+pub use space::{DesignSpace, ExplorationPoint, PlatformKind};

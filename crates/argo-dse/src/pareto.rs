@@ -1,0 +1,91 @@
+//! Pareto-front extraction over the (cores, WCET bound, SPM bytes) triple.
+//!
+//! All three objectives are minimized: fewer cores and less scratchpad are
+//! cheaper silicon, a lower guaranteed parallel WCET bound is a tighter
+//! real-time guarantee. A point is on the front iff no other point is at
+//! least as good in every objective and strictly better in one — the
+//! § II-E resource/timing trade-off surface a system designer actually
+//! chooses from.
+
+/// Objective vector of one exploration point, all minimized.
+pub type Objectives = [u64; 3];
+
+/// Whether `a` dominates `b`: no worse in every objective, strictly
+/// better in at least one.
+pub fn dominates(a: &Objectives, b: &Objectives) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
+}
+
+/// Indices of the non-dominated points, in ascending index order.
+///
+/// Duplicate objective vectors are kept together: equal points do not
+/// dominate each other, so either all copies are on the front or none is.
+pub fn pareto_front(objectives: &[Objectives]) -> Vec<usize> {
+    (0..objectives.len())
+        .filter(|&i| {
+            !objectives
+                .iter()
+                .any(|other| dominates(other, &objectives[i]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        assert!(dominates(&[1, 2, 3], &[1, 2, 4]));
+        assert!(dominates(&[1, 2, 3], &[2, 3, 4]));
+        assert!(
+            !dominates(&[1, 2, 3], &[1, 2, 3]),
+            "equal points do not dominate"
+        );
+        assert!(!dominates(&[1, 2, 4], &[1, 3, 3]), "incomparable");
+    }
+
+    #[test]
+    fn front_drops_dominated_points() {
+        let objs = vec![
+            [1, 100, 16], // cheap but slow — on the front
+            [4, 40, 16],  // on the front
+            [4, 50, 16],  // dominated by [4,40,16]
+            [8, 40, 16],  // dominated by [4,40,16]
+            [8, 30, 8],   // on the front
+        ];
+        assert_eq!(pareto_front(&objs), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn duplicates_survive_together() {
+        let objs = vec![[2, 2, 2], [2, 2, 2], [3, 3, 3]];
+        assert_eq!(pareto_front(&objs), vec![0, 1]);
+    }
+
+    #[test]
+    fn front_never_contains_dominated_point() {
+        // Small exhaustive check over a deterministic pseudo-random set.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let objs: Vec<Objectives> = (0..64)
+            .map(|_| [next() % 8 + 1, next() % 100, next() % 4 * 4096])
+            .collect();
+        let front = pareto_front(&objs);
+        assert!(!front.is_empty());
+        for &i in &front {
+            for o in &objs {
+                assert!(!dominates(o, &objs[i]));
+            }
+        }
+        // Every non-front point is dominated by someone.
+        for i in 0..objs.len() {
+            if !front.contains(&i) {
+                assert!(objs.iter().any(|o| dominates(o, &objs[i])));
+            }
+        }
+    }
+}

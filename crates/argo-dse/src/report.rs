@@ -1,0 +1,403 @@
+//! Exploration reports: text tables, CSV and JSON emission.
+//!
+//! Determinism contract: [`ExplorationReport::to_csv`] contains only
+//! values derived from the design space itself (configuration and
+//! analysis results), never wall-clock times or cache counters — two runs
+//! of the same space produce byte-identical CSV. The text and JSON forms
+//! additionally surface timing and cache statistics for humans/tooling.
+
+use crate::cache::CacheStats;
+use crate::pareto::Objectives;
+use crate::space::{granularity_label, scheduler_label, ExplorationPoint};
+use std::fmt::Write as _;
+
+/// Analysis results of one successfully compiled point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointMetrics {
+    /// Tasks in the parallel program.
+    pub tasks: usize,
+    /// Synchronization signals in the parallel program.
+    pub signals: usize,
+    /// Sequential WCET bound (one core, same task set).
+    pub seq_bound: u64,
+    /// Guaranteed parallel WCET bound.
+    pub par_bound: u64,
+    /// Guaranteed WCET speedup (`seq_bound / par_bound`).
+    pub speedup: f64,
+    /// Feedback iterations the backend performed.
+    pub feedback_iterations: u32,
+}
+
+/// One row of the sweep: the point plus its outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportRow {
+    /// The explored configuration.
+    pub point: ExplorationPoint,
+    /// Effective per-core SPM capacity in bytes (override or platform
+    /// default) — the third Pareto objective.
+    pub spm_effective: u64,
+    /// Metrics, or the toolchain error message.
+    pub outcome: Result<PointMetrics, String>,
+}
+
+impl ReportRow {
+    /// Objective vector (cores, parallel WCET bound, SPM bytes) for
+    /// successful rows.
+    pub fn objectives(&self) -> Option<Objectives> {
+        self.outcome
+            .as_ref()
+            .ok()
+            .map(|m| [self.point.cores as u64, m.par_bound, self.spm_effective])
+    }
+}
+
+/// The full result of one design-space exploration.
+#[derive(Debug, Clone)]
+pub struct ExplorationReport {
+    /// One row per point, in `DesignSpace::points` order.
+    pub rows: Vec<ReportRow>,
+    /// Indices into `rows` of the Pareto-optimal points.
+    pub pareto: Vec<usize>,
+    /// Artifact-cache counters at the end of the run.
+    pub cache: CacheStats,
+    /// Wall-clock time of the sweep in milliseconds.
+    pub wall_ms: f64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+fn fmt_spm(row: &ReportRow) -> String {
+    match row.point.spm_bytes {
+        Some(b) => b.to_string(),
+        None => format!("{}*", row.spm_effective),
+    }
+}
+
+impl ExplorationReport {
+    /// Successful rows only: `(row index, metrics)`.
+    pub fn successes(&self) -> impl Iterator<Item = (usize, &PointMetrics)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| Some(i).zip(r.outcome.as_ref().ok()))
+    }
+
+    /// Number of failed points.
+    pub fn failures(&self) -> usize {
+        self.rows.iter().filter(|r| r.outcome.is_err()).count()
+    }
+
+    /// Human-readable table with the Pareto front and cache statistics.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "argo-dse exploration — {} points, {} threads, {:.0} ms",
+            self.rows.len(),
+            self.threads,
+            self.wall_ms
+        );
+        let _ = writeln!(
+            s,
+            "{:<10} {:<4} {:>5} {:<7} {:<6} {:<8} {:>9} {:>12} {:>12} {:>8}  pareto",
+            "app",
+            "plat",
+            "cores",
+            "sched",
+            "gran",
+            "spm-B",
+            "tasks",
+            "seq-WCET",
+            "par-WCET",
+            "speedup"
+        );
+        for (i, row) in self.rows.iter().enumerate() {
+            let mark = if self.pareto.contains(&i) { "*" } else { "" };
+            match &row.outcome {
+                Ok(m) => {
+                    let _ = writeln!(
+                        s,
+                        "{:<10} {:<4} {:>5} {:<7} {:<6} {:<8} {:>9} {:>12} {:>12} {:>7.2}x  {}",
+                        row.point.app,
+                        row.point.platform.label(),
+                        row.point.cores,
+                        scheduler_label(row.point.scheduler),
+                        granularity_label(row.point.granularity),
+                        fmt_spm(row),
+                        m.tasks,
+                        m.seq_bound,
+                        m.par_bound,
+                        m.speedup,
+                        mark,
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(
+                        s,
+                        "{:<10} {:<4} {:>5} {:<7} {:<6} {:<8} ERROR: {e}",
+                        row.point.app,
+                        row.point.platform.label(),
+                        row.point.cores,
+                        scheduler_label(row.point.scheduler),
+                        granularity_label(row.point.granularity),
+                        fmt_spm(row),
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            s,
+            "pareto front ({} of {}): minimize (cores, par-WCET, spm-bytes); * = platform default SPM",
+            self.pareto.len(),
+            self.rows.len()
+        );
+        for &i in &self.pareto {
+            if let Ok(m) = &self.rows[i].outcome {
+                let _ = writeln!(
+                    s,
+                    "  {} -> par-WCET {} ({:.2}x)",
+                    self.rows[i].point.label(),
+                    m.par_bound,
+                    m.speedup
+                );
+            }
+        }
+        let c = &self.cache;
+        let _ = writeln!(
+            s,
+            "cache: frontend {}/{} hits, seed-costs {}/{} hits, overall hit rate {:.0}%",
+            c.frontend_hits,
+            c.frontend_hits + c.frontend_misses,
+            c.cost_hits,
+            c.cost_hits + c.cost_misses,
+            c.hit_rate() * 100.0
+        );
+        s
+    }
+
+    /// CSV (deterministic across runs — no timing or cache columns).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from(
+            "app,platform,cores,scheduler,granularity,chunk,spm_bytes,\
+             tasks,signals,seq_wcet,par_wcet,speedup,feedback_iterations,pareto,error\n",
+        );
+        for (i, row) in self.rows.iter().enumerate() {
+            let p = &row.point;
+            let _ = write!(
+                s,
+                "{},{},{},{},{},{},{},",
+                csv_escape(&p.app),
+                p.platform.label(),
+                p.cores,
+                scheduler_label(p.scheduler),
+                granularity_label(p.granularity),
+                p.chunk_loops,
+                row.spm_effective,
+            );
+            match &row.outcome {
+                Ok(m) => {
+                    let _ = writeln!(
+                        s,
+                        "{},{},{},{},{:.4},{},{},",
+                        m.tasks,
+                        m.signals,
+                        m.seq_bound,
+                        m.par_bound,
+                        m.speedup,
+                        m.feedback_iterations,
+                        self.pareto.contains(&i),
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(s, ",,,,,,false,{}", csv_escape(e));
+                }
+            }
+        }
+        s
+    }
+
+    /// JSON document with rows, Pareto front, cache stats and timing.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let p = &row.point;
+            let _ = write!(
+                s,
+                "    {{\"app\": {}, \"platform\": \"{}\", \"cores\": {}, \"scheduler\": \"{}\", \
+                 \"granularity\": \"{}\", \"chunk\": {}, \"spm_bytes\": {}, \"pareto\": {}",
+                json_string(&p.app),
+                p.platform.label(),
+                p.cores,
+                scheduler_label(p.scheduler),
+                granularity_label(p.granularity),
+                p.chunk_loops,
+                row.spm_effective,
+                self.pareto.contains(&i),
+            );
+            match &row.outcome {
+                Ok(m) => {
+                    let _ = write!(
+                        s,
+                        ", \"tasks\": {}, \"signals\": {}, \"seq_wcet\": {}, \"par_wcet\": {}, \
+                         \"speedup\": {:.4}, \"feedback_iterations\": {}",
+                        m.tasks,
+                        m.signals,
+                        m.seq_bound,
+                        m.par_bound,
+                        m.speedup,
+                        m.feedback_iterations
+                    );
+                }
+                Err(e) => {
+                    let _ = write!(s, ", \"error\": {}", json_string(e));
+                }
+            }
+            let _ = writeln!(s, "}}{}", if i + 1 < self.rows.len() { "," } else { "" });
+        }
+        let c = &self.cache;
+        let _ = write!(
+            s,
+            "  ],\n  \"pareto\": {:?},\n  \"cache\": {{\"frontend_hits\": {}, \"frontend_misses\": {}, \
+             \"cost_hits\": {}, \"cost_misses\": {}, \"hit_rate\": {:.4}}},\n  \
+             \"threads\": {},\n  \"wall_ms\": {:.1}\n}}\n",
+            self.pareto,
+            c.frontend_hits,
+            c.frontend_misses,
+            c.cost_hits,
+            c.cost_misses,
+            c.hit_rate(),
+            self.threads,
+            self.wall_ms
+        );
+        s
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::PlatformKind;
+    use argo_core::SchedulerKind;
+    use argo_htg::Granularity;
+    use argo_wcet::system::MhpMode;
+
+    fn sample_report() -> ExplorationReport {
+        let point = |cores: usize, sched| ExplorationPoint {
+            app: "egpws".into(),
+            platform: PlatformKind::Bus,
+            cores,
+            scheduler: sched,
+            granularity: Granularity::Loop,
+            chunk_loops: true,
+            spm_bytes: Some(4096),
+            mhp: MhpMode::Static,
+        };
+        let metrics = |par: u64| PointMetrics {
+            tasks: 5,
+            signals: 4,
+            seq_bound: 1000,
+            par_bound: par,
+            speedup: 1000.0 / par as f64,
+            feedback_iterations: 2,
+        };
+        ExplorationReport {
+            rows: vec![
+                ReportRow {
+                    point: point(1, SchedulerKind::List),
+                    spm_effective: 4096,
+                    outcome: Ok(metrics(1000)),
+                },
+                ReportRow {
+                    point: point(4, SchedulerKind::List),
+                    spm_effective: 4096,
+                    outcome: Ok(metrics(400)),
+                },
+                ReportRow {
+                    point: point(4, SchedulerKind::Anneal),
+                    spm_effective: 4096,
+                    outcome: Err("scheduler exploded".into()),
+                },
+            ],
+            pareto: vec![0, 1],
+            cache: CacheStats {
+                frontend_hits: 2,
+                frontend_misses: 1,
+                cost_hits: 1,
+                cost_misses: 2,
+            },
+            wall_ms: 12.0,
+            threads: 4,
+        }
+    }
+
+    #[test]
+    fn text_report_mentions_everything() {
+        let t = sample_report().to_text();
+        assert!(t.contains("pareto front (2 of 3)"));
+        assert!(t.contains("egpws"));
+        assert!(t.contains("ERROR: scheduler exploded"));
+        assert!(t.contains("cache: frontend 2/3 hits"));
+        assert!(t.contains("hit rate 50%"));
+    }
+
+    #[test]
+    fn csv_has_one_line_per_row_plus_header() {
+        let r = sample_report();
+        let csv = r.to_csv();
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .starts_with("egpws,bus,1,list,loop,true,4096,"));
+        assert!(csv.contains("scheduler exploded"));
+        // No timing / cache columns → deterministic.
+        assert!(!csv.contains("wall"));
+    }
+
+    #[test]
+    fn json_is_structurally_sane() {
+        let j = sample_report().to_json();
+        assert!(j.contains("\"pareto\": [0, 1]"));
+        assert!(j.contains("\"frontend_hits\": 2"));
+        assert!(j.contains("\"error\": \"scheduler exploded\""));
+        assert_eq!(j.matches("\"app\"").count(), 3);
+        // Balanced braces (cheap structural check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn escaping_handles_specials() {
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(json_string("say \"hi\"\n"), "\"say \\\"hi\\\"\\n\"");
+    }
+}

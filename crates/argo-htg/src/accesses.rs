@@ -35,7 +35,10 @@ pub struct AnnotateCtx {
 impl AnnotateCtx {
     /// Creates a context with the given fallback bound.
     pub fn with_default_bound(default_bound: u64) -> AnnotateCtx {
-        AnnotateCtx { bounds: BTreeMap::new(), default_bound }
+        AnnotateCtx {
+            bounds: BTreeMap::new(),
+            default_bound,
+        }
     }
 }
 
@@ -91,7 +94,11 @@ pub fn count_stmt(
                 }
             }
         }
-        StmtKind::If { cond, then_blk, else_blk } => {
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
             count_expr(cond, mult, program, ctx, out);
             let mut then_counts = AccessCounts::new();
             for st in &then_blk.stmts {
@@ -116,7 +123,9 @@ pub fn count_stmt(
                 let _ = v;
             }
         }
-        StmtKind::For { var, lo, hi, body, .. } => {
+        StmtKind::For {
+            var, lo, hi, body, ..
+        } => {
             count_expr(lo, mult, program, ctx, out);
             count_expr(hi, mult, program, ctx, out);
             let b = loop_bound(s, ctx);
@@ -143,13 +152,7 @@ pub fn count_stmt(
     }
 }
 
-fn count_expr(
-    e: &Expr,
-    mult: u64,
-    program: &Program,
-    ctx: &AnnotateCtx,
-    out: &mut AccessCounts,
-) {
+fn count_expr(e: &Expr, mult: u64, program: &Program, ctx: &AnnotateCtx, out: &mut AccessCounts) {
     match e {
         Expr::Var(n) => bump(out, n, mult),
         Expr::ArrayElem { array, indices } => {
@@ -311,16 +314,17 @@ mod tests {
         let p = parse_program(src).unwrap();
         let mut h = extract(&p, "main", Granularity::Loop).unwrap();
         // Find the loop's stmt id.
-        let loop_task = h
-            .tasks
-            .iter()
-            .find(|t| t.name.starts_with("for"))
-            .unwrap();
+        let loop_task = h.tasks.iter().find(|t| t.name.starts_with("for")).unwrap();
         let loop_sid = loop_task.stmts[0];
         let mut ctx = AnnotateCtx::with_default_bound(1);
         ctx.bounds.insert(loop_sid, 40);
         annotate(&mut h, &p, &ctx);
-        let c = &h.tasks.iter().find(|t| t.name.starts_with("for")).unwrap().access_counts;
+        let c = &h
+            .tasks
+            .iter()
+            .find(|t| t.name.starts_with("for"))
+            .unwrap()
+            .access_counts;
         assert_eq!(c["a"], 40);
     }
 

@@ -212,7 +212,11 @@ fn classify_for(ivar: &str, body: &Block) -> LoopParallelism {
     let mut written_arrays: BTreeSet<&str> = BTreeSet::new();
     let mut write_subscripts: Vec<(&str, &Expr)> = Vec::new();
     for s in &stmts {
-        if let StmtKind::Assign { target: LValue::ArrayElem { array, indices }, .. } = &s.kind {
+        if let StmtKind::Assign {
+            target: LValue::ArrayElem { array, indices },
+            ..
+        } = &s.kind
+        {
             written_arrays.insert(array);
             write_subscripts.push((array, &indices[0]));
         }
@@ -247,7 +251,9 @@ fn classify_for(ivar: &str, body: &Block) -> LoopParallelism {
             if matches!(&s.kind, StmtKind::Assign { target: LValue::Var(n), .. } if n == r) {
                 continue; // the update itself may read r
             }
-            let reads_r = own_exprs(s).iter().any(|e| visit::expr_reads(e).contains(r));
+            let reads_r = own_exprs(s)
+                .iter()
+                .any(|e| visit::expr_reads(e).contains(r));
             if reads_r {
                 return LoopParallelism::Sequential;
             }
@@ -326,22 +332,36 @@ fn range_stmt(
         for e in own_exprs(s) {
             range_expr_reads(e, array, env, out);
         }
-    } else if let StmtKind::Assign { target: LValue::ArrayElem { array: a, indices }, .. } =
-        &s.kind
+    } else if let StmtKind::Assign {
+        target: LValue::ArrayElem { array: a, indices },
+        ..
+    } = &s.kind
     {
         if a == array {
             let r = eval_idx_interval(&indices[0], env)
                 .map_or(AccessRange::Unknown, |(lo, hi)| AccessRange::Range(lo, hi));
             *out = out.join(r);
         }
+    } else if let StmtKind::Decl { name, .. } = &s.kind {
+        // Declaring an array zero-initialises every element: a whole-array
+        // write. Without this, a task holding the declaration looks
+        // range-disjoint from every user and the init task can be
+        // scheduled after its readers/writers.
+        if name == array {
+            *out = AccessRange::Unknown;
+        }
     }
     match &s.kind {
-        StmtKind::If { then_blk, else_blk, .. } => {
+        StmtKind::If {
+            then_blk, else_blk, ..
+        } => {
             for st in then_blk.stmts.iter().chain(&else_blk.stmts) {
                 range_stmt(st, array, want_writes, env, out);
             }
         }
-        StmtKind::For { var, lo, hi, body, .. } => {
+        StmtKind::For {
+            var, lo, hi, body, ..
+        } => {
             let bounds = match (eval_idx_interval(lo, env), eval_idx_interval(hi, env)) {
                 (Some((l, _)), Some((_, h))) if h > l => Some((l, h - 1)),
                 (Some((l, _)), Some((_, h))) if h <= l => Some((l, l)), // empty-ish
@@ -380,12 +400,11 @@ fn range_stmt(
                 range_stmt(st, array, want_writes, env, out);
             }
         }
-        StmtKind::Call { args, .. } => {
+        StmtKind::Call { args, .. }
             // Array passed to a call: the callee may touch anything.
-            if args.iter().any(|a| matches!(a, Expr::Var(n) if n == array)) {
+            if args.iter().any(|a| matches!(a, Expr::Var(n) if n == array)) => {
                 *out = AccessRange::Unknown;
             }
-        }
         _ => {}
     }
 }
@@ -474,7 +493,11 @@ fn reduction_pattern(n: &str, value: &Expr) -> Option<bool> {
         return Some(false); // overwrite of non-local scalar: output dep
     }
     match value {
-        Expr::Binary { op: BinOp::Add | BinOp::Mul, lhs, rhs } => {
+        Expr::Binary {
+            op: BinOp::Add | BinOp::Mul,
+            lhs,
+            rhs,
+        } => {
             if matches!(&**lhs, Expr::Var(v) if v == n) && !reads_n(rhs) {
                 return Some(true);
             }
@@ -484,8 +507,7 @@ fn reduction_pattern(n: &str, value: &Expr) -> Option<bool> {
             Some(false)
         }
         Expr::Call { name, args }
-            if matches!(name.as_str(), "fmin" | "fmax" | "imin" | "imax")
-                && args.len() == 2 =>
+            if matches!(name.as_str(), "fmin" | "fmax" | "imin" | "imax") && args.len() == 2 =>
         {
             let a0_is_n = matches!(&args[0], Expr::Var(v) if v == n);
             let a1_is_n = matches!(&args[1], Expr::Var(v) if v == n);
@@ -626,6 +648,46 @@ mod tests {
              for (i=0;i<4;i=i+1) { g(buf); } }",
         );
         assert_eq!(c, LoopParallelism::Sequential);
+    }
+
+    /// Regression: a task that only *declares* a local array must precede
+    /// every task that reads or writes it. The range refinement used to
+    /// see the declaration as a zero-range write and drop the edge, which
+    /// let schedulers run users before the allocation (observed via the
+    /// model frontend, whose lowering declares internal buffers locally).
+    #[test]
+    fn array_decl_orders_before_users() {
+        let src = r#"
+            void main(real a[16], real out[16]) {
+                real buf[16];
+                int i;
+                for (i = 0; i < 16; i = i + 1) { buf[i] = a[i] * 2.0; }
+                for (i = 0; i < 16; i = i + 1) { out[i] = buf[i] + 1.0; }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let htg = crate::extract::extract(&p, "main", crate::Granularity::Loop).unwrap();
+        let decl_task = htg
+            .top_level
+            .iter()
+            .position(|&t| htg.task(t).name.starts_with("init"))
+            .expect("init task");
+        let writer = htg
+            .top_level
+            .iter()
+            .position(|&t| {
+                htg.task(t).writes.contains("buf") && !htg.task(t).name.starts_with("init")
+            })
+            .expect("writer task");
+        let has_edge = |from: usize, to: usize| {
+            htg.edges
+                .iter()
+                .any(|e| e.from == htg.top_level[from] && e.to == htg.top_level[to])
+        };
+        assert!(
+            has_edge(decl_task, writer),
+            "declaration must precede the first writer"
+        );
     }
 
     #[test]

@@ -40,12 +40,15 @@ pub fn extract(
     func: &str,
     granularity: Granularity,
 ) -> Result<Htg, ExtractError> {
-    let f = program
-        .function(func)
-        .ok_or_else(|| ExtractError { msg: format!("no function `{func}`") })?;
+    let f = program.function(func).ok_or_else(|| ExtractError {
+        msg: format!("no function `{func}`"),
+    })?;
     let symbols = symbol_table(f);
     let mut ex = Extractor {
-        htg: Htg { function: func.into(), ..Htg::default() },
+        htg: Htg {
+            function: func.into(),
+            ..Htg::default()
+        },
         symbols,
         granularity,
         task_bodies: Vec::new(),
@@ -95,7 +98,8 @@ impl Extractor {
             parent,
             access_counts: Default::default(),
         });
-        self.task_bodies.push(stmts.iter().map(|s| (*s).clone()).collect());
+        self.task_bodies
+            .push(stmts.iter().map(|s| (*s).clone()).collect());
         if let Some(p) = parent {
             self.htg.tasks[p.0].children.push(id);
         }
@@ -119,7 +123,10 @@ impl Extractor {
             () => {
                 if !group.is_empty() {
                     let first = group[0].id;
-                    let name = if group.iter().all(|s| matches!(s.kind, StmtKind::Decl { .. })) {
+                    let name = if group
+                        .iter()
+                        .all(|s| matches!(s.kind, StmtKind::Decl { .. }))
+                    {
                         format!("init@{first}")
                     } else {
                         format!("seq@{first}")
@@ -165,7 +172,9 @@ impl Extractor {
                 StmtKind::While { body, .. } => {
                     let id = self.new_task(
                         format!("while@{}", s.id),
-                        TaskKind::LoopNode { parallelism: LoopParallelism::Sequential },
+                        TaskKind::LoopNode {
+                            parallelism: LoopParallelism::Sequential,
+                        },
                         vec![s],
                         parent,
                     );
@@ -176,29 +185,23 @@ impl Extractor {
                 StmtKind::Call { name, .. } => {
                     let id = self.new_task(
                         format!("call({name})@{}", s.id),
-                        TaskKind::CallNode { callee: name.clone() },
+                        TaskKind::CallNode {
+                            callee: name.clone(),
+                        },
                         vec![s],
                         parent,
                     );
                     siblings.push(id);
                 }
                 StmtKind::If { .. } => {
-                    let id = self.new_task(
-                        format!("if@{}", s.id),
-                        TaskKind::CondNode,
-                        vec![s],
-                        parent,
-                    );
+                    let id =
+                        self.new_task(format!("if@{}", s.id), TaskKind::CondNode, vec![s], parent);
                     siblings.push(id);
                 }
                 _ => {
                     // Stmt granularity: single-statement Simple task.
-                    let id = self.new_task(
-                        format!("stmt@{}", s.id),
-                        TaskKind::Simple,
-                        vec![s],
-                        parent,
-                    );
+                    let id =
+                        self.new_task(format!("stmt@{}", s.id), TaskKind::Simple, vec![s], parent);
                     siblings.push(id);
                 }
             }
@@ -378,7 +381,10 @@ mod tests {
             .filter(|e| e.from == loops[0] && e.to == loops[1])
             .collect();
         for e in between {
-            assert!(e.ordering_only, "edge between independent loops carries data: {e:?}");
+            assert!(
+                e.ordering_only,
+                "edge between independent loops carries data: {e:?}"
+            );
         }
     }
 

@@ -194,12 +194,20 @@ impl Htg {
 
     /// Direct predecessors of `id` among its siblings.
     pub fn preds(&self, id: TaskId) -> Vec<TaskId> {
-        self.edges.iter().filter(|e| e.to == id).map(|e| e.from).collect()
+        self.edges
+            .iter()
+            .filter(|e| e.to == id)
+            .map(|e| e.from)
+            .collect()
     }
 
     /// Direct successors of `id` among its siblings.
     pub fn succs(&self, id: TaskId) -> Vec<TaskId> {
-        self.edges.iter().filter(|e| e.from == id).map(|e| e.to).collect()
+        self.edges
+            .iter()
+            .filter(|e| e.from == id)
+            .map(|e| e.to)
+            .collect()
     }
 
     /// Checks that sibling edges form a DAG consistent with program order
@@ -219,7 +227,11 @@ impl Htg {
             let _ = writeln!(s, "  {} [label=\"{}\"];", t.0, task.name);
         }
         for e in self.top_level_edges() {
-            let style = if e.ordering_only { " [style=dashed]" } else { "" };
+            let style = if e.ordering_only {
+                " [style=dashed]"
+            } else {
+                ""
+            };
             let _ = writeln!(s, "  {} -> {}{};", e.from.0, e.to.0, style);
         }
         s.push_str("}\n");

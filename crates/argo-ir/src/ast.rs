@@ -172,17 +172,27 @@ impl Expr {
 
     /// Builds `lhs op rhs`.
     pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// Builds `a[i]` for a 1-D access.
     pub fn idx1(array: impl Into<String>, i: Expr) -> Expr {
-        Expr::ArrayElem { array: array.into(), indices: vec![i] }
+        Expr::ArrayElem {
+            array: array.into(),
+            indices: vec![i],
+        }
     }
 
     /// Builds `a[i][j]` for a 2-D access.
     pub fn idx2(array: impl Into<String>, i: Expr, j: Expr) -> Expr {
-        Expr::ArrayElem { array: array.into(), indices: vec![i, j] }
+        Expr::ArrayElem {
+            array: array.into(),
+            indices: vec![i, j],
+        }
     }
 
     /// Returns the constant integer value if this is an `IntLit`.
@@ -249,7 +259,10 @@ pub struct Stmt {
 impl Stmt {
     /// Wraps a [`StmtKind`] with a placeholder id.
     pub fn new(kind: StmtKind) -> Stmt {
-        Stmt { id: StmtId(0), kind }
+        Stmt {
+            id: StmtId(0),
+            kind,
+        }
     }
 }
 
@@ -396,9 +409,9 @@ impl Program {
                 .iter()
                 .map(|s| {
                     1 + match &s.kind {
-                        StmtKind::If { then_blk, else_blk, .. } => {
-                            count(then_blk) + count(else_blk)
-                        }
+                        StmtKind::If {
+                            then_blk, else_blk, ..
+                        } => count(then_blk) + count(else_blk),
                         StmtKind::For { body, .. } | StmtKind::While { body, .. } => count(body),
                         _ => 0,
                     }
@@ -414,7 +427,9 @@ fn renumber_block(b: &mut Block, next: &mut u32) {
         s.id = StmtId(*next);
         *next += 1;
         match &mut s.kind {
-            StmtKind::If { then_blk, else_blk, .. } => {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
                 renumber_block(then_blk, next);
                 renumber_block(else_blk, next);
             }
@@ -449,7 +464,9 @@ mod tests {
                     else_blk: Block::new(),
                 })]),
             }),
-            Stmt::new(StmtKind::Return { value: Some(Expr::var("i")) }),
+            Stmt::new(StmtKind::Return {
+                value: Some(Expr::var("i")),
+            }),
         ]);
         Program {
             functions: vec![Function {
@@ -505,7 +522,10 @@ mod tests {
     #[test]
     fn lvalue_base_name() {
         assert_eq!(LValue::Var("x".into()).base(), "x");
-        let lv = LValue::ArrayElem { array: "a".into(), indices: vec![Expr::int(0)] };
+        let lv = LValue::ArrayElem {
+            array: "a".into(),
+            indices: vec![Expr::int(0)],
+        };
         assert_eq!(lv.base(), "a");
     }
 }

@@ -307,7 +307,9 @@ impl Builder {
                 // statements don't corrupt the graph.
                 self.new_block()
             }
-            StmtKind::If { then_blk, else_blk, .. } => {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
                 self.blocks[cur].items.push(CfgItem::Cond(s.id));
                 let then_entry = self.new_block();
                 let else_entry = self.new_block();
@@ -320,19 +322,17 @@ impl Builder {
                 self.edge(else_end, join);
                 join
             }
-            StmtKind::For { lo, hi, step, body, .. } => {
+            StmtKind::For {
+                lo, hi, step, body, ..
+            } => {
                 let bound_hint = match (lo.as_int_const(), hi.as_int_const()) {
-                    (Some(l), Some(h)) if h > l => {
-                        Some(((h - l) as u64).div_ceil(*step as u64))
-                    }
+                    (Some(l), Some(h)) if h > l => Some(((h - l) as u64).div_ceil(*step as u64)),
                     (Some(l), Some(h)) if h <= l => Some(0),
                     _ => None,
                 };
                 self.lower_loop(s.id, body, cur, bound_hint)
             }
-            StmtKind::While { bound, body, .. } => {
-                self.lower_loop(s.id, body, cur, Some(*bound))
-            }
+            StmtKind::While { bound, body, .. } => self.lower_loop(s.id, body, cur, Some(*bound)),
         }
     }
 
@@ -457,7 +457,8 @@ mod tests {
 
     #[test]
     fn innermost_loop_query() {
-        let c = cfg_of("void f() { int i; int j; for (i=0;i<4;i=i+1) { for (j=0;j<8;j=j+1) { } } }");
+        let c =
+            cfg_of("void f() { int i; int j; for (i=0;i<4;i=i+1) { for (j=0;j<8;j=j+1) { } } }");
         let inner_idx = c.loops[c.top_loops[0]].children[0];
         let inner_header = c.loops[inner_idx].header;
         assert_eq!(c.innermost_loop_of(inner_header), Some(inner_idx));

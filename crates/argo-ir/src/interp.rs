@@ -93,7 +93,11 @@ impl ArrayData {
             Scalar::Real => ScalarVal::Real(0.0),
             Scalar::Bool => ScalarVal::Bool(false),
         };
-        ArrayData { elem, dims, data: vec![z; n] }
+        ArrayData {
+            elem,
+            dims,
+            data: vec![z; n],
+        }
     }
 
     /// Creates a 1-D real array from a slice.
@@ -355,7 +359,11 @@ impl<'p> Interp<'p> {
     /// Creates an interpreter for `program` with a large default fuel
     /// budget (2^40 statements).
     pub fn new(program: &'p Program) -> Interp<'p> {
-        Interp { program, arrays: Vec::new(), fuel: 1 << 40 }
+        Interp {
+            program,
+            arrays: Vec::new(),
+            fuel: 1 << 40,
+        }
     }
 
     /// Sets the execution fuel (number of statement executions allowed).
@@ -497,7 +505,9 @@ impl<'p> Interp<'p> {
     /// observe each other's values through it (any read-before-write then
     /// fails loudly instead of silently racing).
     pub fn reset_scalar(&self, frame: &mut Frame, name: &str, scalar: Scalar) {
-        frame.bindings.insert(name.to_string(), Binding::Uninit(scalar));
+        frame
+            .bindings
+            .insert(name.to_string(), Binding::Uninit(scalar));
     }
 
     /// Executes one statement in `frame`, reporting events to `hook`.
@@ -563,9 +573,7 @@ impl<'p> Interp<'p> {
                         let id = match frame.bindings.get(array) {
                             Some(Binding::Array(id)) => *id,
                             _ => {
-                                return Err(RuntimeError::new(format!(
-                                    "`{array}` is not an array"
-                                )))
+                                return Err(RuntimeError::new(format!("`{array}` is not an array")))
                             }
                         };
                         let arr = &mut self.arrays[id];
@@ -576,19 +584,31 @@ impl<'p> Interp<'p> {
                 }
                 Ok(Flow::Normal)
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let c = self.eval(frame, cond, hook)?.as_bool()?;
                 hook.on_op(OpClass::Branch);
                 let blk = if c { then_blk } else { else_blk };
                 self.exec_block(frame, blk, hook)
             }
-            StmtKind::For { var, lo, hi, step, body } => {
+            StmtKind::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 let lo = self.eval(frame, lo, hook)?.as_int()?;
                 let hi = self.eval(frame, hi, hook)?.as_int()?;
                 let mut i = lo;
                 while i < hi {
                     hook.on_op(OpClass::LoopOverhead);
-                    frame.bindings.insert(var.clone(), Binding::Scalar(ScalarVal::Int(i)));
+                    frame
+                        .bindings
+                        .insert(var.clone(), Binding::Scalar(ScalarVal::Int(i)));
                     hook.on_access(var, AccessKind::WriteScalar);
                     if let Flow::Return(v) = self.exec_block(frame, body, hook)? {
                         return Ok(Flow::Return(v));
@@ -597,7 +617,9 @@ impl<'p> Interp<'p> {
                 }
                 // Final bound test.
                 hook.on_op(OpClass::LoopOverhead);
-                frame.bindings.insert(var.clone(), Binding::Scalar(ScalarVal::Int(i)));
+                frame
+                    .bindings
+                    .insert(var.clone(), Binding::Scalar(ScalarVal::Int(i)));
                 Ok(Flow::Normal)
             }
             StmtKind::While { cond, bound, body } => {
@@ -763,7 +785,9 @@ impl<'p> Interp<'p> {
         // Evaluate arguments in the caller frame.
         let mut callee_frame = Frame::default();
         if args.len() != func.params.len() {
-            return Err(RuntimeError::new(format!("arity mismatch calling `{name}`")));
+            return Err(RuntimeError::new(format!(
+                "arity mismatch calling `{name}`"
+            )));
         }
         for (a, p) in args.iter().zip(&func.params) {
             let binding = if p.ty.is_array() {
@@ -775,9 +799,7 @@ impl<'p> Interp<'p> {
                 };
                 match frame.bindings.get(arg_name) {
                     Some(Binding::Array(id)) => Binding::Array(*id),
-                    _ => {
-                        return Err(RuntimeError::new(format!("`{arg_name}` is not an array")))
-                    }
+                    _ => return Err(RuntimeError::new(format!("`{arg_name}` is not an array"))),
                 }
             } else {
                 let v = self.eval(frame, a, hook)?;
@@ -988,7 +1010,7 @@ mod tests {
             for (i=0;i<4;i=i+1) { for (j=0;j<4;j=j+1) { a[i][j] = i*4+j; } }
             for (i=0;i<4;i=i+1) { s = s + a[i][i]; }
             return s; }";
-        assert_eq!(run_int(src, "f", &[]), 0 + 5 + 10 + 15);
+        assert_eq!(run_int(src, "f", &[]), 5 + 10 + 15);
     }
 
     #[test]
@@ -1033,7 +1055,11 @@ mod tests {
         let p = parse_program(src).unwrap();
         let mut it = Interp::new(&p);
         let out = it
-            .call_full("f", vec![ArgVal::Array(ArrayData::from_ints(&[0, 0, 0, 0]))], &mut NullHook)
+            .call_full(
+                "f",
+                vec![ArgVal::Array(ArrayData::from_ints(&[0, 0, 0, 0]))],
+                &mut NullHook,
+            )
             .unwrap();
         let (name, arr) = &out.arrays[0];
         assert_eq!(name, "buf");

@@ -23,21 +23,81 @@ const I: Scalar = Scalar::Int;
 
 /// All intrinsics known to the language.
 pub const ALL: &[Signature] = &[
-    Signature { name: "sqrt", params: &[R], ret: R },
-    Signature { name: "sin", params: &[R], ret: R },
-    Signature { name: "cos", params: &[R], ret: R },
-    Signature { name: "tan", params: &[R], ret: R },
-    Signature { name: "atan2", params: &[R, R], ret: R },
-    Signature { name: "exp", params: &[R], ret: R },
-    Signature { name: "log", params: &[R], ret: R },
-    Signature { name: "pow", params: &[R, R], ret: R },
-    Signature { name: "floor", params: &[R], ret: R },
-    Signature { name: "fabs", params: &[R], ret: R },
-    Signature { name: "fmin", params: &[R, R], ret: R },
-    Signature { name: "fmax", params: &[R, R], ret: R },
-    Signature { name: "iabs", params: &[I], ret: I },
-    Signature { name: "imin", params: &[I, I], ret: I },
-    Signature { name: "imax", params: &[I, I], ret: I },
+    Signature {
+        name: "sqrt",
+        params: &[R],
+        ret: R,
+    },
+    Signature {
+        name: "sin",
+        params: &[R],
+        ret: R,
+    },
+    Signature {
+        name: "cos",
+        params: &[R],
+        ret: R,
+    },
+    Signature {
+        name: "tan",
+        params: &[R],
+        ret: R,
+    },
+    Signature {
+        name: "atan2",
+        params: &[R, R],
+        ret: R,
+    },
+    Signature {
+        name: "exp",
+        params: &[R],
+        ret: R,
+    },
+    Signature {
+        name: "log",
+        params: &[R],
+        ret: R,
+    },
+    Signature {
+        name: "pow",
+        params: &[R, R],
+        ret: R,
+    },
+    Signature {
+        name: "floor",
+        params: &[R],
+        ret: R,
+    },
+    Signature {
+        name: "fabs",
+        params: &[R],
+        ret: R,
+    },
+    Signature {
+        name: "fmin",
+        params: &[R, R],
+        ret: R,
+    },
+    Signature {
+        name: "fmax",
+        params: &[R, R],
+        ret: R,
+    },
+    Signature {
+        name: "iabs",
+        params: &[I],
+        ret: I,
+    },
+    Signature {
+        name: "imin",
+        params: &[I, I],
+        ret: I,
+    },
+    Signature {
+        name: "imax",
+        params: &[I, I],
+        ret: I,
+    },
 ];
 
 /// Looks up an intrinsic signature by name.

@@ -99,7 +99,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
             i += 2;
             loop {
                 if i + 1 >= n {
-                    return Err(LexError { msg: "unterminated block comment".into(), line });
+                    return Err(LexError {
+                        msg: "unterminated block comment".into(),
+                        line,
+                    });
                 }
                 if bytes[i] == '\n' {
                     line += 1;
@@ -125,20 +128,29 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
                     msg: format!("bad pragma value `{}`", words[2]),
                     line,
                 })?;
-                toks.push(SpannedTok { tok: Tok::Pragma(words[1].to_string(), val), line });
+                toks.push(SpannedTok {
+                    tok: Tok::Pragma(words[1].to_string(), val),
+                    line,
+                });
                 continue;
             }
-            return Err(LexError { msg: format!("malformed directive `{text}`"), line });
+            return Err(LexError {
+                msg: format!("malformed directive `{text}`"),
+                line,
+            });
         }
         // Numbers.
         if c.is_ascii_digit() {
             let start = i;
             let mut is_real = false;
-            while i < n && (bytes[i].is_ascii_digit() || bytes[i] == '.' || bytes[i] == 'e'
-                || bytes[i] == 'E'
-                || ((bytes[i] == '+' || bytes[i] == '-')
-                    && i > start
-                    && (bytes[i - 1] == 'e' || bytes[i - 1] == 'E')))
+            while i < n
+                && (bytes[i].is_ascii_digit()
+                    || bytes[i] == '.'
+                    || bytes[i] == 'e'
+                    || bytes[i] == 'E'
+                    || ((bytes[i] == '+' || bytes[i] == '-')
+                        && i > start
+                        && (bytes[i - 1] == 'e' || bytes[i - 1] == 'E')))
             {
                 if bytes[i] == '.' || bytes[i] == 'e' || bytes[i] == 'E' {
                     is_real = true;
@@ -147,15 +159,23 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
             }
             let text: String = bytes[start..i].iter().collect();
             if is_real {
-                let v: f64 = text
-                    .parse()
-                    .map_err(|_| LexError { msg: format!("bad real literal `{text}`"), line })?;
-                toks.push(SpannedTok { tok: Tok::Real(v), line });
+                let v: f64 = text.parse().map_err(|_| LexError {
+                    msg: format!("bad real literal `{text}`"),
+                    line,
+                })?;
+                toks.push(SpannedTok {
+                    tok: Tok::Real(v),
+                    line,
+                });
             } else {
-                let v: i64 = text
-                    .parse()
-                    .map_err(|_| LexError { msg: format!("bad int literal `{text}`"), line })?;
-                toks.push(SpannedTok { tok: Tok::Int(v), line });
+                let v: i64 = text.parse().map_err(|_| LexError {
+                    msg: format!("bad int literal `{text}`"),
+                    line,
+                })?;
+                toks.push(SpannedTok {
+                    tok: Tok::Int(v),
+                    line,
+                });
             }
             continue;
         }
@@ -166,27 +186,42 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, LexError> {
                 i += 1;
             }
             let text: String = bytes[start..i].iter().collect();
-            toks.push(SpannedTok { tok: Tok::Ident(text), line });
+            toks.push(SpannedTok {
+                tok: Tok::Ident(text),
+                line,
+            });
             continue;
         }
         // Two-char punctuation first.
         if i + 1 < n {
             let two: String = [bytes[i], bytes[i + 1]].iter().collect();
             if let Some(p) = PUNCTS2.iter().find(|p| ***p == two) {
-                toks.push(SpannedTok { tok: Tok::Punct(p), line });
+                toks.push(SpannedTok {
+                    tok: Tok::Punct(p),
+                    line,
+                });
                 i += 2;
                 continue;
             }
         }
         let one = c.to_string();
         if let Some(p) = PUNCTS1.iter().find(|p| ***p == one) {
-            toks.push(SpannedTok { tok: Tok::Punct(p), line });
+            toks.push(SpannedTok {
+                tok: Tok::Punct(p),
+                line,
+            });
             i += 1;
             continue;
         }
-        return Err(LexError { msg: format!("unexpected character `{c}`"), line });
+        return Err(LexError {
+            msg: format!("unexpected character `{c}`"),
+            line,
+        });
     }
-    toks.push(SpannedTok { tok: Tok::Eof, line });
+    toks.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(toks)
 }
 

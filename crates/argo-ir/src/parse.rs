@@ -43,7 +43,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> ParseError {
-        ParseError { msg: e.msg, line: e.line }
+        ParseError {
+            msg: e.msg,
+            line: e.line,
+        }
     }
 }
 
@@ -110,7 +113,10 @@ impl Parser {
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { msg: msg.into(), line: self.line() }
+        ParseError {
+            msg: msg.into(),
+            line: self.line(),
+        }
     }
 
     fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
@@ -197,7 +203,12 @@ impl Parser {
             }
         }
         let body = self.block()?;
-        Ok(Function { name, params, ret, body })
+        Ok(Function {
+            name,
+            params,
+            ret,
+            body,
+        })
     }
 
     fn array_dims(&mut self) -> Result<Vec<usize>, ParseError> {
@@ -245,7 +256,11 @@ impl Parser {
             let cond = self.expr()?;
             self.expect_punct(")")?;
             let body = self.block()?;
-            return Ok(Stmt::new(StmtKind::While { cond, bound: val as u64, body }));
+            return Ok(Stmt::new(StmtKind::While {
+                cond,
+                bound: val as u64,
+                body,
+            }));
         }
         if self.peek_keyword("while") {
             return Err(self.err("`while` requires a preceding `#pragma bound N`"));
@@ -300,7 +315,10 @@ impl Parser {
                 indices.push(self.expr()?);
                 self.expect_punct("]")?;
             }
-            LValue::ArrayElem { array: name.clone(), indices }
+            LValue::ArrayElem {
+                array: name.clone(),
+                indices,
+            }
         } else {
             LValue::Var(name.clone())
         };
@@ -309,9 +327,10 @@ impl Parser {
             self.expect_punct(";")?;
             let read = match &target {
                 LValue::Var(n) => Expr::Var(n.clone()),
-                LValue::ArrayElem { array, indices } => {
-                    Expr::ArrayElem { array: array.clone(), indices: indices.clone() }
-                }
+                LValue::ArrayElem { array, indices } => Expr::ArrayElem {
+                    array: array.clone(),
+                    indices: indices.clone(),
+                },
             };
             return Ok(Stmt::new(StmtKind::Assign {
                 target,
@@ -339,7 +358,11 @@ impl Parser {
         } else {
             Block::new()
         };
-        Ok(Stmt::new(StmtKind::If { cond, then_blk, else_blk }))
+        Ok(Stmt::new(StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        }))
     }
 
     fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
@@ -395,7 +418,13 @@ impl Parser {
         }
         self.expect_punct(")")?;
         let body = self.block()?;
-        Ok(Stmt::new(StmtKind::For { var, lo, hi, step, body }))
+        Ok(Stmt::new(StmtKind::For {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        }))
     }
 
     fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
@@ -484,11 +513,17 @@ impl Parser {
     fn unary_expr(&mut self) -> Result<Expr, ParseError> {
         if self.eat_punct("-") {
             let arg = self.unary_expr()?;
-            return Ok(Expr::Unary { op: UnOp::Neg, arg: Box::new(arg) });
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                arg: Box::new(arg),
+            });
         }
         if self.eat_punct("!") {
             let arg = self.unary_expr()?;
-            return Ok(Expr::Unary { op: UnOp::Not, arg: Box::new(arg) });
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                arg: Box::new(arg),
+            });
         }
         self.primary_expr()
     }
@@ -517,7 +552,10 @@ impl Parser {
                         self.bump(); // type
                         self.expect_punct(")")?;
                         let arg = self.unary_expr()?;
-                        return Ok(Expr::Cast { to, arg: Box::new(arg) });
+                        return Ok(Expr::Cast {
+                            to,
+                            arg: Box::new(arg),
+                        });
                     }
                 }
                 self.bump();
@@ -542,7 +580,10 @@ impl Parser {
                         indices.push(self.expr()?);
                         self.expect_punct("]")?;
                     }
-                    return Ok(Expr::ArrayElem { array: name, indices });
+                    return Ok(Expr::ArrayElem {
+                        array: name,
+                        indices,
+                    });
                 }
                 Ok(Expr::Var(name))
             }
@@ -608,7 +649,11 @@ mod tests {
     fn precedence_is_conventional() {
         let e = parse_expr("1 + 2 * 3").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }
             _ => panic!("wrong precedence"),
@@ -620,7 +665,13 @@ mod tests {
     #[test]
     fn parses_casts() {
         let e = parse_expr("(real) 3").unwrap();
-        assert!(matches!(e, Expr::Cast { to: Scalar::Real, .. }));
+        assert!(matches!(
+            e,
+            Expr::Cast {
+                to: Scalar::Real,
+                ..
+            }
+        ));
         // Parenthesised expression is not a cast.
         let e = parse_expr("(x) + 1").unwrap();
         assert!(matches!(e, Expr::Binary { op: BinOp::Add, .. }));
@@ -679,7 +730,10 @@ mod tests {
     fn parses_array_assign_and_read() {
         let p = parse_program("void f(real a[8]) { int i; i = 2; a[i] = a[i+1] * 0.5; }").unwrap();
         match &p.functions[0].body.stmts[2].kind {
-            StmtKind::Assign { target: LValue::ArrayElem { array, .. }, value } => {
+            StmtKind::Assign {
+                target: LValue::ArrayElem { array, .. },
+                value,
+            } => {
                 assert_eq!(array, "a");
                 assert!(matches!(value, Expr::Binary { op: BinOp::Mul, .. }));
             }

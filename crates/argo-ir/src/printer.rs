@@ -70,7 +70,11 @@ fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
         StmtKind::Assign { target, value } => {
             let _ = writeln!(out, "{} = {};", print_lvalue(target), print_expr(value));
         }
-        StmtKind::If { cond, then_blk, else_blk } => {
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
             let _ = writeln!(out, "if ({}) {{", print_expr(cond));
             print_block(then_blk, level + 1, out);
             if else_blk.stmts.is_empty() {
@@ -84,7 +88,13 @@ fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
                 out.push_str("}\n");
             }
         }
-        StmtKind::For { var, lo, hi, step, body } => {
+        StmtKind::For {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        } => {
             let _ = writeln!(
                 out,
                 "for ({var} = {}; {var} < {}; {var} = {var} + {step}) {{",
@@ -177,7 +187,9 @@ mod tests {
             for s in &mut b.stmts {
                 s.id = StmtId(0);
                 match &mut s.kind {
-                    StmtKind::If { then_blk, else_blk, .. } => {
+                    StmtKind::If {
+                        then_blk, else_blk, ..
+                    } => {
                         walk(then_blk);
                         walk(else_blk);
                     }

@@ -66,12 +66,18 @@ pub enum Type {
 impl Type {
     /// Convenience constructor for a 1-D array.
     pub fn array1(elem: Scalar, n: usize) -> Type {
-        Type::Array { elem, dims: vec![n] }
+        Type::Array {
+            elem,
+            dims: vec![n],
+        }
     }
 
     /// Convenience constructor for a 2-D array.
     pub fn array2(elem: Scalar, rows: usize, cols: usize) -> Type {
-        Type::Array { elem, dims: vec![rows, cols] }
+        Type::Array {
+            elem,
+            dims: vec![rows, cols],
+        }
     }
 
     /// The scalar element type (`self` for scalars, element type for arrays).

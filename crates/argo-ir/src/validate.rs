@@ -75,7 +75,11 @@ pub fn validate(p: &Program) -> Result<(), ValidateError> {
         }
     }
     for f in &p.functions {
-        let mut checker = Checker { program: p, f, table: SymbolTable::new() };
+        let mut checker = Checker {
+            program: p,
+            f,
+            table: SymbolTable::new(),
+        };
         checker.check_function()?;
     }
     check_no_recursion(p)?;
@@ -90,7 +94,10 @@ struct Checker<'a> {
 
 impl<'a> Checker<'a> {
     fn err(&self, msg: impl Into<String>) -> ValidateError {
-        ValidateError { msg: msg.into(), function: Some(self.f.name.clone()) }
+        ValidateError {
+            msg: msg.into(),
+            function: Some(self.f.name.clone()),
+        }
     }
 
     fn check_function(&mut self) -> Result<(), ValidateError> {
@@ -151,19 +158,23 @@ impl<'a> Checker<'a> {
                         }
                         t.elem()
                     }
-                    LValue::ArrayElem { array, indices } => {
-                        self.check_indices(array, indices)?
-                    }
+                    LValue::ArrayElem { array, indices } => self.check_indices(array, indices)?,
                 };
                 let vt = self.expr_type(value)?;
                 self.check_assignable(target_scalar, vt, target.base())
             }
-            StmtKind::If { cond, then_blk, else_blk } => {
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 self.expect_bool(cond, "if condition")?;
                 self.check_block(then_blk)?;
                 self.check_block(else_blk)
             }
-            StmtKind::For { var, lo, hi, body, .. } => {
+            StmtKind::For {
+                var, lo, hi, body, ..
+            } => {
                 let t = self.var_type(var)?;
                 if *t != Type::Scalar(Scalar::Int) {
                     return Err(self.err(format!("loop variable `{var}` must be a scalar int")));
@@ -473,8 +484,7 @@ mod tests {
 
     #[test]
     fn rejects_recursion() {
-        let err = check("int f(int n) { return g(n); } int g(int n) { return f(n); }")
-            .unwrap_err();
+        let err = check("int f(int n) { return g(n); } int g(int n) { return f(n); }").unwrap_err();
         assert!(err.msg.contains("recursion"));
     }
 
@@ -515,10 +525,7 @@ mod tests {
 
     #[test]
     fn array_arguments_must_match_shape() {
-        let err = check(
-            "void g(real a[8]) { } void f(real b[4]) { g(b); }",
-        )
-        .unwrap_err();
+        let err = check("void g(real a[8]) { } void f(real b[4]) { g(b); }").unwrap_err();
         assert!(err.msg.contains("array argument"));
     }
 

@@ -12,7 +12,9 @@ pub fn walk_stmts<'a>(b: &'a Block, f: &mut impl FnMut(&'a Stmt)) {
     for s in &b.stmts {
         f(s);
         match &s.kind {
-            StmtKind::If { then_blk, else_blk, .. } => {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
                 walk_stmts(then_blk, f);
                 walk_stmts(else_blk, f);
             }
@@ -39,7 +41,11 @@ pub fn walk_exprs<'a>(s: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
             }
             walk_expr(value, f);
         }
-        StmtKind::If { cond, then_blk, else_blk } => {
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
             walk_expr(cond, f);
             for st in &then_blk.stmts {
                 walk_exprs(st, f);
@@ -142,7 +148,11 @@ fn collect_rw(s: &Stmt, reads: &mut BTreeSet<String>, writes: &mut BTreeSet<Stri
             }
             writes.insert(target.base().to_string());
         }
-        StmtKind::If { cond, then_blk, else_blk } => {
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
             reads.extend(expr_reads(cond));
             for st in &then_blk.stmts {
                 collect_rw(st, reads, writes);
@@ -151,7 +161,9 @@ fn collect_rw(s: &Stmt, reads: &mut BTreeSet<String>, writes: &mut BTreeSet<Stri
                 collect_rw(st, reads, writes);
             }
         }
-        StmtKind::For { var, lo, hi, body, .. } => {
+        StmtKind::For {
+            var, lo, hi, body, ..
+        } => {
             reads.extend(expr_reads(lo));
             reads.extend(expr_reads(hi));
             writes.insert(var.clone());
@@ -239,7 +251,11 @@ fn live_stmt(s: &Stmt, killed: &mut BTreeSet<String>, live: &mut BTreeSet<String
                 }
             }
         }
-        StmtKind::If { cond, then_blk, else_blk } => {
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
             live_expr(cond, killed, live);
             let mut k_then = killed.clone();
             let mut k_else = killed.clone();
@@ -252,7 +268,9 @@ fn live_stmt(s: &Stmt, killed: &mut BTreeSet<String>, live: &mut BTreeSet<String
             // Only definite-on-both-paths writes kill.
             *killed = k_then.intersection(&k_else).cloned().collect();
         }
-        StmtKind::For { var, lo, hi, body, .. } => {
+        StmtKind::For {
+            var, lo, hi, body, ..
+        } => {
             live_expr(lo, killed, live);
             live_expr(hi, killed, live);
             // The induction variable is assigned before any body read.
@@ -296,7 +314,9 @@ pub fn called_functions(s: &Stmt) -> BTreeSet<String> {
         }
     });
     match &s.kind {
-        StmtKind::If { then_blk, else_blk, .. } => {
+        StmtKind::If {
+            then_blk, else_blk, ..
+        } => {
             for st in then_blk.stmts.iter().chain(&else_blk.stmts) {
                 out.extend(called_functions(st));
             }
@@ -338,7 +358,8 @@ mod tests {
 
     #[test]
     fn rw_sets_of_loop_include_induction_var() {
-        let f = first_fn("void f(int n) { int i; int s; s = 0; for (i=0;i<n;i=i+1) { s = s + i; } }");
+        let f =
+            first_fn("void f(int n) { int i; int s; s = 0; for (i=0;i<n;i=i+1) { s = s + i; } }");
         let (r, w) = stmt_rw(&f.body.stmts[3]);
         assert!(r.contains("n") && r.contains("i") && r.contains("s"));
         assert!(w.contains("i") && w.contains("s"));
@@ -354,7 +375,8 @@ mod tests {
 
     #[test]
     fn live_in_excludes_killed_scalars() {
-        let f = first_fn("void f(int n) { int i; int s; s = 0; for (i=0;i<n;i=i+1) { s = s + i; } }");
+        let f =
+            first_fn("void f(int n) { int i; int s; s = 0; for (i=0;i<n;i=i+1) { s = s + i; } }");
         let live = live_in_reads(&f.body.stmts);
         assert!(live.contains("n"));
         assert!(!live.contains("i"), "induction var assigned before read");
@@ -371,14 +393,11 @@ mod tests {
 
     #[test]
     fn branch_kills_require_both_arms() {
-        let f = first_fn(
-            "void f(bool c) { int x; if (c) { x = 1; } else { } int y; y = x; }",
-        );
+        let f = first_fn("void f(bool c) { int x; if (c) { x = 1; } else { } int y; y = x; }");
         let live = live_in_reads(&f.body.stmts);
         assert!(live.contains("x"), "x only written on one path");
-        let f2 = first_fn(
-            "void f(bool c) { int x; if (c) { x = 1; } else { x = 2; } int y; y = x; }",
-        );
+        let f2 =
+            first_fn("void f(bool c) { int x; if (c) { x = 1; } else { x = 2; } int y; y = x; }");
         let live2 = live_in_reads(&f2.body.stmts);
         assert!(!live2.contains("x"), "x written on both paths");
     }
@@ -393,7 +412,7 @@ mod tests {
     #[test]
     fn finds_called_functions_in_exprs() {
         let f = first_fn("void f() { int x; x = g(1) + h(2); k(x); }");
-        let calls: BTreeSet<String> = f.body.stmts.iter().flat_map(|s| called_functions(s)).collect();
+        let calls: BTreeSet<String> = f.body.stmts.iter().flat_map(called_functions).collect();
         assert_eq!(calls.into_iter().collect::<Vec<_>>(), vec!["g", "h", "k"]);
     }
 }

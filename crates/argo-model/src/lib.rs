@@ -31,8 +31,8 @@
 //! # Ok(()) }
 //! ```
 
-use argo_ir::ast::{BinOp, Expr, Function, LValue, Param, Program, Stmt, StmtKind};
 use argo_ir::ast::Block as IrBlock;
+use argo_ir::ast::{BinOp, Expr, Function, LValue, Param, Program, Stmt, StmtKind};
 use argo_ir::types::{Scalar, Type};
 use argo_transform::subst_var;
 use std::fmt;
@@ -138,7 +138,11 @@ impl std::error::Error for ModelError {}
 impl Model {
     /// Creates an empty model whose signals default to `width` elements.
     pub fn new(name: impl Into<String>, width: usize) -> Model {
-        Model { name: name.into(), width, blocks: Vec::new() }
+        Model {
+            name: name.into(),
+            width,
+            blocks: Vec::new(),
+        }
     }
 
     fn push(&mut self, name: &str, kind: BlockKind, width: usize) -> BlockId {
@@ -165,10 +169,19 @@ impl Model {
     ///
     /// Returns [`ModelError`] if the expression does not parse or `input`
     /// is unknown.
-    pub fn add_map(&mut self, name: &str, expr: &str, input: BlockId) -> Result<BlockId, ModelError> {
+    pub fn add_map(
+        &mut self,
+        name: &str,
+        expr: &str,
+        input: BlockId,
+    ) -> Result<BlockId, ModelError> {
         let expr = parse_behaviour(expr)?;
         self.check_block(input)?;
-        Ok(self.push(name, BlockKind::Map { expr, input }, self.blocks[input.0].width))
+        Ok(self.push(
+            name,
+            BlockKind::Map { expr, input },
+            self.blocks[input.0].width,
+        ))
     }
 
     /// Adds an element-wise two-input block (`u1`, `u2`).
@@ -213,7 +226,11 @@ impl Model {
     ) -> Result<BlockId, ModelError> {
         let expr = parse_behaviour(expr)?;
         self.check_block(input)?;
-        Ok(self.push(name, BlockKind::Stencil3 { expr, input }, self.blocks[input.0].width))
+        Ok(self.push(
+            name,
+            BlockKind::Stencil3 { expr, input },
+            self.blocks[input.0].width,
+        ))
     }
 
     /// Adds a reduction block (output width 1).
@@ -228,7 +245,9 @@ impl Model {
 
     fn check_block(&self, id: BlockId) -> Result<(), ModelError> {
         if id.0 >= self.blocks.len() {
-            return Err(ModelError { msg: format!("unknown block id {}", id.0) });
+            return Err(ModelError {
+                msg: format!("unknown block id {}", id.0),
+            });
         }
         Ok(())
     }
@@ -245,12 +264,16 @@ impl Model {
     /// validation message).
     pub fn lower(&self) -> Result<Program, ModelError> {
         if self.blocks.is_empty() {
-            return Err(ModelError { msg: "model has no blocks".into() });
+            return Err(ModelError {
+                msg: "model has no blocks".into(),
+            });
         }
         let mut names = std::collections::BTreeSet::new();
         for b in &self.blocks {
             if !names.insert(&b.name) {
-                return Err(ModelError { msg: format!("duplicate block name `{}`", b.name) });
+                return Err(ModelError {
+                    msg: format!("duplicate block name `{}`", b.name),
+                });
             }
         }
 
@@ -400,11 +423,7 @@ impl Model {
                         value: Expr::idx1(b.name.clone(), Expr::var("idx")),
                     })]),
                 });
-                if matches!(b.kind, BlockKind::Input) {
-                    stmts.push(copy);
-                } else {
-                    stmts.push(copy);
-                }
+                stmts.push(copy);
             }
         }
 
@@ -417,8 +436,9 @@ impl Model {
             }],
         };
         program.renumber();
-        argo_ir::validate::validate(&program)
-            .map_err(|e| ModelError { msg: format!("lowered program invalid: {e}") })?;
+        argo_ir::validate::validate(&program).map_err(|e| ModelError {
+            msg: format!("lowered program invalid: {e}"),
+        })?;
         Ok(program)
     }
 }
@@ -430,7 +450,10 @@ fn elementwise_loop(out: &str, width: usize, value: Expr) -> Stmt {
         hi: Expr::int(width as i64),
         step: 1,
         body: IrBlock::of(vec![Stmt::new(StmtKind::Assign {
-            target: LValue::ArrayElem { array: out.to_string(), indices: vec![Expr::var("idx")] },
+            target: LValue::ArrayElem {
+                array: out.to_string(),
+                indices: vec![Expr::var("idx")],
+            },
             value,
         })]),
     })
@@ -443,8 +466,9 @@ fn elementwise_loop(out: &str, width: usize, value: Expr) -> Stmt {
 ///
 /// Returns [`ModelError`] with the parser's message.
 pub fn parse_behaviour(src: &str) -> Result<Expr, ModelError> {
-    argo_ir::parse::parse_expr(src)
-        .map_err(|e| ModelError { msg: format!("behaviour expression: {e}") })
+    argo_ir::parse::parse_expr(src).map_err(|e| ModelError {
+        msg: format!("behaviour expression: {e}"),
+    })
 }
 
 #[cfg(test)]
@@ -578,8 +602,7 @@ mod tests {
         let y = m.add_map("y", "sqrt(u) + 1.0", x).unwrap();
         m.mark_output(y);
         let p = m.lower().unwrap();
-        let htg =
-            argo_htg::extract::extract(&p, "m", argo_htg::Granularity::Loop).unwrap();
+        let htg = argo_htg::extract::extract(&p, "m", argo_htg::Granularity::Loop).unwrap();
         let any_doall = htg.tasks.iter().any(|t| {
             matches!(
                 &t.kind,

@@ -12,8 +12,18 @@ use std::fmt::Write as _;
 /// Renders the whole parallel program as per-core pseudo-C.
 pub fn emit_pseudo_c(pp: &ParallelProgram) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "/* ARGO parallel program model — entry `{}` */", pp.entry);
-    let _ = writeln!(out, "/* {} tasks, {} cores, {} signals */", pp.graph.len(), pp.plans.len(), pp.signal_count);
+    let _ = writeln!(
+        out,
+        "/* ARGO parallel program model — entry `{}` */",
+        pp.entry
+    );
+    let _ = writeln!(
+        out,
+        "/* {} tasks, {} cores, {} signals */",
+        pp.graph.len(),
+        pp.plans.len(),
+        pp.signal_count
+    );
     out.push('\n');
 
     // Memory placement header.
@@ -44,13 +54,14 @@ pub fn emit_pseudo_c(pp: &ParallelProgram) -> String {
                     let _ = writeln!(
                         out,
                         "    task_{task}(); /* {} : [{}, {}) */",
-                        pp.graph.names[*task],
-                        pp.schedule.start[*task],
-                        pp.schedule.finish[*task]
+                        pp.graph.names[*task], pp.schedule.start[*task], pp.schedule.finish[*task]
                     );
                 }
                 Step::Wait { signal, producer } => {
-                    let _ = writeln!(out, "    argo_wait({signal}); /* data from task {producer} */");
+                    let _ = writeln!(
+                        out,
+                        "    argo_wait({signal}); /* data from task {producer} */"
+                    );
                 }
                 Step::Signal { signal, consumer } => {
                     let _ = writeln!(out, "    argo_signal({signal}); /* -> task {consumer} */");
@@ -87,8 +98,7 @@ mod tests {
         let platform = argo_adl::Platform::xentium_manycore(2);
         let ctx = SchedCtx::new(&platform);
         let schedule = ListScheduler::new().schedule(&graph, &ctx);
-        let pp = crate::ParallelProgram::build(program, &htg, graph, schedule, &platform)
-            .unwrap();
+        let pp = crate::ParallelProgram::build(program, &htg, graph, schedule, &platform).unwrap();
         let text = emit_pseudo_c(&pp);
         assert!(text.contains("core0_main"));
         assert!(text.contains("core1_main"));

@@ -158,13 +158,19 @@ impl ParallelProgram {
                 // Waits first (one per incoming cross-core edge).
                 for &(f, to, id) in &signals {
                     if to == t {
-                        steps.push(Step::Wait { signal: id, producer: f });
+                        steps.push(Step::Wait {
+                            signal: id,
+                            producer: f,
+                        });
                     }
                 }
                 steps.push(Step::Exec { task: t });
                 for &(from, to, id) in &signals {
                     if from == t {
-                        steps.push(Step::Signal { signal: id, consumer: to });
+                        steps.push(Step::Signal {
+                            signal: id,
+                            consumer: to,
+                        });
                     }
                 }
             }
@@ -310,7 +316,11 @@ mod tests {
         let costs: BTreeMap<_, _> = htg.top_level.iter().map(|&t| (t, 10u64)).collect();
         let graph = TaskGraph::from_htg(&htg, &costs);
         let platform = argo_adl::Platform::xentium_manycore(2);
-        let bad = Schedule { assignment: vec![CoreId(0)], start: vec![0], finish: vec![10] };
+        let bad = Schedule {
+            assignment: vec![CoreId(0)],
+            start: vec![0],
+            finish: vec![10],
+        };
         assert!(ParallelProgram::build(program, &htg, graph, bad, &platform).is_err());
     }
 }

@@ -85,7 +85,9 @@ pub fn assign(
             let core = schedule.assignment[idx];
             for (v, n) in &task.access_counts {
                 if symbols.get(v).is_some_and(|t| t.is_array()) {
-                    *access_gain.entry((leak_name(v, &symbols), core)).or_insert(0) += n;
+                    *access_gain
+                        .entry((leak_name(v, &symbols), core))
+                        .or_insert(0) += n;
                 }
             }
         }
@@ -169,10 +171,7 @@ pub fn assign(
 
 // BTreeMap key borrowing helper: the candidate name string lives in
 // `symbols`; return a reference with the map's lifetime.
-fn leak_name<'a>(
-    v: &str,
-    symbols: &'a argo_ir::validate::SymbolTable,
-) -> &'a str {
+fn leak_name<'a>(v: &str, symbols: &'a argo_ir::validate::SymbolTable) -> &'a str {
     symbols
         .keys()
         .find(|k| k.as_str() == v)
@@ -202,8 +201,7 @@ mod tests {
         let program = parse_program(TWO_KERNELS).unwrap();
         let mut htg = extract(&program, "main", Granularity::Loop).unwrap();
         argo_htg::accesses::annotate(&mut htg, &program, &AnnotateCtx::with_default_bound(16));
-        let costs: BTreeMap<TaskId, u64> =
-            htg.top_level.iter().map(|&t| (t, 500u64)).collect();
+        let costs: BTreeMap<TaskId, u64> = htg.top_level.iter().map(|&t| (t, 500u64)).collect();
         let graph = TaskGraph::from_htg(&htg, &costs);
         let platform = Platform::xentium_manycore(cores);
         let ctx = SchedCtx::new(&platform);
@@ -252,8 +250,7 @@ mod tests {
         let graph = TaskGraph::from_htg(&htg, &costs);
         let platform = Platform::xentium_manycore(1);
         let ctx = SchedCtx::new(&platform);
-        let schedule =
-            evaluate_assignment(&graph, &ctx, &vec![CoreId(0); graph.len()]);
+        let schedule = evaluate_assignment(&graph, &ctx, &vec![CoreId(0); graph.len()]);
         let map = assign(&program, &htg, &graph, &schedule, &platform).unwrap();
         assert_eq!(map.space_of("big"), MemSpace::Shared);
     }

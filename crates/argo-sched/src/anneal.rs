@@ -8,7 +8,7 @@
 //! costs and must not jitter.
 
 use crate::list::ListScheduler;
-use crate::{evaluate_assignment, Schedule, SchedCtx, Scheduler, TaskGraph};
+use crate::{evaluate_assignment, SchedCtx, Schedule, Scheduler, TaskGraph};
 use argo_adl::CoreId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -26,7 +26,11 @@ pub struct SimulatedAnnealing {
 
 impl Default for SimulatedAnnealing {
     fn default() -> SimulatedAnnealing {
-        SimulatedAnnealing { seed: 0xA6_60, iterations: 4000, initial_temp_frac: 0.1 }
+        SimulatedAnnealing {
+            seed: 0xA6_60,
+            iterations: 4000,
+            initial_temp_frac: 0.1,
+        }
     }
 }
 
@@ -38,7 +42,10 @@ impl SimulatedAnnealing {
 
     /// Creates an annealer with an explicit seed.
     pub fn with_seed(seed: u64) -> SimulatedAnnealing {
-        SimulatedAnnealing { seed, ..SimulatedAnnealing::default() }
+        SimulatedAnnealing {
+            seed,
+            ..SimulatedAnnealing::default()
+        }
     }
 }
 
@@ -152,7 +159,10 @@ mod tests {
         // Independent tasks with unequal sizes: list scheduling by rank is
         // already decent, but SA must find a balanced split too.
         let p = Platform::xentium_manycore(2);
-        let ctx = SchedCtx { platform: &p, comm: CommModel::Free };
+        let ctx = SchedCtx {
+            platform: &p,
+            comm: CommModel::Free,
+        };
         let g = TaskGraph {
             cost: vec![8, 7, 6, 5, 4, 3, 3],
             edges: vec![],

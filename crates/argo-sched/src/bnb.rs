@@ -8,7 +8,7 @@
 //! fine-grain decomposition needs exact answers to calibrate heuristics).
 
 use crate::list::ListScheduler;
-use crate::{evaluate_assignment, Schedule, SchedCtx, Scheduler, TaskGraph};
+use crate::{evaluate_assignment, SchedCtx, Schedule, Scheduler, TaskGraph};
 use argo_adl::CoreId;
 
 /// Exact branch-and-bound scheduler with a node-expansion budget.
@@ -21,7 +21,9 @@ pub struct BranchAndBound {
 
 impl Default for BranchAndBound {
     fn default() -> BranchAndBound {
-        BranchAndBound { node_budget: 2_000_000 }
+        BranchAndBound {
+            node_budget: 2_000_000,
+        }
     }
 }
 
@@ -45,13 +47,10 @@ impl BranchAndBound {
 
         let order = {
             // Deterministic topological order, prioritising long ranks to
-            // tighten pruning early.
+            // tighten pruning early: Kahn with max-rank pops keeps
+            // topological validity while visiting critical tasks first.
             let ranks = ListScheduler::new().upward_ranks(g, ctx);
-            let mut order = g.topo_order();
-            // Stable refinement: keep topological validity by sorting only
-            // via a priority-respecting scheme — Kahn with max-rank pops.
-            order = topo_by_rank(g, &ranks);
-            order
+            topo_by_rank(g, &ranks)
         };
         let preds = g.preds();
         let cores = ctx.cores();
@@ -80,7 +79,10 @@ impl BranchAndBound {
                 continue;
             }
             // Queue the sibling branch.
-            stack.push(Frame { depth, core: core + 1 });
+            stack.push(Frame {
+                depth,
+                core: core + 1,
+            });
             expanded += 1;
             if expanded > self.node_budget {
                 break;
@@ -104,9 +106,7 @@ impl BranchAndBound {
             let _ = partial_ms;
             let cur_ms = fin.max(avail.iter().copied().max().unwrap_or(0));
             let remaining = tail_work[depth + 1];
-            let lb = cur_ms.max(
-                avail.iter().sum::<u64>().saturating_add(remaining) / cores as u64,
-            );
+            let lb = cur_ms.max(avail.iter().sum::<u64>().saturating_add(remaining) / cores as u64);
             if lb >= best {
                 continue; // prune
             }
@@ -126,7 +126,10 @@ impl BranchAndBound {
             }
             core_avail_stack.truncate(depth + 1);
             core_avail_stack.push(new_avail);
-            stack.push(Frame { depth: depth + 1, core: 0 });
+            stack.push(Frame {
+                depth: depth + 1,
+                core: 0,
+            });
         }
 
         let result = evaluate_assignment(g, ctx, &best_assignment);
@@ -211,7 +214,10 @@ mod tests {
     fn optimal_on_independent_tasks() {
         // 4 independent unit tasks on 2 cores: optimum = 2 per core.
         let p = Platform::xentium_manycore(2);
-        let ctx = SchedCtx { platform: &p, comm: CommModel::Free };
+        let ctx = SchedCtx {
+            platform: &p,
+            comm: CommModel::Free,
+        };
         let g = TaskGraph {
             cost: vec![10, 10, 10, 10],
             edges: vec![],
@@ -226,7 +232,10 @@ mod tests {
     fn optimal_on_asymmetric_loads() {
         // Costs 7,5,4,4,3 on 2 cores; total 23, optimum = 12 (7+5 | 4+4+3).
         let p = Platform::xentium_manycore(2);
-        let ctx = SchedCtx { platform: &p, comm: CommModel::Free };
+        let ctx = SchedCtx {
+            platform: &p,
+            comm: CommModel::Free,
+        };
         let g = TaskGraph {
             cost: vec![7, 5, 4, 4, 3],
             edges: vec![],
@@ -240,7 +249,10 @@ mod tests {
     #[test]
     fn respects_critical_path_bound() {
         let p = Platform::xentium_manycore(4);
-        let ctx = SchedCtx { platform: &p, comm: CommModel::Free };
+        let ctx = SchedCtx {
+            platform: &p,
+            comm: CommModel::Free,
+        };
         let g = diamond();
         let s = BranchAndBound::new().schedule(&g, &ctx);
         assert!(s.makespan() >= g.critical_path());

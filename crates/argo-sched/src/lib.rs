@@ -64,8 +64,12 @@ impl TaskGraph {
     ///
     /// Panics if a top-level task has no cost entry.
     pub fn from_htg(htg: &Htg, costs: &BTreeMap<TaskId, u64>) -> TaskGraph {
-        let index: BTreeMap<TaskId, usize> =
-            htg.top_level.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let index: BTreeMap<TaskId, usize> = htg
+            .top_level
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i))
+            .collect();
         let mut g = TaskGraph::default();
         for &t in &htg.top_level {
             g.cost.push(costs[&t]);
@@ -174,7 +178,10 @@ pub struct SchedCtx<'a> {
 impl<'a> SchedCtx<'a> {
     /// Creates a context with the conservative platform comm model.
     pub fn new(platform: &'a Platform) -> SchedCtx<'a> {
-        SchedCtx { platform, comm: CommModel::PlatformWorstCase }
+        SchedCtx {
+            platform,
+            comm: CommModel::PlatformWorstCase,
+        }
     }
 
     /// Cost of moving `bytes` from `from` to `to`.
@@ -285,11 +292,7 @@ impl Schedule {
 ///
 /// This is the shared evaluation kernel of the annealer and the exact
 /// solver; it is deterministic (ready ties broken by task index).
-pub fn evaluate_assignment(
-    g: &TaskGraph,
-    ctx: &SchedCtx<'_>,
-    assignment: &[CoreId],
-) -> Schedule {
+pub fn evaluate_assignment(g: &TaskGraph, ctx: &SchedCtx<'_>, assignment: &[CoreId]) -> Schedule {
     let preds = g.preds();
     let succs = g.succs();
     let mut start = vec![0u64; g.len()];
@@ -323,7 +326,11 @@ pub fn evaluate_assignment(
             }
         }
     }
-    Schedule { assignment: assignment.to_vec(), start, finish }
+    Schedule {
+        assignment: assignment.to_vec(),
+        start,
+        finish,
+    }
 }
 
 /// The common scheduler interface.
@@ -396,8 +403,7 @@ mod tests {
     fn topo_order_is_valid() {
         let g = diamond();
         let order = g.topo_order();
-        let pos: BTreeMap<usize, usize> =
-            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let pos: BTreeMap<usize, usize> = order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         for &(f, t, _) in &g.edges {
             assert!(pos[&f] < pos[&t]);
         }
@@ -437,7 +443,10 @@ mod tests {
     fn free_comm_model_is_cheaper() {
         let p = Platform::xentium_manycore(2);
         let ctx_wc = SchedCtx::new(&p);
-        let ctx_free = SchedCtx { platform: &p, comm: CommModel::Free };
+        let ctx_free = SchedCtx {
+            platform: &p,
+            comm: CommModel::Free,
+        };
         let g = diamond();
         let a = vec![CoreId(0), CoreId(0), CoreId(1), CoreId(0)];
         let s_wc = evaluate_assignment(&g, &ctx_wc, &a);

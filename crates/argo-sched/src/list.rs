@@ -7,7 +7,7 @@
 //! homogeneous ARGO platforms the computation cost term of classical HEFT
 //! degenerates to the task WCET.
 
-use crate::{Schedule, SchedCtx, Scheduler, TaskGraph};
+use crate::{SchedCtx, Schedule, Scheduler, TaskGraph};
 use argo_adl::CoreId;
 
 /// HEFT-style list scheduler with gap insertion.
@@ -38,8 +38,7 @@ impl ListScheduler {
             }
             // Representative pair (0, 1); homogeneous interconnects make
             // this exact for buses, a good proxy for meshes.
-            ctx.comm_cost(CoreId(0), CoreId(1), bytes) as f64 * (cores as f64 - 1.0)
-                / cores as f64
+            ctx.comm_cost(CoreId(0), CoreId(1), bytes) as f64 * (cores as f64 - 1.0) / cores as f64
         };
         for &t in order.iter().rev() {
             let down = succs[t]
@@ -61,9 +60,7 @@ impl Scheduler for ListScheduler {
 
         // Priority order: descending rank, ties by index (deterministic).
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            rank[b].partial_cmp(&rank[a]).unwrap().then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| rank[b].partial_cmp(&rank[a]).unwrap().then(a.cmp(&b)));
 
         let mut assignment = vec![CoreId(0); n];
         let mut start = vec![0u64; n];
@@ -77,7 +74,7 @@ impl Scheduler for ListScheduler {
             // guarantees it on DAGs.
             debug_assert!(preds[t].iter().all(|&(p, _)| scheduled[p]));
             let mut best: Option<(u64, u64, usize)> = None; // (finish, start, core)
-            for c in 0..cores {
+            for (c, busy_c) in busy.iter().enumerate() {
                 let mut ready = 0u64;
                 for &(p, bytes) in &preds[t] {
                     let comm = if assignment[p] == CoreId(c) {
@@ -87,7 +84,7 @@ impl Scheduler for ListScheduler {
                     };
                     ready = ready.max(finish[p] + comm);
                 }
-                let st = self.earliest_slot(&busy[c], ready, g.cost[t]);
+                let st = self.earliest_slot(busy_c, ready, g.cost[t]);
                 let fin = st + g.cost[t];
                 let cand = (fin, st, c);
                 if best.is_none() || cand < best.unwrap() {
@@ -102,7 +99,11 @@ impl Scheduler for ListScheduler {
             let pos = busy[c].partition_point(|&(s, _)| s < st);
             busy[c].insert(pos, (st, fin));
         }
-        Schedule { assignment, start, finish }
+        Schedule {
+            assignment,
+            start,
+            finish,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -149,7 +150,10 @@ mod tests {
     #[test]
     fn parallelises_fork_join() {
         let p = Platform::xentium_manycore(4);
-        let ctx = SchedCtx { platform: &p, comm: CommModel::Free };
+        let ctx = SchedCtx {
+            platform: &p,
+            comm: CommModel::Free,
+        };
         let g = fork_join(8, 1000);
         let s = ListScheduler::new().schedule(&g, &ctx);
         let seq = sequential_schedule(&g, &ctx);
@@ -191,7 +195,10 @@ mod tests {
     #[test]
     fn insertion_never_hurts() {
         let p = Platform::xentium_manycore(3);
-        let ctx = SchedCtx { platform: &p, comm: CommModel::Free };
+        let ctx = SchedCtx {
+            platform: &p,
+            comm: CommModel::Free,
+        };
         let g = fork_join(7, 350);
         let with_ins = ListScheduler { insertion: true }.schedule(&g, &ctx);
         let without = ListScheduler { insertion: false }.schedule(&g, &ctx);

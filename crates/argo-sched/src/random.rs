@@ -100,20 +100,32 @@ mod tests {
 
     #[test]
     fn costs_within_range() {
-        let p = RandomGraphParams { cost_range: (10, 20), ..Default::default() };
+        let p = RandomGraphParams {
+            cost_range: (10, 20),
+            ..Default::default()
+        };
         let g = random_task_graph(1, &p);
         assert!(g.cost.iter().all(|&c| (10..=20).contains(&c)));
     }
 
     #[test]
     fn non_source_tasks_have_predecessors() {
-        let p = RandomGraphParams { tasks: 20, layers: 5, edge_prob: 0.05, ..Default::default() };
+        let p = RandomGraphParams {
+            tasks: 20,
+            layers: 5,
+            edge_prob: 0.05,
+            ..Default::default()
+        };
         let g = random_task_graph(9, &p);
         let layer_of: Vec<usize> = (0..20).map(|i| i * 5 / 20).collect();
         let preds = g.preds();
         for t in 0..20 {
             if layer_of[t] > 0 {
-                assert!(!preds[t].is_empty(), "task {t} in layer {} has no preds", layer_of[t]);
+                assert!(
+                    !preds[t].is_empty(),
+                    "task {t} in layer {} has no preds",
+                    layer_of[t]
+                );
             }
         }
     }

@@ -72,7 +72,13 @@ pub fn replay(
     let ncores = platform.core_count();
     let txn = platform.shared.latency;
     let mut cores: Vec<CoreCtx> = (0..ncores)
-        .map(|_| CoreCtx { time: 0, state: CoreState::Ready, step_idx: 0, ev_idx: 0, cur_task: None })
+        .map(|_| CoreCtx {
+            time: 0,
+            state: CoreState::Ready,
+            step_idx: 0,
+            ev_idx: 0,
+            cur_task: None,
+        })
         .collect();
     let mut signal_time: Vec<Option<u64>> = vec![None; pp.signal_count];
     let mut task_start = vec![0u64; pp.graph.len()];
@@ -92,12 +98,12 @@ pub fn replay(
 
     loop {
         // Wake cores whose awaited signal has been raised.
-        for c in 0..ncores {
-            if let CoreState::WaitingSignal(s) = cores[c].state {
+        for core in cores.iter_mut() {
+            if let CoreState::WaitingSignal(s) = core.state {
                 if let Some(t) = signal_time[s] {
-                    cores[c].time = cores[c].time.max(t);
-                    cores[c].state = CoreState::Ready;
-                    cores[c].step_idx += 1;
+                    core.time = core.time.max(t);
+                    core.state = CoreState::Ready;
+                    core.step_idx += 1;
                 }
             }
         }
@@ -159,9 +165,7 @@ pub fn replay(
                         // Cyclic order starting at rr_next.
                         *candidates
                             .iter()
-                            .min_by_key(|&&i| {
-                                (pending[i].1 + ncores - rr_next) % ncores
-                            })
+                            .min_by_key(|&&i| (pending[i].1 + ncores - rr_next) % ncores)
                             .expect("nonempty")
                     }
                     // TDMA handled per-request below; FCFS for NoC port.
@@ -178,7 +182,10 @@ pub fn replay(
                     }
                 }
                 let grant = match &arb {
-                    Some(Arbitration::Tdma { slot_cycles, total_slots }) => {
+                    Some(Arbitration::Tdma {
+                        slot_cycles,
+                        total_slots,
+                    }) => {
                         // Wait for this core's own slot. Slots of distinct
                         // cores are disjoint by construction, so TDMA
                         // requests never serialize through the shared
@@ -312,13 +319,18 @@ mod tests {
         let costs: std::collections::BTreeMap<_, _> =
             htg.top_level.iter().map(|&t| (t, 100u64)).collect();
         let graph = argo_sched::TaskGraph::from_htg(&htg, &costs);
-        let ctx = SchedCtx { platform, comm: CommModel::Free };
+        let ctx = SchedCtx {
+            platform,
+            comm: CommModel::Free,
+        };
         // Force the two loops onto different cores (decl task with them).
         let assignment: Vec<CoreId> = (0..graph.len())
-            .map(|t| if graph.names[t].contains("@s3") || t == graph.len() - 1 {
-                CoreId(1)
-            } else {
-                CoreId(0)
+            .map(|t| {
+                if graph.names[t].contains("@s3") || t == graph.len() - 1 {
+                    CoreId(1)
+                } else {
+                    CoreId(0)
+                }
             })
             .collect();
         let schedule = evaluate_assignment(&graph, &ctx, &assignment);
@@ -402,7 +414,10 @@ mod tests {
     fn tdma_request_waits_for_own_slot_only() {
         let platform = Platform::generic_bus(
             2,
-            Arbitration::Tdma { slot_cycles: 12, total_slots: 2 },
+            Arbitration::Tdma {
+                slot_cycles: 12,
+                total_slots: 2,
+            },
         );
         let pp = two_core_pp(&platform);
         let mut traces = traces_for(&pp, vec![Ev::Compute(1)]);
@@ -423,11 +438,15 @@ mod tests {
 
     #[test]
     fn observed_tdma_wait_within_analytic_bound() {
-        let arb = Arbitration::Tdma { slot_cycles: 12, total_slots: 4 };
+        let arb = Arbitration::Tdma {
+            slot_cycles: 12,
+            total_slots: 4,
+        };
         let platform = Platform::generic_bus(4, arb.clone());
         let pp = two_core_pp(&platform);
-        let burst: TaskTrace =
-            (0..6).flat_map(|_| [Ev::Compute(3), Ev::SharedAccess]).collect();
+        let burst: TaskTrace = (0..6)
+            .flat_map(|_| [Ev::Compute(3), Ev::SharedAccess])
+            .collect();
         let traces = traces_for(&pp, burst);
         let r = replay(&pp, &platform, &traces).unwrap();
         let bound = arb.worst_wait(0, 4, platform.shared.latency);

@@ -58,7 +58,9 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> SimConfig {
-        SimConfig { mode: SimMode::WorstCase }
+        SimConfig {
+            mode: SimMode::WorstCase,
+        }
     }
 }
 
@@ -125,10 +127,9 @@ pub fn simulate(
     let replay = bus::replay(pp, platform, &traced.traces)?;
 
     // Collect outputs (entry array parameters).
-    let entry = pp
-        .program
-        .function(&pp.entry)
-        .ok_or_else(|| SimError { msg: format!("no entry `{}`", pp.entry) })?;
+    let entry = pp.program.function(&pp.entry).ok_or_else(|| SimError {
+        msg: format!("no entry `{}`", pp.entry),
+    })?;
     let mut outputs = Vec::new();
     for p in &entry.params {
         if p.ty.is_array() {
@@ -173,7 +174,11 @@ pub fn sequential_reference(
 pub(crate) fn noc_route_latency(platform: &Platform, core: CoreId) -> u64 {
     match &platform.interconnect {
         Interconnect::Bus { .. } => 0,
-        Interconnect::Noc { router_latency, link_latency, .. } => {
+        Interconnect::Noc {
+            router_latency,
+            link_latency,
+            ..
+        } => {
             let tile = platform.core(core).tile;
             let hops = (tile.0 + tile.1) as u64 + 1;
             hops * (router_latency + link_latency)

@@ -58,7 +58,9 @@ pub fn trace_tasks(
     let entry = pp
         .program
         .function(&pp.entry)
-        .ok_or_else(|| SimError { msg: format!("no entry `{}`", pp.entry) })?
+        .ok_or_else(|| SimError {
+            msg: format!("no entry `{}`", pp.entry),
+        })?
         .clone();
     let mut frame = interp.make_frame(&entry, args)?;
 
@@ -110,7 +112,9 @@ pub fn trace_tasks(
         for sid in &pp.task_stmts[t] {
             let stmt = stmt_index
                 .get(sid)
-                .ok_or_else(|| SimError { msg: format!("task {t}: no statement {sid}") })?
+                .ok_or_else(|| SimError {
+                    msg: format!("task {t}: no statement {sid}"),
+                })?
                 .clone();
             interp.exec_stmt(&mut frame, &stmt, &mut hook)?;
         }
@@ -123,7 +127,11 @@ pub fn trace_tasks(
         .iter()
         .map(|c| c.as_ref().map_or((0, 0), |c| (c.hits, c.misses)))
         .collect();
-    Ok(Traced { traces, frame, cache_stats })
+    Ok(Traced {
+        traces,
+        frame,
+        cache_stats,
+    })
 }
 
 /// The hook converting interpreter events into timeline events.
@@ -251,7 +259,10 @@ pub fn compute_cycles(trace: &TaskTrace) -> u64 {
 
 /// Number of shared transactions in a trace.
 pub fn shared_count(trace: &TaskTrace) -> u64 {
-    trace.iter().filter(|e| matches!(e, Ev::SharedAccess)).count() as u64
+    trace
+        .iter()
+        .filter(|e| matches!(e, Ev::SharedAccess))
+        .count() as u64
 }
 
 #[cfg(test)]
@@ -268,9 +279,11 @@ mod tests {
         let costs: std::collections::BTreeMap<_, _> =
             htg.top_level.iter().map(|&t| (t, 10u64)).collect();
         let graph = TaskGraph::from_htg(&htg, &costs);
-        let ctx = SchedCtx { platform: platform, comm: CommModel::Free };
-        let schedule =
-            evaluate_assignment(&graph, &ctx, &vec![CoreId(0); graph.len()]);
+        let ctx = SchedCtx {
+            platform,
+            comm: CommModel::Free,
+        };
+        let schedule = evaluate_assignment(&graph, &ctx, &vec![CoreId(0); graph.len()]);
         ParallelProgram::build(program, &htg, graph, schedule, platform).unwrap()
     }
 
@@ -315,7 +328,7 @@ mod tests {
         let mut interp = Interp::new(&pp.program);
         let traced =
             trace_tasks(&mut interp, &pp, &platform, args(), &SimConfig::default()).unwrap();
-        let total_shared: u64 = traced.traces.iter().map(|t| shared_count(t)).sum();
+        let total_shared: u64 = traced.traces.iter().map(shared_count).sum();
         // 8 iterations × (read a + write b) = 16 element transactions.
         assert_eq!(total_shared, 16);
     }
@@ -325,20 +338,25 @@ mod tests {
         let platform = Platform::xentium_manycore(1);
         let pp = build_pp(SRC, &platform);
         let mut i1 = Interp::new(&pp.program);
-        let worst =
-            trace_tasks(&mut i1, &pp, &platform, args(), &SimConfig::default()).unwrap();
+        let worst = trace_tasks(&mut i1, &pp, &platform, args(), &SimConfig::default()).unwrap();
         let mut i2 = Interp::new(&pp.program);
         let rnd = trace_tasks(
             &mut i2,
             &pp,
             &platform,
             args(),
-            &SimConfig { mode: SimMode::Random { seed: 3 } },
+            &SimConfig {
+                mode: SimMode::Random { seed: 3 },
+            },
         )
         .unwrap();
         for (w, r) in worst.traces.iter().zip(&rnd.traces) {
             assert!(compute_cycles(r) <= compute_cycles(w));
-            assert_eq!(shared_count(r), shared_count(w), "structure is timing-independent");
+            assert_eq!(
+                shared_count(r),
+                shared_count(w),
+                "structure is timing-independent"
+            );
         }
     }
 
@@ -355,14 +373,16 @@ mod tests {
 
     #[test]
     fn cache_statistics_are_collected() {
-        let platform =
-            Platform::xentium_manycore(1).with_caches(argo_adl::CacheConfig::small());
+        let platform = Platform::xentium_manycore(1).with_caches(argo_adl::CacheConfig::small());
         let pp = build_pp(SRC, &platform);
         let mut interp = Interp::new(&pp.program);
         let traced =
             trace_tasks(&mut interp, &pp, &platform, args(), &SimConfig::default()).unwrap();
         let (hits, misses) = traced.cache_stats[0];
         assert!(misses > 0, "cold cache must miss");
-        assert!(hits > 0, "8-element arrays share 32-byte lines: hits expected");
+        assert!(
+            hits > 0,
+            "8-element arrays share 32-byte lines: hits expected"
+        );
     }
 }

@@ -60,7 +60,14 @@ pub fn chunk_loop(
         .ok_or_else(|| TransformError::new(format!("no top-level statement {loop_id}")))?;
     let symbols = symbol_table(f);
     let stmt = f.body.stmts[pos].clone();
-    let StmtKind::For { var, lo, hi, step, body } = &stmt.kind else {
+    let StmtKind::For {
+        var,
+        lo,
+        hi,
+        step,
+        body,
+    } = &stmt.kind
+    else {
         return Err(TransformError::new(format!("{loop_id} is not a for loop")));
     };
     if *step != 1 {
@@ -114,7 +121,11 @@ pub fn chunk_loop(
                 // idempotent, so combining with `s` again is harmless.
                 ReductionOp::Min(_) | ReductionOp::Max(_) => Some(Expr::Var(var_read(r))),
             };
-            new_stmts.push(Stmt::new(StmtKind::Decl { name: pn.clone(), ty: rty, init }));
+            new_stmts.push(Stmt::new(StmtKind::Decl {
+                name: pn.clone(),
+                ty: rty,
+                init,
+            }));
             chunk_partials.push(pn);
         }
         partial_names.push(chunk_partials);
@@ -185,8 +196,8 @@ pub fn chunk_loop(
 
     // Combine epilogue for reductions.
     for (idx, (r, op)) in reductions.iter().zip(&red_ops).enumerate() {
-        for c in 0..k {
-            let pn = &partial_names[c][idx];
+        for partial in partial_names.iter().take(k) {
+            let pn = &partial[idx];
             let combined = match op {
                 ReductionOp::Add => {
                     Expr::bin(BinOp::Add, Expr::Var(var_read(r)), Expr::Var(pn.clone()))
@@ -209,7 +220,10 @@ pub fn chunk_loop(
     let f = program.function_mut(func).expect("checked above");
     f.body.stmts.splice(pos..=pos, new_stmts);
     program.renumber();
-    Ok(ChunkReport { chunks: k, class: class.to_string() })
+    Ok(ChunkReport {
+        chunks: k,
+        class: class.to_string(),
+    })
 }
 
 /// Chunks every parallelizable top-level `for` loop of `func` into `k`
@@ -263,7 +277,11 @@ fn find_reduction_op(body: &Block, var: &str) -> Option<ReductionOp> {
         if found.is_some() {
             return;
         }
-        if let StmtKind::Assign { target: LValue::Var(n), value } = &s.kind {
+        if let StmtKind::Assign {
+            target: LValue::Var(n),
+            value,
+        } = &s.kind
+        {
             if n == var {
                 found = match value {
                     Expr::Binary { op: BinOp::Add, .. } => Some(ReductionOp::Add),
@@ -477,10 +495,9 @@ mod tests {
 
     #[test]
     fn k_of_one_is_rejected() {
-        let mut p = parse_program(
-            "void main(real b[8]) { int i; for (i=0;i<8;i=i+1) { b[i] = 0.0; } }",
-        )
-        .unwrap();
+        let mut p =
+            parse_program("void main(real b[8]) { int i; for (i=0;i<8;i=i+1) { b[i] = 0.0; } }")
+                .unwrap();
         let lid = first_loop_id(&p, "main");
         assert!(chunk_loop(&mut p, "main", lid, 1).is_err());
     }

@@ -44,7 +44,14 @@ pub fn distribute_loop(
         .position(|s| s.id == loop_id)
         .ok_or_else(|| TransformError::new(format!("no top-level statement {loop_id}")))?;
     let stmt = f.body.stmts[pos].clone();
-    let StmtKind::For { var, lo, hi, step, body } = &stmt.kind else {
+    let StmtKind::For {
+        var,
+        lo,
+        hi,
+        step,
+        body,
+    } = &stmt.kind
+    else {
         return Err(TransformError::new(format!("{loop_id} is not a for loop")));
     };
     if classify_loop(&stmt) != LoopParallelism::Doall {
@@ -58,7 +65,11 @@ pub fn distribute_loop(
     let is_scalar_def = |s: &Stmt| {
         matches!(
             s.kind,
-            StmtKind::Decl { .. } | StmtKind::Assign { target: LValue::Var(_), .. }
+            StmtKind::Decl { .. }
+                | StmtKind::Assign {
+                    target: LValue::Var(_),
+                    ..
+                }
         )
     };
     let payloads: Vec<usize> = body
@@ -69,7 +80,9 @@ pub fn distribute_loop(
         .map(|(i, _)| i)
         .collect();
     if payloads.len() < 2 {
-        return Err(TransformError::new("loop body has fewer than two statements"));
+        return Err(TransformError::new(
+            "loop body has fewer than two statements",
+        ));
     }
 
     let mut taken = taken_names(f);
@@ -173,13 +186,19 @@ mod tests {
         // Semantics preserved.
         let args = || {
             vec![
-                ArgVal::Array(ArrayData::from_reals(&(0..32).map(|i| i as f64).collect::<Vec<_>>())),
+                ArgVal::Array(ArrayData::from_reals(
+                    &(0..32).map(|i| i as f64).collect::<Vec<_>>(),
+                )),
                 ArgVal::Array(ArrayData::from_reals(&[0.0; 32])),
                 ArgVal::Array(ArrayData::from_reals(&[0.0; 32])),
             ]
         };
-        let o1 = Interp::new(&original).call_full("main", args(), &mut NullHook).unwrap();
-        let o2 = Interp::new(&p).call_full("main", args(), &mut NullHook).unwrap();
+        let o1 = Interp::new(&original)
+            .call_full("main", args(), &mut NullHook)
+            .unwrap();
+        let o2 = Interp::new(&p)
+            .call_full("main", args(), &mut NullHook)
+            .unwrap();
         assert_eq!(o1.arrays, o2.arrays);
     }
 
@@ -197,13 +216,19 @@ mod tests {
         validate(&p).unwrap();
         let args = || {
             vec![
-                ArgVal::Array(ArrayData::from_reals(&(0..16).map(|i| 1.0 + i as f64).collect::<Vec<_>>())),
+                ArgVal::Array(ArrayData::from_reals(
+                    &(0..16).map(|i| 1.0 + i as f64).collect::<Vec<_>>(),
+                )),
                 ArgVal::Array(ArrayData::from_reals(&[0.0; 16])),
                 ArgVal::Array(ArrayData::from_reals(&[0.0; 16])),
             ]
         };
-        let o1 = Interp::new(&original).call_full("main", args(), &mut NullHook).unwrap();
-        let o2 = Interp::new(&p).call_full("main", args(), &mut NullHook).unwrap();
+        let o1 = Interp::new(&original)
+            .call_full("main", args(), &mut NullHook)
+            .unwrap();
+        let o2 = Interp::new(&p)
+            .call_full("main", args(), &mut NullHook)
+            .unwrap();
         assert_eq!(o1.arrays, o2.arrays);
     }
 

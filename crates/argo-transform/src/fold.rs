@@ -37,7 +37,7 @@ fn fold_block(b: &mut Block) -> bool {
 
 fn fold_stmt(s: &mut Stmt) -> bool {
     match &mut s.kind {
-        StmtKind::Decl { init, .. } => init.as_mut().map_or(false, fold_expr),
+        StmtKind::Decl { init, .. } => init.as_mut().is_some_and(fold_expr),
         StmtKind::Assign { target, value } => {
             let mut c = fold_expr(value);
             if let LValue::ArrayElem { indices, .. } = target {
@@ -47,7 +47,11 @@ fn fold_stmt(s: &mut Stmt) -> bool {
             }
             c
         }
-        StmtKind::If { cond, then_blk, else_blk } => {
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
             let mut c = fold_expr(cond);
             c |= fold_block(then_blk);
             c |= fold_block(else_blk);
@@ -71,7 +75,7 @@ fn fold_stmt(s: &mut Stmt) -> bool {
             }
             c
         }
-        StmtKind::Return { value } => value.as_mut().map_or(false, fold_expr),
+        StmtKind::Return { value } => value.as_mut().is_some_and(fold_expr),
     }
 }
 

@@ -94,8 +94,7 @@ pub fn run_pipeline(
 /// All variable names already used in a function (params + decls + loop
 /// vars); used to generate fresh names.
 pub fn taken_names(f: &Function) -> BTreeSet<String> {
-    let mut names: BTreeSet<String> =
-        f.params.iter().map(|p| p.name.clone()).collect();
+    let mut names: BTreeSet<String> = f.params.iter().map(|p| p.name.clone()).collect();
     argo_ir::visit::walk_stmts(&f.body, &mut |s| match &s.kind {
         StmtKind::Decl { name, .. } => {
             names.insert(name.clone());
@@ -131,11 +130,15 @@ pub fn subst_var(e: &Expr, var: &str, replacement: &Expr) -> Expr {
         Expr::IntLit(_) | Expr::RealLit(_) | Expr::BoolLit(_) | Expr::Var(_) => e.clone(),
         Expr::ArrayElem { array, indices } => Expr::ArrayElem {
             array: array.clone(),
-            indices: indices.iter().map(|i| subst_var(i, var, replacement)).collect(),
+            indices: indices
+                .iter()
+                .map(|i| subst_var(i, var, replacement))
+                .collect(),
         },
-        Expr::Unary { op, arg } => {
-            Expr::Unary { op: *op, arg: Box::new(subst_var(arg, var, replacement)) }
-        }
+        Expr::Unary { op, arg } => Expr::Unary {
+            op: *op,
+            arg: Box::new(subst_var(arg, var, replacement)),
+        },
         Expr::Binary { op, lhs, rhs } => Expr::Binary {
             op: *op,
             lhs: Box::new(subst_var(lhs, var, replacement)),
@@ -143,11 +146,15 @@ pub fn subst_var(e: &Expr, var: &str, replacement: &Expr) -> Expr {
         },
         Expr::Call { name, args } => Expr::Call {
             name: name.clone(),
-            args: args.iter().map(|a| subst_var(a, var, replacement)).collect(),
+            args: args
+                .iter()
+                .map(|a| subst_var(a, var, replacement))
+                .collect(),
         },
-        Expr::Cast { to, arg } => {
-            Expr::Cast { to: *to, arg: Box::new(subst_var(arg, var, replacement)) }
-        }
+        Expr::Cast { to, arg } => Expr::Cast {
+            to: *to,
+            arg: Box::new(subst_var(arg, var, replacement)),
+        },
     }
 }
 
@@ -165,17 +172,30 @@ pub fn subst_var_stmt(s: &Stmt, var: &str, replacement: &Expr) -> Stmt {
                 LValue::Var(n) => LValue::Var(n.clone()),
                 LValue::ArrayElem { array, indices } => LValue::ArrayElem {
                     array: array.clone(),
-                    indices: indices.iter().map(|i| subst_var(i, var, replacement)).collect(),
+                    indices: indices
+                        .iter()
+                        .map(|i| subst_var(i, var, replacement))
+                        .collect(),
                 },
             },
             value: subst_var(value, var, replacement),
         },
-        StmtKind::If { cond, then_blk, else_blk } => StmtKind::If {
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => StmtKind::If {
             cond: subst_var(cond, var, replacement),
             then_blk: subst_block(then_blk, var, replacement),
             else_blk: subst_block(else_blk, var, replacement),
         },
-        StmtKind::For { var: lv, lo, hi, step, body } => StmtKind::For {
+        StmtKind::For {
+            var: lv,
+            lo,
+            hi,
+            step,
+            body,
+        } => StmtKind::For {
             var: lv.clone(),
             lo: subst_var(lo, var, replacement),
             hi: subst_var(hi, var, replacement),
@@ -195,7 +215,10 @@ pub fn subst_var_stmt(s: &Stmt, var: &str, replacement: &Expr) -> Stmt {
         },
         StmtKind::Call { name, args } => StmtKind::Call {
             name: name.clone(),
-            args: args.iter().map(|a| subst_var(a, var, replacement)).collect(),
+            args: args
+                .iter()
+                .map(|a| subst_var(a, var, replacement))
+                .collect(),
         },
         StmtKind::Return { value } => StmtKind::Return {
             value: value.as_ref().map(|e| subst_var(e, var, replacement)),
@@ -205,7 +228,12 @@ pub fn subst_var_stmt(s: &Stmt, var: &str, replacement: &Expr) -> Stmt {
 }
 
 fn subst_block(b: &Block, var: &str, replacement: &Expr) -> Block {
-    Block::of(b.stmts.iter().map(|s| subst_var_stmt(s, var, replacement)).collect())
+    Block::of(
+        b.stmts
+            .iter()
+            .map(|s| subst_var_stmt(s, var, replacement))
+            .collect(),
+    )
 }
 
 /// Renames every occurrence of scalar `old` (reads **and** writes,
@@ -231,12 +259,22 @@ pub fn rename_var_stmt(s: &Stmt, old: &str, new: &str) -> Stmt {
             },
             value: re(value),
         },
-        StmtKind::If { cond, then_blk, else_blk } => StmtKind::If {
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => StmtKind::If {
             cond: re(cond),
             then_blk: rename_block(then_blk, old, new),
             else_blk: rename_block(else_blk, old, new),
         },
-        StmtKind::For { var, lo, hi, step, body } => StmtKind::For {
+        StmtKind::For {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+        } => StmtKind::For {
             var: rn(var),
             lo: re(lo),
             hi: re(hi),
@@ -252,13 +290,20 @@ pub fn rename_var_stmt(s: &Stmt, old: &str, new: &str) -> Stmt {
             name: name.clone(),
             args: args.iter().map(&re).collect(),
         },
-        StmtKind::Return { value } => StmtKind::Return { value: value.as_ref().map(&re) },
+        StmtKind::Return { value } => StmtKind::Return {
+            value: value.as_ref().map(&re),
+        },
     };
     Stmt { id: s.id, kind }
 }
 
 fn rename_block(b: &Block, old: &str, new: &str) -> Block {
-    Block::of(b.stmts.iter().map(|s| rename_var_stmt(s, old, new)).collect())
+    Block::of(
+        b.stmts
+            .iter()
+            .map(|s| rename_var_stmt(s, old, new))
+            .collect(),
+    )
 }
 
 /// Renames variable `old` to `new` in an expression — both scalar reads
@@ -269,12 +314,17 @@ pub fn rename_expr(e: &Expr, old: &str, new: &str) -> Expr {
         Expr::Var(n) if n == old => Expr::Var(new.to_string()),
         Expr::IntLit(_) | Expr::RealLit(_) | Expr::BoolLit(_) | Expr::Var(_) => e.clone(),
         Expr::ArrayElem { array, indices } => Expr::ArrayElem {
-            array: if array == old { new.to_string() } else { array.clone() },
+            array: if array == old {
+                new.to_string()
+            } else {
+                array.clone()
+            },
             indices: indices.iter().map(|i| rename_expr(i, old, new)).collect(),
         },
-        Expr::Unary { op, arg } => {
-            Expr::Unary { op: *op, arg: Box::new(rename_expr(arg, old, new)) }
-        }
+        Expr::Unary { op, arg } => Expr::Unary {
+            op: *op,
+            arg: Box::new(rename_expr(arg, old, new)),
+        },
         Expr::Binary { op, lhs, rhs } => Expr::Binary {
             op: *op,
             lhs: Box::new(rename_expr(lhs, old, new)),
@@ -284,9 +334,10 @@ pub fn rename_expr(e: &Expr, old: &str, new: &str) -> Expr {
             name: name.clone(),
             args: args.iter().map(|a| rename_expr(a, old, new)).collect(),
         },
-        Expr::Cast { to, arg } => {
-            Expr::Cast { to: *to, arg: Box::new(rename_expr(arg, old, new)) }
-        }
+        Expr::Cast { to, arg } => Expr::Cast {
+            to: *to,
+            arg: Box::new(rename_expr(arg, old, new)),
+        },
     }
 }
 
@@ -329,7 +380,10 @@ mod tests {
         let out = subst_var_stmt(loop_stmt, "i", &Expr::int(9));
         match &out.kind {
             StmtKind::For { body, .. } => match &body.stmts[0].kind {
-                StmtKind::Assign { target: LValue::ArrayElem { indices, .. }, .. } => {
+                StmtKind::Assign {
+                    target: LValue::ArrayElem { indices, .. },
+                    ..
+                } => {
                     assert_eq!(indices[0], Expr::var("i"));
                 }
                 _ => panic!(),
@@ -343,7 +397,10 @@ mod tests {
         let p = parse_program("void f() { int s; s = 0; s = s + 1; }").unwrap();
         let s2 = rename_var_stmt(&p.functions[0].body.stmts[2], "s", "s_p");
         match &s2.kind {
-            StmtKind::Assign { target: LValue::Var(n), value } => {
+            StmtKind::Assign {
+                target: LValue::Var(n),
+                value,
+            } => {
                 assert_eq!(n, "s_p");
                 assert_eq!(argo_ir::printer::print_expr(value), "(s_p + 1)");
             }

@@ -39,7 +39,14 @@ pub fn split_index_set(
         .position(|s| s.id == loop_id)
         .ok_or_else(|| TransformError::new(format!("no top-level statement {loop_id}")))?;
     let stmt = f.body.stmts[pos].clone();
-    let StmtKind::For { var, lo, hi, step, body } = &stmt.kind else {
+    let StmtKind::For {
+        var,
+        lo,
+        hi,
+        step,
+        body,
+    } = &stmt.kind
+    else {
         return Err(TransformError::new(format!("{loop_id} is not a for loop")));
     };
     // Clamp the split point into [lo, hi] to keep both ranges well formed
@@ -48,7 +55,10 @@ pub fn split_index_set(
         name: "imax".into(),
         args: vec![
             lo.clone(),
-            Expr::Call { name: "imin".into(), args: vec![m, hi.clone()] },
+            Expr::Call {
+                name: "imin".into(),
+                args: vec![m, hi.clone()],
+            },
         ],
     };
     let first = Stmt::new(StmtKind::For {
@@ -97,18 +107,31 @@ pub fn strip_mine(
         .position(|s| s.id == loop_id)
         .ok_or_else(|| TransformError::new(format!("no top-level statement {loop_id}")))?;
     let stmt = f.body.stmts[pos].clone();
-    let StmtKind::For { var, lo, hi, step, body } = &stmt.kind else {
+    let StmtKind::For {
+        var,
+        lo,
+        hi,
+        step,
+        body,
+    } = &stmt.kind
+    else {
         return Err(TransformError::new(format!("{loop_id} is not a for loop")));
     };
     if *step != 1 {
-        return Err(TransformError::new("only unit-step loops can be strip-mined"));
+        return Err(TransformError::new(
+            "only unit-step loops can be strip-mined",
+        ));
     }
     let mut taken = taken_names(f);
     let outer_var = fresh_name(&mut taken, &format!("{var}__tile"));
     let inner_hi = Expr::Call {
         name: "imin".into(),
         args: vec![
-            Expr::bin(BinOp::Add, Expr::var(outer_var.clone()), Expr::int(tile as i64)),
+            Expr::bin(
+                BinOp::Add,
+                Expr::var(outer_var.clone()),
+                Expr::int(tile as i64),
+            ),
             hi.clone(),
         ],
     };
@@ -185,7 +208,8 @@ pub fn isolate_boundaries(
             .map(|s| s.id)
             .collect();
         ids.sort();
-        *ids.last().ok_or_else(|| TransformError::new("loops vanished"))?
+        *ids.last()
+            .ok_or_else(|| TransformError::new("loops vanished"))?
     };
     split_index_set(
         program,
@@ -215,7 +239,11 @@ mod tests {
     fn run_main(p: &Program, n: usize) -> Vec<f64> {
         let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let out = Interp::new(p)
-            .call_full("main", vec![ArgVal::Array(ArrayData::from_reals(&vals))], &mut NullHook)
+            .call_full(
+                "main",
+                vec![ArgVal::Array(ArrayData::from_reals(&vals))],
+                &mut NullHook,
+            )
             .unwrap();
         out.arrays[0].1.to_reals()
     }

@@ -39,7 +39,11 @@ pub fn allocate_exact(candidates: &[SpmCandidate], capacity_bytes: u64) -> SpmAl
     let words = (capacity_bytes / 8) as usize;
     let n = candidates.len();
     if n == 0 || words == 0 {
-        return SpmAllocation { chosen: vec![], used_bytes: 0, saved_cycles: 0 };
+        return SpmAllocation {
+            chosen: vec![],
+            used_bytes: 0,
+            saved_cycles: 0,
+        };
     }
     // dp[w] = best gain with capacity w; keep choice bits per item.
     let mut dp = vec![0u64; words + 1];
@@ -72,7 +76,11 @@ pub fn allocate_exact(candidates: &[SpmCandidate], capacity_bytes: u64) -> SpmAl
         }
     }
     chosen.reverse();
-    SpmAllocation { chosen, used_bytes: used, saved_cycles: saved }
+    SpmAllocation {
+        chosen,
+        used_bytes: used,
+        saved_cycles: saved,
+    }
 }
 
 /// Greedy allocation by gain density (cycles saved per byte).
@@ -93,7 +101,11 @@ pub fn allocate_greedy(candidates: &[SpmCandidate], capacity_bytes: u64) -> SpmA
             chosen.push(c.name.clone());
         }
     }
-    SpmAllocation { chosen, used_bytes: used, saved_cycles: saved }
+    SpmAllocation {
+        chosen,
+        used_bytes: used,
+        saved_cycles: saved,
+    }
 }
 
 #[cfg(test)]
@@ -101,7 +113,11 @@ mod tests {
     use super::*;
 
     fn cand(name: &str, size: u64, gain: u64) -> SpmCandidate {
-        SpmCandidate { name: name.into(), size_bytes: size, gain_cycles: gain }
+        SpmCandidate {
+            name: name.into(),
+            size_bytes: size,
+            gain_cycles: gain,
+        }
     }
 
     #[test]
@@ -128,7 +144,11 @@ mod tests {
         let cands = vec![cand("x", 600, 60), cand("y", 600, 60), cand("z", 1000, 95)];
         // Capacity 1200: exact takes x+y (120), greedy by density takes
         // x+y too (density 0.1 > 0.095) — craft a trap instead:
-        let trap = vec![cand("dense", 700, 100), cand("a", 600, 80), cand("b", 600, 80)];
+        let trap = vec![
+            cand("dense", 700, 100),
+            cand("a", 600, 80),
+            cand("b", 600, 80),
+        ];
         let e = allocate_exact(&trap, 1200);
         assert_eq!(e.saved_cycles, 160, "optimal skips the dense item");
         let g = allocate_greedy(&trap, 1200);

@@ -56,7 +56,9 @@ pub fn unroll_loop(
     let f = program
         .function_mut(func)
         .ok_or_else(|| TransformError::new(format!("no function `{func}`")))?;
-    let mut result = Err(TransformError::new(format!("no loop {loop_id} in `{func}`")));
+    let mut result = Err(TransformError::new(format!(
+        "no loop {loop_id} in `{func}`"
+    )));
     unroll_targeted(&mut f.body, loop_id, &mut result);
     if result.is_ok() {
         program.renumber();
@@ -83,7 +85,9 @@ fn unroll_targeted(b: &mut Block, id: StmtId, result: &mut Result<u64, Transform
             return;
         }
         match &mut b.stmts[i].kind {
-            StmtKind::If { then_blk, else_blk, .. } => {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
                 unroll_targeted(then_blk, id, result);
                 unroll_targeted(else_blk, id, result);
             }
@@ -103,7 +107,9 @@ fn unroll_block(b: &mut Block, max_trip: u64) -> bool {
         // Recurse first so inner loops unroll before outer ones are
         // considered.
         match &mut b.stmts[i].kind {
-            StmtKind::If { then_blk, else_blk, .. } => {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
                 changed |= unroll_block(then_blk, max_trip);
                 changed |= unroll_block(else_blk, max_trip);
             }
@@ -142,7 +148,14 @@ fn trip_count(s: &Stmt) -> Option<u64> {
 /// bounds. The final induction-variable value is materialised with a
 /// trailing assignment (the variable may be read after the loop).
 fn expand(s: &Stmt) -> Option<Vec<Stmt>> {
-    let StmtKind::For { var, lo, hi, step, body } = &s.kind else {
+    let StmtKind::For {
+        var,
+        lo,
+        hi,
+        step,
+        body,
+    } = &s.kind
+    else {
         return None;
     };
     let (l, h) = (lo.as_int_const()?, hi.as_int_const()?);
@@ -202,10 +215,8 @@ mod tests {
 
     #[test]
     fn final_induction_value_is_preserved() {
-        let mut p = parse_program(
-            "int main() { int i; for (i=0;i<5;i=i+1) { } return i; }",
-        )
-        .unwrap();
+        let mut p =
+            parse_program("int main() { int i; for (i=0;i<5;i=i+1) { } return i; }").unwrap();
         FullUnroll::default().run(&mut p).unwrap();
         let v = Interp::new(&p).call_scalar("main", &[]).unwrap();
         assert_eq!(v, Some(ScalarVal::Int(5)));
@@ -235,10 +246,8 @@ mod tests {
 
     #[test]
     fn zero_trip_loop_unrolls_to_final_assignment() {
-        let mut p = parse_program(
-            "int main() { int i; for (i=7;i<7;i=i+1) { } return i; }",
-        )
-        .unwrap();
+        let mut p =
+            parse_program("int main() { int i; for (i=7;i<7;i=i+1) { } return i; }").unwrap();
         FullUnroll::default().run(&mut p).unwrap();
         let v = Interp::new(&p).call_scalar("main", &[]).unwrap();
         assert_eq!(v, Some(ScalarVal::Int(7)));

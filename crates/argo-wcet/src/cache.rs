@@ -81,7 +81,13 @@ mod tests {
     fn conflict_misses_detected_despite_small_footprint() {
         // Three 32-byte blocks mapping to the same set of a 2-way cache:
         // total footprint 96 B ≪ capacity, but not persistent.
-        let cfg = CacheConfig { sets: 16, ways: 2, line_bytes: 32, hit_cycles: 1, miss_penalty: 10 };
+        let cfg = CacheConfig {
+            sets: 16,
+            ways: 2,
+            line_bytes: 32,
+            hit_cycles: 1,
+            miss_penalty: 10,
+        };
         let set_stride = cfg.sets as u64 * cfg.line_bytes; // 512
         let r = regions(&[(0, 32), (set_stride, 32), (2 * set_stride, 32)]);
         assert!(!loop_is_persistent(&r, &cfg));

@@ -50,7 +50,15 @@ impl<'a> CostCtx<'a> {
             .iter()
             .map(|f| (f.name.clone(), symbol_table(f)))
             .collect();
-        CostCtx { program, platform, core, contenders, mem, overrides: BTreeMap::new(), symbols }
+        CostCtx {
+            program,
+            platform,
+            core,
+            contenders,
+            mem,
+            overrides: BTreeMap::new(),
+            symbols,
+        }
     }
 
     /// The timing table of the analysed core.
@@ -170,8 +178,10 @@ impl<'a> CostCtx<'a> {
             }
             Expr::Call { name, args } => {
                 if argo_ir::intrinsics::is_intrinsic(name) {
-                    let a: u64 =
-                        args.iter().map(|x| self.expr_cost(x, func, calls_out)).sum();
+                    let a: u64 = args
+                        .iter()
+                        .map(|x| self.expr_cost(x, func, calls_out))
+                        .sum();
                     return a + self.intrinsic_cost(name);
                 }
                 calls_out.push(name.clone());
@@ -200,8 +210,8 @@ impl<'a> CostCtx<'a> {
         if op.is_comparison() {
             return OpClass::Cmp;
         }
-        let real = self.expr_type(lhs, func) == Scalar::Real
-            || self.expr_type(rhs, func) == Scalar::Real;
+        let real =
+            self.expr_type(lhs, func) == Scalar::Real || self.expr_type(rhs, func) == Scalar::Real;
         match (op, real) {
             (BinOp::Add | BinOp::Sub, false) => OpClass::IntAlu,
             (BinOp::Add | BinOp::Sub, true) => OpClass::FloatAdd,
@@ -258,10 +268,8 @@ mod tests {
     use argo_ir::parse::{parse_expr, parse_program};
 
     fn ctx_fixture() -> (Program, Platform, MemoryMap) {
-        let p = parse_program(
-            "real f(real a[8], int i, real x) { return a[i] * x + 1.0; }",
-        )
-        .unwrap();
+        let p =
+            parse_program("real f(real a[8], int i, real x) { return a[i] * x + 1.0; }").unwrap();
         let platform = Platform::xentium_manycore(2);
         let mem = MemoryMap::new();
         (p, platform, mem)
@@ -298,9 +306,7 @@ mod tests {
         let mut calls = Vec::new();
         let simple = parse_expr("x").unwrap();
         let indexed = parse_expr("a[i]").unwrap();
-        assert!(
-            ctx.expr_cost(&indexed, "f", &mut calls) > ctx.expr_cost(&simple, "f", &mut calls)
-        );
+        assert!(ctx.expr_cost(&indexed, "f", &mut calls) > ctx.expr_cost(&simple, "f", &mut calls));
     }
 
     #[test]
@@ -329,7 +335,11 @@ mod tests {
         let (p, platform, mut mem) = ctx_fixture();
         mem.insert(
             "a",
-            argo_adl::Placement { space: MemSpace::Shared, base_addr: 0, size_bytes: 64 },
+            argo_adl::Placement {
+                space: MemSpace::Shared,
+                base_addr: 0,
+                size_bytes: 64,
+            },
         );
         let mut ctx = CostCtx::new(&p, &platform, CoreId(0), 4, &mem);
         ctx.overrides.insert("a".into(), 1);
@@ -371,7 +381,11 @@ mod tests {
         let (p, platform, mut mem) = ctx_fixture();
         mem.insert(
             "a",
-            argo_adl::Placement { space: MemSpace::Shared, base_addr: 0, size_bytes: 64 },
+            argo_adl::Placement {
+                space: MemSpace::Shared,
+                base_addr: 0,
+                size_bytes: 64,
+            },
         );
         let cached = platform.clone().with_caches(argo_adl::CacheConfig::small());
         let ctx_plain = CostCtx::new(&p, &platform, CoreId(0), 1, &mem);

@@ -90,8 +90,8 @@ pub fn function_wcet_ipet(
         if let Some(s) = stmts.get(&l.stmt) {
             if let StmtKind::For { lo, hi, .. } = &s.kind {
                 let mut calls = Vec::new();
-                let mut c = ctx.expr_cost(lo, func, &mut calls)
-                    + ctx.expr_cost(hi, func, &mut calls);
+                let mut c =
+                    ctx.expr_cost(lo, func, &mut calls) + ctx.expr_cost(hi, func, &mut calls);
                 for callee in calls {
                     c += fn_wcets.get(&callee).copied().unwrap_or(0);
                 }
@@ -112,9 +112,7 @@ pub fn function_wcet_ipet(
             .get(&l.stmt)
             .copied()
             .or(l.bound_hint)
-            .ok_or_else(|| {
-                WcetError::new(format!("no loop bound for {} (IPET)", l.stmt))
-            })?;
+            .ok_or_else(|| WcetError::new(format!("no loop bound for {} (IPET)", l.stmt)))?;
         // Level membership: in l.nodes, and not strictly inside a child
         // (child headers allowed — they act as super-nodes).
         let child_headers: HashSet<NodeId> =
@@ -127,7 +125,9 @@ pub fn function_wcet_ipet(
             .collect();
         let in_level = |n: NodeId| l.nodes.contains(&n) && !strictly_inner.contains(&n);
 
-        let dist = level_distances(&cfg, &rpo, &node_cost, &collapsed, &back, l.header, &in_level);
+        let dist = level_distances(
+            &cfg, &rpo, &node_cost, &collapsed, &back, l.header, &in_level,
+        );
         // One iteration costs at most the longest path from the header to
         // the latch — or, when the body can leave the loop early (a
         // `return` jumping to the function exit), to any node with an
@@ -150,8 +150,7 @@ pub fn function_wcet_ipet(
                 };
             }
         }
-        let path =
-            iter_path.ok_or_else(|| WcetError::new("loop latch unreachable from header"))?;
+        let path = iter_path.ok_or_else(|| WcetError::new("loop latch unreachable from header"))?;
         // The failing (exiting) test: a `for` header only re-evaluates the
         // bound bookkeeping; a `while` header evaluates the condition.
         let exit_test = match stmts.get(&l.stmt).map(|s| &s.kind) {
@@ -166,8 +165,7 @@ pub fn function_wcet_ipet(
     }
 
     // Top level: everything not strictly inside a top loop.
-    let top_headers: HashSet<NodeId> =
-        cfg.top_loops.iter().map(|&t| cfg.loops[t].header).collect();
+    let top_headers: HashSet<NodeId> = cfg.top_loops.iter().map(|&t| cfg.loops[t].header).collect();
     let strictly_inner: HashSet<NodeId> = cfg
         .top_loops
         .iter()
@@ -175,7 +173,9 @@ pub fn function_wcet_ipet(
         .filter(|n| !top_headers.contains(n))
         .collect();
     let in_level = |n: NodeId| !strictly_inner.contains(&n);
-    let dist = level_distances(&cfg, &rpo, &node_cost, &collapsed, &back, cfg.entry, &in_level);
+    let dist = level_distances(
+        &cfg, &rpo, &node_cost, &collapsed, &back, cfg.entry, &in_level,
+    );
     dist[cfg.exit].ok_or_else(|| WcetError::new("exit unreachable from entry"))
 }
 
@@ -193,8 +193,7 @@ fn level_distances(
 ) -> Vec<Option<u64>> {
     // `from` is never a collapsed header at its own level.
     let mut dist: Vec<Option<u64>> = vec![None; cfg.len()];
-    let enter_cost =
-        |n: NodeId| -> u64 { collapsed.get(&n).map_or(node_cost[n], |&(c, _)| c) };
+    let enter_cost = |n: NodeId| -> u64 { collapsed.get(&n).map_or(node_cost[n], |&(c, _)| c) };
     dist[from] = Some(node_cost[from]);
     for &n in rpo {
         if !in_level(n) && n != from {

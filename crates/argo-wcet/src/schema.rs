@@ -106,38 +106,35 @@ pub fn stmt_wcet(
                 LValue::ArrayElem { array, indices } => {
                     let idx: u64 = indices
                         .iter()
-                        .map(|i| {
-                            ctx.expr_cost(i, func, &mut calls)
-                                + ctx.op_cost(OpClass::IntAlu)
-                        })
+                        .map(|i| ctx.expr_cost(i, func, &mut calls) + ctx.op_cost(OpClass::IntAlu))
                         .sum();
                     idx + ctx.access_cost(array)
                 }
             };
             v + t
         }
-        StmtKind::If { cond, then_blk, else_blk } => {
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
             let c = ctx.expr_cost(cond, func, &mut calls);
             let t = stmts_wcet(ctx, bounds, fn_wcets, func, &then_blk.stmts)?;
             let e = stmts_wcet(ctx, bounds, fn_wcets, func, &else_blk.stmts)?;
             c + ctx.op_cost(OpClass::Branch) + t.max(e)
         }
-        StmtKind::For { var, lo, hi, body, .. } => {
+        StmtKind::For {
+            var, lo, hi, body, ..
+        } => {
             let b = loop_bound_of(ctx, bounds, s)?;
-            let head =
-                ctx.expr_cost(lo, func, &mut calls) + ctx.expr_cost(hi, func, &mut calls);
+            let head = ctx.expr_cost(lo, func, &mut calls) + ctx.expr_cost(hi, func, &mut calls);
             // Cache persistence refinement: if this loop's data fits the
             // core's cache for sure, body accesses to those arrays cost a
             // hit and the fill is charged once.
             let (body_ctx, fill) = cache_refined_ctx(ctx, func, s);
-            let body_cost =
-                stmts_wcet(&body_ctx, bounds, fn_wcets, func, &body.stmts)?;
-            let per_iter = ctx.op_cost(OpClass::LoopOverhead)
-                + ctx.access_cost(var)
-                + body_cost;
-            head + fill
-                + b.saturating_mul(per_iter)
-                + ctx.op_cost(OpClass::LoopOverhead)
+            let body_cost = stmts_wcet(&body_ctx, bounds, fn_wcets, func, &body.stmts)?;
+            let per_iter = ctx.op_cost(OpClass::LoopOverhead) + ctx.access_cost(var) + body_cost;
+            head + fill + b.saturating_mul(per_iter) + ctx.op_cost(OpClass::LoopOverhead)
         }
         StmtKind::While { cond, body, .. } => {
             let b = loop_bound_of(ctx, bounds, s)?;
@@ -146,7 +143,10 @@ pub fn stmt_wcet(
             (b + 1).saturating_mul(c) + b.saturating_mul(body_cost)
         }
         StmtKind::Call { name, args } => {
-            let e = Expr::Call { name: name.clone(), args: args.clone() };
+            let e = Expr::Call {
+                name: name.clone(),
+                args: args.clone(),
+            };
             ctx.expr_cost(&e, func, &mut calls)
         }
         StmtKind::Return { value } => match value {
@@ -219,11 +219,7 @@ fn loop_bound_of(_ctx: &CostCtx<'_>, bounds: &LoopBounds, s: &Stmt) -> Result<u6
 /// loop, plus the one-time fill cost. Returns the unchanged context and
 /// zero fill when the core has no cache, the loop's footprint is not
 /// provably persistent, or the refinement is already active.
-fn cache_refined_ctx<'a>(
-    ctx: &CostCtx<'a>,
-    func: &str,
-    loop_stmt: &Stmt,
-) -> (CostCtx<'a>, u64) {
+fn cache_refined_ctx<'a>(ctx: &CostCtx<'a>, func: &str, loop_stmt: &Stmt) -> (CostCtx<'a>, u64) {
     let Some(cache) = ctx.platform.core(ctx.core).cache else {
         return (ctx.clone(), 0);
     };
@@ -259,7 +255,9 @@ fn cache_refined_ctx<'a>(
     }
     let miss_cost = cache.hit_cycles
         + cache.miss_penalty
-        + ctx.platform.worst_case_shared_access(ctx.core, ctx.contenders);
+        + ctx
+            .platform
+            .worst_case_shared_access(ctx.core, ctx.contenders);
     let fill = loop_fill_cost(&arrays, &cache, miss_cost);
     (refined, fill)
 }
@@ -368,10 +366,10 @@ mod tests {
         let bounds = loop_bounds(&p, "main", &ValueCtx::default()).unwrap();
         let x = Platform::xentium_manycore(1);
         let l = Platform::kit_tile_noc(1, 1);
-        let wx = function_wcets(&CostCtx::new(&p, &x, CoreId(0), 1, &mem), &bounds).unwrap()
-            ["main"];
-        let wl = function_wcets(&CostCtx::new(&p, &l, CoreId(0), 1, &mem), &bounds).unwrap()
-            ["main"];
+        let wx =
+            function_wcets(&CostCtx::new(&p, &x, CoreId(0), 1, &mem), &bounds).unwrap()["main"];
+        let wl =
+            function_wcets(&CostCtx::new(&p, &l, CoreId(0), 1, &mem), &bounds).unwrap()["main"];
         assert!(wl > wx);
     }
 
@@ -418,10 +416,10 @@ mod tests {
             },
         );
         let bounds = loop_bounds(&p, "main", &ValueCtx::default()).unwrap();
-        let w1 = function_wcets(&CostCtx::new(&p, &platform, CoreId(0), 1, &mem), &bounds)
-            .unwrap()["main"];
-        let w4 = function_wcets(&CostCtx::new(&p, &platform, CoreId(0), 4, &mem), &bounds)
-            .unwrap()["main"];
+        let w1 = function_wcets(&CostCtx::new(&p, &platform, CoreId(0), 1, &mem), &bounds).unwrap()
+            ["main"];
+        let w4 = function_wcets(&CostCtx::new(&p, &platform, CoreId(0), 4, &mem), &bounds).unwrap()
+            ["main"];
         assert!(w4 > w1, "contenders inflate WCET: {w1} vs {w4}");
     }
 }

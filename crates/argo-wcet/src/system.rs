@@ -104,7 +104,10 @@ pub fn analyze(
     let n = pp.graph.len();
     assert_eq!(iso_wcet.len(), n, "iso_wcet length");
     assert_eq!(shared_accesses.len(), n, "shared_accesses length");
-    let ctx = SchedCtx { platform, comm: CommModel::SignalOnly };
+    let ctx = SchedCtx {
+        platform,
+        comm: CommModel::SignalOnly,
+    };
 
     let delta = |t: usize, k: usize| -> u64 {
         let core = pp.schedule.assignment[t];
@@ -208,12 +211,12 @@ fn static_mhp(pp: &ParallelProgram) -> Vec<Vec<bool>> {
     }
     // Transitive closure (n ≤ a few hundred).
     for k in 0..n {
-        for i in 0..n {
-            if reach[i][k] {
-                for j in 0..n {
-                    if reach[k][j] {
-                        reach[i][j] = true;
-                    }
+        // Snapshot of row k: writes to row i==k are no-ops against it.
+        let row_k = reach[k].clone();
+        for row in reach.iter_mut() {
+            if row[k] {
+                for (dst, &via_k) in row.iter_mut().zip(&row_k) {
+                    *dst |= via_k;
                 }
             }
         }
@@ -299,7 +302,11 @@ pub fn manual_fork_join_bound(
     let mut level = vec![0usize; n];
     let mut max_level = 0;
     for &t in &order {
-        let l = preds[t].iter().map(|&(p, _)| level[p] + 1).max().unwrap_or(0);
+        let l = preds[t]
+            .iter()
+            .map(|&(p, _)| level[p] + 1)
+            .max()
+            .unwrap_or(0);
         level[t] = l;
         max_level = max_level.max(l);
     }
@@ -315,10 +322,7 @@ pub fn manual_fork_join_bound(
         }
         let inflated: Vec<u64> = tasks
             .iter()
-            .map(|&t| {
-                iso_wcet[t]
-                    + shared_accesses[t].saturating_mul(wc_all.saturating_sub(wc_1))
-            })
+            .map(|&t| iso_wcet[t] + shared_accesses[t].saturating_mul(wc_all.saturating_sub(wc_1)))
             .collect();
         let max = inflated.iter().copied().max().unwrap_or(0);
         let sum: u64 = inflated.iter().sum();
@@ -357,10 +361,12 @@ mod tests {
         let costs: BTreeMap<_, _> = htg.top_level.iter().map(|&t| (t, 5000u64)).collect();
         let graph = TaskGraph::from_htg(&htg, &costs);
         let platform = Platform::xentium_manycore(4);
-        let ctx = SchedCtx { platform: &platform, comm: CommModel::SignalOnly };
+        let ctx = SchedCtx {
+            platform: &platform,
+            comm: CommModel::SignalOnly,
+        };
         let schedule = ListScheduler::new().schedule(&graph, &ctx);
-        let pp =
-            ParallelProgram::build(program, &htg, graph, schedule, &platform).unwrap();
+        let pp = ParallelProgram::build(program, &htg, graph, schedule, &platform).unwrap();
         let iso: Vec<u64> = pp.graph.cost.clone();
         let acc = task_shared_accesses(&htg, &pp.graph, &pp.memory_map);
         (pp, platform, iso, acc)
@@ -372,8 +378,18 @@ mod tests {
         let naive = analyze(&pp, &platform, &iso, &acc, MhpMode::Naive);
         let stat = analyze(&pp, &platform, &iso, &acc, MhpMode::Static);
         let win = analyze(&pp, &platform, &iso, &acc, MhpMode::Windows);
-        assert!(naive.bound >= stat.bound, "naive {} < static {}", naive.bound, stat.bound);
-        assert!(stat.bound >= win.bound, "static {} < windows {}", stat.bound, win.bound);
+        assert!(
+            naive.bound >= stat.bound,
+            "naive {} < static {}",
+            naive.bound,
+            stat.bound
+        );
+        assert!(
+            stat.bound >= win.bound,
+            "static {} < windows {}",
+            stat.bound,
+            win.bound
+        );
     }
 
     #[test]
@@ -384,8 +400,8 @@ mod tests {
             let r = analyze(&pp, &platform, &iso, &acc, mode);
             assert!(r.bound >= base.min(r.bound), "mode {mode}");
             // Inflated task WCETs dominate isolated ones.
-            for t in 0..iso.len() {
-                assert!(r.task_wcet[t] >= iso[t]);
+            for (inflated, isolated) in r.task_wcet.iter().zip(&iso) {
+                assert!(inflated >= isolated);
             }
         }
     }
@@ -424,10 +440,12 @@ mod tests {
         let schedule = ListScheduler::new().schedule(&graph, &ctx);
         let iso = graph.cost.clone();
         let acc_src = task_shared_accesses(&htg, &graph, &MemoryMap::new());
-        let pp =
-            ParallelProgram::build(program, &htg, graph, schedule, &platform).unwrap();
+        let pp = ParallelProgram::build(program, &htg, graph, schedule, &platform).unwrap();
         let r = analyze(&pp, &platform, &iso, &acc_src, MhpMode::Static);
-        assert_eq!(r.task_wcet, r.iso_wcet, "nothing runs in parallel on 1 core");
+        assert_eq!(
+            r.task_wcet, r.iso_wcet,
+            "nothing runs in parallel on 1 core"
+        );
     }
 
     #[test]

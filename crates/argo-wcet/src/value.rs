@@ -29,12 +29,18 @@ impl Interval {
 
     /// A singleton interval.
     pub fn exact(v: i64) -> Interval {
-        Interval { lo: Some(v), hi: Some(v) }
+        Interval {
+            lo: Some(v),
+            hi: Some(v),
+        }
     }
 
     /// A bounded interval `[lo, hi]`.
     pub fn range(lo: i64, hi: i64) -> Interval {
-        Interval { lo: Some(lo), hi: Some(hi) }
+        Interval {
+            lo: Some(lo),
+            hi: Some(hi),
+        }
     }
 
     /// Join (union hull).
@@ -52,6 +58,7 @@ impl Interval {
     }
 
     /// Abstract addition.
+    #[allow(clippy::should_implement_trait)] // interval ops, not `std::ops` (no Output inference games)
     pub fn add(self, other: Interval) -> Interval {
         Interval {
             lo: self.lo.zip(other.lo).and_then(|(a, b)| a.checked_add(b)),
@@ -60,6 +67,7 @@ impl Interval {
     }
 
     /// Abstract subtraction.
+    #[allow(clippy::should_implement_trait)] // interval ops, not `std::ops` (no Output inference games)
     pub fn sub(self, other: Interval) -> Interval {
         Interval {
             lo: self.lo.zip(other.hi).and_then(|(a, b)| a.checked_sub(b)),
@@ -68,6 +76,7 @@ impl Interval {
     }
 
     /// Abstract multiplication (corner products).
+    #[allow(clippy::should_implement_trait)] // interval ops, not `std::ops` (no Output inference games)
     pub fn mul(self, other: Interval) -> Interval {
         let corners = |a: Option<i64>, b: Option<i64>| a.zip(b).and_then(|(x, y)| x.checked_mul(y));
         let products = [
@@ -92,6 +101,7 @@ impl Interval {
     }
 
     /// Abstract truncating division (conservative corner division).
+    #[allow(clippy::should_implement_trait)] // interval ops, not `std::ops` (no Output inference games)
     pub fn div(self, other: Interval) -> Interval {
         // Division by an interval possibly containing 0: ⊤ (runtime error
         // path aside, stay sound).
@@ -142,11 +152,7 @@ pub type LoopBounds = BTreeMap<StmtId, u64>;
 ///
 /// Returns [`WcetError`] if a `for` loop's trip count cannot be bounded
 /// (WCET analysis would be impossible) or the function is unknown.
-pub fn loop_bounds(
-    program: &Program,
-    func: &str,
-    ctx: &ValueCtx,
-) -> Result<LoopBounds, WcetError> {
+pub fn loop_bounds(program: &Program, func: &str, ctx: &ValueCtx) -> Result<LoopBounds, WcetError> {
     let f = program
         .function(func)
         .ok_or_else(|| WcetError::new(format!("no function `{func}`")))?;
@@ -162,7 +168,9 @@ pub fn loop_bounds(
         }
     }
     let mut bounds = LoopBounds::new();
-    let mut an = Analyzer { program, bounds: &mut bounds };
+    let mut an = Analyzer {
+        bounds: &mut bounds,
+    };
     an.block(&f.body, &mut env)?;
     // Callee loops: analyse every function reachable from `func` with ⊤
     // parameters (conservative: their own literal bounds must suffice).
@@ -180,7 +188,9 @@ pub fn loop_bounds(
                     cenv.insert(p.name.clone(), Interval::TOP);
                 }
             }
-            let mut an = Analyzer { program, bounds: &mut bounds };
+            let mut an = Analyzer {
+                bounds: &mut bounds,
+            };
             an.block(&cf.body, &mut cenv)?;
             queue.extend(callees_of(cf));
         }
@@ -200,7 +210,6 @@ fn callees_of(f: &Function) -> Vec<String> {
 type Env = BTreeMap<String, Interval>;
 
 struct Analyzer<'a> {
-    program: &'a Program,
     bounds: &'a mut LoopBounds,
 }
 
@@ -231,7 +240,9 @@ impl<'a> Analyzer<'a> {
                 }
                 Ok(())
             }
-            StmtKind::If { then_blk, else_blk, .. } => {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
                 let mut env_then = env.clone();
                 let mut env_else = env.clone();
                 self.block(then_blk, &mut env_then)?;
@@ -246,7 +257,13 @@ impl<'a> Analyzer<'a> {
                 // Newly declared block-locals go out of scope; ignore.
                 Ok(())
             }
-            StmtKind::For { var, lo, hi, step, body } => {
+            StmtKind::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 let lo_iv = self.eval(lo, env);
                 let hi_iv = self.eval(hi, env);
                 let trip = match (lo_iv.lo, hi_iv.hi) {
@@ -274,7 +291,10 @@ impl<'a> Analyzer<'a> {
                     self.block(body, &mut body_env)?;
                     body_env.insert(
                         var.clone(),
-                        Interval { lo: lo_iv.lo, hi: hi_iv.hi.map(|h| h - 1) },
+                        Interval {
+                            lo: lo_iv.lo,
+                            hi: hi_iv.hi.map(|h| h - 1),
+                        },
                     );
                     if body_env == before {
                         break;
@@ -295,7 +315,10 @@ impl<'a> Analyzer<'a> {
                     let cur = env.get(&k).copied().unwrap_or(Interval::TOP);
                     env.insert(k, cur.join(v));
                 }
-                env.insert(var.clone(), lo_iv.join(hi_iv.add(Interval::exact(*step - 1))));
+                env.insert(
+                    var.clone(),
+                    lo_iv.join(hi_iv.add(Interval::exact(*step - 1))),
+                );
                 Ok(())
             }
             StmtKind::While { bound, body, .. } => {
@@ -346,10 +369,11 @@ impl<'a> Analyzer<'a> {
                     _ => Interval::TOP,
                 }
             }
-            Expr::Unary { op: UnOp::Neg, arg } => {
-                Interval::exact(0).sub(self.eval(arg, env))
-            }
-            Expr::Cast { to: argo_ir::Scalar::Int, arg } => {
+            Expr::Unary { op: UnOp::Neg, arg } => Interval::exact(0).sub(self.eval(arg, env)),
+            Expr::Cast {
+                to: argo_ir::Scalar::Int,
+                arg,
+            } => {
                 // Casting an int-valued expression is the identity; real
                 // sources are ⊤ (we don't track reals).
                 match &**arg {
@@ -390,7 +414,10 @@ impl<'a> Analyzer<'a> {
                             let m = l.abs().max(h.abs());
                             Interval::range(0, m)
                         }
-                        _ => Interval { lo: Some(0), hi: None },
+                        _ => Interval {
+                            lo: Some(0),
+                            hi: None,
+                        },
                     }
                 }
                 _ => Interval::TOP,
@@ -537,7 +564,10 @@ mod tests {
         assert_eq!(a.sub(b), Interval::range(-1, 6));
         assert_eq!(a.mul(b), Interval::range(-5, 15));
         assert_eq!(a.join(b), Interval::range(-1, 5));
-        assert_eq!(Interval::range(10, 20).div(Interval::exact(3)), Interval::range(3, 6));
+        assert_eq!(
+            Interval::range(10, 20).div(Interval::exact(3)),
+            Interval::range(3, 6)
+        );
         assert!(!Interval::TOP.is_bounded());
     }
 }

@@ -15,13 +15,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== EGPWS on two ARGO target platforms ===\n");
 
     for platform in [Platform::xentium_manycore(4), Platform::kit_tile_noc(2, 2)] {
-        let r = compile(uc.program.clone(), uc.entry, &platform, &ToolchainConfig::default())?;
-        let wc = simulate(&r.parallel, &platform, uc.args.clone(), &SimConfig::default())?;
+        let r = compile(
+            uc.program.clone(),
+            uc.entry,
+            &platform,
+            &ToolchainConfig::default(),
+        )?;
+        let wc = simulate(
+            &r.parallel,
+            &platform,
+            uc.args.clone(),
+            &SimConfig::default(),
+        )?;
         let avg = simulate(
             &r.parallel,
             &platform,
             uc.args.clone(),
-            &SimConfig { mode: SimMode::Random { seed: 1 } },
+            &SimConfig {
+                mode: SimMode::Random { seed: 1 },
+            },
         )?;
         println!("platform {:<18}", platform.name);
         println!("  sequential WCET bound : {:>9}", r.sequential_bound);
@@ -43,8 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .expect("alert output")
             .1
             .to_reals();
-        let counts = [0.0, 1.0, 2.0, 3.0]
-            .map(|l| alerts.iter().filter(|&&a| a == l).count());
+        let counts = [0.0, 1.0, 2.0, 3.0].map(|l| alerts.iter().filter(|&&a| a == l).count());
         println!(
             "  path points: {} clear, {} caution, {} warning, {} pull-up\n",
             counts[0], counts[1], counts[2], counts[3]

@@ -18,13 +18,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Frontend 1: the full mini-C POLKA kernel.
     let uc = argo_apps::polka::use_case(7);
-    let r = compile(uc.program.clone(), uc.entry, &platform, &ToolchainConfig::default())?;
-    let sim = simulate(&r.parallel, &platform, uc.args.clone(), &SimConfig::default())?;
-    let mask = sim.outputs.iter().find(|(n, _)| n == "mask").expect("mask").1.to_reals();
+    let r = compile(
+        uc.program.clone(),
+        uc.entry,
+        &platform,
+        &ToolchainConfig::default(),
+    )?;
+    let sim = simulate(
+        &r.parallel,
+        &platform,
+        uc.args.clone(),
+        &SimConfig::default(),
+    )?;
+    let mask = sim
+        .outputs
+        .iter()
+        .find(|(n, _)| n == "mask")
+        .expect("mask")
+        .1
+        .to_reals();
     println!("POLKA (mini-C frontend) on {}:", platform.name);
-    println!("  parallel WCET bound {:>8}  observed {:>8}", r.system.bound, sim.cycles);
+    println!(
+        "  parallel WCET bound {:>8}  observed {:>8}",
+        r.system.bound, sim.cycles
+    );
     println!("  guaranteed speedup  {:>8.2}x", r.wcet_speedup());
-    println!("  stress superpixels detected: {}", mask.iter().filter(|&&m| m == 1.0).count());
+    println!(
+        "  stress superpixels detected: {}",
+        mask.iter().filter(|&&m| m == 1.0).count()
+    );
     assert!(sim.cycles <= r.system.bound);
 
     // --- Frontend 2: a model-based (Xcos-like) intensity pipeline.
@@ -40,7 +62,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     model.mark_output(peak);
     let program = model.lower()?;
 
-    let rm = compile(program, "intensity_screen", &platform, &ToolchainConfig::default())?;
+    let rm = compile(
+        program,
+        "intensity_screen",
+        &platform,
+        &ToolchainConfig::default(),
+    )?;
     let raw = argo_apps::polka::synthetic_frame(7, 2);
     let head: Vec<f64> = raw.iter().take(256).copied().collect();
     let args = vec![
@@ -49,9 +76,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ArgVal::Array(ArrayData::from_reals(&[0.0])),
     ];
     let simm = simulate(&rm.parallel, &platform, args, &SimConfig::default())?;
-    let peak_v = simm.outputs.iter().find(|(n, _)| n == "peak_out").expect("peak").1.to_reals()[0];
+    let peak_v = simm
+        .outputs
+        .iter()
+        .find(|(n, _)| n == "peak_out")
+        .expect("peak")
+        .1
+        .to_reals()[0];
     println!("\nPOLKA (model-based frontend):");
-    println!("  parallel WCET bound {:>8}  observed {:>8}", rm.system.bound, simm.cycles);
+    println!(
+        "  parallel WCET bound {:>8}  observed {:>8}",
+        rm.system.bound, simm.cycles
+    );
     println!("  guaranteed speedup  {:>8.2}x", rm.wcet_speedup());
     println!("  peak local contrast: {peak_v:.4}");
     assert!(simm.cycles <= rm.system.bound);

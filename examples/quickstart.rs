@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let sim = simulate(&result.parallel, &platform, args, &SimConfig::default())?;
     println!("simulated (worst-case ops): {:>9} cycles", sim.cycles);
-    println!("system-level WCET bound:    {:>9} cycles", result.system.bound);
+    println!(
+        "system-level WCET bound:    {:>9} cycles",
+        result.system.bound
+    );
     println!(
         "bound / observed tightness: {:>9.2}",
         result.system.bound as f64 / sim.cycles as f64

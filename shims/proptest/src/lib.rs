@@ -1,0 +1,228 @@
+//! Offline drop-in replacement for the subset of `proptest` this workspace
+//! uses. The container has no network access, so the real crate cannot be
+//! fetched; this shim keeps the property-test *sources* unchanged.
+//!
+//! Scope: seeded random generation of inputs from composable strategies and
+//! repeated execution of the test body (`proptest!` runs each property for
+//! `ProptestConfig::cases` deterministic cases). Shrinking of failing inputs
+//! is intentionally **not** implemented — a failure reports the panic from
+//! the raw generated case. That trades minimal counter-examples for zero
+//! dependencies, which is the right trade in this sealed environment.
+//!
+//! Supported surface (everything `tests/property.rs` and `tests/dse.rs`
+//! touch): [`Strategy`] with `prop_map`, `prop_recursive`, `boxed`;
+//! [`BoxedStrategy`]; range strategies over the primitive integer types;
+//! [`Just`]; [`any`]; tuple strategies up to arity 6;
+//! [`collection::vec`]; the [`proptest!`], [`prop_oneof!`],
+//! [`prop_assert!`] and [`prop_assert_eq!`] macros; [`ProptestConfig`].
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, TestRng, Union};
+
+/// Runner configuration (subset: case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Strategies for primitive types via [`any`].
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+pub struct Any<A> {
+    _marker: std::marker::PhantomData<A>,
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// The strategy of all values of `A` — mirrors `proptest::prelude::any`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Mirrors `proptest::collection::vec` for `Range<usize>` sizes.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "collection::vec: empty size range");
+        VecStrategy { element, size }
+    }
+}
+
+/// Everything a property test conventionally glob-imports.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig};
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Asserts inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assert inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::std::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __name = concat!(module_path!(), "::", stringify!($name));
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::TestRng::for_case(__name, __case as u64);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    fn arb_label() -> BoxedStrategy<String> {
+        let leaf = prop_oneof![
+            Just("x".to_string()),
+            (0u32..10).prop_map(|v| format!("n{v}")),
+        ];
+        leaf.prop_recursive(2, 8, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a} {b})"))
+        })
+        .boxed()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(a in 3usize..9, b in 1u64..=5, c in -4i64..4) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((1..=5).contains(&b));
+            prop_assert!((-4..4).contains(&c));
+        }
+
+        #[test]
+        fn recursive_strategy_terminates(s in arb_label()) {
+            prop_assert!(!s.is_empty());
+        }
+
+        #[test]
+        fn vec_respects_size(v in crate::collection::vec((0u32..4, 0u32..4), 1..6)) {
+            prop_assert!((1..6).contains(&v.len()));
+            for (x, y) in v {
+                prop_assert!(x < 4 && y < 4);
+            }
+        }
+
+        #[test]
+        fn bool_pairs_generate_independently(x in any::<bool>(), y in any::<bool>()) {
+            // Exercises the generator paths; u8 conversion checks both
+            // values are genuine bools after the cast dance.
+            prop_assert!(u8::from(x) <= 1 && u8::from(y) <= 1);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let s = arb_label();
+        let run = |seed| {
+            let mut rng = TestRng::for_case("det", seed);
+            (0..16).map(|_| s.generate(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+}

@@ -1,2 +1,36 @@
-//! Root crate re-exporting the ARGO reproduction workspace (see `argo_core`).
+//! Root crate re-exporting the complete ARGO reproduction workspace.
+//!
+//! Reproduction of *"WCET-aware parallelization of model-based
+//! applications for multi-cores: The ARGO approach"* (DATE 2017). Each
+//! member crate owns one stage of the toolflow; this facade re-exports
+//! them all so `argo::core::compile`, `argo::dse::Explorer`, … resolve
+//! from a single dependency.
+//!
+//! * [`ir`] — mini-C frontend IR: AST, parser, CFG, interpreter;
+//! * [`model`] — Xcos-like dataflow model frontend lowering to mini-C;
+//! * [`adl`] — architecture description: platforms, memories, interference;
+//! * [`transform`] — predictability transformations (§ II-B);
+//! * [`htg`] — hierarchical task graph extraction;
+//! * [`sched`] — mapping/scheduling (list, branch-and-bound, annealing);
+//! * [`parir`] — explicitly parallel program model (§ II-C);
+//! * [`wcet`] — code- and system-level WCET analysis (§ II-D);
+//! * [`core`] — the staged toolchain driver chaining it all (§ II-E);
+//! * [`sim`] — cycle-charging simulator validating the bounds;
+//! * [`apps`] — the three evaluation use cases (§ IV);
+//! * [`dse`] — parallel design-space exploration with artifact caching
+//!   and Pareto reporting (§ III);
+//! * [`bench`] — the E1–E8 experiment drivers.
+
+pub use argo_adl as adl;
+pub use argo_apps as apps;
+pub use argo_bench as bench;
 pub use argo_core as core;
+pub use argo_dse as dse;
+pub use argo_htg as htg;
+pub use argo_ir as ir;
+pub use argo_model as model;
+pub use argo_parir as parir;
+pub use argo_sched as sched;
+pub use argo_sim as sim;
+pub use argo_transform as transform;
+pub use argo_wcet as wcet;

@@ -1,0 +1,152 @@
+//! Integration tests for the `argo-dse` design-space exploration engine:
+//! Pareto-front correctness as a property over arbitrary objective sets,
+//! and end-to-end determinism with artifact-cache reuse across runs.
+
+use argo_core::SchedulerKind;
+use argo_dse::pareto::{dominates, pareto_front};
+use argo_dse::{DesignSpace, Explorer, PlatformKind};
+use argo_ir::parse::parse_program;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The extracted front never contains a dominated point, and every
+    /// excluded point is dominated by someone.
+    #[test]
+    fn pareto_front_contains_no_dominated_point(
+        objs in proptest::collection::vec((1u64..9, 1u64..500, 0u64..5), 1..40),
+    ) {
+        let objs: Vec<[u64; 3]> =
+            objs.into_iter().map(|(c, w, s)| [c, w, s * 4096]).collect();
+        let front = pareto_front(&objs);
+        prop_assert!(!front.is_empty(), "a non-empty set has a non-empty front");
+        for &i in &front {
+            for o in &objs {
+                prop_assert!(
+                    !dominates(o, &objs[i]),
+                    "front member {:?} dominated by {:?}",
+                    objs[i],
+                    o
+                );
+            }
+        }
+        for i in 0..objs.len() {
+            if !front.contains(&i) {
+                prop_assert!(
+                    objs.iter().any(|o| dominates(o, &objs[i])),
+                    "excluded point {:?} is dominated by nobody",
+                    objs[i]
+                );
+            }
+        }
+    }
+}
+
+const TINY: &str = r#"
+    real main(real a[64], real b[64]) {
+        real s; int i;
+        s = 0.0;
+        for (i = 0; i < 64; i = i + 1) {
+            b[i] = sqrt(a[i]) * 2.0 + sin(a[i]);
+        }
+        for (i = 0; i < 64; i = i + 1) { s = s + b[i]; }
+        return s;
+    }
+"#;
+
+fn tiny_space() -> DesignSpace {
+    DesignSpace::new()
+        .app("tiny")
+        .platforms(vec![PlatformKind::Bus, PlatformKind::Noc])
+        .cores(vec![1, 2, 4])
+        .schedulers(vec![SchedulerKind::List, SchedulerKind::Anneal])
+}
+
+/// Two runs of the same `DesignSpace` on one explorer produce identical
+/// reports, and the second run is served entirely from the artifact
+/// cache (every frontend/seed-cost lookup hits).
+#[test]
+fn repeated_exploration_is_deterministic_and_cached() {
+    let mut explorer = Explorer::with_threads(4);
+    explorer.register_program("tiny", parse_program(TINY).unwrap(), "main");
+    let space = tiny_space();
+
+    let first = explorer.explore(&space);
+    let after_first = explorer.cache_stats();
+    let second = explorer.explore(&space);
+    let after_second = explorer.cache_stats();
+
+    assert_eq!(first.rows.len(), 12);
+    assert_eq!(first.failures(), 0);
+    assert!(!first.pareto.is_empty());
+    assert_eq!(
+        first.to_csv(),
+        second.to_csv(),
+        "reports must be byte-identical"
+    );
+    assert_eq!(first.pareto, second.pareto);
+
+    // The first run misses at least once; the second run adds hits only.
+    assert!(after_first.misses() > 0);
+    assert_eq!(
+        after_second.misses(),
+        after_first.misses(),
+        "second run must not rebuild"
+    );
+    let second_run_hits = after_second.hits() - after_first.hits();
+    assert!(second_run_hits > 0, "second run must hit the cache");
+    assert_eq!(
+        second_run_hits,
+        12 * 2,
+        "every point hits both tiers on the second run"
+    );
+
+    // Shared-prefix reuse already within the first run: the scheduler
+    // axis (2 values) shares artifacts, so hits happen before run two.
+    assert!(
+        after_first.hits() > 0,
+        "shared-prefix points must hit within one run"
+    );
+}
+
+/// The same space explored by a fresh explorer with a different thread
+/// count yields the same CSV — ordering is deterministic, not luck.
+#[test]
+fn thread_count_is_invisible_in_reports() {
+    let mut reports = Vec::new();
+    for threads in [1, 3, 8] {
+        let mut ex = Explorer::with_threads(threads);
+        ex.register_program("tiny", parse_program(TINY).unwrap(), "main");
+        reports.push(ex.explore(&tiny_space()).to_csv());
+    }
+    assert_eq!(reports[0], reports[1]);
+    assert_eq!(reports[1], reports[2]);
+}
+
+/// End-to-end over a real use case: the sweep from the issue's acceptance
+/// criterion shape (one app × 2 platforms × cores × schedulers) completes
+/// with a non-empty front and nonzero cache reuse.
+#[test]
+fn egpws_acceptance_shape_sweep() {
+    let explorer = Explorer::new();
+    let space = DesignSpace::new()
+        .app("egpws")
+        .platforms(vec![PlatformKind::Bus, PlatformKind::Noc])
+        .cores(vec![1, 2])
+        .schedulers(vec![SchedulerKind::List, SchedulerKind::Anneal]);
+    let report = explorer.explore(&space);
+    assert_eq!(report.rows.len(), 8);
+    assert_eq!(report.failures(), 0);
+    assert!(!report.pareto.is_empty());
+    assert!(
+        report.cache.hits() > 0,
+        "scheduler axis must share artifacts"
+    );
+    // Single-core rows must have speedup 1.
+    for (_, m) in report.successes() {
+        assert!(m.par_bound > 0);
+    }
+    let json = report.to_json();
+    assert!(json.contains("\"cache\""));
+}

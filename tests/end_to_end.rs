@@ -22,8 +22,13 @@ fn check_use_case(uc: &argo_apps::UseCase, platform: &Platform, cfg: &ToolchainC
     // sequential reference runs the ORIGINAL program; the parallel one
     // runs the transformed (chunked) program.
     let reference = sequential_reference(&uc.program, uc.entry, uc.args.clone()).unwrap();
-    let sim = simulate(&r.parallel, platform, uc.args.clone(), &SimConfig::default())
-        .unwrap_or_else(|e| panic!("{}: {e}", uc.name));
+    let sim = simulate(
+        &r.parallel,
+        platform,
+        uc.args.clone(),
+        &SimConfig::default(),
+    )
+    .unwrap_or_else(|e| panic!("{}: {e}", uc.name));
     assert_eq!(
         reference.len(),
         sim.outputs.len(),
@@ -32,7 +37,11 @@ fn check_use_case(uc: &argo_apps::UseCase, platform: &Platform, cfg: &ToolchainC
     );
     for ((rn, rd), (sn, sd)) in reference.iter().zip(&sim.outputs) {
         assert_eq!(rn, sn, "{}: output order", uc.name);
-        assert_eq!(rd, sd, "{}: array `{rn}` differs from sequential reference", uc.name);
+        assert_eq!(
+            rd, sd,
+            "{}: array `{rn}` differs from sequential reference",
+            uc.name
+        );
     }
 
     // Soundness: observed ≤ bound, worst-case mode.
@@ -54,10 +63,16 @@ fn check_use_case(uc: &argo_apps::UseCase, platform: &Platform, cfg: &ToolchainC
             &r.parallel,
             platform,
             uc.args.clone(),
-            &SimConfig { mode: SimMode::Random { seed } },
+            &SimConfig {
+                mode: SimMode::Random { seed },
+            },
         )
         .unwrap();
-        assert!(rnd.cycles <= r.system.bound, "{}: random run exceeds bound", uc.name);
+        assert!(
+            rnd.cycles <= r.system.bound,
+            "{}: random run exceeds bound",
+            uc.name
+        );
     }
 }
 
@@ -89,9 +104,17 @@ fn use_cases_on_kit_noc() {
 fn soundness_under_every_bus_arbitration() {
     let uc = &argo_apps::all_use_cases(11)[2]; // POLKA: densest traffic
     for arb in [
-        Arbitration::Wrr { weights: vec![1; 4], slot_cycles: 4 },
-        Arbitration::Tdma { slot_cycles: 12, total_slots: 4 },
-        Arbitration::FixedPriority { priorities: vec![0, 1, 2, 3] },
+        Arbitration::Wrr {
+            weights: vec![1; 4],
+            slot_cycles: 4,
+        },
+        Arbitration::Tdma {
+            slot_cycles: 12,
+            total_slots: 4,
+        },
+        Arbitration::FixedPriority {
+            priorities: vec![0, 1, 2, 3],
+        },
     ] {
         let platform = Platform::generic_bus(4, arb.clone());
         check_use_case(uc, &platform, &ToolchainConfig::default());
@@ -106,7 +129,10 @@ fn soundness_for_timing_independent_mhp_modes() {
     let platform = Platform::xentium_manycore(4);
     let uc = &argo_apps::all_use_cases(5)[0]; // EGPWS
     for mhp in [MhpMode::Naive, MhpMode::Static] {
-        let cfg = ToolchainConfig { mhp, ..Default::default() };
+        let cfg = ToolchainConfig {
+            mhp,
+            ..Default::default()
+        };
         check_use_case(uc, &platform, &cfg);
     }
 }
@@ -114,7 +140,10 @@ fn soundness_for_timing_independent_mhp_modes() {
 #[test]
 fn chunking_off_still_sound_and_correct() {
     let platform = Platform::xentium_manycore(4);
-    let cfg = ToolchainConfig { chunk_loops: false, ..Default::default() };
+    let cfg = ToolchainConfig {
+        chunk_loops: false,
+        ..Default::default()
+    };
     for uc in argo_apps::all_use_cases(9) {
         check_use_case(&uc, &platform, &cfg);
     }
@@ -125,8 +154,13 @@ fn parallel_wcet_beats_sequential_on_polka() {
     // POLKA's superpixel loops are DOALL: the guaranteed WCET must drop.
     let uc = &argo_apps::all_use_cases(42)[2];
     let platform = Platform::xentium_manycore(4);
-    let r = compile(uc.program.clone(), uc.entry, &platform, &ToolchainConfig::default())
-        .unwrap();
+    let r = compile(
+        uc.program.clone(),
+        uc.entry,
+        &platform,
+        &ToolchainConfig::default(),
+    )
+    .unwrap();
     assert!(
         r.wcet_speedup() > 1.2,
         "POLKA guaranteed speedup too small: {:.2}",
@@ -144,11 +178,23 @@ fn cache_platform_is_sound_but_less_tight() {
     let cfg = ToolchainConfig::default();
 
     let r_spm = compile(uc.program.clone(), uc.entry, &spm, &cfg).unwrap();
-    let sim_spm = simulate(&r_spm.parallel, &spm, uc.args.clone(), &SimConfig::default()).unwrap();
+    let sim_spm = simulate(
+        &r_spm.parallel,
+        &spm,
+        uc.args.clone(),
+        &SimConfig::default(),
+    )
+    .unwrap();
     assert!(sim_spm.cycles <= r_spm.system.bound);
 
     let r_c = compile(uc.program.clone(), uc.entry, &cached, &cfg).unwrap();
-    let sim_c = simulate(&r_c.parallel, &cached, uc.args.clone(), &SimConfig::default()).unwrap();
+    let sim_c = simulate(
+        &r_c.parallel,
+        &cached,
+        uc.args.clone(),
+        &SimConfig::default(),
+    )
+    .unwrap();
     assert!(sim_c.cycles <= r_c.system.bound, "cache bound unsound");
 
     let tight_spm = r_spm.system.bound as f64 / sim_spm.cycles.max(1) as f64;
@@ -163,9 +209,20 @@ fn cache_platform_is_sound_but_less_tight() {
 fn observed_contention_waits_within_analysis_budget() {
     let uc = &argo_apps::all_use_cases(42)[2];
     let platform = Platform::xentium_manycore(4);
-    let r = compile(uc.program.clone(), uc.entry, &platform, &ToolchainConfig::default())
-        .unwrap();
-    let sim = simulate(&r.parallel, &platform, uc.args.clone(), &SimConfig::default()).unwrap();
+    let r = compile(
+        uc.program.clone(),
+        uc.entry,
+        &platform,
+        &ToolchainConfig::default(),
+    )
+    .unwrap();
+    let sim = simulate(
+        &r.parallel,
+        &platform,
+        uc.args.clone(),
+        &SimConfig::default(),
+    )
+    .unwrap();
     // Total inflation budget the analysis reserved:
     let budget: u64 = (0..r.iso_costs.len())
         .map(|t| r.system.task_wcet[t] - r.system.iso_wcet[t])

@@ -61,9 +61,7 @@ fn arb_program() -> BoxedStrategy<String> {
     )
         .prop_map(|(e1, e2, trip, inner_trip, with_branch)| {
             let body = if with_branch {
-                format!(
-                    "if (x > 2.0) {{ b[i] = {e1}; }} else {{ b[i] = {e2}; }}"
-                )
+                format!("if (x > 2.0) {{ b[i] = {e1}; }} else {{ b[i] = {e2}; }}")
             } else {
                 format!("b[i] = {e1};")
             };
@@ -82,7 +80,9 @@ fn arb_program() -> BoxedStrategy<String> {
 }
 
 fn input_args(seed: u64) -> Vec<ArgVal> {
-    let vals: Vec<f64> = (0..ARRAY).map(|k| ((k as u64 * 7 + seed) % 13) as f64 * 0.5).collect();
+    let vals: Vec<f64> = (0..ARRAY)
+        .map(|k| ((k as u64 * 7 + seed) % 13) as f64 * 0.5)
+        .collect();
     vec![
         ArgVal::Array(ArrayData::from_reals(&vals)),
         ArgVal::Array(ArrayData::from_reals(&[0.0; ARRAY])),
