@@ -5,7 +5,7 @@
 //! the interconnect; (ii) worst-case delay for copying/getting the
 //! information, once access is granted". This module provides exactly those
 //! two bounds for three bus arbitration policies and for an XY-routed mesh
-//! NoC with WRR link arbitration (the iNoC model of ref [12]).
+//! NoC with WRR link arbitration (the iNoC model of ref \[12\]).
 //!
 //! All bounds are *analytic worst cases*; `argo-sim` implements the same
 //! policies dynamically, and the integration tests check
@@ -130,7 +130,7 @@ impl Arbitration {
 /// router hops on an XY mesh, where each output link arbitrates WRR over
 /// at most `link_contenders` other requestors of weight `contender_weight`.
 ///
-/// The bound follows the iNoC guarantee structure [12]: per hop, the head
+/// The bound follows the iNoC guarantee structure \[12\]: per hop, the head
 /// flit waits at most one full WRR round of the other contenders, then the
 /// packet streams at one flit per `link_latency` (wormhole, no preemption
 /// within a packet because WRR slots are packet-sized).

@@ -13,7 +13,7 @@
 //!   fast MAC, scratchpad memories, shared bus;
 //! * a **Leon3 + iNoC tile many-core** (KIT) — slower in-order RISC cores on
 //!   a 2-D mesh NoC whose routers arbitrate with weighted round-robin
-//!   (WRR), giving the bandwidth/latency guarantees [12] the system-level
+//!   (WRR), giving the bandwidth/latency guarantees \[12\] the system-level
 //!   WCET analysis needs.
 //!
 //! The module layout:
@@ -120,7 +120,7 @@ pub enum Interconnect {
         arbitration: Arbitration,
     },
     /// A 2-D mesh NoC with XY routing and per-link WRR arbitration
-    /// (the iNoC model, paper ref [12]).
+    /// (the iNoC model, paper ref \[12\]).
     Noc {
         /// Mesh rows.
         rows: usize,

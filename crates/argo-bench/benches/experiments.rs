@@ -7,7 +7,7 @@
 //! evaluation numbers.
 
 use argo_adl::Platform;
-use argo_core::{compile, ToolchainConfig};
+use argo_core::{ToolchainConfig, Toolflow};
 use argo_sched::anneal::SimulatedAnnealing;
 use argo_sched::bnb::BranchAndBound;
 use argo_sched::list::ListScheduler;
@@ -24,13 +24,11 @@ fn bench_toolchain(c: &mut Criterion) {
     let platform = Platform::xentium_manycore(4);
     g.bench_function("compile_polka_4core", |b| {
         b.iter(|| {
-            let r = compile(
-                black_box(uc.program.clone()),
-                uc.entry,
-                &platform,
-                &ToolchainConfig::default(),
-            )
-            .unwrap();
+            let r = Toolflow::new(black_box(uc.program.clone()), uc.entry)
+                .platform(&platform)
+                .config(ToolchainConfig::default())
+                .run()
+                .unwrap();
             black_box(r.system.bound)
         })
     });
@@ -42,13 +40,11 @@ fn bench_simulator(c: &mut Criterion) {
     g.sample_size(10);
     let uc = &argo_apps::all_use_cases(42)[2];
     let platform = Platform::xentium_manycore(4);
-    let r = compile(
-        uc.program.clone(),
-        uc.entry,
-        &platform,
-        &ToolchainConfig::default(),
-    )
-    .unwrap();
+    let r = Toolflow::new(uc.program.clone(), uc.entry)
+        .platform(&platform)
+        .config(ToolchainConfig::default())
+        .run()
+        .unwrap();
     g.bench_function("simulate_polka_4core", |b| {
         b.iter(|| {
             let s = simulate(

@@ -1,4 +1,4 @@
-//! E8: manual fork-join WCET (parMERASA-style, ref [4]) vs ARGO's
+//! E8: manual fork-join WCET (parMERASA-style, ref \[4\]) vs ARGO's
 //! schedule-aware bound — quantifies what schedule knowledge buys.
 use std::process::ExitCode;
 

@@ -9,7 +9,7 @@
 //! quantify each claim of §§ I–III instead (see DESIGN.md § 5).
 
 use argo_adl::{Arbitration, CacheConfig, Platform};
-use argo_core::{compile, SchedulerKind, ToolchainConfig};
+use argo_core::{CollectingObserver, SchedulerKind, Stage, ToolchainConfig, Toolflow};
 use argo_htg::Granularity;
 use argo_sched::anneal::SimulatedAnnealing;
 use argo_sched::bnb::BranchAndBound;
@@ -21,20 +21,24 @@ use argo_wcet::system::MhpMode;
 use std::fmt::Write as _;
 
 /// E1 (Fig. 1): the complete tool flow on all three use cases.
+///
+/// Driven through observed [`Toolflow`] sessions: the trailing line
+/// counts the paired stage events the driver emitted, pinning the
+/// observability contract into the experiment table (deterministic —
+/// no wall-clock values reach stdout).
 pub fn e1_toolflow() -> String {
     let mut out = String::from(
         "E1 (Fig.1) end-to-end tool flow — 4-core WRR bus\n\
          use-case     tasks  signals  seq-WCET   par-WCET  speedup  observed  sound\n",
     );
     let platform = Platform::xentium_manycore(4);
+    let obs = CollectingObserver::new();
     for uc in argo_apps::all_use_cases(42) {
-        let r = compile(
-            uc.program.clone(),
-            uc.entry,
-            &platform,
-            &ToolchainConfig::default(),
-        )
-        .expect("compile");
+        let r = Toolflow::new(uc.program.clone(), uc.entry)
+            .platform(&platform)
+            .observer(&obs)
+            .run()
+            .expect("compile");
         let sim = simulate(
             &r.parallel,
             &platform,
@@ -59,6 +63,14 @@ pub fn e1_toolflow() -> String {
             },
         );
     }
+    assert!(obs.well_nested(), "stage events must be well-nested");
+    let _ = writeln!(
+        out,
+        "(toolflow stages observed: {} frontend / {} backend pairs, {} feedback rounds)",
+        obs.finished_count(Stage::Frontend),
+        obs.finished_count(Stage::Backend),
+        obs.feedback_rounds().len(),
+    );
     out
 }
 
@@ -73,13 +85,10 @@ pub fn e2_wcet_speedup(core_counts: &[usize]) -> String {
         let _ = write!(out, "{:<12}", uc.name);
         for &cores in core_counts {
             let platform = Platform::xentium_manycore(cores);
-            let r = compile(
-                uc.program.clone(),
-                uc.entry,
-                &platform,
-                &ToolchainConfig::default(),
-            )
-            .expect("compile");
+            let r = Toolflow::new(uc.program.clone(), uc.entry)
+                .platform(&platform)
+                .run()
+                .expect("compile");
             let _ = write!(out, "{:>8.2}x", r.wcet_speedup());
         }
         out.push('\n');
@@ -125,7 +134,11 @@ pub fn e3_tightness() -> String {
                 mhp,
                 ..Default::default()
             };
-            let r = compile(program.clone(), entry, &platform, &cfg).expect("compile");
+            let r = Toolflow::new(program.clone(), entry)
+                .platform(&platform)
+                .config(cfg)
+                .run()
+                .expect("compile");
             let sim = simulate(&r.parallel, &platform, args.clone(), &SimConfig::default())
                 .expect("simulate");
             let _ = writeln!(
@@ -260,13 +273,10 @@ pub fn e6_arch_predictability() -> String {
         ),
     ];
     for (name, platform) in variants {
-        let r = compile(
-            uc.program.clone(),
-            uc.entry,
-            &platform,
-            &ToolchainConfig::default(),
-        )
-        .expect("compile");
+        let r = Toolflow::new(uc.program.clone(), uc.entry)
+            .platform(&platform)
+            .run()
+            .expect("compile");
         let sim = simulate(
             &r.parallel,
             &platform,
@@ -318,12 +328,12 @@ pub fn e7_granularity() -> String {
     out
 }
 
-/// E8: ARGO schedule-aware bound vs manual fork-join (parMERASA, ref [4]).
+/// E8: ARGO schedule-aware bound vs manual fork-join (parMERASA, ref \[4\]).
 ///
 /// ARGO uses the window-MHP bound — legitimate because the generated
 /// schedule is enforced time-triggered; the manual version has no
 /// schedule knowledge, so every access is all-contend and every level
-/// pays a barrier. This is precisely the asymmetry ref [4] observed.
+/// pays a barrier. This is precisely the asymmetry ref \[4\] observed.
 pub fn e8_parmerasa() -> String {
     let mut out = String::from(
         "E8 manual fork-join vs ARGO schedule-aware WCET (4-core WRR)\n\
@@ -335,7 +345,11 @@ pub fn e8_parmerasa() -> String {
         ..Default::default()
     };
     for uc in argo_apps::all_use_cases(42) {
-        let r = compile(uc.program.clone(), uc.entry, &platform, &cfg).expect("compile");
+        let r = Toolflow::new(uc.program.clone(), uc.entry)
+            .platform(&platform)
+            .config(cfg.clone())
+            .run()
+            .expect("compile");
         let manual = argo_wcet::system::manual_fork_join_bound(
             &r.parallel.graph,
             &platform,
@@ -365,7 +379,11 @@ pub fn e8_parmerasa() -> String {
         }
     "#;
     let program = argo_ir::parse::parse_program(src).expect("pipeline source");
-    let r = compile(program, "main", &platform, &cfg).expect("compile");
+    let r = Toolflow::new(program, "main")
+        .platform(&platform)
+        .config(cfg)
+        .run()
+        .expect("compile");
     let manual = argo_wcet::system::manual_fork_join_bound(
         &r.parallel.graph,
         &platform,
@@ -392,13 +410,10 @@ pub fn e2b_wcet_gap() -> String {
     );
     let platform = Platform::xentium_manycore(4);
     for uc in argo_apps::all_use_cases(42) {
-        let r = compile(
-            uc.program.clone(),
-            uc.entry,
-            &platform,
-            &ToolchainConfig::default(),
-        )
-        .expect("compile");
+        let r = Toolflow::new(uc.program.clone(), uc.entry)
+            .platform(&platform)
+            .run()
+            .expect("compile");
         let avg = simulate(
             &r.parallel,
             &platform,
@@ -471,7 +486,11 @@ pub fn compile_with_scheduler(kind: SchedulerKind) -> f64 {
         scheduler: kind,
         ..Default::default()
     };
-    let r = compile(uc.program.clone(), uc.entry, &platform, &cfg).expect("compile");
+    let r = Toolflow::new(uc.program.clone(), uc.entry)
+        .platform(&platform)
+        .config(cfg)
+        .run()
+        .expect("compile");
     r.wcet_speedup()
 }
 
@@ -519,7 +538,7 @@ mod tests {
             let mut platform = Platform::xentium_manycore(1);
             platform.cores[0].spm_bytes = cap;
             let uc = argo_apps::egpws::use_case(42);
-            let direct = compile(
+            let direct = argo_core::compile(
                 uc.program.clone(),
                 uc.entry,
                 &platform,
@@ -546,7 +565,8 @@ mod tests {
                 granularity: g,
                 ..Default::default()
             };
-            let direct = compile(uc.program.clone(), uc.entry, &platform, &cfg).expect("compile");
+            let direct =
+                argo_core::compile(uc.program.clone(), uc.entry, &platform, &cfg).expect("compile");
             let cols: Vec<&str> = line.split_whitespace().collect();
             assert_eq!(
                 cols[1].parse::<usize>().unwrap(),

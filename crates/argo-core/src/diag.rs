@@ -1,0 +1,188 @@
+//! Structured tool-flow diagnostics.
+//!
+//! The legacy driver reported failures as `ToolchainError { stage:
+//! &'static str, msg }` — a stringly-typed pair that callers could only
+//! compare against magic literals. [`Diagnostic`] replaces it with a
+//! typed triple: the pipeline [`Stage`] the failure belongs to, a
+//! machine-matchable [`ErrorCode`], and (when known) the offending
+//! entity (a function, loop, core or variable name), plus a rendered
+//! human-readable message.
+
+use std::fmt;
+
+/// The coarse pipeline stage a session runs (and a diagnostic belongs
+/// to). These are the three artifact-producing stages of the staged
+/// driver — `frontend → seed-costs → backend` — mirroring the cache
+/// tiers of `argo-dse`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Program-side stages: validation, predictability transformations,
+    /// loop-bound value analysis, HTG extraction (§ II-B).
+    Frontend,
+    /// Round-0 code-level WCET seeding (platform-dependent, scheduler-
+    /// independent).
+    SeedCosts,
+    /// Platform-side stages: the schedule ↔ placement ↔ WCET feedback
+    /// loop (§ II-E), parallel model (§ II-C), system-level WCET
+    /// (§ II-D).
+    Backend,
+}
+
+impl Stage {
+    /// Stable lower-case label (used in rendered messages and reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Stage::Frontend => "frontend",
+            Stage::SeedCosts => "seed-costs",
+            Stage::Backend => "backend",
+        }
+    }
+
+    /// All stages in pipeline order.
+    pub fn all() -> [Stage; 3] {
+        [Stage::Frontend, Stage::SeedCosts, Stage::Backend]
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Machine-matchable classification of a tool-flow failure.
+///
+/// See the error-code table in the [crate-level docs](crate) for the
+/// mapping from the legacy stage strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The input (or transformed) program failed IR validation.
+    InvalidProgram,
+    /// The requested entry function does not exist in the program.
+    UnknownEntry,
+    /// A session method that needs a platform was run on a session
+    /// built without [`crate::Toolflow::platform`].
+    MissingPlatform,
+    /// The platform description is inconsistent (zero cores, bad WRR
+    /// weights, mesh overflow, …).
+    InvalidPlatform,
+    /// A predictability transformation (constant folding, DOALL
+    /// chunking) failed.
+    TransformFailed,
+    /// The value analysis could not bound a loop's trip count — WCET
+    /// analysis is impossible for the program as written.
+    UnboundedLoop,
+    /// HTG task extraction failed.
+    ExtractionFailed,
+    /// Task extraction produced no top-level tasks (the entry function
+    /// has no statements to parallelize).
+    EmptyHtg,
+    /// The code-level WCET analysis (function or task level) failed.
+    CodeWcetFailed,
+    /// WCET-directed memory placement failed.
+    MemAssignFailed,
+    /// Construction of the explicitly parallel program model failed.
+    ParallelModelFailed,
+}
+
+impl ErrorCode {
+    /// Stable kebab-case label (used in rendered messages and reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ErrorCode::InvalidProgram => "invalid-program",
+            ErrorCode::UnknownEntry => "unknown-entry",
+            ErrorCode::MissingPlatform => "missing-platform",
+            ErrorCode::InvalidPlatform => "invalid-platform",
+            ErrorCode::TransformFailed => "transform-failed",
+            ErrorCode::UnboundedLoop => "unbounded-loop",
+            ErrorCode::ExtractionFailed => "extraction-failed",
+            ErrorCode::EmptyHtg => "empty-htg",
+            ErrorCode::CodeWcetFailed => "code-wcet-failed",
+            ErrorCode::MemAssignFailed => "mem-assign-failed",
+            ErrorCode::ParallelModelFailed => "parallel-model-failed",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A structured tool-flow failure: stage, code, offending entity and a
+/// rendered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The pipeline stage the failing input/step belongs to.
+    pub stage: Stage,
+    /// Machine-matchable failure classification.
+    pub code: ErrorCode,
+    /// The offending entity when one is known: a function, loop, core,
+    /// platform or variable name.
+    pub entity: Option<String>,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic with no entity.
+    pub fn new(stage: Stage, code: ErrorCode, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            stage,
+            code,
+            entity: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches the offending entity.
+    #[must_use]
+    pub fn with_entity(mut self, entity: impl Into<String>) -> Diagnostic {
+        self.entity = Some(entity.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "toolflow error [{}/{}]", self.stage, self.code)?;
+        if let Some(entity) = &self.entity {
+            write!(f, " at `{entity}`")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_includes_stage_code_and_entity() {
+        let d = Diagnostic::new(Stage::Frontend, ErrorCode::UnknownEntry, "no such function")
+            .with_entity("main2");
+        let s = d.to_string();
+        assert!(s.contains("[frontend/unknown-entry]"), "{s}");
+        assert!(s.contains("`main2`"), "{s}");
+        assert!(s.contains("no such function"), "{s}");
+    }
+
+    #[test]
+    fn rendering_without_entity_omits_backticks() {
+        let d = Diagnostic::new(Stage::Backend, ErrorCode::InvalidPlatform, "no cores");
+        assert_eq!(
+            d.to_string(),
+            "toolflow error [backend/invalid-platform]: no cores"
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Stage::SeedCosts.label(), "seed-costs");
+        assert_eq!(ErrorCode::EmptyHtg.label(), "empty-htg");
+        assert_eq!(Stage::all().len(), 3);
+    }
+}

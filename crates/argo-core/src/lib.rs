@@ -15,28 +15,85 @@
 //! depends on task WCETs — is resolved exactly as § II-E prescribes:
 //! "WCET information is fed back to the previous compilation phases to
 //! enable an iterative optimization of the parallelization process".
-//! [`compile`] starts from a conservative all-shared placement, then
+//! The backend starts from a conservative all-shared placement, then
 //! re-costs, re-schedules and re-places until the assignment stabilises
 //! (bounded by [`ToolchainConfig::feedback_rounds`]).
+//!
+//! ## The `Toolflow` session API
+//!
+//! The driver is a typed, observable, fingerprint-native session:
+//! [`Toolflow`] binds program, entry, platform, config and (optionally)
+//! a [`StageObserver`], then runs the pipeline whole or stage by stage.
+//! Each stage yields an owned [`Artifact`]:
+//! [`FrontendArtifact`] → [`CostTable`] → [`BackendResult`], every one
+//! carrying a canonical content [`Fingerprint`]; [`Platform`] and
+//! [`ToolchainConfig`] are [`Fingerprintable`] too, so caches (see
+//! `argo-dse`) key on API-owned hashes instead of `Debug` formatting.
+//! Failures are structured [`Diagnostic`]s (a [`Stage`], an
+//! [`ErrorCode`], the offending entity, a rendered message).
+//!
+//! ## Migration guide (free functions → sessions)
+//!
+//! The legacy free functions remain as thin wrappers over a default
+//! session, so downstream code has a one-line migration:
+//!
+//! | legacy call | session call |
+//! |-------------|--------------|
+//! | `compile(p, "main", &plat, &cfg)` | `Toolflow::new(p, "main").platform(&plat).config(cfg).run()` |
+//! | `frontend(p, "main", cores, &cfg)` | `Toolflow::new(p, "main").platform(&plat).config(cfg).run_frontend()` |
+//! | `seed_costs(&art, "main", &plat)` | `flow.run_seed_costs(&art)` |
+//! | `backend(art, "main", &plat, &cfg, seed)` | `flow.run_backend(art, seed)` |
+//! | `ToolchainError { stage: "entry", .. }` | `Diagnostic { code: ErrorCode::UnknownEntry, .. }` |
+//! | `format!("{:?}", platform)` cache keys | `platform.fingerprint()` / `flow.frontend_fingerprint()` |
+//!
+//! What sessions add over the free functions: stage observers (paired
+//! start/finish events, per-feedback-round schedule/placement
+//! snapshots) and canonical per-stage input fingerprints
+//! ([`Toolflow::frontend_fingerprint`],
+//! [`Toolflow::seed_cost_fingerprint`]).
+//!
+//! ### Error codes
+//!
+//! [`Diagnostic::code`] replaces the legacy stringly-typed stage names:
+//!
+//! | legacy `stage` string | [`ErrorCode`] | [`Stage`] |
+//! |-----------------------|---------------|-----------|
+//! | `"validate"`, `"validate-post-transform"` | [`ErrorCode::InvalidProgram`] | frontend |
+//! | `"entry"` | [`ErrorCode::UnknownEntry`] | frontend |
+//! | `"transform"`, `"chunk"` | [`ErrorCode::TransformFailed`] | frontend |
+//! | `"loop-bounds"` | [`ErrorCode::UnboundedLoop`] | frontend |
+//! | `"extract"` | [`ErrorCode::ExtractionFailed`] | frontend |
+//! | *(new)* | [`ErrorCode::EmptyHtg`] | frontend/backend |
+//! | `"platform"` | [`ErrorCode::InvalidPlatform`] | backend |
+//! | *(new)* | [`ErrorCode::MissingPlatform`] | backend |
+//! | `"code-wcet"`, `"task-wcet"` | [`ErrorCode::CodeWcetFailed`] | seed-costs/backend |
+//! | `"mem-assign"` | [`ErrorCode::MemAssignFailed`] | backend |
+//! | `"parallel-model"` | [`ErrorCode::ParallelModelFailed`] | backend |
 
-use argo_adl::{MemoryMap, Placement, Platform};
-use argo_htg::accesses::AnnotateCtx;
-use argo_htg::{extract::extract, Granularity, Htg};
+pub mod artifact;
+pub mod diag;
+pub mod fingerprint;
+pub mod observer;
+pub mod session;
+
+pub use artifact::{
+    Artifact, BackendResult, CostTable, FrontendArtifact, TaskCosts, ToolchainResult,
+};
+pub use diag::{Diagnostic, ErrorCode, Stage};
+pub use fingerprint::{Fingerprint, FingerprintHasher, Fingerprintable};
+pub use observer::{
+    CollectingObserver, FeedbackSnapshot, NullObserver, StageEvent, StageObserver, StageSummary,
+    TraceObserver,
+};
+pub use session::Toolflow;
+
+pub(crate) use session::feed_frontend_config;
+
+use argo_adl::Platform;
+use argo_htg::Granularity;
 use argo_ir::ast::Program;
-use argo_parir::ParallelProgram;
-use argo_sched::anneal::SimulatedAnnealing;
-use argo_sched::bnb::BranchAndBound;
-use argo_sched::list::ListScheduler;
-use argo_sched::{evaluate_assignment, CommModel, SchedCtx, Schedule, Scheduler, TaskGraph};
-use argo_transform::chunk::chunk_all_parallel_loops;
-use argo_transform::fold::ConstantFold;
-use argo_transform::Pass;
-use argo_wcet::cost::CostCtx;
-use argo_wcet::schema::{function_wcets, stmt_ids_wcet};
-use argo_wcet::system::{analyze, task_shared_accesses, MhpMode, SystemWcet};
-use argo_wcet::value::{loop_bounds, LoopBounds, ValueCtx};
-use std::collections::BTreeMap;
-use std::fmt;
+use argo_wcet::system::MhpMode;
+use argo_wcet::value::ValueCtx;
 
 /// Which scheduler the mapping stage uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,376 +138,83 @@ impl Default for ToolchainConfig {
     }
 }
 
-/// Everything the tool-chain produced for one program/platform pair.
-#[derive(Debug, Clone)]
-pub struct ToolchainResult {
-    /// The explicitly parallel program (schedule, plans, memory map).
-    pub parallel: ParallelProgram,
-    /// System-level WCET analysis result; `system.bound` is the headline
-    /// guaranteed parallel WCET.
-    pub system: SystemWcet,
-    /// WCET bound of the same task set executed sequentially on one core
-    /// (with the same memory map) — the speedup baseline.
-    pub sequential_bound: u64,
-    /// Per-task isolated WCETs (final feedback round).
-    pub iso_costs: Vec<u64>,
-    /// Per-task worst-case shared-access counts.
-    pub shared_accesses: Vec<u64>,
-    /// Loop bounds used by the code-level analysis.
-    pub bounds: LoopBounds,
-    /// The HTG (post-transformation).
-    pub htg: Htg,
-    /// Feedback iterations actually performed.
-    pub feedback_iterations: u32,
-}
-
-impl ToolchainResult {
-    /// Guaranteed WCET speedup of the parallel version over sequential
-    /// execution (values < 1 mean parallelization did not pay off).
-    pub fn wcet_speedup(&self) -> f64 {
-        self.sequential_bound as f64 / self.system.bound.max(1) as f64
-    }
-
-    /// Human-readable summary report.
-    pub fn report(&self) -> String {
-        use std::fmt::Write as _;
-        let mut s = String::new();
-        let _ = writeln!(
-            s,
-            "ARGO tool-chain report — entry `{}`",
-            self.parallel.entry
-        );
-        let _ = writeln!(
-            s,
-            "  tasks: {}   signals: {}   feedback iterations: {}",
-            self.parallel.graph.len(),
-            self.parallel.sync_count(),
-            self.feedback_iterations
-        );
-        let _ = writeln!(
-            s,
-            "  sequential WCET bound: {:>12} cycles",
-            self.sequential_bound
-        );
-        let _ = writeln!(
-            s,
-            "  parallel   WCET bound: {:>12} cycles",
-            self.system.bound
-        );
-        let _ = writeln!(s, "  guaranteed speedup:    {:>12.2}x", self.wcet_speedup());
-        let _ = writeln!(s, "  per-task (iso → inflated, contenders):");
-        for t in 0..self.parallel.graph.len() {
-            let _ = writeln!(
-                s,
-                "    {:<24} core{} {:>9} → {:>9}  k={}",
-                self.parallel.graph.names[t],
-                self.parallel.schedule.assignment[t].0,
-                self.system.iso_wcet[t],
-                self.system.task_wcet[t],
-                self.system.contenders[t],
-            );
-        }
-        s
-    }
-}
-
-/// Tool-chain error.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ToolchainError {
-    /// The stage that failed.
-    pub stage: &'static str,
-    /// Human-readable message.
-    pub msg: String,
-}
-
-impl fmt::Display for ToolchainError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "tool-chain error in {}: {}", self.stage, self.msg)
-    }
-}
-
-impl std::error::Error for ToolchainError {}
-
-fn stage_err<E: fmt::Display>(stage: &'static str) -> impl Fn(E) -> ToolchainError {
-    move |e| ToolchainError {
-        stage,
-        msg: e.to_string(),
-    }
-}
-
-/// The reusable result of the program-side compilation stages: the
-/// transformed program, its loop bounds and the annotated HTG.
-///
-/// Two exploration points that share `(program, entry, granularity,
-/// chunking, core count, value context)` produce *identical* frontend
-/// artifacts regardless of platform, scheduler or memory configuration —
-/// which is what makes them cacheable across a design-space sweep
-/// (see the `argo-dse` crate).
-#[derive(Debug, Clone)]
-pub struct FrontendArtifact {
-    /// The program after predictability transformations.
-    pub program: Program,
-    /// Loop bounds from the value analysis.
-    pub bounds: LoopBounds,
-    /// The extracted, access-annotated HTG.
-    pub htg: Htg,
-}
-
-/// Per-task isolated code-level WCETs, keyed by HTG task id.
-pub type TaskCosts = BTreeMap<argo_htg::TaskId, u64>;
-
 /// Runs the program-side stages: validation, predictability
 /// transformations (§ II-B), loop-bound value analysis and HTG task
 /// extraction with access annotation.
 ///
-/// `core_count` is the only platform property the frontend observes (it
-/// controls DOALL chunking); pass `platform.core_count()` when driving a
-/// single compile, or the point's core count when sweeping a design space.
+/// Thin wrapper over a default (observer-less) session; see
+/// [`Toolflow::run_frontend`]. `core_count` is the only platform
+/// property the frontend observes (it controls DOALL chunking); pass
+/// `platform.core_count()` when driving a single compile, or the
+/// point's core count when sweeping a design space.
 ///
 /// # Errors
 ///
-/// Returns [`ToolchainError`] naming the failing stage: validation, entry
-/// lookup, transformation, loop-bound analysis or extraction.
+/// Returns a [`Diagnostic`] naming the failing step.
 pub fn frontend(
-    mut program: Program,
+    program: Program,
     entry: &str,
     core_count: usize,
     cfg: &ToolchainConfig,
-) -> Result<FrontendArtifact, ToolchainError> {
-    argo_ir::validate::validate(&program).map_err(stage_err("validate"))?;
-    if program.function(entry).is_none() {
-        return Err(ToolchainError {
-            stage: "entry",
-            msg: format!("no function `{entry}` in program"),
-        });
-    }
-
-    // --- Program analysis & predictability transformations (§ II-B).
-    ConstantFold
-        .run(&mut program)
-        .map_err(stage_err("transform"))?;
-    program.renumber();
-    if cfg.chunk_loops && core_count > 1 {
-        chunk_all_parallel_loops(&mut program, entry, core_count).map_err(stage_err("chunk"))?;
-        ConstantFold
-            .run(&mut program)
-            .map_err(stage_err("transform"))?;
-        program.renumber();
-    }
-    argo_ir::validate::validate(&program).map_err(stage_err("validate-post-transform"))?;
-
-    // --- Loop bounds (value analysis).
-    let bounds = loop_bounds(&program, entry, &cfg.value_ctx).map_err(stage_err("loop-bounds"))?;
-
-    // --- Task extraction (HTG) + access annotation.
-    let mut htg = extract(&program, entry, cfg.granularity).map_err(stage_err("extract"))?;
-    let actx = AnnotateCtx {
-        bounds: bounds.clone(),
-        default_bound: 1,
-    };
-    argo_htg::accesses::annotate(&mut htg, &program, &actx);
-
-    Ok(FrontendArtifact {
-        program,
-        bounds,
-        htg,
-    })
+) -> Result<FrontendArtifact, Diagnostic> {
+    session::run_frontend_impl(program, entry, core_count, cfg, None)
 }
 
 /// Computes the feedback round-0 code-level WCETs: every task costed on
 /// core 0 with the conservative all-shared memory placement.
 ///
-/// This table depends only on `(artifact, entry, platform)` — not on the
-/// scheduler or MHP mode — so design-space points that share a platform
-/// and program can reuse it (the second cache tier of `argo-dse`).
+/// Thin wrapper over a default session; see
+/// [`Toolflow::run_seed_costs`].
 ///
 /// # Errors
 ///
-/// Returns [`ToolchainError`] if the code-level analysis fails.
+/// Returns a [`Diagnostic`] if the code-level analysis fails.
 pub fn seed_costs(
     artifact: &FrontendArtifact,
     entry: &str,
     platform: &Platform,
-) -> Result<TaskCosts, ToolchainError> {
-    let mem = all_shared_map(&artifact.program, entry);
-    let ctx = CostCtx::new(&artifact.program, platform, argo_adl::CoreId(0), 1, &mem);
-    let fw = function_wcets(&ctx, &artifact.bounds).map_err(stage_err("code-wcet"))?;
-    let mut costs: TaskCosts = BTreeMap::new();
-    for &tid in &artifact.htg.top_level {
-        let task = artifact.htg.task(tid);
-        let w = stmt_ids_wcet(&ctx, &artifact.bounds, &fw, entry, &task.stmts)
-            .map_err(stage_err("task-wcet"))?;
-        costs.insert(tid, w.max(1));
-    }
-    Ok(costs)
+) -> Result<CostTable, Diagnostic> {
+    session::run_seed_costs_impl(artifact, entry, platform, None)
 }
 
 /// Runs the platform-side stages on a frontend artifact: the iterative
 /// schedule ↔ placement ↔ WCET feedback loop (§ II-E), parallel model
 /// construction (§ II-C) and system-level WCET analysis (§ II-D).
 ///
-/// `seed` optionally supplies the round-0 task costs (as produced by
-/// [`seed_costs`] for the same artifact and platform), skipping the first
-/// code-level WCET pass. Passing `None` computes them in place; the result
-/// is identical either way.
+/// Thin wrapper over a default session; see [`Toolflow::run_backend`].
 ///
 /// # Errors
 ///
-/// Returns [`ToolchainError`] naming the failing stage.
+/// Returns a [`Diagnostic`] naming the failing step.
 pub fn backend(
     artifact: FrontendArtifact,
     entry: &str,
     platform: &Platform,
     cfg: &ToolchainConfig,
-    seed: Option<&TaskCosts>,
-) -> Result<ToolchainResult, ToolchainError> {
-    platform.validate().map_err(stage_err("platform"))?;
-    let FrontendArtifact {
-        program,
-        bounds,
-        htg,
-    } = artifact;
-
-    // --- Iterative schedule ↔ placement ↔ WCET loop (§ II-E).
-    let mut mem = all_shared_map(&program, entry);
-    let mut assignment: Option<Vec<argo_adl::CoreId>> = None;
-    let mut schedule: Option<Schedule> = None;
-    let mut graph = TaskGraph::default();
-    let mut iso_costs: Vec<u64> = Vec::new();
-    let mut iterations = 0;
-    for round in 0..cfg.feedback_rounds.max(1) {
-        iterations = round + 1;
-        // Code-level WCET per task, on its (current) core, isolated. The
-        // function-WCET table only depends on the core, so it is computed
-        // once per distinct core rather than once per task.
-        let costs: TaskCosts = match (round, seed) {
-            (0, Some(seeded)) => seeded.clone(),
-            _ => {
-                let mut costs: TaskCosts = BTreeMap::new();
-                let mut fw_by_core: BTreeMap<argo_adl::CoreId, _> = BTreeMap::new();
-                for (idx, &tid) in htg.top_level.iter().enumerate() {
-                    let core = match &assignment {
-                        Some(a) => a[idx],
-                        None => argo_adl::CoreId(0),
-                    };
-                    let ctx = CostCtx::new(&program, platform, core, 1, &mem);
-                    if let std::collections::btree_map::Entry::Vacant(e) = fw_by_core.entry(core) {
-                        let fw = function_wcets(&ctx, &bounds).map_err(stage_err("code-wcet"))?;
-                        e.insert(fw);
-                    }
-                    let fw = &fw_by_core[&core];
-                    let task = htg.task(tid);
-                    let w = stmt_ids_wcet(&ctx, &bounds, fw, entry, &task.stmts)
-                        .map_err(stage_err("task-wcet"))?;
-                    costs.insert(tid, w.max(1));
-                }
-                costs
-            }
-        };
-        graph = TaskGraph::from_htg(&htg, &costs);
-        iso_costs = graph.cost.clone();
-
-        // Mapping/scheduling stage.
-        let ctx = SchedCtx {
-            platform,
-            comm: CommModel::SignalOnly,
-        };
-        let sched: Schedule = match cfg.scheduler {
-            SchedulerKind::List => ListScheduler::new().schedule(&graph, &ctx),
-            SchedulerKind::BranchAndBound => BranchAndBound::new().schedule(&graph, &ctx),
-            SchedulerKind::Anneal => SimulatedAnnealing::new().schedule(&graph, &ctx),
-        };
-        let stable = assignment.as_ref() == Some(&sched.assignment);
-        assignment = Some(sched.assignment.clone());
-        schedule = Some(sched);
-
-        // Memory placement for the new mapping (WCET fed back).
-        mem = argo_parir::mem_assign::assign(
-            &program,
-            &htg,
-            &graph,
-            schedule.as_ref().expect("just set"),
-            platform,
-        )
-        .map_err(stage_err("mem-assign"))?;
-        if stable {
-            break;
-        }
-    }
-    let schedule = schedule.expect("at least one round");
-
-    // --- Parallel program model (§ II-C).
-    let parallel = ParallelProgram::build(program, &htg, graph, schedule, platform)
-        .map_err(stage_err("parallel-model"))?;
-
-    // --- System-level WCET (§ II-D).
-    let shared_accesses = task_shared_accesses(&htg, &parallel.graph, &parallel.memory_map);
-    let system = analyze(&parallel, platform, &iso_costs, &shared_accesses, cfg.mhp);
-
-    // --- Sequential baseline: same tasks, one core, no parallel overlap.
-    let seq_ctx = SchedCtx {
-        platform,
-        comm: CommModel::SignalOnly,
-    };
-    let seq = evaluate_assignment(
-        &parallel.graph,
-        &seq_ctx,
-        &vec![argo_adl::CoreId(0); parallel.graph.len()],
-    );
-    let sequential_bound = seq.makespan();
-
-    Ok(ToolchainResult {
-        parallel,
-        system,
-        sequential_bound,
-        iso_costs,
-        shared_accesses,
-        bounds,
-        htg,
-        feedback_iterations: iterations,
-    })
+    seed: Option<&CostTable>,
+) -> Result<BackendResult, Diagnostic> {
+    session::run_backend_impl(artifact, entry, platform, cfg, seed, None)
 }
 
-/// Runs the complete ARGO flow on `program` for `platform`:
-/// [`frontend`] followed by [`backend`].
+/// Runs the complete ARGO flow on `program` for `platform` — a thin
+/// wrapper over a default [`Toolflow`] session (the one-line migration
+/// path for legacy callers).
 ///
 /// # Errors
 ///
-/// Returns [`ToolchainError`] naming the failing stage: validation,
-/// transformation, loop-bound analysis, extraction, WCET or parallel-model
-/// construction.
+/// Returns a [`Diagnostic`] naming the failing step: validation,
+/// transformation, loop-bound analysis, extraction, WCET or
+/// parallel-model construction.
 pub fn compile(
     program: Program,
     entry: &str,
     platform: &Platform,
     cfg: &ToolchainConfig,
-) -> Result<ToolchainResult, ToolchainError> {
-    platform.validate().map_err(stage_err("platform"))?;
-    let artifact = frontend(program, entry, platform.core_count(), cfg)?;
-    backend(artifact, entry, platform, cfg, None)
-}
-
-/// The conservative round-0 placement: every array in shared memory.
-fn all_shared_map(program: &Program, entry: &str) -> MemoryMap {
-    let mut map = MemoryMap::new();
-    let Some(f) = program.function(entry) else {
-        return map;
-    };
-    let mut cursor = 0u64;
-    for (name, ty) in argo_ir::validate::symbol_table(f) {
-        if ty.is_array() {
-            map.insert(
-                name,
-                Placement {
-                    space: argo_adl::MemSpace::Shared,
-                    base_addr: cursor,
-                    size_bytes: ty.size_bytes(),
-                },
-            );
-            cursor += ty.size_bytes();
-        }
-    }
-    map
+) -> Result<BackendResult, Diagnostic> {
+    Toolflow::new(program, entry)
+        .platform(platform)
+        .config(cfg.clone())
+        .run()
 }
 
 #[cfg(test)]
@@ -539,7 +303,7 @@ mod tests {
     }
 
     #[test]
-    fn unknown_entry_is_reported_with_stage() {
+    fn unknown_entry_is_reported_with_code_and_entity() {
         let program = parse_program(MAP_REDUCE).unwrap();
         let platform = Platform::xentium_manycore(2);
         let err = compile(
@@ -549,7 +313,107 @@ mod tests {
             &ToolchainConfig::default(),
         )
         .unwrap_err();
-        assert_eq!(err.stage, "entry");
+        assert_eq!(err.stage, Stage::Frontend);
+        assert_eq!(err.code, ErrorCode::UnknownEntry);
+        assert_eq!(err.entity.as_deref(), Some("nonexistent"));
+    }
+
+    #[test]
+    fn zero_core_platform_is_an_invalid_platform_diagnostic() {
+        let program = parse_program(MAP_REDUCE).unwrap();
+        let platform = Platform::xentium_manycore(0);
+        let err = compile(program, "main", &platform, &ToolchainConfig::default()).unwrap_err();
+        assert_eq!(err.code, ErrorCode::InvalidPlatform);
+        assert_eq!(err.stage, Stage::Backend);
+        assert!(err.message.contains("no cores"), "{err}");
+    }
+
+    #[test]
+    fn empty_function_body_is_an_empty_htg_diagnostic() {
+        let src = "void main(real a[8]) { }";
+        let program = parse_program(src).unwrap();
+        let platform = Platform::xentium_manycore(2);
+        let err = compile(program, "main", &platform, &ToolchainConfig::default()).unwrap_err();
+        assert_eq!(err.code, ErrorCode::EmptyHtg);
+        assert_eq!(err.entity.as_deref(), Some("main"));
+    }
+
+    #[test]
+    fn unbounded_loop_is_an_unbounded_loop_diagnostic() {
+        let src = r#"
+            void main(int n, real a[8]) {
+                int i;
+                for (i = 0; i < n; i = i + 1) { a[0] = a[0] + 1.0; }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let platform = Platform::xentium_manycore(2);
+        // No value context bounds `n`, so the trip count is unboundable.
+        let err = compile(program, "main", &platform, &ToolchainConfig::default()).unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnboundedLoop);
+        assert_eq!(err.stage, Stage::Frontend);
+    }
+
+    #[test]
+    fn session_without_platform_reports_missing_platform() {
+        let program = parse_program(MAP_REDUCE).unwrap();
+        let flow = Toolflow::new(program, "main");
+        let err = flow.run().unwrap_err();
+        assert_eq!(err.code, ErrorCode::MissingPlatform);
+        // The diagnostic names the stage of the operation that was
+        // attempted, not a fixed one.
+        assert_eq!(
+            flow.frontend_fingerprint().unwrap_err().stage,
+            Stage::Frontend
+        );
+        assert_eq!(
+            flow.seed_cost_fingerprint().unwrap_err().stage,
+            Stage::SeedCosts
+        );
+        assert_eq!(flow.run_frontend().unwrap_err().stage, Stage::Frontend);
+    }
+
+    #[test]
+    fn failing_stage_emits_error_event_and_stays_well_nested() {
+        let obs = CollectingObserver::new();
+        let program = parse_program(MAP_REDUCE).unwrap();
+        let platform = Platform::xentium_manycore(2);
+        let flow = Toolflow::new(program, "nonexistent")
+            .platform(&platform)
+            .observer(&obs);
+        let err = flow.run_frontend().unwrap_err();
+        assert_eq!(err.code, ErrorCode::UnknownEntry);
+        // A failing stage is still closed: started → errored, never a
+        // dangling start (a shared observer must survive failing points).
+        assert!(obs.well_nested());
+        let errors = obs.errors();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].0, Stage::Frontend);
+        assert_eq!(errors[0].1.code, ErrorCode::UnknownEntry);
+        assert_eq!(obs.finished_count(Stage::Frontend), 0);
+    }
+
+    #[test]
+    fn borrowed_session_with_fingerprint_hint_matches_owned() {
+        let program = parse_program(MAP_REDUCE).unwrap();
+        let platform = Platform::xentium_manycore(4);
+        let owned = Toolflow::new(program.clone(), "main").platform(&platform);
+        let fp = owned.program_fingerprint();
+        let hinted = Toolflow::borrowed(&program, "main")
+            .platform(&platform)
+            .with_program_fingerprint(fp);
+        assert_eq!(hinted.program_fingerprint(), fp);
+        assert_eq!(
+            owned.frontend_fingerprint().unwrap(),
+            hinted.frontend_fingerprint().unwrap()
+        );
+        assert_eq!(
+            owned.seed_cost_fingerprint().unwrap(),
+            hinted.seed_cost_fingerprint().unwrap()
+        );
+        let a = owned.run_frontend().unwrap();
+        let b = hinted.run_frontend().unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]
@@ -575,17 +439,22 @@ mod tests {
     }
 
     #[test]
-    fn staged_pipeline_matches_monolithic_compile() {
+    fn staged_session_matches_monolithic_compile() {
         let program = parse_program(MAP_REDUCE).unwrap();
         let platform = Platform::xentium_manycore(4);
         let cfg = ToolchainConfig::default();
         let whole = compile(program.clone(), "main", &platform, &cfg).unwrap();
-        let art = frontend(program, "main", platform.core_count(), &cfg).unwrap();
-        let staged = backend(art, "main", &platform, &cfg, None).unwrap();
+        let flow = Toolflow::new(program, "main")
+            .platform(&platform)
+            .config(cfg);
+        let art = flow.run_frontend().unwrap();
+        let staged = flow.run_backend(art, None).unwrap();
         assert_eq!(whole.system, staged.system);
         assert_eq!(whole.sequential_bound, staged.sequential_bound);
         assert_eq!(whole.iso_costs, staged.iso_costs);
         assert_eq!(whole.feedback_iterations, staged.feedback_iterations);
+        assert_eq!(whole.report(), staged.report());
+        assert_eq!(whole.fingerprint(), staged.fingerprint());
     }
 
     #[test]
@@ -601,10 +470,13 @@ mod tests {
                 scheduler: sk,
                 ..Default::default()
             };
-            let art = frontend(program.clone(), "main", platform.core_count(), &cfg).unwrap();
-            let costs = seed_costs(&art, "main", &platform).unwrap();
-            let seeded = backend(art.clone(), "main", &platform, &cfg, Some(&costs)).unwrap();
-            let plain = backend(art, "main", &platform, &cfg, None).unwrap();
+            let flow = Toolflow::new(program.clone(), "main")
+                .platform(&platform)
+                .config(cfg);
+            let art = flow.run_frontend().unwrap();
+            let costs = flow.run_seed_costs(&art).unwrap();
+            let seeded = flow.run_backend(art.clone(), Some(&costs)).unwrap();
+            let plain = flow.run_backend(art, None).unwrap();
             assert_eq!(seeded.system, plain.system);
             assert_eq!(seeded.iso_costs, plain.iso_costs);
             assert_eq!(seeded.sequential_bound, plain.sequential_bound);
@@ -621,6 +493,83 @@ mod tests {
             argo_ir::printer::print_program(&b.program)
         );
         assert_eq!(a.htg, b.htg);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn stage_fingerprints_separate_what_stages_observe() {
+        let program = parse_program(MAP_REDUCE).unwrap();
+        let p4 = Platform::xentium_manycore(4);
+        let p4b = Platform::xentium_manycore(4);
+        let p2 = Platform::xentium_manycore(2);
+        let base = Toolflow::new(program.clone(), "main").platform(&p4);
+        let same = Toolflow::new(program.clone(), "main").platform(&p4b);
+        // Equal inputs → equal keys.
+        assert_eq!(
+            base.frontend_fingerprint().unwrap(),
+            same.frontend_fingerprint().unwrap()
+        );
+        assert_eq!(
+            base.seed_cost_fingerprint().unwrap(),
+            same.seed_cost_fingerprint().unwrap()
+        );
+        // A backend-only axis (scheduler) leaves both stage keys alone.
+        let sched = Toolflow::new(program.clone(), "main")
+            .platform(&p4)
+            .config(ToolchainConfig {
+                scheduler: SchedulerKind::Anneal,
+                ..Default::default()
+            });
+        assert_eq!(
+            base.frontend_fingerprint().unwrap(),
+            sched.frontend_fingerprint().unwrap()
+        );
+        assert_eq!(
+            base.seed_cost_fingerprint().unwrap(),
+            sched.seed_cost_fingerprint().unwrap()
+        );
+        // Core count changes the frontend key (chunking observes it).
+        let cores = Toolflow::new(program.clone(), "main").platform(&p2);
+        assert_ne!(
+            base.frontend_fingerprint().unwrap(),
+            cores.frontend_fingerprint().unwrap()
+        );
+        // An SPM-only platform change keeps the frontend key but moves
+        // the seed-costs key.
+        let mut spm_platform = Platform::xentium_manycore(4);
+        spm_platform.cores[0].spm_bytes = 1234;
+        let spm = Toolflow::new(program, "main").platform(&spm_platform);
+        assert_eq!(
+            base.frontend_fingerprint().unwrap(),
+            spm.frontend_fingerprint().unwrap()
+        );
+        assert_ne!(
+            base.seed_cost_fingerprint().unwrap(),
+            spm.seed_cost_fingerprint().unwrap()
+        );
+    }
+
+    #[test]
+    fn observer_sees_paired_events_and_feedback_rounds() {
+        let program = parse_program(MAP_REDUCE).unwrap();
+        let platform = Platform::xentium_manycore(4);
+        let obs = CollectingObserver::new();
+        let flow = Toolflow::new(program, "main")
+            .platform(&platform)
+            .observer(&obs);
+        let art = flow.run_frontend().unwrap();
+        let costs = flow.run_seed_costs(&art).unwrap();
+        let r = flow.run_backend(art, Some(&costs)).unwrap();
+        assert!(obs.well_nested());
+        assert_eq!(obs.finished_count(Stage::Frontend), 1);
+        assert_eq!(obs.finished_count(Stage::SeedCosts), 1);
+        assert_eq!(obs.finished_count(Stage::Backend), 1);
+        let rounds = obs.feedback_rounds();
+        assert_eq!(rounds.len() as u32, r.feedback_iterations);
+        assert!(rounds.last().unwrap().stable || rounds.len() == 3);
+        for snap in &rounds {
+            assert_eq!(snap.assignment.len(), r.parallel.graph.len());
+        }
     }
 
     #[test]

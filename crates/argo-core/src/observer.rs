@@ -1,0 +1,367 @@
+//! Stage observability: typed hooks into a running [`Toolflow`] session.
+//!
+//! The paper's toolflow (Fig. 1) is an *iterative* pipeline — WCET
+//! information feeds back into scheduling and placement — but the legacy
+//! driver gave callers no way to watch it: DSE sweeps and experiment
+//! binaries hand-rolled wall-clock timing around opaque `compile()`
+//! calls. A [`StageObserver`] attached via
+//! [`Toolflow::observer`](crate::Toolflow::observer) receives:
+//!
+//! * paired `on_stage_start` / `on_stage_finish` events for every
+//!   pipeline [`Stage`] the session runs, the finish event carrying a
+//!   [`StageSummary`] with the produced artifact's canonical
+//!   [`Fingerprint`], a human-readable detail line, and the elapsed
+//!   wall time;
+//! * one [`FeedbackSnapshot`] per § II-E feedback round inside the
+//!   backend, exposing the round's schedule (assignment + makespan) and
+//!   memory placement so convergence can be traced.
+//!
+//! Observer methods take `&self` so one observer can be shared across
+//! threads (e.g. one per DSE sweep); stateful observers use interior
+//! mutability, as [`CollectingObserver`] does.
+//!
+//! [`Toolflow`]: crate::Toolflow
+
+use crate::diag::Stage;
+use crate::fingerprint::Fingerprint;
+use argo_adl::CoreId;
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What a finished stage produced: fingerprint, description, timing.
+#[derive(Debug, Clone)]
+pub struct StageSummary {
+    /// The stage that finished.
+    pub stage: Stage,
+    /// Canonical fingerprint of the artifact the stage produced.
+    pub fingerprint: Fingerprint,
+    /// Short human-readable description (task counts, bounds, …).
+    pub detail: String,
+    /// Wall-clock time the stage took.
+    pub elapsed: Duration,
+}
+
+/// One § II-E feedback round inside the backend: the round's schedule
+/// and memory placement, for convergence tracing.
+#[derive(Debug, Clone)]
+pub struct FeedbackSnapshot {
+    /// Round index (0-based).
+    pub round: u32,
+    /// Task → core mapping the scheduler chose this round.
+    pub assignment: Vec<CoreId>,
+    /// Interference-free makespan of this round's schedule.
+    pub makespan: u64,
+    /// Arrays the placement put in a scratchpad this round.
+    pub spm_resident: usize,
+    /// Arrays left in shared memory this round.
+    pub shared_resident: usize,
+    /// `true` when the assignment matched the previous round's (the
+    /// feedback loop stops after a stable round).
+    pub stable: bool,
+}
+
+/// Hooks into a running toolflow session. All methods have empty
+/// defaults; implement only what you need.
+///
+/// Every started stage is closed by exactly one terminal event:
+/// `on_stage_finish` on success, `on_stage_error` on failure — so
+/// event streams stay well-nested even across failing points (a DSE
+/// sweep routinely mixes both on one shared observer).
+pub trait StageObserver {
+    /// A pipeline stage is about to run.
+    fn on_stage_start(&self, stage: Stage) {
+        let _ = stage;
+    }
+
+    /// A pipeline stage finished, producing the summarized artifact.
+    fn on_stage_finish(&self, summary: &StageSummary) {
+        let _ = summary;
+    }
+
+    /// A pipeline stage failed with the given diagnostic (the terminal
+    /// event for that stage — no `on_stage_finish` follows).
+    fn on_stage_error(&self, stage: Stage, diagnostic: &crate::Diagnostic) {
+        let _ = (stage, diagnostic);
+    }
+
+    /// One backend feedback round completed.
+    fn on_feedback_round(&self, snapshot: &FeedbackSnapshot) {
+        let _ = snapshot;
+    }
+}
+
+/// The do-nothing observer (default for sessions without one).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl StageObserver for NullObserver {}
+
+/// One recorded observer callback, in arrival order.
+#[derive(Debug, Clone)]
+pub enum StageEvent {
+    /// `on_stage_start`.
+    Started(Stage),
+    /// `on_stage_finish`.
+    Finished(StageSummary),
+    /// `on_stage_error`.
+    Errored(Stage, crate::Diagnostic),
+    /// `on_feedback_round`.
+    Feedback(FeedbackSnapshot),
+}
+
+/// An observer that records every event, for tests, reports and
+/// post-hoc timing. Thread-safe: events from concurrent sessions
+/// interleave but each session's own events stay ordered.
+#[derive(Debug, Default)]
+pub struct CollectingObserver {
+    events: Mutex<Vec<StageEvent>>,
+}
+
+impl CollectingObserver {
+    /// Empty collector.
+    pub fn new() -> CollectingObserver {
+        CollectingObserver::default()
+    }
+
+    /// Snapshot of all recorded events in arrival order.
+    pub fn events(&self) -> Vec<StageEvent> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Number of `(start, finish)` pairs recorded for `stage`.
+    pub fn finished_count(&self, stage: Stage) -> usize {
+        self.events()
+            .iter()
+            .filter(|e| matches!(e, StageEvent::Finished(s) if s.stage == stage))
+            .count()
+    }
+
+    /// Recorded feedback snapshots, in order.
+    pub fn feedback_rounds(&self) -> Vec<FeedbackSnapshot> {
+        self.events()
+            .iter()
+            .filter_map(|e| match e {
+                StageEvent::Feedback(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Recorded stage errors, in order.
+    pub fn errors(&self) -> Vec<(Stage, crate::Diagnostic)> {
+        self.events()
+            .iter()
+            .filter_map(|e| match e {
+                StageEvent::Errored(s, d) => Some((*s, d.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `true` when stage events are well-nested: every `Started(s)` is
+    /// closed by a matching terminal event (`Finished(s)` or
+    /// `Errored(s, _)`) before the next stage starts, feedback
+    /// snapshots only arrive inside the backend stage, and no stage
+    /// terminates without having started.
+    pub fn well_nested(&self) -> bool {
+        let mut open: Option<Stage> = None;
+        for ev in self.events() {
+            match ev {
+                StageEvent::Started(s) => {
+                    if open.is_some() {
+                        return false;
+                    }
+                    open = Some(s);
+                }
+                StageEvent::Finished(summary) => {
+                    if open != Some(summary.stage) {
+                        return false;
+                    }
+                    open = None;
+                }
+                StageEvent::Errored(s, _) => {
+                    if open != Some(s) {
+                        return false;
+                    }
+                    open = None;
+                }
+                StageEvent::Feedback(_) => {
+                    if open != Some(Stage::Backend) {
+                        return false;
+                    }
+                }
+            }
+        }
+        open.is_none()
+    }
+
+    /// Total wall time of all finished stages.
+    pub fn total_elapsed(&self) -> Duration {
+        self.events()
+            .iter()
+            .filter_map(|e| match e {
+                StageEvent::Finished(s) => Some(s.elapsed),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+impl StageObserver for CollectingObserver {
+    fn on_stage_start(&self, stage: Stage) {
+        self.events.lock().unwrap().push(StageEvent::Started(stage));
+    }
+
+    fn on_stage_finish(&self, summary: &StageSummary) {
+        self.events
+            .lock()
+            .unwrap()
+            .push(StageEvent::Finished(summary.clone()));
+    }
+
+    fn on_stage_error(&self, stage: Stage, diagnostic: &crate::Diagnostic) {
+        self.events
+            .lock()
+            .unwrap()
+            .push(StageEvent::Errored(stage, diagnostic.clone()));
+    }
+
+    fn on_feedback_round(&self, snapshot: &FeedbackSnapshot) {
+        self.events
+            .lock()
+            .unwrap()
+            .push(StageEvent::Feedback(snapshot.clone()));
+    }
+}
+
+/// An observer that renders events as indented trace lines to any
+/// writer — `TraceObserver::stderr()` gives progress output for CLI
+/// binaries and examples without touching their pinned stdout tables.
+pub struct TraceObserver<W: Write> {
+    out: Mutex<W>,
+}
+
+impl TraceObserver<std::io::Stderr> {
+    /// Trace to standard error.
+    pub fn stderr() -> TraceObserver<std::io::Stderr> {
+        TraceObserver {
+            out: Mutex::new(std::io::stderr()),
+        }
+    }
+}
+
+impl<W: Write> TraceObserver<W> {
+    /// Trace to an arbitrary writer.
+    pub fn new(out: W) -> TraceObserver<W> {
+        TraceObserver {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Consumes the observer, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out.into_inner().unwrap()
+    }
+}
+
+impl<W: Write> StageObserver for TraceObserver<W> {
+    fn on_stage_start(&self, stage: Stage) {
+        let mut out = self.out.lock().unwrap();
+        let _ = writeln!(out, "[toolflow] {stage} ...");
+    }
+
+    fn on_stage_finish(&self, summary: &StageSummary) {
+        let mut out = self.out.lock().unwrap();
+        let _ = writeln!(
+            out,
+            "[toolflow] {} done in {:.1?} — {} (fp {})",
+            summary.stage, summary.elapsed, summary.detail, summary.fingerprint
+        );
+    }
+
+    fn on_stage_error(&self, stage: Stage, diagnostic: &crate::Diagnostic) {
+        let mut out = self.out.lock().unwrap();
+        let _ = writeln!(out, "[toolflow] {stage} FAILED — {diagnostic}");
+    }
+
+    fn on_feedback_round(&self, snapshot: &FeedbackSnapshot) {
+        let mut out = self.out.lock().unwrap();
+        let _ = writeln!(
+            out,
+            "[toolflow]   feedback round {}: makespan {}, {} spm / {} shared arrays{}",
+            snapshot.round,
+            snapshot.makespan,
+            snapshot.spm_resident,
+            snapshot.shared_resident,
+            if snapshot.stable { " (stable)" } else { "" }
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(stage: Stage) -> StageSummary {
+        StageSummary {
+            stage,
+            fingerprint: Fingerprint(7),
+            detail: "x".into(),
+            elapsed: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn well_nested_accepts_ordered_pairs() {
+        let obs = CollectingObserver::new();
+        obs.on_stage_start(Stage::Frontend);
+        obs.on_stage_finish(&summary(Stage::Frontend));
+        obs.on_stage_start(Stage::Backend);
+        obs.on_feedback_round(&FeedbackSnapshot {
+            round: 0,
+            assignment: vec![CoreId(0)],
+            makespan: 5,
+            spm_resident: 0,
+            shared_resident: 1,
+            stable: true,
+        });
+        obs.on_stage_finish(&summary(Stage::Backend));
+        assert!(obs.well_nested());
+        assert_eq!(obs.finished_count(Stage::Frontend), 1);
+        assert_eq!(obs.feedback_rounds().len(), 1);
+    }
+
+    #[test]
+    fn well_nested_rejects_unclosed_and_crossed_stages() {
+        let open = CollectingObserver::new();
+        open.on_stage_start(Stage::Frontend);
+        assert!(!open.well_nested());
+
+        let crossed = CollectingObserver::new();
+        crossed.on_stage_start(Stage::Frontend);
+        crossed.on_stage_finish(&summary(Stage::Backend));
+        assert!(!crossed.well_nested());
+
+        let stray = CollectingObserver::new();
+        stray.on_feedback_round(&FeedbackSnapshot {
+            round: 0,
+            assignment: vec![],
+            makespan: 0,
+            spm_resident: 0,
+            shared_resident: 0,
+            stable: false,
+        });
+        assert!(!stray.well_nested());
+    }
+
+    #[test]
+    fn trace_observer_writes_lines() {
+        let obs = TraceObserver::new(Vec::<u8>::new());
+        obs.on_stage_start(Stage::Frontend);
+        obs.on_stage_finish(&summary(Stage::Frontend));
+        let text = String::from_utf8(obs.into_inner()).unwrap();
+        assert!(text.contains("frontend ..."), "{text}");
+        assert!(text.contains("frontend done"), "{text}");
+    }
+}

@@ -1,0 +1,625 @@
+//! The [`Toolflow`] session: a typed, observable, fingerprint-native
+//! driver for the ARGO pipeline.
+//!
+//! A session binds a program, its entry function, a target platform, a
+//! [`ToolchainConfig`] and (optionally) a [`StageObserver`], then runs
+//! the pipeline either whole ([`Toolflow::run`]) or stage by stage
+//! ([`Toolflow::run_frontend`] → [`Toolflow::run_seed_costs`] →
+//! [`Toolflow::run_backend`]), each stage yielding an owned
+//! [`Artifact`] type. Stage input fingerprints
+//! ([`Toolflow::frontend_fingerprint`],
+//! [`Toolflow::seed_cost_fingerprint`]) are API-owned content hashes —
+//! two sessions with equal stage fingerprints produce identical stage
+//! artifacts, which is the contract the `argo-dse` artifact cache keys
+//! on.
+
+use crate::artifact::{Artifact, BackendResult, CostTable, FrontendArtifact};
+use crate::diag::{Diagnostic, ErrorCode, Stage};
+use crate::fingerprint::{Fingerprint, FingerprintHasher, Fingerprintable};
+use crate::observer::{FeedbackSnapshot, StageObserver, StageSummary};
+use crate::ToolchainConfig;
+use argo_adl::{MemSpace, MemoryMap, Placement, Platform};
+use argo_htg::accesses::AnnotateCtx;
+use argo_htg::extract::extract;
+use argo_ir::ast::Program;
+use argo_parir::ParallelProgram;
+use argo_sched::anneal::SimulatedAnnealing;
+use argo_sched::bnb::BranchAndBound;
+use argo_sched::list::ListScheduler;
+use argo_sched::{evaluate_assignment, CommModel, SchedCtx, Schedule, Scheduler, TaskGraph};
+use argo_transform::chunk::chunk_all_parallel_loops;
+use argo_transform::fold::ConstantFold;
+use argo_transform::Pass;
+use argo_wcet::cost::CostCtx;
+use argo_wcet::schema::{function_wcets, stmt_ids_wcet};
+use argo_wcet::system::{analyze, task_shared_accesses};
+use argo_wcet::value::loop_bounds;
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Feeds the configuration fields the *frontend* stage observes —
+/// shared between the full config fingerprint and the frontend stage
+/// fingerprint so the two can never drift apart.
+pub(crate) fn feed_frontend_config(cfg: &ToolchainConfig, h: &mut FingerprintHasher) {
+    h.write_str(match cfg.granularity {
+        argo_htg::Granularity::Loop => "loop",
+        argo_htg::Granularity::Block => "block",
+        argo_htg::Granularity::Stmt => "stmt",
+    });
+    h.write_bool(cfg.chunk_loops);
+    cfg.value_ctx.feed(h);
+}
+
+/// One toolflow invocation: program + entry + platform + config (+
+/// observer), with typed staged execution and canonical stage
+/// fingerprints.
+///
+/// Built with a fluent builder:
+///
+/// ```
+/// use argo_adl::Platform;
+/// use argo_core::{Toolflow, ToolchainConfig};
+///
+/// let src = "real main(real a[16], real b[16]) {
+///                real s; int i;
+///                s = 0.0;
+///                for (i = 0; i < 16; i = i + 1) { b[i] = a[i] * 2.0; }
+///                for (i = 0; i < 16; i = i + 1) { s = s + b[i]; }
+///                return s;
+///            }";
+/// let program = argo_ir::parse::parse_program(src).unwrap();
+/// let platform = Platform::xentium_manycore(2);
+/// let result = Toolflow::new(program, "main")
+///     .platform(&platform)
+///     .config(ToolchainConfig::default())
+///     .run()
+///     .unwrap();
+/// assert!(result.system.bound > 0);
+/// ```
+///
+/// Run methods take `&self`, so one session can drive several stage
+/// executions. Callers that sweep many sessions over one resolved
+/// program (the design-space explorer) construct sessions with
+/// [`Toolflow::borrowed`] — no per-session deep clone — and forward the
+/// once-computed [`Toolflow::program_fingerprint`] via
+/// [`Toolflow::with_program_fingerprint`] so fingerprinting stays off
+/// the cache-hit hot path.
+pub struct Toolflow<'a> {
+    program: Cow<'a, Program>,
+    entry: String,
+    platform: Option<&'a Platform>,
+    cfg: ToolchainConfig,
+    observer: Option<&'a dyn StageObserver>,
+    /// Memoized content fingerprint of the (printed) program.
+    program_fp: OnceLock<Fingerprint>,
+}
+
+impl<'a> Toolflow<'a> {
+    /// New session owning `program`, starting at `entry`, with the
+    /// default configuration and no platform bound yet.
+    pub fn new(program: Program, entry: &str) -> Toolflow<'a> {
+        Toolflow {
+            program: Cow::Owned(program),
+            entry: entry.to_string(),
+            platform: None,
+            cfg: ToolchainConfig::default(),
+            observer: None,
+            program_fp: OnceLock::new(),
+        }
+    }
+
+    /// New session borrowing `program` — no deep clone until a stage
+    /// actually needs an owned copy (the frontend, on a cache miss).
+    /// This is the constructor for sweep drivers that evaluate many
+    /// configurations of one program.
+    pub fn borrowed(program: &'a Program, entry: &str) -> Toolflow<'a> {
+        Toolflow {
+            program: Cow::Borrowed(program),
+            entry: entry.to_string(),
+            platform: None,
+            cfg: ToolchainConfig::default(),
+            observer: None,
+            program_fp: OnceLock::new(),
+        }
+    }
+
+    /// Binds the target platform (required by every run method).
+    #[must_use]
+    pub fn platform(mut self, platform: &'a Platform) -> Toolflow<'a> {
+        self.platform = Some(platform);
+        self
+    }
+
+    /// Replaces the toolchain configuration.
+    #[must_use]
+    pub fn config(mut self, cfg: ToolchainConfig) -> Toolflow<'a> {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Attaches a stage observer. Every run method emits paired
+    /// start/terminal events for the stages it runs (`finish` on
+    /// success, `error` on failure); the backend also emits one
+    /// [`FeedbackSnapshot`] per § II-E feedback round.
+    #[must_use]
+    pub fn observer(mut self, observer: &'a dyn StageObserver) -> Toolflow<'a> {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Seeds the memoized program fingerprint with a value previously
+    /// returned by [`Toolflow::program_fingerprint`] for an *equal*
+    /// program, skipping the print-and-hash pass on this session.
+    /// Sweep drivers compute the fingerprint once per resolved program
+    /// and forward it to every point's session; passing a fingerprint
+    /// of a different program corrupts cache keys.
+    #[must_use]
+    pub fn with_program_fingerprint(self, fp: Fingerprint) -> Toolflow<'a> {
+        let _ = self.program_fp.set(fp);
+        self
+    }
+
+    /// The session's entry function name.
+    pub fn entry(&self) -> &str {
+        &self.entry
+    }
+
+    /// The session's configuration.
+    pub fn cfg(&self) -> &ToolchainConfig {
+        &self.cfg
+    }
+
+    fn require_platform(&self, stage: Stage) -> Result<&'a Platform, Diagnostic> {
+        self.platform.ok_or_else(|| {
+            Diagnostic::new(
+                stage,
+                ErrorCode::MissingPlatform,
+                "session has no platform; call Toolflow::platform(..) before running",
+            )
+        })
+    }
+
+    /// Canonical content fingerprint of the session's program (a hash
+    /// of its printed text), memoized per session and seedable via
+    /// [`Toolflow::with_program_fingerprint`].
+    pub fn program_fingerprint(&self) -> Fingerprint {
+        *self.program_fp.get_or_init(|| {
+            FingerprintHasher::new()
+                .write_str("program")
+                .write_str(&argo_ir::printer::print_program(&self.program))
+                .finish()
+        })
+    }
+
+    /// Canonical fingerprint of the frontend stage *inputs*: program
+    /// content, entry, the frontend-relevant configuration
+    /// (granularity, chunking, value context) and the platform's core
+    /// count — the only platform property the frontend observes. Two
+    /// sessions with equal frontend fingerprints produce identical
+    /// [`FrontendArtifact`]s, so this is the first-tier cache key of
+    /// `argo-dse`.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::MissingPlatform`] when no platform is bound.
+    pub fn frontend_fingerprint(&self) -> Result<Fingerprint, Diagnostic> {
+        let platform = self.require_platform(Stage::Frontend)?;
+        let mut h = FingerprintHasher::new();
+        h.write_str("frontend-inputs");
+        h.write_fingerprint(self.program_fingerprint())
+            .write_str(&self.entry);
+        feed_frontend_config(&self.cfg, &mut h);
+        h.write_u64(platform.core_count() as u64);
+        Ok(h.finish())
+    }
+
+    /// Canonical fingerprint of the seed-costs stage *inputs*: the
+    /// frontend fingerprint plus the full platform fingerprint (the
+    /// round-0 cost table depends on both, but not on the scheduler,
+    /// MHP mode or feedback budget) — the second-tier cache key of
+    /// `argo-dse`.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::MissingPlatform`] when no platform is bound.
+    pub fn seed_cost_fingerprint(&self) -> Result<Fingerprint, Diagnostic> {
+        let platform = self.require_platform(Stage::SeedCosts)?;
+        let mut h = FingerprintHasher::new();
+        h.write_str("seed-cost-inputs");
+        h.write_fingerprint(self.frontend_fingerprint()?);
+        platform.feed(&mut h);
+        Ok(h.finish())
+    }
+
+    /// Runs the frontend stage: validation, predictability
+    /// transformations (§ II-B), loop-bound value analysis and HTG task
+    /// extraction with access annotation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] naming the failing step (see the
+    /// error-code table in the [crate docs](crate)).
+    pub fn run_frontend(&self) -> Result<FrontendArtifact, Diagnostic> {
+        let platform = self.require_platform(Stage::Frontend)?;
+        run_frontend_impl(
+            self.program.as_ref().clone(),
+            &self.entry,
+            platform.core_count(),
+            &self.cfg,
+            self.observer,
+        )
+    }
+
+    /// Runs the seed-costs stage on a frontend artifact: every task
+    /// costed on core 0 under the conservative all-shared placement
+    /// (feedback round 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] if the code-level analysis fails.
+    pub fn run_seed_costs(&self, artifact: &FrontendArtifact) -> Result<CostTable, Diagnostic> {
+        let platform = self.require_platform(Stage::SeedCosts)?;
+        run_seed_costs_impl(artifact, &self.entry, platform, self.observer)
+    }
+
+    /// Runs the backend stage on a frontend artifact: the iterative
+    /// schedule ↔ placement ↔ WCET feedback loop (§ II-E), parallel
+    /// model construction (§ II-C) and system-level WCET analysis
+    /// (§ II-D).
+    ///
+    /// `seed` optionally supplies the round-0 task costs (as produced
+    /// by [`Toolflow::run_seed_costs`] for the same artifact and
+    /// platform), skipping the first code-level WCET pass; the result
+    /// is identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] naming the failing step.
+    pub fn run_backend(
+        &self,
+        artifact: FrontendArtifact,
+        seed: Option<&CostTable>,
+    ) -> Result<BackendResult, Diagnostic> {
+        let platform = self.require_platform(Stage::Backend)?;
+        run_backend_impl(
+            artifact,
+            &self.entry,
+            platform,
+            &self.cfg,
+            seed,
+            self.observer,
+        )
+    }
+
+    /// Runs the complete pipeline: platform validation, frontend,
+    /// backend. Equivalent to the staged sequence and bit-identical to
+    /// the legacy [`crate::compile`] free function (which is now a thin
+    /// wrapper over a default session).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first stage's [`Diagnostic`].
+    pub fn run(&self) -> Result<BackendResult, Diagnostic> {
+        let platform = self.require_platform(Stage::Backend)?;
+        validate_platform(platform)?;
+        let artifact = self.run_frontend()?;
+        self.run_backend(artifact, None)
+    }
+}
+
+/// Maps a platform-validation failure to a backend diagnostic.
+pub(crate) fn validate_platform(platform: &Platform) -> Result<(), Diagnostic> {
+    platform.validate().map_err(|e| {
+        Diagnostic::new(Stage::Backend, ErrorCode::InvalidPlatform, e.to_string())
+            .with_entity(&platform.name)
+    })
+}
+
+/// Runs `body` bracketed by observer events for `stage`: a start event
+/// first, then exactly one terminal event (finish with the artifact
+/// summary, or error with the diagnostic). When no observer is
+/// attached, the summary (fingerprint + detail) is never computed.
+fn observed_stage<T: Artifact>(
+    obs: Option<&dyn StageObserver>,
+    stage: Stage,
+    body: impl FnOnce() -> Result<T, Diagnostic>,
+) -> Result<T, Diagnostic> {
+    let Some(obs) = obs else {
+        return body();
+    };
+    obs.on_stage_start(stage);
+    let t0 = Instant::now();
+    match body() {
+        Ok(artifact) => {
+            obs.on_stage_finish(&StageSummary {
+                stage,
+                fingerprint: artifact.fingerprint(),
+                detail: artifact.summary(),
+                elapsed: t0.elapsed(),
+            });
+            Ok(artifact)
+        }
+        Err(diagnostic) => {
+            obs.on_stage_error(stage, &diagnostic);
+            Err(diagnostic)
+        }
+    }
+}
+
+fn frontend_err(code: ErrorCode, e: impl std::fmt::Display) -> Diagnostic {
+    Diagnostic::new(Stage::Frontend, code, e.to_string())
+}
+
+/// The frontend stage implementation (shared by sessions and the
+/// legacy free functions). `core_count` is the only platform property
+/// the frontend observes: it controls DOALL chunking.
+pub(crate) fn run_frontend_impl(
+    mut program: Program,
+    entry: &str,
+    core_count: usize,
+    cfg: &ToolchainConfig,
+    obs: Option<&dyn StageObserver>,
+) -> Result<FrontendArtifact, Diagnostic> {
+    observed_stage(obs, Stage::Frontend, move || {
+        argo_ir::validate::validate(&program)
+            .map_err(|e| frontend_err(ErrorCode::InvalidProgram, e))?;
+        if program.function(entry).is_none() {
+            return Err(Diagnostic::new(
+                Stage::Frontend,
+                ErrorCode::UnknownEntry,
+                format!("no function `{entry}` in program"),
+            )
+            .with_entity(entry));
+        }
+
+        // --- Program analysis & predictability transformations (§ II-B).
+        ConstantFold
+            .run(&mut program)
+            .map_err(|e| frontend_err(ErrorCode::TransformFailed, e))?;
+        program.renumber();
+        if cfg.chunk_loops && core_count > 1 {
+            chunk_all_parallel_loops(&mut program, entry, core_count)
+                .map_err(|e| frontend_err(ErrorCode::TransformFailed, e))?;
+            ConstantFold
+                .run(&mut program)
+                .map_err(|e| frontend_err(ErrorCode::TransformFailed, e))?;
+            program.renumber();
+        }
+        argo_ir::validate::validate(&program)
+            .map_err(|e| frontend_err(ErrorCode::InvalidProgram, e))?;
+
+        // --- Loop bounds (value analysis).
+        let bounds = loop_bounds(&program, entry, &cfg.value_ctx)
+            .map_err(|e| frontend_err(ErrorCode::UnboundedLoop, e).with_entity(entry))?;
+
+        // --- Task extraction (HTG) + access annotation.
+        let mut htg = extract(&program, entry, cfg.granularity)
+            .map_err(|e| frontend_err(ErrorCode::ExtractionFailed, e))?;
+        let actx = AnnotateCtx {
+            bounds: bounds.clone(),
+            default_bound: 1,
+        };
+        argo_htg::accesses::annotate(&mut htg, &program, &actx);
+        if htg.top_level.is_empty() {
+            return Err(Diagnostic::new(
+                Stage::Frontend,
+                ErrorCode::EmptyHtg,
+                format!("entry `{entry}` produced no top-level tasks (empty function body?)"),
+            )
+            .with_entity(entry));
+        }
+
+        Ok(FrontendArtifact {
+            program,
+            bounds,
+            htg,
+        })
+    })
+}
+
+fn seed_err(e: impl std::fmt::Display) -> Diagnostic {
+    Diagnostic::new(Stage::SeedCosts, ErrorCode::CodeWcetFailed, e.to_string())
+}
+
+/// The seed-costs stage implementation: feedback round 0 — every task
+/// costed on core 0 with the conservative all-shared memory placement.
+/// The table depends only on `(artifact, entry, platform)`, not on the
+/// scheduler or MHP mode, so design-space points that share a platform
+/// and program can reuse it (the second cache tier of `argo-dse`).
+pub(crate) fn run_seed_costs_impl(
+    artifact: &FrontendArtifact,
+    entry: &str,
+    platform: &Platform,
+    obs: Option<&dyn StageObserver>,
+) -> Result<CostTable, Diagnostic> {
+    observed_stage(obs, Stage::SeedCosts, || {
+        let mem = all_shared_map(&artifact.program, entry);
+        let ctx = CostCtx::new(&artifact.program, platform, argo_adl::CoreId(0), 1, &mem);
+        let fw = function_wcets(&ctx, &artifact.bounds).map_err(seed_err)?;
+        let mut costs: BTreeMap<argo_htg::TaskId, u64> = BTreeMap::new();
+        for &tid in &artifact.htg.top_level {
+            let task = artifact.htg.task(tid);
+            let w = stmt_ids_wcet(&ctx, &artifact.bounds, &fw, entry, &task.stmts)
+                .map_err(|e| seed_err(e).with_entity(task.name.clone()))?;
+            costs.insert(tid, w.max(1));
+        }
+        Ok(CostTable::from(costs))
+    })
+}
+
+fn backend_err(code: ErrorCode, e: impl std::fmt::Display) -> Diagnostic {
+    Diagnostic::new(Stage::Backend, code, e.to_string())
+}
+
+/// The backend stage implementation: iterative feedback loop, parallel
+/// model, system-level WCET, sequential baseline.
+pub(crate) fn run_backend_impl(
+    artifact: FrontendArtifact,
+    entry: &str,
+    platform: &Platform,
+    cfg: &ToolchainConfig,
+    seed: Option<&CostTable>,
+    obs: Option<&dyn StageObserver>,
+) -> Result<BackendResult, Diagnostic> {
+    validate_platform(platform)?;
+    observed_stage(obs, Stage::Backend, move || {
+        let FrontendArtifact {
+            program,
+            bounds,
+            htg,
+        } = artifact;
+        if htg.top_level.is_empty() {
+            return Err(Diagnostic::new(
+                Stage::Backend,
+                ErrorCode::EmptyHtg,
+                format!("artifact for `{entry}` has no top-level tasks"),
+            )
+            .with_entity(entry));
+        }
+
+        // --- Iterative schedule ↔ placement ↔ WCET loop (§ II-E).
+        let mut mem = all_shared_map(&program, entry);
+        let mut assignment: Option<Vec<argo_adl::CoreId>> = None;
+        let mut schedule: Option<Schedule> = None;
+        let mut graph = TaskGraph::default();
+        let mut iso_costs: Vec<u64> = Vec::new();
+        let mut iterations = 0;
+        for round in 0..cfg.feedback_rounds.max(1) {
+            iterations = round + 1;
+            // Code-level WCET per task, on its (current) core, isolated.
+            // The function-WCET table only depends on the core, so it is
+            // computed once per distinct core rather than once per task.
+            let costs: BTreeMap<argo_htg::TaskId, u64> = match (round, seed) {
+                (0, Some(seeded)) => (**seeded).clone(),
+                _ => {
+                    let mut costs = BTreeMap::new();
+                    let mut fw_by_core: BTreeMap<argo_adl::CoreId, _> = BTreeMap::new();
+                    for (idx, &tid) in htg.top_level.iter().enumerate() {
+                        let core = match &assignment {
+                            Some(a) => a[idx],
+                            None => argo_adl::CoreId(0),
+                        };
+                        let ctx = CostCtx::new(&program, platform, core, 1, &mem);
+                        if let std::collections::btree_map::Entry::Vacant(e) =
+                            fw_by_core.entry(core)
+                        {
+                            let fw = function_wcets(&ctx, &bounds)
+                                .map_err(|e| backend_err(ErrorCode::CodeWcetFailed, e))?;
+                            e.insert(fw);
+                        }
+                        let fw = &fw_by_core[&core];
+                        let task = htg.task(tid);
+                        let w = stmt_ids_wcet(&ctx, &bounds, fw, entry, &task.stmts)
+                            .map_err(|e| backend_err(ErrorCode::CodeWcetFailed, e))?;
+                        costs.insert(tid, w.max(1));
+                    }
+                    costs
+                }
+            };
+            graph = TaskGraph::from_htg(&htg, &costs);
+            iso_costs = graph.cost.clone();
+
+            // Mapping/scheduling stage.
+            let ctx = SchedCtx {
+                platform,
+                comm: CommModel::SignalOnly,
+            };
+            let sched: Schedule = match cfg.scheduler {
+                crate::SchedulerKind::List => ListScheduler::new().schedule(&graph, &ctx),
+                crate::SchedulerKind::BranchAndBound => {
+                    BranchAndBound::new().schedule(&graph, &ctx)
+                }
+                crate::SchedulerKind::Anneal => SimulatedAnnealing::new().schedule(&graph, &ctx),
+            };
+            let stable = assignment.as_ref() == Some(&sched.assignment);
+            assignment = Some(sched.assignment.clone());
+            let makespan = sched.makespan();
+            schedule = Some(sched);
+
+            // Memory placement for the new mapping (WCET fed back).
+            mem = argo_parir::mem_assign::assign(
+                &program,
+                &htg,
+                &graph,
+                schedule.as_ref().expect("just set"),
+                platform,
+            )
+            .map_err(|e| backend_err(ErrorCode::MemAssignFailed, e))?;
+
+            if let Some(obs) = obs {
+                let spm_resident = mem
+                    .iter()
+                    .filter(|(_, p)| matches!(p.space, MemSpace::Spm(_)))
+                    .count();
+                obs.on_feedback_round(&FeedbackSnapshot {
+                    round,
+                    assignment: assignment.clone().expect("just set"),
+                    makespan,
+                    spm_resident,
+                    shared_resident: mem.len() - spm_resident,
+                    stable,
+                });
+            }
+            if stable {
+                break;
+            }
+        }
+        let schedule = schedule.expect("at least one round");
+
+        // --- Parallel program model (§ II-C).
+        let parallel = ParallelProgram::build(program, &htg, graph, schedule, platform)
+            .map_err(|e| backend_err(ErrorCode::ParallelModelFailed, e))?;
+
+        // --- System-level WCET (§ II-D).
+        let shared_accesses = task_shared_accesses(&htg, &parallel.graph, &parallel.memory_map);
+        let system = analyze(&parallel, platform, &iso_costs, &shared_accesses, cfg.mhp);
+
+        // --- Sequential baseline: same tasks, one core, no overlap.
+        let seq_ctx = SchedCtx {
+            platform,
+            comm: CommModel::SignalOnly,
+        };
+        let seq = evaluate_assignment(
+            &parallel.graph,
+            &seq_ctx,
+            &vec![argo_adl::CoreId(0); parallel.graph.len()],
+        );
+        let sequential_bound = seq.makespan();
+
+        Ok(BackendResult {
+            parallel,
+            system,
+            sequential_bound,
+            iso_costs,
+            shared_accesses,
+            bounds,
+            htg,
+            feedback_iterations: iterations,
+        })
+    })
+}
+
+/// The conservative round-0 placement: every array in shared memory.
+fn all_shared_map(program: &Program, entry: &str) -> MemoryMap {
+    let mut map = MemoryMap::new();
+    let Some(f) = program.function(entry) else {
+        return map;
+    };
+    let mut cursor = 0u64;
+    for (name, ty) in argo_ir::validate::symbol_table(f) {
+        if ty.is_array() {
+            map.insert(
+                name,
+                Placement {
+                    space: argo_adl::MemSpace::Shared,
+                    base_addr: cursor,
+                    size_bytes: ty.size_bytes(),
+                },
+            );
+            cursor += ty.size_bytes();
+        }
+    }
+    map
+}

@@ -5,39 +5,24 @@
 //! scheduler and the memory/interference configuration, so a sweep along
 //! the scheduler axis (or any axis that leaves program and platform
 //! alone) re-derives identical frontends and identical round-0 WCET
-//! tables. This cache keys both artifact tiers by a content hash —
-//! the printed program text plus every configuration field the stage
-//! observes — rather than by axis position, so *any* two points that
-//! would recompute the same artifact share one entry, even across
+//! tables. This cache keys both artifact tiers by the driver's canonical
+//! [`Fingerprint`]s — [`argo_core::Toolflow::frontend_fingerprint`] and
+//! [`argo_core::Toolflow::seed_cost_fingerprint`] — so *any* two points
+//! that would recompute the same artifact share one entry, even across
 //! different `DesignSpace`s or repeated runs on one [`crate::Explorer`].
+//! Fingerprints are API-owned content hashes (stable across processes),
+//! which is what makes persisting this cache between runs a follow-on
+//! rather than a redesign.
 //!
 //! Concurrency: each key maps to an `Arc<OnceLock>` slot; the map lock is
 //! held only to find/create the slot, and the (expensive) build runs
 //! under the slot's own once-initialization, so two workers never build
 //! the same artifact twice and distinct keys never serialize each other.
 
-use argo_core::{FrontendArtifact, TaskCosts, ToolchainError};
+use argo_core::{CostTable, Diagnostic, Fingerprint, FrontendArtifact};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-
-/// FNV-1a content fingerprint over labeled parts.
-///
-/// Parts are length-prefixed so `["ab","c"]` and `["a","bc"]` differ.
-pub fn fingerprint(parts: &[&str]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    };
-    for part in parts {
-        eat(&(part.len() as u64).to_le_bytes());
-        eat(part.as_bytes());
-    }
-    h
-}
 
 /// Hit/miss counters for both cache tiers.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -74,13 +59,13 @@ impl CacheStats {
     }
 }
 
-type Slot<T> = Arc<OnceLock<Result<Arc<T>, ToolchainError>>>;
+type Slot<T> = Arc<OnceLock<Result<Arc<T>, Diagnostic>>>;
 
 /// Two-tier artifact cache (frontend artifacts, seed-cost tables).
 #[derive(Default)]
 pub struct ArtifactCache {
-    frontend: Mutex<HashMap<u64, Slot<FrontendArtifact>>>,
-    costs: Mutex<HashMap<u64, Slot<TaskCosts>>>,
+    frontend: Mutex<HashMap<Fingerprint, Slot<FrontendArtifact>>>,
+    costs: Mutex<HashMap<Fingerprint, Slot<CostTable>>>,
     frontend_hits: AtomicU64,
     frontend_misses: AtomicU64,
     cost_hits: AtomicU64,
@@ -88,12 +73,12 @@ pub struct ArtifactCache {
 }
 
 fn get_or_build<T>(
-    map: &Mutex<HashMap<u64, Slot<T>>>,
+    map: &Mutex<HashMap<Fingerprint, Slot<T>>>,
     hits: &AtomicU64,
     misses: &AtomicU64,
-    key: u64,
-    build: impl FnOnce() -> Result<T, ToolchainError>,
-) -> Result<Arc<T>, ToolchainError> {
+    key: Fingerprint,
+    build: impl FnOnce() -> Result<T, Diagnostic>,
+) -> Result<Arc<T>, Diagnostic> {
     let (slot, created) = {
         let mut map = map.lock().unwrap();
         match map.get(&key) {
@@ -123,13 +108,13 @@ impl ArtifactCache {
     ///
     /// # Errors
     ///
-    /// Returns the builder's [`ToolchainError`]; failures are cached too,
+    /// Returns the builder's [`Diagnostic`]; failures are cached too,
     /// so a failing point does not rebuild per retry.
     pub fn frontend(
         &self,
-        key: u64,
-        build: impl FnOnce() -> Result<FrontendArtifact, ToolchainError>,
-    ) -> Result<Arc<FrontendArtifact>, ToolchainError> {
+        key: Fingerprint,
+        build: impl FnOnce() -> Result<FrontendArtifact, Diagnostic>,
+    ) -> Result<Arc<FrontendArtifact>, Diagnostic> {
         get_or_build(
             &self.frontend,
             &self.frontend_hits,
@@ -143,12 +128,12 @@ impl ArtifactCache {
     ///
     /// # Errors
     ///
-    /// Returns the builder's [`ToolchainError`] (cached like a success).
+    /// Returns the builder's [`Diagnostic`] (cached like a success).
     pub fn seed_costs(
         &self,
-        key: u64,
-        build: impl FnOnce() -> Result<TaskCosts, ToolchainError>,
-    ) -> Result<Arc<TaskCosts>, ToolchainError> {
+        key: Fingerprint,
+        build: impl FnOnce() -> Result<CostTable, Diagnostic>,
+    ) -> Result<Arc<CostTable>, Diagnostic> {
         get_or_build(&self.costs, &self.cost_hits, &self.cost_misses, key, build)
     }
 
@@ -175,19 +160,12 @@ mod tests {
                        }";
 
     #[test]
-    fn fingerprint_separates_parts() {
-        assert_ne!(fingerprint(&["ab", "c"]), fingerprint(&["a", "bc"]));
-        assert_eq!(fingerprint(&["x", "y"]), fingerprint(&["x", "y"]));
-        assert_ne!(fingerprint(&[]), fingerprint(&[""]));
-    }
-
-    #[test]
     fn second_lookup_hits_and_shares_the_artifact() {
         let cache = ArtifactCache::new();
         let cfg = ToolchainConfig::default();
         let build = || frontend(parse_program(SRC).unwrap(), "main", 2, &cfg);
-        let a = cache.frontend(7, build).unwrap();
-        let b = cache.frontend(7, build).unwrap();
+        let a = cache.frontend(Fingerprint(7), build).unwrap();
+        let b = cache.frontend(Fingerprint(7), build).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         let s = cache.stats();
         assert_eq!((s.frontend_hits, s.frontend_misses), (1, 1));
@@ -200,7 +178,7 @@ mod tests {
         let cfg = ToolchainConfig::default();
         for key in [1u64, 2, 3] {
             cache
-                .frontend(key, || {
+                .frontend(Fingerprint(key), || {
                     frontend(parse_program(SRC).unwrap(), "main", 2, &cfg)
                 })
                 .unwrap();
@@ -215,7 +193,7 @@ mod tests {
         let cfg = ToolchainConfig::default();
         let mut calls = 0;
         for _ in 0..2 {
-            let r = cache.frontend(9, || {
+            let r = cache.frontend(Fingerprint(9), || {
                 calls += 1;
                 frontend(parse_program(SRC).unwrap(), "nonexistent", 2, &cfg)
             });
@@ -233,7 +211,7 @@ mod tests {
                 s.spawn(|| {
                     let cfg = ToolchainConfig::default();
                     cache
-                        .frontend(1, || {
+                        .frontend(Fingerprint(1), || {
                             built.fetch_add(1, Ordering::Relaxed);
                             frontend(parse_program(SRC).unwrap(), "main", 2, &cfg)
                         })

@@ -2,24 +2,37 @@
 //! work-stealing executor, shares artifacts through the content-hash
 //! cache and assembles the deterministic report.
 
-use crate::cache::{fingerprint, ArtifactCache, CacheStats};
+use crate::cache::{ArtifactCache, CacheStats};
 use crate::executor::{default_threads, parallel_map};
 use crate::pareto::pareto_front;
 use crate::report::{ExplorationReport, PointMetrics, ReportRow};
-use crate::space::{granularity_label, DesignSpace, ExplorationPoint};
-use argo_core::{backend, frontend, seed_costs, ToolchainConfig};
+use crate::space::{DesignSpace, ExplorationPoint};
+use argo_core::{Fingerprint, ToolchainConfig, Toolflow};
 use argo_ir::ast::Program;
 use argo_wcet::value::ValueCtx;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// A program ready to explore: IR, entry point and its content hash basis.
+/// A program ready to explore: IR, entry point, and the program's
+/// canonical content fingerprint, computed once at resolution so
+/// per-point sessions skip the print-and-hash pass (cache keys stay
+/// API-owned: the value comes from `Toolflow::program_fingerprint`).
 struct ResolvedApp {
     program: Program,
     entry: String,
-    /// Printed program text — the content part of every cache key.
-    text: String,
+    program_fp: Fingerprint,
+}
+
+impl ResolvedApp {
+    fn new(program: Program, entry: &str) -> ResolvedApp {
+        let program_fp = Toolflow::borrowed(&program, entry).program_fingerprint();
+        ResolvedApp {
+            program,
+            entry: entry.to_string(),
+            program_fp,
+        }
+    }
 }
 
 /// Drives [`DesignSpace`] sweeps. The artifact cache lives on the
@@ -61,15 +74,8 @@ impl Explorer {
     /// use cases. Useful for exploring programs that are not part of
     /// `argo_apps` (and for fast tests).
     pub fn register_program(&mut self, name: &str, program: Program, entry: &str) {
-        let text = argo_ir::printer::print_program(&program);
-        self.custom.insert(
-            name.to_string(),
-            Arc::new(ResolvedApp {
-                program,
-                entry: entry.to_string(),
-                text,
-            }),
-        );
+        self.custom
+            .insert(name.to_string(), Arc::new(ResolvedApp::new(program, entry)));
     }
 
     /// Current artifact-cache counters.
@@ -92,12 +98,7 @@ impl Explorer {
                 ))
             }
         };
-        let text = argo_ir::printer::print_program(&uc.program);
-        Ok(Arc::new(ResolvedApp {
-            program: uc.program,
-            entry: uc.entry.to_string(),
-            text,
-        }))
+        Ok(Arc::new(ResolvedApp::new(uc.program, uc.entry)))
     }
 
     /// Runs the full sweep and returns the report. Rows are in
@@ -174,25 +175,22 @@ impl Explorer {
                 outcome: Err(e.to_string()),
             };
         }
-        let core_count = platform.core_count();
+        // One session drives the whole point: it owns the canonical
+        // per-stage input fingerprints (the cache keys) and the staged
+        // builds on a miss. The session borrows the resolved program
+        // and reuses its once-computed fingerprint, so a cache hit
+        // costs neither a deep clone nor a print-and-hash pass.
+        let flow = Toolflow::borrowed(&app.program, &app.entry)
+            .platform(&platform)
+            .config(cfg)
+            .with_program_fingerprint(app.program_fp);
 
         // Tier 1: frontend artifact — shared by every point with the same
         // program text, entry, transform options and core count.
-        let frontend_key = fingerprint(&[
-            &app.text,
-            &app.entry,
-            granularity_label(point.granularity),
-            if point.chunk_loops {
-                "chunk"
-            } else {
-                "nochunk"
-            },
-            &core_count.to_string(),
-            &format!("{:?}", cfg.value_ctx),
-        ]);
-        let artifact = match self.cache.frontend(frontend_key, || {
-            frontend(app.program.clone(), &app.entry, core_count, &cfg)
-        }) {
+        let frontend_key = flow
+            .frontend_fingerprint()
+            .expect("platform is bound on the session");
+        let artifact = match self.cache.frontend(frontend_key, || flow.run_frontend()) {
             Ok(a) => a,
             Err(e) => {
                 return ReportRow {
@@ -206,10 +204,12 @@ impl Explorer {
         // Tier 2: round-0 code-level WCETs — shared by every point with
         // the same frontend artifact *and* platform (e.g. the scheduler
         // axis).
-        let cost_key = fingerprint(&[&frontend_key.to_string(), &format!("{:?}", platform)]);
+        let cost_key = flow
+            .seed_cost_fingerprint()
+            .expect("platform is bound on the session");
         let costs = match self
             .cache
-            .seed_costs(cost_key, || seed_costs(&artifact, &app.entry, &platform))
+            .seed_costs(cost_key, || flow.run_seed_costs(&artifact))
         {
             Ok(c) => c,
             Err(e) => {
@@ -221,13 +221,7 @@ impl Explorer {
             }
         };
 
-        match backend(
-            (*artifact).clone(),
-            &app.entry,
-            &platform,
-            &cfg,
-            Some(&costs),
-        ) {
+        match flow.run_backend((*artifact).clone(), Some(&costs)) {
             Ok(r) => ReportRow {
                 point,
                 spm_effective,

@@ -12,7 +12,7 @@
 //! * semantic validation: symbols, types, recursion freedom ([`validate`]);
 //! * a reference interpreter used as the functional oracle and as the
 //!   execution engine inside the platform simulator ([`interp`]);
-//! * a structured control-flow graph for IPET-style WCET analysis ([`cfg`]).
+//! * a structured control-flow graph for IPET-style WCET analysis ([`cfg`](mod@cfg)).
 //!
 //! # Examples
 //!

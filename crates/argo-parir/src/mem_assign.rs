@@ -9,7 +9,7 @@
 //!   everywhere: they go to [`MemSpace::Shared`] (contended);
 //! * arrays accessed from exactly **one** core are scratchpad candidates
 //!   for that core; the WCET-directed knapsack (`argo-transform::spm`,
-//!   paper ref [6]) selects the subset maximising saved worst-case cycles,
+//!   paper ref \[6\]) selects the subset maximising saved worst-case cycles,
 //!   the rest spills to shared memory;
 //! * every placed variable gets a base address (bump allocation per
 //!   space) so the cache model has concrete addresses.

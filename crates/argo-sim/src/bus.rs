@@ -2,7 +2,7 @@
 //! shared-memory arbiter.
 //!
 //! Each core walks its plan (waits, task timelines, signals). Shared
-//! accesses become requests to the [`BusModel`], which implements the
+//! accesses become requests to the `BusModel`, which implements the
 //! platform's arbitration dynamically:
 //!
 //! * **TDMA** — a request is granted at the start of the issuing core's

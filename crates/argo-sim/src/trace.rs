@@ -4,7 +4,7 @@
 //! determinacy makes the order irrelevant for functional results);
 //! privatized scalars are reset to the uninitialised state before every
 //! task, so a task can never observe another task's value through them.
-//! The [`TimingHook`] turns operations and accesses into events:
+//! The `TimingHook` turns operations and accesses into events:
 //! compute cycles accumulate locally, shared-memory accesses become
 //! arbitration events for the timed replay.
 

@@ -13,8 +13,8 @@
 //!   transformation that actually *extracts task parallelism* from loops;
 //! * [`fission`] — loop distribution of independent body statements;
 //! * [`unroll`] — full unrolling of small constant-trip loops;
-//! * [`split`] — index-set splitting (paper ref [10]) and strip-mining;
-//! * [`spm`] — WCET-directed scratchpad allocation (knapsack; ref [6]).
+//! * [`split`] — index-set splitting (paper ref \[10\]) and strip-mining;
+//! * [`spm`] — WCET-directed scratchpad allocation (knapsack; ref \[6\]).
 //!
 //! All structural passes leave the program re-validated and renumbered.
 

@@ -1,10 +1,10 @@
-//! Index-set splitting (paper ref [10]) and strip-mining.
+//! Index-set splitting (paper ref \[10\]) and strip-mining.
 //!
 //! *Index-set splitting* divides a loop's iteration range at a point `m`
 //! into two loops `[lo, m)` and `[m, hi)`. Griebl/Feautrier/Lengauer use
 //! it to isolate iterations with different control behaviour (e.g.
 //! boundary handling) so each resulting loop has a simpler, more
-//! analysable body — "complex control code [10] … may happen to be
+//! analysable body — "complex control code \[10\] … may happen to be
 //! perfectly viable … in a predictable performance context" (§ III-C).
 //!
 //! *Strip-mining* turns a loop into an outer loop over tiles and an inner

@@ -1,4 +1,4 @@
-//! WCET-directed scratchpad allocation (paper ref [6]).
+//! WCET-directed scratchpad allocation (paper ref \[6\]).
 //!
 //! Chooses which arrays to place in a core's scratchpad to maximise the
 //! WCET cycles saved, subject to the SPM capacity — a 0/1 knapsack. Two

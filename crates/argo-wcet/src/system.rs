@@ -12,7 +12,7 @@
 //!
 //! * [`MhpMode::Naive`] — contention-oblivious: every shared access is
 //!   charged the all-cores-contend worst case (what a tool without
-//!   schedule knowledge must assume — the parMERASA observation [4]);
+//!   schedule knowledge must assume — the parMERASA observation \[4\]);
 //! * [`MhpMode::Static`] — time-independent precedence reachability over
 //!   dependence edges plus same-core ordering; sound regardless of actual
 //!   execution times;
@@ -280,7 +280,7 @@ fn contenders_from_mhp_sets(
 }
 
 /// The parMERASA-style bound for a *manually* parallelized fork-join
-/// version of the same task graph (paper § III-C and ref [4]): no
+/// version of the same task graph (paper § III-C and ref \[4\]): no
 /// schedule knowledge (all cores contend on every access) and a global
 /// barrier after every precedence level, each barrier costing a full
 /// all-core flag exchange through shared memory.

@@ -7,7 +7,7 @@
 //! ```
 
 use argo_adl::Platform;
-use argo_core::{compile, ToolchainConfig};
+use argo_core::{Fingerprintable, ToolchainConfig, Toolflow};
 use argo_sim::{simulate, SimConfig, SimMode};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -15,12 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== EGPWS on two ARGO target platforms ===\n");
 
     for platform in [Platform::xentium_manycore(4), Platform::kit_tile_noc(2, 2)] {
-        let r = compile(
-            uc.program.clone(),
-            uc.entry,
-            &platform,
-            &ToolchainConfig::default(),
-        )?;
+        let r = Toolflow::new(uc.program.clone(), uc.entry)
+            .platform(&platform)
+            .config(ToolchainConfig::default())
+            .run()?;
         let wc = simulate(
             &r.parallel,
             &platform,
@@ -35,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 mode: SimMode::Random { seed: 1 },
             },
         )?;
-        println!("platform {:<18}", platform.name);
+        println!(
+            "platform {:<18} (fingerprint {})",
+            platform.name,
+            platform.fingerprint()
+        );
         println!("  sequential WCET bound : {:>9}", r.sequential_bound);
         println!("  parallel   WCET bound : {:>9}", r.system.bound);
         println!("  guaranteed speedup    : {:>9.2}x", r.wcet_speedup());

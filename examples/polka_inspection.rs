@@ -8,7 +8,7 @@
 //! ```
 
 use argo_adl::Platform;
-use argo_core::{compile, ToolchainConfig};
+use argo_core::{ToolchainConfig, Toolflow};
 use argo_ir::interp::{ArgVal, ArrayData};
 use argo_model::{Model, ReduceOp};
 use argo_sim::{simulate, SimConfig};
@@ -18,12 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Frontend 1: the full mini-C POLKA kernel.
     let uc = argo_apps::polka::use_case(7);
-    let r = compile(
-        uc.program.clone(),
-        uc.entry,
-        &platform,
-        &ToolchainConfig::default(),
-    )?;
+    let r = Toolflow::new(uc.program.clone(), uc.entry)
+        .platform(&platform)
+        .config(ToolchainConfig::default())
+        .run()?;
     let sim = simulate(
         &r.parallel,
         &platform,
@@ -62,12 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     model.mark_output(peak);
     let program = model.lower()?;
 
-    let rm = compile(
-        program,
-        "intensity_screen",
-        &platform,
-        &ToolchainConfig::default(),
-    )?;
+    let rm = Toolflow::new(program, "intensity_screen")
+        .platform(&platform)
+        .config(ToolchainConfig::default())
+        .run()?;
     let raw = argo_apps::polka::synthetic_frame(7, 2);
     let head: Vec<f64> = raw.iter().take(256).copied().collect();
     let args = vec![

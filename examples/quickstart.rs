@@ -1,13 +1,22 @@
-//! Quickstart: run the complete ARGO flow (paper Fig. 1) on a small
-//! mini-C program and print the tool-chain report, the per-core parallel
+//! Quickstart: drive the complete ARGO flow (paper Fig. 1) on a small
+//! mini-C program through a [`Toolflow`] session — the typed, observable
+//! driver API — then print the tool-chain report, the per-core parallel
 //! pseudo-C, and the simulated validation run.
+//!
+//! The session is built with a fluent builder and runs the staged
+//! pipeline (`frontend → seed-costs → backend`); the attached
+//! `TraceObserver` streams per-stage progress (artifact fingerprints,
+//! timings, feedback-round snapshots) to stderr, so stdout keeps only
+//! the report. The legacy one-call form is still available as
+//! `argo_core::compile(program, "main", &platform, &cfg)` — a thin
+//! wrapper over a default session.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
 use argo_adl::Platform;
-use argo_core::{compile, ToolchainConfig};
+use argo_core::{Artifact, ToolchainConfig, Toolflow, TraceObserver};
 use argo_ir::interp::{ArgVal, ArrayData};
 use argo_sim::{simulate, SimConfig};
 
@@ -30,9 +39,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    described by the ADL object model.
     let platform = Platform::xentium_manycore(4);
 
-    // 3. Run the tool chain: transforms → HTG → schedule → parallel model
-    //    → code-level + system-level WCET, with iterative feedback.
-    let result = compile(program, "main", &platform, &ToolchainConfig::default())?;
+    // 3. Run the tool chain as an observed session, stage by stage:
+    //    transforms → HTG → schedule → parallel model → code-level +
+    //    system-level WCET, with iterative feedback traced to stderr.
+    let trace = TraceObserver::stderr();
+    let flow = Toolflow::new(program, "main")
+        .platform(&platform)
+        .config(ToolchainConfig::default())
+        .observer(&trace);
+    let artifact = flow.run_frontend()?;
+    eprintln!(
+        "[quickstart] frontend artifact fingerprint: {}",
+        artifact.fingerprint()
+    );
+    let costs = flow.run_seed_costs(&artifact)?;
+    let result = flow.run_backend(artifact, Some(&costs))?;
     println!("{}", result.report());
 
     // 4. Inspect the explicitly parallel program (per-core pseudo-C).

@@ -14,12 +14,20 @@
 //! * [`sched`] — mapping/scheduling (list, branch-and-bound, annealing);
 //! * [`parir`] — explicitly parallel program model (§ II-C);
 //! * [`wcet`] — code- and system-level WCET analysis (§ II-D);
-//! * [`core`] — the staged toolchain driver chaining it all (§ II-E);
+//! * [`core`] — the staged [`Toolflow`] session driver chaining it all
+//!   (§ II-E): typed stage artifacts, structured [`Diagnostic`]s,
+//!   canonical [`Fingerprint`]s and [`StageObserver`] hooks;
 //! * [`sim`] — cycle-charging simulator validating the bounds;
 //! * [`apps`] — the three evaluation use cases (§ IV);
 //! * [`dse`] — parallel design-space exploration with artifact caching
 //!   and Pareto reporting (§ III);
-//! * [`bench`] — the E1–E8 experiment drivers.
+//! * [`bench`](mod@bench) — the E1–E8 experiment drivers.
+
+// The session driver API, re-exported at the facade root so downstream
+// code can spell `argo::Toolflow` / `argo::Diagnostic` directly.
+pub use argo_core::{
+    Artifact, Diagnostic, ErrorCode, Fingerprint, Fingerprintable, Stage, StageObserver, Toolflow,
+};
 
 pub use argo_adl as adl;
 pub use argo_apps as apps;

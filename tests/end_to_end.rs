@@ -9,13 +9,33 @@
 //!    on bus and NoC platforms, under every arbitration policy.
 
 use argo_adl::{Arbitration, Platform};
-use argo_core::{compile, ToolchainConfig};
+use argo_core::{compile, CollectingObserver, Stage, ToolchainConfig, Toolflow};
 use argo_sim::{sequential_reference, simulate, SimConfig, SimMode};
 use argo_wcet::system::MhpMode;
 
 fn check_use_case(uc: &argo_apps::UseCase, platform: &Platform, cfg: &ToolchainConfig) {
-    let r = compile(uc.program.clone(), uc.entry, platform, cfg)
+    // Drive the observed session API; every pipeline stage must emit a
+    // well-nested (start, finish) event pair.
+    let obs = CollectingObserver::new();
+    let r = Toolflow::new(uc.program.clone(), uc.entry)
+        .platform(platform)
+        .config(cfg.clone())
+        .observer(&obs)
+        .run()
         .unwrap_or_else(|e| panic!("{}: {e}", uc.name));
+    assert!(
+        obs.well_nested(),
+        "{}: stage events not well-nested",
+        uc.name
+    );
+    assert_eq!(obs.finished_count(Stage::Frontend), 1, "{}", uc.name);
+    assert_eq!(obs.finished_count(Stage::Backend), 1, "{}", uc.name);
+    assert_eq!(
+        obs.feedback_rounds().len() as u32,
+        r.feedback_iterations,
+        "{}: one snapshot per feedback round",
+        uc.name
+    );
     r.parallel.validate().unwrap();
 
     // Functional oracle: parallel result == sequential result. Note the
