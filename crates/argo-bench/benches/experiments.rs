@@ -127,11 +127,43 @@ fn bench_wcet(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_search(c: &mut Criterion) {
+    use argo_core::SchedulerKind;
+    use argo_dse::{DesignSpace, Explorer, PlatformKind};
+
+    let mut g = c.benchmark_group("e9_search");
+    g.sample_size(10);
+    let space = DesignSpace::new()
+        .app("polka")
+        .platforms(vec![PlatformKind::Bus, PlatformKind::Noc])
+        .cores(vec![1, 2, 4])
+        .schedulers(vec![SchedulerKind::List, SchedulerKind::Anneal])
+        .spm_capacities(vec![None, Some(4096)]);
+    // One explorer per group: the measured quantity is steered-search
+    // overhead on a warm artifact cache (the designer-iteration case).
+    let explorer = Explorer::new();
+    explorer.explore(&space);
+    for strategy in argo_search::all_strategies() {
+        g.bench_function(&format!("{}_24pt_quarter", strategy.name()), |b| {
+            b.iter(|| {
+                let report = explorer.search(
+                    black_box(&space),
+                    strategy.as_ref(),
+                    argo_search::Budget::evaluations(6),
+                );
+                black_box(report.pareto.len())
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_toolchain,
     bench_simulator,
     bench_schedulers,
-    bench_wcet
+    bench_wcet,
+    bench_search
 );
 criterion_main!(benches);

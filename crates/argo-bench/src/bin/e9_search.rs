@@ -1,0 +1,6 @@
+//! E9: search-vs-exhaustive Pareto-front quality (budgeted strategies
+//! from `argo-search` racing the full sweep).
+
+fn main() -> std::process::ExitCode {
+    argo_bench::run_binary("e9_search", argo_bench::e9_search_quality)
+}

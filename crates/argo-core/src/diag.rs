@@ -58,6 +58,10 @@ impl fmt::Display for Stage {
 pub enum ErrorCode {
     /// The input (or transformed) program failed IR validation.
     InvalidProgram,
+    /// A program/use-case *name* could not be resolved to a program at
+    /// all (emitted by drivers that look programs up by name, e.g. the
+    /// `argo-dse` explorer's use-case registry).
+    UnknownProgram,
     /// The requested entry function does not exist in the program.
     UnknownEntry,
     /// A session method that needs a platform was run on a session
@@ -90,6 +94,7 @@ impl ErrorCode {
     pub fn label(&self) -> &'static str {
         match self {
             ErrorCode::InvalidProgram => "invalid-program",
+            ErrorCode::UnknownProgram => "unknown-program",
             ErrorCode::UnknownEntry => "unknown-entry",
             ErrorCode::MissingPlatform => "missing-platform",
             ErrorCode::InvalidPlatform => "invalid-platform",

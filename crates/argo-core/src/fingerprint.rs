@@ -23,6 +23,7 @@
 //!   the artifact *content*.
 
 use argo_adl::{Arbitration, CacheConfig, Core, CoreKind, CoreTiming, Interconnect, Platform};
+use argo_sched::TaskGraph;
 use argo_wcet::value::ValueCtx;
 use std::fmt;
 
@@ -275,6 +276,49 @@ impl Fingerprintable for Platform {
     }
 }
 
+/// Canonical task-graph fingerprint: per-task costs and the dependence
+/// edges — everything a scheduler observes. The cosmetic task `names`
+/// and the `htg_ids` back-references are deliberately excluded: two
+/// graphs differing only in labels schedule identically and must share
+/// schedule-cache entries.
+impl Fingerprintable for TaskGraph {
+    fn feed(&self, h: &mut FingerprintHasher) {
+        h.write_str("task-graph");
+        h.write_u64(self.cost.len() as u64);
+        for &c in &self.cost {
+            h.write_u64(c);
+        }
+        h.write_u64(self.edges.len() as u64);
+        for &(from, to, bytes) in &self.edges {
+            h.write_u64(from as u64)
+                .write_u64(to as u64)
+                .write_u64(bytes);
+        }
+    }
+}
+
+/// Canonical cache key for one mapping-stage invocation: the task graph
+/// (costs + edges), the platform and the scheduler kind — the third
+/// cache tier of `argo-dse` (ROADMAP item (c)). Two invocations with
+/// equal keys produce identical [`argo_sched::Schedule`]s, because
+/// every scheduler in the workspace is a deterministic function of
+/// these inputs (the annealer's seed is fixed).
+///
+/// Takes the platform as a precomputed [`Fingerprint`] so backend
+/// feedback loops hash the platform once, not once per round.
+pub fn schedule_fingerprint(
+    graph: &TaskGraph,
+    platform_fp: Fingerprint,
+    scheduler: SchedulerKind,
+) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    h.write_str("schedule-inputs");
+    graph.feed(&mut h);
+    h.write_fingerprint(platform_fp);
+    h.write_str(scheduler.label());
+    h.finish()
+}
+
 impl Fingerprintable for ValueCtx {
     fn feed(&self, h: &mut FingerprintHasher) {
         h.write_str("value-ctx");
@@ -294,11 +338,7 @@ impl Fingerprintable for ToolchainConfig {
     fn feed(&self, h: &mut FingerprintHasher) {
         h.write_str("toolchain-config");
         crate::feed_frontend_config(self, h);
-        h.write_str(match self.scheduler {
-            SchedulerKind::List => "list",
-            SchedulerKind::BranchAndBound => "bnb",
-            SchedulerKind::Anneal => "anneal",
-        });
+        h.write_str(self.scheduler.label());
         h.write_str(match self.mhp {
             argo_wcet::system::MhpMode::Naive => "naive",
             argo_wcet::system::MhpMode::Static => "static",

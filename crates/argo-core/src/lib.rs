@@ -67,6 +67,7 @@
 //! | `"platform"` | [`ErrorCode::InvalidPlatform`] | backend |
 //! | *(new)* | [`ErrorCode::MissingPlatform`] | backend |
 //! | `"code-wcet"`, `"task-wcet"` | [`ErrorCode::CodeWcetFailed`] | seed-costs/backend |
+//! | *(new — name-resolving drivers)* | [`ErrorCode::UnknownProgram`] | frontend |
 //! | `"mem-assign"` | [`ErrorCode::MemAssignFailed`] | backend |
 //! | `"parallel-model"` | [`ErrorCode::ParallelModelFailed`] | backend |
 
@@ -80,12 +81,12 @@ pub use artifact::{
     Artifact, BackendResult, CostTable, FrontendArtifact, TaskCosts, ToolchainResult,
 };
 pub use diag::{Diagnostic, ErrorCode, Stage};
-pub use fingerprint::{Fingerprint, FingerprintHasher, Fingerprintable};
+pub use fingerprint::{schedule_fingerprint, Fingerprint, FingerprintHasher, Fingerprintable};
 pub use observer::{
     CollectingObserver, FeedbackSnapshot, NullObserver, StageEvent, StageObserver, StageSummary,
     TraceObserver,
 };
-pub use session::Toolflow;
+pub use session::{ScheduleCache, Toolflow};
 
 pub(crate) use session::feed_frontend_config;
 
@@ -104,6 +105,19 @@ pub enum SchedulerKind {
     BranchAndBound,
     /// Simulated annealing refinement.
     Anneal,
+}
+
+impl SchedulerKind {
+    /// Stable lower-case label, shared by reports, CLI parsing and the
+    /// canonical fingerprint encodings (a single source of truth: a new
+    /// variant fails to compile until it has a label).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerKind::List => "list",
+            SchedulerKind::BranchAndBound => "bnb",
+            SchedulerKind::Anneal => "anneal",
+        }
+    }
 }
 
 /// Tool-chain configuration.
@@ -193,7 +207,7 @@ pub fn backend(
     cfg: &ToolchainConfig,
     seed: Option<&CostTable>,
 ) -> Result<BackendResult, Diagnostic> {
-    session::run_backend_impl(artifact, entry, platform, cfg, seed, None)
+    session::run_backend_impl(artifact, entry, platform, cfg, seed, None, None)
 }
 
 /// Runs the complete ARGO flow on `program` for `platform` — a thin
@@ -570,6 +584,109 @@ mod tests {
         for snap in &rounds {
             assert_eq!(snap.assignment.len(), r.parallel.graph.len());
         }
+    }
+
+    #[test]
+    fn schedule_cache_is_hit_by_graph_preserving_axes_and_preserves_results() {
+        use std::collections::HashMap;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct CountingCache {
+            map: Mutex<HashMap<Fingerprint, argo_sched::Schedule>>,
+            hits: AtomicU64,
+            misses: AtomicU64,
+        }
+        impl ScheduleCache for CountingCache {
+            fn schedule(
+                &self,
+                key: Fingerprint,
+                build: &mut dyn FnMut() -> argo_sched::Schedule,
+            ) -> argo_sched::Schedule {
+                let mut map = self.map.lock().unwrap();
+                if let Some(s) = map.get(&key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return s.clone();
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let s = build();
+                map.insert(key, s.clone());
+                s
+            }
+        }
+
+        let program = parse_program(MAP_REDUCE).unwrap();
+        let platform = Platform::xentium_manycore(4);
+        let cache = CountingCache::default();
+        let run = |mhp, cache: Option<&dyn ScheduleCache>| {
+            let mut flow = Toolflow::new(program.clone(), "main")
+                .platform(&platform)
+                .config(ToolchainConfig {
+                    mhp,
+                    ..Default::default()
+                });
+            if let Some(c) = cache {
+                flow = flow.schedule_cache(c);
+            }
+            flow.run().unwrap()
+        };
+        use argo_wcet::system::MhpMode;
+        let plain = run(MhpMode::Static, None);
+        let cached = run(MhpMode::Static, Some(&cache));
+        assert_eq!(plain.system, cached.system, "cache must be transparent");
+        assert_eq!(plain.report(), cached.report());
+        // Hits can already happen within one run: consecutive feedback
+        // rounds whose re-costing converges produce identical graphs.
+        let misses_after_first = cache.misses.load(Ordering::Relaxed);
+        let hits_after_first = cache.hits.load(Ordering::Relaxed);
+        assert!(misses_after_first > 0);
+
+        // The MHP axis leaves graph, platform and scheduler alone: a
+        // re-run under a different MHP mode is served from the cache.
+        let windows = run(MhpMode::Windows, Some(&cache));
+        assert_eq!(
+            cache.misses.load(Ordering::Relaxed),
+            misses_after_first,
+            "MHP-only change must not rebuild schedules"
+        );
+        assert_eq!(
+            cache.hits.load(Ordering::Relaxed) - hits_after_first,
+            u64::from(windows.feedback_iterations),
+            "every round of the re-run hits"
+        );
+        assert_eq!(windows.parallel.graph.len(), cached.parallel.graph.len());
+    }
+
+    #[test]
+    fn task_graph_fingerprint_ignores_labels_but_sees_structure() {
+        use argo_sched::TaskGraph;
+        let base = TaskGraph {
+            cost: vec![5, 7, 9],
+            edges: vec![(0, 1, 16), (1, 2, 8)],
+            names: vec!["a".into(), "b".into(), "c".into()],
+            htg_ids: vec![],
+        };
+        let mut renamed = base.clone();
+        renamed.names = vec!["x".into(), "y".into(), "z".into()];
+        assert_eq!(base.fingerprint(), renamed.fingerprint());
+        let mut recosted = base.clone();
+        recosted.cost[1] = 8;
+        assert_ne!(base.fingerprint(), recosted.fingerprint());
+        let mut rewired = base.clone();
+        rewired.edges[0] = (0, 2, 16);
+        assert_ne!(base.fingerprint(), rewired.fingerprint());
+        // The composite key separates scheduler kinds and platforms.
+        let p = Platform::xentium_manycore(2).fingerprint();
+        let q = Platform::xentium_manycore(3).fingerprint();
+        assert_ne!(
+            schedule_fingerprint(&base, p, SchedulerKind::List),
+            schedule_fingerprint(&base, p, SchedulerKind::Anneal)
+        );
+        assert_ne!(
+            schedule_fingerprint(&base, p, SchedulerKind::List),
+            schedule_fingerprint(&base, q, SchedulerKind::List)
+        );
     }
 
     #[test]

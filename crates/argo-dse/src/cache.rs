@@ -19,12 +19,14 @@
 //! under the slot's own once-initialization, so two workers never build
 //! the same artifact twice and distinct keys never serialize each other.
 
-use argo_core::{CostTable, Diagnostic, Fingerprint, FrontendArtifact};
+use argo_core::{CostTable, Diagnostic, Fingerprint, FrontendArtifact, ScheduleCache};
+use argo_sched::Schedule;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
-/// Hit/miss counters for both cache tiers.
+/// Hit/miss counters for all three cache tiers.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Frontend artifacts served from cache.
@@ -35,17 +37,24 @@ pub struct CacheStats {
     pub cost_hits: u64,
     /// Seed-cost tables built.
     pub cost_misses: u64,
+    /// Schedules served from cache (third tier, one lookup per backend
+    /// feedback round).
+    pub sched_hits: u64,
+    /// Schedules built (third-tier misses).
+    pub sched_misses: u64,
+    /// Wall time spent building third-tier schedules, in nanoseconds.
+    pub sched_build_ns: u64,
 }
 
 impl CacheStats {
-    /// Total hits across both tiers.
+    /// Total hits across all tiers.
     pub fn hits(&self) -> u64 {
-        self.frontend_hits + self.cost_hits
+        self.frontend_hits + self.cost_hits + self.sched_hits
     }
 
-    /// Total misses across both tiers.
+    /// Total misses across all tiers.
     pub fn misses(&self) -> u64 {
-        self.frontend_misses + self.cost_misses
+        self.frontend_misses + self.cost_misses + self.sched_misses
     }
 
     /// Hit rate in `[0, 1]` (0 when nothing was requested).
@@ -61,15 +70,25 @@ impl CacheStats {
 
 type Slot<T> = Arc<OnceLock<Result<Arc<T>, Diagnostic>>>;
 
-/// Two-tier artifact cache (frontend artifacts, seed-cost tables).
+/// Three-tier artifact cache: frontend artifacts, seed-cost tables and
+/// mapping-stage schedules. The schedule tier implements
+/// [`argo_core::ScheduleCache`], so binding the whole cache to a
+/// session via [`argo_core::Toolflow::schedule_cache`] is enough to
+/// share schedules across points whose feedback rounds re-derive
+/// identical `(task graph, platform, scheduler)` inputs (ROADMAP item
+/// (c)) — e.g. the MHP axis, or converged rounds within one backend.
 #[derive(Default)]
 pub struct ArtifactCache {
     frontend: Mutex<HashMap<Fingerprint, Slot<FrontendArtifact>>>,
     costs: Mutex<HashMap<Fingerprint, Slot<CostTable>>>,
+    schedules: Mutex<HashMap<Fingerprint, Arc<OnceLock<Schedule>>>>,
     frontend_hits: AtomicU64,
     frontend_misses: AtomicU64,
     cost_hits: AtomicU64,
     cost_misses: AtomicU64,
+    sched_hits: AtomicU64,
+    sched_misses: AtomicU64,
+    sched_build_ns: AtomicU64,
 }
 
 fn get_or_build<T>(
@@ -144,7 +163,42 @@ impl ArtifactCache {
             frontend_misses: self.frontend_misses.load(Ordering::Relaxed),
             cost_hits: self.cost_hits.load(Ordering::Relaxed),
             cost_misses: self.cost_misses.load(Ordering::Relaxed),
+            sched_hits: self.sched_hits.load(Ordering::Relaxed),
+            sched_misses: self.sched_misses.load(Ordering::Relaxed),
+            sched_build_ns: self.sched_build_ns.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// The third tier: schedules never fail, so slots hold plain values;
+/// build wall time is charged to `sched_build_ns` for the per-tier
+/// timing attribution in exploration reports.
+impl ScheduleCache for ArtifactCache {
+    fn schedule(&self, key: Fingerprint, build: &mut dyn FnMut() -> Schedule) -> Schedule {
+        let (slot, created) = {
+            let mut map = self.schedules.lock().unwrap();
+            match map.get(&key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot: Arc<OnceLock<Schedule>> = Arc::new(OnceLock::new());
+                    map.insert(key, Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        if created {
+            self.sched_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.sched_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        slot.get_or_init(|| {
+            let t0 = Instant::now();
+            let schedule = build();
+            self.sched_build_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            schedule
+        })
+        .clone()
     }
 }
 
@@ -200,6 +254,31 @@ mod tests {
             assert!(r.is_err());
         }
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn schedule_tier_builds_once_and_charges_build_time() {
+        let cache = ArtifactCache::new();
+        let calls = std::cell::Cell::new(0);
+        let mut build = || {
+            calls.set(calls.get() + 1);
+            Schedule {
+                assignment: vec![argo_adl::CoreId(0)],
+                start: vec![0],
+                finish: vec![9],
+            }
+        };
+        let a = cache.schedule(Fingerprint(5), &mut build);
+        let b = cache.schedule(Fingerprint(5), &mut build);
+        assert_eq!(calls.get(), 1, "second lookup must not rebuild");
+        assert_eq!(a, b);
+        let s = cache.stats();
+        assert_eq!((s.sched_hits, s.sched_misses), (1, 1));
+        assert_eq!(s.hits(), 1);
+        assert_eq!(s.misses(), 1);
+        // Distinct key → distinct build.
+        cache.schedule(Fingerprint(6), &mut build);
+        assert_eq!(calls.get(), 2);
     }
 
     #[test]

@@ -1,17 +1,35 @@
 //! The exploration engine: resolves programs, fans points out onto the
 //! work-stealing executor, shares artifacts through the content-hash
 //! cache and assembles the deterministic report.
+//!
+//! Two entry points:
+//!
+//! * [`Explorer::explore`] — the exhaustive sweep: every lattice point
+//!   is evaluated;
+//! * [`Explorer::search`] — the steered sweep: an `argo-search`
+//!   [`SearchStrategy`] picks which points to evaluate under a
+//!   [`Budget`], the engine evaluates each requested batch in parallel,
+//!   and the report covers the evaluated subset (plus the strategy
+//!   metadata).
+//!
+//! Both share [`Explorer::evaluate_point`], the reusable per-point
+//! evaluation API layered on toolflow sessions: canonical fingerprints
+//! key all three cache tiers, a [`TimingObserver`] attributes wall time
+//! per stage, and failures surface as structured
+//! [`Diagnostic`]s.
 
-use crate::cache::{ArtifactCache, CacheStats};
+use crate::cache::ArtifactCache;
 use crate::executor::{default_threads, parallel_map};
-use crate::pareto::pareto_front;
-use crate::report::{ExplorationReport, PointMetrics, ReportRow};
+use crate::observe::{TierTiming, TimingObserver};
+use crate::pareto::{pareto_front, Objectives};
+use crate::report::{ExplorationReport, PointMetrics, ReportRow, SearchInfo};
 use crate::space::{DesignSpace, ExplorationPoint};
-use argo_core::{Fingerprint, ToolchainConfig, Toolflow};
+use argo_core::{Diagnostic, ErrorCode, Fingerprint, Stage, ToolchainConfig, Toolflow};
 use argo_ir::ast::Program;
+use argo_search::{Budget, Evaluator, Lattice, SearchStrategy};
 use argo_wcet::value::ValueCtx;
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// A program ready to explore: IR, entry point, and the program's
@@ -35,13 +53,21 @@ impl ResolvedApp {
     }
 }
 
+/// Memoized built-in use-case resolutions, keyed by `(name, seed)`.
+type ResolvedMemo = Mutex<HashMap<(String, u64), Result<Arc<ResolvedApp>, Diagnostic>>>;
+
 /// Drives [`DesignSpace`] sweeps. The artifact cache lives on the
-/// explorer, so repeated [`Explorer::explore`] calls (and overlapping
-/// spaces) keep sharing artifacts.
+/// explorer, so repeated [`Explorer::explore`]/[`Explorer::search`]
+/// calls (and overlapping spaces) keep sharing artifacts across all
+/// three tiers.
 pub struct Explorer {
     threads: usize,
     cache: ArtifactCache,
     custom: HashMap<String, Arc<ResolvedApp>>,
+    /// Built-in use cases resolved at most once per `(name, seed)`,
+    /// shared by every entry point (`explore` pre-resolves its apps,
+    /// `evaluate_point` resolves lazily).
+    resolved: ResolvedMemo,
 }
 
 impl Default for Explorer {
@@ -62,6 +88,7 @@ impl Explorer {
             threads: threads.max(1),
             cache: ArtifactCache::new(),
             custom: HashMap::new(),
+            resolved: Mutex::new(HashMap::new()),
         }
     }
 
@@ -79,26 +106,64 @@ impl Explorer {
     }
 
     /// Current artifact-cache counters.
-    pub fn cache_stats(&self) -> CacheStats {
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
         self.cache.stats()
     }
 
-    fn resolve(&self, name: &str, seed: u64) -> Result<Arc<ResolvedApp>, String> {
+    fn resolve(&self, name: &str, seed: u64) -> Result<Arc<ResolvedApp>, Diagnostic> {
         if let Some(app) = self.custom.get(name) {
             return Ok(Arc::clone(app));
         }
-        let uc = match name {
-            "egpws" => argo_apps::egpws::use_case(seed),
-            "weaa" => argo_apps::weaa::use_case(seed),
-            "polka" => argo_apps::polka::use_case(seed),
-            other => {
-                return Err(format!(
+        let mut memo = self.resolved.lock().unwrap();
+        if let Some(cached) = memo.get(&(name.to_string(), seed)) {
+            return cached.clone();
+        }
+        let resolved = match name {
+            "egpws" => Ok(argo_apps::egpws::use_case(seed)),
+            "weaa" => Ok(argo_apps::weaa::use_case(seed)),
+            "polka" => Ok(argo_apps::polka::use_case(seed)),
+            other => Err(Diagnostic::new(
+                Stage::Frontend,
+                ErrorCode::UnknownProgram,
+                format!(
                     "unknown use case `{other}` (built-ins: egpws, weaa, polka; \
                      or register a custom program)"
-                ))
+                ),
+            )
+            .with_entity(other)),
+        }
+        .map(|uc| Arc::new(ResolvedApp::new(uc.program, uc.entry)));
+        memo.insert((name.to_string(), seed), resolved.clone());
+        resolved
+    }
+
+    /// Evaluates one fully-specified point: resolves its app by name
+    /// (memoized per `(name, seed)`), drives a toolflow session through
+    /// the shared three-tier cache and returns the report row. This is
+    /// the per-point API the search strategies and external drivers
+    /// reuse; `space` supplies the cross-point knobs (feedback rounds,
+    /// synthetic-input seed).
+    pub fn evaluate_point(&self, point: ExplorationPoint, space: &DesignSpace) -> ReportRow {
+        self.evaluate_observed(point, space, None)
+    }
+
+    fn evaluate_observed(
+        &self,
+        point: ExplorationPoint,
+        space: &DesignSpace,
+        obs: Option<&TimingObserver>,
+    ) -> ReportRow {
+        match self.resolve(&point.app, space.seed) {
+            Ok(app) => self.evaluate(&app, point, space, obs),
+            Err(diagnostic) => {
+                let spm_effective = point.spm_bytes.unwrap_or(0);
+                ReportRow {
+                    point,
+                    spm_effective,
+                    outcome: Err(diagnostic),
+                }
             }
-        };
-        Ok(Arc::new(ResolvedApp::new(uc.program, uc.entry)))
+        }
     }
 
     /// Runs the full sweep and returns the report. Rows are in
@@ -109,46 +174,101 @@ impl Explorer {
 
         // Resolve each distinct app once, sequentially and in order —
         // use-case construction is itself seeded and deterministic.
-        let mut apps: HashMap<String, Result<Arc<ResolvedApp>, String>> = HashMap::new();
         for p in &points {
-            if !apps.contains_key(&p.app) {
-                apps.insert(p.app.clone(), self.resolve(&p.app, space.seed));
-            }
+            let _ = self.resolve(&p.app, space.seed);
         }
 
-        let rows = parallel_map(
-            points,
-            self.threads,
-            &|_idx, point: ExplorationPoint| match &apps[&point.app] {
-                Ok(app) => self.evaluate(app, point, space),
-                Err(e) => {
-                    let spm_effective = point.spm_bytes.unwrap_or(0);
-                    ReportRow {
-                        point,
-                        spm_effective,
-                        outcome: Err(e.clone()),
-                    }
-                }
-            },
-        );
+        let timing_obs = TimingObserver::new();
+        let stats_before = self.cache.stats();
+        let rows = parallel_map(points, self.threads, &|_idx, point: ExplorationPoint| {
+            self.evaluate_observed(point, space, Some(&timing_obs))
+        });
+        let pareto = front_of(&rows);
+        self.finish_report(rows, pareto, t0, &timing_obs, stats_before, None)
+    }
 
-        let successes: Vec<(usize, [u64; 3])> = rows
-            .iter()
-            .enumerate()
-            .filter_map(|(i, r)| Some(i).zip(r.objectives()))
-            .collect();
-        let objectives: Vec<[u64; 3]> = successes.iter().map(|(_, o)| *o).collect();
-        let pareto: Vec<usize> = pareto_front(&objectives)
-            .into_iter()
-            .map(|k| successes[k].0)
-            .collect();
+    /// Runs a budgeted, strategy-steered sweep: only the points the
+    /// strategy requests are evaluated (each batch fanned out over the
+    /// worker pool), and the report contains exactly the evaluated
+    /// subset in lattice order. Deterministic for a fixed
+    /// `(space, strategy, budget)` triple, for any thread count — the
+    /// search seed is the space's seed.
+    pub fn search(
+        &self,
+        space: &DesignSpace,
+        strategy: &dyn SearchStrategy,
+        budget: Budget,
+    ) -> ExplorationReport {
+        let t0 = Instant::now();
+        let points = space.points();
+        let lattice = Lattice::new(vec![
+            space.apps.len(),
+            space.platforms.len(),
+            space.cores.len(),
+            space.schedulers.len(),
+            space.granularities.len(),
+            space.chunking.len(),
+            space.spm_capacities.len(),
+        ]);
+        debug_assert_eq!(lattice.len(), points.len(), "lattice mirrors points()");
 
+        let timing_obs = TimingObserver::new();
+        let stats_before = self.cache.stats();
+        let evaluated_rows: Mutex<BTreeMap<usize, ReportRow>> = Mutex::new(BTreeMap::new());
+        let evaluations;
+        {
+            let mut eval_fn = |batch: &[usize]| -> Vec<Option<Objectives>> {
+                let jobs: Vec<usize> = batch.to_vec();
+                let rows = parallel_map(jobs, self.threads, &|_j, idx: usize| {
+                    (
+                        idx,
+                        self.evaluate_observed(points[idx].clone(), space, Some(&timing_obs)),
+                    )
+                });
+                let objectives = rows.iter().map(|(_, row)| row.objectives()).collect();
+                evaluated_rows.lock().unwrap().extend(rows);
+                objectives
+            };
+            let mut evaluator = Evaluator::new(budget, &mut eval_fn);
+            strategy.search(&lattice, space.seed, &mut evaluator);
+            evaluations = evaluator.evaluations();
+        }
+
+        let rows: Vec<ReportRow> = evaluated_rows.into_inner().unwrap().into_values().collect();
+        let pareto = front_of(&rows);
+        let info = SearchInfo {
+            strategy: strategy.name(),
+            seed: space.seed,
+            budget,
+            lattice_points: lattice.len(),
+            evaluated: evaluations,
+        };
+        self.finish_report(rows, pareto, t0, &timing_obs, stats_before, Some(info))
+    }
+
+    fn finish_report(
+        &self,
+        rows: Vec<ReportRow>,
+        pareto: Vec<usize>,
+        t0: Instant,
+        timing_obs: &TimingObserver,
+        stats_before: crate::cache::CacheStats,
+        search: Option<SearchInfo>,
+    ) -> ExplorationReport {
+        let stats_after = self.cache.stats();
+        let mut timing = timing_obs.snapshot();
+        timing.schedule_builds = TierTiming {
+            runs: stats_after.sched_misses - stats_before.sched_misses,
+            nanos: stats_after.sched_build_ns - stats_before.sched_build_ns,
+        };
         ExplorationReport {
             rows,
             pareto,
-            cache: self.cache.stats(),
+            cache: stats_after,
             wall_ms: t0.elapsed().as_secs_f64() * 1e3,
             threads: self.threads,
+            timing,
+            search,
         }
     }
 
@@ -157,6 +277,7 @@ impl Explorer {
         app: &ResolvedApp,
         point: ExplorationPoint,
         space: &DesignSpace,
+        obs: Option<&TimingObserver>,
     ) -> ReportRow {
         let cfg = ToolchainConfig {
             granularity: point.granularity,
@@ -172,18 +293,29 @@ impl Explorer {
             return ReportRow {
                 point,
                 spm_effective,
-                outcome: Err(e.to_string()),
+                outcome: Err(Diagnostic::new(
+                    Stage::Backend,
+                    ErrorCode::InvalidPlatform,
+                    e.to_string(),
+                )
+                .with_entity(&platform.name)),
             };
         }
         // One session drives the whole point: it owns the canonical
         // per-stage input fingerprints (the cache keys) and the staged
         // builds on a miss. The session borrows the resolved program
         // and reuses its once-computed fingerprint, so a cache hit
-        // costs neither a deep clone nor a print-and-hash pass.
-        let flow = Toolflow::borrowed(&app.program, &app.entry)
+        // costs neither a deep clone nor a print-and-hash pass. The
+        // schedule cache (third tier) intercepts every mapping-stage
+        // invocation inside the backend's feedback loop.
+        let mut flow = Toolflow::borrowed(&app.program, &app.entry)
             .platform(&platform)
             .config(cfg)
-            .with_program_fingerprint(app.program_fp);
+            .with_program_fingerprint(app.program_fp)
+            .schedule_cache(&self.cache);
+        if let Some(obs) = obs {
+            flow = flow.observer(obs);
+        }
 
         // Tier 1: frontend artifact — shared by every point with the same
         // program text, entry, transform options and core count.
@@ -196,7 +328,7 @@ impl Explorer {
                 return ReportRow {
                     point,
                     spm_effective,
-                    outcome: Err(e.to_string()),
+                    outcome: Err(e),
                 }
             }
         };
@@ -216,7 +348,7 @@ impl Explorer {
                 return ReportRow {
                     point,
                     spm_effective,
-                    outcome: Err(e.to_string()),
+                    outcome: Err(e),
                 }
             }
         };
@@ -237,10 +369,24 @@ impl Explorer {
             Err(e) => ReportRow {
                 point,
                 spm_effective,
-                outcome: Err(e.to_string()),
+                outcome: Err(e),
             },
         }
     }
+}
+
+/// Pareto front over the successful rows (indices into `rows`).
+fn front_of(rows: &[ReportRow]) -> Vec<usize> {
+    let successes: Vec<(usize, Objectives)> = rows
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| Some(i).zip(r.objectives()))
+        .collect();
+    let objectives: Vec<Objectives> = successes.iter().map(|&(_, o)| o).collect();
+    pareto_front(&objectives)
+        .into_iter()
+        .map(|k| successes[k].0)
+        .collect()
 }
 
 #[cfg(test)]
@@ -249,6 +395,7 @@ mod tests {
     use crate::space::PlatformKind;
     use argo_core::SchedulerKind;
     use argo_ir::parse::parse_program;
+    use argo_search::Genetic;
 
     const MAP_REDUCE: &str = r#"
         real main(real a[64], real b[64]) {
@@ -287,6 +434,11 @@ mod tests {
         assert_eq!(report.rows[0].point.scheduler, SchedulerKind::List);
         assert_eq!(report.rows[1].point.scheduler, SchedulerKind::Anneal);
         assert_eq!(report.rows[5].point.cores, 4);
+        // The timing observer attributed the builds: one frontend per
+        // core count, one backend per point.
+        assert_eq!(report.timing.frontend.runs, 3);
+        assert_eq!(report.timing.backend.runs, 6);
+        assert!(report.search.is_none());
     }
 
     #[test]
@@ -311,17 +463,31 @@ mod tests {
     }
 
     #[test]
+    fn evaluate_point_matches_explore_rows() {
+        let ex = tiny_explorer();
+        let space = tiny_space();
+        let report = ex.explore(&space);
+        for (row, point) in report.rows.iter().zip(space.points()) {
+            let single = ex.evaluate_point(point, &space);
+            assert_eq!(&single, row, "single-point API must agree with sweeps");
+        }
+    }
+
+    #[test]
     fn unknown_app_yields_error_rows_not_panics() {
         let ex = Explorer::with_threads(2);
         let report = ex.explore(&DesignSpace::new().app("nope"));
         assert_eq!(report.rows.len(), 1);
         assert_eq!(report.failures(), 1);
         assert!(report.pareto.is_empty());
-        assert!(report.rows[0]
-            .outcome
-            .as_ref()
-            .unwrap_err()
-            .contains("unknown use case"));
+        let err = report.rows[0].outcome.as_ref().unwrap_err();
+        assert_eq!(err.code, argo_core::ErrorCode::UnknownProgram);
+        assert_eq!(err.entity.as_deref(), Some("nope"));
+        assert!(err.message.contains("unknown use case"));
+        assert_eq!(
+            report.failure_classes(),
+            vec![("frontend/unknown-program".to_string(), 1)]
+        );
     }
 
     #[test]
@@ -351,5 +517,35 @@ mod tests {
         assert_eq!(report.failures(), 0);
         let m = report.rows[0].outcome.as_ref().unwrap();
         assert!(m.par_bound > 0);
+    }
+
+    #[test]
+    fn searched_sweep_stays_within_budget_and_reports_metadata() {
+        let ex = tiny_explorer();
+        let space = tiny_space()
+            .granularities(vec![
+                argo_htg::Granularity::Loop,
+                argo_htg::Granularity::Block,
+            ])
+            .chunking(vec![true, false]);
+        assert_eq!(space.len(), 24);
+        let report = ex.search(&space, &Genetic::new(), Budget::evaluations(12));
+        let info = report.search.as_ref().expect("search metadata");
+        assert_eq!(info.strategy, "ga");
+        assert_eq!(info.lattice_points, 24);
+        assert!(info.evaluated <= 12);
+        assert_eq!(report.rows.len(), info.evaluated);
+        assert!(!report.pareto.is_empty());
+        // Rows arrive in lattice order: strictly increasing point labels
+        // under the DesignSpace enumeration.
+        let all_points = space.points();
+        let mut cursor = 0;
+        for row in &report.rows {
+            let pos = all_points[cursor..]
+                .iter()
+                .position(|p| *p == row.point)
+                .expect("row must be a lattice point, in order");
+            cursor += pos + 1;
+        }
     }
 }

@@ -12,6 +12,7 @@
 
 use argo_dse::space::{parse_granularity, parse_mhp, parse_scheduler};
 use argo_dse::{DesignSpace, Explorer, PlatformKind};
+use argo_search::{parse_strategy, Budget, SearchStrategy};
 use std::process::ExitCode;
 
 const USAGE: &str = "argo-dse — WCET-aware design-space exploration (ARGO toolflow)
@@ -32,7 +33,13 @@ EXPLORE OPTIONS:
                                e.g. default,0,4096 (default: default)
     --mhp MODE                 naive|static|windows (default: static)
     --feedback-rounds N        iterative optimization budget (default: 3)
-    --seed N                   synthetic input seed (default: 42)
+    --seed N                   synthetic input + search seed (default: 42)
+    --strategy NAME            exhaustive|ga|anneal|halving (default:
+                               exhaustive — evaluate every lattice point)
+    --budget N                 max point evaluations for a steered search
+                               (default: a quarter of the lattice, min 16)
+    --stall N                  also stop a steered search after N points
+                               without a Pareto-front improvement
     --threads N                worker threads (default: all cores)
     --csv PATH                 also write the CSV report
     --json PATH                also write the JSON report
@@ -100,6 +107,9 @@ fn parse_chunk(spec: &str) -> Result<Vec<bool>, String> {
 
 struct Options {
     space: DesignSpace,
+    strategy: Option<Box<dyn SearchStrategy>>,
+    budget: Option<usize>,
+    stall: Option<usize>,
     threads: Option<usize>,
     csv: Option<String>,
     json: Option<String>,
@@ -108,6 +118,9 @@ struct Options {
 
 fn parse_explore_args(args: &[String]) -> Result<Options, String> {
     let mut space = DesignSpace::new();
+    let mut strategy: Option<Box<dyn SearchStrategy>> = None;
+    let mut budget = None;
+    let mut stall = None;
     let mut threads = None;
     let mut csv = None;
     let mut json = None;
@@ -164,6 +177,20 @@ fn parse_explore_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "bad --feedback-rounds".to_string())?;
             }
             "--seed" => space.seed = value()?.parse().map_err(|_| "bad --seed".to_string())?,
+            "--strategy" => {
+                let v = value()?;
+                strategy = if v == "exhaustive" {
+                    None
+                } else {
+                    Some(parse_strategy(v)?)
+                };
+            }
+            "--budget" => {
+                budget = Some(value()?.parse().map_err(|_| "bad --budget".to_string())?);
+            }
+            "--stall" => {
+                stall = Some(value()?.parse().map_err(|_| "bad --stall".to_string())?);
+            }
             "--threads" => {
                 threads = Some(value()?.parse().map_err(|_| "bad --threads".to_string())?);
             }
@@ -176,8 +203,18 @@ fn parse_explore_args(args: &[String]) -> Result<Options, String> {
     if space.apps.is_empty() {
         space.apps.push("egpws".to_string());
     }
+    // A budget without a strategy would silently run the full lattice —
+    // reject instead of dropping the user's limit on the floor.
+    if strategy.is_none() && (budget.is_some() || stall.is_some()) {
+        return Err(
+            "--budget/--stall require a steered search: add --strategy ga|anneal|halving".into(),
+        );
+    }
     Ok(Options {
         space,
+        strategy,
+        budget,
+        stall,
         threads,
         csv,
         json,
@@ -191,7 +228,21 @@ fn run_explore(args: &[String]) -> Result<bool, String> {
         Some(t) => Explorer::with_threads(t),
         None => Explorer::new(),
     };
-    let report = explorer.explore(&opts.space);
+    let report = match &opts.strategy {
+        None => explorer.explore(&opts.space),
+        Some(strategy) => {
+            // Default budget: a quarter of the lattice (the point of a
+            // steered search), but never fewer than 16 evaluations.
+            let max = opts
+                .budget
+                .unwrap_or_else(|| (opts.space.len() / 4).max(16));
+            let mut budget = Budget::evaluations(max);
+            if let Some(n) = opts.stall {
+                budget = budget.with_stall(n);
+            }
+            explorer.search(&opts.space, strategy.as_ref(), budget)
+        }
+    };
     if let Some(path) = &opts.csv {
         std::fs::write(path, report.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
     }
@@ -286,6 +337,39 @@ mod tests {
         assert_eq!(o.space.len(), 2 * 2 * 4 * 3);
         assert_eq!(o.threads, Some(3));
         assert!(o.quiet);
+    }
+
+    #[test]
+    fn strategy_flags_parse() {
+        let args: Vec<String> = ["--strategy", "ga", "--budget", "64", "--stall", "16"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse_explore_args(&args).unwrap();
+        assert_eq!(o.strategy.as_ref().unwrap().name(), "ga");
+        assert_eq!(o.budget, Some(64));
+        assert_eq!(o.stall, Some(16));
+
+        let exhaustive =
+            parse_explore_args(&["--strategy".to_string(), "exhaustive".into()]).unwrap();
+        assert!(exhaustive.strategy.is_none());
+
+        assert!(parse_explore_args(&["--strategy".to_string(), "tabu".into()]).is_err());
+        assert!(parse_explore_args(&["--budget".to_string(), "x".into()]).is_err());
+        // Budget/stall without a strategy would be silently ignored —
+        // rejected instead.
+        let err = match parse_explore_args(&["--budget".to_string(), "64".into()]) {
+            Err(e) => e,
+            Ok(_) => panic!("--budget without --strategy must be rejected"),
+        };
+        assert!(err.contains("--strategy"), "{err}");
+        assert!(parse_explore_args(&[
+            "--strategy".to_string(),
+            "exhaustive".into(),
+            "--stall".into(),
+            "8".into()
+        ])
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Per-stage wall-time attribution for exploration runs.
+//!
+//! The [`crate::Explorer`] attaches a [`TimingObserver`] — a
+//! [`StageObserver`] — to every point's toolflow session, so a sweep's
+//! report can say where its wall time went: frontend builds, seed-cost
+//! builds, backend runs. Because the frontend and seed-cost stages only
+//! *run* on a cache miss (hits return the shared artifact without
+//! touching the session), the per-stage totals double as per-cache-tier
+//! build-cost attribution; the third tier's build time (schedule
+//! results, charged inside the backend) is measured by the cache itself
+//! and reported as [`StageTimings::schedule_builds`].
+
+use argo_core::{Stage, StageObserver, StageSummary};
+use std::sync::Mutex;
+
+/// Accumulated runs and wall time of one stage or cache tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierTiming {
+    /// Completed runs (stage executions, or tier builds).
+    pub runs: u64,
+    /// Total wall time in nanoseconds.
+    pub nanos: u64,
+}
+
+impl TierTiming {
+    /// Total wall time in milliseconds.
+    pub fn ms(&self) -> f64 {
+        self.nanos as f64 / 1e6
+    }
+}
+
+/// Wall-time totals of one exploration, per pipeline stage and for the
+/// schedule cache tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Frontend stage executions (= first-tier cache misses).
+    pub frontend: TierTiming,
+    /// Seed-cost stage executions (= second-tier cache misses).
+    pub seed_costs: TierTiming,
+    /// Backend stage executions (one per evaluated point).
+    pub backend: TierTiming,
+    /// Mapping-stage builds charged through the third cache tier
+    /// (a subset of the backend time).
+    pub schedule_builds: TierTiming,
+}
+
+/// Thread-safe observer summing stage wall time across the concurrent
+/// sessions of one sweep. Stage events from different worker threads
+/// interleave freely — only per-stage totals are kept, so no nesting
+/// assumptions are made.
+#[derive(Debug, Default)]
+pub struct TimingObserver {
+    totals: Mutex<StageTimings>,
+}
+
+impl TimingObserver {
+    /// Observer with zeroed totals.
+    pub fn new() -> TimingObserver {
+        TimingObserver::default()
+    }
+
+    /// Snapshot of the accumulated totals (the `schedule_builds` tier
+    /// is filled in by the explorer from cache counters).
+    pub fn snapshot(&self) -> StageTimings {
+        *self.totals.lock().unwrap()
+    }
+}
+
+impl StageObserver for TimingObserver {
+    fn on_stage_finish(&self, summary: &StageSummary) {
+        let mut totals = self.totals.lock().unwrap();
+        let slot = match summary.stage {
+            Stage::Frontend => &mut totals.frontend,
+            Stage::SeedCosts => &mut totals.seed_costs,
+            Stage::Backend => &mut totals.backend,
+        };
+        slot.runs += 1;
+        slot.nanos += summary.elapsed.as_nanos() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argo_core::Fingerprint;
+    use std::time::Duration;
+
+    fn summary(stage: Stage, ms: u64) -> StageSummary {
+        StageSummary {
+            stage,
+            fingerprint: Fingerprint(1),
+            detail: String::new(),
+            elapsed: Duration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn totals_accumulate_per_stage() {
+        let obs = TimingObserver::new();
+        obs.on_stage_finish(&summary(Stage::Frontend, 2));
+        obs.on_stage_finish(&summary(Stage::Frontend, 3));
+        obs.on_stage_finish(&summary(Stage::Backend, 7));
+        let t = obs.snapshot();
+        assert_eq!(t.frontend.runs, 2);
+        assert!((t.frontend.ms() - 5.0).abs() < 1e-9);
+        assert_eq!(t.backend.runs, 1);
+        assert_eq!(t.seed_costs, TierTiming::default());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let obs = TimingObserver::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| obs.on_stage_finish(&summary(Stage::SeedCosts, 1)));
+            }
+        });
+        assert_eq!(obs.snapshot().seed_costs.runs, 8);
+    }
+}

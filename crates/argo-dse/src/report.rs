@@ -4,11 +4,22 @@
 //! values derived from the design space itself (configuration and
 //! analysis results), never wall-clock times or cache counters — two runs
 //! of the same space produce byte-identical CSV. The text and JSON forms
-//! additionally surface timing and cache statistics for humans/tooling.
+//! additionally surface timing (total, per stage and per cache tier) and
+//! cache statistics for humans/tooling.
+//!
+//! Failures are structured [`Diagnostic`]s, not rendered strings: rows
+//! carry the stage/code/entity triple so sweeps can aggregate failure
+//! *classes* (the text report prints one `failures by class:` line, the
+//! JSON emits the fields separately), and the CSV renders the canonical
+//! `Diagnostic` display form in its `error` column.
 
 use crate::cache::CacheStats;
+use crate::observe::{StageTimings, TierTiming};
 use crate::pareto::Objectives;
 use crate::space::{granularity_label, scheduler_label, ExplorationPoint};
+use argo_core::Diagnostic;
+use argo_search::Budget;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Analysis results of one successfully compiled point.
@@ -36,8 +47,8 @@ pub struct ReportRow {
     /// Effective per-core SPM capacity in bytes (override or platform
     /// default) — the third Pareto objective.
     pub spm_effective: u64,
-    /// Metrics, or the toolchain error message.
-    pub outcome: Result<PointMetrics, String>,
+    /// Metrics, or the structured toolflow diagnostic.
+    pub outcome: Result<PointMetrics, Diagnostic>,
 }
 
 impl ReportRow {
@@ -51,10 +62,39 @@ impl ReportRow {
     }
 }
 
+/// How a report's rows were selected: the search-strategy metadata of a
+/// steered exploration ([`crate::Explorer::search`]); `None` on
+/// exhaustive sweeps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchInfo {
+    /// Strategy label (`ga`, `anneal`, `halving`).
+    pub strategy: &'static str,
+    /// Search seed (the design space's seed).
+    pub seed: u64,
+    /// The budget the search ran under.
+    pub budget: Budget,
+    /// Total points in the design-space lattice.
+    pub lattice_points: usize,
+    /// Fresh evaluations the strategy spent.
+    pub evaluated: usize,
+}
+
+impl SearchInfo {
+    /// Evaluated fraction of the lattice in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.lattice_points == 0 {
+            0.0
+        } else {
+            self.evaluated as f64 / self.lattice_points as f64
+        }
+    }
+}
+
 /// The full result of one design-space exploration.
 #[derive(Debug, Clone)]
 pub struct ExplorationReport {
-    /// One row per point, in `DesignSpace::points` order.
+    /// One row per evaluated point, in `DesignSpace::points` order
+    /// (searched reports contain only the evaluated subset).
     pub rows: Vec<ReportRow>,
     /// Indices into `rows` of the Pareto-optimal points.
     pub pareto: Vec<usize>,
@@ -64,6 +104,10 @@ pub struct ExplorationReport {
     pub wall_ms: f64,
     /// Worker threads used.
     pub threads: usize,
+    /// Wall time per pipeline stage / cache tier for this run.
+    pub timing: StageTimings,
+    /// Search-strategy metadata (`None` for exhaustive sweeps).
+    pub search: Option<SearchInfo>,
 }
 
 fn fmt_spm(row: &ReportRow) -> String {
@@ -71,6 +115,10 @@ fn fmt_spm(row: &ReportRow) -> String {
         Some(b) => b.to_string(),
         None => format!("{}*", row.spm_effective),
     }
+}
+
+fn fmt_tier(t: &TierTiming) -> String {
+    format!("{}x/{:.1}ms", t.runs, t.ms())
 }
 
 impl ExplorationReport {
@@ -87,7 +135,22 @@ impl ExplorationReport {
         self.rows.iter().filter(|r| r.outcome.is_err()).count()
     }
 
-    /// Human-readable table with the Pareto front and cache statistics.
+    /// Failure counts aggregated by `(stage, code)` class, in
+    /// deterministic label order.
+    pub fn failure_classes(&self) -> Vec<(String, usize)> {
+        let mut classes: BTreeMap<String, usize> = BTreeMap::new();
+        for row in &self.rows {
+            if let Err(d) = &row.outcome {
+                *classes
+                    .entry(format!("{}/{}", d.stage.label(), d.code.label()))
+                    .or_insert(0) += 1;
+            }
+        }
+        classes.into_iter().collect()
+    }
+
+    /// Human-readable table with the Pareto front, timing and cache
+    /// statistics.
     pub fn to_text(&self) -> String {
         let mut s = String::new();
         let _ = writeln!(
@@ -97,6 +160,18 @@ impl ExplorationReport {
             self.threads,
             self.wall_ms
         );
+        if let Some(info) = &self.search {
+            let _ = writeln!(
+                s,
+                "search: {} (seed {}, {}) — evaluated {} of {} lattice points ({:.0}%)",
+                info.strategy,
+                info.seed,
+                info.budget,
+                info.evaluated,
+                info.lattice_points,
+                info.coverage() * 100.0
+            );
+        }
         let _ = writeln!(
             s,
             "{:<10} {:<4} {:>5} {:<7} {:<6} {:<8} {:>9} {:>12} {:>12} {:>8}  pareto",
@@ -145,6 +220,19 @@ impl ExplorationReport {
                 }
             }
         }
+        if self.failures() > 0 {
+            let classes: Vec<String> = self
+                .failure_classes()
+                .into_iter()
+                .map(|(class, n)| format!("{class} x{n}"))
+                .collect();
+            let _ = writeln!(
+                s,
+                "failures by class ({} total): {}",
+                self.failures(),
+                classes.join(", ")
+            );
+        }
         let _ = writeln!(
             s,
             "pareto front ({} of {}): minimize (cores, par-WCET, spm-bytes); * = platform default SPM",
@@ -165,12 +253,23 @@ impl ExplorationReport {
         let c = &self.cache;
         let _ = writeln!(
             s,
-            "cache: frontend {}/{} hits, seed-costs {}/{} hits, overall hit rate {:.0}%",
+            "cache: frontend {}/{} hits, seed-costs {}/{} hits, schedules {}/{} hits, overall hit rate {:.0}%",
             c.frontend_hits,
             c.frontend_hits + c.frontend_misses,
             c.cost_hits,
             c.cost_hits + c.cost_misses,
+            c.sched_hits,
+            c.sched_hits + c.sched_misses,
             c.hit_rate() * 100.0
+        );
+        let t = &self.timing;
+        let _ = writeln!(
+            s,
+            "stage wall: frontend {}, seed-costs {}, backend {}; schedule builds {}",
+            fmt_tier(&t.frontend),
+            fmt_tier(&t.seed_costs),
+            fmt_tier(&t.backend),
+            fmt_tier(&t.schedule_builds),
         );
         s
     }
@@ -209,14 +308,15 @@ impl ExplorationReport {
                     );
                 }
                 Err(e) => {
-                    let _ = writeln!(s, ",,,,,,false,{}", csv_escape(e));
+                    let _ = writeln!(s, ",,,,,,false,{}", csv_escape(&e.to_string()));
                 }
             }
         }
         s
     }
 
-    /// JSON document with rows, Pareto front, cache stats and timing.
+    /// JSON document with rows, Pareto front, cache stats, per-stage
+    /// timing and (for searched reports) the strategy metadata.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n  \"rows\": [\n");
         for (i, row) in self.rows.iter().enumerate() {
@@ -249,7 +349,18 @@ impl ExplorationReport {
                     );
                 }
                 Err(e) => {
-                    let _ = write!(s, ", \"error\": {}", json_string(e));
+                    let _ = write!(
+                        s,
+                        ", \"error\": {{\"stage\": \"{}\", \"code\": \"{}\", \"entity\": {}, \
+                         \"message\": {}}}",
+                        e.stage.label(),
+                        e.code.label(),
+                        match &e.entity {
+                            Some(entity) => json_string(entity),
+                            None => "null".to_string(),
+                        },
+                        json_string(&e.message)
+                    );
                 }
             }
             let _ = writeln!(s, "}}{}", if i + 1 < self.rows.len() { "," } else { "" });
@@ -258,16 +369,57 @@ impl ExplorationReport {
         let _ = write!(
             s,
             "  ],\n  \"pareto\": {:?},\n  \"cache\": {{\"frontend_hits\": {}, \"frontend_misses\": {}, \
-             \"cost_hits\": {}, \"cost_misses\": {}, \"hit_rate\": {:.4}}},\n  \
-             \"threads\": {},\n  \"wall_ms\": {:.1}\n}}\n",
+             \"cost_hits\": {}, \"cost_misses\": {}, \"sched_hits\": {}, \"sched_misses\": {}, \
+             \"hit_rate\": {:.4}}},\n",
             self.pareto,
             c.frontend_hits,
             c.frontend_misses,
             c.cost_hits,
             c.cost_misses,
+            c.sched_hits,
+            c.sched_misses,
             c.hit_rate(),
-            self.threads,
-            self.wall_ms
+        );
+        let t = &self.timing;
+        let _ = writeln!(
+            s,
+            "  \"timing\": {{\"frontend_runs\": {}, \"frontend_ms\": {:.3}, \
+             \"seed_cost_runs\": {}, \"seed_cost_ms\": {:.3}, \
+             \"backend_runs\": {}, \"backend_ms\": {:.3}, \
+             \"schedule_builds\": {}, \"schedule_build_ms\": {:.3}}},\n",
+            t.frontend.runs,
+            t.frontend.ms(),
+            t.seed_costs.runs,
+            t.seed_costs.ms(),
+            t.backend.runs,
+            t.backend.ms(),
+            t.schedule_builds.runs,
+            t.schedule_builds.ms(),
+        );
+        if let Some(info) = &self.search {
+            let _ = writeln!(
+                s,
+                "  \"search\": {{\"strategy\": \"{}\", \"seed\": {}, \"max_evaluations\": {}, \
+                 \"stall\": {}, \"lattice_points\": {}, \"evaluated\": {}, \"coverage\": {:.4}}},\n",
+                info.strategy,
+                info.seed,
+                match info.budget.max_evaluations {
+                    Some(n) => n.to_string(),
+                    None => "null".to_string(),
+                },
+                match info.budget.stall {
+                    Some(n) => n.to_string(),
+                    None => "null".to_string(),
+                },
+                info.lattice_points,
+                info.evaluated,
+                info.coverage(),
+            );
+        }
+        let _ = write!(
+            s,
+            "  \"threads\": {},\n  \"wall_ms\": {:.1}\n}}\n",
+            self.threads, self.wall_ms
         );
         s
     }
@@ -305,7 +457,7 @@ fn json_string(s: &str) -> String {
 mod tests {
     use super::*;
     use crate::space::PlatformKind;
-    use argo_core::SchedulerKind;
+    use argo_core::{ErrorCode, SchedulerKind, Stage};
     use argo_htg::Granularity;
     use argo_wcet::system::MhpMode;
 
@@ -343,7 +495,12 @@ mod tests {
                 ReportRow {
                     point: point(4, SchedulerKind::Anneal),
                     spm_effective: 4096,
-                    outcome: Err("scheduler exploded".into()),
+                    outcome: Err(Diagnostic::new(
+                        Stage::Backend,
+                        ErrorCode::ParallelModelFailed,
+                        "scheduler exploded",
+                    )
+                    .with_entity("t3")),
                 },
             ],
             pareto: vec![0, 1],
@@ -352,9 +509,31 @@ mod tests {
                 frontend_misses: 1,
                 cost_hits: 1,
                 cost_misses: 2,
+                sched_hits: 3,
+                sched_misses: 3,
+                sched_build_ns: 1_500_000,
             },
             wall_ms: 12.0,
             threads: 4,
+            timing: StageTimings {
+                frontend: TierTiming {
+                    runs: 1,
+                    nanos: 2_000_000,
+                },
+                seed_costs: TierTiming {
+                    runs: 2,
+                    nanos: 1_000_000,
+                },
+                backend: TierTiming {
+                    runs: 3,
+                    nanos: 7_000_000,
+                },
+                schedule_builds: TierTiming {
+                    runs: 3,
+                    nanos: 1_500_000,
+                },
+            },
+            search: None,
         }
     }
 
@@ -363,9 +542,39 @@ mod tests {
         let t = sample_report().to_text();
         assert!(t.contains("pareto front (2 of 3)"));
         assert!(t.contains("egpws"));
-        assert!(t.contains("ERROR: scheduler exploded"));
+        assert!(t.contains("ERROR: toolflow error [backend/parallel-model-failed]"));
+        assert!(t.contains("scheduler exploded"));
+        assert!(t.contains("failures by class (1 total): backend/parallel-model-failed x1"));
         assert!(t.contains("cache: frontend 2/3 hits"));
+        assert!(t.contains("schedules 3/6 hits"));
         assert!(t.contains("hit rate 50%"));
+        assert!(t.contains("stage wall: frontend 1x/2.0ms"));
+        assert!(t.contains("schedule builds 3x/1.5ms"));
+        assert!(
+            !t.contains("search:"),
+            "exhaustive reports have no search line"
+        );
+    }
+
+    #[test]
+    fn search_line_appears_for_steered_reports() {
+        let mut r = sample_report();
+        r.search = Some(SearchInfo {
+            strategy: "ga",
+            seed: 42,
+            budget: Budget::evaluations(128).with_stall(32),
+            lattice_points: 512,
+            evaluated: 128,
+        });
+        let t = r.to_text();
+        assert!(
+            t.contains("search: ga (seed 42, max=128 stall=32) — evaluated 128 of 512 lattice points (25%)"),
+            "{t}"
+        );
+        let j = r.to_json();
+        assert!(j.contains("\"strategy\": \"ga\""));
+        assert!(j.contains("\"max_evaluations\": 128"));
+        assert!(j.contains("\"coverage\": 0.2500"));
     }
 
     #[test]
@@ -388,7 +597,12 @@ mod tests {
         let j = sample_report().to_json();
         assert!(j.contains("\"pareto\": [0, 1]"));
         assert!(j.contains("\"frontend_hits\": 2"));
-        assert!(j.contains("\"error\": \"scheduler exploded\""));
+        assert!(j.contains("\"sched_hits\": 3"));
+        assert!(j.contains(
+            "\"error\": {\"stage\": \"backend\", \"code\": \"parallel-model-failed\", \
+             \"entity\": \"t3\", \"message\": \"scheduler exploded\"}"
+        ));
+        assert!(j.contains("\"timing\": {\"frontend_runs\": 1"));
         assert_eq!(j.matches("\"app\"").count(), 3);
         // Balanced braces (cheap structural check).
         assert_eq!(j.matches('{').count(), j.matches('}').count());

@@ -74,13 +74,10 @@ fn near_square_grid(n: usize) -> (usize, usize) {
     (rows.max(1), n / rows.max(1))
 }
 
-/// Report/CLI label for a scheduler kind.
+/// Report/CLI label for a scheduler kind (the canonical
+/// [`SchedulerKind::label`]).
 pub fn scheduler_label(kind: SchedulerKind) -> &'static str {
-    match kind {
-        SchedulerKind::List => "list",
-        SchedulerKind::BranchAndBound => "bnb",
-        SchedulerKind::Anneal => "anneal",
-    }
+    kind.label()
 }
 
 /// Parses a scheduler CLI label.

@@ -1,0 +1,170 @@
+//! Simulated-annealing neighborhood walker over the lattice.
+//!
+//! Reuses the move/temperature machinery style of
+//! `argo-sched/src/anneal.rs` (single-component moves, linear cooling,
+//! Metropolis acceptance), lifted from schedule assignments to lattice
+//! coordinates. Multi-objective twist: one SA chain optimizes one
+//! *scalarization* of the objective triple, so the walker runs several
+//! restart chains, each with a different deterministic weight vector
+//! (corners first, then mixtures) — together the chains pull toward
+//! different regions of the Pareto surface while the shared
+//! [`Evaluator`] archive keeps every non-dominated point any chain
+//! stumbles over.
+
+use crate::lattice::Lattice;
+use crate::strategy::{Evaluator, SearchStrategy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic scalarization weights, cycled over chains: the three
+/// objective corners, the balanced center, then skewed mixtures.
+const WEIGHTS: [[f64; 3]; 8] = [
+    [1.0, 0.0, 0.0],
+    [0.0, 1.0, 0.0],
+    [0.0, 0.0, 1.0],
+    [1.0, 1.0, 1.0],
+    [2.0, 1.0, 0.5],
+    [0.5, 2.0, 1.0],
+    [1.0, 0.5, 2.0],
+    [2.0, 2.0, 0.5],
+];
+
+/// Simulated-annealing lattice walker.
+#[derive(Debug, Clone, Copy)]
+pub struct Annealing {
+    /// Independent restart chains (each with its own scalarization).
+    pub chains: usize,
+    /// Proposal steps per chain (`0` = derive from the evaluation
+    /// budget: `max_evaluations / chains`, at least 8).
+    pub steps_per_chain: usize,
+    /// Initial temperature in normalized-energy units.
+    pub initial_temp: f64,
+}
+
+impl Default for Annealing {
+    fn default() -> Annealing {
+        Annealing {
+            chains: 8,
+            steps_per_chain: 0,
+            initial_temp: 0.35,
+        }
+    }
+}
+
+impl Annealing {
+    /// Annealing strategy with default parameters.
+    pub fn new() -> Annealing {
+        Annealing::default()
+    }
+
+    /// Scalar energy of an objective vector under chain weights
+    /// (normalized per axis by the evaluator's running bounds).
+    fn energy(ev: &Evaluator<'_>, obj: &crate::pareto::Objectives, w: &[f64; 3]) -> f64 {
+        let n = ev.normalized(obj);
+        let total: f64 = w.iter().sum();
+        n.iter().zip(w).map(|(x, wi)| x * wi).sum::<f64>() / total.max(1e-12)
+    }
+}
+
+impl SearchStrategy for Annealing {
+    fn name(&self) -> &'static str {
+        "anneal"
+    }
+
+    fn search(&self, lattice: &Lattice, seed: u64, ev: &mut Evaluator<'_>) {
+        if lattice.is_empty() {
+            return;
+        }
+        let chains = self.chains.max(1);
+        let steps = if self.steps_per_chain > 0 {
+            self.steps_per_chain
+        } else {
+            // Keep ~half the budget for the closure pass.
+            match ev.budget().max_evaluations {
+                Some(m) => (m / 2 / chains).max(8),
+                None => 64,
+            }
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5A_11EA);
+
+        for chain in 0..chains {
+            if ev.exhausted() {
+                return;
+            }
+            let w = &WEIGHTS[chain % WEIGHTS.len()];
+            let mut current = lattice.random_coords(&mut rng);
+            let mut current_obj = ev.evaluate(lattice.encode(&current));
+            for step in 0..steps {
+                if ev.exhausted() {
+                    return;
+                }
+                let Some(neighbor) = lattice.random_neighbor(&current, &mut rng) else {
+                    break; // single-point lattice
+                };
+                let candidate_obj = ev.evaluate(lattice.encode(&neighbor));
+                let temp = (self.initial_temp * (1.0 - step as f64 / steps as f64)).max(1e-4);
+                let accept = match (current_obj, candidate_obj) {
+                    // Walk out of a failing region unconditionally.
+                    (None, _) => true,
+                    // Never walk into one.
+                    (Some(_), None) => false,
+                    (Some(cur), Some(cand)) => {
+                        let delta =
+                            Annealing::energy(ev, &cand, w) - Annealing::energy(ev, &cur, w);
+                        delta <= 0.0 || rng.gen_bool((-delta / temp).exp().clamp(0.0, 1.0))
+                    }
+                };
+                if accept {
+                    current = neighbor;
+                    current_obj = candidate_obj;
+                }
+            }
+        }
+        // Spend whatever remains closing the front's axis neighborhood.
+        crate::strategy::pareto_local_search(lattice, ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use crate::strategy::tests::{exhaustive_front, recovery, synthetic_eval};
+
+    #[test]
+    fn annealing_recovers_most_of_the_synthetic_front_within_budget() {
+        let lattice = Lattice::new(vec![4, 4, 4, 4, 2]); // 512 points
+        let exhaustive = exhaustive_front(&lattice);
+        let mut eval = synthetic_eval(&lattice);
+        let mut ev = Evaluator::new(Budget::evaluations(128), &mut eval);
+        Annealing::new().search(&lattice, 7, &mut ev);
+        assert!(ev.evaluations() <= 128);
+        let r = recovery(&ev, &exhaustive);
+        assert!(r >= 0.9, "annealing recovered only {r:.2} of the front");
+    }
+
+    #[test]
+    fn annealing_is_deterministic_per_seed() {
+        let lattice = Lattice::new(vec![3, 5, 4]);
+        let run = |seed| {
+            let mut eval = synthetic_eval(&lattice);
+            let mut ev = Evaluator::new(Budget::evaluations(24), &mut eval);
+            Annealing::new().search(&lattice, seed, &mut ev);
+            (
+                ev.results().keys().copied().collect::<Vec<_>>(),
+                ev.front_indices(),
+            )
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9).0, run(10).0);
+    }
+
+    #[test]
+    fn annealing_survives_single_point_lattices() {
+        let one = Lattice::new(vec![1, 1, 1]);
+        let mut eval = synthetic_eval(&one);
+        let mut ev = Evaluator::new(Budget::unlimited(), &mut eval);
+        Annealing::new().search(&one, 2, &mut ev);
+        assert_eq!(ev.evaluations(), 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Evaluation budgets: how much of the lattice a search may spend.
+//!
+//! A [`Budget`] bounds a search along two independent axes:
+//!
+//! * **`max_evaluations`** — a hard cap on *fresh* point evaluations
+//!   (memoized re-requests of an already-evaluated point are free: the
+//!   underlying toolflow result is cached and costs no wall time);
+//! * **`stall`** — front-improvement stopping (ROADMAP item (d)): the
+//!   search stops once `stall` consecutive *requested* points have
+//!   failed to improve the Pareto front. Requested means every point a
+//!   strategy asks the [`crate::Evaluator`] for, fresh or memoized — a
+//!   strategy cycling over known points is stalled by definition.
+//!
+//! Both limits are optional; [`Budget::unlimited`] disables both, in
+//! which case termination is the strategy's own responsibility (every
+//! built-in strategy also carries an internal iteration cap).
+
+/// Stopping rule for a budgeted search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Maximum number of fresh point evaluations (`None` = unlimited).
+    pub max_evaluations: Option<usize>,
+    /// Stop after this many consecutive requested points without a
+    /// Pareto-front improvement (`None` = never stall-stop).
+    pub stall: Option<usize>,
+}
+
+impl Budget {
+    /// No limits: strategies run to their internal caps.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Budget of at most `n` fresh evaluations.
+    pub fn evaluations(n: usize) -> Budget {
+        Budget {
+            max_evaluations: Some(n),
+            stall: None,
+        }
+    }
+
+    /// Adds a stall limit: stop once the front has not improved for `n`
+    /// consecutive requested points.
+    #[must_use]
+    pub fn with_stall(mut self, n: usize) -> Budget {
+        self.stall = Some(n);
+        self
+    }
+
+    /// Fresh evaluations still allowed after `spent` have happened.
+    pub fn remaining(&self, spent: usize) -> usize {
+        match self.max_evaluations {
+            Some(max) => max.saturating_sub(spent),
+            None => usize::MAX,
+        }
+    }
+
+    /// Whether `since_improvement` consecutive improvement-free points
+    /// exhaust the stall allowance.
+    pub fn stalled(&self, since_improvement: usize) -> bool {
+        matches!(self.stall, Some(n) if since_improvement >= n)
+    }
+}
+
+impl std::fmt::Display for Budget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.max_evaluations {
+            Some(n) => write!(f, "max={n}")?,
+            None => write!(f, "max=unlimited")?,
+        }
+        match self.stall {
+            Some(n) => write!(f, " stall={n}"),
+            None => write!(f, " stall=none"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remaining_saturates() {
+        let b = Budget::evaluations(10);
+        assert_eq!(b.remaining(3), 7);
+        assert_eq!(b.remaining(10), 0);
+        assert_eq!(b.remaining(99), 0);
+        assert_eq!(Budget::unlimited().remaining(1_000_000), usize::MAX);
+    }
+
+    #[test]
+    fn stall_only_trips_when_configured() {
+        assert!(!Budget::unlimited().stalled(1_000_000));
+        let b = Budget::evaluations(10).with_stall(5);
+        assert!(!b.stalled(4));
+        assert!(b.stalled(5));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Budget::unlimited().to_string(), "max=unlimited stall=none");
+        assert_eq!(
+            Budget::evaluations(64).with_stall(16).to_string(),
+            "max=64 stall=16"
+        );
+    }
+}

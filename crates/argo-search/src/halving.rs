@@ -1,0 +1,238 @@
+//! Successive-halving racing of lattice strata.
+//!
+//! The lattice is cut into contiguous flat-index blocks ("strata").
+//! Because flat indices enumerate the design axes row-major with the
+//! *slow* axes outermost (use case, platform, core count), a contiguous
+//! block is a coherent sub-family of configurations — racing strata
+//! races those families against each other. Each round samples a few
+//! unevaluated points per surviving stratum, scores every stratum by
+//! how much of the current Pareto archive it owns (tie-broken by its
+//! best normalized scalar), discards the worse half, and doubles the
+//! per-stratum sample — the classic successive-halving schedule, with
+//! rounds-as-samples instead of rounds-as-training-epochs.
+
+use crate::lattice::Lattice;
+use crate::strategy::{Evaluator, SearchStrategy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Successive-halving strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct SuccessiveHalving {
+    /// Number of contiguous strata the lattice is cut into.
+    pub strata: usize,
+    /// Points sampled per stratum in the first round (doubles every
+    /// round).
+    pub initial_per_stratum: usize,
+}
+
+impl Default for SuccessiveHalving {
+    fn default() -> SuccessiveHalving {
+        SuccessiveHalving {
+            strata: 8,
+            initial_per_stratum: 2,
+        }
+    }
+}
+
+impl SuccessiveHalving {
+    /// Halving strategy with default parameters.
+    pub fn new() -> SuccessiveHalving {
+        SuccessiveHalving::default()
+    }
+
+    /// Flat-index range of stratum `s` of `total`.
+    fn stratum_range(len: usize, s: usize, total: usize) -> Range<usize> {
+        (s * len / total)..((s + 1) * len / total)
+    }
+
+    /// Samples up to `want` unevaluated indices from `range`:
+    /// rejection-sampled first, ascending-scan fallback once the
+    /// stratum is nearly exhausted.
+    fn sample_stratum(
+        range: Range<usize>,
+        want: usize,
+        evaluated: &BTreeSet<usize>,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut seen = BTreeSet::new();
+        if range.is_empty() {
+            return out;
+        }
+        for _ in 0..want * 16 {
+            if out.len() >= want {
+                break;
+            }
+            let idx = rng.gen_range(range.clone());
+            if !evaluated.contains(&idx) && seen.insert(idx) {
+                out.push(idx);
+            }
+        }
+        if out.len() < want {
+            for idx in range {
+                if out.len() >= want {
+                    break;
+                }
+                if !evaluated.contains(&idx) && seen.insert(idx) {
+                    out.push(idx);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl SearchStrategy for SuccessiveHalving {
+    fn name(&self) -> &'static str {
+        "halving"
+    }
+
+    fn search(&self, lattice: &Lattice, seed: u64, ev: &mut Evaluator<'_>) {
+        let len = lattice.len();
+        if len == 0 {
+            return;
+        }
+        let total = self.strata.clamp(1, len);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5_4A1F);
+        let mut survivors: Vec<usize> = (0..total).collect();
+        let mut per_stratum = self.initial_per_stratum.max(1);
+
+        // 32 doubling rounds ≥ 2³² points — a termination cap, not a
+        // practical limit.
+        for _round in 0..32 {
+            if ev.exhausted() {
+                return;
+            }
+            // Reserve roughly half the budget for the closure pass.
+            if let Some(m) = ev.budget().max_evaluations {
+                if ev.evaluations() * 2 >= m {
+                    break;
+                }
+            }
+            let mut evaluated: BTreeSet<usize> = ev.results().keys().copied().collect();
+            let front = ev.front_indices();
+            let mut batch: Vec<usize> = Vec::new();
+            for &s in &survivors {
+                let range = SuccessiveHalving::stratum_range(len, s, total);
+                // Refinement half: unevaluated single-axis neighbors of
+                // archive points that land in this stratum (front points
+                // cluster along axes on smooth design spaces).
+                let mut picks: Vec<usize> = Vec::new();
+                'refine: for &f in &front {
+                    for n in lattice.axis_neighbors(f) {
+                        if picks.len() >= per_stratum.div_ceil(2) {
+                            break 'refine;
+                        }
+                        if range.contains(&n) && !evaluated.contains(&n) {
+                            picks.push(n);
+                            evaluated.insert(n);
+                        }
+                    }
+                }
+                // Exploration half: uniform random within the stratum.
+                let random = SuccessiveHalving::sample_stratum(
+                    range,
+                    per_stratum - picks.len(),
+                    &evaluated,
+                    &mut rng,
+                );
+                evaluated.extend(random.iter().copied());
+                picks.extend(random);
+                batch.extend(picks);
+            }
+            if batch.is_empty() {
+                break; // surviving strata fully evaluated — go refine
+            }
+            ev.evaluate_batch(&batch);
+
+            if survivors.len() > 1 {
+                // Score: archive points owned (more is better), then the
+                // stratum's best normalized scalar (lower is better).
+                let front: BTreeSet<usize> = ev.front_indices().into_iter().collect();
+                let mut scored: Vec<(usize, usize, f64)> = survivors
+                    .iter()
+                    .map(|&s| {
+                        let range = SuccessiveHalving::stratum_range(len, s, total);
+                        let owned = front.iter().filter(|i| range.contains(i)).count();
+                        let best = ev
+                            .results()
+                            .range(range)
+                            .filter_map(|(_, o)| *o)
+                            .map(|obj| ev.normalized(&obj).iter().sum::<f64>())
+                            .fold(f64::INFINITY, f64::min);
+                        (s, owned, best)
+                    })
+                    .collect();
+                scored.sort_by(|a, b| {
+                    b.1.cmp(&a.1)
+                        .then(a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+                        .then(a.0.cmp(&b.0))
+                });
+                // Halve, but never drop a stratum that currently owns a
+                // front point: the racing is against hopeless families,
+                // not against the front itself (dropping an owner could
+                // permanently cap recovery below 100%).
+                let owners = scored.iter().filter(|&&(_, owned, _)| owned > 0).count();
+                let keep = survivors.len().div_ceil(2).max(owners);
+                survivors = scored[..keep].iter().map(|&(s, _, _)| s).collect();
+                survivors.sort_unstable();
+            }
+            per_stratum *= 2;
+        }
+        // Spend whatever remains closing the front's axis neighborhood.
+        crate::strategy::pareto_local_search(lattice, ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use crate::strategy::tests::{exhaustive_front, recovery, synthetic_eval};
+
+    #[test]
+    fn halving_recovers_most_of_the_synthetic_front_within_budget() {
+        let lattice = Lattice::new(vec![4, 4, 4, 4, 2]); // 512 points
+        let exhaustive = exhaustive_front(&lattice);
+        let mut eval = synthetic_eval(&lattice);
+        let mut ev = Evaluator::new(Budget::evaluations(128), &mut eval);
+        SuccessiveHalving::new().search(&lattice, 7, &mut ev);
+        assert!(ev.evaluations() <= 128);
+        let r = recovery(&ev, &exhaustive);
+        assert!(r >= 0.9, "halving recovered only {r:.2} of the front");
+    }
+
+    #[test]
+    fn halving_is_deterministic_and_terminates_on_tiny_lattices() {
+        let lattice = Lattice::new(vec![2, 3]);
+        let run = |seed| {
+            let mut eval = synthetic_eval(&lattice);
+            let mut ev = Evaluator::new(Budget::unlimited(), &mut eval);
+            SuccessiveHalving::new().search(&lattice, seed, &mut ev);
+            (ev.evaluations(), ev.front_indices())
+        };
+        // Unlimited budget on a 6-point lattice: halving evaluates all
+        // 6 and stops (batch exhaustion), identically per seed.
+        assert_eq!(run(5), run(5));
+        assert_eq!(run(5).0, 6);
+    }
+
+    #[test]
+    fn strata_ranges_tile_the_lattice() {
+        for len in [1usize, 7, 8, 9, 100] {
+            for total in [1usize, 3, 8] {
+                let total = total.min(len);
+                let mut covered = 0;
+                for s in 0..total {
+                    let r = SuccessiveHalving::stratum_range(len, s, total);
+                    assert_eq!(r.start, covered, "gap before stratum {s}");
+                    covered = r.end;
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+}

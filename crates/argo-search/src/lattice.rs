@@ -1,0 +1,182 @@
+//! The abstract search domain: a mixed-radix index lattice.
+//!
+//! `argo-search` never sees concrete design axes (platforms, schedulers,
+//! SPM capacities …) — it searches over a [`Lattice`]: the cartesian
+//! product of axes described only by their sizes. A point is either a
+//! flat index in `0..len()` or the equivalent coordinate vector (one
+//! component per axis); [`Lattice::encode`]/[`Lattice::decode`] convert
+//! between the two in **row-major order with the last axis fastest** —
+//! exactly the enumeration order of `argo_dse::DesignSpace::points`, so
+//! flat index `i` here is row `i` there.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A cartesian lattice described by its per-axis sizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lattice {
+    dims: Vec<usize>,
+}
+
+impl Lattice {
+    /// Lattice over axes of the given sizes. An empty axis (size 0)
+    /// makes the lattice empty.
+    pub fn new(dims: Vec<usize>) -> Lattice {
+        Lattice { dims }
+    }
+
+    /// Per-axis sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of lattice points (product of the axis sizes; 1 for
+    /// a zero-axis lattice, 0 when any axis is empty).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the lattice has no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Axes with more than one value — the only ones a move can change.
+    pub fn free_axes(&self) -> Vec<usize> {
+        (0..self.dims.len()).filter(|&a| self.dims[a] > 1).collect()
+    }
+
+    /// Coordinates of flat index `idx` (last axis fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    pub fn decode(&self, idx: usize) -> Vec<usize> {
+        assert!(idx < self.len(), "index {idx} outside lattice");
+        let mut rest = idx;
+        let mut coords = vec![0; self.dims.len()];
+        for (a, &size) in self.dims.iter().enumerate().rev() {
+            coords[a] = rest % size;
+            rest /= size;
+        }
+        coords
+    }
+
+    /// Flat index of a coordinate vector (inverse of [`Lattice::decode`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity or any component is out of range.
+    pub fn encode(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.dims.len(), "coordinate arity");
+        let mut idx = 0;
+        for (a, (&c, &size)) in coords.iter().zip(&self.dims).enumerate() {
+            assert!(c < size, "coordinate {c} outside axis {a} (size {size})");
+            idx = idx * size + c;
+        }
+        idx
+    }
+
+    /// A uniformly random coordinate vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lattice is empty.
+    pub fn random_coords(&self, rng: &mut StdRng) -> Vec<usize> {
+        assert!(!self.is_empty(), "empty lattice has no points");
+        self.dims.iter().map(|&s| rng.gen_range(0..s)).collect()
+    }
+
+    /// All single-axis variants of `idx` — every other value of every
+    /// free axis — in deterministic (axis, value) order. This is the
+    /// refinement neighborhood the strategies mine around Pareto-archive
+    /// members: on smooth design spaces, front points cluster along
+    /// single axes (same configuration, next SPM size up).
+    pub fn axis_neighbors(&self, idx: usize) -> Vec<usize> {
+        let coords = self.decode(idx);
+        let mut out = Vec::new();
+        for axis in self.free_axes() {
+            for v in 0..self.dims[axis] {
+                if v != coords[axis] {
+                    let mut c = coords.clone();
+                    c[axis] = v;
+                    out.push(self.encode(&c));
+                }
+            }
+        }
+        out
+    }
+
+    /// A neighbor of `coords`: one uniformly chosen free axis moved to a
+    /// uniformly chosen *different* value. Returns `None` when every
+    /// axis has a single value (the lattice has exactly one point).
+    pub fn random_neighbor(&self, coords: &[usize], rng: &mut StdRng) -> Option<Vec<usize>> {
+        let free = self.free_axes();
+        if free.is_empty() {
+            return None;
+        }
+        let axis = free[rng.gen_range(0..free.len())];
+        let size = self.dims[axis];
+        let mut next = rng.gen_range(0..size - 1);
+        if next >= coords[axis] {
+            next += 1;
+        }
+        let mut out = coords.to_vec();
+        out[axis] = next;
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encode_decode_round_trip_in_row_major_order() {
+        let l = Lattice::new(vec![2, 3, 4]);
+        assert_eq!(l.len(), 24);
+        for idx in 0..l.len() {
+            assert_eq!(l.encode(&l.decode(idx)), idx);
+        }
+        // Last axis fastest: consecutive indices differ in the last axis.
+        assert_eq!(l.decode(0), vec![0, 0, 0]);
+        assert_eq!(l.decode(1), vec![0, 0, 1]);
+        assert_eq!(l.decode(4), vec![0, 1, 0]);
+        assert_eq!(l.decode(12), vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn empty_axis_empties_the_lattice() {
+        assert!(Lattice::new(vec![3, 0, 2]).is_empty());
+        assert_eq!(Lattice::new(vec![]).len(), 1);
+    }
+
+    #[test]
+    fn neighbors_change_exactly_one_free_axis() {
+        let l = Lattice::new(vec![1, 4, 3]);
+        assert_eq!(l.free_axes(), vec![1, 2]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let start = vec![0, 2, 1];
+        for _ in 0..200 {
+            let n = l.random_neighbor(&start, &mut rng).unwrap();
+            let changed: Vec<usize> = (0..3).filter(|&a| n[a] != start[a]).collect();
+            assert_eq!(changed.len(), 1);
+            assert_ne!(changed[0], 0, "axis of size 1 must never move");
+            assert!(n[changed[0]] < l.dims()[changed[0]]);
+        }
+        let point = Lattice::new(vec![1, 1]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(point.random_neighbor(&[0, 0], &mut rng).is_none());
+    }
+
+    #[test]
+    fn random_coords_stay_in_bounds() {
+        let l = Lattice::new(vec![2, 5, 1, 3]);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let c = l.random_coords(&mut rng);
+            assert!(c.iter().zip(l.dims()).all(|(&x, &s)| x < s));
+        }
+    }
+}

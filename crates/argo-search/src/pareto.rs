@@ -1,0 +1,200 @@
+//! Pareto dominance, front extraction, non-dominated ranking and
+//! crowding distances over the (cores, WCET bound, SPM bytes) triple.
+//!
+//! All three objectives are minimized: fewer cores and less scratchpad
+//! are cheaper silicon, a lower guaranteed parallel WCET bound is a
+//! tighter real-time guarantee. A point is on the front iff no other
+//! point is at least as good in every objective and strictly better in
+//! one — the § II-E resource/timing trade-off surface a system designer
+//! actually chooses from.
+//!
+//! This module moved here from `argo-dse` (which re-exports it
+//! unchanged): the steered strategies need ranking and crowding on top
+//! of plain front extraction, and `argo-search` must not depend on the
+//! exploration engine it steers.
+
+/// Objective vector of one exploration point, all minimized.
+pub type Objectives = [u64; 3];
+
+/// Whether `a` dominates `b`: no worse in every objective, strictly
+/// better in at least one.
+pub fn dominates(a: &Objectives, b: &Objectives) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
+}
+
+/// Indices of the non-dominated points, in ascending index order.
+///
+/// Duplicate objective vectors are kept together: equal points do not
+/// dominate each other, so either all copies are on the front or none is.
+pub fn pareto_front(objectives: &[Objectives]) -> Vec<usize> {
+    (0..objectives.len())
+        .filter(|&i| {
+            !objectives
+                .iter()
+                .any(|other| dominates(other, &objectives[i]))
+        })
+        .collect()
+}
+
+/// Non-dominated sorting rank per point: rank 0 is the Pareto front,
+/// rank 1 the front of what remains once rank 0 is removed, and so on
+/// (the NSGA-II fitness ordering).
+pub fn pareto_rank(objectives: &[Objectives]) -> Vec<usize> {
+    let n = objectives.len();
+    let mut rank = vec![usize::MAX; n];
+    let mut assigned = 0;
+    let mut current = 0;
+    while assigned < n {
+        let layer: Vec<usize> = (0..n)
+            .filter(|&i| rank[i] == usize::MAX)
+            .filter(|&i| {
+                !(0..n).any(|j| rank[j] == usize::MAX && dominates(&objectives[j], &objectives[i]))
+            })
+            .collect();
+        debug_assert!(!layer.is_empty(), "non-dominated layer cannot be empty");
+        for &i in &layer {
+            rank[i] = current;
+        }
+        assigned += layer.len();
+        current += 1;
+    }
+    rank
+}
+
+/// Crowding distance per point, computed within each rank layer (the
+/// NSGA-II diversity measure): boundary points of a layer get
+/// `f64::INFINITY`, interior points the sum of normalized neighbor
+/// gaps per objective. Larger = less crowded = preferred at equal rank.
+// The 0..3 loop walks objective *axes* of the inner arrays, not the
+// outer slice clippy thinks it indexes.
+#[allow(clippy::needless_range_loop)]
+pub fn crowding_distance(objectives: &[Objectives], rank: &[usize]) -> Vec<f64> {
+    let n = objectives.len();
+    let mut dist = vec![0.0f64; n];
+    let max_rank = rank.iter().copied().max().unwrap_or(0);
+    for layer_rank in 0..=max_rank {
+        let layer: Vec<usize> = (0..n).filter(|&i| rank[i] == layer_rank).collect();
+        if layer.len() <= 2 {
+            for &i in &layer {
+                dist[i] = f64::INFINITY;
+            }
+            continue;
+        }
+        for obj in 0..3 {
+            let mut order = layer.clone();
+            // Tie-break by index so the ordering (and thus the distance
+            // assignment) is deterministic.
+            order.sort_by_key(|&i| (objectives[i][obj], i));
+            let lo = objectives[order[0]][obj];
+            let hi = objectives[*order.last().unwrap()][obj];
+            let span = (hi - lo) as f64;
+            dist[order[0]] = f64::INFINITY;
+            dist[*order.last().unwrap()] = f64::INFINITY;
+            if span == 0.0 {
+                continue;
+            }
+            for w in order.windows(3) {
+                let gap = (objectives[w[2]][obj] - objectives[w[0]][obj]) as f64 / span;
+                if dist[w[1]].is_finite() {
+                    dist[w[1]] += gap;
+                }
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        assert!(dominates(&[1, 2, 3], &[1, 2, 4]));
+        assert!(dominates(&[1, 2, 3], &[2, 3, 4]));
+        assert!(
+            !dominates(&[1, 2, 3], &[1, 2, 3]),
+            "equal points do not dominate"
+        );
+        assert!(!dominates(&[1, 2, 4], &[1, 3, 3]), "incomparable");
+    }
+
+    #[test]
+    fn front_drops_dominated_points() {
+        let objs = vec![
+            [1, 100, 16], // cheap but slow — on the front
+            [4, 40, 16],  // on the front
+            [4, 50, 16],  // dominated by [4,40,16]
+            [8, 40, 16],  // dominated by [4,40,16]
+            [8, 30, 8],   // on the front
+        ];
+        assert_eq!(pareto_front(&objs), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn duplicates_survive_together() {
+        let objs = vec![[2, 2, 2], [2, 2, 2], [3, 3, 3]];
+        assert_eq!(pareto_front(&objs), vec![0, 1]);
+    }
+
+    #[test]
+    fn front_never_contains_dominated_point() {
+        // Small exhaustive check over a deterministic pseudo-random set.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let objs: Vec<Objectives> = (0..64)
+            .map(|_| [next() % 8 + 1, next() % 100, next() % 4 * 4096])
+            .collect();
+        let front = pareto_front(&objs);
+        assert!(!front.is_empty());
+        for &i in &front {
+            for o in &objs {
+                assert!(!dominates(o, &objs[i]));
+            }
+        }
+        // Every non-front point is dominated by someone.
+        for i in 0..objs.len() {
+            if !front.contains(&i) {
+                assert!(objs.iter().any(|o| dominates(o, &objs[i])));
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_partition_and_order_the_set() {
+        let objs = vec![
+            [1, 100, 16], // front (rank 0)
+            [4, 40, 16],  // front
+            [4, 50, 16],  // rank 1 (dominated only by [4,40,16])
+            [8, 60, 16],  // rank 2 (dominated by [4,50,16] too)
+            [8, 30, 8],   // front
+        ];
+        let rank = pareto_rank(&objs);
+        assert_eq!(rank, vec![0, 0, 1, 2, 0]);
+        // Rank 0 is exactly the front.
+        let front = pareto_front(&objs);
+        for (i, &r) in rank.iter().enumerate() {
+            assert_eq!(r == 0, front.contains(&i));
+        }
+    }
+
+    #[test]
+    fn crowding_prefers_boundary_and_sparse_points() {
+        // One layer, spread along the WCET axis with a dense pair.
+        let objs = vec![[1, 10, 0], [1, 11, 0], [1, 50, 0], [1, 100, 0]];
+        let rank = vec![0; 4];
+        let d = crowding_distance(&objs, &rank);
+        assert!(d[0].is_infinite() && d[3].is_infinite(), "{d:?}");
+        assert!(d[2] > d[1], "sparse interior beats dense interior: {d:?}");
+    }
+
+    #[test]
+    fn crowding_small_layers_are_all_infinite() {
+        let objs = vec![[1, 2, 3], [4, 5, 6]];
+        let d = crowding_distance(&objs, &pareto_rank(&objs));
+        assert!(d.iter().all(|x| x.is_infinite()));
+    }
+}

@@ -1,0 +1,402 @@
+//! The strategy contract and the budget-enforcing [`Evaluator`].
+//!
+//! A [`SearchStrategy`] walks a [`Lattice`] and asks the [`Evaluator`]
+//! for point objectives. The evaluator owns everything the strategy
+//! must not get wrong: memoization (re-requesting a point is free and
+//! returns the recorded result), budget enforcement (fresh evaluations
+//! beyond [`Budget::max_evaluations`] are refused), the running Pareto
+//! archive, and stall detection ([`Budget::stall`] improvement-free
+//! requests stop the search). Strategies just propose points and read
+//! the archive.
+//!
+//! Batching: [`Evaluator::evaluate_batch`] forwards all not-yet-known
+//! points of a batch to the backing evaluation function in one call, so
+//! an engine sitting underneath (the `argo-dse` explorer) can fan the
+//! batch out over worker threads. Results are returned in request
+//! order, which keeps every strategy deterministic for a fixed seed
+//! regardless of how the backing function schedules the work.
+
+use crate::budget::Budget;
+use crate::lattice::Lattice;
+use crate::pareto::{dominates, Objectives};
+use std::collections::BTreeMap;
+
+/// The backing evaluation function: maps each flat lattice index of the
+/// batch to its objective vector, `None` for points that fail to
+/// compile/analyze. Must return exactly one entry per requested index,
+/// in request order.
+pub type BatchEvalFn<'e> = dyn FnMut(&[usize]) -> Vec<Option<Objectives>> + 'e;
+
+/// Memoizing, budget-enforcing evaluation front-end handed to a
+/// [`SearchStrategy`].
+pub struct Evaluator<'e> {
+    eval: &'e mut BatchEvalFn<'e>,
+    budget: Budget,
+    results: BTreeMap<usize, Option<Objectives>>,
+    evaluations: usize,
+    front: Vec<usize>,
+    since_improvement: usize,
+    lo: Objectives,
+    hi: Objectives,
+    any_success: bool,
+}
+
+impl<'e> Evaluator<'e> {
+    /// Evaluator over `eval` under `budget`.
+    pub fn new(budget: Budget, eval: &'e mut BatchEvalFn<'e>) -> Evaluator<'e> {
+        Evaluator {
+            eval,
+            budget,
+            results: BTreeMap::new(),
+            evaluations: 0,
+            front: Vec::new(),
+            since_improvement: 0,
+            lo: [u64::MAX; 3],
+            hi: [0; 3],
+            any_success: false,
+        }
+    }
+
+    /// The budget this evaluator enforces.
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Fresh evaluations performed so far.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// Whether the search must stop: evaluation budget spent or front
+    /// improvement stalled. Strategies check this in every loop.
+    pub fn exhausted(&self) -> bool {
+        self.budget.remaining(self.evaluations) == 0 || self.budget.stalled(self.since_improvement)
+    }
+
+    /// Requests the batch, evaluating at most the remaining budget of
+    /// fresh points; output is aligned with `candidates`. Entries that
+    /// could not be evaluated (budget already spent) are `None`.
+    pub fn evaluate_batch(&mut self, candidates: &[usize]) -> Vec<Option<Objectives>> {
+        // Fresh indices in first-occurrence order, truncated to budget.
+        let mut fresh: Vec<usize> = Vec::new();
+        for &idx in candidates {
+            if !self.results.contains_key(&idx) && !fresh.contains(&idx) {
+                fresh.push(idx);
+            }
+        }
+        fresh.truncate(self.budget.remaining(self.evaluations));
+        let mut outcomes: BTreeMap<usize, Option<Objectives>> = BTreeMap::new();
+        if !fresh.is_empty() {
+            let answers = (self.eval)(&fresh);
+            assert_eq!(
+                answers.len(),
+                fresh.len(),
+                "evaluation function must answer every requested point"
+            );
+            outcomes.extend(fresh.iter().copied().zip(answers));
+        }
+        // Fold outcomes in *request order*, so the stall counter keeps
+        // the documented "consecutive requested points without an
+        // improvement" meaning: a fresh improvement clears the known
+        // re-requests (and in-batch duplicates) that arrived before it,
+        // never the ones after.
+        for &idx in candidates {
+            match outcomes.remove(&idx) {
+                Some(outcome) => {
+                    self.results.insert(idx, outcome);
+                    self.evaluations += 1;
+                    self.record(idx, outcome);
+                }
+                // A known point, an in-batch duplicate, or a point the
+                // spent budget refused: cannot improve the front, so it
+                // counts toward the stall allowance (refused points are
+                // moot — the budget already stops the search).
+                None => self.since_improvement += 1,
+            }
+        }
+        candidates
+            .iter()
+            .map(|idx| self.results.get(idx).copied().flatten())
+            .collect()
+    }
+
+    /// Requests one point (see [`Evaluator::evaluate_batch`]).
+    pub fn evaluate(&mut self, idx: usize) -> Option<Objectives> {
+        self.evaluate_batch(&[idx])[0]
+    }
+
+    /// Folds a fresh outcome into the archive, bounds and stall state.
+    fn record(&mut self, idx: usize, outcome: Option<Objectives>) {
+        let improved = match outcome {
+            None => false,
+            Some(obj) => {
+                for (axis, &v) in obj.iter().enumerate() {
+                    self.lo[axis] = self.lo[axis].min(v);
+                    self.hi[axis] = self.hi[axis].max(v);
+                }
+                self.any_success = true;
+                let objectives = |i: usize| self.results[&i].expect("front points succeeded");
+                let covered = self.front.iter().any(|&f| {
+                    let fo = objectives(f);
+                    fo == obj || dominates(&fo, &obj)
+                });
+                if !covered {
+                    self.front.retain(|&f| !dominates(&obj, &objectives(f)));
+                    self.front.push(idx);
+                    self.front.sort_unstable();
+                }
+                !covered
+            }
+        };
+        if improved {
+            self.since_improvement = 0;
+        } else {
+            self.since_improvement += 1;
+        }
+    }
+
+    /// Indices of the current Pareto archive, ascending.
+    pub fn front_indices(&self) -> Vec<usize> {
+        self.front.clone()
+    }
+
+    /// All recorded outcomes, keyed by flat index.
+    pub fn results(&self) -> &BTreeMap<usize, Option<Objectives>> {
+        &self.results
+    }
+
+    /// The recorded objectives of `idx` (`None` if unevaluated or
+    /// failed).
+    pub fn objectives(&self, idx: usize) -> Option<Objectives> {
+        self.results.get(&idx).copied().flatten()
+    }
+
+    /// Successfully evaluated points `(index, objectives)`, ascending by
+    /// index.
+    pub fn successes(&self) -> Vec<(usize, Objectives)> {
+        self.results
+            .iter()
+            .filter_map(|(&i, o)| o.map(|obj| (i, obj)))
+            .collect()
+    }
+
+    /// Normalizes an objective vector into `[0, 1]` per axis using the
+    /// running min/max of every success seen so far (0.5 on axes with no
+    /// spread yet). The scalarizing strategies (annealing energy,
+    /// halving tie-breaks) use this shared scale.
+    pub fn normalized(&self, obj: &Objectives) -> [f64; 3] {
+        let mut out = [0.5f64; 3];
+        if !self.any_success {
+            return out;
+        }
+        for axis in 0..3 {
+            let span = self.hi[axis].saturating_sub(self.lo[axis]);
+            if span > 0 {
+                out[axis] = obj[axis].saturating_sub(self.lo[axis]) as f64 / span as f64;
+            }
+        }
+        out
+    }
+}
+
+/// Pareto local search: repeatedly evaluates every unevaluated
+/// single-axis neighbor of every archive member until the neighborhood
+/// is closed (no archive member has a fresh neighbor left) or the
+/// budget runs out. On smooth design spaces the Pareto front is largely
+/// axis-connected — the same configuration at the next SPM size or core
+/// count is often on the front too — so this closure pass is how every
+/// built-in strategy spends its tail budget after its own exploration
+/// phase.
+/// Budget discipline: neighbors are ordered by learned *axis
+/// productivity* — an axis whose sampled neighbors so far always
+/// reproduced their origin's exact objective vector (a redundant axis:
+/// chunking that does not change the binary, a scheduler tie) sinks to
+/// the back of every batch, so budget truncation cuts the moves that
+/// cannot reveal new front vectors.
+pub fn pareto_local_search(lattice: &Lattice, ev: &mut Evaluator<'_>) {
+    let axes = lattice.dims().len();
+    let mut attempts = vec![0usize; axes];
+    let mut productive = vec![0usize; axes];
+    loop {
+        if ev.exhausted() {
+            return;
+        }
+        // Fresh neighbors of every archive member, tagged with the axis
+        // the move changes and the member it refines.
+        let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
+        let mut seen: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        for f in ev.front_indices() {
+            let coords = lattice.decode(f);
+            for axis in lattice.free_axes() {
+                for v in 0..lattice.dims()[axis] {
+                    if v == coords[axis] {
+                        continue;
+                    }
+                    let mut c = coords.clone();
+                    c[axis] = v;
+                    let n = lattice.encode(&c);
+                    if !ev.results().contains_key(&n) && seen.insert(n) {
+                        candidates.push((axis, f, n));
+                    }
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return; // front neighborhood closed
+        }
+        // Known-redundant axes last; stable within each group.
+        candidates.sort_by_key(|&(axis, _, _)| (attempts[axis] > 0 && productive[axis] == 0, axis));
+        let batch: Vec<usize> = candidates.iter().map(|&(_, _, n)| n).collect();
+        ev.evaluate_batch(&batch);
+        for &(axis, f, n) in &candidates {
+            if !ev.results().contains_key(&n) {
+                continue; // truncated by the budget — never sampled
+            }
+            attempts[axis] += 1;
+            if ev.objectives(n) != ev.objectives(f) {
+                productive[axis] += 1;
+            }
+        }
+    }
+}
+
+/// A budgeted, seeded search procedure over a lattice.
+///
+/// Contract: `search` must be **deterministic** for a fixed
+/// `(lattice, seed, evaluation results)` triple — all randomness comes
+/// from an `StdRng` seeded with `seed`, and all iteration is over
+/// ordered containers. Strategies stop when [`Evaluator::exhausted`]
+/// turns true, and additionally carry an internal iteration cap so an
+/// unlimited budget still terminates.
+pub trait SearchStrategy {
+    /// Stable CLI/report label of the strategy.
+    fn name(&self) -> &'static str;
+
+    /// Explores `lattice`, requesting points from `ev` until the budget
+    /// is exhausted or the strategy considers the front converged.
+    fn search(&self, lattice: &Lattice, seed: u64, ev: &mut Evaluator<'_>);
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::pareto::pareto_front;
+
+    /// Synthetic deterministic objective function shaped like a real
+    /// DSE lattice: smooth in the core and SPM axes, a discrete
+    /// scheduler-like penalty axis, redundant axes that do not move the
+    /// objectives (so front vectors have many representative points,
+    /// exactly as chunking/scheduler ties do in real sweeps), and a
+    /// failure pocket.
+    pub(crate) fn synthetic_eval(
+        lattice: &Lattice,
+    ) -> impl FnMut(&[usize]) -> Vec<Option<Objectives>> + '_ {
+        move |batch: &[usize]| {
+            batch
+                .iter()
+                .map(|&idx| {
+                    let c = lattice.decode(idx);
+                    let a = c.first().copied().unwrap_or(0);
+                    let b = c.get(1).copied().unwrap_or(0);
+                    let s = c.get(2).copied().unwrap_or(0);
+                    if a == 2 && b == 3 {
+                        return None; // failure pocket
+                    }
+                    let cores = [1u64, 2, 4, 6][a % 4];
+                    let penalty = [120u64, 60, 90, 75][b % 4];
+                    let spm = 1024 * s as u64;
+                    let wcet = 1200 / cores + penalty - 20 * s as u64;
+                    Some([cores, wcet, spm])
+                })
+                .collect()
+        }
+    }
+
+    /// Brute-force distinct front vectors of the synthetic function.
+    pub(crate) fn exhaustive_front(lattice: &Lattice) -> Vec<Objectives> {
+        let mut eval = synthetic_eval(lattice);
+        let all: Vec<usize> = (0..lattice.len()).collect();
+        let outs = eval(&all);
+        let objs: Vec<Objectives> = outs.into_iter().flatten().collect();
+        let mut front: Vec<Objectives> = pareto_front(&objs).into_iter().map(|i| objs[i]).collect();
+        front.sort_unstable();
+        front.dedup();
+        front
+    }
+
+    /// Fraction of the exhaustive front's distinct vectors present in
+    /// the evaluator's archive.
+    pub(crate) fn recovery(ev: &Evaluator<'_>, exhaustive: &[Objectives]) -> f64 {
+        let found: std::collections::BTreeSet<Objectives> = ev
+            .front_indices()
+            .iter()
+            .filter_map(|&i| ev.objectives(i))
+            .collect();
+        let hit = exhaustive.iter().filter(|o| found.contains(*o)).count();
+        hit as f64 / exhaustive.len().max(1) as f64
+    }
+
+    #[test]
+    fn evaluator_memoizes_and_respects_budget() {
+        let calls = std::cell::Cell::new(0usize);
+        let mut raw = |batch: &[usize]| {
+            calls.set(calls.get() + batch.len());
+            batch.iter().map(|&i| Some([1, i as u64, 0])).collect()
+        };
+        let mut ev = Evaluator::new(Budget::evaluations(5), &mut raw);
+        assert_eq!(ev.evaluate_batch(&[0, 1, 2, 1, 0]).len(), 5);
+        assert_eq!(ev.evaluations(), 3);
+        ev.evaluate(2); // memoized — free
+        assert_eq!(ev.evaluations(), 3);
+        ev.evaluate_batch(&[3, 4, 5, 6]); // truncated to 2 fresh
+        assert_eq!(ev.evaluations(), 5);
+        assert_eq!(calls.get(), 5, "backing function sees only fresh points");
+        assert!(ev.exhausted());
+        assert_eq!(ev.evaluate(9), None, "refused beyond budget");
+    }
+
+    #[test]
+    fn evaluator_maintains_a_true_front() {
+        let mut raw = |batch: &[usize]| {
+            let objs: &[Option<Objectives>] = &[
+                Some([1, 100, 16]),
+                Some([4, 40, 16]),
+                Some([4, 50, 16]),
+                None,
+                Some([8, 30, 8]),
+                Some([4, 40, 16]), // duplicate vector — not an improvement
+            ];
+            batch.iter().map(|&i| objs[i]).collect()
+        };
+        let mut ev = Evaluator::new(Budget::unlimited(), &mut raw);
+        ev.evaluate_batch(&[0, 1, 2, 3, 4, 5]);
+        assert_eq!(ev.front_indices(), vec![0, 1, 4]);
+        // 3 improvements (0, 1, 4); requests 2, 3, 5 were improvement-free.
+        assert_eq!(
+            ev.since_improvement, 1,
+            "5 arrived after the last improvement"
+        );
+    }
+
+    #[test]
+    fn stall_budget_stops_further_evaluation() {
+        let mut raw = |batch: &[usize]| {
+            batch
+                .iter()
+                .map(|&i| Some([1, if i == 0 { 1 } else { 50 + i as u64 }, 0]))
+                .collect()
+        };
+        let mut ev = Evaluator::new(Budget::unlimited().with_stall(3), &mut raw);
+        for idx in 0..20 {
+            if ev.exhausted() {
+                break;
+            }
+            ev.evaluate(idx);
+        }
+        // Point 0 improves; 1, 2, 3 do not (worse WCET than 1's? no —
+        // each later point is dominated by point 0: same cores+spm,
+        // higher wcet). After 3 improvement-free points the stall trips.
+        assert!(ev.exhausted());
+        assert_eq!(ev.evaluations(), 4);
+    }
+}

@@ -19,15 +19,22 @@
 //!   canonical [`Fingerprint`]s and [`StageObserver`] hooks;
 //! * [`sim`] — cycle-charging simulator validating the bounds;
 //! * [`apps`] — the three evaluation use cases (§ IV);
-//! * [`dse`] — parallel design-space exploration with artifact caching
-//!   and Pareto reporting (§ III);
-//! * [`bench`](mod@bench) — the E1–E8 experiment drivers.
+//! * [`dse`] — parallel design-space exploration with three-tier
+//!   artifact caching and Pareto reporting (§ III);
+//! * [`search`] — budgeted metaheuristic search strategies (genetic,
+//!   simulated annealing, successive halving) steering `dse` sweeps
+//!   over large lattices;
+//! * [`bench`](mod@bench) — the E1–E9 experiment drivers.
 
 // The session driver API, re-exported at the facade root so downstream
 // code can spell `argo::Toolflow` / `argo::Diagnostic` directly.
 pub use argo_core::{
-    Artifact, Diagnostic, ErrorCode, Fingerprint, Fingerprintable, Stage, StageObserver, Toolflow,
+    Artifact, Diagnostic, ErrorCode, Fingerprint, Fingerprintable, ScheduleCache, Stage,
+    StageObserver, Toolflow,
 };
+// The search-layer vocabulary types, for the same reason:
+// `argo::Budget`, `argo::SearchStrategy`.
+pub use argo_search::{Budget, SearchStrategy};
 
 pub use argo_adl as adl;
 pub use argo_apps as apps;
@@ -39,6 +46,7 @@ pub use argo_ir as ir;
 pub use argo_model as model;
 pub use argo_parir as parir;
 pub use argo_sched as sched;
+pub use argo_search as search;
 pub use argo_sim as sim;
 pub use argo_transform as transform;
 pub use argo_wcet as wcet;

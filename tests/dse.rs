@@ -87,19 +87,28 @@ fn repeated_exploration_is_deterministic_and_cached() {
     );
     assert_eq!(first.pareto, second.pareto);
 
-    // The first run misses at least once; the second run adds hits only.
+    // The first run misses at least once; the second run adds hits only
+    // (across all three tiers — frontend, seed costs and schedules).
     assert!(after_first.misses() > 0);
+    assert!(
+        after_first.sched_misses > 0,
+        "backend rounds must populate the schedule tier"
+    );
     assert_eq!(
         after_second.misses(),
         after_first.misses(),
-        "second run must not rebuild"
+        "second run must not rebuild in any tier"
     );
     let second_run_hits = after_second.hits() - after_first.hits();
-    assert!(second_run_hits > 0, "second run must hit the cache");
+    assert!(
+        second_run_hits >= 12 * 2,
+        "every point hits the frontend and seed-cost tiers on the second \
+         run (plus one schedule hit per feedback round): got {second_run_hits}"
+    );
     assert_eq!(
-        second_run_hits,
-        12 * 2,
-        "every point hits both tiers on the second run"
+        after_second.sched_hits - after_first.sched_hits,
+        after_first.sched_hits + after_first.sched_misses,
+        "the second run repeats the first run's schedule lookups, all hits"
     );
 
     // Shared-prefix reuse already within the first run: the scheduler
@@ -109,12 +118,24 @@ fn repeated_exploration_is_deterministic_and_cached() {
         "shared-prefix points must hit within one run"
     );
 
-    // The acceptance bar: with the canonical fingerprint keys, the
-    // re-explored sweep keeps an overall hit rate of at least 75%.
+    // The PR 2 acceptance bar, on the tiers it was written for: with
+    // the canonical fingerprint keys, the re-explored sweep keeps an
+    // artifact-tier (frontend + seed-cost) hit rate of at least 75%.
+    let artifact_hits = after_second.frontend_hits + after_second.cost_hits;
+    let artifact_total = artifact_hits + after_second.frontend_misses + after_second.cost_misses;
+    let artifact_rate = artifact_hits as f64 / artifact_total as f64;
     assert!(
-        after_second.hit_rate() >= 0.75,
-        "cache hit rate dropped below 75%: {:.2}",
-        after_second.hit_rate()
+        artifact_rate >= 0.75,
+        "artifact-tier hit rate dropped below 75%: {artifact_rate:.2}"
+    );
+    // The third tier is colder on a single sweep (most points are
+    // distinct scheduler inputs) but must reach 50% once the sweep has
+    // been repeated — every second-run lookup hits.
+    let sched_rate = after_second.sched_hits as f64
+        / (after_second.sched_hits + after_second.sched_misses) as f64;
+    assert!(
+        sched_rate >= 0.5,
+        "schedule-tier hit rate below 50% after a repeat sweep: {sched_rate:.2}"
     );
 }
 
