@@ -82,14 +82,29 @@ impl Arbitration {
                 weights,
                 slot_cycles,
             } => {
-                let mut ws: Vec<u64> = weights
-                    .iter()
-                    .enumerate()
-                    .filter(|&(j, _)| j != core)
-                    .map(|(_, &w)| w)
-                    .collect();
-                ws.sort_unstable_by(|a, b| b.cmp(a));
-                let w_others: u64 = ws.into_iter().take(others as usize).sum();
+                // Sum of the `others` largest weights excluding `core`,
+                // by repeated selection over the (small) weight table —
+                // this sits under every comm/shared-access bound the
+                // schedulers and WCET analyses compute, so it must not
+                // allocate or sort per call.
+                let mut w_others = 0u64;
+                let mut prev = (u64::MAX, usize::MAX);
+                let mut remaining = others;
+                while remaining > 0 {
+                    let mut best: Option<(u64, usize)> = None;
+                    for (j, &w) in weights.iter().enumerate() {
+                        if j == core || (w, j) >= prev {
+                            continue;
+                        }
+                        if best.is_none_or(|b| (w, j) > b) {
+                            best = Some((w, j));
+                        }
+                    }
+                    let Some((w, j)) = best else { break };
+                    w_others += w;
+                    prev = (w, j);
+                    remaining -= 1;
+                }
                 // One non-preemptible transaction may already be in
                 // service when the request arrives (blocking term).
                 let blocking = if others > 0 { txn_cycles } else { 0 };

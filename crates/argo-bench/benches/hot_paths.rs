@@ -1,0 +1,85 @@
+//! Criterion group `hot_paths`: the three inner-loop hot paths the
+//! slot-resolution rework targets.
+//!
+//! * `interp_egpws` — interpreter statement throughput on the EGPWS
+//!   kernel (slot-resolved mirror, prebuilt resolution, null hook);
+//! * `value_weaa` — interval value-analysis fixpoint on the WEAA
+//!   program (deepest loop nest in the use-case suite);
+//! * `list_1000` — HEFT list scheduling of a synthetic 1 000-task
+//!   layered DAG through the precomputed `TaskGraphIndex`.
+//!
+//! CI runs this bench with `--test` (compile + run each body once, no
+//! timing), so the hot paths cannot silently rot; the timed numbers
+//! feed `BENCH_hotpaths.json` via the `bench_hotpaths` binary.
+
+use argo_adl::Platform;
+use argo_ir::interp::{Interp, NullHook};
+use argo_ir::resolve::Resolution;
+use argo_sched::list::ListScheduler;
+use argo_sched::random::{random_task_graph, RandomGraphParams};
+use argo_sched::SchedCtx;
+use argo_wcet::value::{loop_bounds_resolved, ValueCtx};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_interp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hot_paths");
+    g.sample_size(20);
+    let uc = argo_apps::egpws::use_case(42);
+    let resolution = Resolution::of(&uc.program);
+    g.bench_function("interp_egpws", |b| {
+        b.iter(|| {
+            let mut interp = Interp::with_resolution(&uc.program, &resolution);
+            let out = interp
+                .call_full(uc.entry, black_box(uc.args.clone()), &mut NullHook)
+                .expect("egpws runs");
+            black_box(out.ret)
+        })
+    });
+    g.finish();
+}
+
+fn bench_value(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hot_paths");
+    g.sample_size(50);
+    let uc = argo_apps::weaa::use_case(42);
+    let resolution = Resolution::of(&uc.program);
+    let ctx = ValueCtx::default();
+    g.bench_function("value_weaa", |b| {
+        b.iter(|| {
+            let bounds =
+                loop_bounds_resolved(black_box(&resolution), uc.entry, &ctx).expect("weaa bounds");
+            black_box(bounds.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_list(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hot_paths");
+    g.sample_size(10);
+    let graph = random_task_graph(
+        7,
+        &RandomGraphParams {
+            tasks: 1000,
+            layers: 25,
+            ..Default::default()
+        },
+    );
+    let platform = Platform::xentium_manycore(4);
+    let ctx = SchedCtx::new(&platform);
+    g.bench_function("list_1000", |b| {
+        let idx = graph.index();
+        b.iter(|| {
+            black_box(
+                ListScheduler::new()
+                    .schedule_indexed(black_box(&graph), &idx, &ctx)
+                    .makespan(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(hot_paths, bench_interp, bench_value, bench_list);
+criterion_main!(hot_paths);

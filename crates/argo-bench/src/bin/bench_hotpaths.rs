@@ -1,0 +1,212 @@
+//! Machine-readable hot-path benchmark harness → `BENCH_hotpaths.json`.
+//!
+//! Times the three inner-loop hot paths of the tool-chain (interpreter
+//! statement execution, value-analysis fixpoint, list scheduling) plus
+//! the end-to-end e1/e2 experiment wall time, and writes one JSON file
+//! with `median_ns` and a derived throughput per bench. When a baseline
+//! file is given (`--baseline PATH`, a previous output of this harness),
+//! each bench also records `before_median_ns` and the resulting
+//! `speedup`, so the perf trajectory of the repo is recorded as data
+//! instead of prose.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_hotpaths [--out PATH] [--baseline PATH] [--samples N]
+//! ```
+//!
+//! Defaults: `--out BENCH_hotpaths.json`, no baseline, 15 samples for
+//! the micro benches (5 for the end-to-end drivers).
+
+use argo_ir::interp::{CountingHook, Interp, NullHook};
+use argo_sched::list::ListScheduler;
+use argo_sched::random::{random_task_graph, RandomGraphParams};
+use argo_sched::{SchedCtx, Scheduler};
+use argo_wcet::value::{loop_bounds, ValueCtx};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured bench: median wall time and items processed per run.
+struct BenchRow {
+    name: &'static str,
+    median_ns: u64,
+    /// Work items per run (statements, loops, tasks, …).
+    items: u64,
+    /// Unit of `items` for the throughput field.
+    unit: &'static str,
+}
+
+fn median_ns(samples: &mut [u64]) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn time_n<F: FnMut()>(samples: usize, mut f: F) -> u64 {
+    f(); // warm-up
+    let mut out = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        f();
+        out.push(t0.elapsed().as_nanos() as u64);
+    }
+    median_ns(&mut out)
+}
+
+fn bench_interp_egpws(samples: usize) -> BenchRow {
+    let uc = argo_apps::egpws::use_case(42);
+    // Steady state: the resolution is a cached frontend artifact, so
+    // the measured quantity is pure statement execution.
+    let resolution = argo_ir::resolve::Resolution::of(&uc.program);
+    // Count statements once (workload size for the throughput figure).
+    let mut counter = CountingHook::default();
+    Interp::with_resolution(&uc.program, &resolution)
+        .call_full(uc.entry, uc.args.clone(), &mut counter)
+        .expect("egpws runs");
+    let median = time_n(samples, || {
+        let mut interp = Interp::with_resolution(&uc.program, &resolution);
+        let out = interp
+            .call_full(uc.entry, uc.args.clone(), &mut NullHook)
+            .expect("egpws runs");
+        std::hint::black_box(out.ret);
+    });
+    BenchRow {
+        name: "interp_egpws",
+        median_ns: median,
+        items: counter.stmts,
+        unit: "stmts",
+    }
+}
+
+fn bench_value_weaa(samples: usize) -> BenchRow {
+    let uc = argo_apps::weaa::use_case(42);
+    let ctx = ValueCtx::default();
+    let resolution = argo_ir::resolve::Resolution::of(&uc.program);
+    let bounds = loop_bounds(&uc.program, uc.entry, &ctx).expect("weaa bounds");
+    let median = time_n(samples, || {
+        let b = argo_wcet::value::loop_bounds_resolved(&resolution, uc.entry, &ctx)
+            .expect("weaa bounds");
+        std::hint::black_box(b.len());
+    });
+    BenchRow {
+        name: "value_weaa",
+        median_ns: median,
+        items: bounds.len() as u64,
+        unit: "loops",
+    }
+}
+
+fn bench_list_1000(samples: usize) -> BenchRow {
+    let params = RandomGraphParams {
+        tasks: 1000,
+        layers: 25,
+        ..Default::default()
+    };
+    let g = random_task_graph(7, &params);
+    let platform = argo_adl::Platform::xentium_manycore(4);
+    let ctx = SchedCtx::new(&platform);
+    let median = time_n(samples, || {
+        let s = ListScheduler::new().schedule(&g, &ctx);
+        std::hint::black_box(s.makespan());
+    });
+    BenchRow {
+        name: "sched_list_1000",
+        median_ns: median,
+        items: g.len() as u64,
+        unit: "tasks",
+    }
+}
+
+fn bench_e1(samples: usize) -> BenchRow {
+    let median = time_n(samples, || {
+        std::hint::black_box(argo_bench::e1_toolflow().len());
+    });
+    BenchRow {
+        name: "e1_toolflow",
+        median_ns: median,
+        items: 3,
+        unit: "use-cases",
+    }
+}
+
+fn bench_e2(samples: usize) -> BenchRow {
+    let median = time_n(samples, || {
+        std::hint::black_box(argo_bench::e2_wcet_speedup(&[1, 2, 4]).len());
+    });
+    BenchRow {
+        name: "e2_wcet_speedup",
+        median_ns: median,
+        items: 9,
+        unit: "compiles",
+    }
+}
+
+/// Extracts `"median_ns": N` for `bench` from a previous harness output
+/// (good enough for the fixed format this harness itself writes).
+fn baseline_median(baseline: &str, bench: &str) -> Option<u64> {
+    let key = format!("\"{bench}\"");
+    let obj = &baseline[baseline.find(&key)? + key.len()..];
+    let obj = &obj[..obj.find('}')?];
+    let field = "\"median_ns\": ";
+    let v = &obj[obj.find(field)? + field.len()..];
+    let end = v.find(|c: char| !c.is_ascii_digit())?;
+    v[..end].parse().ok()
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_hotpaths.json");
+    let mut baseline_path: Option<String> = None;
+    let mut samples = 15usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out PATH"),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline PATH")),
+            "--samples" => samples = args.next().expect("--samples N").parse().expect("number"),
+            other => {
+                eprintln!("usage: bench_hotpaths [--out PATH] [--baseline PATH] [--samples N]");
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let baseline = baseline_path.map(|p| std::fs::read_to_string(&p).expect("readable baseline"));
+
+    let e2e_samples = samples.div_ceil(3).max(3);
+    let rows = [
+        bench_interp_egpws(samples),
+        bench_value_weaa(samples),
+        bench_list_1000(samples),
+        bench_e1(e2e_samples),
+        bench_e2(e2e_samples),
+    ];
+
+    let mut json = String::from("{\n  \"schema\": \"argo-bench/hotpaths-v1\",\n  \"benches\": {\n");
+    for (i, row) in rows.iter().enumerate() {
+        let per_s = row.items as f64 / (row.median_ns as f64 * 1e-9);
+        let _ = write!(
+            json,
+            "    \"{}\": {{\"median_ns\": {}, \"items\": {}, \"unit\": \"{}\", \
+             \"throughput_per_s\": {:.1}",
+            row.name, row.median_ns, row.items, row.unit, per_s
+        );
+        if let Some(before) = baseline
+            .as_deref()
+            .and_then(|b| baseline_median(b, row.name))
+        {
+            let _ = write!(
+                json,
+                ", \"before_median_ns\": {}, \"speedup\": {:.2}",
+                before,
+                before as f64 / row.median_ns.max(1) as f64
+            );
+        }
+        json.push_str(if i + 1 == rows.len() { "}\n" } else { "},\n" });
+        eprintln!(
+            "{:<16} median {:>12} ns   ({:.1} {}/s)",
+            row.name, row.median_ns, per_s, row.unit
+        );
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, json).expect("write output");
+    eprintln!("wrote {out_path}");
+}

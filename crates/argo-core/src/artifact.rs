@@ -19,6 +19,7 @@
 use crate::fingerprint::{Fingerprint, FingerprintHasher, Fingerprintable};
 use argo_htg::{Htg, TaskId};
 use argo_ir::ast::Program;
+use argo_ir::resolve::Resolution;
 use argo_parir::ParallelProgram;
 use argo_wcet::system::SystemWcet;
 use argo_wcet::value::LoopBounds;
@@ -49,6 +50,15 @@ pub trait Artifact {
 pub struct FrontendArtifact {
     /// The program after predictability transformations.
     pub program: Program,
+    /// The slot resolution of the transformed program: interned
+    /// symbols, per-function frame layouts and the resolved statement
+    /// mirror. Computed once per frontend run, reused by the value
+    /// analysis and by every interpreter the artifact's consumers
+    /// spawn ([`argo_ir::interp::Interp::with_resolution`]) — and,
+    /// because the artifact is what the `argo-dse` first-tier cache
+    /// stores, shared across all design points with equal frontend
+    /// fingerprints.
+    pub resolution: Resolution,
     /// Loop bounds from the value analysis.
     pub bounds: LoopBounds,
     /// The extracted, access-annotated HTG.
@@ -97,6 +107,7 @@ impl Artifact for FrontendArtifact {
         let mut h = FingerprintHasher::new();
         h.write_str("frontend-artifact");
         h.write_str(&argo_ir::printer::print_program(&self.program));
+        self.resolution.feed(&mut h);
         h.write_u64(self.bounds.len() as u64);
         for (sid, bound) in &self.bounds {
             h.write_u64(sid.0 as u64).write_u64(*bound);

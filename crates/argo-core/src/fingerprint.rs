@@ -319,6 +319,34 @@ pub fn schedule_fingerprint(
     h.finish()
 }
 
+/// Canonical fingerprint of a program's slot resolution: per-function
+/// frame layouts (name, frame length, slot symbol names in slot order,
+/// parameter slots) plus the mirror's statement count. Resolution is a
+/// pure function of the program, so this fingerprint is derivable from
+/// the program fingerprint — feeding it into artifact hashes documents
+/// the execution-shaped layout a cached artifact was built with, and
+/// pins slot-assignment determinism cross-process (a resolver change
+/// that reorders slots changes every artifact fingerprint loudly).
+impl Fingerprintable for argo_ir::resolve::Resolution {
+    fn feed(&self, h: &mut FingerprintHasher) {
+        h.write_str("resolution");
+        h.write_u64(self.symbol_count() as u64);
+        h.write_u64(self.stmt_count() as u64);
+        h.write_u64(self.functions.len() as u64);
+        for f in &self.functions {
+            h.write_str(self.name(f.name));
+            h.write_u64(f.frame_len as u64);
+            for &sym in &f.slot_symbols {
+                h.write_str(self.name(sym));
+            }
+            h.write_u64(f.params.len() as u64);
+            for p in &f.params {
+                h.write_u64(p.slot.0 as u64).write_bool(p.is_array);
+            }
+        }
+    }
+}
+
 impl Fingerprintable for ValueCtx {
     fn feed(&self, h: &mut FingerprintHasher) {
         h.write_str("value-ctx");

@@ -30,10 +30,10 @@ use argo_sched::{evaluate_assignment, CommModel, SchedCtx, Schedule, Scheduler, 
 use argo_transform::chunk::chunk_all_parallel_loops;
 use argo_transform::fold::ConstantFold;
 use argo_transform::Pass;
-use argo_wcet::cost::CostCtx;
+use argo_wcet::cost::{program_symbols, CostCtx};
 use argo_wcet::schema::{function_wcets, stmt_ids_wcet};
 use argo_wcet::system::{analyze, task_shared_accesses};
-use argo_wcet::value::loop_bounds;
+use argo_wcet::value::loop_bounds_resolved;
 use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
@@ -423,8 +423,13 @@ pub(crate) fn run_frontend_impl(
         argo_ir::validate::validate(&program)
             .map_err(|e| frontend_err(ErrorCode::InvalidProgram, e))?;
 
+        // --- Slot resolution of the final (transformed, renumbered)
+        // program: one pass, reused by the value analysis below, stored
+        // in the artifact for every downstream interpreter.
+        let resolution = argo_ir::resolve::Resolution::of(&program);
+
         // --- Loop bounds (value analysis).
-        let bounds = loop_bounds(&program, entry, &cfg.value_ctx)
+        let bounds = loop_bounds_resolved(&resolution, entry, &cfg.value_ctx)
             .map_err(|e| frontend_err(ErrorCode::UnboundedLoop, e).with_entity(entry))?;
 
         // --- Task extraction (HTG) + access annotation.
@@ -446,6 +451,7 @@ pub(crate) fn run_frontend_impl(
 
         Ok(FrontendArtifact {
             program,
+            resolution,
             bounds,
             htg,
         })
@@ -504,6 +510,7 @@ pub(crate) fn run_backend_impl(
             program,
             bounds,
             htg,
+            ..
         } = artifact;
         if htg.top_level.is_empty() {
             return Err(Diagnostic::new(
@@ -519,7 +526,11 @@ pub(crate) fn run_backend_impl(
         let mut mem = all_shared_map(&program, entry);
         let mut assignment: Option<Vec<argo_adl::CoreId>> = None;
         let mut schedule: Option<Schedule> = None;
-        let mut graph = TaskGraph::default();
+        // Hoisted out of the feedback loop: the symbol tables and the
+        // task-graph skeleton (names, ids, edges) depend only on the
+        // program/HTG, not on the round — each round only re-costs.
+        let symbols = program_symbols(&program);
+        let mut graph = TaskGraph::skeleton_from_htg(&htg);
         let mut iso_costs: Vec<u64> = Vec::new();
         let mut iterations = 0;
         for round in 0..cfg.feedback_rounds.max(1) {
@@ -537,7 +548,8 @@ pub(crate) fn run_backend_impl(
                             Some(a) => a[idx],
                             None => argo_adl::CoreId(0),
                         };
-                        let ctx = CostCtx::new(&program, platform, core, 1, &mem);
+                        let ctx =
+                            CostCtx::with_symbols(&program, platform, core, 1, &mem, &symbols);
                         if let std::collections::btree_map::Entry::Vacant(e) =
                             fw_by_core.entry(core)
                         {
@@ -554,7 +566,7 @@ pub(crate) fn run_backend_impl(
                     costs
                 }
             };
-            graph = TaskGraph::from_htg(&htg, &costs);
+            graph.set_costs(&costs);
             iso_costs = graph.cost.clone();
 
             // Mapping/scheduling stage, routed through the schedule

@@ -10,12 +10,24 @@
 //!    observes every operation and memory access and charges platform
 //!    cycles for them.
 //!
+//! Since the slot-resolution rework the interpreter executes the
+//! [resolved mirror](crate::resolve) of the program, not the AST:
+//! [`Interp::new`] resolves the program once (or borrows a prebuilt
+//! [`Resolution`] via [`Interp::with_resolution`]), and every activation
+//! [`Frame`] is a flat `Vec` of bindings indexed by frame slot — the
+//! per-statement execution path performs no string hashing and no
+//! string clones. Hooks still receive variable *names* (`&str`
+//! borrowed from the resolution's interner) so address- and
+//! placement-sensitive timing models keep working unchanged.
+//!
 //! Runtime errors (out-of-bounds indexing, exceeded `while` bounds,
 //! division by zero) are reported, never ignored: an exceeded loop bound
 //! means a WCET annotation was unsound and the tests treat that as fatal.
 
 use crate::ast::*;
+use crate::resolve::{RArg, RCall, RExpr, RFunction, RLValue, RStmt, RStmtKind, Resolution, Slot};
 use crate::types::{Scalar, Type};
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -321,20 +333,30 @@ pub struct CallOutcome {
     pub arrays: Vec<(String, ArrayData)>,
 }
 
+/// One frame-slot binding. Every slot starts [`Binding::Unbound`]; a
+/// declaration or parameter binding moves it to a live state.
 #[derive(Debug, Clone)]
 enum Binding {
+    /// No declaration has executed for this slot yet.
+    Unbound,
+    /// Live scalar value.
     Scalar(ScalarVal),
+    /// Declared but uninitialised scalar.
     Uninit(Scalar),
+    /// Array handle (index into the interpreter's array store).
     Array(usize),
 }
 
-/// A function activation frame: variable bindings of one function body.
+/// A function activation frame: the slot-indexed bindings of one
+/// function body (flat `Vec`, O(1) access, no hashing).
 ///
 /// Frames are exposed publicly so the platform simulator can hold the entry
 /// function's frame open while executing individual task statements.
 #[derive(Debug, Clone, Default)]
 pub struct Frame {
-    bindings: HashMap<String, Binding>,
+    /// Index of the frame's function in the resolution.
+    func: u32,
+    bindings: Vec<Binding>,
 }
 
 /// Control-flow outcome of executing a statement.
@@ -347,9 +369,12 @@ pub enum Flow {
 }
 
 /// The interpreter. Holds the array store; frames reference arrays by id so
-/// array parameters alias (C semantics).
+/// array parameters alias (C semantics). Execution runs over the
+/// program's [`Resolution`] (built once in [`Interp::new`], or shared
+/// via [`Interp::with_resolution`]).
 pub struct Interp<'p> {
     program: &'p Program,
+    resolved: Cow<'p, Resolution>,
     arrays: Vec<ArrayData>,
     /// Remaining execution fuel (statements); errors out at zero.
     fuel: u64,
@@ -357,13 +382,33 @@ pub struct Interp<'p> {
 
 impl<'p> Interp<'p> {
     /// Creates an interpreter for `program` with a large default fuel
-    /// budget (2^40 statements).
+    /// budget (2^40 statements). Resolves the program once.
     pub fn new(program: &'p Program) -> Interp<'p> {
         Interp {
             program,
+            resolved: Cow::Owned(Resolution::of(program)),
             arrays: Vec::new(),
             fuel: 1 << 40,
         }
+    }
+
+    /// Creates an interpreter sharing a prebuilt [`Resolution`] —
+    /// sweep drivers that execute one program many times resolve once
+    /// and pass the artifact here. `resolution` **must** have been
+    /// built from an equal `program`; executing with a foreign
+    /// resolution produces nonsense.
+    pub fn with_resolution(program: &'p Program, resolution: &'p Resolution) -> Interp<'p> {
+        Interp {
+            program,
+            resolved: Cow::Borrowed(resolution),
+            arrays: Vec::new(),
+            fuel: 1 << 40,
+        }
+    }
+
+    /// The resolution this interpreter executes.
+    pub fn resolution(&self) -> &Resolution {
+        &self.resolved
     }
 
     /// Sets the execution fuel (number of statement executions allowed).
@@ -393,29 +438,33 @@ impl<'p> Interp<'p> {
     ///
     /// Returns a [`RuntimeError`] on arity mismatch, out-of-bounds access,
     /// integer division by zero, exceeded `while` bounds or exhausted fuel.
-    pub fn call_full(
+    pub fn call_full<H: ExecHook + ?Sized>(
         &mut self,
         name: &str,
         args: Vec<ArgVal>,
-        hook: &mut dyn ExecHook,
+        hook: &mut H,
     ) -> Result<CallOutcome, RuntimeError> {
         let func = self
             .program
             .function(name)
             .ok_or_else(|| RuntimeError::new(format!("no function `{name}`")))?;
         let mut frame = self.make_frame(func, args)?;
+        let fidx = frame.func as usize;
         let mut ret = None;
-        for s in &func.body.stmts {
-            if let Flow::Return(v) = self.exec_stmt(&mut frame, s, hook)? {
+        {
+            let mut m = self.machine();
+            let resolved = m.resolved;
+            let rfunc = resolved.function(fidx);
+            if let Flow::Return(v) = m.exec_block(rfunc, &mut frame, &rfunc.body, hook)? {
                 ret = v;
-                break;
             }
         }
+        let rfunc = self.resolved.function(fidx);
         let mut arrays = Vec::new();
-        for p in &func.params {
-            if p.ty.is_array() {
-                if let Some(Binding::Array(id)) = frame.bindings.get(&p.name) {
-                    arrays.push((p.name.clone(), self.arrays[*id].clone()));
+        for (p, rp) in func.params.iter().zip(&rfunc.params) {
+            if rp.is_array {
+                if let Binding::Array(id) = frame.bindings[rp.slot.idx()] {
+                    arrays.push((p.name.clone(), self.arrays[id].clone()));
                 }
             }
         }
@@ -434,6 +483,11 @@ impl<'p> Interp<'p> {
         func: &Function,
         args: Vec<ArgVal>,
     ) -> Result<Frame, RuntimeError> {
+        let fidx = self
+            .resolved
+            .function_index(&func.name)
+            .ok_or_else(|| RuntimeError::new(format!("no function `{}`", func.name)))?;
+        let rfunc = self.resolved.function(fidx);
         if args.len() != func.params.len() {
             return Err(RuntimeError::new(format!(
                 "`{}` expects {} argument(s), got {}",
@@ -442,8 +496,14 @@ impl<'p> Interp<'p> {
                 args.len()
             )));
         }
-        let mut frame = Frame::default();
-        for (p, a) in func.params.iter().zip(args) {
+        if rfunc.params.len() != func.params.len() {
+            return Err(RuntimeError::new(format!(
+                "function `{}` does not match the interpreter's program",
+                func.name
+            )));
+        }
+        let mut bindings = vec![Binding::Unbound; rfunc.frame_len as usize];
+        for ((p, rp), a) in func.params.iter().zip(&rfunc.params).zip(args) {
             let binding = match (a, &p.ty) {
                 (ArgVal::Scalar(v), Type::Scalar(s)) => {
                     let v = coerce(v, *s)?;
@@ -466,9 +526,12 @@ impl<'p> Interp<'p> {
                     )))
                 }
             };
-            frame.bindings.insert(p.name.clone(), binding);
+            bindings[rp.slot.idx()] = binding;
         }
-        Ok(frame)
+        Ok(Frame {
+            func: fidx as u32,
+            bindings,
+        })
     }
 
     /// Reads the current contents of an array variable in `frame`.
@@ -477,7 +540,11 @@ impl<'p> Interp<'p> {
     ///
     /// Returns a [`RuntimeError`] if `name` is not a bound array.
     pub fn array_of(&self, frame: &Frame, name: &str) -> Result<&ArrayData, RuntimeError> {
-        match frame.bindings.get(name) {
+        match self
+            .resolved
+            .slot_of(frame.func as usize, name)
+            .map(|s| &frame.bindings[s.idx()])
+        {
             Some(Binding::Array(id)) => Ok(&self.arrays[*id]),
             _ => Err(RuntimeError::new(format!("`{name}` is not a bound array"))),
         }
@@ -489,7 +556,11 @@ impl<'p> Interp<'p> {
     ///
     /// Returns a [`RuntimeError`] if `name` is unbound or uninitialised.
     pub fn scalar_of(&self, frame: &Frame, name: &str) -> Result<ScalarVal, RuntimeError> {
-        match frame.bindings.get(name) {
+        match self
+            .resolved
+            .slot_of(frame.func as usize, name)
+            .map(|s| &frame.bindings[s.idx()])
+        {
             Some(Binding::Scalar(v)) => Ok(*v),
             Some(Binding::Uninit(_)) => {
                 Err(RuntimeError::new(format!("read of uninitialised `{name}`")))
@@ -503,129 +574,221 @@ impl<'p> Interp<'p> {
     /// This is the privatization primitive of the parallel executor: a
     /// privatized scalar is reset before each task, so tasks can never
     /// observe each other's values through it (any read-before-write then
-    /// fails loudly instead of silently racing).
+    /// fails loudly instead of silently racing). Names the frame's
+    /// function does not reference are ignored.
     pub fn reset_scalar(&self, frame: &mut Frame, name: &str, scalar: Scalar) {
-        frame
-            .bindings
-            .insert(name.to_string(), Binding::Uninit(scalar));
+        if let Some(s) = self.resolved.slot_of(frame.func as usize, name) {
+            frame.bindings[s.idx()] = Binding::Uninit(scalar);
+        }
     }
 
     /// Executes one statement in `frame`, reporting events to `hook`.
     ///
+    /// The statement is located by its [`StmtId`] in the resolution, so
+    /// the program must have been renumbered (every parsed or
+    /// transformed program is).
+    ///
     /// # Errors
     ///
     /// See [`Interp::call_full`].
-    pub fn exec_stmt(
+    pub fn exec_stmt<H: ExecHook + ?Sized>(
         &mut self,
         frame: &mut Frame,
         s: &Stmt,
-        hook: &mut dyn ExecHook,
+        hook: &mut H,
     ) -> Result<Flow, RuntimeError> {
-        if self.fuel == 0 {
+        self.exec_stmt_id(frame, s.id, hook)
+    }
+
+    /// Executes the statement with the given id in `frame` — the entry
+    /// point the platform simulator uses to replay task statement lists
+    /// without cloning any AST.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the id is unknown, belongs to a
+    /// different function than `frame`, or execution fails (see
+    /// [`Interp::call_full`]).
+    pub fn exec_stmt_id<H: ExecHook + ?Sized>(
+        &mut self,
+        frame: &mut Frame,
+        id: StmtId,
+        hook: &mut H,
+    ) -> Result<Flow, RuntimeError> {
+        let (fidx, sidx) = self
+            .resolved
+            .stmt_loc(id)
+            .ok_or_else(|| RuntimeError::new(format!("no statement {id}")))?;
+        if fidx as u32 != frame.func {
+            return Err(RuntimeError::new(format!(
+                "statement {id} is not part of the frame's function"
+            )));
+        }
+        let mut m = self.machine();
+        let resolved = m.resolved;
+        let rfunc = resolved.function(fidx);
+        m.exec_stmt(rfunc, frame, rfunc.stmt(sidx), hook)
+    }
+
+    fn machine(&mut self) -> Machine<'_> {
+        Machine {
+            resolved: &self.resolved,
+            arrays: &mut self.arrays,
+            fuel: &mut self.fuel,
+        }
+    }
+}
+
+/// The execution engine: shared resolution + mutable interpreter state,
+/// split so resolved statements (borrowed from the resolution) can be
+/// walked while the array store mutates.
+struct Machine<'a> {
+    resolved: &'a Resolution,
+    arrays: &'a mut Vec<ArrayData>,
+    fuel: &'a mut u64,
+}
+
+impl<'a> Machine<'a> {
+    #[inline]
+    fn slot_name(&self, rfunc: &RFunction, slot: Slot) -> &'a str {
+        self.resolved.name(rfunc.slot_symbols[slot.idx()])
+    }
+
+    fn exec_block<H: ExecHook + ?Sized>(
+        &mut self,
+        rfunc: &'a RFunction,
+        frame: &mut Frame,
+        block: &'a [u32],
+        hook: &mut H,
+    ) -> Result<Flow, RuntimeError> {
+        for &i in block {
+            if let Flow::Return(v) = self.exec_stmt(rfunc, frame, rfunc.stmt(i), hook)? {
+                return Ok(Flow::Return(v));
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt<H: ExecHook + ?Sized>(
+        &mut self,
+        rfunc: &'a RFunction,
+        frame: &mut Frame,
+        s: &'a RStmt,
+        hook: &mut H,
+    ) -> Result<Flow, RuntimeError> {
+        if *self.fuel == 0 {
             return Err(RuntimeError::new("execution fuel exhausted"));
         }
-        self.fuel -= 1;
+        *self.fuel -= 1;
         hook.on_stmt(s.id);
         match &s.kind {
-            StmtKind::Decl { name, ty, init } => {
-                let binding = match ty {
-                    Type::Scalar(sc) => match init {
-                        Some(e) => {
-                            let v = self.eval(frame, e, hook)?;
-                            let v = coerce(v, *sc)?;
-                            hook.on_access(name, AccessKind::WriteScalar);
-                            Binding::Scalar(v)
-                        }
-                        None => Binding::Uninit(*sc),
-                    },
-                    Type::Array { elem, dims } => {
-                        self.arrays.push(ArrayData::zeroed(*elem, dims.clone()));
-                        Binding::Array(self.arrays.len() - 1)
+            RStmtKind::DeclScalar { slot, scalar, init } => {
+                let binding = match init {
+                    Some(e) => {
+                        let v = self.eval(rfunc, frame, e, hook)?;
+                        let v = coerce(v, *scalar)?;
+                        hook.on_access(self.slot_name(rfunc, *slot), AccessKind::WriteScalar);
+                        Binding::Scalar(v)
                     }
+                    None => Binding::Uninit(*scalar),
                 };
-                // Redeclaration in a loop body resets the variable; arrays
-                // are re-allocated zeroed, matching C block-scope semantics.
-                frame.bindings.insert(name.clone(), binding);
+                // Redeclaration in a loop body resets the variable,
+                // matching C block-scope semantics.
+                frame.bindings[slot.idx()] = binding;
                 Ok(Flow::Normal)
             }
-            StmtKind::Assign { target, value } => {
-                let v = self.eval(frame, value, hook)?;
+            RStmtKind::DeclArray { slot, elem, dims } => {
+                // Arrays are re-allocated zeroed on redeclaration.
+                self.arrays.push(ArrayData::zeroed(*elem, dims.clone()));
+                frame.bindings[slot.idx()] = Binding::Array(self.arrays.len() - 1);
+                Ok(Flow::Normal)
+            }
+            RStmtKind::Assign { target, value } => {
+                let v = self.eval(rfunc, frame, value, hook)?;
                 match target {
-                    LValue::Var(n) => {
-                        let slot = frame
-                            .bindings
-                            .get_mut(n)
-                            .ok_or_else(|| RuntimeError::new(format!("unbound `{n}`")))?;
-                        let sc = match slot {
+                    RLValue::Var(slot) => {
+                        let sc = match &frame.bindings[slot.idx()] {
                             Binding::Scalar(old) => old.scalar(),
                             Binding::Uninit(sc) => *sc,
                             Binding::Array(_) => {
                                 return Err(RuntimeError::new(format!(
-                                    "cannot assign whole array `{n}`"
+                                    "cannot assign whole array `{}`",
+                                    self.slot_name(rfunc, *slot)
+                                )))
+                            }
+                            Binding::Unbound => {
+                                return Err(RuntimeError::new(format!(
+                                    "unbound `{}`",
+                                    self.slot_name(rfunc, *slot)
                                 )))
                             }
                         };
-                        *slot = Binding::Scalar(coerce(v, sc)?);
-                        hook.on_access(n, AccessKind::WriteScalar);
+                        frame.bindings[slot.idx()] = Binding::Scalar(coerce(v, sc)?);
+                        hook.on_access(self.slot_name(rfunc, *slot), AccessKind::WriteScalar);
                     }
-                    LValue::ArrayElem { array, indices } => {
-                        let idx = self.eval_indices(frame, indices, hook)?;
-                        let id = match frame.bindings.get(array) {
-                            Some(Binding::Array(id)) => *id,
+                    RLValue::Elem { array, indices } => {
+                        let mut idx_buf = IndexBuf::default();
+                        self.eval_indices(rfunc, frame, indices, hook, &mut idx_buf)?;
+                        let id = match &frame.bindings[array.idx()] {
+                            Binding::Array(id) => *id,
                             _ => {
-                                return Err(RuntimeError::new(format!("`{array}` is not an array")))
+                                return Err(RuntimeError::new(format!(
+                                    "`{}` is not an array",
+                                    self.slot_name(rfunc, *array)
+                                )))
                             }
                         };
                         let arr = &mut self.arrays[id];
-                        let flat = arr.flat_index(&idx)?;
+                        let flat = arr.flat_index(idx_buf.as_slice())?;
                         arr.data[flat] = coerce(v, arr.elem)?;
-                        hook.on_access_elem(array, AccessKind::WriteElem, flat as u64);
+                        hook.on_access_elem(
+                            self.slot_name(rfunc, *array),
+                            AccessKind::WriteElem,
+                            flat as u64,
+                        );
                     }
                 }
                 Ok(Flow::Normal)
             }
-            StmtKind::If {
+            RStmtKind::If {
                 cond,
                 then_blk,
                 else_blk,
             } => {
-                let c = self.eval(frame, cond, hook)?.as_bool()?;
+                let c = self.eval(rfunc, frame, cond, hook)?.as_bool()?;
                 hook.on_op(OpClass::Branch);
                 let blk = if c { then_blk } else { else_blk };
-                self.exec_block(frame, blk, hook)
+                self.exec_block(rfunc, frame, blk, hook)
             }
-            StmtKind::For {
+            RStmtKind::For {
                 var,
                 lo,
                 hi,
                 step,
                 body,
             } => {
-                let lo = self.eval(frame, lo, hook)?.as_int()?;
-                let hi = self.eval(frame, hi, hook)?.as_int()?;
+                let lo = self.eval(rfunc, frame, lo, hook)?.as_int()?;
+                let hi = self.eval(rfunc, frame, hi, hook)?.as_int()?;
+                let var_name = self.slot_name(rfunc, *var);
                 let mut i = lo;
                 while i < hi {
                     hook.on_op(OpClass::LoopOverhead);
-                    frame
-                        .bindings
-                        .insert(var.clone(), Binding::Scalar(ScalarVal::Int(i)));
-                    hook.on_access(var, AccessKind::WriteScalar);
-                    if let Flow::Return(v) = self.exec_block(frame, body, hook)? {
+                    frame.bindings[var.idx()] = Binding::Scalar(ScalarVal::Int(i));
+                    hook.on_access(var_name, AccessKind::WriteScalar);
+                    if let Flow::Return(v) = self.exec_block(rfunc, frame, body, hook)? {
                         return Ok(Flow::Return(v));
                     }
                     i += *step;
                 }
                 // Final bound test.
                 hook.on_op(OpClass::LoopOverhead);
-                frame
-                    .bindings
-                    .insert(var.clone(), Binding::Scalar(ScalarVal::Int(i)));
+                frame.bindings[var.idx()] = Binding::Scalar(ScalarVal::Int(i));
                 Ok(Flow::Normal)
             }
-            StmtKind::While { cond, bound, body } => {
+            RStmtKind::While { cond, bound, body } => {
                 let mut iters = 0u64;
                 loop {
-                    let c = self.eval(frame, cond, hook)?.as_bool()?;
+                    let c = self.eval(rfunc, frame, cond, hook)?.as_bool()?;
                     hook.on_op(OpClass::Branch);
                     if !c {
                         break;
@@ -637,19 +800,19 @@ impl<'p> Interp<'p> {
                              (unsound WCET annotation)"
                         )));
                     }
-                    if let Flow::Return(v) = self.exec_block(frame, body, hook)? {
+                    if let Flow::Return(v) = self.exec_block(rfunc, frame, body, hook)? {
                         return Ok(Flow::Return(v));
                     }
                 }
                 Ok(Flow::Normal)
             }
-            StmtKind::Call { name, args } => {
-                self.eval_call(frame, name, args, hook)?;
+            RStmtKind::Call(call) => {
+                self.eval_call(rfunc, frame, call, hook)?;
                 Ok(Flow::Normal)
             }
-            StmtKind::Return { value } => {
+            RStmtKind::Return { value } => {
                 let v = match value {
-                    Some(e) => Some(self.eval(frame, e, hook)?),
+                    Some(e) => Some(self.eval(rfunc, frame, e, hook)?),
                     None => None,
                 };
                 Ok(Flow::Return(v))
@@ -657,69 +820,77 @@ impl<'p> Interp<'p> {
         }
     }
 
-    fn exec_block(
+    fn eval_indices<H: ExecHook + ?Sized>(
         &mut self,
+        rfunc: &'a RFunction,
         frame: &mut Frame,
-        b: &Block,
-        hook: &mut dyn ExecHook,
-    ) -> Result<Flow, RuntimeError> {
-        for s in &b.stmts {
-            if let Flow::Return(v) = self.exec_stmt(frame, s, hook)? {
-                return Ok(Flow::Return(v));
-            }
-        }
-        Ok(Flow::Normal)
-    }
-
-    fn eval_indices(
-        &mut self,
-        frame: &mut Frame,
-        indices: &[Expr],
-        hook: &mut dyn ExecHook,
-    ) -> Result<Vec<i64>, RuntimeError> {
-        let mut out = Vec::with_capacity(indices.len());
+        indices: &'a [RExpr],
+        hook: &mut H,
+        out: &mut IndexBuf,
+    ) -> Result<(), RuntimeError> {
         for e in indices {
-            out.push(self.eval(frame, e, hook)?.as_int()?);
+            let v = self.eval(rfunc, frame, e, hook)?.as_int()?;
             // Address computation cost.
             hook.on_op(OpClass::IntAlu);
+            out.push(v);
         }
-        Ok(out)
+        Ok(())
     }
 
-    /// Evaluates an expression in `frame`.
-    ///
-    /// # Errors
-    ///
-    /// See [`Interp::call_full`].
-    pub fn eval(
+    fn eval<H: ExecHook + ?Sized>(
         &mut self,
+        rfunc: &'a RFunction,
         frame: &mut Frame,
-        e: &Expr,
-        hook: &mut dyn ExecHook,
+        e: &'a RExpr,
+        hook: &mut H,
     ) -> Result<ScalarVal, RuntimeError> {
         match e {
-            Expr::IntLit(v) => Ok(ScalarVal::Int(*v)),
-            Expr::RealLit(v) => Ok(ScalarVal::Real(*v)),
-            Expr::BoolLit(v) => Ok(ScalarVal::Bool(*v)),
-            Expr::Var(n) => {
-                let v = self.scalar_of(frame, n)?;
-                hook.on_access(n, AccessKind::ReadScalar);
+            RExpr::Int(v) => Ok(ScalarVal::Int(*v)),
+            RExpr::Real(v) => Ok(ScalarVal::Real(*v)),
+            RExpr::Bool(v) => Ok(ScalarVal::Bool(*v)),
+            RExpr::Var(slot) => {
+                let v = match &frame.bindings[slot.idx()] {
+                    Binding::Scalar(v) => *v,
+                    Binding::Uninit(_) => {
+                        return Err(RuntimeError::new(format!(
+                            "read of uninitialised `{}`",
+                            self.slot_name(rfunc, *slot)
+                        )))
+                    }
+                    _ => {
+                        return Err(RuntimeError::new(format!(
+                            "`{}` is not a bound scalar",
+                            self.slot_name(rfunc, *slot)
+                        )))
+                    }
+                };
+                hook.on_access(self.slot_name(rfunc, *slot), AccessKind::ReadScalar);
                 Ok(v)
             }
-            Expr::ArrayElem { array, indices } => {
-                let idx = self.eval_indices(frame, indices, hook)?;
-                let id = match frame.bindings.get(array) {
-                    Some(Binding::Array(id)) => *id,
-                    _ => return Err(RuntimeError::new(format!("`{array}` is not an array"))),
+            RExpr::Elem { array, indices } => {
+                let mut idx_buf = IndexBuf::default();
+                self.eval_indices(rfunc, frame, indices, hook, &mut idx_buf)?;
+                let id = match &frame.bindings[array.idx()] {
+                    Binding::Array(id) => *id,
+                    _ => {
+                        return Err(RuntimeError::new(format!(
+                            "`{}` is not an array",
+                            self.slot_name(rfunc, *array)
+                        )))
+                    }
                 };
                 let arr = &self.arrays[id];
-                let flat = arr.flat_index(&idx)?;
+                let flat = arr.flat_index(idx_buf.as_slice())?;
                 let v = arr.data[flat];
-                hook.on_access_elem(array, AccessKind::ReadElem, flat as u64);
+                hook.on_access_elem(
+                    self.slot_name(rfunc, *array),
+                    AccessKind::ReadElem,
+                    flat as u64,
+                );
                 Ok(v)
             }
-            Expr::Unary { op, arg } => {
-                let v = self.eval(frame, arg, hook)?;
+            RExpr::Unary { op, arg } => {
+                let v = self.eval(rfunc, frame, arg, hook)?;
                 match op {
                     UnOp::Neg => match v {
                         ScalarVal::Int(x) => {
@@ -738,83 +909,145 @@ impl<'p> Interp<'p> {
                     }
                 }
             }
-            Expr::Binary { op, lhs, rhs } => {
+            RExpr::Binary { op, lhs, rhs } => {
                 // Note: && and || are evaluated non-short-circuit; mini-C
                 // expressions are side-effect free so this is semantics-
                 // preserving and keeps WCET paths simple.
-                let l = self.eval(frame, lhs, hook)?;
-                let r = self.eval(frame, rhs, hook)?;
+                let l = self.eval(rfunc, frame, lhs, hook)?;
+                let r = self.eval(rfunc, frame, rhs, hook)?;
                 eval_binop(*op, l, r, hook)
             }
-            Expr::Call { name, args } => {
-                let v = self.eval_call(frame, name, args, hook)?;
+            RExpr::Call(call) => {
+                let v = self.eval_call(rfunc, frame, call, hook)?;
                 v.ok_or_else(|| {
-                    RuntimeError::new(format!("void function `{name}` used in expression"))
+                    RuntimeError::new(format!(
+                        "void function `{}` used in expression",
+                        self.call_name(call)
+                    ))
                 })
             }
-            Expr::Cast { to, arg } => {
-                let v = self.eval(frame, arg, hook)?;
+            RExpr::Cast { to, arg } => {
+                let v = self.eval(rfunc, frame, arg, hook)?;
                 hook.on_op(OpClass::Cast);
                 cast(v, *to)
             }
         }
     }
 
-    fn eval_call(
+    fn call_name(&self, call: &RCall) -> &'a str {
+        match call {
+            RCall::Intrinsic { sig, .. } => sig.name,
+            RCall::User { func, .. } | RCall::UserBadArity { func } => {
+                let rf = self.resolved.function(*func as usize);
+                self.resolved.name(rf.name)
+            }
+            RCall::Unknown { name } => self.resolved.name(*name),
+        }
+    }
+
+    fn eval_call<H: ExecHook + ?Sized>(
         &mut self,
+        rfunc: &'a RFunction,
         frame: &mut Frame,
-        name: &str,
-        args: &[Expr],
-        hook: &mut dyn ExecHook,
+        call: &'a RCall,
+        hook: &mut H,
     ) -> Result<Option<ScalarVal>, RuntimeError> {
-        if let Some(sig) = crate::intrinsics::lookup(name) {
-            let mut vals = Vec::with_capacity(args.len());
-            for (a, &pt) in args.iter().zip(sig.params) {
-                let v = self.eval(frame, a, hook)?;
-                vals.push(coerce(v, pt)?);
-            }
-            hook.on_op(OpClass::Intrinsic);
-            hook.on_intrinsic(name);
-            return Ok(Some(eval_intrinsic(name, &vals)?));
-        }
-        let func = self
-            .program
-            .function(name)
-            .ok_or_else(|| RuntimeError::new(format!("no function `{name}`")))?;
-        hook.on_op(OpClass::CallOverhead);
-        // Evaluate arguments in the caller frame.
-        let mut callee_frame = Frame::default();
-        if args.len() != func.params.len() {
-            return Err(RuntimeError::new(format!(
-                "arity mismatch calling `{name}`"
-            )));
-        }
-        for (a, p) in args.iter().zip(&func.params) {
-            let binding = if p.ty.is_array() {
-                let Expr::Var(arg_name) = a else {
-                    return Err(RuntimeError::new(format!(
-                        "array parameter `{}` needs an array variable argument",
-                        p.name
-                    )));
-                };
-                match frame.bindings.get(arg_name) {
-                    Some(Binding::Array(id)) => Binding::Array(*id),
-                    _ => return Err(RuntimeError::new(format!("`{arg_name}` is not an array"))),
+        match call {
+            RCall::Intrinsic { sig, args } => {
+                // Sized by the compile-time-checked maximum intrinsic
+                // arity, so no heap allocation per call.
+                let mut vals = [ScalarVal::Int(0); crate::intrinsics::MAX_PARAMS];
+                let mut n = 0;
+                for (a, &pt) in args.iter().zip(sig.params) {
+                    let v = self.eval(rfunc, frame, a, hook)?;
+                    vals[n] = coerce(v, pt)?;
+                    n += 1;
                 }
-            } else {
-                let v = self.eval(frame, a, hook)?;
-                Binding::Scalar(coerce(v, p.ty.elem())?)
-            };
-            callee_frame.bindings.insert(p.name.clone(), binding);
-        }
-        let func_name = func.name.clone();
-        let body = &self.program.function(&func_name).unwrap().body;
-        for s in &body.stmts {
-            if let Flow::Return(v) = self.exec_stmt(&mut callee_frame, s, hook)? {
-                return Ok(v);
+                hook.on_op(OpClass::Intrinsic);
+                hook.on_intrinsic(sig.name);
+                Ok(Some(eval_intrinsic(sig.name, &vals[..n])?))
+            }
+            RCall::Unknown { name } => Err(RuntimeError::new(format!(
+                "no function `{}`",
+                self.resolved.name(*name)
+            ))),
+            RCall::UserBadArity { func } => {
+                hook.on_op(OpClass::CallOverhead);
+                let name = self.call_name(call);
+                let _ = func;
+                Err(RuntimeError::new(format!(
+                    "arity mismatch calling `{name}`"
+                )))
+            }
+            RCall::User { func, args } => {
+                let callee = self.resolved.function(*func as usize);
+                hook.on_op(OpClass::CallOverhead);
+                let mut callee_frame = Frame {
+                    func: *func,
+                    bindings: vec![Binding::Unbound; callee.frame_len as usize],
+                };
+                // Evaluate arguments in the caller frame, in parameter
+                // order (errors interleave exactly as evaluation does).
+                for (a, rp) in args.iter().zip(&callee.params) {
+                    let binding = match a {
+                        RArg::Scalar { expr, to } => {
+                            let v = self.eval(rfunc, frame, expr, hook)?;
+                            Binding::Scalar(coerce(v, *to)?)
+                        }
+                        RArg::Array { slot } => match &frame.bindings[slot.idx()] {
+                            Binding::Array(id) => Binding::Array(*id),
+                            _ => {
+                                return Err(RuntimeError::new(format!(
+                                    "`{}` is not an array",
+                                    self.slot_name(rfunc, *slot)
+                                )))
+                            }
+                        },
+                        RArg::ArrayMismatch { param } => {
+                            return Err(RuntimeError::new(format!(
+                                "array parameter `{param}` needs an array variable argument"
+                            )))
+                        }
+                    };
+                    callee_frame.bindings[rp.slot.idx()] = binding;
+                }
+                match self.exec_block(callee, &mut callee_frame, &callee.body, hook)? {
+                    Flow::Return(v) => Ok(v),
+                    Flow::Normal => Ok(None),
+                }
             }
         }
-        Ok(None)
+    }
+}
+
+/// Small inline buffer for evaluated array indices (arrays are 1-D or
+/// 2-D in practice; deeper shapes spill to the heap).
+#[derive(Default)]
+struct IndexBuf {
+    inline: [i64; 4],
+    len: usize,
+    spill: Vec<i64>,
+}
+
+impl IndexBuf {
+    fn push(&mut self, v: i64) {
+        if self.spill.is_empty() && self.len < self.inline.len() {
+            self.inline[self.len] = v;
+            self.len += 1;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.extend_from_slice(&self.inline[..self.len]);
+            }
+            self.spill.push(v);
+        }
+    }
+
+    fn as_slice(&self) -> &[i64] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
     }
 }
 
@@ -843,11 +1076,11 @@ fn cast(v: ScalarVal, to: Scalar) -> Result<ScalarVal, RuntimeError> {
     })
 }
 
-fn eval_binop(
+fn eval_binop<H: ExecHook + ?Sized>(
     op: BinOp,
     l: ScalarVal,
     r: ScalarVal,
-    hook: &mut dyn ExecHook,
+    hook: &mut H,
 ) -> Result<ScalarVal, RuntimeError> {
     use BinOp::*;
     if op.is_logical() {
@@ -1168,5 +1401,40 @@ mod tests {
             ScalarVal::Real(v) => assert!((v - want).abs() < 1e-12),
             _ => panic!("wrong type"),
         }
+    }
+
+    #[test]
+    fn exec_stmt_id_replays_individual_statements() {
+        let src = "void f(int a[4]) { int i;
+            for (i=0;i<4;i=i+1) { a[i] = i; } }";
+        let p = parse_program(src).unwrap();
+        let mut it = Interp::new(&p);
+        let func = p.function("f").unwrap();
+        let mut frame = it
+            .make_frame(func, vec![ArgVal::Array(ArrayData::from_ints(&[0; 4]))])
+            .unwrap();
+        let loop_id = func.body.stmts[1].id;
+        let flow = it.exec_stmt_id(&mut frame, loop_id, &mut NullHook).unwrap();
+        assert_eq!(flow, Flow::Normal);
+        assert_eq!(it.array_of(&frame, "a").unwrap().data[3], ScalarVal::Int(3));
+        // Unknown ids are runtime errors, not panics.
+        assert!(it
+            .exec_stmt_id(&mut frame, StmtId(999), &mut NullHook)
+            .is_err());
+    }
+
+    #[test]
+    fn shared_resolution_matches_owned() {
+        let src = "int tri(int n) { int s; int i; s = 0; \
+                   for (i = 1; i <= n; i = i + 1) { s = s + i; } return s; }";
+        let p = parse_program(src).unwrap();
+        let resolution = crate::resolve::Resolution::of(&p);
+        let mut shared = Interp::with_resolution(&p, &resolution);
+        let mut owned = Interp::new(&p);
+        let args = [ScalarVal::Int(10)];
+        assert_eq!(
+            shared.call_scalar("tri", &args).unwrap(),
+            owned.call_scalar("tri", &args).unwrap()
+        );
     }
 }

@@ -100,6 +100,22 @@ pub const ALL: &[Signature] = &[
     },
 ];
 
+/// Maximum parameter count of any intrinsic. The interpreter sizes its
+/// stack-allocated argument buffer with this; the compile-time check
+/// below keeps the two in lockstep when signatures are added.
+pub const MAX_PARAMS: usize = 2;
+
+const _: () = {
+    let mut i = 0;
+    while i < ALL.len() {
+        assert!(
+            ALL[i].params.len() <= MAX_PARAMS,
+            "intrinsic exceeds MAX_PARAMS; bump the constant"
+        );
+        i += 1;
+    }
+};
+
 /// Looks up an intrinsic signature by name.
 pub fn lookup(name: &str) -> Option<&'static Signature> {
     ALL.iter().find(|s| s.name == name)

@@ -10,6 +10,9 @@
 //! * a lexer/parser for the *mini-C* surface syntax ([`parse`]);
 //! * a pretty-printer that emits mini-C back ([`printer`]);
 //! * semantic validation: symbols, types, recursion freedom ([`validate`]);
+//! * a resolution pass interning identifiers and pre-binding every
+//!   variable/array/call reference to a frame slot ([`resolve`]) — the
+//!   execution-shaped view of the program all hot paths run on;
 //! * a reference interpreter used as the functional oracle and as the
 //!   execution engine inside the platform simulator ([`interp`]);
 //! * a structured control-flow graph for IPET-style WCET analysis ([`cfg`](mod@cfg)).
@@ -41,9 +44,11 @@ pub mod intrinsics;
 pub mod lexer;
 pub mod parse;
 pub mod printer;
+pub mod resolve;
 pub mod types;
 pub mod validate;
 pub mod visit;
 
 pub use ast::{Block, Expr, Function, LValue, Program, Stmt, StmtId, StmtKind};
+pub use resolve::{Resolution, Slot, Symbol};
 pub use types::{Scalar, Type};

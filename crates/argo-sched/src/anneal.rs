@@ -8,7 +8,7 @@
 //! costs and must not jitter.
 
 use crate::list::ListScheduler;
-use crate::{evaluate_assignment, SchedCtx, Schedule, Scheduler, TaskGraph};
+use crate::{evaluate_assignment_indexed, SchedCtx, Schedule, Scheduler, TaskGraph};
 use argo_adl::CoreId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -52,18 +52,22 @@ impl SimulatedAnnealing {
 impl Scheduler for SimulatedAnnealing {
     fn schedule(&self, g: &TaskGraph, ctx: &SchedCtx<'_>) -> Schedule {
         let n = g.len();
+        // One adjacency index for the seed schedule and every proposal
+        // evaluation — the annealer used to rebuild preds/succs/indeg
+        // adjacency on all `iterations` proposals.
+        let idx = g.index();
         if n == 0 {
-            return evaluate_assignment(g, ctx, &[]);
+            return evaluate_assignment_indexed(g, &idx, ctx, &[]);
         }
         let cores = ctx.cores();
-        let seed_sched = ListScheduler::new().schedule(g, ctx);
+        let seed_sched = ListScheduler::new().schedule_indexed(g, &idx, ctx);
         if cores < 2 {
             return seed_sched;
         }
         let mut current = seed_sched.assignment.clone();
         // Evaluate the seed assignment with the same (non-insertion)
         // kernel the proposals use, so acceptance is consistent.
-        let mut current_ms = evaluate_assignment(g, ctx, &current).makespan();
+        let mut current_ms = evaluate_assignment_indexed(g, &idx, ctx, &current).makespan();
         let mut best = current.clone();
         let mut best_ms = current_ms;
 
@@ -87,7 +91,7 @@ impl Scheduler for SimulatedAnnealing {
                 }
                 cand[t] = CoreId(c);
             }
-            let ms = evaluate_assignment(g, ctx, &cand).makespan();
+            let ms = evaluate_assignment_indexed(g, &idx, ctx, &cand).makespan();
             let accept = ms <= current_ms || {
                 let delta = (ms - current_ms) as f64;
                 rng.gen_bool((-delta / temp).exp().clamp(0.0, 1.0))
@@ -101,7 +105,7 @@ impl Scheduler for SimulatedAnnealing {
                 }
             }
         }
-        let annealed = evaluate_assignment(g, ctx, &best);
+        let annealed = evaluate_assignment_indexed(g, &idx, ctx, &best);
         // The list seed uses gap insertion, which the plain evaluation
         // kernel cannot reproduce; never return worse than the seed.
         if annealed.makespan() <= seed_sched.makespan() {

@@ -8,7 +8,9 @@
 //! fine-grain decomposition needs exact answers to calibrate heuristics).
 
 use crate::list::ListScheduler;
-use crate::{evaluate_assignment, SchedCtx, Schedule, Scheduler, TaskGraph};
+use crate::{
+    evaluate_assignment_indexed, SchedCtx, Schedule, Scheduler, TaskGraph, TaskGraphIndex,
+};
 use argo_adl::CoreId;
 
 /// Exact branch-and-bound scheduler with a node-expansion budget.
@@ -37,11 +39,12 @@ impl BranchAndBound {
     /// the return of [`BranchAndBound::schedule_counted`].
     pub fn schedule_counted(&self, g: &TaskGraph, ctx: &SchedCtx<'_>) -> (Schedule, u64) {
         let n = g.len();
+        let idx = g.index();
         if n == 0 {
-            return (evaluate_assignment(g, ctx, &[]), 0);
+            return (evaluate_assignment_indexed(g, &idx, ctx, &[]), 0);
         }
         // Incumbent from the list scheduler.
-        let seed = ListScheduler::new().schedule(g, ctx);
+        let seed = ListScheduler::new().schedule_indexed(g, &idx, ctx);
         let mut best = seed.makespan();
         let mut best_assignment = seed.assignment.clone();
 
@@ -49,10 +52,9 @@ impl BranchAndBound {
             // Deterministic topological order, prioritising long ranks to
             // tighten pruning early: Kahn with max-rank pops keeps
             // topological validity while visiting critical tasks first.
-            let ranks = ListScheduler::new().upward_ranks(g, ctx);
-            topo_by_rank(g, &ranks)
+            let ranks = ListScheduler::new().upward_ranks_indexed(g, &idx, ctx);
+            topo_by_rank(&idx, &ranks)
         };
-        let preds = g.preds();
         let cores = ctx.cores();
 
         // Remaining-work tail sums for the work-based lower bound.
@@ -91,7 +93,7 @@ impl BranchAndBound {
             let t = order[depth];
             let avail = core_avail_stack[depth].clone();
             let mut est = avail[core];
-            for &(p, bytes) in &preds[t] {
+            for &(p, bytes) in idx.preds(t) {
                 let comm = if assignment[p] == CoreId(core) {
                     0
                 } else {
@@ -132,7 +134,7 @@ impl BranchAndBound {
             });
         }
 
-        let result = evaluate_assignment(g, ctx, &best_assignment);
+        let result = evaluate_assignment_indexed(g, &idx, ctx, &best_assignment);
         // The list seed uses gap insertion, which plain re-evaluation of
         // the same assignment cannot always reproduce; never return a
         // schedule worse than the seed.
@@ -145,19 +147,15 @@ impl BranchAndBound {
 }
 
 /// Kahn's algorithm popping the highest-rank ready task first.
-fn topo_by_rank(g: &TaskGraph, ranks: &[f64]) -> Vec<usize> {
-    let mut indeg = vec![0usize; g.len()];
-    for &(_, t, _) in &g.edges {
-        indeg[t] += 1;
-    }
-    let succs = g.succs();
-    let mut ready: Vec<usize> = (0..g.len()).filter(|&i| indeg[i] == 0).collect();
-    let mut order = Vec::with_capacity(g.len());
+fn topo_by_rank(idx: &TaskGraphIndex, ranks: &[f64]) -> Vec<usize> {
+    let mut indeg: Vec<usize> = (0..idx.len()).map(|t| idx.indegree(t)).collect();
+    let mut ready: Vec<usize> = (0..idx.len()).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(idx.len());
     while !ready.is_empty() {
         ready.sort_by(|&a, &b| ranks[b].partial_cmp(&ranks[a]).unwrap().then(a.cmp(&b)));
         let t = ready.remove(0);
         order.push(t);
-        for &(s, _) in &succs[t] {
+        for &(s, _) in idx.succs(t) {
             indeg[s] -= 1;
             if indeg[s] == 0 {
                 ready.push(s);

@@ -16,7 +16,9 @@
 //!   list schedule.
 //!
 //! All schedulers consume a flattened [`TaskGraph`] (derived from the
-//! top level of an HTG plus per-task WCETs) and produce a [`Schedule`]
+//! top level of an HTG plus per-task WCETs) through its precomputed
+//! [`TaskGraphIndex`] (CSR adjacency + cached topological order, built
+//! once per graph instead of once per call) and produce a [`Schedule`]
 //! whose makespan *is* the parallel WCET estimate before system-level
 //! interference inflation. Because the schedule is fully static, "at any
 //! point in time, all shared resource contenders are known" (§ II) — the
@@ -59,30 +61,61 @@ impl TaskGraph {
     /// Builds the scheduling view of the top level of an HTG.
     ///
     /// `costs` maps every top-level HTG task to its code-level WCET.
+    /// Callers that re-cost the same HTG repeatedly (the backend's
+    /// feedback loop) should build one [`TaskGraph::skeleton_from_htg`]
+    /// and call [`TaskGraph::set_costs`] per round instead — the
+    /// skeleton (names, ids, edges) never changes between rounds.
     ///
     /// # Panics
     ///
     /// Panics if a top-level task has no cost entry.
     pub fn from_htg(htg: &Htg, costs: &BTreeMap<TaskId, u64>) -> TaskGraph {
-        let index: BTreeMap<TaskId, usize> = htg
-            .top_level
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| (t, i))
-            .collect();
+        let mut g = TaskGraph::skeleton_from_htg(htg);
+        g.set_costs(costs);
+        g
+    }
+
+    /// Builds the cost-free scheduling skeleton of an HTG's top level:
+    /// names, HTG ids and edges, with every cost zero. The edge
+    /// endpoints are mapped through a dense `TaskId`-indexed table
+    /// rather than a per-call `BTreeMap`, and task names are cloned
+    /// exactly once per skeleton.
+    pub fn skeleton_from_htg(htg: &Htg) -> TaskGraph {
+        // Dense TaskId → task-graph index map (TaskIds index htg.tasks).
+        let mut idx_of = vec![u32::MAX; htg.tasks.len()];
         let mut g = TaskGraph::default();
-        for &t in &htg.top_level {
-            g.cost.push(costs[&t]);
+        g.cost.resize(htg.top_level.len(), 0);
+        g.names.reserve(htg.top_level.len());
+        g.htg_ids.reserve(htg.top_level.len());
+        for (i, &t) in htg.top_level.iter().enumerate() {
+            idx_of[t.0] = i as u32;
             g.names.push(htg.task(t).name.clone());
             g.htg_ids.push(t);
         }
-        for e in htg.top_level_edges() {
-            g.edges.push((index[&e.from], index[&e.to], e.bytes));
+        for e in &htg.edges {
+            let (f, t) = (idx_of[e.from.0], idx_of[e.to.0]);
+            if f != u32::MAX && t != u32::MAX {
+                g.edges.push((f as usize, t as usize, e.bytes));
+            }
         }
         g
     }
 
+    /// Overwrites the per-task costs from an HTG cost table, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task has no cost entry.
+    pub fn set_costs(&mut self, costs: &BTreeMap<TaskId, u64>) {
+        for (slot, tid) in self.cost.iter_mut().zip(&self.htg_ids) {
+            *slot = costs[tid];
+        }
+    }
+
     /// Predecessor list per task as `(pred, bytes)`.
+    ///
+    /// Convenience allocation; hot paths should use
+    /// [`TaskGraph::index`] instead, which builds CSR adjacency once.
     pub fn preds(&self) -> Vec<Vec<(usize, u64)>> {
         let mut p = vec![Vec::new(); self.len()];
         for &(f, t, b) in &self.edges {
@@ -92,6 +125,9 @@ impl TaskGraph {
     }
 
     /// Successor list per task as `(succ, bytes)`.
+    ///
+    /// Convenience allocation; hot paths should use
+    /// [`TaskGraph::index`].
     pub fn succs(&self) -> Vec<Vec<(usize, u64)>> {
         let mut s = vec![Vec::new(); self.len()];
         for &(f, t, b) in &self.edges {
@@ -106,35 +142,33 @@ impl TaskGraph {
     ///
     /// Panics if the graph contains a cycle.
     pub fn topo_order(&self) -> Vec<usize> {
-        let mut indeg = vec![0usize; self.len()];
-        for &(_, t, _) in &self.edges {
-            indeg[t] += 1;
-        }
-        let succs = self.succs();
-        let mut queue: Vec<usize> = (0..self.len()).filter(|&i| indeg[i] == 0).collect();
-        let mut order = Vec::with_capacity(self.len());
-        while let Some(t) = queue.pop() {
-            order.push(t);
-            for &(s, _) in &succs[t] {
-                indeg[s] -= 1;
-                if indeg[s] == 0 {
-                    queue.push(s);
-                }
-            }
-        }
-        assert_eq!(order.len(), self.len(), "task graph contains a cycle");
-        order
+        self.index().topo_order().to_vec()
+    }
+
+    /// Builds the precomputed adjacency index (CSR predecessor and
+    /// successor lists, indegrees and a cached topological order) that
+    /// the schedulers and the assignment evaluator consume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph contains a cycle.
+    pub fn index(&self) -> TaskGraphIndex {
+        TaskGraphIndex::new(self)
     }
 
     /// Length of the critical path ignoring communication — a lower bound
     /// on any schedule's makespan.
     pub fn critical_path(&self) -> u64 {
-        let order = self.topo_order();
-        let preds = self.preds();
+        let idx = self.index();
         let mut dist = vec![0u64; self.len()];
         let mut best = 0;
-        for &t in &order {
-            let in_max = preds[t].iter().map(|&(p, _)| dist[p]).max().unwrap_or(0);
+        for &t in idx.topo_order() {
+            let in_max = idx
+                .preds(t)
+                .iter()
+                .map(|&(p, _)| dist[p])
+                .max()
+                .unwrap_or(0);
             dist[t] = in_max + self.cost[t];
             best = best.max(dist[t]);
         }
@@ -144,6 +178,115 @@ impl TaskGraph {
     /// Sum of all task costs — the single-core makespan.
     pub fn total_work(&self) -> u64 {
         self.cost.iter().sum()
+    }
+}
+
+/// Precomputed adjacency index of a [`TaskGraph`]: CSR predecessor and
+/// successor lists, initial indegrees and a cached topological order.
+///
+/// Every scheduler used to rebuild `preds()`/`succs()`/`topo_order()`
+/// `Vec<Vec<_>>` adjacency on each call — the annealer did so once per
+/// *proposal*. Building the index once per graph and sharing it across
+/// the schedule evaluation kernel removes those allocations from the
+/// inner loop entirely.
+#[derive(Debug, Clone)]
+pub struct TaskGraphIndex {
+    pred_off: Vec<u32>,
+    pred_adj: Vec<(usize, u64)>,
+    succ_off: Vec<u32>,
+    succ_adj: Vec<(usize, u64)>,
+    indeg: Vec<u32>,
+    topo: Vec<usize>,
+}
+
+impl TaskGraphIndex {
+    /// Builds the index for `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph contains a cycle.
+    pub fn new(g: &TaskGraph) -> TaskGraphIndex {
+        let n = g.len();
+        let mut pred_off = vec![0u32; n + 1];
+        let mut succ_off = vec![0u32; n + 1];
+        for &(f, t, _) in &g.edges {
+            pred_off[t + 1] += 1;
+            succ_off[f + 1] += 1;
+        }
+        for i in 0..n {
+            pred_off[i + 1] += pred_off[i];
+            succ_off[i + 1] += succ_off[i];
+        }
+        let mut pred_adj = vec![(0usize, 0u64); g.edges.len()];
+        let mut succ_adj = vec![(0usize, 0u64); g.edges.len()];
+        let mut pred_cur: Vec<u32> = pred_off[..n].to_vec();
+        let mut succ_cur: Vec<u32> = succ_off[..n].to_vec();
+        for &(f, t, b) in &g.edges {
+            pred_adj[pred_cur[t] as usize] = (f, b);
+            pred_cur[t] += 1;
+            succ_adj[succ_cur[f] as usize] = (t, b);
+            succ_cur[f] += 1;
+        }
+        let indeg: Vec<u32> = (0..n).map(|i| pred_off[i + 1] - pred_off[i]).collect();
+        // Cached topological order (identical pop discipline to the
+        // historical `TaskGraph::topo_order`).
+        let mut remaining = indeg.clone();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(t) = queue.pop() {
+            topo.push(t);
+            let lo = succ_off[t] as usize;
+            let hi = succ_off[t + 1] as usize;
+            for &(s, _) in &succ_adj[lo..hi] {
+                remaining[s] -= 1;
+                if remaining[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        assert_eq!(topo.len(), n, "task graph contains a cycle");
+        TaskGraphIndex {
+            pred_off,
+            pred_adj,
+            succ_off,
+            succ_adj,
+            indeg,
+            topo,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.indeg.len()
+    }
+
+    /// Returns `true` for an empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.indeg.is_empty()
+    }
+
+    /// Predecessors of `t` as `(pred, bytes)`.
+    #[inline]
+    pub fn preds(&self, t: usize) -> &[(usize, u64)] {
+        &self.pred_adj[self.pred_off[t] as usize..self.pred_off[t + 1] as usize]
+    }
+
+    /// Successors of `t` as `(succ, bytes)`.
+    #[inline]
+    pub fn succs(&self, t: usize) -> &[(usize, u64)] {
+        &self.succ_adj[self.succ_off[t] as usize..self.succ_off[t + 1] as usize]
+    }
+
+    /// Initial indegree of `t`.
+    #[inline]
+    pub fn indegree(&self, t: usize) -> usize {
+        self.indeg[t] as usize
+    }
+
+    /// The cached topological order.
+    #[inline]
+    pub fn topo_order(&self) -> &[usize] {
+        &self.topo
     }
 }
 
@@ -290,25 +433,33 @@ impl Schedule {
 /// Evaluates a fixed task→core `assignment` into a full [`Schedule`] by
 /// dispatching tasks in topological order, as early as possible.
 ///
-/// This is the shared evaluation kernel of the annealer and the exact
-/// solver; it is deterministic (ready ties broken by task index).
+/// Builds the adjacency index on each call; callers evaluating many
+/// assignments of one graph (the annealer, the exact solver) should
+/// build the index once and use [`evaluate_assignment_indexed`].
 pub fn evaluate_assignment(g: &TaskGraph, ctx: &SchedCtx<'_>, assignment: &[CoreId]) -> Schedule {
-    let preds = g.preds();
-    let succs = g.succs();
+    evaluate_assignment_indexed(g, &g.index(), ctx, assignment)
+}
+
+/// [`evaluate_assignment`] over a prebuilt [`TaskGraphIndex`] — the
+/// shared, allocation-light evaluation kernel of the annealer and the
+/// exact solver; deterministic (ready ties broken by task index).
+pub fn evaluate_assignment_indexed(
+    g: &TaskGraph,
+    idx: &TaskGraphIndex,
+    ctx: &SchedCtx<'_>,
+    assignment: &[CoreId],
+) -> Schedule {
     let mut start = vec![0u64; g.len()];
     let mut finish = vec![0u64; g.len()];
     let mut core_avail = vec![0u64; ctx.cores()];
-    let mut indeg = vec![0usize; g.len()];
-    for &(_, t, _) in &g.edges {
-        indeg[t] += 1;
-    }
+    let mut indeg: Vec<u32> = (0..g.len()).map(|t| idx.indegree(t) as u32).collect();
     let mut ready: Vec<usize> = (0..g.len()).filter(|&i| indeg[i] == 0).collect();
     while !ready.is_empty() {
         ready.sort_unstable();
         let t = ready.remove(0);
         let core = assignment[t];
         let mut est = core_avail[core.0];
-        for &(p, bytes) in &preds[t] {
+        for &(p, bytes) in idx.preds(t) {
             let comm = if assignment[p] == core {
                 0
             } else {
@@ -319,7 +470,7 @@ pub fn evaluate_assignment(g: &TaskGraph, ctx: &SchedCtx<'_>, assignment: &[Core
         start[t] = est;
         finish[t] = est + g.cost[t];
         core_avail[core.0] = finish[t];
-        for &(s, _) in &succs[t] {
+        for &(s, _) in idx.succs(t) {
             indeg[s] -= 1;
             if indeg[s] == 0 {
                 ready.push(s);

@@ -7,7 +7,7 @@
 //! homogeneous ARGO platforms the computation cost term of classical HEFT
 //! degenerates to the task WCET.
 
-use crate::{SchedCtx, Schedule, Scheduler, TaskGraph};
+use crate::{SchedCtx, Schedule, Scheduler, TaskGraph, TaskGraphIndex};
 use argo_adl::CoreId;
 
 /// HEFT-style list scheduler with gap insertion.
@@ -26,9 +26,20 @@ impl ListScheduler {
 
     /// Upward ranks: `rank(t) = cost(t) + max over succs (comm + rank)`.
     /// Communication is averaged over distinct core pairs, per HEFT.
+    ///
+    /// Builds the adjacency index on each call; callers that already
+    /// hold one should use [`ListScheduler::upward_ranks_indexed`].
     pub fn upward_ranks(&self, g: &TaskGraph, ctx: &SchedCtx<'_>) -> Vec<f64> {
-        let succs = g.succs();
-        let order = g.topo_order();
+        self.upward_ranks_indexed(g, &g.index(), ctx)
+    }
+
+    /// [`ListScheduler::upward_ranks`] over a prebuilt index.
+    pub fn upward_ranks_indexed(
+        &self,
+        g: &TaskGraph,
+        idx: &TaskGraphIndex,
+        ctx: &SchedCtx<'_>,
+    ) -> Vec<f64> {
         let mut rank = vec![0f64; g.len()];
         let cores = ctx.cores();
         // Mean cross-core communication cost per byte-volume edge.
@@ -40,8 +51,9 @@ impl ListScheduler {
             // this exact for buses, a good proxy for meshes.
             ctx.comm_cost(CoreId(0), CoreId(1), bytes) as f64 * (cores as f64 - 1.0) / cores as f64
         };
-        for &t in order.iter().rev() {
-            let down = succs[t]
+        for &t in idx.topo_order().iter().rev() {
+            let down = idx
+                .succs(t)
                 .iter()
                 .map(|&(s, bytes)| mean_comm(bytes) + rank[s])
                 .fold(0f64, f64::max);
@@ -49,14 +61,17 @@ impl ListScheduler {
         }
         rank
     }
-}
 
-impl Scheduler for ListScheduler {
-    fn schedule(&self, g: &TaskGraph, ctx: &SchedCtx<'_>) -> Schedule {
+    /// [`Scheduler::schedule`] over a prebuilt index.
+    pub fn schedule_indexed(
+        &self,
+        g: &TaskGraph,
+        idx: &TaskGraphIndex,
+        ctx: &SchedCtx<'_>,
+    ) -> Schedule {
         let n = g.len();
         let cores = ctx.cores();
-        let rank = self.upward_ranks(g, ctx);
-        let preds = g.preds();
+        let rank = self.upward_ranks_indexed(g, idx, ctx);
 
         // Priority order: descending rank, ties by index (deterministic).
         let mut order: Vec<usize> = (0..n).collect();
@@ -72,11 +87,11 @@ impl Scheduler for ListScheduler {
         for &t in &order {
             // HEFT requires preds scheduled first; descending upward rank
             // guarantees it on DAGs.
-            debug_assert!(preds[t].iter().all(|&(p, _)| scheduled[p]));
+            debug_assert!(idx.preds(t).iter().all(|&(p, _)| scheduled[p]));
             let mut best: Option<(u64, u64, usize)> = None; // (finish, start, core)
             for (c, busy_c) in busy.iter().enumerate() {
                 let mut ready = 0u64;
-                for &(p, bytes) in &preds[t] {
+                for &(p, bytes) in idx.preds(t) {
                     let comm = if assignment[p] == CoreId(c) {
                         0
                     } else {
@@ -106,12 +121,6 @@ impl Scheduler for ListScheduler {
         }
     }
 
-    fn name(&self) -> &'static str {
-        "list-heft"
-    }
-}
-
-impl ListScheduler {
     /// Earliest start ≥ `ready` where a task of length `len` fits on a
     /// core with the given busy intervals.
     fn earliest_slot(&self, busy: &[(u64, u64)], ready: u64, len: u64) -> u64 {
@@ -127,6 +136,16 @@ impl ListScheduler {
             cand = cand.max(f);
         }
         cand
+    }
+}
+
+impl Scheduler for ListScheduler {
+    fn schedule(&self, g: &TaskGraph, ctx: &SchedCtx<'_>) -> Schedule {
+        self.schedule_indexed(g, &g.index(), ctx)
+    }
+
+    fn name(&self) -> &'static str {
+        "list-heft"
     }
 }
 

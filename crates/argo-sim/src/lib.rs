@@ -12,9 +12,13 @@
 //!    `argo-ir` interpreter in schedule order on a shared frame (with
 //!    per-task privatized-scalar resets), while a hook converts every
 //!    operation and memory access into a per-task event timeline
-//!    (`Compute(n)` / `SharedAccess`). Task-level determinacy (guaranteed
-//!    by the dependence analysis) makes the trace independent of the
-//!    interleaving, so functional results equal the sequential reference.
+//!    (`Compute(n)` / `SharedAccess`). Task statement lists are replayed
+//!    by id through the interpreter's slot-resolved program mirror
+//!    (`argo_ir::resolve`), so the per-statement drive path performs no
+//!    AST lookups, statement clones or string hashing. Task-level
+//!    determinacy (guaranteed by the dependence analysis) makes the
+//!    trace independent of the interleaving, so functional results
+//!    equal the sequential reference.
 //! 2. **Timed replay** ([`bus`]) — a discrete-event simulation replays the
 //!    timelines on the cores, arbitrating every shared access through the
 //!    platform's bus model (TDMA / WRR / fixed-priority) and honouring the

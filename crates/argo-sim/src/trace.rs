@@ -11,14 +11,11 @@
 use crate::{SimConfig, SimError, SimMode};
 use argo_adl::cache::LruCache;
 use argo_adl::{CoreId, MemSpace, Platform};
-use argo_ir::ast::Stmt;
 use argo_ir::interp::{AccessKind, ArgVal, ExecHook, Frame, Interp, OpClass};
 use argo_ir::types::Scalar;
-use argo_ir::StmtId;
 use argo_parir::ParallelProgram;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
 
 /// One event of a task's timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,23 +52,13 @@ pub fn trace_tasks(
     args: Vec<ArgVal>,
     cfg: &SimConfig,
 ) -> Result<Traced, SimError> {
-    let entry = pp
-        .program
-        .function(&pp.entry)
-        .ok_or_else(|| SimError {
-            msg: format!("no entry `{}`", pp.entry),
-        })?
-        .clone();
-    let mut frame = interp.make_frame(&entry, args)?;
-
-    // Statement lookup.
-    let mut stmt_index: BTreeMap<StmtId, Stmt> = BTreeMap::new();
-    argo_ir::visit::walk_stmts(&entry.body, &mut |s| {
-        stmt_index.insert(s.id, s.clone());
-    });
+    let entry = pp.program.function(&pp.entry).ok_or_else(|| SimError {
+        msg: format!("no entry `{}`", pp.entry),
+    })?;
+    let mut frame = interp.make_frame(entry, args)?;
 
     // Scalar types of privatized vars (for resets).
-    let symbols = argo_ir::validate::symbol_table(&entry);
+    let symbols = argo_ir::validate::symbol_table(entry);
     let privatized: Vec<(String, Scalar)> = pp
         .privatized
         .iter()
@@ -110,13 +97,17 @@ pub fn trace_tasks(
             rng: rng.as_mut(),
         };
         for sid in &pp.task_stmts[t] {
-            let stmt = stmt_index
-                .get(sid)
-                .ok_or_else(|| SimError {
+            // Statements are replayed through the slot-resolved mirror
+            // by id — no AST lookup, no statement clone. A stale id
+            // (plan out of sync with the program) is attributed to the
+            // task up front, so genuine runtime errors propagate with
+            // their messages untouched.
+            if interp.resolution().stmt_loc(*sid).is_none() {
+                return Err(SimError {
                     msg: format!("task {t}: no statement {sid}"),
-                })?
-                .clone();
-            interp.exec_stmt(&mut frame, &stmt, &mut hook)?;
+                });
+            }
+            interp.exec_stmt_id(&mut frame, *sid, &mut hook)?;
         }
         hook.flush();
         caches[core.0] = hook.cache.take();

@@ -12,7 +12,22 @@ use argo_ir::ast::*;
 use argo_ir::interp::OpClass;
 use argo_ir::types::Scalar;
 use argo_ir::validate::{symbol_table, SymbolTable};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
+
+/// Per-function symbol tables of a whole program — computed once per
+/// program and shareable across every [`CostCtx`] built from it (the
+/// backend's feedback loop builds one context per task per round).
+pub type ProgramSymbols = BTreeMap<String, SymbolTable>;
+
+/// Builds the symbol tables of every function in `program`.
+pub fn program_symbols(program: &Program) -> ProgramSymbols {
+    program
+        .functions
+        .iter()
+        .map(|f| (f.name.clone(), symbol_table(f)))
+        .collect()
+}
 
 /// Static cost-model context for one core.
 #[derive(Debug, Clone)]
@@ -32,12 +47,16 @@ pub struct CostCtx<'a> {
     /// Per-variable access-cost overrides (used by the cache persistence
     /// refinement); takes precedence over the memory map.
     pub overrides: BTreeMap<String, u64>,
-    /// Per-function symbol tables (computed once).
-    symbols: BTreeMap<String, SymbolTable>,
+    /// Per-function symbol tables (owned, or borrowed from a shared
+    /// [`ProgramSymbols`]).
+    symbols: Cow<'a, ProgramSymbols>,
 }
 
 impl<'a> CostCtx<'a> {
-    /// Creates a context.
+    /// Creates a context, computing the symbol tables of every
+    /// function. Sweep drivers constructing many contexts for one
+    /// program should compute [`program_symbols`] once and use
+    /// [`CostCtx::with_symbols`].
     pub fn new(
         program: &'a Program,
         platform: &'a Platform,
@@ -45,11 +64,6 @@ impl<'a> CostCtx<'a> {
         contenders: usize,
         mem: &'a MemoryMap,
     ) -> CostCtx<'a> {
-        let symbols = program
-            .functions
-            .iter()
-            .map(|f| (f.name.clone(), symbol_table(f)))
-            .collect();
         CostCtx {
             program,
             platform,
@@ -57,7 +71,28 @@ impl<'a> CostCtx<'a> {
             contenders,
             mem,
             overrides: BTreeMap::new(),
-            symbols,
+            symbols: Cow::Owned(program_symbols(program)),
+        }
+    }
+
+    /// Creates a context borrowing precomputed symbol tables (which
+    /// must have been built from the same `program`).
+    pub fn with_symbols(
+        program: &'a Program,
+        platform: &'a Platform,
+        core: CoreId,
+        contenders: usize,
+        mem: &'a MemoryMap,
+        symbols: &'a ProgramSymbols,
+    ) -> CostCtx<'a> {
+        CostCtx {
+            program,
+            platform,
+            core,
+            contenders,
+            mem,
+            overrides: BTreeMap::new(),
+            symbols: Cow::Borrowed(symbols),
         }
     }
 

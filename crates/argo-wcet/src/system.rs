@@ -296,13 +296,14 @@ pub fn manual_fork_join_bound(
     let cores = platform.core_count();
     let wc_all = platform.worst_case_shared_access(argo_adl::CoreId(0), cores);
     let wc_1 = platform.worst_case_shared_access(argo_adl::CoreId(0), 1);
-    // Level = longest edge-path depth.
-    let order = graph.topo_order();
-    let preds = graph.preds();
+    // Level = longest edge-path depth (one index build serves both the
+    // topological order and the predecessor lists).
+    let idx = graph.index();
     let mut level = vec![0usize; n];
     let mut max_level = 0;
-    for &t in &order {
-        let l = preds[t]
+    for &t in idx.topo_order() {
+        let l = idx
+            .preds(t)
             .iter()
             .map(|&(p, _)| level[p] + 1)
             .max()

@@ -11,6 +11,7 @@
 
 use crate::WcetError;
 use argo_ir::ast::*;
+use argo_ir::resolve::{RCall, RExpr, RFunction, RLValue, RStmt, RStmtKind, Resolution};
 use argo_ir::StmtId;
 use std::collections::BTreeMap;
 
@@ -148,116 +149,138 @@ pub type LoopBounds = BTreeMap<StmtId, u64>;
 
 /// Computes loop bounds for `func` in `program`.
 ///
+/// Resolves the program first; drivers that already hold a
+/// [`Resolution`] (the `argo-core` frontend) should call
+/// [`loop_bounds_resolved`] instead to skip the extra pass.
+///
 /// # Errors
 ///
 /// Returns [`WcetError`] if a `for` loop's trip count cannot be bounded
 /// (WCET analysis would be impossible) or the function is unknown.
 pub fn loop_bounds(program: &Program, func: &str, ctx: &ValueCtx) -> Result<LoopBounds, WcetError> {
-    let f = program
-        .function(func)
+    let resolution = Resolution::of(program);
+    loop_bounds_resolved(&resolution, func, ctx)
+}
+
+/// Computes loop bounds for `func` over a prebuilt [`Resolution`].
+///
+/// The analysis runs entirely on the slot-resolved mirror: environments
+/// are flat `Vec<Interval>`s indexed by frame slot, and the widening
+/// fixpoint compares slots positionally instead of materialising key
+/// vectors — no string hashing or cloning anywhere in the loop.
+///
+/// # Errors
+///
+/// See [`loop_bounds`].
+pub fn loop_bounds_resolved(
+    resolution: &Resolution,
+    func: &str,
+    ctx: &ValueCtx,
+) -> Result<LoopBounds, WcetError> {
+    let entry = resolution
+        .function_index(func)
         .ok_or_else(|| WcetError::new(format!("no function `{func}`")))?;
-    let mut env: Env = BTreeMap::new();
-    for p in &f.params {
-        if !p.ty.is_array() {
-            let iv = ctx
-                .param_ranges
-                .get(&p.name)
-                .copied()
-                .unwrap_or(Interval::TOP);
-            env.insert(p.name.clone(), iv);
-        }
-    }
     let mut bounds = LoopBounds::new();
-    let mut an = Analyzer {
-        bounds: &mut bounds,
-    };
-    an.block(&f.body, &mut env)?;
-    // Callee loops: analyse every function reachable from `func` with ⊤
-    // parameters (conservative: their own literal bounds must suffice).
-    let mut visited = vec![func.to_string()];
-    let mut queue: Vec<String> = callees_of(f);
-    while let Some(name) = queue.pop() {
-        if visited.contains(&name) {
-            continue;
-        }
-        visited.push(name.clone());
-        if let Some(cf) = program.function(&name) {
-            let mut cenv: Env = BTreeMap::new();
-            for p in &cf.params {
-                if !p.ty.is_array() {
-                    cenv.insert(p.name.clone(), Interval::TOP);
+    // Entry: parameter ranges from the context.
+    {
+        let rfunc = resolution.function(entry);
+        let mut env = vec![Interval::TOP; rfunc.frame_len as usize];
+        for p in &rfunc.params {
+            if !p.is_array {
+                let name = resolution.name(rfunc.slot_symbols[p.slot.idx()]);
+                if let Some(&iv) = ctx.param_ranges.get(name) {
+                    env[p.slot.idx()] = iv;
                 }
             }
-            let mut an = Analyzer {
-                bounds: &mut bounds,
-            };
-            an.block(&cf.body, &mut cenv)?;
-            queue.extend(callees_of(cf));
         }
+        let mut an = Analyzer {
+            resolution,
+            rfunc,
+            bounds: &mut bounds,
+        };
+        an.block(&rfunc.body, &mut env)?;
+    }
+    // Callee loops: analyse every function reachable from `func` with ⊤
+    // parameters (conservative: their own literal bounds must suffice).
+    let mut visited = vec![false; resolution.functions.len()];
+    visited[entry] = true;
+    let mut queue: Vec<u32> = resolution.function(entry).callees.clone();
+    while let Some(fi) = queue.pop() {
+        if std::mem::replace(&mut visited[fi as usize], true) {
+            continue;
+        }
+        let rfunc = resolution.function(fi as usize);
+        let mut env = vec![Interval::TOP; rfunc.frame_len as usize];
+        let mut an = Analyzer {
+            resolution,
+            rfunc,
+            bounds: &mut bounds,
+        };
+        an.block(&rfunc.body, &mut env)?;
+        queue.extend_from_slice(&rfunc.callees);
     }
     Ok(bounds)
 }
 
-fn callees_of(f: &Function) -> Vec<String> {
-    let mut out = Vec::new();
-    for s in &f.body.stmts {
-        out.extend(argo_ir::visit::called_functions(s));
-    }
-    out.retain(|n| !argo_ir::intrinsics::is_intrinsic(n));
-    out
-}
-
-type Env = BTreeMap<String, Interval>;
+/// Slot-indexed abstract environment: one interval per frame slot
+/// (array and untouched slots stay ⊤).
+type Env = Vec<Interval>;
 
 struct Analyzer<'a> {
+    resolution: &'a Resolution,
+    rfunc: &'a RFunction,
     bounds: &'a mut LoopBounds,
 }
 
 impl<'a> Analyzer<'a> {
-    fn block(&mut self, b: &Block, env: &mut Env) -> Result<(), WcetError> {
-        for s in &b.stmts {
-            self.stmt(s, env)?;
+    fn block(&mut self, block: &[u32], env: &mut Env) -> Result<(), WcetError> {
+        for &i in block {
+            self.stmt(self.rfunc.stmt(i), env)?;
         }
         Ok(())
     }
 
-    fn stmt(&mut self, s: &Stmt, env: &mut Env) -> Result<(), WcetError> {
+    /// Widens every slot that moved since `before` to ⊤ (the
+    /// changed-set is the positional diff — no key materialisation),
+    /// excluding `keep` (the pinned induction variable, if any).
+    fn widen_changed(env: &mut Env, before: &Env, keep: Option<usize>) {
+        for (i, (cur, prev)) in env.iter_mut().zip(before).enumerate() {
+            if cur != prev && Some(i) != keep {
+                *cur = Interval::TOP;
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &RStmt, env: &mut Env) -> Result<(), WcetError> {
         match &s.kind {
-            StmtKind::Decl { name, ty, init } => {
-                if !ty.is_array() {
-                    let iv = match init {
-                        Some(e) => self.eval(e, env),
-                        None => Interval::TOP,
-                    };
-                    env.insert(name.clone(), iv);
+            RStmtKind::DeclScalar { slot, init, .. } => {
+                env[slot.idx()] = match init {
+                    Some(e) => self.eval(e, env),
+                    None => Interval::TOP,
+                };
+                Ok(())
+            }
+            RStmtKind::DeclArray { .. } => Ok(()),
+            RStmtKind::Assign { target, value } => {
+                if let RLValue::Var(slot) = target {
+                    env[slot.idx()] = self.eval(value, env);
                 }
                 Ok(())
             }
-            StmtKind::Assign { target, value } => {
-                if let LValue::Var(n) = target {
-                    let iv = self.eval(value, env);
-                    env.insert(n.clone(), iv);
-                }
-                Ok(())
-            }
-            StmtKind::If {
+            RStmtKind::If {
                 then_blk, else_blk, ..
             } => {
                 let mut env_then = env.clone();
                 let mut env_else = env.clone();
                 self.block(then_blk, &mut env_then)?;
                 self.block(else_blk, &mut env_else)?;
-                // Join.
-                let keys: Vec<String> = env.keys().cloned().collect();
-                for k in keys {
-                    let a = env_then.get(&k).copied().unwrap_or(Interval::TOP);
-                    let b = env_else.get(&k).copied().unwrap_or(Interval::TOP);
-                    env.insert(k, a.join(b));
+                // Join, slot-wise.
+                for (slot, (a, b)) in env_then.iter().zip(&env_else).enumerate() {
+                    env[slot] = a.join(*b);
                 }
-                // Newly declared block-locals go out of scope; ignore.
                 Ok(())
             }
-            StmtKind::For {
+            RStmtKind::For {
                 var,
                 lo,
                 hi,
@@ -271,90 +294,70 @@ impl<'a> Analyzer<'a> {
                     (Some(l), Some(h)) if h <= l => 0,
                     _ => {
                         return Err(WcetError::new(format!(
-                            "cannot bound loop {} over `{var}`: bounds not statically bounded",
-                            s.id
+                            "cannot bound loop {} over `{}`: bounds not statically bounded",
+                            s.id,
+                            self.resolution.name(self.rfunc.slot_symbols[var.idx()])
                         )))
                     }
                 };
                 self.bounds.insert(s.id, trip);
-                // Body fixpoint with widening after 2 rounds.
+                // Body fixpoint with widening after 2 rounds; the
+                // induction variable is pinned to its in-loop range.
+                let in_loop = Interval {
+                    lo: lo_iv.lo,
+                    hi: hi_iv.hi.map(|h| h - 1),
+                };
                 let mut body_env = env.clone();
-                body_env.insert(
-                    var.clone(),
-                    Interval {
-                        lo: lo_iv.lo,
-                        hi: hi_iv.hi.map(|h| h - 1),
-                    },
-                );
+                body_env[var.idx()] = in_loop;
+                let mut before = Env::new();
                 for round in 0..4 {
-                    let before = body_env.clone();
+                    before.clone_from(&body_env);
                     self.block(body, &mut body_env)?;
-                    body_env.insert(
-                        var.clone(),
-                        Interval {
-                            lo: lo_iv.lo,
-                            hi: hi_iv.hi.map(|h| h - 1),
-                        },
-                    );
+                    body_env[var.idx()] = in_loop;
                     if body_env == before {
                         break;
                     }
                     if round >= 2 {
-                        // Widen unstable entries to ⊤.
-                        let keys: Vec<String> = body_env.keys().cloned().collect();
-                        for k in keys {
-                            if body_env.get(&k) != before.get(&k) && k != *var {
-                                body_env.insert(k.clone(), Interval::TOP);
-                            }
-                        }
+                        Self::widen_changed(&mut body_env, &before, Some(var.idx()));
                     }
                 }
                 // After the loop: merge body effects; induction var ends
                 // in [lo, hi+step-1] hull.
-                for (k, v) in body_env {
-                    let cur = env.get(&k).copied().unwrap_or(Interval::TOP);
-                    env.insert(k, cur.join(v));
+                for (slot, v) in body_env.into_iter().enumerate() {
+                    env[slot] = env[slot].join(v);
                 }
-                env.insert(
-                    var.clone(),
-                    lo_iv.join(hi_iv.add(Interval::exact(*step - 1))),
-                );
+                env[var.idx()] = lo_iv.join(hi_iv.add(Interval::exact(*step - 1)));
                 Ok(())
             }
-            StmtKind::While { bound, body, .. } => {
+            RStmtKind::While { bound, body, .. } => {
                 self.bounds.insert(s.id, *bound);
                 // Analyse body to a widened fixpoint.
                 let mut body_env = env.clone();
+                let mut before = Env::new();
                 for round in 0..4 {
-                    let before = body_env.clone();
+                    before.clone_from(&body_env);
                     self.block(body, &mut body_env)?;
                     if body_env == before {
                         break;
                     }
                     if round >= 2 {
-                        let keys: Vec<String> = body_env.keys().cloned().collect();
-                        for k in keys {
-                            if body_env.get(&k) != before.get(&k) {
-                                body_env.insert(k.clone(), Interval::TOP);
-                            }
-                        }
+                        Self::widen_changed(&mut body_env, &before, None);
                     }
                 }
-                for (k, v) in body_env {
-                    let cur = env.get(&k).copied().unwrap_or(Interval::TOP);
-                    env.insert(k, cur.join(v));
+                for (slot, v) in body_env.into_iter().enumerate() {
+                    env[slot] = env[slot].join(v);
                 }
                 Ok(())
             }
-            StmtKind::Call { .. } | StmtKind::Return { .. } => Ok(()),
+            RStmtKind::Call(_) | RStmtKind::Return { .. } => Ok(()),
         }
     }
 
-    fn eval(&self, e: &Expr, env: &Env) -> Interval {
+    fn eval(&self, e: &RExpr, env: &Env) -> Interval {
         match e {
-            Expr::IntLit(v) => Interval::exact(*v),
-            Expr::Var(n) => env.get(n).copied().unwrap_or(Interval::TOP),
-            Expr::Binary { op, lhs, rhs } => {
+            RExpr::Int(v) => Interval::exact(*v),
+            RExpr::Var(slot) => env[slot.idx()],
+            RExpr::Binary { op, lhs, rhs } => {
                 let a = self.eval(lhs, env);
                 let b = self.eval(rhs, env);
                 match op {
@@ -369,20 +372,20 @@ impl<'a> Analyzer<'a> {
                     _ => Interval::TOP,
                 }
             }
-            Expr::Unary { op: UnOp::Neg, arg } => Interval::exact(0).sub(self.eval(arg, env)),
-            Expr::Cast {
+            RExpr::Unary { op: UnOp::Neg, arg } => Interval::exact(0).sub(self.eval(arg, env)),
+            RExpr::Cast {
                 to: argo_ir::Scalar::Int,
                 arg,
             } => {
                 // Casting an int-valued expression is the identity; real
                 // sources are ⊤ (we don't track reals).
                 match &**arg {
-                    Expr::IntLit(v) => Interval::exact(*v),
-                    Expr::Var(n) => env.get(n).copied().unwrap_or(Interval::TOP),
+                    RExpr::Int(v) => Interval::exact(*v),
+                    RExpr::Var(slot) => env[slot.idx()],
                     _ => Interval::TOP,
                 }
             }
-            Expr::Call { name, args } => match name.as_str() {
+            RExpr::Call(RCall::Intrinsic { sig, args }) => match sig.name {
                 "imin" if args.len() == 2 => {
                     let a = self.eval(&args[0], env);
                     let b = self.eval(&args[1], env);

@@ -7,15 +7,29 @@
 
 use std::time::Instant;
 
+/// Returns `true` when the bench harness was invoked with `--test`
+/// (`cargo bench -- --test`): each benchmark body runs exactly once,
+/// untimed — a CI smoke mode matching real criterion's flag, free of
+/// timing flakiness.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Per-iteration timing handle passed to `bench_function` closures.
 pub struct Bencher {
     samples: Vec<f64>,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Times `sample_size` executions of `f` (after one warm-up call).
+    /// In `--test` mode, runs `f` once and records nothing.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            return;
+        }
         std::hint::black_box(f());
         for _ in 0..self.sample_size {
             let t0 = Instant::now();
@@ -27,7 +41,11 @@ impl Bencher {
 
 fn report(group: &str, name: &str, samples: &[f64]) {
     if samples.is_empty() {
-        println!("{group}/{name}: no samples");
+        if test_mode() {
+            println!("{group}/{name}: test ok");
+        } else {
+            println!("{group}/{name}: no samples");
+        }
         return;
     }
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
@@ -64,6 +82,7 @@ impl BenchmarkGroup {
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
+            test_mode: test_mode(),
         };
         f(&mut b);
         report(&self.name, name, &b.samples);

@@ -1,0 +1,59 @@
+//! Golden tests pinning `BackendResult::report()` byte-identical for the
+//! three use cases across all MHP modes.
+//!
+//! The golden files under `tests/golden/` were generated from the
+//! pre-slot-resolution tool-chain, so these tests prove the interning /
+//! slot-resolution rework is a pure performance change: every analysis
+//! number, schedule assignment and contender count in the human report
+//! is unchanged to the byte.
+//!
+//! Regenerate (only after an *intentional* behaviour change) with:
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test --test golden_reports
+//! ```
+
+use argo_adl::Platform;
+use argo_core::{ToolchainConfig, Toolflow};
+use argo_wcet::system::MhpMode;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_or_update(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden `{}` ({e}); run with GOLDEN_UPDATE=1", name));
+    assert_eq!(
+        expected, actual,
+        "report for `{name}` drifted from the pinned golden"
+    );
+}
+
+#[test]
+fn reports_match_pre_resolution_goldens() {
+    let platform = Platform::xentium_manycore(4);
+    for uc in argo_apps::all_use_cases(42) {
+        for mhp in [MhpMode::Naive, MhpMode::Static, MhpMode::Windows] {
+            let cfg = ToolchainConfig {
+                mhp,
+                ..Default::default()
+            };
+            let r = Toolflow::new(uc.program.clone(), uc.entry)
+                .platform(&platform)
+                .config(cfg)
+                .run()
+                .expect("compile");
+            check_or_update(&format!("{}_{}.report.txt", uc.name, mhp), &r.report());
+        }
+    }
+}

@@ -1,0 +1,516 @@
+//! Differential property tests for the slot-resolution rework
+//! (`argo_ir::resolve`): the slot-resolved interpreter must be
+//! *observationally identical* to a straightforward name-keyed walk of
+//! the AST.
+//!
+//! The reference walker below is deliberately naive — a `HashMap<String,
+//! Binding>` environment and direct AST recursion, the exact shape the
+//! interpreter had before interning — so any divergence (slot aliasing,
+//! wrong frame layout, call-binding mix-up, dropped coercion) shows up
+//! as a value mismatch. Scalar results and all array outputs are
+//! compared **bitwise** (`f64::to_bits`), not approximately.
+
+use argo_ir::ast::*;
+use argo_ir::interp::{ArgVal, ArrayData, Interp, NullHook, ScalarVal};
+use argo_ir::parse::parse_program;
+use argo_ir::types::{Scalar, Type};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const ARRAY: usize = 24;
+
+// ---------------------------------------------------------------------
+// Name-keyed reference walker (pre-resolution interpreter semantics).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Bind {
+    Scalar(ScalarVal),
+    Uninit(Scalar),
+    Array(usize),
+}
+
+struct RefWalker<'p> {
+    program: &'p Program,
+    arrays: Vec<ArrayData>,
+}
+
+type Env = HashMap<String, Bind>;
+
+#[derive(Debug)]
+enum RefFlow {
+    Normal,
+    Return(Option<ScalarVal>),
+}
+
+impl<'p> RefWalker<'p> {
+    fn coerce(v: ScalarVal, to: Scalar) -> ScalarVal {
+        match (v, to) {
+            (ScalarVal::Int(x), Scalar::Real) => ScalarVal::Real(x as f64),
+            (v, _) => v,
+        }
+    }
+
+    fn call(&mut self, name: &str, args: Vec<ArgVal>) -> (Option<ScalarVal>, Vec<ArrayData>) {
+        let func = self.program.function(name).expect("function exists");
+        let mut env = Env::new();
+        for (p, a) in func.params.iter().zip(args) {
+            match (a, &p.ty) {
+                (ArgVal::Scalar(v), Type::Scalar(s)) => {
+                    env.insert(p.name.clone(), Bind::Scalar(Self::coerce(v, *s)));
+                }
+                (ArgVal::Array(data), Type::Array { .. }) => {
+                    self.arrays.push(data);
+                    env.insert(p.name.clone(), Bind::Array(self.arrays.len() - 1));
+                }
+                _ => panic!("argument kind mismatch"),
+            }
+        }
+        let mut ret = None;
+        for s in &func.body.stmts {
+            if let RefFlow::Return(v) = self.stmt(&mut env, s) {
+                ret = v;
+                break;
+            }
+        }
+        let outs = func
+            .params
+            .iter()
+            .filter(|p| p.ty.is_array())
+            .map(|p| match env[&p.name] {
+                Bind::Array(id) => self.arrays[id].clone(),
+                _ => panic!("array param lost"),
+            })
+            .collect();
+        (ret, outs)
+    }
+
+    fn block(&mut self, env: &mut Env, b: &Block) -> RefFlow {
+        for s in &b.stmts {
+            if let RefFlow::Return(v) = self.stmt(env, s) {
+                return RefFlow::Return(v);
+            }
+        }
+        RefFlow::Normal
+    }
+
+    fn stmt(&mut self, env: &mut Env, s: &Stmt) -> RefFlow {
+        match &s.kind {
+            StmtKind::Decl { name, ty, init } => {
+                let b = match ty {
+                    Type::Scalar(sc) => match init {
+                        Some(e) => Bind::Scalar(Self::coerce(self.eval(env, e), *sc)),
+                        None => Bind::Uninit(*sc),
+                    },
+                    Type::Array { elem, dims } => {
+                        self.arrays.push(ArrayData::zeroed(*elem, dims.clone()));
+                        Bind::Array(self.arrays.len() - 1)
+                    }
+                };
+                env.insert(name.clone(), b);
+                RefFlow::Normal
+            }
+            StmtKind::Assign { target, value } => {
+                let v = self.eval(env, value);
+                match target {
+                    LValue::Var(n) => {
+                        let sc = match env.get(n).expect("bound") {
+                            Bind::Scalar(old) => old.scalar(),
+                            Bind::Uninit(sc) => *sc,
+                            Bind::Array(_) => panic!("whole-array assign"),
+                        };
+                        env.insert(n.clone(), Bind::Scalar(Self::coerce(v, sc)));
+                    }
+                    LValue::ArrayElem { array, indices } => {
+                        let idx: Vec<i64> = indices
+                            .iter()
+                            .map(|e| match self.eval(env, e) {
+                                ScalarVal::Int(i) => i,
+                                other => panic!("non-int index {other:?}"),
+                            })
+                            .collect();
+                        let id = match env[array] {
+                            Bind::Array(id) => id,
+                            _ => panic!("not an array"),
+                        };
+                        let arr = &mut self.arrays[id];
+                        let mut flat = 0usize;
+                        for (&i, &d) in idx.iter().zip(&arr.dims) {
+                            assert!(i >= 0 && (i as usize) < d, "oob in reference walk");
+                            flat = flat * d + i as usize;
+                        }
+                        let elem = arr.elem;
+                        arr.data[flat] = Self::coerce(v, elem);
+                    }
+                }
+                RefFlow::Normal
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let c = matches!(self.eval(env, cond), ScalarVal::Bool(true));
+                self.block(env, if c { then_blk } else { else_blk })
+            }
+            StmtKind::For {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                let lo = match self.eval(env, lo) {
+                    ScalarVal::Int(v) => v,
+                    other => panic!("non-int bound {other:?}"),
+                };
+                let hi = match self.eval(env, hi) {
+                    ScalarVal::Int(v) => v,
+                    other => panic!("non-int bound {other:?}"),
+                };
+                let mut i = lo;
+                while i < hi {
+                    env.insert(var.clone(), Bind::Scalar(ScalarVal::Int(i)));
+                    if let RefFlow::Return(v) = self.block(env, body) {
+                        return RefFlow::Return(v);
+                    }
+                    i += *step;
+                }
+                env.insert(var.clone(), Bind::Scalar(ScalarVal::Int(i)));
+                RefFlow::Normal
+            }
+            StmtKind::While { cond, bound, body } => {
+                let mut iters = 0u64;
+                loop {
+                    if !matches!(self.eval(env, cond), ScalarVal::Bool(true)) {
+                        break;
+                    }
+                    iters += 1;
+                    assert!(iters <= *bound, "while bound exceeded in reference walk");
+                    if let RefFlow::Return(v) = self.block(env, body) {
+                        return RefFlow::Return(v);
+                    }
+                }
+                RefFlow::Normal
+            }
+            StmtKind::Call { name, args } => {
+                self.eval_call(env, name, args);
+                RefFlow::Normal
+            }
+            StmtKind::Return { value } => {
+                RefFlow::Return(value.as_ref().map(|e| self.eval(env, e)))
+            }
+        }
+    }
+
+    fn eval_call(&mut self, env: &mut Env, name: &str, args: &[Expr]) -> Option<ScalarVal> {
+        if let Some(sig) = argo_ir::intrinsics::lookup(name) {
+            let vals: Vec<ScalarVal> = args
+                .iter()
+                .zip(sig.params)
+                .map(|(a, &pt)| Self::coerce(self.eval(env, a), pt))
+                .collect();
+            let r = |i: usize| match vals[i] {
+                ScalarVal::Real(v) => v,
+                ScalarVal::Int(v) => v as f64,
+                other => panic!("non-real intrinsic arg {other:?}"),
+            };
+            let n = |i: usize| match vals[i] {
+                ScalarVal::Int(v) => v,
+                other => panic!("non-int intrinsic arg {other:?}"),
+            };
+            return Some(match name {
+                "sqrt" => ScalarVal::Real(r(0).sqrt()),
+                "sin" => ScalarVal::Real(r(0).sin()),
+                "cos" => ScalarVal::Real(r(0).cos()),
+                "exp" => ScalarVal::Real(r(0).exp()),
+                "pow" => ScalarVal::Real(r(0).powf(r(1))),
+                "floor" => ScalarVal::Real(r(0).floor()),
+                "fabs" => ScalarVal::Real(r(0).abs()),
+                "fmin" => ScalarVal::Real(r(0).min(r(1))),
+                "fmax" => ScalarVal::Real(r(0).max(r(1))),
+                "iabs" => ScalarVal::Int(n(0).wrapping_abs()),
+                "imin" => ScalarVal::Int(n(0).min(n(1))),
+                "imax" => ScalarVal::Int(n(0).max(n(1))),
+                other => panic!("intrinsic `{other}` not modelled by the reference walker"),
+            });
+        }
+        let func = self.program.function(name).expect("callee exists").clone();
+        let mut callee_env = Env::new();
+        for (a, p) in args.iter().zip(&func.params) {
+            let b = if p.ty.is_array() {
+                let Expr::Var(arg_name) = a else {
+                    panic!("array arg must be a variable")
+                };
+                match env[arg_name] {
+                    Bind::Array(id) => Bind::Array(id),
+                    _ => panic!("not an array"),
+                }
+            } else {
+                Bind::Scalar(Self::coerce(self.eval(env, a), p.ty.elem()))
+            };
+            callee_env.insert(p.name.clone(), b);
+        }
+        for s in &func.body.stmts {
+            if let RefFlow::Return(v) = self.stmt(&mut callee_env, s) {
+                return v;
+            }
+        }
+        None
+    }
+
+    fn eval(&mut self, env: &mut Env, e: &Expr) -> ScalarVal {
+        match e {
+            Expr::IntLit(v) => ScalarVal::Int(*v),
+            Expr::RealLit(v) => ScalarVal::Real(*v),
+            Expr::BoolLit(v) => ScalarVal::Bool(*v),
+            Expr::Var(n) => match env.get(n).expect("bound scalar") {
+                Bind::Scalar(v) => *v,
+                other => panic!("`{n}` not a scalar: {other:?}"),
+            },
+            Expr::ArrayElem { array, indices } => {
+                let idx: Vec<i64> = indices
+                    .iter()
+                    .map(|e| match self.eval(env, e) {
+                        ScalarVal::Int(i) => i,
+                        other => panic!("non-int index {other:?}"),
+                    })
+                    .collect();
+                let id = match env[array] {
+                    Bind::Array(id) => id,
+                    _ => panic!("not an array"),
+                };
+                let arr = &self.arrays[id];
+                let mut flat = 0usize;
+                for (&i, &d) in idx.iter().zip(&arr.dims) {
+                    assert!(i >= 0 && (i as usize) < d, "oob in reference walk");
+                    flat = flat * d + i as usize;
+                }
+                arr.data[flat]
+            }
+            Expr::Unary { op, arg } => {
+                let v = self.eval(env, arg);
+                match (op, v) {
+                    (UnOp::Neg, ScalarVal::Int(x)) => ScalarVal::Int(x.wrapping_neg()),
+                    (UnOp::Neg, ScalarVal::Real(x)) => ScalarVal::Real(-x),
+                    (UnOp::Not, ScalarVal::Bool(x)) => ScalarVal::Bool(!x),
+                    other => panic!("bad unary {other:?}"),
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let l = self.eval(env, lhs);
+                let r = self.eval(env, rhs);
+                ref_binop(*op, l, r)
+            }
+            Expr::Call { name, args } => self
+                .eval_call(env, name, args)
+                .expect("void call in expression"),
+            Expr::Cast { to, arg } => {
+                let v = self.eval(env, arg);
+                match (v, to) {
+                    (ScalarVal::Int(x), Scalar::Int) => ScalarVal::Int(x),
+                    (ScalarVal::Int(x), Scalar::Real) => ScalarVal::Real(x as f64),
+                    (ScalarVal::Real(x), Scalar::Int) => ScalarVal::Int(x as i64),
+                    (ScalarVal::Real(x), Scalar::Real) => ScalarVal::Real(x),
+                    (ScalarVal::Bool(x), Scalar::Int) => ScalarVal::Int(x as i64),
+                    other => panic!("cast {other:?} not modelled"),
+                }
+            }
+        }
+    }
+}
+
+fn ref_binop(op: BinOp, l: ScalarVal, r: ScalarVal) -> ScalarVal {
+    use BinOp::*;
+    if op.is_logical() {
+        let (ScalarVal::Bool(a), ScalarVal::Bool(b)) = (l, r) else {
+            panic!("logical on non-bool")
+        };
+        return ScalarVal::Bool(match op {
+            And => a && b,
+            Or => a || b,
+            _ => unreachable!(),
+        });
+    }
+    if op.is_comparison() {
+        if let (ScalarVal::Int(a), ScalarVal::Int(b)) = (l, r) {
+            return ScalarVal::Bool(match op {
+                Eq => a == b,
+                Ne => a != b,
+                Lt => a < b,
+                Le => a <= b,
+                Gt => a > b,
+                Ge => a >= b,
+                _ => unreachable!(),
+            });
+        }
+        let (a, b) = (as_real(l), as_real(r));
+        return ScalarVal::Bool(match op {
+            Eq => a == b,
+            Ne => a != b,
+            Lt => a < b,
+            Le => a <= b,
+            Gt => a > b,
+            Ge => a >= b,
+            _ => unreachable!(),
+        });
+    }
+    if let (ScalarVal::Int(a), ScalarVal::Int(b)) = (l, r) {
+        return ScalarVal::Int(match op {
+            Add => a.wrapping_add(b),
+            Sub => a.wrapping_sub(b),
+            Mul => a.wrapping_mul(b),
+            Div => a.wrapping_div(b),
+            Rem => a.wrapping_rem(b),
+            _ => unreachable!(),
+        });
+    }
+    let (a, b) = (as_real(l), as_real(r));
+    ScalarVal::Real(match op {
+        Add => a + b,
+        Sub => a - b,
+        Mul => a * b,
+        Div => a / b,
+        _ => unreachable!(),
+    })
+}
+
+fn as_real(v: ScalarVal) -> f64 {
+    match v {
+        ScalarVal::Real(x) => x,
+        ScalarVal::Int(x) => x as f64,
+        ScalarVal::Bool(_) => panic!("bool has no real view"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generators (same family as tests/property.rs, plus a user helper
+// call so call-site binding is exercised).
+// ---------------------------------------------------------------------
+
+fn arb_real_expr(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (0u32..5).prop_map(|v| format!("{v}.5")),
+        Just("x".to_string()),
+        Just("halve(x)".to_string()),
+        (0usize..4).prop_map(|o| format!("a[imin(i + {o}, {})]", ARRAY - 1)),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("({l} + {r})")),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("({l} * {r})")),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| format!("({l} - {r})")),
+            inner.clone().prop_map(|e| format!("sqrt(fabs({e}))")),
+            inner.prop_map(|e| format!("fmin({e}, 100.0)")),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_program() -> BoxedStrategy<String> {
+    (
+        arb_real_expr(2),
+        arb_real_expr(2),
+        1usize..=ARRAY,
+        1usize..=8,
+        any::<bool>(),
+    )
+        .prop_map(|(e1, e2, trip, inner_trip, with_branch)| {
+            let body = if with_branch {
+                format!("if (x > 2.0) {{ b[i] = {e1}; }} else {{ b[i] = {e2}; }}")
+            } else {
+                format!("b[i] = {e1};")
+            };
+            format!(
+                "real halve(real v) {{ return v * 0.5 + 0.25; }}\n\
+                 void main(real a[{ARRAY}], real b[{ARRAY}]) {{\n\
+                   real x; int i; int j;\n\
+                   x = 1.0;\n\
+                   for (i = 0; i < {trip}; i = i + 1) {{\n\
+                     for (j = 0; j < {inner_trip}; j = j + 1) {{ x = x + a[j] * 0.125; }}\n\
+                     {body}\n\
+                   }}\n\
+                 }}"
+            )
+        })
+        .boxed()
+}
+
+fn input_args(seed: u64) -> Vec<ArgVal> {
+    let vals: Vec<f64> = (0..ARRAY)
+        .map(|k| ((k as u64 * 7 + seed) % 13) as f64 * 0.5)
+        .collect();
+    vec![
+        ArgVal::Array(ArrayData::from_reals(&vals)),
+        ArgVal::Array(ArrayData::from_reals(&[0.0; ARRAY])),
+    ]
+}
+
+fn assert_bitwise_eq(a: &ScalarVal, b: &ScalarVal, what: &str) {
+    let same = match (a, b) {
+        (ScalarVal::Real(x), ScalarVal::Real(y)) => x.to_bits() == y.to_bits(),
+        (x, y) => x == y,
+    };
+    assert!(same, "{what}: slot-resolved {a:?} != reference {b:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Slot-resolved execution is bitwise-identical to the name-keyed
+    /// reference walk on arbitrary generated programs.
+    #[test]
+    fn resolution_is_semantics_preserving(src in arb_program(), seed in 0u64..32) {
+        let p = parse_program(&src).expect("generated program parses");
+        argo_ir::validate::validate(&p).expect("generated program validates");
+
+        let resolved = Interp::new(&p)
+            .call_full("main", input_args(seed), &mut NullHook)
+            .expect("slot-resolved run succeeds");
+
+        let mut walker = RefWalker { program: &p, arrays: Vec::new() };
+        let (ref_ret, ref_arrays) = walker.call("main", input_args(seed));
+
+        prop_assert_eq!(resolved.ret.is_some(), ref_ret.is_some());
+        if let (Some(a), Some(b)) = (&resolved.ret, &ref_ret) {
+            assert_bitwise_eq(a, b, "return value");
+        }
+        prop_assert_eq!(resolved.arrays.len(), ref_arrays.len());
+        for ((name, got), want) in resolved.arrays.iter().zip(&ref_arrays) {
+            prop_assert_eq!(got.dims.clone(), want.dims.clone());
+            for (i, (g, w)) in got.data.iter().zip(&want.data).enumerate() {
+                assert_bitwise_eq(g, w, &format!("{name}[{i}]"));
+            }
+        }
+    }
+}
+
+/// Deterministic spot check so a generator regression fails loudly and
+/// the differential harness itself is exercised without proptest.
+#[test]
+fn reference_walker_matches_on_fixed_program() {
+    let src = "real halve(real v) { return v * 0.5 + 0.25; }\n\
+               void main(real a[24], real b[24]) {\n\
+                 real x; int i; int j;\n\
+                 x = 1.0;\n\
+                 for (i = 0; i < 9; i = i + 1) {\n\
+                   for (j = 0; j < 3; j = j + 1) { x = x + a[j] * 0.125; }\n\
+                   if (x > 2.0) { b[i] = halve(x) + a[imin(i + 1, 23)]; }\n\
+                   else { b[i] = sqrt(fabs(x - 3.5)); }\n\
+                 }\n\
+               }";
+    let p = parse_program(src).unwrap();
+    argo_ir::validate::validate(&p).unwrap();
+    let resolved = Interp::new(&p)
+        .call_full("main", input_args(3), &mut NullHook)
+        .unwrap();
+    let mut walker = RefWalker {
+        program: &p,
+        arrays: Vec::new(),
+    };
+    let (_, ref_arrays) = walker.call("main", input_args(3));
+    let b_resolved = &resolved.arrays[1].1;
+    for (g, w) in b_resolved.data.iter().zip(&ref_arrays[1].data) {
+        assert_bitwise_eq(g, w, "b");
+    }
+}
