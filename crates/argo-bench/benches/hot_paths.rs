@@ -6,7 +6,10 @@
 //! * `value_weaa` — interval value-analysis fixpoint on the WEAA
 //!   program (deepest loop nest in the use-case suite);
 //! * `list_1000` — HEFT list scheduling of a synthetic 1 000-task
-//!   layered DAG through the precomputed `TaskGraphIndex`.
+//!   layered DAG through the precomputed `TaskGraphIndex`;
+//! * `verify_egpws` — one full post-backend verification pass (race
+//!   matrix, schedule/placement checks, IR lints) on a precompiled
+//!   EGPWS result — the cost every gated pipeline run pays.
 //!
 //! CI runs this bench with `--test` (compile + run each body once, no
 //! timing), so the hot paths cannot silently rot; the timed numbers
@@ -81,5 +84,30 @@ fn bench_list(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(hot_paths, bench_interp, bench_value, bench_list);
+fn bench_verify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hot_paths");
+    g.sample_size(20);
+    let uc = argo_apps::egpws::use_case(42);
+    let platform = Platform::xentium_manycore(4);
+    let result = argo_core::Toolflow::borrowed(&uc.program, uc.entry)
+        .platform(&platform)
+        .run()
+        .expect("egpws compiles");
+    let cfg = argo_verify::VerifyConfig::default();
+    g.bench_function("verify_egpws", |b| {
+        b.iter(|| {
+            let report = argo_verify::verify_backend(black_box(&result), &platform, &cfg);
+            black_box(report.findings.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    hot_paths,
+    bench_interp,
+    bench_value,
+    bench_list,
+    bench_verify
+);
 criterion_main!(hot_paths);

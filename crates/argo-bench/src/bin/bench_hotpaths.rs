@@ -1,8 +1,9 @@
 //! Machine-readable hot-path benchmark harness → `BENCH_hotpaths.json`.
 //!
-//! Times the three inner-loop hot paths of the tool-chain (interpreter
-//! statement execution, value-analysis fixpoint, list scheduling) plus
-//! the end-to-end e1/e2 experiment wall time, and writes one JSON file
+//! Times the inner-loop hot paths of the tool-chain (interpreter
+//! statement execution, value-analysis fixpoint, list scheduling, one
+//! full post-backend verification pass) plus the end-to-end e1/e2
+//! experiment wall time, and writes one JSON file
 //! with `median_ns` and a derived throughput per bench. When a baseline
 //! file is given (`--baseline PATH`, a previous output of this harness),
 //! each bench also records `before_median_ns` and the resulting
@@ -116,6 +117,30 @@ fn bench_list_1000(samples: usize) -> BenchRow {
     }
 }
 
+fn bench_verify(samples: usize) -> BenchRow {
+    // Steady state: the pipeline result is compiled once outside the
+    // timer; the measured quantity is one full verification pass
+    // (race matrix, schedule/placement checks, IR lints).
+    let uc = argo_apps::egpws::use_case(42);
+    let platform = argo_adl::Platform::xentium_manycore(4);
+    let result = argo_core::Toolflow::borrowed(&uc.program, uc.entry)
+        .platform(&platform)
+        .run()
+        .expect("egpws compiles");
+    let cfg = argo_verify::VerifyConfig::default();
+    let tasks = result.parallel.graph.len() as u64;
+    let median = time_n(samples, || {
+        let report = argo_verify::verify_backend(&result, &platform, &cfg);
+        std::hint::black_box(report.findings.len());
+    });
+    BenchRow {
+        name: "verify_egpws",
+        median_ns: median,
+        items: tasks,
+        unit: "tasks",
+    }
+}
+
 fn bench_e1(samples: usize) -> BenchRow {
     let median = time_n(samples, || {
         std::hint::black_box(argo_bench::e1_toolflow().len());
@@ -176,6 +201,7 @@ fn main() {
         bench_interp_egpws(samples),
         bench_value_weaa(samples),
         bench_list_1000(samples),
+        bench_verify(samples),
         bench_e1(e2e_samples),
         bench_e2(e2e_samples),
     ];

@@ -11,9 +11,10 @@
 use std::fmt;
 
 /// The coarse pipeline stage a session runs (and a diagnostic belongs
-/// to). These are the three artifact-producing stages of the staged
+/// to). The first three are the artifact-producing stages of the staged
 /// driver — `frontend → seed-costs → backend` — mirroring the cache
-/// tiers of `argo-dse`.
+/// tiers of `argo-dse`; the fourth is the independent static checker
+/// (`argo-verify`) run over a finished backend result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Stage {
     /// Program-side stages: validation, predictability transformations,
@@ -26,6 +27,10 @@ pub enum Stage {
     /// loop (§ II-E), parallel model (§ II-C), system-level WCET
     /// (§ II-D).
     Backend,
+    /// Independent static verification of the backend's claims: MHP
+    /// race detection, schedule/placement soundness, IR lints
+    /// (`argo-verify`).
+    Verify,
 }
 
 impl Stage {
@@ -35,12 +40,18 @@ impl Stage {
             Stage::Frontend => "frontend",
             Stage::SeedCosts => "seed-costs",
             Stage::Backend => "backend",
+            Stage::Verify => "verify",
         }
     }
 
     /// All stages in pipeline order.
-    pub fn all() -> [Stage; 3] {
-        [Stage::Frontend, Stage::SeedCosts, Stage::Backend]
+    pub fn all() -> [Stage; 4] {
+        [
+            Stage::Frontend,
+            Stage::SeedCosts,
+            Stage::Backend,
+            Stage::Verify,
+        ]
     }
 }
 
@@ -87,6 +98,27 @@ pub enum ErrorCode {
     MemAssignFailed,
     /// Construction of the explicitly parallel program model failed.
     ParallelModelFailed,
+    /// Two tasks that may happen in parallel perform conflicting
+    /// accesses to the same memory (`argo-verify` race detector).
+    DataRace,
+    /// A schedule violates precedence, timing-consistency or per-core
+    /// exclusivity constraints (`argo-verify` schedule validator).
+    UnsoundSchedule,
+    /// A memory placement exceeds a scratchpad's byte budget
+    /// (`argo-verify` placement validator).
+    PlacementOverflow,
+    /// Per-core plans mis-order signal/wait synchronization relative to
+    /// the tasks they protect (`argo-verify` comm-ordering check).
+    CommOrdering,
+    /// Lint: a scalar may be read before any assignment reaches it
+    /// (`argo-verify` def-before-use dataflow).
+    UninitRead,
+    /// Lint: a scalar is assigned but its value is never read
+    /// (`argo-verify`).
+    DeadStore,
+    /// Lint: a statement can never execute (it follows a `return` in
+    /// its block) (`argo-verify`).
+    UnreachableStmt,
 }
 
 impl ErrorCode {
@@ -105,6 +137,13 @@ impl ErrorCode {
             ErrorCode::CodeWcetFailed => "code-wcet-failed",
             ErrorCode::MemAssignFailed => "mem-assign-failed",
             ErrorCode::ParallelModelFailed => "parallel-model-failed",
+            ErrorCode::DataRace => "data-race",
+            ErrorCode::UnsoundSchedule => "unsound-schedule",
+            ErrorCode::PlacementOverflow => "placement-overflow",
+            ErrorCode::CommOrdering => "comm-ordering",
+            ErrorCode::UninitRead => "uninit-read",
+            ErrorCode::DeadStore => "dead-store",
+            ErrorCode::UnreachableStmt => "unreachable-stmt",
         }
     }
 }
@@ -187,7 +226,10 @@ mod tests {
     #[test]
     fn labels_are_stable() {
         assert_eq!(Stage::SeedCosts.label(), "seed-costs");
+        assert_eq!(Stage::Verify.label(), "verify");
         assert_eq!(ErrorCode::EmptyHtg.label(), "empty-htg");
-        assert_eq!(Stage::all().len(), 3);
+        assert_eq!(ErrorCode::DataRace.label(), "data-race");
+        assert_eq!(ErrorCode::UnsoundSchedule.label(), "unsound-schedule");
+        assert_eq!(Stage::all().len(), 4);
     }
 }

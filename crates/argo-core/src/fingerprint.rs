@@ -452,7 +452,7 @@ mod tests {
             },
             ToolchainConfig {
                 value_ctx: ValueCtx::with_param("n", 0, 9),
-                ..base.clone()
+                ..base
             },
         ];
         let base_fp = base.fingerprint();

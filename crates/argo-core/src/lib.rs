@@ -70,6 +70,11 @@
 //! | *(new — name-resolving drivers)* | [`ErrorCode::UnknownProgram`] | frontend |
 //! | `"mem-assign"` | [`ErrorCode::MemAssignFailed`] | backend |
 //! | `"parallel-model"` | [`ErrorCode::ParallelModelFailed`] | backend |
+//! | *(new — `argo-verify` race detector)* | [`ErrorCode::DataRace`] | verify |
+//! | *(new — `argo-verify` schedule validator)* | [`ErrorCode::UnsoundSchedule`] | verify |
+//! | *(new — `argo-verify` placement validator)* | [`ErrorCode::PlacementOverflow`] | verify |
+//! | *(new — `argo-verify` comm-ordering check)* | [`ErrorCode::CommOrdering`] | verify |
+//! | *(new — `argo-verify` lints)* | [`ErrorCode::UninitRead`], [`ErrorCode::DeadStore`], [`ErrorCode::UnreachableStmt`] | verify |
 
 pub mod artifact;
 pub mod diag;

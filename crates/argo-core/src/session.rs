@@ -203,6 +203,21 @@ impl<'a> Toolflow<'a> {
         &self.cfg
     }
 
+    /// The platform bound via [`Toolflow::platform`], if any. Extension
+    /// layers (e.g. the `argo-verify` checker) use this to re-derive
+    /// platform-dependent facts from the same description the backend
+    /// saw.
+    pub fn configured_platform(&self) -> Option<&'a Platform> {
+        self.platform
+    }
+
+    /// The observer attached via [`Toolflow::observer`], if any, so
+    /// extension stages can emit the same paired start/finish events
+    /// the built-in stages do.
+    pub fn configured_observer(&self) -> Option<&'a dyn StageObserver> {
+        self.observer
+    }
+
     fn require_platform(&self, stage: Stage) -> Result<&'a Platform, Diagnostic> {
         self.platform.ok_or_else(|| {
             Diagnostic::new(
@@ -630,6 +645,22 @@ pub(crate) fn run_backend_impl(
             }
         }
         let schedule = schedule.expect("at least one round");
+
+        // In-backend soundness gate (debug builds): the schedule the
+        // feedback loop settled on must satisfy its own precedence and
+        // exclusivity constraints before we build the parallel model
+        // on top of it. Release builds skip this; `argo-verify` is the
+        // always-on external check.
+        #[cfg(debug_assertions)]
+        {
+            let gate_ctx = SchedCtx {
+                platform,
+                comm: CommModel::SignalOnly,
+            };
+            if let Err(e) = schedule.validate(&graph, &gate_ctx) {
+                panic!("backend produced an unsound schedule: {e}");
+            }
+        }
 
         // --- Parallel program model (§ II-C).
         let parallel = ParallelProgram::build(program, &htg, graph, schedule, platform)

@@ -27,6 +27,7 @@ use crate::space::{DesignSpace, ExplorationPoint};
 use argo_core::{Diagnostic, ErrorCode, Fingerprint, Stage, ToolchainConfig, Toolflow};
 use argo_ir::ast::Program;
 use argo_search::{Budget, Evaluator, Lattice, SearchStrategy};
+use argo_verify::ToolflowVerifyExt;
 use argo_wcet::value::ValueCtx;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
@@ -353,24 +354,50 @@ impl Explorer {
             }
         };
 
-        match flow.run_backend((*artifact).clone(), Some(&costs)) {
-            Ok(r) => ReportRow {
+        let r = match flow.run_backend((*artifact).clone(), Some(&costs)) {
+            Ok(r) => r,
+            Err(e) => {
+                return ReportRow {
+                    point,
+                    spm_effective,
+                    outcome: Err(e),
+                }
+            }
+        };
+
+        // Independent verification gates every successful point: an
+        // error-severity finding turns the row into a structured
+        // failure (class `verify/<code>`), warnings are surfaced as a
+        // count in the metrics.
+        let verdict = match flow.run_verify(&r) {
+            Ok(report) => report,
+            Err(e) => {
+                return ReportRow {
+                    point,
+                    spm_effective,
+                    outcome: Err(e),
+                }
+            }
+        };
+        if let Err(d) = verdict.gate() {
+            return ReportRow {
                 point,
                 spm_effective,
-                outcome: Ok(PointMetrics {
-                    tasks: r.parallel.graph.len(),
-                    signals: r.parallel.sync_count(),
-                    seq_bound: r.sequential_bound,
-                    par_bound: r.system.bound,
-                    speedup: r.wcet_speedup(),
-                    feedback_iterations: r.feedback_iterations,
-                }),
-            },
-            Err(e) => ReportRow {
-                point,
-                spm_effective,
-                outcome: Err(e),
-            },
+                outcome: Err(d),
+            };
+        }
+        ReportRow {
+            point,
+            spm_effective,
+            outcome: Ok(PointMetrics {
+                tasks: r.parallel.graph.len(),
+                signals: r.parallel.sync_count(),
+                seq_bound: r.sequential_bound,
+                par_bound: r.system.bound,
+                speedup: r.wcet_speedup(),
+                feedback_iterations: r.feedback_iterations,
+                verify_findings: verdict.findings.len(),
+            }),
         }
     }
 }
@@ -438,6 +465,11 @@ mod tests {
         // core count, one backend per point.
         assert_eq!(report.timing.frontend.runs, 3);
         assert_eq!(report.timing.backend.runs, 6);
+        // … and one verification pass per backend build, all clean.
+        assert_eq!(report.timing.verify.runs, 6);
+        for (_, m) in report.successes() {
+            assert_eq!(m.verify_findings, 0);
+        }
         assert!(report.search.is_none());
     }
 

@@ -39,6 +39,8 @@ pub struct StageTimings {
     pub seed_costs: TierTiming,
     /// Backend stage executions (one per evaluated point).
     pub backend: TierTiming,
+    /// Verification runs (one per point that survives the backend).
+    pub verify: TierTiming,
     /// Mapping-stage builds charged through the third cache tier
     /// (a subset of the backend time).
     pub schedule_builds: TierTiming,
@@ -73,6 +75,7 @@ impl StageObserver for TimingObserver {
             Stage::Frontend => &mut totals.frontend,
             Stage::SeedCosts => &mut totals.seed_costs,
             Stage::Backend => &mut totals.backend,
+            Stage::Verify => &mut totals.verify,
         };
         slot.runs += 1;
         slot.nanos += summary.elapsed.as_nanos() as u64;

@@ -37,6 +37,11 @@ pub struct PointMetrics {
     pub speedup: f64,
     /// Feedback iterations the backend performed.
     pub feedback_iterations: u32,
+    /// Findings the independent verifier reported for this point.
+    /// Error-severity findings never reach the metrics — they fail the
+    /// row with a `verify/<code>` class — so this counts the warnings
+    /// and notes that survived the gate.
+    pub verify_findings: usize,
 }
 
 /// One row of the sweep: the point plus its outcome.
@@ -265,10 +270,11 @@ impl ExplorationReport {
         let t = &self.timing;
         let _ = writeln!(
             s,
-            "stage wall: frontend {}, seed-costs {}, backend {}; schedule builds {}",
+            "stage wall: frontend {}, seed-costs {}, backend {}, verify {}; schedule builds {}",
             fmt_tier(&t.frontend),
             fmt_tier(&t.seed_costs),
             fmt_tier(&t.backend),
+            fmt_tier(&t.verify),
             fmt_tier(&t.schedule_builds),
         );
         s
@@ -278,7 +284,8 @@ impl ExplorationReport {
     pub fn to_csv(&self) -> String {
         let mut s = String::from(
             "app,platform,cores,scheduler,granularity,chunk,spm_bytes,\
-             tasks,signals,seq_wcet,par_wcet,speedup,feedback_iterations,pareto,error\n",
+             tasks,signals,seq_wcet,par_wcet,speedup,feedback_iterations,verify_findings,\
+             pareto,error\n",
         );
         for (i, row) in self.rows.iter().enumerate() {
             let p = &row.point;
@@ -297,18 +304,19 @@ impl ExplorationReport {
                 Ok(m) => {
                     let _ = writeln!(
                         s,
-                        "{},{},{},{},{:.4},{},{},",
+                        "{},{},{},{},{:.4},{},{},{},",
                         m.tasks,
                         m.signals,
                         m.seq_bound,
                         m.par_bound,
                         m.speedup,
                         m.feedback_iterations,
+                        m.verify_findings,
                         self.pareto.contains(&i),
                     );
                 }
                 Err(e) => {
-                    let _ = writeln!(s, ",,,,,,false,{}", csv_escape(&e.to_string()));
+                    let _ = writeln!(s, ",,,,,,,false,{}", csv_escape(&e.to_string()));
                 }
             }
         }
@@ -339,13 +347,14 @@ impl ExplorationReport {
                     let _ = write!(
                         s,
                         ", \"tasks\": {}, \"signals\": {}, \"seq_wcet\": {}, \"par_wcet\": {}, \
-                         \"speedup\": {:.4}, \"feedback_iterations\": {}",
+                         \"speedup\": {:.4}, \"feedback_iterations\": {}, \"verify_findings\": {}",
                         m.tasks,
                         m.signals,
                         m.seq_bound,
                         m.par_bound,
                         m.speedup,
-                        m.feedback_iterations
+                        m.feedback_iterations,
+                        m.verify_findings
                     );
                 }
                 Err(e) => {
@@ -386,6 +395,7 @@ impl ExplorationReport {
             "  \"timing\": {{\"frontend_runs\": {}, \"frontend_ms\": {:.3}, \
              \"seed_cost_runs\": {}, \"seed_cost_ms\": {:.3}, \
              \"backend_runs\": {}, \"backend_ms\": {:.3}, \
+             \"verify_runs\": {}, \"verify_ms\": {:.3}, \
              \"schedule_builds\": {}, \"schedule_build_ms\": {:.3}}},\n",
             t.frontend.runs,
             t.frontend.ms(),
@@ -393,6 +403,8 @@ impl ExplorationReport {
             t.seed_costs.ms(),
             t.backend.runs,
             t.backend.ms(),
+            t.verify.runs,
+            t.verify.ms(),
             t.schedule_builds.runs,
             t.schedule_builds.ms(),
         );
@@ -479,6 +491,7 @@ mod tests {
             par_bound: par,
             speedup: 1000.0 / par as f64,
             feedback_iterations: 2,
+            verify_findings: 0,
         };
         ExplorationReport {
             rows: vec![
@@ -528,6 +541,10 @@ mod tests {
                     runs: 3,
                     nanos: 7_000_000,
                 },
+                verify: TierTiming {
+                    runs: 2,
+                    nanos: 500_000,
+                },
                 schedule_builds: TierTiming {
                     runs: 3,
                     nanos: 1_500_000,
@@ -549,6 +566,7 @@ mod tests {
         assert!(t.contains("schedules 3/6 hits"));
         assert!(t.contains("hit rate 50%"));
         assert!(t.contains("stage wall: frontend 1x/2.0ms"));
+        assert!(t.contains("verify 2x/0.5ms"));
         assert!(t.contains("schedule builds 3x/1.5ms"));
         assert!(
             !t.contains("search:"),
@@ -584,6 +602,11 @@ mod tests {
         assert_eq!(csv.lines().count(), 4);
         assert!(csv
             .lines()
+            .next()
+            .unwrap()
+            .ends_with("feedback_iterations,verify_findings,pareto,error"));
+        assert!(csv
+            .lines()
             .nth(1)
             .unwrap()
             .starts_with("egpws,bus,1,list,loop,true,4096,"));
@@ -603,6 +626,8 @@ mod tests {
              \"entity\": \"t3\", \"message\": \"scheduler exploded\"}"
         ));
         assert!(j.contains("\"timing\": {\"frontend_runs\": 1"));
+        assert!(j.contains("\"verify_runs\": 2"));
+        assert!(j.contains("\"verify_findings\": 0"));
         assert_eq!(j.matches("\"app\"").count(), 3);
         // Balanced braces (cheap structural check).
         assert_eq!(j.matches('{').count(), j.matches('}').count());

@@ -4,7 +4,18 @@
 //!
 //! 1. **Task-level dependences** — between sibling tasks, using transitively
 //!    collected read/write sets. Array variables are treated as single
-//!    cells (conservative), which is sound for precedence edges.
+//!    cells: any write to `a[i]` conflicts with any access of `a[j]`,
+//!    regardless of the subscripts. That over-approximation is the
+//!    *sound* direction for this pass — it can only add precedence
+//!    edges, never miss one — at the cost of serializing tasks that
+//!    touch provably disjoint slices. Consumers that need the finer
+//!    answer (the `argo-verify` race detector refining whether an
+//!    *unordered* pair can really collide) re-analyze subscripts with
+//!    [`array_access_range`] and [`AccessRange::disjoint`]; the edge
+//!    construction here deliberately does not, because a bug in the
+//!    interval reasoning would silently drop ordering constraints
+//!    (exactly the class of bug the PR 1 decl-before-use fix patched,
+//!    where a whole-array declaration had to count as a write).
 //! 2. **Loop parallelism classification** — the affine-subscript DOALL test
 //!    plus reduction recognition. This is what lets the transform stage
 //!    chunk a loop into parallel tasks, the core enabler of the paper's
@@ -537,6 +548,39 @@ mod tests {
             .find(|s| matches!(s.kind, StmtKind::For { .. }))
             .expect("no for loop in source");
         classify_loop(loop_stmt)
+    }
+
+    #[test]
+    fn disjoint_adjacent_ranges_do_not_touch() {
+        // Inclusive bounds: [0,63] and [64,127] share no element, but
+        // [0,64] and [64,127] share element 64.
+        assert!(AccessRange::Range(0, 63).disjoint(AccessRange::Range(64, 127)));
+        assert!(AccessRange::Range(64, 127).disjoint(AccessRange::Range(0, 63)));
+        assert!(!AccessRange::Range(0, 64).disjoint(AccessRange::Range(64, 127)));
+    }
+
+    #[test]
+    fn disjoint_overlapping_and_nested_ranges_conflict() {
+        assert!(!AccessRange::Range(0, 10).disjoint(AccessRange::Range(5, 15)));
+        assert!(!AccessRange::Range(0, 100).disjoint(AccessRange::Range(40, 60)));
+        // A single element overlapping itself.
+        assert!(!AccessRange::Range(7, 7).disjoint(AccessRange::Range(7, 7)));
+        assert!(AccessRange::Range(7, 7).disjoint(AccessRange::Range(8, 8)));
+    }
+
+    #[test]
+    fn disjoint_unknown_is_never_disjoint_except_from_none() {
+        // Unknown must stay conservative against everything that might
+        // access the array...
+        assert!(!AccessRange::Unknown.disjoint(AccessRange::Range(0, 1)));
+        assert!(!AccessRange::Range(0, 1).disjoint(AccessRange::Unknown));
+        assert!(!AccessRange::Unknown.disjoint(AccessRange::Unknown));
+        // ...but a task that provably never touches the array is
+        // disjoint from anything, Unknown included.
+        assert!(AccessRange::None.disjoint(AccessRange::Unknown));
+        assert!(AccessRange::Unknown.disjoint(AccessRange::None));
+        assert!(AccessRange::None.disjoint(AccessRange::None));
+        assert!(AccessRange::None.disjoint(AccessRange::Range(0, 5)));
     }
 
     #[test]

@@ -316,11 +316,11 @@ impl Parser {
                 self.expect_punct("]")?;
             }
             LValue::ArrayElem {
-                array: name.clone(),
+                array: name,
                 indices,
             }
         } else {
-            LValue::Var(name.clone())
+            LValue::Var(name)
         };
         if self.eat_punct("+=") {
             let rhs = self.expr()?;

@@ -1,0 +1,114 @@
+//! The `run_verify` session stage: observer-bracketed verification of
+//! a finished backend result, as an extension trait on
+//! [`Toolflow`] (argo-core stays free of a dependency on this crate).
+
+use crate::{verify_backend, VerifyConfig, VerifyReport};
+use argo_core::{Artifact, BackendResult, Diagnostic, ErrorCode, Stage, StageSummary, Toolflow};
+use std::time::Instant;
+
+/// Adds the verification stage to [`Toolflow`] sessions.
+pub trait ToolflowVerifyExt {
+    /// Runs the full verification suite (race detection under the
+    /// session's configured MHP mode, schedule/placement validation,
+    /// IR lints) over `result`, bracketed by
+    /// [`Stage::Verify`] observer events on the session's observer.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::MissingPlatform`] when the session has no platform
+    /// bound. Findings do *not* error here — inspect the returned
+    /// report (or its [`VerifyReport::gate`]).
+    fn run_verify(&self, result: &BackendResult) -> Result<VerifyReport, Diagnostic>;
+}
+
+impl ToolflowVerifyExt for Toolflow<'_> {
+    fn run_verify(&self, result: &BackendResult) -> Result<VerifyReport, Diagnostic> {
+        let Some(platform) = self.configured_platform() else {
+            let d = Diagnostic::new(
+                Stage::Verify,
+                ErrorCode::MissingPlatform,
+                "session has no platform; call Toolflow::platform(..) before verifying",
+            );
+            if let Some(obs) = self.configured_observer() {
+                obs.on_stage_start(Stage::Verify);
+                obs.on_stage_error(Stage::Verify, &d);
+            }
+            return Err(d);
+        };
+        let cfg = VerifyConfig {
+            mhp: self.cfg().mhp,
+            ..VerifyConfig::default()
+        };
+        let obs = self.configured_observer();
+        if let Some(obs) = obs {
+            obs.on_stage_start(Stage::Verify);
+        }
+        let t0 = Instant::now();
+        let report = verify_backend(result, platform, &cfg);
+        if let Some(obs) = obs {
+            obs.on_stage_finish(&StageSummary {
+                stage: Stage::Verify,
+                fingerprint: report.fingerprint(),
+                detail: report.summary(),
+                elapsed: t0.elapsed(),
+            });
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argo_adl::Platform;
+    use argo_core::{CollectingObserver, StageEvent, ToolchainConfig};
+    use argo_ir::parse::parse_program;
+
+    const PIPE: &str = r#"
+        void main(real a[64], real b[64], real c[64], real d[64]) {
+            int i;
+            for (i = 0; i < 64; i = i + 1) { b[i] = a[i] * 2.0; }
+            for (i = 0; i < 64; i = i + 1) { c[i] = a[i] + 1.0; }
+            for (i = 0; i < 64; i = i + 1) { d[i] = b[i] + c[i]; }
+        }
+    "#;
+
+    #[test]
+    fn run_verify_is_clean_on_a_sound_pipeline_and_emits_events() {
+        let program = parse_program(PIPE).unwrap();
+        let platform = Platform::xentium_manycore(2);
+        let obs = CollectingObserver::default();
+        let flow = Toolflow::new(program, "main")
+            .platform(&platform)
+            .config(ToolchainConfig::default())
+            .observer(&obs);
+        let result = flow.run().expect("compile");
+        let report = flow.run_verify(&result).expect("verify runs");
+        assert!(report.is_clean(), "{}", report.render_text());
+
+        let events = obs.events();
+        let started = events
+            .iter()
+            .any(|e| matches!(e, StageEvent::Started(Stage::Verify)));
+        let finished = events.iter().any(
+            |e| matches!(e, StageEvent::Finished(s) if s.stage == Stage::Verify && s.detail == "clean"),
+        );
+        assert!(started && finished, "verify events missing: {events:?}");
+    }
+
+    #[test]
+    fn run_verify_without_platform_reports_missing_platform() {
+        let program = parse_program(PIPE).unwrap();
+        let result = {
+            let platform = Platform::xentium_manycore(2);
+            Toolflow::new(program.clone(), "main")
+                .platform(&platform)
+                .run()
+                .expect("compile")
+        };
+        let flow = Toolflow::new(program, "main");
+        let err = flow.run_verify(&result).unwrap_err();
+        assert_eq!(err.code, ErrorCode::MissingPlatform);
+        assert_eq!(err.stage, Stage::Verify);
+    }
+}

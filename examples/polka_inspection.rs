@@ -22,12 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .platform(&platform)
         .config(ToolchainConfig::default())
         .run()?;
-    let sim = simulate(
-        &r.parallel,
-        &platform,
-        uc.args.clone(),
-        &SimConfig::default(),
-    )?;
+    let sim = simulate(&r.parallel, &platform, uc.args, &SimConfig::default())?;
     let mask = sim
         .outputs
         .iter()

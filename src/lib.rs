@@ -24,6 +24,9 @@
 //! * [`search`] — budgeted metaheuristic search strategies (genetic,
 //!   simulated annealing, successive halving) steering `dse` sweeps
 //!   over large lattices;
+//! * [`verify`] — independent static verification: MHP race detection,
+//!   schedule/placement soundness, IR lints — the gate every schedule
+//!   must pass;
 //! * [`bench`](mod@bench) — the E1–E9 experiment drivers.
 
 // The session driver API, re-exported at the facade root so downstream
@@ -35,6 +38,9 @@ pub use argo_core::{
 // The search-layer vocabulary types, for the same reason:
 // `argo::Budget`, `argo::SearchStrategy`.
 pub use argo_search::{Budget, SearchStrategy};
+// The verifier's session surface: `argo::ToolflowVerifyExt` brings
+// `run_verify` into scope next to `argo::Toolflow`.
+pub use argo_verify::{ToolflowVerifyExt, VerifyConfig, VerifyReport};
 
 pub use argo_adl as adl;
 pub use argo_apps as apps;
@@ -49,4 +55,5 @@ pub use argo_sched as sched;
 pub use argo_search as search;
 pub use argo_sim as sim;
 pub use argo_transform as transform;
+pub use argo_verify as verify;
 pub use argo_wcet as wcet;

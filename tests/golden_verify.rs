@@ -1,0 +1,73 @@
+//! Golden tests pinning the verifier's rendered report byte-identical
+//! for the three use cases across all MHP modes (satellite of PR 6).
+//!
+//! Diagnostic *stability* is part of the verifier's contract: the same
+//! program under the same mode must produce the identical report on
+//! every run and on every thread count, so CI gates and DSE failure
+//! classes never flap. Each combination is rendered twice per test run
+//! (fresh pipeline each time) and must agree with itself before being
+//! compared against the pinned golden.
+//!
+//! Regenerate (only after an *intentional* behaviour change) with:
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test --test golden_verify
+//! ```
+
+use argo_adl::Platform;
+use argo_core::{ToolchainConfig, Toolflow};
+use argo_verify::{verify_backend, VerifyConfig};
+use argo_wcet::system::MhpMode;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_or_update(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden `{}` ({e}); run with GOLDEN_UPDATE=1", name));
+    assert_eq!(
+        expected, actual,
+        "verify report for `{name}` drifted from the pinned golden"
+    );
+}
+
+fn rendered(name: &str, mhp: MhpMode, platform: &Platform) -> String {
+    let uc = argo_apps::all_use_cases(42)
+        .into_iter()
+        .find(|u| u.name == name)
+        .expect("known use case");
+    let cfg = ToolchainConfig {
+        mhp,
+        ..Default::default()
+    };
+    let r = Toolflow::new(uc.program, uc.entry)
+        .platform(platform)
+        .config(cfg)
+        .run()
+        .expect("compile");
+    let report = verify_backend(&r, platform, &VerifyConfig { mhp, allow: vec![] });
+    report.render_text()
+}
+
+#[test]
+fn verify_reports_match_goldens_and_are_run_to_run_stable() {
+    let platform = Platform::xentium_manycore(4);
+    for app in ["egpws", "weaa", "polka"] {
+        for mhp in [MhpMode::Naive, MhpMode::Static, MhpMode::Windows] {
+            let first = rendered(app, mhp, &platform);
+            let second = rendered(app, mhp, &platform);
+            assert_eq!(first, second, "{app} [{mhp}] not run-to-run stable");
+            check_or_update(&format!("verify_{app}_{mhp}.txt"), &first);
+        }
+    }
+}
