@@ -9,7 +9,11 @@
 //!   layered DAG through the precomputed `TaskGraphIndex`;
 //! * `verify_egpws` — one full post-backend verification pass (race
 //!   matrix, schedule/placement checks, IR lints) on a precompiled
-//!   EGPWS result — the cost every gated pipeline run pays.
+//!   EGPWS result — the cost every gated pipeline run pays;
+//! * `store_roundtrip` — one persistent-store round trip of a
+//!   precompiled EGPWS `BackendResult` (serialize, atomic write, read
+//!   back, validate, deserialize) — the per-entry cost a warm-started
+//!   exploration pays instead of a backend run.
 //!
 //! CI runs this bench with `--test` (compile + run each body once, no
 //! timing), so the hot paths cannot silently rot; the timed numbers
@@ -103,11 +107,38 @@ fn bench_verify(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hot_paths");
+    g.sample_size(20);
+    let uc = argo_apps::egpws::use_case(42);
+    let platform = Platform::xentium_manycore(4);
+    let result = argo_core::Toolflow::borrowed(&uc.program, uc.entry)
+        .platform(&platform)
+        .run()
+        .expect("egpws compiles");
+    let dir = std::env::temp_dir().join(format!("argo-hot-paths-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = argo_store::Store::open(&dir).expect("store opens");
+    let key = argo_core::Fingerprint(0xbe9c);
+    g.bench_function("store_roundtrip", |b| {
+        b.iter(|| {
+            store.put_artifact("bench", key, black_box(&result));
+            let back = store
+                .get_artifact::<argo_core::BackendResult>("bench", key)
+                .expect("entry reads back");
+            black_box(back.system.bound)
+        })
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(
     hot_paths,
     bench_interp,
     bench_value,
     bench_list,
-    bench_verify
+    bench_verify,
+    bench_store
 );
 criterion_main!(hot_paths);

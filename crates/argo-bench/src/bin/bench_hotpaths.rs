@@ -2,7 +2,8 @@
 //!
 //! Times the inner-loop hot paths of the tool-chain (interpreter
 //! statement execution, value-analysis fixpoint, list scheduling, one
-//! full post-backend verification pass) plus the end-to-end e1/e2
+//! full post-backend verification pass, one persistent-store round
+//! trip of a `BackendResult`) plus the end-to-end e1/e2
 //! experiment wall time, and writes one JSON file
 //! with `median_ns` and a derived throughput per bench. When a baseline
 //! file is given (`--baseline PATH`, a previous output of this harness),
@@ -141,6 +142,40 @@ fn bench_verify(samples: usize) -> BenchRow {
     }
 }
 
+fn bench_store_roundtrip(samples: usize) -> BenchRow {
+    // Steady state: the pipeline result is compiled once outside the
+    // timer; the measured quantity is one full persistent-store round
+    // trip of a `BackendResult` — serialize, atomic write (tmp +
+    // rename + fsync), read back, validate (magic/version/checksum/
+    // content fingerprint) and deserialize. This is the per-entry cost
+    // a warm-started exploration pays instead of a backend run.
+    let uc = argo_apps::egpws::use_case(42);
+    let platform = argo_adl::Platform::xentium_manycore(4);
+    let result = argo_core::Toolflow::borrowed(&uc.program, uc.entry)
+        .platform(&platform)
+        .run()
+        .expect("egpws compiles");
+    let bytes = argo_core::codec::Codec::to_bytes(&result).len() as u64;
+    let dir = std::env::temp_dir().join(format!("argo-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = argo_store::Store::open(&dir).expect("store opens");
+    let key = argo_core::Fingerprint(0xbe9c);
+    let median = time_n(samples, || {
+        store.put_artifact("bench", key, &result);
+        let back = store
+            .get_artifact::<argo_core::BackendResult>("bench", key)
+            .expect("entry reads back");
+        std::hint::black_box(back.system.bound);
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    BenchRow {
+        name: "store_roundtrip",
+        median_ns: median,
+        items: bytes,
+        unit: "bytes",
+    }
+}
+
 fn bench_e1(samples: usize) -> BenchRow {
     let median = time_n(samples, || {
         std::hint::black_box(argo_bench::e1_toolflow().len());
@@ -202,6 +237,7 @@ fn main() {
         bench_value_weaa(samples),
         bench_list_1000(samples),
         bench_verify(samples),
+        bench_store_roundtrip(samples),
         bench_e1(e2e_samples),
         bench_e2(e2e_samples),
     ];

@@ -10,54 +10,98 @@
 //! [`argo_core::Toolflow::seed_cost_fingerprint`] — so *any* two points
 //! that would recompute the same artifact share one entry, even across
 //! different `DesignSpace`s or repeated runs on one [`crate::Explorer`].
-//! Fingerprints are API-owned content hashes (stable across processes),
-//! which is what makes persisting this cache between runs a follow-on
-//! rather than a redesign.
+//!
+//! ## Persistent backing
+//!
+//! Fingerprints are API-owned content hashes, stable across processes —
+//! which is what lets every tier optionally back onto an on-disk
+//! [`Store`] ([`ArtifactCache::set_store`]): a memory miss first reads
+//! the store (`frontend` / `seed-costs` / `schedule` namespaces) before
+//! building, and a successful build writes through. A fourth,
+//! store-only tier (`point` namespace, see [`ArtifactCache::point_get`])
+//! archives whole per-point outcomes, so a cold process on an unchanged
+//! workspace re-starts at ~100% combined hits without re-running any
+//! stage — and after a program or platform edit, only the points whose
+//! fingerprints changed are re-evaluated. Failures are cached in memory
+//! but never persisted: only the point tier records diagnostics (as
+//! part of the point outcome), so a transient environment problem can't
+//! poison the store. Store reads validate checksums, schema versions
+//! and (for artifact tiers) content fingerprints; anything invalid
+//! degrades to a counted miss and the entry is rebuilt.
 //!
 //! Concurrency: each key maps to an `Arc<OnceLock>` slot; the map lock is
-//! held only to find/create the slot, and the (expensive) build runs
-//! under the slot's own once-initialization, so two workers never build
-//! the same artifact twice and distinct keys never serialize each other.
+//! held only to find/create the slot, and the (expensive) build — and
+//! any store read/write — runs under the slot's own once-initialization,
+//! so two workers never build the same artifact twice and distinct keys
+//! never serialize each other.
 
-use argo_core::{CostTable, Diagnostic, Fingerprint, FrontendArtifact, ScheduleCache};
+use argo_core::codec::Codec;
+use argo_core::{Artifact, CostTable, Diagnostic, Fingerprint, FrontendArtifact, ScheduleCache};
 use argo_sched::Schedule;
+use argo_store::Store;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-/// Hit/miss counters for all three cache tiers.
+/// Store namespace of the frontend-artifact tier.
+pub const NS_FRONTEND: &str = "frontend";
+/// Store namespace of the seed-cost tier.
+pub const NS_COSTS: &str = "seed-costs";
+/// Store namespace of the schedule tier.
+pub const NS_SCHEDULE: &str = "schedule";
+/// Store namespace of the per-point outcome archive.
+pub const NS_POINT: &str = "point";
+
+/// Hit/miss counters for all cache tiers, in-memory and persistent.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Frontend artifacts served from cache.
+    /// Frontend artifacts served from memory.
     pub frontend_hits: u64,
-    /// Frontend artifacts built.
+    /// Frontend artifacts not in memory (store-read or built).
     pub frontend_misses: u64,
-    /// Seed-cost tables served from cache.
+    /// Seed-cost tables served from memory.
     pub cost_hits: u64,
-    /// Seed-cost tables built.
+    /// Seed-cost tables not in memory (store-read or built).
     pub cost_misses: u64,
-    /// Schedules served from cache (third tier, one lookup per backend
+    /// Schedules served from memory (third tier, one lookup per backend
     /// feedback round).
     pub sched_hits: u64,
-    /// Schedules built (third-tier misses).
+    /// Schedules not in memory (store-read or built).
     pub sched_misses: u64,
-    /// Wall time spent building third-tier schedules, in nanoseconds.
+    /// Wall time spent building third-tier schedules, in nanoseconds
+    /// (store reads are not builds and are not charged here).
     pub sched_build_ns: u64,
+    /// Frontend artifacts read back from the persistent store.
+    pub frontend_store_hits: u64,
+    /// Frontend store lookups that fell through to a build.
+    pub frontend_store_misses: u64,
+    /// Seed-cost tables read back from the persistent store.
+    pub cost_store_hits: u64,
+    /// Seed-cost store lookups that fell through to a build.
+    pub cost_store_misses: u64,
+    /// Schedules read back from the persistent store.
+    pub sched_store_hits: u64,
+    /// Schedule store lookups that fell through to a build.
+    pub sched_store_misses: u64,
+    /// Whole point outcomes served from the persistent archive.
+    pub point_store_hits: u64,
+    /// Point-archive lookups that fell through to a full evaluation.
+    pub point_store_misses: u64,
 }
 
 impl CacheStats {
-    /// Total hits across all tiers.
+    /// Total in-memory hits across the three stage tiers.
     pub fn hits(&self) -> u64 {
         self.frontend_hits + self.cost_hits + self.sched_hits
     }
 
-    /// Total misses across all tiers.
+    /// Total in-memory misses across the three stage tiers.
     pub fn misses(&self) -> u64 {
         self.frontend_misses + self.cost_misses + self.sched_misses
     }
 
-    /// Hit rate in `[0, 1]` (0 when nothing was requested).
+    /// In-memory hit rate in `[0, 1]` (0 when nothing was requested).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits() + self.misses();
         if total == 0 {
@@ -66,12 +110,54 @@ impl CacheStats {
             self.hits() as f64 / total as f64
         }
     }
+
+    /// Total persistent-store hits across all four tiers.
+    pub fn store_hits(&self) -> u64 {
+        self.frontend_store_hits
+            + self.cost_store_hits
+            + self.sched_store_hits
+            + self.point_store_hits
+    }
+
+    /// Total persistent-store misses across all four tiers.
+    pub fn store_misses(&self) -> u64 {
+        self.frontend_store_misses
+            + self.cost_store_misses
+            + self.sched_store_misses
+            + self.point_store_misses
+    }
+
+    /// Combined hit rate over *logical* lookups: a stage-tier lookup is
+    /// a hit if memory **or** the store served it (store reads happen
+    /// exactly on memory misses, so `hits + misses` counts each logical
+    /// stage lookup once), and a point-archive lookup is a hit if the
+    /// store held the whole outcome. A warm process on an unchanged
+    /// workspace scores ~1.0: every point is served from the archive.
+    pub fn combined_hit_rate(&self) -> f64 {
+        let lookups = self.hits() + self.misses() + self.point_store_hits + self.point_store_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            (self.hits() + self.store_hits()) as f64 / lookups as f64
+        }
+    }
 }
 
 type Slot<T> = Arc<OnceLock<Result<Arc<T>, Diagnostic>>>;
 
-/// Three-tier artifact cache: frontend artifacts, seed-cost tables and
-/// mapping-stage schedules. The schedule tier implements
+/// One stage tier's counters plus its store namespace, bundled so
+/// `get_or_build` stays generic over the tier it serves.
+struct Tier<'a> {
+    hits: &'a AtomicU64,
+    misses: &'a AtomicU64,
+    store_hits: &'a AtomicU64,
+    store_misses: &'a AtomicU64,
+    namespace: &'static str,
+}
+
+/// Four-tier artifact cache: frontend artifacts, seed-cost tables,
+/// mapping-stage schedules (all in-memory, optionally store-backed) and
+/// a store-only per-point outcome archive. The schedule tier implements
 /// [`argo_core::ScheduleCache`], so binding the whole cache to a
 /// session via [`argo_core::Toolflow::schedule_cache`] is enough to
 /// share schedules across points whose feedback rounds re-derive
@@ -79,6 +165,7 @@ type Slot<T> = Arc<OnceLock<Result<Arc<T>, Diagnostic>>>;
 /// (c)) — e.g. the MHP axis, or converged rounds within one backend.
 #[derive(Default)]
 pub struct ArtifactCache {
+    store: Option<Arc<Store>>,
     frontend: Mutex<HashMap<Fingerprint, Slot<FrontendArtifact>>>,
     costs: Mutex<HashMap<Fingerprint, Slot<CostTable>>>,
     schedules: Mutex<HashMap<Fingerprint, Arc<OnceLock<Schedule>>>>,
@@ -89,61 +176,103 @@ pub struct ArtifactCache {
     sched_hits: AtomicU64,
     sched_misses: AtomicU64,
     sched_build_ns: AtomicU64,
-}
-
-fn get_or_build<T>(
-    map: &Mutex<HashMap<Fingerprint, Slot<T>>>,
-    hits: &AtomicU64,
-    misses: &AtomicU64,
-    key: Fingerprint,
-    build: impl FnOnce() -> Result<T, Diagnostic>,
-) -> Result<Arc<T>, Diagnostic> {
-    let (slot, created) = {
-        let mut map = map.lock().unwrap();
-        match map.get(&key) {
-            Some(slot) => (Arc::clone(slot), false),
-            None => {
-                let slot: Slot<T> = Arc::new(OnceLock::new());
-                map.insert(key, Arc::clone(&slot));
-                (slot, true)
-            }
-        }
-    };
-    if created {
-        misses.fetch_add(1, Ordering::Relaxed);
-    } else {
-        hits.fetch_add(1, Ordering::Relaxed);
-    }
-    slot.get_or_init(|| build().map(Arc::new)).clone()
+    frontend_store_hits: AtomicU64,
+    frontend_store_misses: AtomicU64,
+    cost_store_hits: AtomicU64,
+    cost_store_misses: AtomicU64,
+    sched_store_hits: AtomicU64,
+    sched_store_misses: AtomicU64,
+    point_store_hits: AtomicU64,
+    point_store_misses: AtomicU64,
 }
 
 impl ArtifactCache {
-    /// Empty cache.
+    /// Empty, memory-only cache.
     pub fn new() -> ArtifactCache {
         ArtifactCache::default()
     }
 
-    /// Returns the frontend artifact for `key`, building it at most once.
+    /// Backs every tier onto a persistent [`Store`]: memory misses read
+    /// from it before building, successful builds write through, and
+    /// the point archive ([`ArtifactCache::point_get`]) activates.
+    pub fn set_store(&mut self, store: Arc<Store>) {
+        self.store = Some(store);
+    }
+
+    /// The persistent store backing this cache, if one is attached.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
+    }
+
+    fn get_or_build<T: Codec + Artifact>(
+        &self,
+        map: &Mutex<HashMap<Fingerprint, Slot<T>>>,
+        tier: Tier<'_>,
+        key: Fingerprint,
+        build: impl FnOnce() -> Result<T, Diagnostic>,
+    ) -> Result<Arc<T>, Diagnostic> {
+        let (slot, created) = {
+            let mut map = map.lock().unwrap();
+            match map.get(&key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot: Slot<T> = Arc::new(OnceLock::new());
+                    map.insert(key, Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        if created {
+            tier.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            tier.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        slot.get_or_init(|| {
+            if let Some(store) = &self.store {
+                if let Some(value) = store.get_artifact::<T>(tier.namespace, key) {
+                    tier.store_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::new(value));
+                }
+                tier.store_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            let result = build().map(Arc::new);
+            if let (Some(store), Ok(value)) = (&self.store, &result) {
+                store.put_artifact(tier.namespace, key, &**value);
+            }
+            result
+        })
+        .clone()
+    }
+
+    /// Returns the frontend artifact for `key`, building it at most once
+    /// per process (and, with a store attached, at most once per
+    /// workspace — write-through on build, read-back on a cold start).
     ///
     /// # Errors
     ///
-    /// Returns the builder's [`Diagnostic`]; failures are cached too,
-    /// so a failing point does not rebuild per retry.
+    /// Returns the builder's [`Diagnostic`]; failures are cached (in
+    /// memory only), so a failing point does not rebuild per retry.
     pub fn frontend(
         &self,
         key: Fingerprint,
         build: impl FnOnce() -> Result<FrontendArtifact, Diagnostic>,
     ) -> Result<Arc<FrontendArtifact>, Diagnostic> {
-        get_or_build(
+        self.get_or_build(
             &self.frontend,
-            &self.frontend_hits,
-            &self.frontend_misses,
+            Tier {
+                hits: &self.frontend_hits,
+                misses: &self.frontend_misses,
+                store_hits: &self.frontend_store_hits,
+                store_misses: &self.frontend_store_misses,
+                namespace: NS_FRONTEND,
+            },
             key,
             build,
         )
     }
 
-    /// Returns the seed-cost table for `key`, building it at most once.
+    /// Returns the seed-cost table for `key`, building it at most once
+    /// (persistence as for [`ArtifactCache::frontend`]).
     ///
     /// # Errors
     ///
@@ -153,7 +282,42 @@ impl ArtifactCache {
         key: Fingerprint,
         build: impl FnOnce() -> Result<CostTable, Diagnostic>,
     ) -> Result<Arc<CostTable>, Diagnostic> {
-        get_or_build(&self.costs, &self.cost_hits, &self.cost_misses, key, build)
+        self.get_or_build(
+            &self.costs,
+            Tier {
+                hits: &self.cost_hits,
+                misses: &self.cost_misses,
+                store_hits: &self.cost_store_hits,
+                store_misses: &self.cost_store_misses,
+                namespace: NS_COSTS,
+            },
+            key,
+            build,
+        )
+    }
+
+    /// Reads a whole point outcome from the persistent archive. Returns
+    /// `None` (and counts nothing) when no store is attached; otherwise
+    /// counts a point-tier store hit or miss.
+    pub fn point_get<T: Codec>(&self, key: Fingerprint) -> Option<T> {
+        let store = self.store.as_ref()?;
+        match store.get_value::<T>(NS_POINT, key) {
+            Some(value) => {
+                self.point_store_hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                self.point_store_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Archives a whole point outcome (no-op without a store).
+    pub fn point_put<T: Codec>(&self, key: Fingerprint, value: &T) {
+        if let Some(store) = &self.store {
+            store.put_value(NS_POINT, key, value);
+        }
     }
 
     /// Snapshot of the hit/miss counters.
@@ -166,13 +330,22 @@ impl ArtifactCache {
             sched_hits: self.sched_hits.load(Ordering::Relaxed),
             sched_misses: self.sched_misses.load(Ordering::Relaxed),
             sched_build_ns: self.sched_build_ns.load(Ordering::Relaxed),
+            frontend_store_hits: self.frontend_store_hits.load(Ordering::Relaxed),
+            frontend_store_misses: self.frontend_store_misses.load(Ordering::Relaxed),
+            cost_store_hits: self.cost_store_hits.load(Ordering::Relaxed),
+            cost_store_misses: self.cost_store_misses.load(Ordering::Relaxed),
+            sched_store_hits: self.sched_store_hits.load(Ordering::Relaxed),
+            sched_store_misses: self.sched_store_misses.load(Ordering::Relaxed),
+            point_store_hits: self.point_store_hits.load(Ordering::Relaxed),
+            point_store_misses: self.point_store_misses.load(Ordering::Relaxed),
         }
     }
 }
 
 /// The third tier: schedules never fail, so slots hold plain values;
 /// build wall time is charged to `sched_build_ns` for the per-tier
-/// timing attribution in exploration reports.
+/// timing attribution in exploration reports (store read-backs are not
+/// builds and charge nothing).
 impl ScheduleCache for ArtifactCache {
     fn schedule(&self, key: Fingerprint, build: &mut dyn FnMut() -> Schedule) -> Schedule {
         let (slot, created) = {
@@ -192,10 +365,20 @@ impl ScheduleCache for ArtifactCache {
             self.sched_hits.fetch_add(1, Ordering::Relaxed);
         }
         slot.get_or_init(|| {
+            if let Some(store) = &self.store {
+                if let Some(schedule) = store.get_value::<Schedule>(NS_SCHEDULE, key) {
+                    self.sched_store_hits.fetch_add(1, Ordering::Relaxed);
+                    return schedule;
+                }
+                self.sched_store_misses.fetch_add(1, Ordering::Relaxed);
+            }
             let t0 = Instant::now();
             let schedule = build();
             self.sched_build_ns
                 .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            if let Some(store) = &self.store {
+                store.put_value(NS_SCHEDULE, key, &schedule);
+            }
             schedule
         })
         .clone()
@@ -224,6 +407,10 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.frontend_hits, s.frontend_misses), (1, 1));
         assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+        // Memory-only: the store tiers see no traffic, and the combined
+        // rate collapses to the in-memory rate.
+        assert_eq!(s.store_hits() + s.store_misses(), 0);
+        assert!((s.combined_hit_rate() - 0.5).abs() < 1e-9);
     }
 
     #[test]
@@ -302,5 +489,87 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.frontend_hits + s.frontend_misses, 8);
         assert_eq!(s.frontend_misses, 1);
+    }
+
+    #[test]
+    fn store_backed_tiers_survive_a_cold_cache() {
+        let dir = std::env::temp_dir().join(format!("argo-dse-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let cfg = ToolchainConfig::default();
+        let key = Fingerprint(0xf00d);
+
+        let mut warm = ArtifactCache::new();
+        warm.set_store(Arc::clone(&store));
+        warm.frontend(key, || {
+            frontend(parse_program(SRC).unwrap(), "main", 2, &cfg)
+        })
+        .unwrap();
+        let s = warm.stats();
+        assert_eq!((s.frontend_store_hits, s.frontend_store_misses), (0, 1));
+
+        // A cold cache (new process, same workspace) reads the artifact
+        // back instead of rebuilding.
+        let mut cold = ArtifactCache::new();
+        cold.set_store(Arc::clone(&store));
+        let built = std::cell::Cell::new(false);
+        let artifact = cold
+            .frontend(key, || {
+                built.set(true);
+                frontend(parse_program(SRC).unwrap(), "main", 2, &cfg)
+            })
+            .unwrap();
+        assert!(!built.get(), "cold cache must not rebuild");
+        let s = cold.stats();
+        assert_eq!((s.frontend_store_hits, s.frontend_store_misses), (1, 0));
+        assert!((s.combined_hit_rate() - 1.0).abs() < 1e-9);
+        let rebuilt = frontend(parse_program(SRC).unwrap(), "main", 2, &cfg).unwrap();
+        assert_eq!(artifact.fingerprint(), rebuilt.fingerprint());
+
+        // Failures are never persisted: a failing key touches the store
+        // for the read but writes nothing.
+        let fail_key = Fingerprint(0xdead);
+        let r = cold.frontend(fail_key, || {
+            frontend(parse_program(SRC).unwrap(), "nonexistent", 2, &cfg)
+        });
+        assert!(r.is_err());
+        let mut colder = ArtifactCache::new();
+        colder.set_store(Arc::clone(&store));
+        assert!(colder
+            .frontend(fail_key, || frontend(
+                parse_program(SRC).unwrap(),
+                "nonexistent",
+                2,
+                &cfg
+            ))
+            .is_err());
+        assert_eq!(colder.stats().frontend_store_misses, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn schedule_tier_round_trips_through_the_store() {
+        let dir = std::env::temp_dir().join(format!("argo-dse-sched-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let schedule = Schedule {
+            assignment: vec![argo_adl::CoreId(0), argo_adl::CoreId(1)],
+            start: vec![0, 3],
+            finish: vec![3, 9],
+        };
+        let mut warm = ArtifactCache::new();
+        warm.set_store(Arc::clone(&store));
+        let mut build = || schedule.clone();
+        warm.schedule(Fingerprint(0xcafe), &mut build);
+
+        let mut cold = ArtifactCache::new();
+        cold.set_store(store);
+        let mut must_not_run = || panic!("cold schedule lookup must hit the store");
+        let back = cold.schedule(Fingerprint(0xcafe), &mut must_not_run);
+        assert_eq!(back, schedule);
+        let s = cold.stats();
+        assert_eq!((s.sched_store_hits, s.sched_store_misses), (1, 0));
+        assert_eq!(s.sched_build_ns, 0, "store reads charge no build time");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

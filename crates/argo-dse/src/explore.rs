@@ -22,11 +22,15 @@ use crate::cache::ArtifactCache;
 use crate::executor::{default_threads, parallel_map};
 use crate::observe::{TierTiming, TimingObserver};
 use crate::pareto::{pareto_front, Objectives};
-use crate::report::{ExplorationReport, PointMetrics, ReportRow, SearchInfo};
+use crate::report::{ExplorationReport, PointMetrics, ReportRow, SearchInfo, StoredPoint};
 use crate::space::{DesignSpace, ExplorationPoint};
-use argo_core::{Diagnostic, ErrorCode, Fingerprint, Stage, ToolchainConfig, Toolflow};
+use argo_core::{
+    Diagnostic, ErrorCode, Fingerprint, FingerprintHasher, Fingerprintable, Stage, ToolchainConfig,
+    Toolflow,
+};
 use argo_ir::ast::Program;
 use argo_search::{Budget, Evaluator, Lattice, SearchStrategy};
+use argo_store::Store;
 use argo_verify::ToolflowVerifyExt;
 use argo_wcet::value::ValueCtx;
 use std::collections::{BTreeMap, HashMap};
@@ -96,6 +100,24 @@ impl Explorer {
     /// Worker threads this explorer uses.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Backs this explorer's cache onto a persistent [`Store`]: all
+    /// three artifact tiers read back / write through, and whole point
+    /// outcomes are archived under the `point` namespace. A later
+    /// explorer (typically a new process) over the same store dir
+    /// warm-starts: points whose input fingerprints are unchanged are
+    /// replayed from the archive without running any pipeline stage,
+    /// while points whose program/platform/config changed miss their
+    /// keys and re-evaluate — incremental re-exploration.
+    pub fn with_store(mut self, store: Arc<Store>) -> Explorer {
+        self.cache.set_store(store);
+        self
+    }
+
+    /// The persistent store backing this explorer, if any.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.cache.store()
     }
 
     /// Registers a custom program under `name`, shadowing the built-in
@@ -290,17 +312,56 @@ impl Explorer {
         };
         let platform = point.platform.build(point.cores, point.spm_bytes);
         let spm_effective = platform.cores.first().map(|c| c.spm_bytes).unwrap_or(0);
-        if let Err(e) = platform.validate() {
+
+        // Point archive: the key fingerprints every evaluation input —
+        // program content, entry point, platform parameters, toolchain
+        // configuration. The whole pipeline is deterministic in those
+        // inputs, so an archived outcome (success or diagnostic) can be
+        // replayed verbatim; any edit changes a fingerprint and the
+        // point re-evaluates.
+        let point_key = FingerprintHasher::new()
+            .write_str("point-inputs")
+            .write_fingerprint(app.program_fp)
+            .write_str(&app.entry)
+            .write_fingerprint(platform.fingerprint())
+            .write_fingerprint(cfg.fingerprint())
+            .finish();
+        if let Some(stored) = self.cache.point_get::<StoredPoint>(point_key) {
             return ReportRow {
                 point,
-                spm_effective,
-                outcome: Err(Diagnostic::new(
-                    Stage::Backend,
-                    ErrorCode::InvalidPlatform,
-                    e.to_string(),
-                )
-                .with_entity(&platform.name)),
+                spm_effective: stored.spm_effective,
+                outcome: stored.outcome,
             };
+        }
+        let outcome = self.evaluate_uncached(app, &cfg, &platform, obs);
+        self.cache.point_put(
+            point_key,
+            &StoredPoint {
+                spm_effective,
+                outcome: outcome.clone(),
+            },
+        );
+        ReportRow {
+            point,
+            spm_effective,
+            outcome,
+        }
+    }
+
+    /// Runs the full staged pipeline for one point (all cache tiers
+    /// consulted, point archive already missed).
+    fn evaluate_uncached(
+        &self,
+        app: &ResolvedApp,
+        cfg: &ToolchainConfig,
+        platform: &argo_adl::Platform,
+        obs: Option<&TimingObserver>,
+    ) -> Result<PointMetrics, Diagnostic> {
+        if let Err(e) = platform.validate() {
+            return Err(
+                Diagnostic::new(Stage::Backend, ErrorCode::InvalidPlatform, e.to_string())
+                    .with_entity(&platform.name),
+            );
         }
         // One session drives the whole point: it owns the canonical
         // per-stage input fingerprints (the cache keys) and the staged
@@ -310,8 +371,8 @@ impl Explorer {
         // schedule cache (third tier) intercepts every mapping-stage
         // invocation inside the backend's feedback loop.
         let mut flow = Toolflow::borrowed(&app.program, &app.entry)
-            .platform(&platform)
-            .config(cfg)
+            .platform(platform)
+            .config(cfg.clone())
             .with_program_fingerprint(app.program_fp)
             .schedule_cache(&self.cache);
         if let Some(obs) = obs {
@@ -323,16 +384,7 @@ impl Explorer {
         let frontend_key = flow
             .frontend_fingerprint()
             .expect("platform is bound on the session");
-        let artifact = match self.cache.frontend(frontend_key, || flow.run_frontend()) {
-            Ok(a) => a,
-            Err(e) => {
-                return ReportRow {
-                    point,
-                    spm_effective,
-                    outcome: Err(e),
-                }
-            }
-        };
+        let artifact = self.cache.frontend(frontend_key, || flow.run_frontend())?;
 
         // Tier 2: round-0 code-level WCETs — shared by every point with
         // the same frontend artifact *and* platform (e.g. the scheduler
@@ -340,65 +392,27 @@ impl Explorer {
         let cost_key = flow
             .seed_cost_fingerprint()
             .expect("platform is bound on the session");
-        let costs = match self
+        let costs = self
             .cache
-            .seed_costs(cost_key, || flow.run_seed_costs(&artifact))
-        {
-            Ok(c) => c,
-            Err(e) => {
-                return ReportRow {
-                    point,
-                    spm_effective,
-                    outcome: Err(e),
-                }
-            }
-        };
+            .seed_costs(cost_key, || flow.run_seed_costs(&artifact))?;
 
-        let r = match flow.run_backend((*artifact).clone(), Some(&costs)) {
-            Ok(r) => r,
-            Err(e) => {
-                return ReportRow {
-                    point,
-                    spm_effective,
-                    outcome: Err(e),
-                }
-            }
-        };
+        let r = flow.run_backend((*artifact).clone(), Some(&costs))?;
 
         // Independent verification gates every successful point: an
         // error-severity finding turns the row into a structured
         // failure (class `verify/<code>`), warnings are surfaced as a
         // count in the metrics.
-        let verdict = match flow.run_verify(&r) {
-            Ok(report) => report,
-            Err(e) => {
-                return ReportRow {
-                    point,
-                    spm_effective,
-                    outcome: Err(e),
-                }
-            }
-        };
-        if let Err(d) = verdict.gate() {
-            return ReportRow {
-                point,
-                spm_effective,
-                outcome: Err(d),
-            };
-        }
-        ReportRow {
-            point,
-            spm_effective,
-            outcome: Ok(PointMetrics {
-                tasks: r.parallel.graph.len(),
-                signals: r.parallel.sync_count(),
-                seq_bound: r.sequential_bound,
-                par_bound: r.system.bound,
-                speedup: r.wcet_speedup(),
-                feedback_iterations: r.feedback_iterations,
-                verify_findings: verdict.findings.len(),
-            }),
-        }
+        let verdict = flow.run_verify(&r)?;
+        verdict.gate()?;
+        Ok(PointMetrics {
+            tasks: r.parallel.graph.len(),
+            signals: r.parallel.sync_count(),
+            seq_bound: r.sequential_bound,
+            par_bound: r.system.bound,
+            speedup: r.wcet_speedup(),
+            feedback_iterations: r.feedback_iterations,
+            verify_findings: verdict.findings.len(),
+        })
     }
 }
 

@@ -41,6 +41,10 @@ EXPLORE OPTIONS:
     --stall N                  also stop a steered search after N points
                                without a Pareto-front improvement
     --threads N                worker threads (default: all cores)
+    --store DIR                persistent artifact store: artifacts and
+                               point outcomes are written through and a
+                               later run over the same DIR warm-starts,
+                               re-evaluating only changed points
     --csv PATH                 also write the CSV report
     --json PATH                also write the JSON report
     --quiet                    suppress the text report
@@ -111,6 +115,7 @@ struct Options {
     budget: Option<usize>,
     stall: Option<usize>,
     threads: Option<usize>,
+    store: Option<String>,
     csv: Option<String>,
     json: Option<String>,
     quiet: bool,
@@ -122,6 +127,7 @@ fn parse_explore_args(args: &[String]) -> Result<Options, String> {
     let mut budget = None;
     let mut stall = None;
     let mut threads = None;
+    let mut store = None;
     let mut csv = None;
     let mut json = None;
     let mut quiet = false;
@@ -194,6 +200,7 @@ fn parse_explore_args(args: &[String]) -> Result<Options, String> {
             "--threads" => {
                 threads = Some(value()?.parse().map_err(|_| "bad --threads".to_string())?);
             }
+            "--store" => store = Some(value()?.to_string()),
             "--csv" => csv = Some(value()?.to_string()),
             "--json" => json = Some(value()?.to_string()),
             "--quiet" => quiet = true,
@@ -216,6 +223,7 @@ fn parse_explore_args(args: &[String]) -> Result<Options, String> {
         budget,
         stall,
         threads,
+        store,
         csv,
         json,
         quiet,
@@ -224,10 +232,15 @@ fn parse_explore_args(args: &[String]) -> Result<Options, String> {
 
 fn run_explore(args: &[String]) -> Result<bool, String> {
     let opts = parse_explore_args(args)?;
-    let explorer = match opts.threads {
+    let mut explorer = match opts.threads {
         Some(t) => Explorer::with_threads(t),
         None => Explorer::new(),
     };
+    if let Some(dir) = &opts.store {
+        let store =
+            argo_store::Store::open(dir).map_err(|e| format!("opening store {dir}: {e}"))?;
+        explorer = explorer.with_store(std::sync::Arc::new(store));
+    }
     let report = match &opts.strategy {
         None => explorer.explore(&opts.space),
         Some(strategy) => {
@@ -370,6 +383,13 @@ mod tests {
             "8".into()
         ])
         .is_err());
+    }
+
+    #[test]
+    fn store_flag_parses() {
+        let o = parse_explore_args(&["--store".to_string(), "/tmp/argo-store".into()]).unwrap();
+        assert_eq!(o.store.as_deref(), Some("/tmp/argo-store"));
+        assert!(parse_explore_args(&["--store".to_string()]).is_err());
     }
 
     #[test]

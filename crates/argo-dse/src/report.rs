@@ -17,6 +17,7 @@ use crate::cache::CacheStats;
 use crate::observe::{StageTimings, TierTiming};
 use crate::pareto::Objectives;
 use crate::space::{granularity_label, scheduler_label, ExplorationPoint};
+use argo_core::codec::{Codec, DecodeError, Decoder, Encoder};
 use argo_core::Diagnostic;
 use argo_search::Budget;
 use std::collections::BTreeMap;
@@ -42,6 +43,60 @@ pub struct PointMetrics {
     /// row with a `verify/<code>` class — so this counts the warnings
     /// and notes that survived the gate.
     pub verify_findings: usize,
+}
+
+impl Codec for PointMetrics {
+    fn encode(&self, e: &mut Encoder) {
+        self.tasks.encode(e);
+        self.signals.encode(e);
+        self.seq_bound.encode(e);
+        self.par_bound.encode(e);
+        self.speedup.encode(e);
+        e.u32(self.feedback_iterations);
+        self.verify_findings.encode(e);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<PointMetrics, DecodeError> {
+        Ok(PointMetrics {
+            tasks: usize::decode(d)?,
+            signals: usize::decode(d)?,
+            seq_bound: u64::decode(d)?,
+            par_bound: u64::decode(d)?,
+            speedup: f64::decode(d)?,
+            feedback_iterations: d.u32()?,
+            verify_findings: usize::decode(d)?,
+        })
+    }
+}
+
+/// A whole per-point outcome as archived in the persistent store's
+/// `point` namespace: everything [`crate::Explorer`] needs to replay a
+/// row without re-running any pipeline stage. Keyed by the fingerprint
+/// of all evaluation inputs (program, entry, platform, toolchain
+/// config), so editing any input changes the key and the point is
+/// re-evaluated — the store mechanism behind incremental
+/// re-exploration. Diagnostics are archived too: a point that failed
+/// deterministically will fail identically on replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredPoint {
+    /// Effective per-core SPM capacity, as in [`ReportRow`].
+    pub spm_effective: u64,
+    /// The archived outcome.
+    pub outcome: Result<PointMetrics, Diagnostic>,
+}
+
+impl Codec for StoredPoint {
+    fn encode(&self, e: &mut Encoder) {
+        self.spm_effective.encode(e);
+        self.outcome.encode(e);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<StoredPoint, DecodeError> {
+        Ok(StoredPoint {
+            spm_effective: u64::decode(d)?,
+            outcome: Result::<PointMetrics, Diagnostic>::decode(d)?,
+        })
+    }
 }
 
 /// One row of the sweep: the point plus its outcome.
@@ -267,6 +322,20 @@ impl ExplorationReport {
             c.sched_hits + c.sched_misses,
             c.hit_rate() * 100.0
         );
+        let _ = writeln!(
+            s,
+            "store: frontend {}/{} hits, seed-costs {}/{} hits, schedules {}/{} hits, \
+             points {}/{} hits, combined hit rate {:.0}%",
+            c.frontend_store_hits,
+            c.frontend_store_hits + c.frontend_store_misses,
+            c.cost_store_hits,
+            c.cost_store_hits + c.cost_store_misses,
+            c.sched_store_hits,
+            c.sched_store_hits + c.sched_store_misses,
+            c.point_store_hits,
+            c.point_store_hits + c.point_store_misses,
+            c.combined_hit_rate() * 100.0
+        );
         let t = &self.timing;
         let _ = writeln!(
             s,
@@ -379,7 +448,12 @@ impl ExplorationReport {
             s,
             "  ],\n  \"pareto\": {:?},\n  \"cache\": {{\"frontend_hits\": {}, \"frontend_misses\": {}, \
              \"cost_hits\": {}, \"cost_misses\": {}, \"sched_hits\": {}, \"sched_misses\": {}, \
-             \"hit_rate\": {:.4}}},\n",
+             \"hit_rate\": {:.4}, \
+             \"frontend_store_hits\": {}, \"frontend_store_misses\": {}, \
+             \"cost_store_hits\": {}, \"cost_store_misses\": {}, \
+             \"sched_store_hits\": {}, \"sched_store_misses\": {}, \
+             \"point_store_hits\": {}, \"point_store_misses\": {}, \
+             \"combined_hit_rate\": {:.4}}},\n",
             self.pareto,
             c.frontend_hits,
             c.frontend_misses,
@@ -388,6 +462,15 @@ impl ExplorationReport {
             c.sched_hits,
             c.sched_misses,
             c.hit_rate(),
+            c.frontend_store_hits,
+            c.frontend_store_misses,
+            c.cost_store_hits,
+            c.cost_store_misses,
+            c.sched_store_hits,
+            c.sched_store_misses,
+            c.point_store_hits,
+            c.point_store_misses,
+            c.combined_hit_rate(),
         );
         let t = &self.timing;
         let _ = writeln!(
@@ -525,6 +608,14 @@ mod tests {
                 sched_hits: 3,
                 sched_misses: 3,
                 sched_build_ns: 1_500_000,
+                frontend_store_hits: 1,
+                frontend_store_misses: 0,
+                cost_store_hits: 0,
+                cost_store_misses: 2,
+                sched_store_hits: 0,
+                sched_store_misses: 3,
+                point_store_hits: 2,
+                point_store_misses: 1,
             },
             wall_ms: 12.0,
             threads: 4,
@@ -565,6 +656,12 @@ mod tests {
         assert!(t.contains("cache: frontend 2/3 hits"));
         assert!(t.contains("schedules 3/6 hits"));
         assert!(t.contains("hit rate 50%"));
+        // Persistent-store counters: 6 memory hits + 3 store hits over
+        // 12 stage lookups + 3 point-archive lookups = 60% combined.
+        assert!(t.contains(
+            "store: frontend 1/1 hits, seed-costs 0/2 hits, schedules 0/3 hits, \
+             points 2/3 hits, combined hit rate 60%"
+        ));
         assert!(t.contains("stage wall: frontend 1x/2.0ms"));
         assert!(t.contains("verify 2x/0.5ms"));
         assert!(t.contains("schedule builds 3x/1.5ms"));
@@ -611,8 +708,11 @@ mod tests {
             .unwrap()
             .starts_with("egpws,bus,1,list,loop,true,4096,"));
         assert!(csv.contains("scheduler exploded"));
-        // No timing / cache columns → deterministic.
+        // No timing / cache / store columns → deterministic: a cold and
+        // a warm run over the same space emit byte-identical CSV.
         assert!(!csv.contains("wall"));
+        assert!(!csv.contains("store"));
+        assert!(!csv.contains("hit"));
     }
 
     #[test]
@@ -621,6 +721,11 @@ mod tests {
         assert!(j.contains("\"pareto\": [0, 1]"));
         assert!(j.contains("\"frontend_hits\": 2"));
         assert!(j.contains("\"sched_hits\": 3"));
+        assert!(j.contains("\"frontend_store_hits\": 1"));
+        assert!(j.contains("\"cost_store_misses\": 2"));
+        assert!(j.contains("\"sched_store_misses\": 3"));
+        assert!(j.contains("\"point_store_hits\": 2"));
+        assert!(j.contains("\"combined_hit_rate\": 0.6000"));
         assert!(j.contains(
             "\"error\": {\"stage\": \"backend\", \"code\": \"parallel-model-failed\", \
              \"entity\": \"t3\", \"message\": \"scheduler exploded\"}"
@@ -631,6 +736,33 @@ mod tests {
         assert_eq!(j.matches("\"app\"").count(), 3);
         // Balanced braces (cheap structural check).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn stored_point_round_trips_both_outcomes() {
+        let ok = StoredPoint {
+            spm_effective: 4096,
+            outcome: Ok(PointMetrics {
+                tasks: 5,
+                signals: 4,
+                seq_bound: 1000,
+                par_bound: 400,
+                speedup: 2.5,
+                feedback_iterations: 2,
+                verify_findings: 1,
+            }),
+        };
+        assert_eq!(StoredPoint::from_bytes(&ok.to_bytes()).unwrap(), ok);
+        let err = StoredPoint {
+            spm_effective: 0,
+            outcome: Err(Diagnostic::new(
+                Stage::Backend,
+                ErrorCode::ParallelModelFailed,
+                "scheduler exploded",
+            )
+            .with_entity("t3")),
+        };
+        assert_eq!(StoredPoint::from_bytes(&err.to_bytes()).unwrap(), err);
     }
 
     #[test]

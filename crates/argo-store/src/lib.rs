@@ -1,0 +1,879 @@
+//! # argo-store — persistent content-addressed artifact store
+//!
+//! An on-disk, content-addressed cache for pipeline artifacts, keyed by
+//! the canonical cross-process-stable [`Fingerprint`]s of PR 2. It is
+//! the persistence layer behind `argo-dse`'s cache tiers and the
+//! prerequisite for the `argo-serve` service direction: a cold process
+//! on an unchanged workspace reads every artifact back instead of
+//! recomputing it.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <dir>/
+//!   tmp/                       in-flight writes (unique per process)
+//!   <namespace>/
+//!     <16-hex-digit key>.bin   one entry per fingerprint
+//! ```
+//!
+//! Namespaces separate the cache tiers (`frontend`, `seed-costs`,
+//! `schedule`, `point`, …); the file name is the entry's key
+//! fingerprint in fixed-width hex. Nothing else is stored — the store
+//! is a pure content-addressed map, and a directory listing is the
+//! index.
+//!
+//! ## Entry format and schema versioning
+//!
+//! Every entry file is self-describing:
+//!
+//! ```text
+//! magic  b"ARGO"                          4 bytes
+//! schema version                          u32 LE
+//! namespace                               u64 LE length + UTF-8 bytes
+//! key fingerprint                         u64 LE
+//! content fingerprint (0 = checksum-only) u64 LE
+//! payload length                          u64 LE
+//! payload FNV-1a checksum                 u64 LE
+//! payload                                 length bytes
+//! ```
+//!
+//! A reader validates all of it: magic, schema version (an entry
+//! written by a different schema is counted in `version_skew` and
+//! treated as a miss — never misread), namespace and key echo (a
+//! mis-addressed file is corruption), payload length against the actual
+//! file size, and the FNV-1a checksum. Typed reads decode the payload
+//! with [`argo_core::codec`] and, for [`Artifact`] types, re-derive the
+//! content fingerprint and compare it to the recorded one — so any
+//! round-trip infidelity degrades to a counted miss instead of a wrong
+//! artifact. Corrupt entries are unlinked on sight (self-healing); all
+//! failure classes are counted, none panic.
+//!
+//! ## Atomicity and concurrency
+//!
+//! Writes go to `tmp/<pid>-<seq>.tmp` and are published with
+//! [`std::fs::rename`], which is atomic on POSIX when source and target
+//! share a filesystem (they do — `tmp/` lives inside the store
+//! directory). Concurrent processes sharing a store directory therefore
+//! never observe a torn entry: a reader sees either the old complete
+//! file, the new complete file, or no file. A crash mid-write leaves
+//! only a `tmp/` orphan that no reader ever opens; orphans older than
+//! an hour are swept by [`Store::gc`]. Two processes racing to publish
+//! the same key both write valid content (the store is
+//! content-addressed — same key ⇒ same payload), so either rename
+//! winning is correct.
+//!
+//! ## Garbage collection
+//!
+//! [`Store::gc`] enforces a byte budget with LRU eviction: entries are
+//! ranked by file modification time, which [`Store`] refreshes on every
+//! hit, and the oldest are unlinked until the store fits the budget.
+//! Entries currently being read are pinned ([`PinGuard`]) and never
+//! evicted mid-read.
+
+use argo_core::codec::Codec;
+use argo_core::{Artifact, Fingerprint};
+use std::collections::HashSet;
+use std::fs::{self, File};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, SystemTime};
+
+/// Current on-disk schema version. Bump whenever the entry header or
+/// any [`Codec`] encoding changes shape; old entries then read as
+/// `version_skew` misses and are rewritten, never misread.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Entry file magic, the first four bytes of every valid entry.
+pub const MAGIC: [u8; 4] = *b"ARGO";
+
+/// Tmp-file orphans older than this are swept by [`Store::gc`] (a
+/// crashed writer's leftovers; live writers publish within
+/// milliseconds).
+const TMP_SWEEP_AGE: Duration = Duration::from_secs(3600);
+
+const HEX_KEY_LEN: usize = 16;
+
+/// Process-global tmp-file sequence: two [`Store`] handles over the
+/// same directory in one process (the `argo-serve` shape) must not
+/// reuse each other's in-flight names — pid alone is not unique enough.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Monotonic cumulative counters of one [`Store`] handle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Reads that returned a valid entry.
+    pub hits: u64,
+    /// Reads that found no entry (including entries rejected below).
+    pub misses: u64,
+    /// Entries rejected for corruption: bad magic, truncation, checksum
+    /// or fingerprint mismatch, undecodable payload, mis-addressed
+    /// header. Each is also counted as a miss.
+    pub corrupt: u64,
+    /// Entries rejected because they were written by a different schema
+    /// version. Each is also counted as a miss.
+    pub version_skew: u64,
+    /// Entries unlinked by [`Store::gc`] to satisfy the byte budget.
+    pub evictions: u64,
+    /// Writes dropped because of filesystem errors (the store degrades
+    /// to pass-through; callers never see the error).
+    pub write_errors: u64,
+}
+
+impl StoreCounters {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// One entry as listed by [`Store::ls`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryInfo {
+    /// Namespace (tier) directory the entry lives in.
+    pub namespace: String,
+    /// Key fingerprint parsed from the file name.
+    pub key: Fingerprint,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Last-use time (file mtime; refreshed on every hit).
+    pub last_used: SystemTime,
+}
+
+/// Point-in-time summary returned by [`Store::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Live entry count across all namespaces.
+    pub entries: u64,
+    /// Total bytes of live entries.
+    pub bytes: u64,
+    /// Cumulative counters of this handle.
+    pub counters: StoreCounters,
+}
+
+/// Outcome of one [`Store::gc`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Entries unlinked to satisfy the budget.
+    pub evicted: u64,
+    /// Bytes reclaimed from evicted entries.
+    pub reclaimed_bytes: u64,
+    /// Live bytes remaining after the run.
+    pub remaining_bytes: u64,
+    /// Stale tmp-file orphans swept.
+    pub tmp_swept: u64,
+}
+
+/// Keeps an entry alive across a read: while a [`PinGuard`] for a path
+/// exists, [`Store::gc`] will not evict that entry.
+#[derive(Debug)]
+pub struct PinGuard<'a> {
+    store: &'a Store,
+    path: PathBuf,
+}
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        let mut pins = self.store.pins.lock().unwrap();
+        pins.remove(&self.path);
+    }
+}
+
+/// A persistent, content-addressed artifact store rooted at one
+/// directory. See the [module docs](self) for layout, versioning,
+/// atomicity and GC semantics.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    pins: Mutex<HashSet<PathBuf>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    version_skew: AtomicU64,
+    evictions: AtomicU64,
+    write_errors: AtomicU64,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`io::Error`] if the directory (or its
+    /// `tmp/` subdirectory) cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Store> {
+        let dir = dir.into();
+        fs::create_dir_all(dir.join("tmp"))?;
+        Ok(Store {
+            dir,
+            pins: Mutex::new(HashSet::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            version_skew: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            version_skew: self.version_skew.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn entry_path(&self, namespace: &str, key: Fingerprint) -> PathBuf {
+        self.dir.join(namespace).join(format!("{:016x}.bin", key.0))
+    }
+
+    /// Pins `(namespace, key)` against eviction for the guard's
+    /// lifetime. Reads pin internally; exposing it lets callers (and
+    /// tests) hold an entry across a GC run.
+    pub fn pin(&self, namespace: &str, key: Fingerprint) -> PinGuard<'_> {
+        let path = self.entry_path(namespace, key);
+        self.pins.lock().unwrap().insert(path.clone());
+        PinGuard { store: self, path }
+    }
+
+    // --- writes ---------------------------------------------------------
+
+    /// Stores an [`Artifact`] under its namespace and key, recording
+    /// the artifact's content fingerprint for end-to-end validation on
+    /// read-back. Filesystem errors are absorbed (counted in
+    /// [`StoreCounters::write_errors`]); the store never fails a
+    /// pipeline run.
+    pub fn put_artifact<T: Codec + Artifact>(&self, namespace: &str, key: Fingerprint, value: &T) {
+        self.put_raw(namespace, key, value.fingerprint(), &value.to_bytes());
+    }
+
+    /// Stores any [`Codec`] value (checksum-integrity only — no content
+    /// fingerprint re-derivation on read-back).
+    pub fn put_value<T: Codec>(&self, namespace: &str, key: Fingerprint, value: &T) {
+        self.put_raw(namespace, key, Fingerprint(0), &value.to_bytes());
+    }
+
+    fn put_raw(&self, namespace: &str, key: Fingerprint, content: Fingerprint, payload: &[u8]) {
+        if self.try_put(namespace, key, content, payload).is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn try_put(
+        &self,
+        namespace: &str,
+        key: Fingerprint,
+        content: Fingerprint,
+        payload: &[u8],
+    ) -> io::Result<()> {
+        let final_path = self.entry_path(namespace, key);
+        if let Some(parent) = final_path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut bytes = Vec::with_capacity(payload.len() + 64);
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(namespace.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(namespace.as_bytes());
+        bytes.extend_from_slice(&key.0.to_le_bytes());
+        bytes.extend_from_slice(&content.0.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+
+        // Unique tmp name per process and write: concurrent writers
+        // (threads or processes) never share an in-flight file, and the
+        // final rename is atomic — readers see old, new, or nothing.
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .dir
+            .join("tmp")
+            .join(format!("{}-{seq}.tmp", std::process::id()));
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+        drop(f);
+        match fs::rename(&tmp, &final_path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    // --- reads ----------------------------------------------------------
+
+    /// Reads an [`Artifact`] back, validating header, checksum, payload
+    /// decode **and** the re-derived content fingerprint. Any failure
+    /// is a counted miss (`corrupt` / `version_skew`), never an error.
+    pub fn get_artifact<T: Codec + Artifact>(
+        &self,
+        namespace: &str,
+        key: Fingerprint,
+    ) -> Option<T> {
+        let (content, payload) = self.get_raw(namespace, key)?;
+        match T::from_bytes(&payload) {
+            Ok(value) if value.fingerprint() == content => Some(value),
+            Ok(_) => {
+                // Decoded cleanly but to different content than was
+                // stored — round-trip infidelity. Reject and self-heal.
+                self.reject_corrupt(namespace, key)
+            }
+            Err(_) => self.reject_corrupt(namespace, key),
+        }
+    }
+
+    /// Reads any [`Codec`] value back (checksum-integrity only).
+    pub fn get_value<T: Codec>(&self, namespace: &str, key: Fingerprint) -> Option<T> {
+        let (_, payload) = self.get_raw(namespace, key)?;
+        match T::from_bytes(&payload) {
+            Ok(value) => Some(value),
+            Err(_) => self.reject_corrupt(namespace, key),
+        }
+    }
+
+    fn reject_corrupt<T>(&self, namespace: &str, key: Fingerprint) -> Option<T> {
+        // get_raw already counted a hit for the valid envelope; convert
+        // it into a corrupt miss now that the payload failed.
+        self.hits.fetch_sub(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+        let _ = fs::remove_file(self.entry_path(namespace, key));
+        None
+    }
+
+    /// Reads and validates one raw entry, returning the recorded
+    /// content fingerprint and payload. Counts a hit or (possibly
+    /// corrupt/skewed) miss; refreshes the entry's LRU clock.
+    pub fn get_raw(&self, namespace: &str, key: Fingerprint) -> Option<(Fingerprint, Vec<u8>)> {
+        // Pin before opening so a concurrent gc never unlinks the file
+        // mid-read (POSIX would let the read finish, but the next
+        // reader would miss — the pin keeps hot entries resident).
+        let _pin = self.pin(namespace, key);
+        let path = self.entry_path(namespace, key);
+        let mut file = match File::open(&path) {
+            Ok(f) => f,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let mut bytes = Vec::new();
+        if file.read_to_end(&mut bytes).is_err() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        match self.parse_entry(&bytes, namespace, key) {
+            EntryParse::Valid { content, payload } => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                // LRU clock: gc ranks by mtime, so refresh it on use.
+                let _ = file.set_modified(SystemTime::now());
+                Some((content, payload))
+            }
+            EntryParse::VersionSkew => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.version_skew.fetch_add(1, Ordering::Relaxed);
+                // Leave the file for gc: a *newer* schema's entry must
+                // survive this process, and an older one is harmless.
+                None
+            }
+            EntryParse::Corrupt => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    fn parse_entry(&self, bytes: &[u8], namespace: &str, key: Fingerprint) -> EntryParse {
+        let mut pos = 0usize;
+        let mut take = |n: usize| -> Option<&[u8]> {
+            let s = bytes.get(pos..pos + n)?;
+            pos += n;
+            Some(s)
+        };
+        let Some(magic) = take(4) else {
+            return EntryParse::Corrupt;
+        };
+        if magic != MAGIC {
+            return EntryParse::Corrupt;
+        }
+        let Some(ver) = take(4) else {
+            return EntryParse::Corrupt;
+        };
+        if u32::from_le_bytes(ver.try_into().unwrap()) != SCHEMA_VERSION {
+            return EntryParse::VersionSkew;
+        }
+        let Some(ns_len) = take(8) else {
+            return EntryParse::Corrupt;
+        };
+        let Ok(ns_len) = usize::try_from(u64::from_le_bytes(ns_len.try_into().unwrap())) else {
+            return EntryParse::Corrupt;
+        };
+        if ns_len > bytes.len() {
+            return EntryParse::Corrupt;
+        }
+        let Some(ns) = take(ns_len) else {
+            return EntryParse::Corrupt;
+        };
+        if ns != namespace.as_bytes() {
+            return EntryParse::Corrupt;
+        }
+        let (Some(k), Some(content), Some(len), Some(sum)) = (take(8), take(8), take(8), take(8))
+        else {
+            return EntryParse::Corrupt;
+        };
+        if u64::from_le_bytes(k.try_into().unwrap()) != key.0 {
+            return EntryParse::Corrupt;
+        }
+        let content = Fingerprint(u64::from_le_bytes(content.try_into().unwrap()));
+        let Ok(len) = usize::try_from(u64::from_le_bytes(len.try_into().unwrap())) else {
+            return EntryParse::Corrupt;
+        };
+        let sum = u64::from_le_bytes(sum.try_into().unwrap());
+        let Some(payload) = take(len) else {
+            return EntryParse::Corrupt;
+        };
+        if pos != bytes.len() || fnv1a(payload) != sum {
+            return EntryParse::Corrupt;
+        }
+        EntryParse::Valid {
+            content,
+            payload: payload.to_vec(),
+        }
+    }
+
+    // --- maintenance ----------------------------------------------------
+
+    /// Lists all live entries, newest-used first.
+    pub fn ls(&self) -> Vec<EntryInfo> {
+        let mut out = Vec::new();
+        let Ok(namespaces) = fs::read_dir(&self.dir) else {
+            return out;
+        };
+        for ns in namespaces.flatten() {
+            let ns_name = ns.file_name().to_string_lossy().into_owned();
+            if ns_name == "tmp" || !ns.path().is_dir() {
+                continue;
+            }
+            let Ok(entries) = fs::read_dir(ns.path()) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let Some(hex) = name.strip_suffix(".bin").filter(|h| h.len() == HEX_KEY_LEN) else {
+                    continue;
+                };
+                let Ok(key) = u64::from_str_radix(hex, 16) else {
+                    continue;
+                };
+                let Ok(meta) = entry.metadata() else {
+                    continue;
+                };
+                out.push(EntryInfo {
+                    namespace: ns_name.clone(),
+                    key: Fingerprint(key),
+                    bytes: meta.len(),
+                    last_used: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+                });
+            }
+        }
+        out.sort_by(|a, b| {
+            b.last_used
+                .cmp(&a.last_used)
+                .then_with(|| a.namespace.cmp(&b.namespace))
+                .then_with(|| a.key.0.cmp(&b.key.0))
+        });
+        out
+    }
+
+    /// Total bytes of live entries.
+    pub fn total_bytes(&self) -> u64 {
+        self.ls().iter().map(|e| e.bytes).sum()
+    }
+
+    /// Point-in-time stats (entry count, bytes, counters).
+    pub fn stats(&self) -> StoreStats {
+        let entries = self.ls();
+        StoreStats {
+            entries: entries.len() as u64,
+            bytes: entries.iter().map(|e| e.bytes).sum(),
+            counters: self.counters(),
+        }
+    }
+
+    /// Evicts least-recently-used entries until the store fits
+    /// `budget_bytes`, sweeping stale tmp orphans along the way. Pinned
+    /// entries (reads in flight) are never evicted, even over budget.
+    pub fn gc(&self, budget_bytes: u64) -> GcStats {
+        let mut stats = GcStats::default();
+
+        // Sweep crashed writers' orphans (never readable — writes that
+        // completed were renamed out of tmp/).
+        if let Ok(entries) = fs::read_dir(self.dir.join("tmp")) {
+            let now = SystemTime::now();
+            for entry in entries.flatten() {
+                let stale = entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|m| now.duration_since(m).ok())
+                    .is_some_and(|age| age >= TMP_SWEEP_AGE);
+                if stale && fs::remove_file(entry.path()).is_ok() {
+                    stats.tmp_swept += 1;
+                }
+            }
+        }
+
+        let entries = self.ls();
+        let mut total: u64 = entries.iter().map(|e| e.bytes).sum();
+        let pins = self.pins.lock().unwrap().clone();
+        // ls() is newest-first; walk from the oldest end.
+        for entry in entries.iter().rev() {
+            if total <= budget_bytes {
+                break;
+            }
+            let path = self.entry_path(&entry.namespace, entry.key);
+            if pins.contains(&path) {
+                continue;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total -= entry.bytes;
+                stats.evicted += 1;
+                stats.reclaimed_bytes += entry.bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        stats.remaining_bytes = total;
+        stats
+    }
+
+    /// Removes every entry (counters are kept — `clear` is an
+    /// operation on the data, not the handle).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first filesystem error encountered.
+    pub fn clear(&self) -> io::Result<()> {
+        let Ok(namespaces) = fs::read_dir(&self.dir) else {
+            return Ok(());
+        };
+        for ns in namespaces.flatten() {
+            if ns.path().is_dir() {
+                fs::remove_dir_all(ns.path())?;
+            }
+        }
+        fs::create_dir_all(self.dir.join("tmp"))?;
+        Ok(())
+    }
+}
+
+enum EntryParse {
+    Valid {
+        content: Fingerprint,
+        payload: Vec<u8>,
+    },
+    VersionSkew,
+    Corrupt,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    static TEST_DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    /// Unique per-test store dir under the system temp dir (std-only;
+    /// no tempfile crate in the container). Removed on drop.
+    struct TestDir(PathBuf);
+
+    impl TestDir {
+        fn new() -> TestDir {
+            let seq = TEST_DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+            let dir =
+                std::env::temp_dir().join(format!("argo-store-test-{}-{seq}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            TestDir(dir)
+        }
+    }
+
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn put_get_value_round_trips(store: &Store) {
+        let key = Fingerprint(0xabcd);
+        let value: Vec<u64> = vec![1, 2, 3, 99];
+        store.put_value("unit", key, &value);
+        assert_eq!(store.get_value::<Vec<u64>>("unit", key), Some(value));
+    }
+
+    #[test]
+    fn round_trip_and_counters() {
+        let td = TestDir::new();
+        let store = Store::open(&td.0).unwrap();
+        put_get_value_round_trips(&store);
+        assert_eq!(store.get_value::<Vec<u64>>("unit", Fingerprint(7)), None);
+        let c = store.counters();
+        assert_eq!((c.hits, c.misses, c.corrupt), (1, 1, 0));
+    }
+
+    #[test]
+    fn cold_handle_reads_back() {
+        let td = TestDir::new();
+        {
+            let store = Store::open(&td.0).unwrap();
+            put_get_value_round_trips(&store);
+        }
+        // Fresh handle over the same dir: the write must persist.
+        let cold = Store::open(&td.0).unwrap();
+        assert_eq!(
+            cold.get_value::<Vec<u64>>("unit", Fingerprint(0xabcd)),
+            Some(vec![1, 2, 3, 99])
+        );
+        assert_eq!(cold.counters().hits, 1);
+    }
+
+    #[test]
+    fn truncated_entry_is_a_counted_miss_and_self_heals() {
+        let td = TestDir::new();
+        let store = Store::open(&td.0).unwrap();
+        let key = Fingerprint(0x11);
+        store.put_value("unit", key, &vec![1u64; 64]);
+        let path = store.entry_path("unit", key);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(store.get_value::<Vec<u64>>("unit", key), None);
+        let c = store.counters();
+        assert_eq!((c.misses, c.corrupt), (1, 1));
+        assert!(!path.exists(), "corrupt entry is unlinked");
+        // The next lookup is a plain miss, not corrupt again.
+        assert_eq!(store.get_value::<Vec<u64>>("unit", key), None);
+        assert_eq!(store.counters().corrupt, 1);
+    }
+
+    #[test]
+    fn garbage_bytes_are_a_counted_miss() {
+        let td = TestDir::new();
+        let store = Store::open(&td.0).unwrap();
+        let key = Fingerprint(0x22);
+        let path = store.entry_path("unit", key);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        let garbage: Vec<u8> = (0..512u32).map(|i| (i * 31 % 251) as u8).collect();
+        fs::write(&path, garbage).unwrap();
+        assert_eq!(store.get_value::<Vec<u64>>("unit", key), None);
+        let c = store.counters();
+        assert_eq!((c.misses, c.corrupt), (1, 1));
+    }
+
+    #[test]
+    fn checksum_passes_but_payload_undecodable_is_corrupt() {
+        // A valid envelope around a payload that fails Codec decode:
+        // the typed read rejects and self-heals.
+        let td = TestDir::new();
+        let store = Store::open(&td.0).unwrap();
+        let key = Fingerprint(0x33);
+        store.put_raw("unit", key, Fingerprint(0), &[0xff; 3]);
+        assert_eq!(store.get_value::<Vec<u64>>("unit", key), None);
+        let c = store.counters();
+        assert_eq!((c.hits, c.misses, c.corrupt), (0, 1, 1));
+        assert!(!store.entry_path("unit", key).exists());
+    }
+
+    #[test]
+    fn wrong_schema_version_is_version_skew_not_corrupt() {
+        let td = TestDir::new();
+        let store = Store::open(&td.0).unwrap();
+        let key = Fingerprint(0x44);
+        store.put_value("unit", key, &vec![5u64]);
+        let path = store.entry_path("unit", key);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&(SCHEMA_VERSION + 1).to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(store.get_value::<Vec<u64>>("unit", key), None);
+        let c = store.counters();
+        assert_eq!((c.misses, c.version_skew, c.corrupt), (1, 1, 0));
+        assert!(path.exists(), "future-schema entries are left intact");
+    }
+
+    #[test]
+    fn crash_mid_write_leaves_only_an_unreadable_tmp_orphan() {
+        let td = TestDir::new();
+        let store = Store::open(&td.0).unwrap();
+        // Simulate a crash: the in-flight bytes reached tmp/ but the
+        // rename never happened.
+        fs::write(td.0.join("tmp").join("9999-0.tmp"), b"half an entry").unwrap();
+        let key = Fingerprint(0x55);
+        assert_eq!(store.get_value::<Vec<u64>>("unit", key), None);
+        let c = store.counters();
+        assert_eq!((c.misses, c.corrupt), (1, 0), "orphan is a plain miss");
+        assert_eq!(store.ls().len(), 0, "tmp orphans are not entries");
+    }
+
+    #[test]
+    fn mis_addressed_entry_is_corrupt() {
+        // A file copied to the wrong key (or wrong namespace) must not
+        // serve under that address.
+        let td = TestDir::new();
+        let store = Store::open(&td.0).unwrap();
+        store.put_value("unit", Fingerprint(0x66), &vec![9u64]);
+        let src = store.entry_path("unit", Fingerprint(0x66));
+        let dst = store.entry_path("unit", Fingerprint(0x77));
+        fs::copy(&src, &dst).unwrap();
+        assert_eq!(store.get_value::<Vec<u64>>("unit", Fingerprint(0x77)), None);
+        assert_eq!(store.counters().corrupt, 1);
+        let other = store.entry_path("other", Fingerprint(0x66));
+        fs::create_dir_all(other.parent().unwrap()).unwrap();
+        fs::copy(&src, &other).unwrap();
+        assert_eq!(
+            store.get_value::<Vec<u64>>("other", Fingerprint(0x66)),
+            None
+        );
+        assert_eq!(store.counters().corrupt, 2);
+    }
+
+    #[test]
+    fn gc_respects_budget_and_lru_order() {
+        let td = TestDir::new();
+        let store = Store::open(&td.0).unwrap();
+        for i in 0..8u64 {
+            store.put_value("unit", Fingerprint(i), &vec![i; 32]);
+        }
+        let per_entry = store.total_bytes() / 8;
+        // Touch entry 0 so it becomes the most recently used.
+        let now = SystemTime::now();
+        for (i, age) in (0..8u64).zip((1..9u64).rev()) {
+            let path = store.entry_path("unit", Fingerprint(i));
+            let f = File::options().write(true).open(&path).unwrap();
+            f.set_modified(now - Duration::from_secs(age * 10)).unwrap();
+        }
+        assert_eq!(
+            store.get_value::<Vec<u64>>("unit", Fingerprint(0)),
+            Some(vec![0u64; 32])
+        );
+        let budget = per_entry * 4;
+        let gc = store.gc(budget);
+        assert_eq!(gc.evicted, 4);
+        assert!(gc.remaining_bytes <= budget);
+        // The freshly-used entry 0 survives; the stalest (1..=4) go.
+        assert!(store.entry_path("unit", Fingerprint(0)).exists());
+        for i in 1..5u64 {
+            assert!(
+                !store.entry_path("unit", Fingerprint(i)).exists(),
+                "entry {i}"
+            );
+        }
+        assert_eq!(store.counters().evictions, 4);
+    }
+
+    #[test]
+    fn gc_never_evicts_a_pinned_entry() {
+        let td = TestDir::new();
+        let store = Store::open(&td.0).unwrap();
+        for i in 0..4u64 {
+            store.put_value("unit", Fingerprint(i), &vec![i; 32]);
+        }
+        let now = SystemTime::now();
+        for i in 0..4u64 {
+            let path = store.entry_path("unit", Fingerprint(i));
+            let f = File::options().write(true).open(&path).unwrap();
+            f.set_modified(now - Duration::from_secs((8 - i) * 10))
+                .unwrap();
+        }
+        // Pin the oldest entry — a reader mid-read — then demand an
+        // impossible budget.
+        let pin = store.pin("unit", Fingerprint(0));
+        let gc = store.gc(0);
+        assert_eq!(gc.evicted, 3);
+        assert!(store.entry_path("unit", Fingerprint(0)).exists());
+        drop(pin);
+        let gc = store.gc(0);
+        assert_eq!(gc.evicted, 1);
+        assert_eq!(store.total_bytes(), 0);
+    }
+
+    #[test]
+    fn gc_sweeps_stale_tmp_orphans_only() {
+        let td = TestDir::new();
+        let store = Store::open(&td.0).unwrap();
+        let stale = td.0.join("tmp").join("1-0.tmp");
+        let fresh = td.0.join("tmp").join("1-1.tmp");
+        fs::write(&stale, b"old").unwrap();
+        fs::write(&fresh, b"new").unwrap();
+        File::options()
+            .write(true)
+            .open(&stale)
+            .unwrap()
+            .set_modified(SystemTime::now() - TMP_SWEEP_AGE * 2)
+            .unwrap();
+        let gc = store.gc(u64::MAX);
+        assert_eq!(gc.tmp_swept, 1);
+        assert!(!stale.exists());
+        assert!(fresh.exists(), "a live writer's tmp file survives");
+    }
+
+    #[test]
+    fn ls_stats_and_clear() {
+        let td = TestDir::new();
+        let store = Store::open(&td.0).unwrap();
+        store.put_value("a", Fingerprint(1), &vec![1u64; 16]);
+        store.put_value("b", Fingerprint(2), &vec![2u64; 16]);
+        let entries = store.ls();
+        assert_eq!(entries.len(), 2);
+        let stats = store.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.bytes, store.total_bytes());
+        store.clear().unwrap();
+        assert_eq!(store.ls().len(), 0);
+        assert_eq!(store.get_value::<Vec<u64>>("a", Fingerprint(1)), None);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_share_a_dir_safely() {
+        let td = TestDir::new();
+        let store = Store::open(&td.0).unwrap();
+        let second = Store::open(&td.0).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let store = if t % 2 == 0 { &store } else { &second };
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        let key = Fingerprint(i % 8);
+                        store.put_value("race", key, &vec![i % 8; 64]);
+                        if let Some(v) = store.get_value::<Vec<u64>>("race", key) {
+                            assert_eq!(v, vec![i % 8; 64], "torn or mixed read");
+                        }
+                    }
+                });
+            }
+        });
+        let c = store.counters();
+        assert_eq!(c.corrupt, 0, "no torn writes observed");
+        assert_eq!(second.counters().corrupt, 0);
+    }
+}

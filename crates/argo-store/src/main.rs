@@ -1,0 +1,141 @@
+//! `argo-store` — inspect and maintain a persistent artifact store.
+//!
+//! ```sh
+//! argo-store stats --dir .argo-store
+//! argo-store ls    --dir .argo-store
+//! argo-store gc    --dir .argo-store --budget 67108864
+//! argo-store clear --dir .argo-store
+//! ```
+//!
+//! Exits 0 on success, 2 on usage or I/O errors.
+
+use argo_store::Store;
+use std::process::ExitCode;
+use std::time::SystemTime;
+
+const USAGE: &str = "argo-store — persistent artifact store maintenance
+
+USAGE:
+    argo-store stats --dir DIR           entry count, bytes, counters
+    argo-store ls    --dir DIR           all entries, newest-used first
+    argo-store gc    --dir DIR --budget BYTES
+                                         evict LRU entries over the budget
+    argo-store clear --dir DIR           remove every entry
+    argo-store help
+";
+
+struct Options {
+    dir: String,
+    budget: Option<u64>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut dir = None;
+    let mut budget = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--dir" => dir = Some(value()?.to_string()),
+            "--budget" => {
+                budget = Some(value()?.parse().map_err(|_| "bad --budget".to_string())?);
+            }
+            other => return Err(format!("unknown flag `{other}` (see `argo-store help`)")),
+        }
+    }
+    Ok(Options {
+        dir: dir.ok_or("missing --dir DIR")?,
+        budget,
+    })
+}
+
+fn run(cmd: &str, args: &[String]) -> Result<(), String> {
+    let opts = parse_args(args)?;
+    let store = Store::open(&opts.dir).map_err(|e| format!("opening {}: {e}", opts.dir))?;
+    match cmd {
+        "stats" => {
+            let stats = store.stats();
+            println!("store: {}", opts.dir);
+            println!("entries: {}", stats.entries);
+            println!("bytes: {}", stats.bytes);
+            let c = stats.counters;
+            println!(
+                "counters: {} hits, {} misses, {} corrupt, {} version-skew, \
+                 {} evictions, {} write-errors",
+                c.hits, c.misses, c.corrupt, c.version_skew, c.evictions, c.write_errors
+            );
+            Ok(())
+        }
+        "ls" => {
+            let now = SystemTime::now();
+            for entry in store.ls() {
+                let age = now
+                    .duration_since(entry.last_used)
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0);
+                println!(
+                    "{:<12} {:016x} {:>10} B  used {age}s ago",
+                    entry.namespace, entry.key.0, entry.bytes
+                );
+            }
+            Ok(())
+        }
+        "gc" => {
+            let budget = opts.budget.ok_or("gc needs --budget BYTES")?;
+            let gc = store.gc(budget);
+            println!(
+                "evicted {} entries ({} B), swept {} tmp orphans, {} B remain",
+                gc.evicted, gc.reclaimed_bytes, gc.tmp_swept, gc.remaining_bytes
+            );
+            Ok(())
+        }
+        "clear" => {
+            store
+                .clear()
+                .map_err(|e| format!("clearing {}: {e}", opts.dir))?;
+            println!("cleared {}", opts.dir);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(cmd) => match run(cmd, &args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("argo-store: {e}");
+                ExitCode::from(2)
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse() {
+        let args: Vec<String> = ["--dir", "/tmp/s", "--budget", "1024"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse_args(&args).unwrap();
+        assert_eq!(o.dir, "/tmp/s");
+        assert_eq!(o.budget, Some(1024));
+        assert!(parse_args(&[]).is_err(), "--dir is required");
+        assert!(parse_args(&["--budget".to_string(), "x".into()]).is_err());
+        assert!(parse_args(&["--frob".to_string()]).is_err());
+    }
+}

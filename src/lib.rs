@@ -21,6 +21,9 @@
 //! * [`apps`] — the three evaluation use cases (§ IV);
 //! * [`dse`] — parallel design-space exploration with three-tier
 //!   artifact caching and Pareto reporting (§ III);
+//! * [`store`] — persistent content-addressed artifact store backing
+//!   the `dse` cache tiers and the per-point outcome archive, enabling
+//!   warm-started, incremental re-exploration across processes;
 //! * [`search`] — budgeted metaheuristic search strategies (genetic,
 //!   simulated annealing, successive halving) steering `dse` sweeps
 //!   over large lattices;
@@ -54,6 +57,7 @@ pub use argo_parir as parir;
 pub use argo_sched as sched;
 pub use argo_search as search;
 pub use argo_sim as sim;
+pub use argo_store as store;
 pub use argo_transform as transform;
 pub use argo_verify as verify;
 pub use argo_wcet as wcet;

@@ -6,7 +6,9 @@ use argo_core::SchedulerKind;
 use argo_dse::pareto::{dominates, pareto_front};
 use argo_dse::{DesignSpace, Explorer, PlatformKind};
 use argo_ir::parse::parse_program;
+use argo_store::Store;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -137,6 +139,114 @@ fn repeated_exploration_is_deterministic_and_cached() {
         sched_rate >= 0.5,
         "schedule-tier hit rate below 50% after a repeat sweep: {sched_rate:.2}"
     );
+}
+
+/// The persistent path of the same guarantee: a *fresh* explorer (the
+/// cold-process shape — its in-memory cache is empty) over a store dir
+/// populated by an earlier explorer replays every point from the
+/// archive, reports a ≥95% combined hit rate, and emits byte-identical
+/// reports.
+#[test]
+fn cold_explorer_over_a_populated_store_warm_starts() {
+    let dir = std::env::temp_dir().join(format!("argo-dse-warm-start-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let space = tiny_space();
+
+    let cold_report = {
+        let mut ex = Explorer::with_threads(4);
+        ex.register_program("tiny", parse_program(TINY).unwrap(), "main");
+        let ex = ex.with_store(Arc::new(Store::open(&dir).unwrap()));
+        let report = ex.explore(&space);
+        // The cold run misses the store everywhere (tiers and archive)
+        // but populates it.
+        assert_eq!(report.cache.point_store_hits, 0);
+        assert_eq!(report.cache.point_store_misses, 12);
+        assert!(report.cache.store_hits() == 0);
+        report
+    };
+    assert_eq!(cold_report.failures(), 0);
+
+    let warm_report = {
+        let mut ex = Explorer::with_threads(4);
+        ex.register_program("tiny", parse_program(TINY).unwrap(), "main");
+        let ex = ex.with_store(Arc::new(Store::open(&dir).unwrap()));
+        ex.explore(&space)
+    };
+
+    // Every point replays from the archive: no pipeline stage runs.
+    assert_eq!(warm_report.cache.point_store_hits, 12);
+    assert_eq!(warm_report.cache.point_store_misses, 0);
+    assert_eq!(
+        warm_report.timing.frontend.runs + warm_report.timing.backend.runs,
+        0,
+        "a full warm start runs no stages"
+    );
+    let combined = warm_report.cache.combined_hit_rate();
+    assert!(
+        combined >= 0.95,
+        "combined hit rate through the populated store must be ≥95%: {combined:.2}"
+    );
+
+    // And the replayed report is byte-identical to the cold one.
+    assert_eq!(cold_report.to_csv(), warm_report.to_csv());
+    assert_eq!(cold_report.pareto, warm_report.pareto);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The incremental half of the contract: after a program edit, the
+/// point fingerprints differ, so a warm explorer re-evaluates the
+/// changed points instead of replaying stale outcomes — and the
+/// original program still replays from its own entries.
+#[test]
+fn changed_fingerprints_re_evaluate_instead_of_replaying() {
+    let dir = std::env::temp_dir().join(format!("argo-dse-incr-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let space = DesignSpace::new()
+        .app("tiny")
+        .cores(vec![2])
+        .schedulers(vec![SchedulerKind::List, SchedulerKind::Anneal]);
+    // The "edit": same shape, one constant changed.
+    let edited = TINY.replace("* 2.0", "* 3.0");
+    assert_ne!(edited, TINY);
+
+    let run = |src: &str| {
+        let mut ex = Explorer::with_threads(2);
+        ex.register_program("tiny", parse_program(src).unwrap(), "main");
+        let ex = ex.with_store(Arc::new(Store::open(&dir).unwrap()));
+        ex.explore(&space).cache
+    };
+
+    let first = run(TINY);
+    assert_eq!((first.point_store_hits, first.point_store_misses), (0, 2));
+
+    // Edited program → different content fingerprint → every point key
+    // changes → all archive lookups miss and re-evaluate.
+    let after_edit = run(&edited);
+    assert_eq!(
+        (after_edit.point_store_hits, after_edit.point_store_misses),
+        (0, 2),
+        "changed inputs must not replay archived outcomes"
+    );
+
+    // Both versions now sit in the archive: each replays fully.
+    let original_again = run(TINY);
+    assert_eq!(
+        (
+            original_again.point_store_hits,
+            original_again.point_store_misses
+        ),
+        (2, 0)
+    );
+    let edited_again = run(&edited);
+    assert_eq!(
+        (
+            edited_again.point_store_hits,
+            edited_again.point_store_misses
+        ),
+        (2, 0)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The same space explored by a fresh explorer with a different thread
