@@ -3,7 +3,8 @@
 //! Times the inner-loop hot paths of the tool-chain (interpreter
 //! statement execution, value-analysis fixpoint, list scheduling, one
 //! full post-backend verification pass, one persistent-store round
-//! trip of a `BackendResult`) plus the end-to-end e1/e2
+//! trip of a `BackendResult`, one hot `argo-serve` request/response
+//! roundtrip over a local socket) plus the end-to-end e1/e2
 //! experiment wall time, and writes one JSON file
 //! with `median_ns` and a derived throughput per bench. When a baseline
 //! file is given (`--baseline PATH`, a previous output of this harness),
@@ -176,6 +177,40 @@ fn bench_store_roundtrip(samples: usize) -> BenchRow {
     }
 }
 
+fn bench_serve_roundtrip(samples: usize) -> BenchRow {
+    // Steady state: an in-process `argo-serve` daemon over a populated
+    // store; the warm-up request fills the point archive, so the
+    // measured quantity is one local-socket request → cached-response
+    // roundtrip (wire parse, single-flight entry, archive read,
+    // response emit) — the latency a hot client pays per request.
+    let dir = std::env::temp_dir().join(format!("argo-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = argo_store::Store::open(&dir).expect("store opens");
+    let explorer = argo_dse::Explorer::with_threads(2).with_store(std::sync::Arc::new(store));
+    let server = argo_serve::Server::start(
+        argo_serve::Listener::tcp("127.0.0.1:0").expect("bind"),
+        explorer,
+        argo_serve::ServeConfig::default(),
+    )
+    .expect("server starts");
+    let mut client = argo_serve::Client::connect_tcp(server.addr()).expect("connect");
+    let request = r#"{"id": 1, "kind": "compile", "app": "egpws", "cores": 2}"#;
+    let median = time_n(samples, || {
+        let reply = client.request(request).expect("roundtrip");
+        assert!(reply.is_ok(), "{}", reply.terminal);
+        std::hint::black_box(reply.terminal.len());
+    });
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+    BenchRow {
+        name: "serve_roundtrip",
+        median_ns: median,
+        items: 1,
+        unit: "requests",
+    }
+}
+
 fn bench_e1(samples: usize) -> BenchRow {
     let median = time_n(samples, || {
         std::hint::black_box(argo_bench::e1_toolflow().len());
@@ -238,6 +273,7 @@ fn main() {
         bench_list_1000(samples),
         bench_verify(samples),
         bench_store_roundtrip(samples),
+        bench_serve_roundtrip(samples),
         bench_e1(e2e_samples),
         bench_e2(e2e_samples),
     ];

@@ -178,7 +178,8 @@ pub fn frontend(
     core_count: usize,
     cfg: &ToolchainConfig,
 ) -> Result<FrontendArtifact, Diagnostic> {
-    session::run_frontend_impl(program, entry, core_count, cfg, None)
+    let seq = std::sync::atomic::AtomicU64::new(0);
+    session::run_frontend_impl(program, entry, core_count, cfg, None, &seq)
 }
 
 /// Computes the feedback round-0 code-level WCETs: every task costed on
@@ -195,7 +196,8 @@ pub fn seed_costs(
     entry: &str,
     platform: &Platform,
 ) -> Result<CostTable, Diagnostic> {
-    session::run_seed_costs_impl(artifact, entry, platform, None)
+    let seq = std::sync::atomic::AtomicU64::new(0);
+    session::run_seed_costs_impl(artifact, entry, platform, None, &seq)
 }
 
 /// Runs the platform-side stages on a frontend artifact: the iterative
@@ -214,7 +216,8 @@ pub fn backend(
     cfg: &ToolchainConfig,
     seed: Option<&CostTable>,
 ) -> Result<BackendResult, Diagnostic> {
-    session::run_backend_impl(artifact, entry, platform, cfg, seed, None, None)
+    let seq = std::sync::atomic::AtomicU64::new(0);
+    session::run_backend_impl(artifact, entry, platform, cfg, seed, None, &seq, None)
 }
 
 /// Runs the complete ARGO flow on `program` for `platform` — a thin

@@ -32,6 +32,9 @@ use std::time::Duration;
 /// What a finished stage produced: fingerprint, description, timing.
 #[derive(Debug, Clone)]
 pub struct StageSummary {
+    /// Per-session monotonically increasing event sequence number (see
+    /// [`StageObserver`]).
+    pub seq: u64,
     /// The stage that finished.
     pub stage: Stage,
     /// Canonical fingerprint of the artifact the stage produced.
@@ -46,6 +49,9 @@ pub struct StageSummary {
 /// and memory placement, for convergence tracing.
 #[derive(Debug, Clone)]
 pub struct FeedbackSnapshot {
+    /// Per-session monotonically increasing event sequence number (see
+    /// [`StageObserver`]).
+    pub seq: u64,
     /// Round index (0-based).
     pub round: u32,
     /// Task → core mapping the scheduler chose this round.
@@ -68,10 +74,19 @@ pub struct FeedbackSnapshot {
 /// `on_stage_finish` on success, `on_stage_error` on failure — so
 /// event streams stay well-nested even across failing points (a DSE
 /// sweep routinely mixes both on one shared observer).
+///
+/// Every event carries a `seq` number drawn from one per-session
+/// counter ([`Toolflow`](crate::Toolflow) allocates it; the legacy
+/// free functions use a fresh counter per call). Within a session,
+/// `seq` is strictly increasing in emission order across *all* event
+/// kinds — stage starts, finishes, errors and feedback rounds share
+/// the counter — so consumers that receive events over a reordering
+/// transport (e.g. the `argo-serve` progress stream) can restore
+/// emission order and drop duplicates.
 pub trait StageObserver {
     /// A pipeline stage is about to run.
-    fn on_stage_start(&self, stage: Stage) {
-        let _ = stage;
+    fn on_stage_start(&self, stage: Stage, seq: u64) {
+        let _ = (stage, seq);
     }
 
     /// A pipeline stage finished, producing the summarized artifact.
@@ -81,8 +96,8 @@ pub trait StageObserver {
 
     /// A pipeline stage failed with the given diagnostic (the terminal
     /// event for that stage — no `on_stage_finish` follows).
-    fn on_stage_error(&self, stage: Stage, diagnostic: &crate::Diagnostic) {
-        let _ = (stage, diagnostic);
+    fn on_stage_error(&self, stage: Stage, seq: u64, diagnostic: &crate::Diagnostic) {
+        let _ = (stage, seq, diagnostic);
     }
 
     /// One backend feedback round completed.
@@ -100,14 +115,26 @@ impl StageObserver for NullObserver {}
 /// One recorded observer callback, in arrival order.
 #[derive(Debug, Clone)]
 pub enum StageEvent {
-    /// `on_stage_start`.
-    Started(Stage),
+    /// `on_stage_start` (stage, seq).
+    Started(Stage, u64),
     /// `on_stage_finish`.
     Finished(StageSummary),
-    /// `on_stage_error`.
-    Errored(Stage, crate::Diagnostic),
+    /// `on_stage_error` (stage, seq, diagnostic).
+    Errored(Stage, u64, crate::Diagnostic),
     /// `on_feedback_round`.
     Feedback(FeedbackSnapshot),
+}
+
+impl StageEvent {
+    /// The event's per-session sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            StageEvent::Started(_, seq) => *seq,
+            StageEvent::Finished(s) => s.seq,
+            StageEvent::Errored(_, seq, _) => *seq,
+            StageEvent::Feedback(s) => s.seq,
+        }
+    }
 }
 
 /// An observer that records every event, for tests, reports and
@@ -153,10 +180,15 @@ impl CollectingObserver {
         self.events()
             .iter()
             .filter_map(|e| match e {
-                StageEvent::Errored(s, d) => Some((*s, d.clone())),
+                StageEvent::Errored(s, _, d) => Some((*s, d.clone())),
                 _ => None,
             })
             .collect()
+    }
+
+    /// Sequence numbers of all recorded events, in arrival order.
+    pub fn seqs(&self) -> Vec<u64> {
+        self.events().iter().map(StageEvent::seq).collect()
     }
 
     /// `true` when stage events are well-nested: every `Started(s)` is
@@ -168,7 +200,7 @@ impl CollectingObserver {
         let mut open: Option<Stage> = None;
         for ev in self.events() {
             match ev {
-                StageEvent::Started(s) => {
+                StageEvent::Started(s, _) => {
                     if open.is_some() {
                         return false;
                     }
@@ -180,7 +212,7 @@ impl CollectingObserver {
                     }
                     open = None;
                 }
-                StageEvent::Errored(s, _) => {
+                StageEvent::Errored(s, _, _) => {
                     if open != Some(s) {
                         return false;
                     }
@@ -209,8 +241,11 @@ impl CollectingObserver {
 }
 
 impl StageObserver for CollectingObserver {
-    fn on_stage_start(&self, stage: Stage) {
-        self.events.lock().unwrap().push(StageEvent::Started(stage));
+    fn on_stage_start(&self, stage: Stage, seq: u64) {
+        self.events
+            .lock()
+            .unwrap()
+            .push(StageEvent::Started(stage, seq));
     }
 
     fn on_stage_finish(&self, summary: &StageSummary) {
@@ -220,11 +255,11 @@ impl StageObserver for CollectingObserver {
             .push(StageEvent::Finished(summary.clone()));
     }
 
-    fn on_stage_error(&self, stage: Stage, diagnostic: &crate::Diagnostic) {
+    fn on_stage_error(&self, stage: Stage, seq: u64, diagnostic: &crate::Diagnostic) {
         self.events
             .lock()
             .unwrap()
-            .push(StageEvent::Errored(stage, diagnostic.clone()));
+            .push(StageEvent::Errored(stage, seq, diagnostic.clone()));
     }
 
     fn on_feedback_round(&self, snapshot: &FeedbackSnapshot) {
@@ -266,7 +301,7 @@ impl<W: Write> TraceObserver<W> {
 }
 
 impl<W: Write> StageObserver for TraceObserver<W> {
-    fn on_stage_start(&self, stage: Stage) {
+    fn on_stage_start(&self, stage: Stage, _seq: u64) {
         let mut out = self.out.lock().unwrap();
         let _ = writeln!(out, "[toolflow] {stage} ...");
     }
@@ -280,7 +315,7 @@ impl<W: Write> StageObserver for TraceObserver<W> {
         );
     }
 
-    fn on_stage_error(&self, stage: Stage, diagnostic: &crate::Diagnostic) {
+    fn on_stage_error(&self, stage: Stage, _seq: u64, diagnostic: &crate::Diagnostic) {
         let mut out = self.out.lock().unwrap();
         let _ = writeln!(out, "[toolflow] {stage} FAILED — {diagnostic}");
     }
@@ -303,8 +338,9 @@ impl<W: Write> StageObserver for TraceObserver<W> {
 mod tests {
     use super::*;
 
-    fn summary(stage: Stage) -> StageSummary {
+    fn summary(stage: Stage, seq: u64) -> StageSummary {
         StageSummary {
+            seq,
             stage,
             fingerprint: Fingerprint(7),
             detail: "x".into(),
@@ -315,10 +351,11 @@ mod tests {
     #[test]
     fn well_nested_accepts_ordered_pairs() {
         let obs = CollectingObserver::new();
-        obs.on_stage_start(Stage::Frontend);
-        obs.on_stage_finish(&summary(Stage::Frontend));
-        obs.on_stage_start(Stage::Backend);
+        obs.on_stage_start(Stage::Frontend, 0);
+        obs.on_stage_finish(&summary(Stage::Frontend, 1));
+        obs.on_stage_start(Stage::Backend, 2);
         obs.on_feedback_round(&FeedbackSnapshot {
+            seq: 3,
             round: 0,
             assignment: vec![CoreId(0)],
             makespan: 5,
@@ -326,25 +363,27 @@ mod tests {
             shared_resident: 1,
             stable: true,
         });
-        obs.on_stage_finish(&summary(Stage::Backend));
+        obs.on_stage_finish(&summary(Stage::Backend, 4));
         assert!(obs.well_nested());
         assert_eq!(obs.finished_count(Stage::Frontend), 1);
         assert_eq!(obs.feedback_rounds().len(), 1);
+        assert_eq!(obs.seqs(), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
     fn well_nested_rejects_unclosed_and_crossed_stages() {
         let open = CollectingObserver::new();
-        open.on_stage_start(Stage::Frontend);
+        open.on_stage_start(Stage::Frontend, 0);
         assert!(!open.well_nested());
 
         let crossed = CollectingObserver::new();
-        crossed.on_stage_start(Stage::Frontend);
-        crossed.on_stage_finish(&summary(Stage::Backend));
+        crossed.on_stage_start(Stage::Frontend, 0);
+        crossed.on_stage_finish(&summary(Stage::Backend, 1));
         assert!(!crossed.well_nested());
 
         let stray = CollectingObserver::new();
         stray.on_feedback_round(&FeedbackSnapshot {
+            seq: 0,
             round: 0,
             assignment: vec![],
             makespan: 0,
@@ -358,8 +397,8 @@ mod tests {
     #[test]
     fn trace_observer_writes_lines() {
         let obs = TraceObserver::new(Vec::<u8>::new());
-        obs.on_stage_start(Stage::Frontend);
-        obs.on_stage_finish(&summary(Stage::Frontend));
+        obs.on_stage_start(Stage::Frontend, 0);
+        obs.on_stage_finish(&summary(Stage::Frontend, 1));
         let text = String::from_utf8(obs.into_inner()).unwrap();
         assert!(text.contains("frontend ..."), "{text}");
         assert!(text.contains("frontend done"), "{text}");

@@ -36,6 +36,7 @@ use argo_wcet::system::{analyze, task_shared_accesses};
 use argo_wcet::value::loop_bounds_resolved;
 use std::borrow::Cow;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -114,6 +115,11 @@ pub struct Toolflow<'a> {
     sched_cache: Option<&'a dyn ScheduleCache>,
     /// Memoized content fingerprint of the (printed) program.
     program_fp: OnceLock<Fingerprint>,
+    /// Per-session observer-event sequence counter (see
+    /// [`StageObserver`]): shared by every stage this session runs, so
+    /// event `seq` numbers are strictly increasing across the whole
+    /// session, including extension stages.
+    seq: AtomicU64,
 }
 
 impl<'a> Toolflow<'a> {
@@ -128,6 +134,7 @@ impl<'a> Toolflow<'a> {
             observer: None,
             sched_cache: None,
             program_fp: OnceLock::new(),
+            seq: AtomicU64::new(0),
         }
     }
 
@@ -144,6 +151,7 @@ impl<'a> Toolflow<'a> {
             observer: None,
             sched_cache: None,
             program_fp: OnceLock::new(),
+            seq: AtomicU64::new(0),
         }
     }
 
@@ -216,6 +224,14 @@ impl<'a> Toolflow<'a> {
     /// the built-in stages do.
     pub fn configured_observer(&self) -> Option<&'a dyn StageObserver> {
         self.observer
+    }
+
+    /// Allocates the next observer-event sequence number from the
+    /// session's counter. Extension stages (e.g. `argo-verify`'s
+    /// `run_verify`) draw from this so their events slot into the same
+    /// strictly increasing per-session sequence as the built-in stages.
+    pub fn next_observer_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
     }
 
     fn require_platform(&self, stage: Stage) -> Result<&'a Platform, Diagnostic> {
@@ -296,6 +312,7 @@ impl<'a> Toolflow<'a> {
             platform.core_count(),
             &self.cfg,
             self.observer,
+            &self.seq,
         )
     }
 
@@ -308,7 +325,7 @@ impl<'a> Toolflow<'a> {
     /// Returns a [`Diagnostic`] if the code-level analysis fails.
     pub fn run_seed_costs(&self, artifact: &FrontendArtifact) -> Result<CostTable, Diagnostic> {
         let platform = self.require_platform(Stage::SeedCosts)?;
-        run_seed_costs_impl(artifact, &self.entry, platform, self.observer)
+        run_seed_costs_impl(artifact, &self.entry, platform, self.observer, &self.seq)
     }
 
     /// Runs the backend stage on a frontend artifact: the iterative
@@ -337,6 +354,7 @@ impl<'a> Toolflow<'a> {
             &self.cfg,
             seed,
             self.observer,
+            &self.seq,
             self.sched_cache,
         )
     }
@@ -371,17 +389,19 @@ pub(crate) fn validate_platform(platform: &Platform) -> Result<(), Diagnostic> {
 /// attached, the summary (fingerprint + detail) is never computed.
 fn observed_stage<T: Artifact>(
     obs: Option<&dyn StageObserver>,
+    seq: &AtomicU64,
     stage: Stage,
     body: impl FnOnce() -> Result<T, Diagnostic>,
 ) -> Result<T, Diagnostic> {
     let Some(obs) = obs else {
         return body();
     };
-    obs.on_stage_start(stage);
+    obs.on_stage_start(stage, seq.fetch_add(1, Ordering::Relaxed));
     let t0 = Instant::now();
     match body() {
         Ok(artifact) => {
             obs.on_stage_finish(&StageSummary {
+                seq: seq.fetch_add(1, Ordering::Relaxed),
                 stage,
                 fingerprint: artifact.fingerprint(),
                 detail: artifact.summary(),
@@ -390,7 +410,7 @@ fn observed_stage<T: Artifact>(
             Ok(artifact)
         }
         Err(diagnostic) => {
-            obs.on_stage_error(stage, &diagnostic);
+            obs.on_stage_error(stage, seq.fetch_add(1, Ordering::Relaxed), &diagnostic);
             Err(diagnostic)
         }
     }
@@ -409,8 +429,9 @@ pub(crate) fn run_frontend_impl(
     core_count: usize,
     cfg: &ToolchainConfig,
     obs: Option<&dyn StageObserver>,
+    seq: &AtomicU64,
 ) -> Result<FrontendArtifact, Diagnostic> {
-    observed_stage(obs, Stage::Frontend, move || {
+    observed_stage(obs, seq, Stage::Frontend, move || {
         argo_ir::validate::validate(&program)
             .map_err(|e| frontend_err(ErrorCode::InvalidProgram, e))?;
         if program.function(entry).is_none() {
@@ -487,8 +508,9 @@ pub(crate) fn run_seed_costs_impl(
     entry: &str,
     platform: &Platform,
     obs: Option<&dyn StageObserver>,
+    seq: &AtomicU64,
 ) -> Result<CostTable, Diagnostic> {
-    observed_stage(obs, Stage::SeedCosts, || {
+    observed_stage(obs, seq, Stage::SeedCosts, || {
         let mem = all_shared_map(&artifact.program, entry);
         let ctx = CostCtx::new(&artifact.program, platform, argo_adl::CoreId(0), 1, &mem);
         let fw = function_wcets(&ctx, &artifact.bounds).map_err(seed_err)?;
@@ -517,10 +539,11 @@ pub(crate) fn run_backend_impl(
     cfg: &ToolchainConfig,
     seed: Option<&CostTable>,
     obs: Option<&dyn StageObserver>,
+    seq: &AtomicU64,
     sched_cache: Option<&dyn ScheduleCache>,
 ) -> Result<BackendResult, Diagnostic> {
     validate_platform(platform)?;
-    observed_stage(obs, Stage::Backend, move || {
+    observed_stage(obs, seq, Stage::Backend, move || {
         let FrontendArtifact {
             program,
             bounds,
@@ -632,6 +655,7 @@ pub(crate) fn run_backend_impl(
                     .filter(|(_, p)| matches!(p.space, MemSpace::Spm(_)))
                     .count();
                 obs.on_feedback_round(&FeedbackSnapshot {
+                    seq: seq.fetch_add(1, Ordering::Relaxed),
                     round,
                     assignment: assignment.clone().expect("just set"),
                     makespan,

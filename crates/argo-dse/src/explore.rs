@@ -170,11 +170,26 @@ impl Explorer {
         self.evaluate_observed(point, space, None)
     }
 
+    /// Like [`Explorer::evaluate_point`], but attaches `obs` to the
+    /// point's toolflow session so stage events stream to the caller
+    /// while the evaluation runs — a point answered entirely from the
+    /// point archive emits no events. This is the per-request entry
+    /// point of `argo-serve`, which forwards the events to clients as
+    /// progress frames.
+    pub fn evaluate_point_observed(
+        &self,
+        point: ExplorationPoint,
+        space: &DesignSpace,
+        obs: &dyn argo_core::StageObserver,
+    ) -> ReportRow {
+        self.evaluate_observed(point, space, Some(obs))
+    }
+
     fn evaluate_observed(
         &self,
         point: ExplorationPoint,
         space: &DesignSpace,
-        obs: Option<&TimingObserver>,
+        obs: Option<&dyn argo_core::StageObserver>,
     ) -> ReportRow {
         match self.resolve(&point.app, space.seed) {
             Ok(app) => self.evaluate(&app, point, space, obs),
@@ -300,7 +315,7 @@ impl Explorer {
         app: &ResolvedApp,
         point: ExplorationPoint,
         space: &DesignSpace,
-        obs: Option<&TimingObserver>,
+        obs: Option<&dyn argo_core::StageObserver>,
     ) -> ReportRow {
         let cfg = ToolchainConfig {
             granularity: point.granularity,
@@ -355,7 +370,7 @@ impl Explorer {
         app: &ResolvedApp,
         cfg: &ToolchainConfig,
         platform: &argo_adl::Platform,
-        obs: Option<&TimingObserver>,
+        obs: Option<&dyn argo_core::StageObserver>,
     ) -> Result<PointMetrics, Diagnostic> {
         if let Err(e) = platform.validate() {
             return Err(

@@ -90,6 +90,7 @@ mod tests {
 
     fn summary(stage: Stage, ms: u64) -> StageSummary {
         StageSummary {
+            seq: 0,
             stage,
             fingerprint: Fingerprint(1),
             detail: String::new(),

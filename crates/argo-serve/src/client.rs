@@ -1,0 +1,109 @@
+//! A small blocking client for the wire protocol — used by the replay
+//! driver, the benches, the tests and the quickstart example.
+
+use crate::proto::Value;
+use crate::server::Conn;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+
+/// The reply to one request: the terminal frame plus any progress
+/// frames that streamed before it.
+#[derive(Debug)]
+pub struct Reply {
+    /// Progress frames, in arrival order (raw lines).
+    pub progress: Vec<String>,
+    /// The terminal frame line (`"frame":"response"` or `"frame":"error"`).
+    pub terminal: String,
+}
+
+impl Reply {
+    /// Parses the terminal frame.
+    pub fn frame(&self) -> Result<Value, String> {
+        Value::parse(&self.terminal)
+    }
+
+    /// Whether the terminal frame is a successful response.
+    pub fn is_ok(&self) -> bool {
+        self.frame()
+            .ok()
+            .and_then(|f| f.get("ok").and_then(Value::as_bool))
+            .unwrap_or(false)
+    }
+}
+
+/// One connection to a running `argo-serve` daemon.
+pub struct Client {
+    reader: BufReader<Conn>,
+    writer: Conn,
+}
+
+impl Client {
+    /// Connects over TCP (`host:port`).
+    pub fn connect_tcp(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Requests are single lines awaiting a reply — never batch.
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(Conn::Tcp(stream.try_clone()?));
+        Ok(Client {
+            reader,
+            writer: Conn::Tcp(stream),
+        })
+    }
+
+    /// Connects over a Unix socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &str) -> io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        let reader = BufReader::new(Conn::Unix(stream.try_clone()?));
+        Ok(Client {
+            reader,
+            writer: Conn::Unix(stream),
+        })
+    }
+
+    /// Sends one request line (a complete JSON object, no newline).
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads the next frame line.
+    pub fn read_frame(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Sends a request and collects frames until its terminal frame
+    /// (response or protocol error) arrives. Progress frames — this
+    /// request's or interleaved ones from other in-flight requests on
+    /// this connection — are accumulated in [`Reply::progress`].
+    pub fn request(&mut self, line: &str) -> io::Result<Reply> {
+        self.send_line(line)?;
+        let mut progress = Vec::new();
+        loop {
+            let frame = self.read_frame()?;
+            if frame.starts_with("{\"frame\":\"response\"")
+                || frame.starts_with("{\"frame\":\"error\"")
+            {
+                return Ok(Reply {
+                    progress,
+                    terminal: frame,
+                });
+            }
+            progress.push(frame);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! `argo-serve` — a long-running daemon serving the ARGO toolflow to
+//! concurrent clients over a JSON-lines wire protocol.
+//!
+//! A compile server for WCET-aware parallelization: instead of paying
+//! the full pipeline per CLI invocation, clients connect to one daemon
+//! that keeps the three-tier artifact cache warm, coalesces concurrent
+//! identical requests ([`SingleFlight`]) and shares one persistent
+//! [`argo_store`] directory across every session — a warm store
+//! answers a repeated request with zero pipeline stages.
+//!
+//! # Transport
+//!
+//! TCP or a Unix domain socket. Each direction carries one JSON object
+//! per `\n`-terminated line; no framing beyond that. A connection is a
+//! *session*: requests on it may be pipelined, and each carries a
+//! client-chosen `id` echoed on every frame emitted for it.
+//!
+//! # Request frames (client → server)
+//!
+//! ```text
+//! {"id": N, "kind": "...", "progress": bool, ...kind-specific fields}
+//! ```
+//!
+//! | `kind`     | fields | reply |
+//! |------------|--------|-------|
+//! | `compile`  | point spec (below) | point metrics |
+//! | `verify`   | point spec | verification verdict |
+//! | `explore`  | sweep spec (below) | totals + Pareto front |
+//! | `search`   | sweep spec + `strategy`, `budget`, `stall` | totals + Pareto front |
+//! | `stats`    | — | server/session/cache/store counters |
+//! | `shutdown` | — | `ok`, then the daemon exits |
+//!
+//! **Point spec** (`compile`/`verify`; all fields optional, defaults in
+//! parens): `app` (`"egpws"`), `platform` `bus|noc` (`bus`), `cores`
+//! (4), `scheduler` `list|bnb|anneal` (`list`), `granularity`
+//! `loop|block|stmt` (`loop`), `chunk` (true), `spm` bytes or null
+//! (null = platform default), `mhp` `naive|static|windows` (`static`),
+//! `seed` (42), `rounds` (3).
+//!
+//! **Sweep spec** (`explore`/`search`): the same axes pluralized as
+//! arrays — `apps`, `platforms`, `cores`, `schedulers`,
+//! `granularities`, `chunking`, `spms` — plus scalar `mhp`, `seed`,
+//! `rounds`. Omitted axes default to one-element lists matching the
+//! point-spec defaults.
+//!
+//! # Reply frames (server → client)
+//!
+//! Terminal frame, exactly one per request — either a response:
+//!
+//! ```text
+//! {"frame":"response","id":N,"ok":true,"kind":"compile","result":{...}}
+//! {"frame":"response","id":N,"ok":false,"kind":"compile","label":"...",
+//!  "error":{"stage":"...","code":"...","entity":...,"message":"..."}}
+//! ```
+//!
+//! or a protocol error (the request never reached the pipeline):
+//!
+//! ```text
+//! {"frame":"error","id":N,"error":{"code":"bad-request|over-capacity|space-too-large",
+//!  "message":"..."}}
+//! ```
+//!
+//! Pipeline failures are `"ok":false` responses carrying the toolflow's
+//! structured [`Diagnostic`](argo_core::Diagnostic) (stage / code /
+//! entity / message); protocol errors are admission failures. Response
+//! bodies are deterministic — no timestamps, ids or timings — so
+//! coalesced requests share the leader's bytes and a warm-store replay
+//! is byte-identical to the cold run.
+//!
+//! Before the terminal frame, a request sent with `"progress": true`
+//! streams progress frames. For point requests these mirror the
+//! session's [`StageObserver`](argo_core::StageObserver) events,
+//! stamped with the per-session monotonic `seq`:
+//!
+//! ```text
+//! {"frame":"progress","id":N,"seq":S,"event":"start","stage":"frontend"}
+//! {"frame":"progress","id":N,"seq":S,"event":"finish","stage":"backend",
+//!  "detail":"...","elapsed_us":U,"fingerprint":"0123456789abcdef"}
+//! {"frame":"progress","id":N,"seq":S,"event":"error","stage":"...","error":{...}}
+//! {"frame":"progress","id":N,"seq":S,"event":"feedback","round":R,"makespan":M}
+//! ```
+//!
+//! `seq` is strictly increasing in emission order within one pipeline
+//! run, so a client can restore order and spot gaps. A point answered
+//! from the store's archive emits *no* stage frames — silence before
+//! the response is the signature of a hot hit. Sweeps report coarser
+//! progress, one frame per change of the done-counter:
+//!
+//! ```text
+//! {"frame":"progress","id":N,"done":D,"total":T}
+//! ```
+//!
+//! Only the request that actually executes streams progress; a request
+//! coalesced onto another's in-flight execution gets the response body
+//! without frames.
+//!
+//! # Quickstart
+//!
+//! Boot a daemon and talk to it (see `examples/serve_client.rs` for
+//! the same flow against an external daemon):
+//!
+//! ```
+//! use argo_serve::{Client, Listener, ServeConfig, Server};
+//!
+//! let listener = Listener::tcp("127.0.0.1:0").unwrap();
+//! let server = Server::start(listener, argo_dse::Explorer::with_threads(1),
+//!                            ServeConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect_tcp(server.addr()).unwrap();
+//! let reply = client
+//!     .request(r#"{"id": 1, "kind": "compile", "app": "egpws", "cores": 2}"#)
+//!     .unwrap();
+//! assert!(reply.is_ok());
+//!
+//! client.request(r#"{"id": 2, "kind": "shutdown"}"#).unwrap();
+//! server.join();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod singleflight;
+
+pub use client::{Client, Reply};
+pub use proto::{parse_request, Envelope, PointSpec, Request, SearchSpec, SweepSpec, Value};
+pub use server::{Listener, ServeConfig, Server, ServerHandle};
+pub use singleflight::SingleFlight;

@@ -1,0 +1,158 @@
+//! Single-flight request coalescing.
+//!
+//! When several clients ask for the same thing at the same time, only
+//! one of them should pay for the pipeline — the rest wait on the
+//! in-flight computation and reuse its (shared, immutable) result.
+//! This is deduplication of *concurrent* work, not a cache: the slot
+//! is removed as soon as the leader finishes, and the next identical
+//! request after that is answered by the shared artifact store instead.
+//!
+//! Keyed by the request's canonical [`Fingerprint`]
+//! (see [`crate::proto::Request::fingerprint`]), so two requests
+//! coalesce exactly when their *parsed* content is identical —
+//! formatting, field order and the client-side `id` do not matter.
+
+use argo_core::Fingerprint;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One in-flight computation: the leader fills `result` and wakes the
+/// followers parked on `ready`.
+struct Slot {
+    result: Mutex<Option<Arc<str>>>,
+    ready: Condvar,
+}
+
+/// Coalesces concurrent identical computations onto one worker.
+#[derive(Default)]
+pub struct SingleFlight {
+    inflight: Mutex<HashMap<u64, Arc<Slot>>>,
+    executed: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl SingleFlight {
+    /// An empty flight table.
+    pub fn new() -> SingleFlight {
+        SingleFlight::default()
+    }
+
+    /// Runs `compute` for `key`, unless an identical computation is
+    /// already in flight — then blocks until that one finishes and
+    /// returns its result instead. The returned `Arc<str>` is shared:
+    /// followers get the exact bytes the leader produced.
+    ///
+    /// If the leader's `compute` panics, the poisoned slot mutex makes
+    /// the followers panic too (a panic here is a server bug, not a
+    /// request error — request failures travel as error *frames*
+    /// inside the computed string, and are shared like any result).
+    pub fn run(&self, key: Fingerprint, compute: impl FnOnce() -> String) -> Arc<str> {
+        let slot = {
+            let mut inflight = self.inflight.lock().unwrap();
+            match inflight.get(&key.0) {
+                Some(slot) => {
+                    // Follower: wait for the in-flight leader.
+                    let slot = Arc::clone(slot);
+                    drop(inflight);
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    let mut result = slot.result.lock().unwrap();
+                    while result.is_none() {
+                        result = slot.ready.wait(result).unwrap();
+                    }
+                    return Arc::clone(result.as_ref().unwrap());
+                }
+                None => {
+                    let slot = Arc::new(Slot {
+                        result: Mutex::new(None),
+                        ready: Condvar::new(),
+                    });
+                    inflight.insert(key.0, Arc::clone(&slot));
+                    slot
+                }
+            }
+        };
+
+        // Leader: compute, publish, wake followers, retire the slot.
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        let value: Arc<str> = Arc::from(compute());
+        *slot.result.lock().unwrap() = Some(Arc::clone(&value));
+        slot.ready.notify_all();
+        self.inflight.lock().unwrap().remove(&key.0);
+        value
+    }
+
+    /// Computations actually executed (leaders).
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Requests that waited on an in-flight leader instead of
+    /// executing (followers).
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    #[test]
+    fn sequential_runs_each_execute() {
+        let flight = SingleFlight::new();
+        let a = flight.run(Fingerprint(1), || "a".to_string());
+        let b = flight.run(Fingerprint(1), || "b".to_string());
+        assert_eq!(&*a, "a");
+        assert_eq!(&*b, "b", "retired slots do not cache");
+        assert_eq!(flight.executed(), 2);
+        assert_eq!(flight.coalesced(), 0);
+    }
+
+    #[test]
+    fn concurrent_identical_runs_coalesce() {
+        const M: usize = 8;
+        let flight = SingleFlight::new();
+        let computed = AtomicUsize::new(0);
+        let gate = Barrier::new(M);
+        let results: Vec<Arc<str>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..M)
+                .map(|_| {
+                    s.spawn(|| {
+                        gate.wait();
+                        flight.run(Fingerprint(7), || {
+                            // Hold the slot long enough for every
+                            // follower to park on it.
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                            computed.fetch_add(1, Ordering::Relaxed);
+                            "result".to_string()
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.iter().all(|r| &**r == "result"));
+        // All M calls are accounted as leader or follower; the 50ms
+        // hold makes coalescing overwhelmingly likely but the invariant
+        // holds regardless of timing.
+        assert_eq!(flight.executed() + flight.coalesced(), M as u64);
+        assert_eq!(computed.load(Ordering::Relaxed) as u64, flight.executed());
+        assert!(flight.executed() >= 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let flight = SingleFlight::new();
+        std::thread::scope(|s| {
+            for k in 0..4u64 {
+                let flight = &flight;
+                s.spawn(move || flight.run(Fingerprint(k), || k.to_string()));
+            }
+        });
+        assert_eq!(flight.executed(), 4);
+        assert_eq!(flight.coalesced(), 0);
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! ```sh
 //! argo-store stats --dir .argo-store
+//! argo-store stats --dir .argo-store --json
 //! argo-store ls    --dir .argo-store
 //! argo-store gc    --dir .argo-store --budget 67108864
 //! argo-store clear --dir .argo-store
@@ -16,7 +17,7 @@ use std::time::SystemTime;
 const USAGE: &str = "argo-store — persistent artifact store maintenance
 
 USAGE:
-    argo-store stats --dir DIR           entry count, bytes, counters
+    argo-store stats --dir DIR [--json]  entry count, bytes, counters
     argo-store ls    --dir DIR           all entries, newest-used first
     argo-store gc    --dir DIR --budget BYTES
                                          evict LRU entries over the budget
@@ -27,11 +28,13 @@ USAGE:
 struct Options {
     dir: String,
     budget: Option<u64>,
+    json: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut dir = None;
     let mut budget = None;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -44,13 +47,37 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--budget" => {
                 budget = Some(value()?.parse().map_err(|_| "bad --budget".to_string())?);
             }
+            "--json" => json = true,
             other => return Err(format!("unknown flag `{other}` (see `argo-store help`)")),
         }
     }
     Ok(Options {
         dir: dir.ok_or("missing --dir DIR")?,
         budget,
+        json,
     })
+}
+
+/// `stats --json` output: one machine-readable object, keys matching
+/// the `StoreStats`/`StoreCounters` field names, so the `argo-serve`
+/// health endpoint and CI scripts can parse counters without scraping
+/// the human-readable text.
+fn stats_json(dir: &str, stats: &argo_store::StoreStats) -> String {
+    let c = stats.counters;
+    format!(
+        "{{\"store\": \"{}\", \"entries\": {}, \"bytes\": {}, \"counters\": \
+         {{\"hits\": {}, \"misses\": {}, \"corrupt\": {}, \"version_skew\": {}, \
+         \"evictions\": {}, \"write_errors\": {}}}}}",
+        dir.escape_default(),
+        stats.entries,
+        stats.bytes,
+        c.hits,
+        c.misses,
+        c.corrupt,
+        c.version_skew,
+        c.evictions,
+        c.write_errors
+    )
 }
 
 fn run(cmd: &str, args: &[String]) -> Result<(), String> {
@@ -59,6 +86,10 @@ fn run(cmd: &str, args: &[String]) -> Result<(), String> {
     match cmd {
         "stats" => {
             let stats = store.stats();
+            if opts.json {
+                println!("{}", stats_json(&opts.dir, &stats));
+                return Ok(());
+            }
             println!("store: {}", opts.dir);
             println!("entries: {}", stats.entries);
             println!("bytes: {}", stats.bytes);
@@ -134,8 +165,35 @@ mod tests {
         let o = parse_args(&args).unwrap();
         assert_eq!(o.dir, "/tmp/s");
         assert_eq!(o.budget, Some(1024));
+        assert!(!o.json);
         assert!(parse_args(&[]).is_err(), "--dir is required");
         assert!(parse_args(&["--budget".to_string(), "x".into()]).is_err());
         assert!(parse_args(&["--frob".to_string()]).is_err());
+
+        let args: Vec<String> = ["--dir", "/tmp/s", "--json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_args(&args).unwrap().json);
+    }
+
+    #[test]
+    fn stats_json_shape() {
+        let stats = argo_store::StoreStats {
+            entries: 3,
+            bytes: 512,
+            counters: argo_store::StoreCounters {
+                hits: 7,
+                misses: 2,
+                ..Default::default()
+            },
+        };
+        let json = stats_json("/tmp/s", &stats);
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"entries\": 3"), "{json}");
+        assert!(json.contains("\"bytes\": 512"), "{json}");
+        assert!(json.contains("\"hits\": 7"), "{json}");
+        assert!(json.contains("\"misses\": 2"), "{json}");
+        assert!(json.contains("\"write_errors\": 0"), "{json}");
     }
 }

@@ -30,8 +30,8 @@ impl ToolflowVerifyExt for Toolflow<'_> {
                 "session has no platform; call Toolflow::platform(..) before verifying",
             );
             if let Some(obs) = self.configured_observer() {
-                obs.on_stage_start(Stage::Verify);
-                obs.on_stage_error(Stage::Verify, &d);
+                obs.on_stage_start(Stage::Verify, self.next_observer_seq());
+                obs.on_stage_error(Stage::Verify, self.next_observer_seq(), &d);
             }
             return Err(d);
         };
@@ -41,12 +41,13 @@ impl ToolflowVerifyExt for Toolflow<'_> {
         };
         let obs = self.configured_observer();
         if let Some(obs) = obs {
-            obs.on_stage_start(Stage::Verify);
+            obs.on_stage_start(Stage::Verify, self.next_observer_seq());
         }
         let t0 = Instant::now();
         let report = verify_backend(result, platform, &cfg);
         if let Some(obs) = obs {
             obs.on_stage_finish(&StageSummary {
+                seq: self.next_observer_seq(),
                 stage: Stage::Verify,
                 fingerprint: report.fingerprint(),
                 detail: report.summary(),
@@ -89,7 +90,7 @@ mod tests {
         let events = obs.events();
         let started = events
             .iter()
-            .any(|e| matches!(e, StageEvent::Started(Stage::Verify)));
+            .any(|e| matches!(e, StageEvent::Started(Stage::Verify, _)));
         let finished = events.iter().any(
             |e| matches!(e, StageEvent::Finished(s) if s.stage == Stage::Verify && s.detail == "clean"),
         );

@@ -1,0 +1,78 @@
+//! Quickstart client for the `argo-serve` daemon.
+//!
+//! Boots an in-process daemon (or connects to one you started with
+//! `cargo run --release --bin argo-serve -- --listen 127.0.0.1:4100`),
+//! then walks the wire protocol: a `compile` with streamed progress,
+//! the *same* compile again (answered without pipeline stages once a
+//! store is attached), an `explore` sweep, and `stats`.
+//!
+//! ```sh
+//! cargo run --example serve_client                      # in-process
+//! cargo run --example serve_client -- 127.0.0.1:4100    # external daemon
+//! ```
+//!
+//! See the `argo_serve` crate docs for the full frame reference.
+
+use argo_serve::{Client, Listener, ServeConfig, Server};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Connect to the daemon named on the command line, or boot one
+    // in-process on an OS-assigned port.
+    let external = std::env::args().nth(1);
+    let (addr, server) = match &external {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let server = Server::start(
+                Listener::tcp("127.0.0.1:0")?,
+                argo_dse::Explorer::new(),
+                ServeConfig::default(),
+            )?;
+            (server.addr().to_string(), Some(server))
+        }
+    };
+    let mut client = Client::connect_tcp(&addr)?;
+    println!("connected to argo-serve at {addr}");
+
+    // 1. Compile one configuration of the EGPWS use case, streaming
+    //    stage progress. Every request is one JSON line; every frame
+    //    that comes back echoes our `id`.
+    let reply = client.request(
+        r#"{"id": 1, "kind": "compile", "progress": true, "app": "egpws", "cores": 4, "scheduler": "list"}"#,
+    )?;
+    println!("\n-- compile: {} progress frames --", reply.progress.len());
+    for frame in &reply.progress {
+        println!("  {frame}");
+    }
+    println!("  {}", reply.terminal);
+
+    // 2. The identical request again. With a shared store attached
+    //    (`--store`), the daemon answers from the point archive: zero
+    //    pipeline stages, zero progress frames, byte-identical body.
+    let again = client.request(
+        r#"{"id": 2, "kind": "compile", "progress": true, "app": "egpws", "cores": 4, "scheduler": "list"}"#,
+    )?;
+    println!(
+        "\n-- repeat: {} progress frames (0 = served without the pipeline) --",
+        again.progress.len()
+    );
+
+    // 3. A small exploration sweep; progress arrives as done/total.
+    let sweep = client.request(
+        r#"{"id": 3, "kind": "explore", "progress": true, "apps": ["egpws"], "cores": [2, 4], "schedulers": ["list", "anneal"]}"#,
+    )?;
+    println!("\n-- explore --");
+    println!("  {}", sweep.terminal);
+
+    // 4. Server counters: sessions, single-flight dedupe, cache tiers.
+    let stats = client.request(r#"{"id": 4, "kind": "stats"}"#)?;
+    println!("\n-- stats --");
+    println!("  {}", stats.terminal);
+
+    // Shut the in-process daemon down; leave an external one running.
+    if let Some(server) = server {
+        client.request(r#"{"id": 5, "kind": "shutdown"}"#)?;
+        server.join();
+        println!("\ndaemon shut down");
+    }
+    Ok(())
+}

@@ -30,7 +30,10 @@
 //! * [`verify`] — independent static verification: MHP race detection,
 //!   schedule/placement soundness, IR lints — the gate every schedule
 //!   must pass;
-//! * [`bench`](mod@bench) — the E1–E9 experiment drivers.
+//! * [`serve`] — the long-running toolflow daemon: JSON-lines wire
+//!   protocol, single-flight request coalescing, bounded worker pool,
+//!   all sessions sharing one persistent store;
+//! * [`bench`](mod@bench) — the E1–E10 experiment drivers.
 
 // The session driver API, re-exported at the facade root so downstream
 // code can spell `argo::Toolflow` / `argo::Diagnostic` directly.
@@ -56,6 +59,7 @@ pub use argo_model as model;
 pub use argo_parir as parir;
 pub use argo_sched as sched;
 pub use argo_search as search;
+pub use argo_serve as serve;
 pub use argo_sim as sim;
 pub use argo_store as store;
 pub use argo_transform as transform;

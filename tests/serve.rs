@@ -1,0 +1,327 @@
+//! Integration tests for the `argo-serve` daemon: wire-protocol
+//! roundtrips, single-flight dedupe of concurrent identical requests,
+//! hot replay through a shared persistent store, and admission control.
+
+use argo_dse::Explorer;
+use argo_ir::parse::parse_program;
+use argo_serve::{Client, Listener, ServeConfig, Server, ServerHandle, Value};
+use argo_store::Store;
+use std::sync::Arc;
+
+/// Small but non-trivial: two parallelizable loops over 64 elements.
+const TINY: &str = r#"
+    real main(real a[64], real b[64]) {
+        real s; int i;
+        s = 0.0;
+        for (i = 0; i < 64; i = i + 1) {
+            b[i] = sqrt(a[i]) * 2.0 + sin(a[i]);
+        }
+        for (i = 0; i < 64; i = i + 1) { s = s + b[i]; }
+        return s;
+    }
+"#;
+
+fn tiny_explorer(store_dir: Option<&std::path::Path>) -> Explorer {
+    let mut ex = Explorer::with_threads(2);
+    ex.register_program("tiny", parse_program(TINY).unwrap(), "main");
+    match store_dir {
+        Some(dir) => ex.with_store(Arc::new(Store::open(dir).unwrap())),
+        None => ex,
+    }
+}
+
+fn boot(store_dir: Option<&std::path::Path>, cfg: ServeConfig) -> ServerHandle {
+    Server::start(
+        Listener::tcp("127.0.0.1:0").unwrap(),
+        tiny_explorer(store_dir),
+        cfg,
+    )
+    .unwrap()
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("argo-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const COMPILE: &str =
+    r#"{"id": 7, "kind": "compile", "app": "tiny", "cores": 2, "progress": true}"#;
+
+#[test]
+fn compile_roundtrip_streams_seq_stamped_progress() {
+    let server = boot(None, ServeConfig::default());
+    let mut client = Client::connect_tcp(server.addr()).unwrap();
+
+    let reply = client.request(COMPILE).unwrap();
+    assert!(reply.is_ok(), "compile failed: {}", reply.terminal);
+    let frame = reply.frame().unwrap();
+    assert_eq!(frame.get("id").unwrap().as_u64(), Some(7));
+    assert_eq!(frame.get("kind").unwrap().as_str(), Some("compile"));
+    let result = frame.get("result").unwrap();
+    assert_eq!(
+        result.get("label").unwrap().as_str(),
+        Some("tiny/bus/2c/list/loop/chunk/spm=default")
+    );
+    let metrics = result.get("body").unwrap();
+    assert!(metrics.get("par_bound").unwrap().as_u64().unwrap() > 0);
+
+    // A cold compile runs all four stages; their progress frames carry
+    // the per-session seq, strictly increasing in emission order.
+    assert!(
+        reply.progress.len() >= 8,
+        "expected start+finish frames for four stages, got {:?}",
+        reply.progress
+    );
+    let seqs: Vec<u64> = reply
+        .progress
+        .iter()
+        .map(|f| {
+            let v = Value::parse(f).unwrap();
+            assert_eq!(v.get("id").unwrap().as_u64(), Some(7));
+            v.get("seq").unwrap().as_u64().unwrap()
+        })
+        .collect();
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "seqs not strictly increasing: {seqs:?}"
+    );
+    assert_eq!(seqs[0], 0, "a fresh session starts its counter at 0");
+
+    // The stats control request reflects the served work.
+    let stats = client.request(r#"{"id": 8, "kind": "stats"}"#).unwrap();
+    let frame = stats.frame().unwrap();
+    let result = frame.get("result").unwrap();
+    let requests = result.get("requests").unwrap();
+    assert_eq!(requests.get("compile").unwrap().as_u64(), Some(1));
+    let stages = result.get("stages").unwrap();
+    assert_eq!(stages.get("backend_runs").unwrap().as_u64(), Some(1));
+    assert_eq!(
+        result.get("store").unwrap(),
+        &Value::Null,
+        "no store attached in this test"
+    );
+
+    client.request(r#"{"id": 9, "kind": "shutdown"}"#).unwrap();
+    server.join();
+}
+
+/// Satellite: M concurrent identical requests → exactly one pipeline
+/// execution, M byte-identical responses. The assertion is
+/// deterministic regardless of arrival timing: overlapping requests
+/// coalesce on the in-flight leader, and any straggler that misses the
+/// flight window is answered by the store's point archive — either
+/// way the pipeline (backend stage) runs once.
+#[test]
+fn concurrent_identical_requests_run_the_pipeline_once() {
+    const M: usize = 6;
+    let dir = temp_dir("dedupe");
+    let server = boot(Some(&dir), ServeConfig::default());
+
+    let responses: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..M)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut client = Client::connect_tcp(server.addr()).unwrap();
+                    let request = r#"{"id": 3, "kind": "compile", "app": "tiny", "cores": 4}"#;
+                    client.request(request).unwrap().terminal
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for response in &responses[1..] {
+        assert_eq!(
+            response, &responses[0],
+            "coalesced responses must be byte-identical"
+        );
+    }
+    assert!(responses[0].contains("\"ok\":true"), "{}", responses[0]);
+
+    let timing = server.stage_timings();
+    assert_eq!(timing.backend.runs, 1, "exactly one pipeline execution");
+    assert_eq!(timing.verify.runs, 1);
+    let cache = server.cache_stats();
+    assert_eq!(
+        cache.point_store_misses, 1,
+        "only the one executing request consulted the archive cold"
+    );
+    let (executed, coalesced) = server.singleflight_counts();
+    assert_eq!(
+        executed + coalesced,
+        M as u64,
+        "every request is a single-flight leader or follower"
+    );
+    assert_eq!(
+        executed,
+        1 + cache.point_store_hits,
+        "each non-coalesced straggler was answered by the archive"
+    );
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The shared store makes repeats free across daemon restarts: a new
+/// server over the populated directory answers the same request with
+/// zero pipeline stages, no progress frames, and identical bytes.
+#[test]
+fn warm_store_replays_with_zero_stage_runs() {
+    let dir = temp_dir("warm");
+
+    let cold = {
+        let server = boot(Some(&dir), ServeConfig::default());
+        let mut client = Client::connect_tcp(server.addr()).unwrap();
+        let reply = client.request(COMPILE).unwrap();
+        assert!(reply.is_ok(), "{}", reply.terminal);
+        assert!(!reply.progress.is_empty(), "cold run streams stages");
+        server.shutdown();
+        server.join();
+        reply.terminal
+    };
+
+    let server = boot(Some(&dir), ServeConfig::default());
+    let mut client = Client::connect_tcp(server.addr()).unwrap();
+    let reply = client.request(COMPILE).unwrap();
+    assert_eq!(reply.terminal, cold, "hot replay is byte-identical");
+    assert!(
+        reply.progress.is_empty(),
+        "an archive hit runs no stages, so no frames stream: {:?}",
+        reply.progress
+    );
+    let timing = server.stage_timings();
+    assert_eq!(
+        timing.frontend.runs + timing.backend.runs + timing.verify.runs,
+        0,
+        "a warm store answers without the pipeline"
+    );
+    assert_eq!(server.cache_stats().point_store_hits, 1);
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explore_sweeps_report_pareto_and_coarse_progress() {
+    let server = boot(None, ServeConfig::default());
+    let mut client = Client::connect_tcp(server.addr()).unwrap();
+
+    let reply = client
+        .request(
+            r#"{"id": 5, "kind": "explore", "progress": true, "apps": ["tiny"], "cores": [1, 2], "schedulers": ["list", "anneal"]}"#,
+        )
+        .unwrap();
+    assert!(reply.is_ok(), "{}", reply.terminal);
+    let frame = reply.frame().unwrap();
+    let result = frame.get("result").unwrap();
+    assert_eq!(result.get("points").unwrap().as_u64(), Some(4));
+    assert_eq!(result.get("failures").unwrap().as_u64(), Some(0));
+    assert!(
+        !result.get("pareto").unwrap().as_arr().unwrap().is_empty(),
+        "a successful sweep has a non-empty front"
+    );
+
+    // Sweep progress is the done/total counter; the final frame must
+    // report completion.
+    let last = reply.progress.last().expect("at least one progress frame");
+    let v = Value::parse(last).unwrap();
+    assert_eq!(v.get("done").unwrap().as_u64(), Some(4));
+    assert_eq!(v.get("total").unwrap().as_u64(), Some(4));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn protocol_errors_are_structured() {
+    let cfg = ServeConfig {
+        max_points: 4,
+        ..ServeConfig::default()
+    };
+    let server = boot(None, cfg);
+    let mut client = Client::connect_tcp(server.addr()).unwrap();
+
+    // Malformed JSON → bad-request.
+    let reply = client.request("this is not json").unwrap();
+    assert!(
+        reply.terminal.contains("\"frame\":\"error\""),
+        "{}",
+        reply.terminal
+    );
+    assert!(
+        reply.terminal.contains("\"code\":\"bad-request\""),
+        "{}",
+        reply.terminal
+    );
+
+    // Unknown enum label → bad-request, with the parse message.
+    let reply = client
+        .request(r#"{"id": 1, "kind": "compile", "scheduler": "magic"}"#)
+        .unwrap();
+    assert!(
+        reply.terminal.contains("\"code\":\"bad-request\""),
+        "{}",
+        reply.terminal
+    );
+
+    // A space over the admission limit → space-too-large.
+    let reply = client
+        .request(r#"{"id": 2, "kind": "explore", "apps": ["tiny"], "cores": [1, 2, 3, 4, 6]}"#)
+        .unwrap();
+    assert!(
+        reply.terminal.contains("\"code\":\"space-too-large\""),
+        "{}",
+        reply.terminal
+    );
+
+    // A zero-capacity queue rejects all work deterministically.
+    let full = Server::start(
+        Listener::tcp("127.0.0.1:0").unwrap(),
+        tiny_explorer(None),
+        ServeConfig {
+            queue_limit: 0,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client2 = Client::connect_tcp(full.addr()).unwrap();
+    let reply = client2
+        .request(r#"{"id": 3, "kind": "compile", "app": "tiny"}"#)
+        .unwrap();
+    assert!(
+        reply.terminal.contains("\"code\":\"over-capacity\""),
+        "{}",
+        reply.terminal
+    );
+    full.shutdown();
+    full.join();
+
+    server.shutdown();
+    server.join();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_transport_works() {
+    let path = std::env::temp_dir().join(format!("argo-serve-sock-{}.sock", std::process::id()));
+    let path_str = path.to_str().unwrap().to_string();
+    let server = Server::start(
+        Listener::unix(&path_str).unwrap(),
+        tiny_explorer(None),
+        ServeConfig::default(),
+    )
+    .unwrap();
+
+    let mut client = Client::connect_unix(&path_str).unwrap();
+    let reply = client
+        .request(r#"{"id": 1, "kind": "compile", "app": "tiny", "cores": 2}"#)
+        .unwrap();
+    assert!(reply.is_ok(), "{}", reply.terminal);
+
+    client.request(r#"{"id": 2, "kind": "shutdown"}"#).unwrap();
+    server.join();
+    let _ = std::fs::remove_file(&path);
+}

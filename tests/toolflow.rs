@@ -158,3 +158,43 @@ fn session_stage_fingerprints_reproduce() {
     assert_eq!(fa.to_hex().len(), 16);
     assert_eq!(u64::from_str_radix(&fa.to_hex(), 16).unwrap(), fa.0);
 }
+
+/// Observer events carry a per-session sequence number: one shared
+/// counter across all event kinds, strictly increasing in emission
+/// order with no gaps — the contract `argo-serve` relies on to let
+/// clients restore order over a reordering transport. Pinned here so a
+/// refactor that forks the counter per event kind (or starts it
+/// anywhere but 0) fails loudly.
+#[test]
+fn observer_seq_is_contiguous_across_all_event_kinds() {
+    let platform = Platform::xentium_manycore(2);
+    let obs = CollectingObserver::new();
+    let flow = Toolflow::new(argo_ir::parse::parse_program(TINY).unwrap(), "main")
+        .platform(&platform)
+        .config(ToolchainConfig {
+            feedback_rounds: 2,
+            ..Default::default()
+        })
+        .observer(&obs);
+    let artifact = flow.run_frontend().unwrap();
+    let costs = flow.run_seed_costs(&artifact).unwrap();
+    flow.run_backend(artifact, Some(&costs)).unwrap();
+
+    let seqs = obs.seqs();
+    let expected: Vec<u64> = (0..seqs.len() as u64).collect();
+    assert_eq!(
+        seqs, expected,
+        "seq must be contiguous from 0 in arrival order (starts, finishes \
+         and feedback rounds share one counter)"
+    );
+    // Three stages ran and two feedback rounds fired: 3×(start+finish)+2.
+    assert_eq!(seqs.len(), 8);
+
+    // A second session starts its own counter at 0.
+    let obs2 = CollectingObserver::new();
+    let flow2 = Toolflow::new(argo_ir::parse::parse_program(TINY).unwrap(), "main")
+        .platform(&platform)
+        .observer(&obs2);
+    flow2.run_frontend().unwrap();
+    assert_eq!(obs2.seqs(), vec![0, 1]);
+}
