@@ -279,6 +279,7 @@ fn main() {
     ];
 
     let mut json = String::from("{\n  \"schema\": \"argo-bench/hotpaths-v1\",\n  \"benches\": {\n");
+    let mut regressions: Vec<(&str, f64)> = Vec::new();
     for (i, row) in rows.iter().enumerate() {
         let per_s = row.items as f64 / (row.median_ns as f64 * 1e-9);
         let _ = write!(
@@ -291,12 +292,14 @@ fn main() {
             .as_deref()
             .and_then(|b| baseline_median(b, row.name))
         {
+            let speedup = before as f64 / row.median_ns.max(1) as f64;
             let _ = write!(
                 json,
-                ", \"before_median_ns\": {}, \"speedup\": {:.2}",
-                before,
-                before as f64 / row.median_ns.max(1) as f64
+                ", \"before_median_ns\": {before}, \"speedup\": {speedup:.2}"
             );
+            if speedup < 0.9 {
+                regressions.push((row.name, speedup));
+            }
         }
         json.push_str(if i + 1 == rows.len() { "}\n" } else { "},\n" });
         eprintln!(
@@ -307,4 +310,11 @@ fn main() {
     json.push_str("  }\n}\n");
     std::fs::write(&out_path, json).expect("write output");
     eprintln!("wrote {out_path}");
+    for (name, speedup) in &regressions {
+        eprintln!(
+            "WARNING: {name} regressed to {speedup:.2}x of the baseline \
+             (>10% slower) — rerun on a quiet machine, then profile \
+             (`--trace` flame summary) before accepting the new numbers"
+        );
+    }
 }

@@ -90,8 +90,8 @@ pub use codec::{Codec, DecodeError, Decoder, Encoder};
 pub use diag::{Diagnostic, ErrorCode, Stage};
 pub use fingerprint::{schedule_fingerprint, Fingerprint, FingerprintHasher, Fingerprintable};
 pub use observer::{
-    CollectingObserver, FeedbackSnapshot, NullObserver, StageEvent, StageObserver, StageSummary,
-    TraceObserver,
+    stage_span_name, CollectingObserver, FeedbackSnapshot, NullObserver, StageEvent, StageObserver,
+    StageSummary, TraceObserver, TracingObserver,
 };
 pub use session::{ScheduleCache, Toolflow};
 

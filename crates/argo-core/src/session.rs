@@ -393,6 +393,10 @@ fn observed_stage<T: Artifact>(
     stage: Stage,
     body: impl FnOnce() -> Result<T, Diagnostic>,
 ) -> Result<T, Diagnostic> {
+    // Stage span on the global tracer (inert unless `--trace` enabled
+    // it); sub-phase and per-point spans opened inside `body` nest
+    // under it on the same thread.
+    let _span = argo_trace::span(crate::observer::stage_span_name(stage));
     let Some(obs) = obs else {
         return body();
     };
@@ -572,6 +576,7 @@ pub(crate) fn run_backend_impl(
         let mut iso_costs: Vec<u64> = Vec::new();
         let mut iterations = 0;
         for round in 0..cfg.feedback_rounds.max(1) {
+            let _round_span = argo_trace::span("backend.round");
             iterations = round + 1;
             // Code-level WCET per task, on its (current) core, isolated.
             // The function-WCET table only depends on the core, so it is

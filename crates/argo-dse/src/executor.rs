@@ -14,8 +14,10 @@
 //! steal interleaving.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Number of workers to use by default: the machine's parallelism.
 pub fn default_threads() -> usize {
@@ -44,12 +46,38 @@ where
         return Vec::new();
     }
     let workers = threads.max(1).min(n);
+    // Utilization accounting (busy µs vs. wall µs × workers) is gated
+    // so a metrics-off process pays nothing per job.
+    let instrumented = argo_trace::metrics_on();
+    let busy_us = AtomicU64::new(0);
+    let t0 = Instant::now();
+    let run = |i: usize, item: I| {
+        if instrumented {
+            let start = Instant::now();
+            let out = f(i, item);
+            busy_us.fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+            out
+        } else {
+            f(i, item)
+        }
+    };
+    let publish = |workers: u64| {
+        if instrumented {
+            let m = argo_trace::metrics();
+            m.counter("argo_dse_worker_busy_us_total")
+                .add(busy_us.load(Ordering::Relaxed));
+            m.counter("argo_dse_worker_wall_us_total")
+                .add(t0.elapsed().as_micros() as u64 * workers);
+        }
+    };
     if workers == 1 {
-        return items
+        let out = items
             .into_iter()
             .enumerate()
-            .map(|(i, item)| f(i, item))
+            .map(|(i, item)| run(i, item))
             .collect();
+        publish(1);
+        return out;
     }
 
     // Deal the indexed items round-robin onto per-worker deques.
@@ -61,10 +89,11 @@ where
 
     type JobOutcome<T> = Result<T, Box<dyn std::any::Any + Send>>;
     let (tx, rx) = mpsc::channel::<(usize, JobOutcome<T>)>();
-    std::thread::scope(|scope| {
+    let out = std::thread::scope(|scope| {
         for me in 0..workers {
             let tx = tx.clone();
             let deques = &deques;
+            let run = &run;
             scope.spawn(move || loop {
                 // Own work first (front). The guard MUST drop before the
                 // steal scan: holding the own lock while taking a victim's
@@ -83,7 +112,9 @@ where
                         // the original panic, not a secondary
                         // "missing result" one.
                         let outcome =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(idx, item)));
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                run(idx, item)
+                            }));
                         if tx.send((idx, outcome)).is_err() {
                             return;
                         }
@@ -109,7 +140,9 @@ where
                 None => panic!("job {i} produced no result"),
             })
             .collect()
-    })
+    });
+    publish(workers as u64);
+    out
 }
 
 #[cfg(test)]

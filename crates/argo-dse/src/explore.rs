@@ -37,6 +37,14 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+/// The `argo_dse_point_wall_us` histogram handle, resolved once.
+fn point_wall_histogram() -> &'static Arc<argo_trace::Histogram> {
+    static HIST: std::sync::OnceLock<Arc<argo_trace::Histogram>> = std::sync::OnceLock::new();
+    HIST.get_or_init(|| {
+        argo_trace::metrics().histogram("argo_dse_point_wall_us", argo_trace::LATENCY_US_BUCKETS)
+    })
+}
+
 /// A program ready to explore: IR, entry point, and the program's
 /// canonical content fingerprint, computed once at resolution so
 /// per-point sessions skip the print-and-hash pass (cache keys stay
@@ -191,7 +199,13 @@ impl Explorer {
         space: &DesignSpace,
         obs: Option<&dyn argo_core::StageObserver>,
     ) -> ReportRow {
-        match self.resolve(&point.app, space.seed) {
+        // Per-point span (stage spans opened inside nest under it) and
+        // wall-time histogram. One histogram observe per multi-ms
+        // evaluation is noise; the handle is cached in a static so the
+        // registry mutex is off this path.
+        let _span = argo_trace::span("dse.point");
+        let t0 = Instant::now();
+        let row = match self.resolve(&point.app, space.seed) {
             Ok(app) => self.evaluate(&app, point, space, obs),
             Err(diagnostic) => {
                 let spm_effective = point.spm_bytes.unwrap_or(0);
@@ -201,7 +215,9 @@ impl Explorer {
                     outcome: Err(diagnostic),
                 }
             }
-        }
+        };
+        point_wall_histogram().observe(t0.elapsed().as_micros() as u64);
+        row
     }
 
     /// Runs the full sweep and returns the report. Rows are in

@@ -47,6 +47,8 @@ EXPLORE OPTIONS:
                                re-evaluating only changed points
     --csv PATH                 also write the CSV report
     --json PATH                also write the JSON report
+    --trace PATH               record spans and write a Chrome trace-event
+                               JSON there; a flame summary goes to stderr
     --quiet                    suppress the text report
 ";
 
@@ -118,6 +120,7 @@ struct Options {
     store: Option<String>,
     csv: Option<String>,
     json: Option<String>,
+    trace: Option<String>,
     quiet: bool,
 }
 
@@ -130,6 +133,7 @@ fn parse_explore_args(args: &[String]) -> Result<Options, String> {
     let mut store = None;
     let mut csv = None;
     let mut json = None;
+    let mut trace = None;
     let mut quiet = false;
 
     let mut it = args.iter();
@@ -203,6 +207,7 @@ fn parse_explore_args(args: &[String]) -> Result<Options, String> {
             "--store" => store = Some(value()?.to_string()),
             "--csv" => csv = Some(value()?.to_string()),
             "--json" => json = Some(value()?.to_string()),
+            "--trace" => trace = Some(value()?.to_string()),
             "--quiet" => quiet = true,
             other => return Err(format!("unknown flag `{other}` (see `argo-dse help`)")),
         }
@@ -226,12 +231,17 @@ fn parse_explore_args(args: &[String]) -> Result<Options, String> {
         store,
         csv,
         json,
+        trace,
         quiet,
     })
 }
 
 fn run_explore(args: &[String]) -> Result<bool, String> {
     let opts = parse_explore_args(args)?;
+    if opts.trace.is_some() {
+        argo_trace::enable_spans();
+        argo_trace::enable_metrics();
+    }
     let mut explorer = match opts.threads {
         Some(t) => Explorer::with_threads(t),
         None => Explorer::new(),
@@ -261,6 +271,14 @@ fn run_explore(args: &[String]) -> Result<bool, String> {
     }
     if let Some(path) = &opts.json {
         std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if let Some(path) = &opts.trace {
+        argo_trace::write_chrome_trace(argo_trace::global(), std::path::Path::new(path))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprint!(
+            "{}",
+            argo_trace::flame_summary(&argo_trace::global().snapshot(), 12)
+        );
     }
     if !opts.quiet {
         print!("{}", report.to_text());

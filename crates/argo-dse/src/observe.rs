@@ -9,9 +9,16 @@
 //! build-cost attribution; the third tier's build time (schedule
 //! results, charged inside the backend) is measured by the cache itself
 //! and reported as [`StageTimings::schedule_builds`].
+//!
+//! Since the `argo-trace` rewrite the observer is a thin shell over an
+//! [`argo_trace::SpanAgg`]: each stage-finish event is folded under the
+//! same `stage.<label>` name the session driver records as a tracer
+//! span, so stage-wall totals, flame summaries and Chrome traces are
+//! three views of one measurement — there is no second timing source
+//! to drift from.
 
-use argo_core::{Stage, StageObserver, StageSummary};
-use std::sync::Mutex;
+use argo_core::{stage_span_name, Stage, StageObserver, StageSummary};
+use argo_trace::SpanAgg;
 
 /// Accumulated runs and wall time of one stage or cache tier.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -46,13 +53,42 @@ pub struct StageTimings {
     pub schedule_builds: TierTiming,
 }
 
+impl StageTimings {
+    /// Adds another snapshot's runs and wall time into this one
+    /// (used by `argo-serve` to sum per-session observers).
+    pub fn merge(&mut self, other: &StageTimings) {
+        for (mine, theirs) in [
+            (&mut self.frontend, other.frontend),
+            (&mut self.seed_costs, other.seed_costs),
+            (&mut self.backend, other.backend),
+            (&mut self.verify, other.verify),
+            (&mut self.schedule_builds, other.schedule_builds),
+        ] {
+            mine.runs += theirs.runs;
+            mine.nanos += theirs.nanos;
+        }
+    }
+
+    /// Sum over the four pipeline stages (`schedule_builds` is a
+    /// subset of the backend and not double-counted).
+    pub fn stage_total(&self) -> TierTiming {
+        let mut total = TierTiming::default();
+        for t in [self.frontend, self.seed_costs, self.backend, self.verify] {
+            total.runs += t.runs;
+            total.nanos += t.nanos;
+        }
+        total
+    }
+}
+
 /// Thread-safe observer summing stage wall time across the concurrent
-/// sessions of one sweep. Stage events from different worker threads
-/// interleave freely — only per-stage totals are kept, so no nesting
-/// assumptions are made.
+/// sessions of one sweep, implemented as a span aggregator
+/// ([`argo_trace::SpanAgg`] keyed by [`stage_span_name`]). Stage
+/// events from different worker threads interleave freely — only
+/// per-name totals are kept, so no nesting assumptions are made.
 #[derive(Debug, Default)]
 pub struct TimingObserver {
-    totals: Mutex<StageTimings>,
+    agg: SpanAgg,
 }
 
 impl TimingObserver {
@@ -64,21 +100,24 @@ impl TimingObserver {
     /// Snapshot of the accumulated totals (the `schedule_builds` tier
     /// is filled in by the explorer from cache counters).
     pub fn snapshot(&self) -> StageTimings {
-        *self.totals.lock().unwrap()
+        let tier = |stage: Stage| {
+            let (runs, nanos) = self.agg.get(stage_span_name(stage));
+            TierTiming { runs, nanos }
+        };
+        StageTimings {
+            frontend: tier(Stage::Frontend),
+            seed_costs: tier(Stage::SeedCosts),
+            backend: tier(Stage::Backend),
+            verify: tier(Stage::Verify),
+            schedule_builds: TierTiming::default(),
+        }
     }
 }
 
 impl StageObserver for TimingObserver {
     fn on_stage_finish(&self, summary: &StageSummary) {
-        let mut totals = self.totals.lock().unwrap();
-        let slot = match summary.stage {
-            Stage::Frontend => &mut totals.frontend,
-            Stage::SeedCosts => &mut totals.seed_costs,
-            Stage::Backend => &mut totals.backend,
-            Stage::Verify => &mut totals.verify,
-        };
-        slot.runs += 1;
-        slot.nanos += summary.elapsed.as_nanos() as u64;
+        self.agg
+            .record(stage_span_name(summary.stage), summary.elapsed);
     }
 }
 
@@ -109,6 +148,8 @@ mod tests {
         assert!((t.frontend.ms() - 5.0).abs() < 1e-9);
         assert_eq!(t.backend.runs, 1);
         assert_eq!(t.seed_costs, TierTiming::default());
+        assert_eq!(t.stage_total().runs, 3);
+        assert_eq!(t.stage_total().nanos, 12_000_000);
     }
 
     #[test]

@@ -74,6 +74,10 @@ impl Scheduler for SimulatedAnnealing {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let t0 = (current_ms as f64 * self.initial_temp_frac).max(1.0);
 
+        // Counted in locals, published once after the loop when the
+        // metrics gate is on — the proposal loop stays free of shared
+        // memory traffic either way.
+        let mut accepts = 0u64;
         for it in 0..self.iterations {
             let temp = t0 * (1.0 - it as f64 / self.iterations as f64).max(1e-6);
             let mut cand = current.clone();
@@ -97,6 +101,7 @@ impl Scheduler for SimulatedAnnealing {
                 rng.gen_bool((-delta / temp).exp().clamp(0.0, 1.0))
             };
             if accept {
+                accepts += 1;
                 current = cand;
                 current_ms = ms;
                 if ms < best_ms {
@@ -104,6 +109,12 @@ impl Scheduler for SimulatedAnnealing {
                     best = current.clone();
                 }
             }
+        }
+        if argo_trace::metrics_on() {
+            let m = argo_trace::metrics();
+            m.counter("argo_sched_anneal_proposals_total")
+                .add(self.iterations as u64);
+            m.counter("argo_sched_anneal_accepts_total").add(accepts);
         }
         let annealed = evaluate_assignment_indexed(g, &idx, ctx, &best);
         // The list seed uses gap insertion, which the plain evaluation

@@ -73,6 +73,7 @@ impl BranchAndBound {
         let mut core_avail_stack: Vec<Vec<u64>> = vec![vec![0u64; cores]];
         let mut stack: Vec<Frame> = vec![Frame { depth: 0, core: 0 }];
         let mut expanded = 0u64;
+        let mut pruned = 0u64;
 
         while let Some(frame) = stack.pop() {
             let Frame { depth, core } = frame;
@@ -110,6 +111,7 @@ impl BranchAndBound {
             let remaining = tail_work[depth + 1];
             let lb = cur_ms.max(avail.iter().sum::<u64>().saturating_add(remaining) / cores as u64);
             if lb >= best {
+                pruned += 1;
                 continue; // prune
             }
             assignment[t] = CoreId(core);
@@ -134,6 +136,13 @@ impl BranchAndBound {
             });
         }
 
+        // Locals published once per call, behind the metrics gate —
+        // the search loop itself stays free of shared memory traffic.
+        if argo_trace::metrics_on() {
+            let m = argo_trace::metrics();
+            m.counter("argo_sched_bnb_expanded_total").add(expanded);
+            m.counter("argo_sched_bnb_pruned_total").add(pruned);
+        }
         let result = evaluate_assignment_indexed(g, &idx, ctx, &best_assignment);
         // The list seed uses gap insertion, which plain re-evaluation of
         // the same assignment cannot always reproduce; never return a

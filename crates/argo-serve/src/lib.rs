@@ -28,6 +28,7 @@
 //! | `explore`  | sweep spec (below) | totals + Pareto front |
 //! | `search`   | sweep spec + `strategy`, `budget`, `stall` | totals + Pareto front |
 //! | `stats`    | — | server/session/cache/store counters |
+//! | `metrics`  | — | Prometheus text exposition (below) |
 //! | `shutdown` | — | `ok`, then the daemon exits |
 //!
 //! **Point spec** (`compile`/`verify`; all fields optional, defaults in
@@ -93,6 +94,47 @@
 //! Only the request that actually executes streams progress; a request
 //! coalesced onto another's in-flight execution gets the response body
 //! without frames.
+//!
+//! # The `metrics` request
+//!
+//! `{"id": N, "kind": "metrics"}` is a control request, answered
+//! inline like `stats`:
+//!
+//! ```text
+//! {"frame":"response","id":N,"ok":true,"kind":"metrics",
+//!  "result":{"prometheus":"# TYPE argo_serve_request_latency_us histogram\n..."}}
+//! ```
+//!
+//! The `prometheus` field is the standard text exposition format
+//! (JSON-escaped, `\n`-separated) over two registries: the
+//! process-global [`argo_trace::metrics`] registry — per-kind request
+//! latency histograms `argo_serve_request_latency_us{kind="compile"}`
+//! …, `argo_serve_slow_requests_total`, and whatever the gated
+//! scheduler/WCET/executor instrumentation published — concatenated
+//! with the backing store's per-handle registry (`argo_store_*`
+//! counters and get/put latency histograms), when a store is
+//! configured. See the `argo_trace` crate docs for the full
+//! metric-name → subsystem table.
+//!
+//! ```
+//! use argo_serve::{Client, Listener, ServeConfig, Server, Value};
+//!
+//! let listener = Listener::tcp("127.0.0.1:0").unwrap();
+//! let server = Server::start(listener, argo_dse::Explorer::with_threads(1),
+//!                            ServeConfig::default()).unwrap();
+//! let mut client = Client::connect_tcp(server.addr()).unwrap();
+//!
+//! // Do some work, then scrape.
+//! client.request(r#"{"id": 1, "kind": "compile", "app": "egpws"}"#).unwrap();
+//! let reply = client.request(r#"{"id": 2, "kind": "metrics"}"#).unwrap();
+//! let frame = Value::parse(&reply.terminal).unwrap();
+//! let text = frame.get("result").unwrap().get("prometheus").unwrap()
+//!     .as_str().unwrap().to_string();
+//! assert!(text.contains("argo_serve_request_latency_us"));
+//!
+//! client.request(r#"{"id": 3, "kind": "shutdown"}"#).unwrap();
+//! server.join();
+//! ```
 //!
 //! # Quickstart
 //!

@@ -26,6 +26,9 @@ OPTIONS:
     --max-points N       largest explore space accepted (default 256)
     --max-evals N        search evaluation budget cap (default 256)
     --eval-threads N     threads per explore/search request (default 2)
+    --slow-ms N          log requests slower than N ms to stderr
+    --trace PATH         record spans; write a Chrome trace-event JSON
+                         there on shutdown (flame summary to stderr)
     --help               this text
 ";
 
@@ -33,6 +36,7 @@ struct Options {
     listen: Option<String>,
     socket: Option<String>,
     store: Option<String>,
+    trace: Option<String>,
     cfg: ServeConfig,
 }
 
@@ -41,6 +45,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         listen: None,
         socket: None,
         store: None,
+        trace: None,
         cfg: ServeConfig::default(),
     };
     let mut it = args.iter();
@@ -63,6 +68,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--max-points" => opts.cfg.max_points = parse_n(value()?, "--max-points")?.max(1),
             "--max-evals" => opts.cfg.max_evaluations = parse_n(value()?, "--max-evals")?.max(1),
             "--eval-threads" => opts.cfg.eval_threads = parse_n(value()?, "--eval-threads")?.max(1),
+            "--slow-ms" => opts.cfg.slow_request_ms = Some(parse_n(value()?, "--slow-ms")? as u64),
+            "--trace" => opts.trace = Some(value()?.to_string()),
             other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
         }
     }
@@ -75,6 +82,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 fn run(opts: Options) -> Result<(), String> {
+    if opts.trace.is_some() {
+        argo_trace::enable_spans();
+        argo_trace::enable_metrics();
+    }
     let listener = match (&opts.listen, &opts.socket) {
         (Some(addr), None) => Listener::tcp(addr).map_err(|e| format!("binding {addr}: {e}"))?,
         (None, Some(path)) => {
@@ -100,6 +111,14 @@ fn run(opts: Options) -> Result<(), String> {
         Server::start(listener, explorer, opts.cfg).map_err(|e| format!("starting server: {e}"))?;
     eprintln!("argo-serve: listening on {}", server.addr());
     server.join();
+    if let Some(path) = &opts.trace {
+        argo_trace::write_chrome_trace(argo_trace::global(), std::path::Path::new(path))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprint!(
+            "{}",
+            argo_trace::flame_summary(&argo_trace::global().snapshot(), 12)
+        );
+    }
     eprintln!("argo-serve: shut down");
     Ok(())
 }
@@ -147,6 +166,19 @@ mod tests {
         assert_eq!(o.store.as_deref(), Some("/tmp/s"));
         assert_eq!(o.cfg.workers, 8);
         assert_eq!(o.cfg.queue_limit, 16);
+        assert_eq!(o.cfg.slow_request_ms, None);
+
+        let o = parse_args(&args(&[
+            "--listen",
+            "127.0.0.1:0",
+            "--slow-ms",
+            "250",
+            "--trace",
+            "/tmp/t.json",
+        ]))
+        .unwrap();
+        assert_eq!(o.cfg.slow_request_ms, Some(250));
+        assert_eq!(o.trace.as_deref(), Some("/tmp/t.json"));
 
         assert!(parse_args(&[]).is_err(), "an endpoint is required");
         assert!(

@@ -439,6 +439,8 @@ pub enum Request {
     Search(SearchSpec),
     /// Server/session/cache/store counters.
     Stats,
+    /// Prometheus text exposition of the daemon's metrics registries.
+    Metrics,
     /// Clean server shutdown.
     Shutdown,
 }
@@ -472,7 +474,7 @@ impl Request {
                 h.write_bool(s.stall.is_some());
                 h.write_u64(s.stall.unwrap_or(0) as u64);
             }
-            Request::Stats | Request::Shutdown => return None,
+            Request::Stats | Request::Metrics | Request::Shutdown => return None,
         }
         Some(h.finish())
     }
@@ -485,6 +487,7 @@ impl Request {
             Request::Explore(_) => "explore",
             Request::Search(_) => "search",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
             Request::Shutdown => "shutdown",
         }
     }
@@ -663,6 +666,7 @@ pub fn parse_request(line: &str) -> Result<Envelope, String> {
             })
         }
         "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
         "shutdown" => Request::Shutdown,
         other => return Err(format!("unknown kind `{other}`")),
     };
@@ -795,6 +799,10 @@ mod tests {
 
     #[test]
     fn stats_and_shutdown_have_no_work_fingerprint() {
+        let m = parse_request(r#"{"kind": "metrics"}"#).unwrap();
+        assert_eq!(m.request, Request::Metrics);
+        assert_eq!(m.request.kind(), "metrics");
+        assert_eq!(m.request.fingerprint(), None);
         let s = parse_request(r#"{"kind": "stats"}"#).unwrap();
         assert_eq!(s.request.fingerprint(), None);
         let d = parse_request(r#"{"kind": "shutdown"}"#).unwrap();

@@ -19,8 +19,9 @@ use crate::proto::{self, Envelope, Request};
 use crate::singleflight::SingleFlight;
 use argo_core::{Diagnostic, FeedbackSnapshot, Stage, StageObserver, StageSummary};
 use argo_dse::executor::parallel_map;
-use argo_dse::{pareto_front, DesignSpace, Explorer, ReportRow, TimingObserver};
+use argo_dse::{pareto_front, DesignSpace, Explorer, ReportRow, StageTimings, TimingObserver};
 use argo_search::Budget;
+use argo_trace::{Counter, Histogram, LATENCY_US_BUCKETS};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -29,7 +30,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Admission-control and worker-pool knobs.
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +47,10 @@ pub struct ServeConfig {
     pub max_evaluations: usize,
     /// Threads used *inside* one explore/search evaluation.
     pub eval_threads: usize,
+    /// Work requests slower than this are logged to stderr with their
+    /// per-stage breakdown and counted in
+    /// `argo_serve_slow_requests_total` (`None` = no slow log).
+    pub slow_request_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +61,7 @@ impl Default for ServeConfig {
             max_points: 256,
             max_evaluations: 256,
             eval_threads: 2,
+            slow_request_ms: None,
         }
     }
 }
@@ -272,6 +278,47 @@ struct RequestCounters {
     rejected: AtomicU64,
 }
 
+/// Per-kind request-latency histograms
+/// (`argo_serve_request_latency_us{kind=…}`), resolved once at
+/// [`Server::start`] so the request path never touches the registry
+/// lock.
+struct LatencyHandles {
+    compile: Arc<Histogram>,
+    verify: Arc<Histogram>,
+    explore: Arc<Histogram>,
+    search: Arc<Histogram>,
+}
+
+impl LatencyHandles {
+    fn resolve() -> LatencyHandles {
+        let m = argo_trace::metrics();
+        let h = |kind: &str| {
+            m.histogram(
+                &format!("argo_serve_request_latency_us{{kind=\"{kind}\"}}"),
+                LATENCY_US_BUCKETS,
+            )
+        };
+        LatencyHandles {
+            compile: h("compile"),
+            verify: h("verify"),
+            explore: h("explore"),
+            search: h("search"),
+        }
+    }
+
+    fn for_request(&self, request: &Request) -> &Histogram {
+        match request {
+            Request::Compile(_) => &self.compile,
+            Request::Verify(_) => &self.verify,
+            Request::Explore(_) => &self.explore,
+            Request::Search(_) => &self.search,
+            Request::Stats | Request::Metrics | Request::Shutdown => {
+                unreachable!("control requests are not timed")
+            }
+        }
+    }
+}
+
 struct Inner {
     explorer: Explorer,
     flight: SingleFlight,
@@ -284,10 +331,18 @@ struct Inner {
     next_session: AtomicU64,
     served_total: AtomicU64,
     counters: RequestCounters,
-    /// Server-global stage-run/wall-time counters, fed by every
-    /// compile/verify/explore evaluation (searches use the explorer's
-    /// internal timing and are not counted here).
-    stage_obs: TimingObserver,
+    /// Per-session stage-timing observers, retained after the session
+    /// retires (a few counters each). Stage wall time is accumulated
+    /// here ONLY — the server-wide view is the sum over sessions.
+    /// (Before the `argo-trace` rewrite each stage was counted twice:
+    /// once into a global observer and once into the per-session
+    /// progress stream's timing.)
+    session_obs: Mutex<HashMap<u64, Arc<TimingObserver>>>,
+    /// Per-kind request latency histograms in the global registry.
+    latency: LatencyHandles,
+    /// `argo_serve_slow_requests_total` — requests over the slow-log
+    /// threshold.
+    slow_requests: Arc<Counter>,
     /// How to dial ourselves to unblock `accept` on shutdown.
     self_addr: String,
     unix: bool,
@@ -315,6 +370,10 @@ impl Server {
         cfg: ServeConfig,
     ) -> io::Result<ServerHandle> {
         let addr = listener.describe();
+        // The daemon always keeps its metrics registry live: gated
+        // instrumentation in the schedulers/WCET/executor publishes,
+        // and the `metrics` request exposes it.
+        argo_trace::enable_metrics();
         let inner = Arc::new(Inner {
             explorer,
             flight: SingleFlight::new(),
@@ -326,7 +385,9 @@ impl Server {
             next_session: AtomicU64::new(1),
             served_total: AtomicU64::new(0),
             counters: RequestCounters::default(),
-            stage_obs: TimingObserver::new(),
+            session_obs: Mutex::new(HashMap::new()),
+            latency: LatencyHandles::resolve(),
+            slow_requests: argo_trace::metrics().counter("argo_serve_slow_requests_total"),
             self_addr: addr.clone(),
             unix: !matches!(listener, Listener::Tcp(_)),
         });
@@ -378,9 +439,21 @@ impl ServerHandle {
         self.inner.explorer.cache_stats()
     }
 
-    /// Server-global stage-run counters (for tests and drivers).
-    pub fn stage_timings(&self) -> argo_dse::StageTimings {
-        self.inner.stage_obs.snapshot()
+    /// Server-global stage-run counters: the sum over all sessions'
+    /// observers (for tests and drivers).
+    pub fn stage_timings(&self) -> StageTimings {
+        self.inner.stage_timings_total()
+    }
+
+    /// Per-session stage timings, including retired sessions, sorted
+    /// by session id. Summing these reproduces [`Self::stage_timings`]
+    /// exactly — there is no second accumulation path.
+    pub fn session_stage_timings(&self) -> Vec<(u64, StageTimings)> {
+        let map = self.inner.session_obs.lock().unwrap();
+        let mut out: Vec<(u64, StageTimings)> =
+            map.iter().map(|(&id, obs)| (id, obs.snapshot())).collect();
+        out.sort_by_key(|&(id, _)| id);
+        out
     }
 
     /// `(executed, coalesced)` single-flight counters.
@@ -462,6 +535,22 @@ impl Inner {
         self.sessions.lock().unwrap().remove(&session);
     }
 
+    /// The session's timing observer, created on first use.
+    fn session_observer(&self, session: u64) -> Arc<TimingObserver> {
+        Arc::clone(self.session_obs.lock().unwrap().entry(session).or_default())
+    }
+
+    /// Sum of every session's stage timings — the single source for
+    /// `stats` and [`ServerHandle::stage_timings`].
+    fn stage_timings_total(&self) -> StageTimings {
+        let map = self.session_obs.lock().unwrap();
+        let mut total = StageTimings::default();
+        for obs in map.values() {
+            total.merge(&obs.snapshot());
+        }
+        total
+    }
+
     fn served(&self, session: u64) {
         self.served_total.fetch_add(1, Ordering::Relaxed);
         if let Some(count) = self.sessions.lock().unwrap().get_mut(&session) {
@@ -475,6 +564,15 @@ impl Inner {
             Request::Stats => {
                 self.counters.stats.fetch_add(1, Ordering::Relaxed);
                 let body = self.stats_body();
+                writer.line(&format!(
+                    "{{\"frame\":\"response\",\"id\":{},{}}}",
+                    envelope.id, body
+                ));
+                self.served(session);
+            }
+            Request::Metrics => {
+                self.counters.stats.fetch_add(1, Ordering::Relaxed);
+                let body = self.metrics_body();
                 writer.line(&format!(
                     "{{\"frame\":\"response\",\"id\":{},{}}}",
                     envelope.id, body
@@ -565,9 +663,17 @@ impl Inner {
             Request::Verify(_) => &self.counters.verify,
             Request::Explore(_) => &self.counters.explore,
             Request::Search(_) => &self.counters.search,
-            Request::Stats | Request::Shutdown => unreachable!("control requests answered inline"),
+            Request::Stats | Request::Metrics | Request::Shutdown => {
+                unreachable!("control requests answered inline")
+            }
         };
         counter.fetch_add(1, Ordering::Relaxed);
+        let obs = self.session_observer(session);
+        // The before-snapshot only feeds the slow-request breakdown;
+        // skip it on the hot path when no threshold is configured.
+        let before = self.cfg.slow_request_ms.map(|_| obs.snapshot());
+        let t0 = Instant::now();
+        let span = argo_trace::span("serve.request");
 
         let key = envelope
             .request
@@ -584,10 +690,22 @@ impl Inner {
             self.execute(
                 &envelope.request,
                 envelope.id,
+                &obs,
                 progress.as_ref().map(|p| p as &dyn StageObserver),
                 progress.as_ref().map(|_| &writer),
             )
         });
+        drop(span);
+        let elapsed = t0.elapsed();
+        self.latency
+            .for_request(&envelope.request)
+            .observe_duration_us(elapsed);
+        if let (Some(threshold), Some(before)) = (self.cfg.slow_request_ms, before) {
+            if elapsed.as_millis() as u64 >= threshold {
+                self.slow_requests.inc();
+                self.log_slow_request(&envelope, elapsed, &before, &obs.snapshot());
+            }
+        }
         writer.line(&format!(
             "{{\"frame\":\"response\",\"id\":{},{}}}",
             envelope.id, body
@@ -595,28 +713,55 @@ impl Inner {
         self.served(session);
     }
 
+    /// Slow-request log line: total latency plus the per-stage wall
+    /// time this request added to its session's observer. Coalesced
+    /// followers show zero stage time — the leader ran the pipeline.
+    fn log_slow_request(
+        &self,
+        envelope: &Envelope,
+        elapsed: Duration,
+        before: &StageTimings,
+        after: &StageTimings,
+    ) {
+        let delta = |b: argo_dse::TierTiming, a: argo_dse::TierTiming| {
+            (a.nanos.saturating_sub(b.nanos)) as f64 / 1e6
+        };
+        eprintln!(
+            "argo-serve: slow request id={} kind={} took {:.1}ms \
+             (frontend {:.1}ms, seed-costs {:.1}ms, backend {:.1}ms, verify {:.1}ms)",
+            envelope.id,
+            envelope.request.kind(),
+            elapsed.as_secs_f64() * 1e3,
+            delta(before.frontend, after.frontend),
+            delta(before.seed_costs, after.seed_costs),
+            delta(before.backend, after.backend),
+            delta(before.verify, after.verify),
+        );
+    }
+
     /// Executes one work request and renders its deterministic body.
     fn execute(
         &self,
         request: &Request,
         id: u64,
+        obs: &TimingObserver,
         forward: Option<&dyn StageObserver>,
         progress_writer: Option<&SharedWriter>,
     ) -> String {
         match request {
             Request::Compile(spec) => {
-                let row = self.evaluate_one(spec, forward);
+                let row = self.evaluate_one(spec, obs, forward);
                 point_body("compile", &row, proto::metrics_json)
             }
             Request::Verify(spec) => {
-                let row = self.evaluate_one(spec, forward);
+                let row = self.evaluate_one(spec, obs, forward);
                 point_body("verify", &row, |m| {
                     format!("{{\"verified\":true,\"findings\":{}}}", m.verify_findings)
                 })
             }
             Request::Explore(sweep) => {
                 let space = sweep.space();
-                let rows = self.evaluate_space(&space, id, progress_writer);
+                let rows = self.evaluate_space(&space, id, obs, progress_writer);
                 sweep_body("explore", &rows, None)
             }
             Request::Search(spec) => {
@@ -640,26 +785,27 @@ impl Inner {
                 );
                 sweep_body("search", &report.rows, Some(&extra))
             }
-            Request::Stats | Request::Shutdown => unreachable!("control requests answered inline"),
+            Request::Stats | Request::Metrics | Request::Shutdown => {
+                unreachable!("control requests answered inline")
+            }
         }
     }
 
     fn evaluate_one(
         &self,
         spec: &crate::proto::PointSpec,
+        obs: &TimingObserver,
         forward: Option<&dyn StageObserver>,
     ) -> ReportRow {
         let space = spec.space();
         let point = spec.point();
         match forward {
             Some(fwd) => {
-                let fanout = Fanout(fwd, &self.stage_obs);
+                let fanout = Fanout(fwd, obs);
                 self.explorer
                     .evaluate_point_observed(point, &space, &fanout)
             }
-            None => self
-                .explorer
-                .evaluate_point_observed(point, &space, &self.stage_obs),
+            None => self.explorer.evaluate_point_observed(point, &space, obs),
         }
     }
 
@@ -670,15 +816,13 @@ impl Inner {
         &self,
         space: &DesignSpace,
         id: u64,
+        obs: &TimingObserver,
         progress_writer: Option<&SharedWriter>,
     ) -> Vec<ReportRow> {
         let points = space.points();
         let total = points.len();
         let threads = self.cfg.eval_threads.max(1);
-        let eval = |point| {
-            self.explorer
-                .evaluate_point_observed(point, space, &self.stage_obs)
-        };
+        let eval = |point| self.explorer.evaluate_point_observed(point, space, obs);
 
         let Some(writer) = progress_writer else {
             return parallel_map(points, threads, &|_i, point| eval(point));
@@ -720,7 +864,7 @@ impl Inner {
         drop(sessions);
         let queue_depth = self.queue.lock().unwrap().len();
         let c = &self.counters;
-        let timing = self.stage_obs.snapshot();
+        let timing = self.stage_timings_total();
         let cache = self.explorer.cache_stats();
         let store = match self.explorer.store() {
             Some(store) => {
@@ -778,6 +922,21 @@ impl Inner {
             cache.point_store_misses,
             cache.combined_hit_rate(),
             store
+        )
+    }
+
+    /// The `metrics` response: Prometheus text exposition of the
+    /// process-global registry (request latency, slow requests, the
+    /// gated scheduler/WCET/executor metrics) concatenated with the
+    /// backing store's per-handle registry, if any.
+    fn metrics_body(&self) -> String {
+        let mut text = argo_trace::metrics().prometheus();
+        if let Some(store) = self.explorer.store() {
+            text.push_str(&store.registry().prometheus());
+        }
+        format!(
+            "\"ok\":true,\"kind\":\"metrics\",\"result\":{{\"prometheus\":\"{}\"}}",
+            proto::esc(&text)
         )
     }
 }

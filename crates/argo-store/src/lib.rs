@@ -72,13 +72,14 @@
 
 use argo_core::codec::Codec;
 use argo_core::{Artifact, Fingerprint};
+use argo_trace::{Counter, Histogram, Registry, LATENCY_US_BUCKETS};
 use std::collections::HashSet;
 use std::fs::{self, File};
 use std::io::{self, Read as _, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::{Duration, SystemTime};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant, SystemTime};
 
 /// Current on-disk schema version. Bump whenever the entry header or
 /// any [`Codec`] encoding changes shape; old entries then read as
@@ -196,12 +197,19 @@ impl Drop for PinGuard<'_> {
 pub struct Store {
     dir: PathBuf,
     pins: Mutex<HashSet<PathBuf>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    corrupt: AtomicU64,
-    version_skew: AtomicU64,
-    evictions: AtomicU64,
-    write_errors: AtomicU64,
+    /// Per-handle metrics registry (`argo_store_*` names). Deliberately
+    /// NOT the process-global [`argo_trace::metrics`] registry: tests
+    /// and `argo-serve` open several stores per process, and each
+    /// handle's counts must stay isolated.
+    registry: Registry,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    corrupt: Arc<Counter>,
+    version_skew: Arc<Counter>,
+    evictions: Arc<Counter>,
+    write_errors: Arc<Counter>,
+    get_latency: Arc<Histogram>,
+    put_latency: Arc<Histogram>,
 }
 
 impl Store {
@@ -214,16 +222,28 @@ impl Store {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Store> {
         let dir = dir.into();
         fs::create_dir_all(dir.join("tmp"))?;
+        let registry = Registry::new();
         Ok(Store {
             dir,
             pins: Mutex::new(HashSet::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            corrupt: AtomicU64::new(0),
-            version_skew: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            write_errors: AtomicU64::new(0),
+            hits: registry.counter("argo_store_hits_total"),
+            misses: registry.counter("argo_store_misses_total"),
+            corrupt: registry.counter("argo_store_corrupt_total"),
+            version_skew: registry.counter("argo_store_version_skew_total"),
+            evictions: registry.counter("argo_store_evictions_total"),
+            write_errors: registry.counter("argo_store_write_errors_total"),
+            get_latency: registry.histogram("argo_store_get_latency_us", LATENCY_US_BUCKETS),
+            put_latency: registry.histogram("argo_store_put_latency_us", LATENCY_US_BUCKETS),
+            registry,
         })
+    }
+
+    /// The handle's metrics registry: the counters plus
+    /// `argo_store_get_latency_us` / `argo_store_put_latency_us`
+    /// histograms. `argo-serve`'s `metrics` endpoint and the CLI's
+    /// `stats --json` render from here.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// The store's root directory.
@@ -234,12 +254,12 @@ impl Store {
     /// Snapshot of the cumulative counters.
     pub fn counters(&self) -> StoreCounters {
         StoreCounters {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            corrupt: self.corrupt.load(Ordering::Relaxed),
-            version_skew: self.version_skew.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            write_errors: self.write_errors.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            corrupt: self.corrupt.get(),
+            version_skew: self.version_skew.get(),
+            evictions: self.evictions.get(),
+            write_errors: self.write_errors.get(),
         }
     }
 
@@ -274,9 +294,11 @@ impl Store {
     }
 
     fn put_raw(&self, namespace: &str, key: Fingerprint, content: Fingerprint, payload: &[u8]) {
+        let t0 = Instant::now();
         if self.try_put(namespace, key, content, payload).is_err() {
-            self.write_errors.fetch_add(1, Ordering::Relaxed);
+            self.write_errors.inc();
         }
+        self.put_latency.observe_duration_us(t0.elapsed());
     }
 
     fn try_put(
@@ -356,9 +378,9 @@ impl Store {
     fn reject_corrupt<T>(&self, namespace: &str, key: Fingerprint) -> Option<T> {
         // get_raw already counted a hit for the valid envelope; convert
         // it into a corrupt miss now that the payload failed.
-        self.hits.fetch_sub(1, Ordering::Relaxed);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.corrupt.fetch_add(1, Ordering::Relaxed);
+        self.hits.sub(1);
+        self.misses.inc();
+        self.corrupt.inc();
         let _ = fs::remove_file(self.entry_path(namespace, key));
         None
     }
@@ -367,6 +389,13 @@ impl Store {
     /// content fingerprint and payload. Counts a hit or (possibly
     /// corrupt/skewed) miss; refreshes the entry's LRU clock.
     pub fn get_raw(&self, namespace: &str, key: Fingerprint) -> Option<(Fingerprint, Vec<u8>)> {
+        let t0 = Instant::now();
+        let out = self.get_raw_inner(namespace, key);
+        self.get_latency.observe_duration_us(t0.elapsed());
+        out
+    }
+
+    fn get_raw_inner(&self, namespace: &str, key: Fingerprint) -> Option<(Fingerprint, Vec<u8>)> {
         // Pin before opening so a concurrent gc never unlinks the file
         // mid-read (POSIX would let the read finish, but the next
         // reader would miss — the pin keeps hot entries resident).
@@ -375,32 +404,32 @@ impl Store {
         let mut file = match File::open(&path) {
             Ok(f) => f,
             Err(_) => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 return None;
             }
         };
         let mut bytes = Vec::new();
         if file.read_to_end(&mut bytes).is_err() {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
             return None;
         }
         match self.parse_entry(&bytes, namespace, key) {
             EntryParse::Valid { content, payload } => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 // LRU clock: gc ranks by mtime, so refresh it on use.
                 let _ = file.set_modified(SystemTime::now());
                 Some((content, payload))
             }
             EntryParse::VersionSkew => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                self.version_skew.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
+                self.version_skew.inc();
                 // Leave the file for gc: a *newer* schema's entry must
                 // survive this process, and an older one is harmless.
                 None
             }
             EntryParse::Corrupt => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
+                self.corrupt.inc();
                 let _ = fs::remove_file(&path);
                 None
             }
@@ -563,7 +592,7 @@ impl Store {
                 total -= entry.bytes;
                 stats.evicted += 1;
                 stats.reclaimed_bytes += entry.bytes;
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evictions.inc();
             }
         }
         stats.remaining_bytes = total;
@@ -851,6 +880,45 @@ mod tests {
         store.clear().unwrap();
         assert_eq!(store.ls().len(), 0);
         assert_eq!(store.get_value::<Vec<u64>>("a", Fingerprint(1)), None);
+    }
+
+    #[test]
+    fn registry_tracks_latency_and_counters_per_handle() {
+        let td = TestDir::new();
+        let store = Store::open(&td.0).unwrap();
+        let other = Store::open(&td.0).unwrap();
+        for i in 0..5u64 {
+            store.put_value("unit", Fingerprint(i), &vec![i; 16]);
+        }
+        for i in 0..5u64 {
+            assert!(store
+                .get_value::<Vec<u64>>("unit", Fingerprint(i))
+                .is_some());
+        }
+        assert!(store
+            .get_value::<Vec<u64>>("unit", Fingerprint(99))
+            .is_none());
+        let get = store
+            .registry()
+            .get_histogram("argo_store_get_latency_us")
+            .unwrap();
+        let put = store
+            .registry()
+            .get_histogram("argo_store_put_latency_us")
+            .unwrap();
+        assert_eq!(put.count(), 5);
+        assert_eq!(get.count(), 6, "hits and misses both time the read path");
+        assert!(get.p99() >= get.p50());
+        // Registries are per handle: the second store saw none of it.
+        let cold = other
+            .registry()
+            .get_histogram("argo_store_get_latency_us")
+            .unwrap();
+        assert_eq!(cold.count(), 0);
+        let text = store.registry().prometheus();
+        assert!(text.contains("argo_store_hits_total 5"), "{text}");
+        assert!(text.contains("argo_store_misses_total 1"), "{text}");
+        assert!(text.contains("argo_store_get_latency_us_count 6"), "{text}");
     }
 
     #[test]

@@ -58,16 +58,39 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     })
 }
 
+/// One histogram as a JSON fragment: `{"p50_us": …, "p99_us": …,
+/// "count": …}`. Quantiles are 0 when the histogram is empty.
+fn latency_json(h: &argo_trace::Histogram) -> String {
+    format!(
+        "{{\"p50_us\": {:.1}, \"p99_us\": {:.1}, \"count\": {}}}",
+        h.p50(),
+        h.p99(),
+        h.count()
+    )
+}
+
 /// `stats --json` output: one machine-readable object, keys matching
 /// the `StoreStats`/`StoreCounters` field names, so the `argo-serve`
 /// health endpoint and CI scripts can parse counters without scraping
-/// the human-readable text.
-fn stats_json(dir: &str, stats: &argo_store::StoreStats) -> String {
+/// the human-readable text. The `latency` object carries this handle's
+/// get/put histograms (for a CLI run that means the `stats` walk
+/// itself — cold handles start at zero).
+fn stats_json(dir: &str, store: &Store) -> String {
+    let stats = store.stats();
     let c = stats.counters;
+    let get = store
+        .registry()
+        .get_histogram("argo_store_get_latency_us")
+        .expect("store registry always has the get histogram");
+    let put = store
+        .registry()
+        .get_histogram("argo_store_put_latency_us")
+        .expect("store registry always has the put histogram");
     format!(
         "{{\"store\": \"{}\", \"entries\": {}, \"bytes\": {}, \"counters\": \
          {{\"hits\": {}, \"misses\": {}, \"corrupt\": {}, \"version_skew\": {}, \
-         \"evictions\": {}, \"write_errors\": {}}}}}",
+         \"evictions\": {}, \"write_errors\": {}}}, \"latency\": \
+         {{\"get\": {}, \"put\": {}}}}}",
         dir.escape_default(),
         stats.entries,
         stats.bytes,
@@ -76,7 +99,9 @@ fn stats_json(dir: &str, stats: &argo_store::StoreStats) -> String {
         c.corrupt,
         c.version_skew,
         c.evictions,
-        c.write_errors
+        c.write_errors,
+        latency_json(&get),
+        latency_json(&put)
     )
 }
 
@@ -85,11 +110,11 @@ fn run(cmd: &str, args: &[String]) -> Result<(), String> {
     let store = Store::open(&opts.dir).map_err(|e| format!("opening {}: {e}", opts.dir))?;
     match cmd {
         "stats" => {
-            let stats = store.stats();
             if opts.json {
-                println!("{}", stats_json(&opts.dir, &stats));
+                println!("{}", stats_json(&opts.dir, &store));
                 return Ok(());
             }
+            let stats = store.stats();
             println!("store: {}", opts.dir);
             println!("entries: {}", stats.entries);
             println!("bytes: {}", stats.bytes);
@@ -179,21 +204,28 @@ mod tests {
 
     #[test]
     fn stats_json_shape() {
-        let stats = argo_store::StoreStats {
-            entries: 3,
-            bytes: 512,
-            counters: argo_store::StoreCounters {
-                hits: 7,
-                misses: 2,
-                ..Default::default()
-            },
-        };
-        let json = stats_json("/tmp/s", &stats);
+        let dir = std::env::temp_dir().join(format!("argo-store-cli-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).unwrap();
+        use argo_core::Fingerprint;
+        for i in 0..3u64 {
+            store.put_value("unit", Fingerprint(i), &vec![i; 8]);
+        }
+        let _ = store.get_value::<Vec<u64>>("unit", Fingerprint(0));
+        let _ = store.get_value::<Vec<u64>>("unit", Fingerprint(9)); // miss
+        let json = stats_json("/tmp/s", &store);
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         assert!(json.contains("\"entries\": 3"), "{json}");
-        assert!(json.contains("\"bytes\": 512"), "{json}");
-        assert!(json.contains("\"hits\": 7"), "{json}");
-        assert!(json.contains("\"misses\": 2"), "{json}");
+        assert!(json.contains("\"hits\": 1"), "{json}");
+        assert!(json.contains("\"misses\": 1"), "{json}");
         assert!(json.contains("\"write_errors\": 0"), "{json}");
+        assert!(json.contains("\"latency\""), "{json}");
+        assert!(json.contains("\"get\": {\"p50_us\""), "{json}");
+        assert!(json.contains("\"put\": {\"p50_us\""), "{json}");
+        assert!(
+            json.contains("\"count\": 3"),
+            "put histogram saw 3 writes: {json}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -32,6 +32,8 @@ OPTIONS:
     --allow CODE           drop findings with this code (repeatable),
                            e.g. --allow dead-store --allow uninit-read
     --seed N               synthetic input seed (default: 42)
+    --trace PATH           record spans and write a Chrome trace-event
+                           JSON there; a flame summary goes to stderr
     --quiet                only print failing reports
 ";
 
@@ -60,6 +62,7 @@ struct Opts {
     spm: Option<u64>,
     allow: Vec<ErrorCode>,
     seed: u64,
+    trace: Option<String>,
     quiet: bool,
 }
 
@@ -72,6 +75,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         spm: None,
         allow: Vec::new(),
         seed: 42,
+        trace: None,
         quiet: false,
     };
     let mut it = args.iter();
@@ -125,6 +129,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|_| "bad --seed value".to_string())?
             }
+            "--trace" => opts.trace = Some(value()?.to_string()),
             "--quiet" => opts.quiet = true,
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -165,6 +170,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if opts.trace.is_some() {
+        argo_trace::enable_spans();
+        argo_trace::enable_metrics();
+    }
     let platform = build_platform(&opts);
     let use_cases = argo_apps::all_use_cases(opts.seed);
 
@@ -201,6 +210,18 @@ fn main() -> ExitCode {
                 print!("{name}: {}", report.render_text());
             }
         }
+    }
+    if let Some(path) = &opts.trace {
+        if let Err(e) =
+            argo_trace::write_chrome_trace(argo_trace::global(), std::path::Path::new(path))
+        {
+            eprintln!("error: writing {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprint!(
+            "{}",
+            argo_trace::flame_summary(&argo_trace::global().snapshot(), 12)
+        );
     }
     if failed {
         ExitCode::FAILURE

@@ -43,6 +43,7 @@ impl ToolflowVerifyExt for Toolflow<'_> {
         if let Some(obs) = obs {
             obs.on_stage_start(Stage::Verify, self.next_observer_seq());
         }
+        let _span = argo_trace::span(argo_core::stage_span_name(Stage::Verify));
         let t0 = Instant::now();
         let report = verify_backend(result, platform, &cfg);
         if let Some(obs) = obs {

@@ -195,10 +195,12 @@ pub fn loop_bounds_resolved(
         }
         let mut an = Analyzer {
             resolution,
+            fixpoint_rounds: 0,
             rfunc,
             bounds: &mut bounds,
         };
         an.block(&rfunc.body, &mut env)?;
+        an.publish_fixpoint_rounds();
     }
     // Callee loops: analyse every function reachable from `func` with ⊤
     // parameters (conservative: their own literal bounds must suffice).
@@ -213,10 +215,12 @@ pub fn loop_bounds_resolved(
         let mut env = vec![Interval::TOP; rfunc.frame_len as usize];
         let mut an = Analyzer {
             resolution,
+            fixpoint_rounds: 0,
             rfunc,
             bounds: &mut bounds,
         };
         an.block(&rfunc.body, &mut env)?;
+        an.publish_fixpoint_rounds();
         queue.extend_from_slice(&rfunc.callees);
     }
     Ok(bounds)
@@ -226,13 +230,35 @@ pub fn loop_bounds_resolved(
 /// (array and untouched slots stay ⊤).
 type Env = Vec<Interval>;
 
+/// The `argo_wcet_fixpoint_iters` histogram handle, resolved once.
+fn fixpoint_histogram() -> &'static std::sync::Arc<argo_trace::Histogram> {
+    static HIST: std::sync::OnceLock<std::sync::Arc<argo_trace::Histogram>> =
+        std::sync::OnceLock::new();
+    HIST.get_or_init(|| {
+        argo_trace::metrics().histogram("argo_wcet_fixpoint_iters", argo_trace::COUNT_BUCKETS)
+    })
+}
+
 struct Analyzer<'a> {
     resolution: &'a Resolution,
+    /// Widening-fixpoint rounds run while analysing this function
+    /// (a plain local count; published to the gated
+    /// `argo_wcet_fixpoint_iters` histogram once per function).
+    fixpoint_rounds: u64,
     rfunc: &'a RFunction,
     bounds: &'a mut LoopBounds,
 }
 
 impl<'a> Analyzer<'a> {
+    /// Publishes this function's fixpoint-round count to the
+    /// `argo_wcet_fixpoint_iters` histogram. Gated — a metrics-off
+    /// process pays one relaxed load per analysed function.
+    fn publish_fixpoint_rounds(&self) {
+        if argo_trace::metrics_on() {
+            fixpoint_histogram().observe(self.fixpoint_rounds);
+        }
+    }
+
     fn block(&mut self, block: &[u32], env: &mut Env) -> Result<(), WcetError> {
         for &i in block {
             self.stmt(self.rfunc.stmt(i), env)?;
@@ -311,6 +337,7 @@ impl<'a> Analyzer<'a> {
                 body_env[var.idx()] = in_loop;
                 let mut before = Env::new();
                 for round in 0..4 {
+                    self.fixpoint_rounds += 1;
                     before.clone_from(&body_env);
                     self.block(body, &mut body_env)?;
                     body_env[var.idx()] = in_loop;
@@ -335,6 +362,7 @@ impl<'a> Analyzer<'a> {
                 let mut body_env = env.clone();
                 let mut before = Env::new();
                 for round in 0..4 {
+                    self.fixpoint_rounds += 1;
                     before.clone_from(&body_env);
                     self.block(body, &mut body_env)?;
                     if body_env == before {

@@ -62,6 +62,7 @@ pub use argo_search as search;
 pub use argo_serve as serve;
 pub use argo_sim as sim;
 pub use argo_store as store;
+pub use argo_trace as trace;
 pub use argo_transform as transform;
 pub use argo_verify as verify;
 pub use argo_wcet as wcet;

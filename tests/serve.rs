@@ -325,3 +325,89 @@ fn unix_socket_transport_works() {
     server.join();
     let _ = std::fs::remove_file(&path);
 }
+
+/// Satellite: stage wall time is accumulated per session only; the
+/// server-wide `stats` view is the sum of the per-session observers,
+/// with no second (global) accumulation path to drift from.
+#[test]
+fn stats_stage_wall_equals_sum_of_per_session_spans() {
+    let server = boot(None, ServeConfig::default());
+
+    // Two sessions, distinct points (no coalescing, no cache hits).
+    let mut a = Client::connect_tcp(server.addr()).unwrap();
+    let mut b = Client::connect_tcp(server.addr()).unwrap();
+    let ra = a
+        .request(r#"{"id": 1, "kind": "compile", "app": "tiny", "cores": 2}"#)
+        .unwrap();
+    let rb = b
+        .request(r#"{"id": 2, "kind": "compile", "app": "tiny", "cores": 4}"#)
+        .unwrap();
+    assert!(ra.is_ok() && rb.is_ok());
+
+    let total = server.stage_timings();
+    let sessions = server.session_stage_timings();
+    let mut sum = argo_dse::StageTimings::default();
+    for (_, t) in &sessions {
+        sum.merge(t);
+    }
+    assert_eq!(sum, total, "stats stage-wall is exactly the session sum");
+    assert_eq!(total.backend.runs, 2, "one pipeline run per session");
+    let with_work = sessions.iter().filter(|(_, t)| t.backend.runs > 0).count();
+    assert_eq!(
+        with_work, 2,
+        "each session's work lands on its own observer"
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+/// Satellite: the `metrics` control request answers with Prometheus
+/// text exposition covering request-latency histograms and the backing
+/// store's hit/miss counters.
+#[test]
+fn metrics_request_returns_prometheus_text() {
+    let dir = temp_dir("metrics");
+    let server = boot(Some(&dir), ServeConfig::default());
+    let mut client = Client::connect_tcp(server.addr()).unwrap();
+
+    let reply = client
+        .request(r#"{"id": 1, "kind": "compile", "app": "tiny", "cores": 2}"#)
+        .unwrap();
+    assert!(reply.is_ok(), "{}", reply.terminal);
+
+    let reply = client.request(r#"{"id": 2, "kind": "metrics"}"#).unwrap();
+    let frame = reply.frame().unwrap();
+    assert_eq!(frame.get("kind").unwrap().as_str(), Some("metrics"));
+    let text = frame
+        .get("result")
+        .unwrap()
+        .get("prometheus")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert!(!text.is_empty());
+    assert!(text.contains("# TYPE"), "{text}");
+    assert!(
+        text.contains("argo_serve_request_latency_us_bucket{kind=\"compile\",le="),
+        "per-kind latency histogram missing:\n{text}"
+    );
+    // The registry is process-global, so other in-process servers of
+    // this test binary contribute too — assert presence, not an exact
+    // count.
+    assert!(
+        text.contains("argo_serve_request_latency_us_count{kind=\"compile\"}"),
+        "compile latency count missing:\n{text}"
+    );
+    assert!(text.contains("argo_store_hits_total"), "{text}");
+    assert!(text.contains("argo_store_misses_total"), "{text}");
+    assert!(
+        text.contains("argo_store_put_latency_us_count"),
+        "store put latency histogram missing:\n{text}"
+    );
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
