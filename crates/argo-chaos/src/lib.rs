@@ -1,0 +1,515 @@
+//! # argo-chaos — deterministic fault injection for the toolflow
+//!
+//! The store's degradation contract ("every failure is a counted miss,
+//! never a panic, never wrong data") and the daemon's isolation
+//! contract ("every request ends in correct bytes or a structured
+//! error frame") are only worth stating if something *injects* the
+//! failures. This crate provides that something: a seeded, std-only
+//! fault layer over `argo-store`'s injectable [`IoBackend`], so chaos
+//! tests and the `e13_chaos` driver can replay real traffic while the
+//! live I/O path fails underneath it — reproducibly.
+//!
+//! ## Determinism
+//!
+//! A [`FaultPlan`] is pure data: a seed plus per-mille rates for each
+//! fault class. [`ChaosIo`] decides whether the *n*-th operation of a
+//! given class on a given path faults by hashing
+//! `(seed, class, path, n)` — no RNG state, no wall clock — so the
+//! same plan over the same operation sequence injects the same faults,
+//! and a failing chaos run reproduces from its seed alone. Under
+//! concurrency the per-path operation counter still makes the *set* of
+//! decisions per path deterministic even when thread interleaving
+//! varies.
+//!
+//! ## Fault classes
+//!
+//! | class | injected as | store must degrade to |
+//! |---|---|---|
+//! | write error | `write_file` fails (create/write/fsync) | dropped write (`write_errors`) |
+//! | torn write  | `write_file` silently persists a prefix | corrupt miss on next read, self-heal |
+//! | rename error | publish `rename` fails | dropped write (`write_errors`) |
+//! | read error  | `read` fails | plain miss, entry left intact |
+//! | latency     | `read`/`write_file` sleep first | slower op, nothing else |
+//! | panic       | `read` panics | caught at an isolation boundary (worker `catch_unwind`) |
+//!
+//! The panic class simulates a *bug* (not an I/O error) surfacing mid-
+//! request; it exists to exercise the daemon's and the explorer's
+//! panic isolation end-to-end, and is the one class the store itself
+//! does not absorb. Plans used in store-level tests keep it at zero.
+//!
+//! Every injected fault is counted — locally (snapshot via
+//! [`ChaosIo::injected`]) and on the process-global
+//! [`argo_trace::metrics`] registry (`argo_chaos_*_injected_total`),
+//! so a daemon's `metrics` request surfaces what chaos did to it.
+
+use argo_store::{DirEntryInfo, IoBackend, RealIo};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A seeded, declarative fault-injection plan. Rates are per-mille
+/// (0..=1000): `250` faults roughly every fourth decision. All-zero
+/// rates make [`ChaosIo`] a counting passthrough.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed mixed into every fault decision; two plans with different
+    /// seeds fault different operations at the same rates.
+    pub seed: u64,
+    /// Per-mille rate of failed writes (create/write/fsync errors).
+    pub write_error: u16,
+    /// Per-mille rate of torn writes: the file silently persists only
+    /// a prefix of the bytes (a lying disk / power cut mid-write).
+    pub torn_write: u16,
+    /// Per-mille rate of failed publishes (`rename` errors).
+    pub rename_error: u16,
+    /// Per-mille rate of failed reads.
+    pub read_error: u16,
+    /// Per-mille rate of induced latency on reads and writes.
+    pub latency: u16,
+    /// How long an induced-latency operation sleeps.
+    pub latency_sleep: Duration,
+    /// Per-mille rate of injected panics on reads (simulated bugs, for
+    /// exercising `catch_unwind` isolation — not absorbed by the
+    /// store).
+    pub panic: u16,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (counting passthrough).
+    pub fn quiet(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            write_error: 0,
+            torn_write: 0,
+            rename_error: 0,
+            read_error: 0,
+            latency: 0,
+            latency_sleep: Duration::from_millis(1),
+            panic: 0,
+        }
+    }
+
+    /// A moderate all-class I/O storm (no panics): every class at
+    /// `rate` per mille. The shape chaos store-tests use.
+    pub fn io_storm(seed: u64, rate: u16) -> FaultPlan {
+        FaultPlan {
+            write_error: rate,
+            torn_write: rate,
+            rename_error: rate,
+            read_error: rate,
+            latency: rate,
+            ..FaultPlan::quiet(seed)
+        }
+    }
+}
+
+/// Snapshot of faults a [`ChaosIo`] has injected so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectedCounts {
+    /// Failed writes injected.
+    pub write_errors: u64,
+    /// Torn (prefix-only) writes injected.
+    pub torn_writes: u64,
+    /// Failed renames injected.
+    pub rename_errors: u64,
+    /// Failed reads injected.
+    pub read_errors: u64,
+    /// Operations delayed.
+    pub latencies: u64,
+    /// Panics injected.
+    pub panics: u64,
+}
+
+impl InjectedCounts {
+    /// Total injected faults of every class.
+    pub fn total(&self) -> u64 {
+        self.write_errors
+            + self.torn_writes
+            + self.rename_errors
+            + self.read_errors
+            + self.latencies
+            + self.panics
+    }
+}
+
+/// Fault classes, used as decision-hash domains. Distinct tags keep
+/// the classes' decisions independent: the same operation may draw a
+/// latency but not a read error, and vice versa.
+#[derive(Debug, Clone, Copy)]
+enum Class {
+    WriteError = 1,
+    TornWrite = 2,
+    RenameError = 3,
+    ReadError = 4,
+    Latency = 5,
+    Panic = 6,
+}
+
+/// An [`IoBackend`] that injects the faults of a [`FaultPlan`] in
+/// front of [`RealIo`]. See the [module docs](self) for the
+/// determinism scheme and the per-class semantics.
+#[derive(Debug)]
+pub struct ChaosIo {
+    plan: FaultPlan,
+    inner: RealIo,
+    /// Per-(class, path) operation counters: the *n*-th decision for a
+    /// (class, path) pair is a pure function of `(seed, class, path,
+    /// n)`.
+    ops: Mutex<std::collections::HashMap<(u8, PathBuf), u64>>,
+    write_errors: AtomicU64,
+    torn_writes: AtomicU64,
+    rename_errors: AtomicU64,
+    read_errors: AtomicU64,
+    latencies: AtomicU64,
+    panics: AtomicU64,
+}
+
+fn fnv1a_step(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl ChaosIo {
+    /// A chaos backend executing `plan` over the real filesystem.
+    pub fn new(plan: FaultPlan) -> ChaosIo {
+        ChaosIo {
+            plan,
+            inner: RealIo,
+            ops: Mutex::new(std::collections::HashMap::new()),
+            write_errors: AtomicU64::new(0),
+            torn_writes: AtomicU64::new(0),
+            rename_errors: AtomicU64::new(0),
+            read_errors: AtomicU64::new(0),
+            latencies: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan this backend executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Snapshot of everything injected so far.
+    pub fn injected(&self) -> InjectedCounts {
+        InjectedCounts {
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+            torn_writes: self.torn_writes.load(Ordering::Relaxed),
+            rename_errors: self.rename_errors.load(Ordering::Relaxed),
+            read_errors: self.read_errors.load(Ordering::Relaxed),
+            latencies: self.latencies.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The stable identity a fault decision is keyed on. Entry files
+    /// have content-derived, run-stable names; in-flight tmp files
+    /// carry a process-global sequence number that would differ
+    /// between otherwise identical runs, so they all collapse to one
+    /// key — the per-key operation counter supplies the variation.
+    fn decision_key(path: &Path) -> PathBuf {
+        if path.extension().is_some_and(|e| e == "tmp") {
+            PathBuf::from("tmp")
+        } else {
+            path.file_name().map(PathBuf::from).unwrap_or_default()
+        }
+    }
+
+    /// Deterministic fault decision: does the next operation of
+    /// `class` on `path` fault at `rate` per mille?
+    fn decide(&self, class: Class, path: &Path, rate: u16) -> bool {
+        if rate == 0 {
+            return false;
+        }
+        let key = Self::decision_key(path);
+        let n = {
+            let mut ops = self.ops.lock().unwrap();
+            let n = ops.entry((class as u8, key.clone())).or_insert(0);
+            *n += 1;
+            *n - 1
+        };
+        let mut h = fnv1a_step(0xcbf2_9ce4_8422_2325, &self.plan.seed.to_le_bytes());
+        h = fnv1a_step(h, &[class as u8]);
+        h = fnv1a_step(h, key.as_os_str().as_encoded_bytes());
+        h = fnv1a_step(h, &n.to_le_bytes());
+        h % 1000 < u64::from(rate)
+    }
+
+    fn injected_err(&self, what: &str, counter: &AtomicU64, metric: &str) -> io::Error {
+        counter.fetch_add(1, Ordering::Relaxed);
+        argo_trace::metrics().counter(metric).inc();
+        io::Error::other(format!("chaos: injected {what}"))
+    }
+
+    fn maybe_sleep(&self, path: &Path) {
+        if self.decide(Class::Latency, path, self.plan.latency) {
+            self.latencies.fetch_add(1, Ordering::Relaxed);
+            argo_trace::metrics()
+                .counter("argo_chaos_latency_injected_total")
+                .inc();
+            std::thread::sleep(self.plan.latency_sleep);
+        }
+    }
+}
+
+impl IoBackend for ChaosIo {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        if self.decide(Class::Panic, path, self.plan.panic) {
+            self.panics.fetch_add(1, Ordering::Relaxed);
+            argo_trace::metrics()
+                .counter("argo_chaos_panic_injected_total")
+                .inc();
+            panic!("chaos: injected panic reading {}", path.display());
+        }
+        self.maybe_sleep(path);
+        if self.decide(Class::ReadError, path, self.plan.read_error) {
+            return Err(self.injected_err(
+                "read error",
+                &self.read_errors,
+                "argo_chaos_read_errors_injected_total",
+            ));
+        }
+        self.inner.read(path)
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.maybe_sleep(path);
+        if self.decide(Class::WriteError, path, self.plan.write_error) {
+            // Leave the partial residue a real failed write leaves.
+            let _ = self.inner.write_file(path, &bytes[..bytes.len() / 3]);
+            return Err(self.injected_err(
+                "write/fsync error",
+                &self.write_errors,
+                "argo_chaos_write_errors_injected_total",
+            ));
+        }
+        if self.decide(Class::TornWrite, path, self.plan.torn_write) {
+            // A lying disk: report success, persist only a prefix.
+            self.torn_writes.fetch_add(1, Ordering::Relaxed);
+            argo_trace::metrics()
+                .counter("argo_chaos_torn_writes_injected_total")
+                .inc();
+            return self.inner.write_file(path, &bytes[..bytes.len() * 2 / 3]);
+        }
+        self.inner.write_file(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if self.decide(Class::RenameError, to, self.plan.rename_error) {
+            return Err(self.injected_err(
+                "rename error",
+                &self.rename_errors,
+                "argo_chaos_rename_errors_injected_total",
+            ));
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<DirEntryInfo>> {
+        self.inner.read_dir(path)
+    }
+
+    fn set_modified(&self, path: &Path, t: std::time::SystemTime) -> io::Result<()> {
+        self.inner.set_modified(path, t)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_dir_all(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argo_core::Fingerprint;
+    use argo_store::Store;
+    use std::sync::Arc;
+
+    static TEST_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    struct TestDir(PathBuf);
+
+    impl TestDir {
+        fn new() -> TestDir {
+            let seq = TEST_SEQ.fetch_add(1, Ordering::Relaxed);
+            let dir =
+                std::env::temp_dir().join(format!("argo-chaos-test-{}-{seq}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            TestDir(dir)
+        }
+    }
+
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn payload(i: u64) -> Vec<u64> {
+        (0..32).map(|j| i * 1000 + j).collect()
+    }
+
+    #[test]
+    fn quiet_plan_is_a_passthrough() {
+        let td = TestDir::new();
+        let io = Arc::new(ChaosIo::new(FaultPlan::quiet(1)));
+        let store = Store::open_with_io(&td.0, io.clone()).unwrap();
+        for i in 0..16u64 {
+            store.put_value("unit", Fingerprint(i), &payload(i));
+        }
+        for i in 0..16u64 {
+            assert_eq!(
+                store.get_value::<Vec<u64>>("unit", Fingerprint(i)),
+                Some(payload(i))
+            );
+        }
+        assert_eq!(io.injected().total(), 0);
+        assert_eq!(store.counters().misses, 0);
+    }
+
+    /// The core contract: under an all-class I/O storm, every read
+    /// returns either the exact original bytes or a miss — never wrong
+    /// data, never a panic — and every injected fault shows up as a
+    /// counted degradation, not silence.
+    #[test]
+    fn every_injected_fault_degrades_to_a_counted_miss() {
+        let td = TestDir::new();
+        let io = Arc::new(ChaosIo::new(FaultPlan::io_storm(42, 200)));
+        let store = Store::open_with_io(&td.0, io.clone()).unwrap();
+        let keys = 200u64;
+        for i in 0..keys {
+            store.put_value("unit", Fingerprint(i), &payload(i));
+        }
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for i in 0..keys {
+            match store.get_value::<Vec<u64>>("unit", Fingerprint(i)) {
+                Some(v) => {
+                    assert_eq!(v, payload(i), "wrong data for key {i}");
+                    hits += 1;
+                }
+                None => misses += 1,
+            }
+        }
+        let injected = io.injected();
+        assert!(injected.write_errors > 0, "{injected:?}");
+        assert!(injected.torn_writes > 0, "{injected:?}");
+        assert!(injected.rename_errors > 0, "{injected:?}");
+        assert!(injected.read_errors > 0, "{injected:?}");
+        assert!(injected.latencies > 0, "{injected:?}");
+        assert_eq!(injected.panics, 0);
+        let c = store.counters();
+        // Dropped writes were counted; torn writes surfaced as corrupt
+        // misses and self-healed; read errors as plain misses.
+        assert_eq!(
+            c.write_errors,
+            injected.write_errors + injected.rename_errors,
+            "{c:?} vs {injected:?}"
+        );
+        assert!(c.corrupt > 0, "{c:?}");
+        assert_eq!(hits + misses, keys);
+        assert_eq!(c.hits, hits);
+        assert!(misses > 0 && hits > 0, "{hits} hits / {misses} misses");
+    }
+
+    /// After a faulty run, a clean handle over the same directory sees
+    /// only byte-identical survivors: chaos may lose entries, never
+    /// alter them.
+    #[test]
+    fn survivors_replay_byte_identical_on_a_clean_handle() {
+        let td = TestDir::new();
+        {
+            let io = Arc::new(ChaosIo::new(FaultPlan::io_storm(7, 300)));
+            let store = Store::open_with_io(&td.0, io).unwrap();
+            for i in 0..100u64 {
+                store.put_value("unit", Fingerprint(i), &payload(i));
+            }
+            // Reads under chaos already self-heal torn survivors.
+            for i in 0..100u64 {
+                let _ = store.get_value::<Vec<u64>>("unit", Fingerprint(i));
+            }
+        }
+        let clean = Store::open(&td.0).unwrap();
+        let mut survivors = 0;
+        for i in 0..100u64 {
+            if let Some(v) = clean.get_value::<Vec<u64>>("unit", Fingerprint(i)) {
+                assert_eq!(v, payload(i), "key {i} replayed wrong bytes");
+                survivors += 1;
+            }
+        }
+        assert!(survivors > 0, "storm at 30% should leave survivors");
+        // Anything corrupt was already healed under chaos; the clean
+        // handle may still sweep entries torn on their *first* read.
+        let tmp_orphans = std::fs::read_dir(td.0.join("tmp")).unwrap().count();
+        assert_eq!(clean.fsck(false).problems() as usize, tmp_orphans);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_in_the_seed() {
+        let run = |seed: u64| {
+            let td = TestDir::new();
+            let io = Arc::new(ChaosIo::new(FaultPlan::io_storm(seed, 250)));
+            let store = Store::open_with_io(&td.0, io.clone()).unwrap();
+            for i in 0..64u64 {
+                store.put_value("unit", Fingerprint(i), &payload(i));
+                let _ = store.get_value::<Vec<u64>>("unit", Fingerprint(i));
+            }
+            io.injected()
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a, b, "same seed, same operation sequence, same faults");
+        let c = run(12);
+        assert_ne!(a, c, "different seed faults differently");
+    }
+
+    #[test]
+    fn injected_panic_reaches_the_caller() {
+        let td = TestDir::new();
+        let plan = FaultPlan {
+            panic: 1000,
+            ..FaultPlan::quiet(3)
+        };
+        let store = Store::open_with_io(&td.0, Arc::new(ChaosIo::new(plan))).unwrap();
+        store.put_value("unit", Fingerprint(1), &payload(1));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.get_value::<Vec<u64>>("unit", Fingerprint(1))
+        }));
+        let err = caught.expect_err("panic class must not be absorbed");
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("chaos: injected panic"), "{msg}");
+    }
+
+    #[test]
+    fn latency_class_slows_reads_down() {
+        let td = TestDir::new();
+        let plan = FaultPlan {
+            latency: 1000,
+            latency_sleep: Duration::from_millis(5),
+            ..FaultPlan::quiet(4)
+        };
+        let io = Arc::new(ChaosIo::new(plan));
+        let store = Store::open_with_io(&td.0, io.clone()).unwrap();
+        store.put_value("unit", Fingerprint(1), &payload(1));
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            store.get_value::<Vec<u64>>("unit", Fingerprint(1)),
+            Some(payload(1))
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        assert!(io.injected().latencies >= 2, "write and read both slept");
+    }
+}

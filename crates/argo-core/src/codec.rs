@@ -532,6 +532,9 @@ impl Codec for ErrorCode {
             ErrorCode::UninitRead => 16,
             ErrorCode::DeadStore => 17,
             ErrorCode::UnreachableStmt => 18,
+            ErrorCode::InternalError => 19,
+            ErrorCode::DeadlineExceeded => 20,
+            ErrorCode::LeaderFailed => 21,
         });
     }
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
@@ -555,6 +558,9 @@ impl Codec for ErrorCode {
             16 => ErrorCode::UninitRead,
             17 => ErrorCode::DeadStore,
             18 => ErrorCode::UnreachableStmt,
+            19 => ErrorCode::InternalError,
+            20 => ErrorCode::DeadlineExceeded,
+            21 => ErrorCode::LeaderFailed,
             b => return Err(DecodeError::new(format!("invalid ErrorCode tag {b}"))),
         })
     }

@@ -119,6 +119,19 @@ pub enum ErrorCode {
     /// Lint: a statement can never execute (it follows a `return` in
     /// its block) (`argo-verify`).
     UnreachableStmt,
+    /// An infrastructure failure inside the toolflow itself — a worker
+    /// panic caught at an isolation boundary, an unexpected internal
+    /// invariant violation. Unlike every code above it says nothing
+    /// about the *program*: retrying the identical request may succeed.
+    InternalError,
+    /// The request's deadline elapsed before the pipeline finished; the
+    /// session was cancelled at a stage boundary. Transient by
+    /// definition — the same request may finish under a looser deadline.
+    DeadlineExceeded,
+    /// A coalesced (single-flight) request's leader failed before
+    /// producing a result; the follower received no answer. Transient:
+    /// a fresh request elects a fresh leader.
+    LeaderFailed,
 }
 
 impl ErrorCode {
@@ -144,7 +157,29 @@ impl ErrorCode {
             ErrorCode::UninitRead => "uninit-read",
             ErrorCode::DeadStore => "dead-store",
             ErrorCode::UnreachableStmt => "unreachable-stmt",
+            ErrorCode::InternalError => "internal-error",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::LeaderFailed => "leader-failed",
         }
+    }
+
+    /// `true` for failures of the *infrastructure* rather than the
+    /// program: panics caught at isolation boundaries
+    /// ([`ErrorCode::InternalError`]), elapsed request deadlines
+    /// ([`ErrorCode::DeadlineExceeded`]) and single-flight leader
+    /// failures ([`ErrorCode::LeaderFailed`]).
+    ///
+    /// Transient diagnostics are **not deterministic in the request's
+    /// inputs** — retrying the identical request may succeed — so they
+    /// must never be archived in content-addressed caches (the
+    /// `argo-dse` point tier persists ordinary diagnostics as part of a
+    /// point's outcome, but skips transient ones: a cached
+    /// `deadline-exceeded` would replay forever).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ErrorCode::InternalError | ErrorCode::DeadlineExceeded | ErrorCode::LeaderFailed
+        )
     }
 }
 
@@ -230,6 +265,25 @@ mod tests {
         assert_eq!(ErrorCode::EmptyHtg.label(), "empty-htg");
         assert_eq!(ErrorCode::DataRace.label(), "data-race");
         assert_eq!(ErrorCode::UnsoundSchedule.label(), "unsound-schedule");
+        assert_eq!(ErrorCode::InternalError.label(), "internal-error");
+        assert_eq!(ErrorCode::DeadlineExceeded.label(), "deadline-exceeded");
+        assert_eq!(ErrorCode::LeaderFailed.label(), "leader-failed");
         assert_eq!(Stage::all().len(), 4);
+    }
+
+    #[test]
+    fn transient_codes_are_exactly_the_infrastructure_ones() {
+        assert!(ErrorCode::InternalError.is_transient());
+        assert!(ErrorCode::DeadlineExceeded.is_transient());
+        assert!(ErrorCode::LeaderFailed.is_transient());
+        for code in [
+            ErrorCode::InvalidProgram,
+            ErrorCode::UnboundedLoop,
+            ErrorCode::DataRace,
+            ErrorCode::UnsoundSchedule,
+            ErrorCode::UnreachableStmt,
+        ] {
+            assert!(!code.is_transient(), "{code} must be deterministic");
+        }
     }
 }

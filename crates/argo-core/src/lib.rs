@@ -77,6 +77,7 @@
 //! | *(new — `argo-verify` lints)* | [`ErrorCode::UninitRead`], [`ErrorCode::DeadStore`], [`ErrorCode::UnreachableStmt`] | verify |
 
 pub mod artifact;
+pub mod cancel;
 pub mod codec;
 pub mod diag;
 pub mod fingerprint;
@@ -86,6 +87,7 @@ pub mod session;
 pub use artifact::{
     Artifact, BackendResult, CostTable, FrontendArtifact, TaskCosts, ToolchainResult,
 };
+pub use cancel::CancelToken;
 pub use codec::{Codec, DecodeError, Decoder, Encoder};
 pub use diag::{Diagnostic, ErrorCode, Stage};
 pub use fingerprint::{schedule_fingerprint, Fingerprint, FingerprintHasher, Fingerprintable};

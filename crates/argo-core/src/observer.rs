@@ -85,6 +85,26 @@ pub struct FeedbackSnapshot {
 /// transport (e.g. the `argo-serve` progress stream) can restore
 /// emission order and drop duplicates.
 pub trait StageObserver {
+    /// Cooperative cancellation checkpoint, polled by the session
+    /// driver *before* each stage starts (before `on_stage_start`).
+    /// Returning `Err` aborts the pipeline with that diagnostic and no
+    /// start/terminal events are emitted for the aborted stage —
+    /// streams stay well-nested. The default never cancels; observers
+    /// that carry a [`CancelToken`](crate::CancelToken) delegate to
+    /// [`CancelToken::check`](crate::CancelToken::check), and wrapper
+    /// observers must forward the call so cancellation survives
+    /// composition.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic (conventionally
+    /// [`ErrorCode::DeadlineExceeded`](crate::ErrorCode::DeadlineExceeded))
+    /// when the session should stop before running `stage`.
+    fn checkpoint(&self, stage: Stage) -> Result<(), crate::Diagnostic> {
+        let _ = stage;
+        Ok(())
+    }
+
     /// A pipeline stage is about to run.
     fn on_stage_start(&self, stage: Stage, seq: u64) {
         let _ = (stage, seq);
@@ -176,6 +196,10 @@ impl<O: StageObserver> TracingObserver<O> {
 }
 
 impl<O: StageObserver> StageObserver for TracingObserver<O> {
+    fn checkpoint(&self, stage: Stage) -> Result<(), crate::Diagnostic> {
+        self.inner.checkpoint(stage)
+    }
+
     fn on_stage_start(&self, stage: Stage, seq: u64) {
         OPEN_STAGE_SPANS.with(|open| {
             open.borrow_mut()

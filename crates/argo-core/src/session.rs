@@ -387,12 +387,21 @@ pub(crate) fn validate_platform(platform: &Platform) -> Result<(), Diagnostic> {
 /// first, then exactly one terminal event (finish with the artifact
 /// summary, or error with the diagnostic). When no observer is
 /// attached, the summary (fingerprint + detail) is never computed.
+///
+/// Before anything starts, the observer's
+/// [`StageObserver::checkpoint`] is polled; a cancelled/expired
+/// request aborts here with the checkpoint's diagnostic and emits *no*
+/// events for the stage — the event stream stays well-nested and no
+/// partial stage ever runs.
 fn observed_stage<T: Artifact>(
     obs: Option<&dyn StageObserver>,
     seq: &AtomicU64,
     stage: Stage,
     body: impl FnOnce() -> Result<T, Diagnostic>,
 ) -> Result<T, Diagnostic> {
+    if let Some(obs) = obs {
+        obs.checkpoint(stage)?;
+    }
     // Stage span on the global tracer (inert unless `--trace` enabled
     // it); sub-phase and per-point spans opened inside `body` nest
     // under it on the same thread.

@@ -25,7 +25,11 @@
 //! fingerprints changed are re-evaluated. Failures are cached in memory
 //! but never persisted: only the point tier records diagnostics (as
 //! part of the point outcome), so a transient environment problem can't
-//! poison the store. Store reads validate checksums, schema versions
+//! poison the store. *Transient* diagnostics
+//! ([`argo_core::ErrorCode::is_transient`]: deadlines, caught panics,
+//! leader failures) are not even memory-cached — their slot is dropped
+//! after the failing build, so the next request re-evaluates instead of
+//! replaying an infrastructure failure forever. Store reads validate checksums, schema versions
 //! and (for artifact tiers) content fingerprints; anything invalid
 //! degrades to a counted miss and the entry is rebuilt.
 //!
@@ -227,21 +231,35 @@ impl ArtifactCache {
         } else {
             tier.hits.fetch_add(1, Ordering::Relaxed);
         }
-        slot.get_or_init(|| {
-            if let Some(store) = &self.store {
-                if let Some(value) = store.get_artifact::<T>(tier.namespace, key) {
-                    tier.store_hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(Arc::new(value));
+        let result = slot
+            .get_or_init(|| {
+                if let Some(store) = &self.store {
+                    if let Some(value) = store.get_artifact::<T>(tier.namespace, key) {
+                        tier.store_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Arc::new(value));
+                    }
+                    tier.store_misses.fetch_add(1, Ordering::Relaxed);
                 }
-                tier.store_misses.fetch_add(1, Ordering::Relaxed);
+                let result = build().map(Arc::new);
+                if let (Some(store), Ok(value)) = (&self.store, &result) {
+                    store.put_artifact(tier.namespace, key, &**value);
+                }
+                result
+            })
+            .clone();
+        if matches!(&result, Err(d) if d.code.is_transient()) {
+            // Transient failures (deadline, caught panic, leader
+            // failure) are not deterministic in the key — memoizing
+            // one would replay it to every later request for this
+            // artifact. Drop the slot so the next lookup rebuilds;
+            // waiters already parked on this slot share the error,
+            // which is itself transient and retryable.
+            let mut map = map.lock().unwrap();
+            if map.get(&key).is_some_and(|s| Arc::ptr_eq(s, &slot)) {
+                map.remove(&key);
             }
-            let result = build().map(Arc::new);
-            if let (Some(store), Ok(value)) = (&self.store, &result) {
-                store.put_artifact(tier.namespace, key, &**value);
-            }
-            result
-        })
-        .clone()
+        }
+        result
     }
 
     /// Returns the frontend artifact for `key`, building it at most once
@@ -441,6 +459,34 @@ mod tests {
             assert!(r.is_err());
         }
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn transient_failures_are_not_memoized() {
+        use argo_core::{Diagnostic, ErrorCode, Stage};
+        let cache = ArtifactCache::new();
+        let cfg = ToolchainConfig::default();
+        let mut calls = 0;
+        // First build fails with a transient (infrastructure) code…
+        let r = cache.frontend(Fingerprint(13), || {
+            calls += 1;
+            Err(Diagnostic::new(
+                Stage::Frontend,
+                ErrorCode::DeadlineExceeded,
+                "request deadline elapsed",
+            ))
+        });
+        assert_eq!(r.unwrap_err().code, ErrorCode::DeadlineExceeded);
+        // …so the retry rebuilds — and its success is memoized again.
+        for _ in 0..2 {
+            cache
+                .frontend(Fingerprint(13), || {
+                    calls += 1;
+                    frontend(parse_program(SRC).unwrap(), "main", 2, &cfg)
+                })
+                .unwrap();
+        }
+        assert_eq!(calls, 2, "one transient failure, one rebuild");
     }
 
     #[test]

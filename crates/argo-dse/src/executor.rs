@@ -209,6 +209,28 @@ mod tests {
         }
     }
 
+    /// Pool survival: one panicking job must not take its worker (or
+    /// the pool) down — every other job still runs to completion, so a
+    /// caller that isolates panics per job (the explorer) gets a full
+    /// result set.
+    #[test]
+    fn panicking_job_does_not_stop_the_other_jobs() {
+        let ran = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(|| {
+            parallel_map((0..64).collect::<Vec<u32>>(), 4, &|i, x| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                assert!(i != 9, "job nine exploded");
+                x
+            })
+        });
+        assert!(result.is_err(), "the panic still reaches the caller");
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            64,
+            "all jobs ran despite the panic"
+        );
+    }
+
     #[test]
     fn job_panic_propagates_with_original_message() {
         let result = std::panic::catch_unwind(|| {

@@ -37,6 +37,16 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+/// Best-effort text of a caught panic payload (`&str` and `String`
+/// payloads cover `panic!` and failed assertions).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
+}
+
 /// The `argo_dse_point_wall_us` histogram handle, resolved once.
 fn point_wall_histogram() -> &'static Arc<argo_trace::Histogram> {
     static HIST: std::sync::OnceLock<Arc<argo_trace::Histogram>> = std::sync::OnceLock::new();
@@ -206,7 +216,35 @@ impl Explorer {
         let _span = argo_trace::span("dse.point");
         let t0 = Instant::now();
         let row = match self.resolve(&point.app, space.seed) {
-            Ok(app) => self.evaluate(&app, point, space, obs),
+            // Panic isolation: a bug surfacing mid-evaluation (or an
+            // injected chaos panic in the store backend) becomes one
+            // failed row with a transient `internal-error` diagnostic
+            // instead of tearing down the sweep — and since the panic
+            // aborted before the point archive was written, nothing
+            // poisonous persists.
+            Ok(app) => {
+                let p = point.clone();
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.evaluate(&app, p, space, obs)
+                })) {
+                    Ok(row) => row,
+                    Err(payload) => {
+                        argo_trace::metrics()
+                            .counter("argo_dse_point_panics_total")
+                            .inc();
+                        let spm_effective = point.spm_bytes.unwrap_or(0);
+                        ReportRow {
+                            point,
+                            spm_effective,
+                            outcome: Err(Diagnostic::new(
+                                Stage::Backend,
+                                ErrorCode::InternalError,
+                                format!("point evaluation panicked: {}", panic_message(&payload)),
+                            )),
+                        }
+                    }
+                }
+            }
             Err(diagnostic) => {
                 let spm_effective = point.spm_bytes.unwrap_or(0);
                 ReportRow {
@@ -365,13 +403,19 @@ impl Explorer {
             };
         }
         let outcome = self.evaluate_uncached(app, &cfg, &platform, obs);
-        self.cache.point_put(
-            point_key,
-            &StoredPoint {
-                spm_effective,
-                outcome: outcome.clone(),
-            },
-        );
+        // Ordinary diagnostics are deterministic in those same inputs
+        // and archive with the outcome; transient ones (deadline,
+        // caught panic, leader failure) are not — archiving one would
+        // replay the infrastructure failure verbatim forever.
+        if !matches!(&outcome, Err(d) if d.code.is_transient()) {
+            self.cache.point_put(
+                point_key,
+                &StoredPoint {
+                    spm_effective,
+                    outcome: outcome.clone(),
+                },
+            );
+        }
         ReportRow {
             point,
             spm_effective,
@@ -565,6 +609,82 @@ mod tests {
             report.failure_classes(),
             vec![("frontend/unknown-program".to_string(), 1)]
         );
+    }
+
+    /// Panic isolation: an injected chaos panic inside the store
+    /// backend surfaces as one transient `internal-error` row; the
+    /// sweep and the process survive, and nothing poisonous is
+    /// archived — a later evaluation over a healthy backend succeeds.
+    #[test]
+    fn panicking_point_becomes_an_internal_error_row_and_is_not_archived() {
+        use argo_chaos::{ChaosIo, FaultPlan};
+        let dir = std::env::temp_dir().join(format!("argo-dse-chaos-panic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let space = tiny_space();
+        {
+            let plan = FaultPlan {
+                panic: 1000,
+                ..FaultPlan::quiet(5)
+            };
+            let store = Arc::new(Store::open_with_io(&dir, Arc::new(ChaosIo::new(plan))).unwrap());
+            let mut ex = Explorer::with_threads(2);
+            ex.register_program("tiny", parse_program(MAP_REDUCE).unwrap(), "main");
+            let ex = ex.with_store(store);
+            let report = ex.explore(&space);
+            assert_eq!(report.rows.len(), 6, "the sweep completed");
+            assert_eq!(report.failures(), 6, "every point hit the panic");
+            for row in &report.rows {
+                let err = row.outcome.as_ref().unwrap_err();
+                assert_eq!(err.code, argo_core::ErrorCode::InternalError);
+                assert!(err.message.contains("panicked"), "{}", err.message);
+            }
+        }
+        // Same store dir, healthy backend: had the panic rows been
+        // archived, these would replay internal-error; instead every
+        // point evaluates cleanly.
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let mut ex = Explorer::with_threads(2);
+        ex.register_program("tiny", parse_program(MAP_REDUCE).unwrap(), "main");
+        let ex = ex.with_store(store);
+        let report = ex.explore(&space);
+        assert_eq!(report.failures(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A deadline tripping at a stage boundary yields a transient
+    /// `deadline-exceeded` row, and neither the point archive nor the
+    /// in-memory tiers replay it once the pressure is gone.
+    #[test]
+    fn deadline_exceeded_rows_are_transient_not_cached() {
+        use argo_core::{CancelToken, StageObserver};
+
+        #[derive(Debug)]
+        struct CancelObserver(CancelToken);
+        impl StageObserver for CancelObserver {
+            fn checkpoint(&self, stage: Stage) -> Result<(), Diagnostic> {
+                self.0.check(stage)
+            }
+        }
+
+        let dir = std::env::temp_dir().join(format!("argo-dse-deadline-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let mut ex = Explorer::with_threads(1);
+        ex.register_program("tiny", parse_program(MAP_REDUCE).unwrap(), "main");
+        let ex = ex.with_store(store);
+        let space = tiny_space();
+        let point = space.points().remove(0);
+
+        let token = CancelToken::new();
+        token.cancel();
+        let row = ex.evaluate_point_observed(point.clone(), &space, &CancelObserver(token));
+        let err = row.outcome.unwrap_err();
+        assert_eq!(err.code, argo_core::ErrorCode::DeadlineExceeded);
+
+        // Without the deadline the same point now evaluates for real.
+        let row = ex.evaluate_point(point, &space);
+        assert!(row.outcome.is_ok(), "{:?}", row.outcome);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

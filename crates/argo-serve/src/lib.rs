@@ -54,19 +54,61 @@
 //!  "error":{"stage":"...","code":"...","entity":...,"message":"..."}}
 //! ```
 //!
-//! or a protocol error (the request never reached the pipeline):
+//! or an error frame:
 //!
 //! ```text
-//! {"frame":"error","id":N,"error":{"code":"bad-request|over-capacity|space-too-large",
-//!  "message":"..."}}
+//! {"frame":"error","id":N,"error":{"code":"...","message":"..."}}
 //! ```
+//!
+//! Error frames carry one of these codes:
+//!
+//! | code | meaning | resend? |
+//! |------|---------|---------|
+//! | `bad-request` | the line did not parse as a request | no |
+//! | `over-capacity` | admission queue full | later |
+//! | `space-too-large` | explore/search space over `max_points` | no |
+//! | `shutting-down` | daemon is draining; no new work accepted | to a fresh instance |
+//! | `deadline-exceeded` | per-request deadline (measured from admission) elapsed, in queue or at a stage boundary | yes — nothing was memoized |
+//! | `internal-error` | request execution panicked; the panic was isolated to this request | yes, once |
+//! | `leader-failed` | this request coalesced onto a leader that panicked | yes — a resend elects a fresh leader |
 //!
 //! Pipeline failures are `"ok":false` responses carrying the toolflow's
 //! structured [`Diagnostic`](argo_core::Diagnostic) (stage / code /
-//! entity / message); protocol errors are admission failures. Response
-//! bodies are deterministic — no timestamps, ids or timings — so
-//! coalesced requests share the leader's bytes and a warm-store replay
-//! is byte-identical to the cold run.
+//! entity / message) — they are deterministic verdicts about the design
+//! point. Error frames are the *infrastructure* talking: admission
+//! refusals and the transient outcomes above. Transient outcomes are
+//! never memoized or archived by the lower tiers, so a resend after a
+//! `deadline-exceeded`, `internal-error` or `leader-failed` frame
+//! recomputes from clean state. Response bodies are deterministic — no
+//! timestamps, ids or timings — so coalesced requests share the
+//! leader's bytes and a warm-store replay is byte-identical to the
+//! cold run.
+//!
+//! # Retries and idempotency
+//!
+//! Requests are idempotent by construction: work is keyed by the
+//! request's canonical fingerprint, bodies are deterministic in the
+//! request content, and store writes are atomic and content-addressed,
+//! so resending a line can never double-apply anything. The bundled
+//! [`RetryClient`] exploits this — on a *transport* failure (connect
+//! refused, send failure, connection dropped mid-reply) it reconnects
+//! and resends with capped exponential backoff and decorrelated
+//! jitter. Error frames are terminal and are not retried by the
+//! client; the table above says which ones are worth resending at the
+//! application level.
+//!
+//! # Graceful shutdown
+//!
+//! A `shutdown` request (or [`ServerHandle::shutdown`]) begins a
+//! *drain*: queued and executing work runs to completion and every
+//! response is delivered, while newly arriving work requests are
+//! rejected with a `shutting-down` error frame (control requests are
+//! still answered). Workers exit once the queue is empty;
+//! [`ServerHandle::join`] returns when the drain is complete. Because
+//! the store's writes are atomic, even a `kill -9` instead of a drain
+//! loses at most in-flight responses — never stored artifacts; a
+//! restarted daemon warm-starts from the same store directory and
+//! replays answered requests byte-identically.
 //!
 //! Before the terminal frame, a request sent with `"progress": true`
 //! streams progress frames. For point requests these mirror the
@@ -166,7 +208,7 @@ pub mod proto;
 pub mod server;
 pub mod singleflight;
 
-pub use client::{Client, Reply};
+pub use client::{Client, Reply, RetryClient, RetryPolicy};
 pub use proto::{parse_request, Envelope, PointSpec, Request, SearchSpec, SweepSpec, Value};
 pub use server::{Listener, ServeConfig, Server, ServerHandle};
-pub use singleflight::SingleFlight;
+pub use singleflight::{LeaderFailed, SingleFlight};

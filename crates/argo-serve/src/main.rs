@@ -27,6 +27,8 @@ OPTIONS:
     --max-evals N        search evaluation budget cap (default 256)
     --eval-threads N     threads per explore/search request (default 2)
     --slow-ms N          log requests slower than N ms to stderr
+    --deadline-ms N      per-request deadline from admission; expired
+                         requests get a deadline-exceeded error frame
     --trace PATH         record spans; write a Chrome trace-event JSON
                          there on shutdown (flame summary to stderr)
     --help               this text
@@ -69,6 +71,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--max-evals" => opts.cfg.max_evaluations = parse_n(value()?, "--max-evals")?.max(1),
             "--eval-threads" => opts.cfg.eval_threads = parse_n(value()?, "--eval-threads")?.max(1),
             "--slow-ms" => opts.cfg.slow_request_ms = Some(parse_n(value()?, "--slow-ms")? as u64),
+            "--deadline-ms" => {
+                opts.cfg.deadline_ms = Some(parse_n(value()?, "--deadline-ms")?.max(1) as u64)
+            }
             "--trace" => opts.trace = Some(value()?.to_string()),
             other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
         }
@@ -179,6 +184,10 @@ mod tests {
         .unwrap();
         assert_eq!(o.cfg.slow_request_ms, Some(250));
         assert_eq!(o.trace.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(o.cfg.deadline_ms, None);
+
+        let o = parse_args(&args(&["--listen", "127.0.0.1:0", "--deadline-ms", "500"])).unwrap();
+        assert_eq!(o.cfg.deadline_ms, Some(500));
 
         assert!(parse_args(&[]).is_err(), "an endpoint is required");
         assert!(

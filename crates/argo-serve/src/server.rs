@@ -16,8 +16,8 @@
 //! outcome directly.
 
 use crate::proto::{self, Envelope, Request};
-use crate::singleflight::SingleFlight;
-use argo_core::{Diagnostic, FeedbackSnapshot, Stage, StageObserver, StageSummary};
+use crate::singleflight::{LeaderFailed, SingleFlight};
+use argo_core::{CancelToken, Diagnostic, FeedbackSnapshot, Stage, StageObserver, StageSummary};
 use argo_dse::executor::parallel_map;
 use argo_dse::{pareto_front, DesignSpace, Explorer, ReportRow, StageTimings, TimingObserver};
 use argo_search::Budget;
@@ -27,6 +27,7 @@ use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -51,6 +52,12 @@ pub struct ServeConfig {
     /// per-stage breakdown and counted in
     /// `argo_serve_slow_requests_total` (`None` = no slow log).
     pub slow_request_ms: Option<u64>,
+    /// Per-request deadline, measured from *admission* (so queue wait
+    /// counts). A request past its deadline gets a `deadline-exceeded`
+    /// error frame: immediately if it expired while queued, otherwise
+    /// at the next stage boundary via the session's [`CancelToken`]
+    /// checkpoint. `None` = no deadline.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +69,7 @@ impl Default for ServeConfig {
             max_evaluations: 256,
             eval_threads: 2,
             slow_request_ms: None,
+            deadline_ms: None,
         }
     }
 }
@@ -189,6 +197,20 @@ struct Job {
     envelope: Envelope,
     writer: SharedWriter,
     session: u64,
+    /// Admission time; the per-request deadline (if configured) is
+    /// measured from here, so time spent queued counts against it.
+    enqueued: Instant,
+}
+
+/// Aborts a session at stage boundaries once its request's
+/// [`CancelToken`] trips (deadline passed or explicit cancel). Pure
+/// checkpoint — it observes no events.
+struct CancelObserver(CancelToken);
+
+impl StageObserver for CancelObserver {
+    fn checkpoint(&self, stage: Stage) -> Result<(), Diagnostic> {
+        self.0.check(stage)
+    }
 }
 
 /// Forwards a session's stage events to the client as progress frames,
@@ -265,6 +287,13 @@ impl StageObserver for Fanout<'_> {
     fn on_feedback_round(&self, snapshot: &FeedbackSnapshot) {
         self.0.on_feedback_round(snapshot);
         self.1.on_feedback_round(snapshot);
+    }
+
+    // Wrapper observers must forward `checkpoint`, or an inner
+    // CancelObserver's deadline would be silently ignored.
+    fn checkpoint(&self, stage: Stage) -> Result<(), Diagnostic> {
+        self.0.checkpoint(stage)?;
+        self.1.checkpoint(stage)
     }
 }
 
@@ -343,6 +372,12 @@ struct Inner {
     /// `argo_serve_slow_requests_total` — requests over the slow-log
     /// threshold.
     slow_requests: Arc<Counter>,
+    /// `argo_serve_panics_total` — request executions that panicked
+    /// and were isolated into an `internal-error` frame.
+    panics: Arc<Counter>,
+    /// `argo_serve_deadline_exceeded_total` — requests answered with a
+    /// `deadline-exceeded` frame (expired in queue or mid-pipeline).
+    deadlines: Arc<Counter>,
     /// How to dial ourselves to unblock `accept` on shutdown.
     self_addr: String,
     unix: bool,
@@ -388,6 +423,8 @@ impl Server {
             session_obs: Mutex::new(HashMap::new()),
             latency: LatencyHandles::resolve(),
             slow_requests: argo_trace::metrics().counter("argo_serve_slow_requests_total"),
+            panics: argo_trace::metrics().counter("argo_serve_panics_total"),
+            deadlines: argo_trace::metrics().counter("argo_serve_deadline_exceeded_total"),
             self_addr: addr.clone(),
             unix: !matches!(listener, Listener::Tcp(_)),
         });
@@ -460,6 +497,12 @@ impl ServerHandle {
     pub fn singleflight_counts(&self) -> (u64, u64) {
         (self.inner.flight.executed(), self.inner.flight.coalesced())
     }
+
+    /// Single-flight leaders that panicked (their followers received
+    /// `leader-failed` error frames).
+    pub fn leader_failures(&self) -> u64 {
+        self.inner.flight.leader_failures()
+    }
 }
 
 impl Inner {
@@ -517,9 +560,10 @@ impl Inner {
             if line.trim().is_empty() {
                 continue;
             }
-            if self.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
+            // During a graceful drain the reader keeps answering:
+            // control requests still work, and `dispatch` rejects new
+            // work with a `shutting-down` frame instead of silently
+            // dropping the connection mid-request.
             match proto::parse_request(&line) {
                 Err(message) => {
                     self.counters.rejected.fetch_add(1, Ordering::Relaxed);
@@ -612,6 +656,17 @@ impl Inner {
                 ));
             }
             Request::Compile(_) | Request::Verify(_) | Request::Explore(_) | Request::Search(_) => {
+                // Graceful drain: once shutdown begins, in-flight and
+                // queued work still completes, but no new work enters.
+                if self.shutdown.load(Ordering::SeqCst) {
+                    self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    writer.line(&protocol_error(
+                        envelope.id,
+                        "shutting-down",
+                        "daemon is draining; resend to a fresh instance",
+                    ));
+                    return;
+                }
                 let mut queue = self.queue.lock().unwrap();
                 if queue.len() >= self.cfg.queue_limit {
                     drop(queue);
@@ -627,6 +682,7 @@ impl Inner {
                     envelope,
                     writer: writer.clone(),
                     session,
+                    enqueued: Instant::now(),
                 });
                 drop(queue);
                 self.queue_cv.notify_one();
@@ -657,6 +713,7 @@ impl Inner {
             envelope,
             writer,
             session,
+            enqueued,
         } = job;
         let counter = match &envelope.request {
             Request::Compile(_) => &self.counters.compile,
@@ -668,6 +725,22 @@ impl Inner {
             }
         };
         counter.fetch_add(1, Ordering::Relaxed);
+        // The deadline clock started at admission: a request that
+        // expired while queued is answered without running anything.
+        let token = match self.cfg.deadline_ms {
+            Some(ms) => CancelToken::with_deadline(enqueued + Duration::from_millis(ms)),
+            None => CancelToken::new(),
+        };
+        if token.is_expired() {
+            self.deadlines.inc();
+            writer.line(&protocol_error(
+                envelope.id,
+                "deadline-exceeded",
+                "request deadline elapsed while queued",
+            ));
+            self.served(session);
+            return;
+        }
         let obs = self.session_observer(session);
         // The before-snapshot only feeds the slow-request breakdown;
         // skip it on the hot path when no threshold is configured.
@@ -686,14 +759,39 @@ impl Inner {
         // The body is deterministic (no ids, no timings), so coalesced
         // followers can reuse the leader's bytes verbatim. Progress
         // frames stream only from the executing leader, to its client.
+        //
+        // Panic isolation: a panicking execution is caught *inside*
+        // the flight closure, so leader and followers all get the same
+        // structured `internal-error` body and the worker thread
+        // survives. The `LeaderFailed` arm below is defence in depth —
+        // it fires only if a panic escapes this catch.
         let body = self.flight.run(key, || {
-            self.execute(
-                &envelope.request,
-                envelope.id,
-                &obs,
-                progress.as_ref().map(|p| p as &dyn StageObserver),
-                progress.as_ref().map(|_| &writer),
-            )
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                self.execute(
+                    &envelope.request,
+                    envelope.id,
+                    &token,
+                    &obs,
+                    progress.as_ref().map(|p| p as &dyn StageObserver),
+                    progress.as_ref().map(|_| &writer),
+                )
+            }));
+            attempt.unwrap_or_else(|payload| {
+                self.panics.inc();
+                eprintln!(
+                    "argo-serve: request id={} kind={} panicked: {}",
+                    envelope.id,
+                    envelope.request.kind(),
+                    panic_message(&payload)
+                );
+                error_body(
+                    "internal-error",
+                    &format!("request execution panicked: {}", panic_message(&payload)),
+                )
+            })
+        });
+        let body: Arc<str> = body.unwrap_or_else(|failure: LeaderFailed| {
+            Arc::from(error_body("leader-failed", &failure.to_string()))
         });
         drop(span);
         let elapsed = t0.elapsed();
@@ -706,8 +804,17 @@ impl Inner {
                 self.log_slow_request(&envelope, elapsed, &before, &obs.snapshot());
             }
         }
+        // Bodies produced by `error_body` become error frames; all
+        // others are responses. (Failure *diagnostics* from the
+        // pipeline stay `"ok":false` responses — error frames are the
+        // infrastructure talking, not the toolflow.)
+        let frame = if body.starts_with("\"error\":") {
+            "error"
+        } else {
+            "response"
+        };
         writer.line(&format!(
-            "{{\"frame\":\"response\",\"id\":{},{}}}",
+            "{{\"frame\":\"{frame}\",\"id\":{},{}}}",
             envelope.id, body
         ));
         self.served(session);
@@ -740,28 +847,48 @@ impl Inner {
     }
 
     /// Executes one work request and renders its deterministic body.
+    ///
+    /// A deadline that trips mid-pipeline (via `token`'s stage-boundary
+    /// checkpoints) turns the whole request into a `deadline-exceeded`
+    /// error body — a transient outcome the lower tiers neither memoize
+    /// nor archive, so a retry after the deadline recomputes cleanly.
     fn execute(
         &self,
         request: &Request,
         id: u64,
+        token: &CancelToken,
         obs: &TimingObserver,
         forward: Option<&dyn StageObserver>,
         progress_writer: Option<&SharedWriter>,
     ) -> String {
         match request {
             Request::Compile(spec) => {
-                let row = self.evaluate_one(spec, obs, forward);
-                point_body("compile", &row, proto::metrics_json)
+                let row = self.evaluate_one(spec, token, obs, forward);
+                self.transient_error_body(&row)
+                    .unwrap_or_else(|| point_body("compile", &row, proto::metrics_json))
             }
             Request::Verify(spec) => {
-                let row = self.evaluate_one(spec, obs, forward);
-                point_body("verify", &row, |m| {
-                    format!("{{\"verified\":true,\"findings\":{}}}", m.verify_findings)
+                let row = self.evaluate_one(spec, token, obs, forward);
+                self.transient_error_body(&row).unwrap_or_else(|| {
+                    point_body("verify", &row, |m| {
+                        format!("{{\"verified\":true,\"findings\":{}}}", m.verify_findings)
+                    })
                 })
             }
             Request::Explore(sweep) => {
                 let space = sweep.space();
-                let rows = self.evaluate_space(&space, id, obs, progress_writer);
+                let rows = self.evaluate_space(&space, id, token, obs, progress_writer);
+                if token.is_tripped() {
+                    self.deadlines.inc();
+                    let done = rows.iter().filter(|r| r.outcome.is_ok()).count();
+                    return error_body(
+                        "deadline-exceeded",
+                        &format!(
+                            "deadline elapsed during the sweep ({done} of {} points finished)",
+                            rows.len()
+                        ),
+                    );
+                }
                 sweep_body("explore", &rows, None)
             }
             Request::Search(spec) => {
@@ -777,6 +904,13 @@ impl Inner {
                     budget = budget.with_stall(stall);
                 }
                 let report = self.explorer.search(&space, &*strategy, budget);
+                // The search loop owns its evaluation schedule, so the
+                // deadline is checked on completion rather than per
+                // stage.
+                if token.is_tripped() {
+                    self.deadlines.inc();
+                    return error_body("deadline-exceeded", "deadline elapsed during the search");
+                }
                 let extra = format!(
                     "\"strategy\":\"{}\",\"lattice\":{},\"evaluated\":{},",
                     proto::esc(&spec.strategy),
@@ -791,21 +925,44 @@ impl Inner {
         }
     }
 
+    /// The error body for a single-point row whose outcome is a
+    /// *transient* infrastructure failure (deadline, isolated panic) —
+    /// those travel as error frames, not `"ok":false` responses,
+    /// because they say nothing about the design point itself.
+    fn transient_error_body(&self, row: &ReportRow) -> Option<String> {
+        match &row.outcome {
+            Err(d) if d.code.is_transient() => {
+                if d.code == argo_core::ErrorCode::DeadlineExceeded {
+                    self.deadlines.inc();
+                }
+                Some(error_body(d.code.label(), &d.message))
+            }
+            _ => None,
+        }
+    }
+
     fn evaluate_one(
         &self,
         spec: &crate::proto::PointSpec,
+        token: &CancelToken,
         obs: &TimingObserver,
         forward: Option<&dyn StageObserver>,
     ) -> ReportRow {
         let space = spec.space();
         let point = spec.point();
+        let cancel = CancelObserver(token.clone());
         match forward {
             Some(fwd) => {
                 let fanout = Fanout(fwd, obs);
+                let chained = Fanout(&cancel, &fanout);
                 self.explorer
-                    .evaluate_point_observed(point, &space, &fanout)
+                    .evaluate_point_observed(point, &space, &chained)
             }
-            None => self.explorer.evaluate_point_observed(point, &space, obs),
+            None => {
+                let chained = Fanout(&cancel, obs);
+                self.explorer
+                    .evaluate_point_observed(point, &space, &chained)
+            }
         }
     }
 
@@ -816,13 +973,19 @@ impl Inner {
         &self,
         space: &DesignSpace,
         id: u64,
+        token: &CancelToken,
         obs: &TimingObserver,
         progress_writer: Option<&SharedWriter>,
     ) -> Vec<ReportRow> {
         let points = space.points();
         let total = points.len();
         let threads = self.cfg.eval_threads.max(1);
-        let eval = |point| self.explorer.evaluate_point_observed(point, space, obs);
+        let cancel = CancelObserver(token.clone());
+        let eval = |point| {
+            let chained = Fanout(&cancel, obs);
+            self.explorer
+                .evaluate_point_observed(point, space, &chained)
+        };
 
         let Some(writer) = progress_writer else {
             return parallel_map(points, threads, &|_i, point| eval(point));
@@ -890,7 +1053,8 @@ impl Inner {
              \"sessions\":{{\"active\":{},\"served\":{}}},\
              \"requests\":{{\"compile\":{},\"verify\":{},\"explore\":{},\"search\":{},\
              \"stats\":{},\"rejected\":{}}},\
-             \"singleflight\":{{\"executed\":{},\"coalesced\":{}}},\
+             \"singleflight\":{{\"executed\":{},\"coalesced\":{},\"leader_failures\":{}}},\
+             \"faults\":{{\"panics\":{},\"deadline_exceeded\":{}}},\
              \"queue\":{{\"depth\":{},\"limit\":{}}},\"workers\":{},\
              \"stages\":{{\"frontend_runs\":{},\"seed_cost_runs\":{},\"backend_runs\":{},\
              \"verify_runs\":{}}},\
@@ -907,6 +1071,9 @@ impl Inner {
             c.rejected.load(Ordering::Relaxed),
             self.flight.executed(),
             self.flight.coalesced(),
+            self.flight.leader_failures(),
+            self.panics.get(),
+            self.deadlines.get(),
             queue_depth,
             self.cfg.queue_limit,
             self.cfg.workers,
@@ -941,14 +1108,33 @@ impl Inner {
     }
 }
 
-/// Renders a protocol error frame (request never reached a worker).
-fn protocol_error(id: u64, code: &str, message: &str) -> String {
+/// Renders the body of an error frame. Bodies with this shape (leading
+/// `"error":`) are emitted as `"frame":"error"` by the response path —
+/// the convention that lets a coalesced body carry its frame kind.
+fn error_body(code: &str, message: &str) -> String {
     format!(
-        "{{\"frame\":\"error\",\"id\":{},\"error\":{{\"code\":\"{}\",\"message\":\"{}\"}}}}",
-        id,
+        "\"error\":{{\"code\":\"{}\",\"message\":\"{}\"}}",
         code,
         proto::esc(message)
     )
+}
+
+/// Renders a complete error frame (request never reached a worker).
+fn protocol_error(id: u64, code: &str, message: &str) -> String {
+    format!(
+        "{{\"frame\":\"error\",\"id\":{},{}}}",
+        id,
+        error_body(code, message)
+    )
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
 }
 
 /// Deterministic body for a one-point request.

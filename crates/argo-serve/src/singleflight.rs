@@ -11,17 +11,88 @@
 //! (see [`crate::proto::Request::fingerprint`]), so two requests
 //! coalesce exactly when their *parsed* content is identical —
 //! formatting, field order and the client-side `id` do not matter.
+//!
+//! # Leader failure
+//!
+//! A slot carries an explicit tri-state (*pending* → *done* or
+//! *failed*) instead of relying on mutex poisoning. If the leader's
+//! `compute` panics, a drop-guard marks the slot *failed*, wakes every
+//! follower, and retires the slot before the panic resumes unwinding.
+//! Followers then get [`LeaderFailed`] — a clean, structured signal they
+//! can turn into an error frame — and the *next* identical request
+//! starts fresh with a new leader. Nothing is ever poisoned.
 
 use argo_core::Fingerprint;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-/// One in-flight computation: the leader fills `result` and wakes the
-/// followers parked on `ready`.
+/// The follower-visible outcome when the leader of a coalesced
+/// computation panicked before publishing a result.
+///
+/// Followers cannot retry in place (their request context lives up the
+/// stack), so they surface this as a `leader-failed` error frame; the
+/// client may simply resend, and the resent request elects a fresh
+/// leader because the failed slot was retired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaderFailed;
+
+impl std::fmt::Display for LeaderFailed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("single-flight leader panicked before publishing a result")
+    }
+}
+
+/// Lifecycle of one in-flight computation.
+enum SlotState {
+    /// The leader is still computing; followers park on the condvar.
+    Pending,
+    /// The leader published this result; followers share the bytes.
+    Done(Arc<str>),
+    /// The leader panicked; followers get [`LeaderFailed`].
+    Failed,
+}
+
+/// One in-flight computation: the leader moves `state` out of
+/// [`SlotState::Pending`] and wakes the followers parked on `ready`.
 struct Slot {
-    result: Mutex<Option<Arc<str>>>,
+    state: Mutex<SlotState>,
     ready: Condvar,
+}
+
+/// Retires the leader's slot no matter how the leader exits.
+///
+/// Constructed *before* `compute` runs; on normal completion the leader
+/// disarms it with [`publish`](SlotGuard::publish). If the guard drops
+/// armed (the leader is unwinding), it marks the slot [`SlotState::Failed`],
+/// wakes the followers, and removes the slot from the flight table so a
+/// fresh request elects a new leader.
+struct SlotGuard<'a> {
+    flight: &'a SingleFlight,
+    key: u64,
+    slot: &'a Arc<Slot>,
+    armed: bool,
+}
+
+impl SlotGuard<'_> {
+    fn publish(mut self, value: &Arc<str>) {
+        self.armed = false;
+        *self.slot.state.lock().unwrap() = SlotState::Done(Arc::clone(value));
+        self.slot.ready.notify_all();
+        self.flight.inflight.lock().unwrap().remove(&self.key);
+    }
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.flight.leader_failures.fetch_add(1, Ordering::Relaxed);
+        *self.slot.state.lock().unwrap() = SlotState::Failed;
+        self.slot.ready.notify_all();
+        self.flight.inflight.lock().unwrap().remove(&self.key);
+    }
 }
 
 /// Coalesces concurrent identical computations onto one worker.
@@ -30,6 +101,7 @@ pub struct SingleFlight {
     inflight: Mutex<HashMap<u64, Arc<Slot>>>,
     executed: AtomicU64,
     coalesced: AtomicU64,
+    leader_failures: AtomicU64,
 }
 
 impl SingleFlight {
@@ -43,11 +115,19 @@ impl SingleFlight {
     /// returns its result instead. The returned `Arc<str>` is shared:
     /// followers get the exact bytes the leader produced.
     ///
-    /// If the leader's `compute` panics, the poisoned slot mutex makes
-    /// the followers panic too (a panic here is a server bug, not a
-    /// request error — request failures travel as error *frames*
-    /// inside the computed string, and are shared like any result).
-    pub fn run(&self, key: Fingerprint, compute: impl FnOnce() -> String) -> Arc<str> {
+    /// # Errors
+    ///
+    /// Returns [`LeaderFailed`] on a *follower* whose leader panicked
+    /// before publishing. The leader itself never sees this error — its
+    /// panic resumes unwinding out of this call after the slot is
+    /// retired, so callers that isolate panics (the daemon wraps
+    /// `compute` in `catch_unwind`) keep working and later identical
+    /// requests elect a fresh leader.
+    pub fn run(
+        &self,
+        key: Fingerprint,
+        compute: impl FnOnce() -> String,
+    ) -> Result<Arc<str>, LeaderFailed> {
         let slot = {
             let mut inflight = self.inflight.lock().unwrap();
             match inflight.get(&key.0) {
@@ -56,15 +136,18 @@ impl SingleFlight {
                     let slot = Arc::clone(slot);
                     drop(inflight);
                     self.coalesced.fetch_add(1, Ordering::Relaxed);
-                    let mut result = slot.result.lock().unwrap();
-                    while result.is_none() {
-                        result = slot.ready.wait(result).unwrap();
+                    let mut state = slot.state.lock().unwrap();
+                    loop {
+                        match &*state {
+                            SlotState::Pending => state = slot.ready.wait(state).unwrap(),
+                            SlotState::Done(value) => return Ok(Arc::clone(value)),
+                            SlotState::Failed => return Err(LeaderFailed),
+                        }
                     }
-                    return Arc::clone(result.as_ref().unwrap());
                 }
                 None => {
                     let slot = Arc::new(Slot {
-                        result: Mutex::new(None),
+                        state: Mutex::new(SlotState::Pending),
                         ready: Condvar::new(),
                     });
                     inflight.insert(key.0, Arc::clone(&slot));
@@ -74,12 +157,17 @@ impl SingleFlight {
         };
 
         // Leader: compute, publish, wake followers, retire the slot.
+        // The guard retires the slot even if `compute` panics.
         self.executed.fetch_add(1, Ordering::Relaxed);
+        let guard = SlotGuard {
+            flight: self,
+            key: key.0,
+            slot: &slot,
+            armed: true,
+        };
         let value: Arc<str> = Arc::from(compute());
-        *slot.result.lock().unwrap() = Some(Arc::clone(&value));
-        slot.ready.notify_all();
-        self.inflight.lock().unwrap().remove(&key.0);
-        value
+        guard.publish(&value);
+        Ok(value)
     }
 
     /// Computations actually executed (leaders).
@@ -92,6 +180,12 @@ impl SingleFlight {
     pub fn coalesced(&self) -> u64 {
         self.coalesced.load(Ordering::Relaxed)
     }
+
+    /// Leaders that panicked before publishing; each one handed its
+    /// followers a [`LeaderFailed`] instead of a result.
+    pub fn leader_failures(&self) -> u64 {
+        self.leader_failures.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -103,8 +197,8 @@ mod tests {
     #[test]
     fn sequential_runs_each_execute() {
         let flight = SingleFlight::new();
-        let a = flight.run(Fingerprint(1), || "a".to_string());
-        let b = flight.run(Fingerprint(1), || "b".to_string());
+        let a = flight.run(Fingerprint(1), || "a".to_string()).unwrap();
+        let b = flight.run(Fingerprint(1), || "b".to_string()).unwrap();
         assert_eq!(&*a, "a");
         assert_eq!(&*b, "b", "retired slots do not cache");
         assert_eq!(flight.executed(), 2);
@@ -122,13 +216,15 @@ mod tests {
                 .map(|_| {
                     s.spawn(|| {
                         gate.wait();
-                        flight.run(Fingerprint(7), || {
-                            // Hold the slot long enough for every
-                            // follower to park on it.
-                            std::thread::sleep(std::time::Duration::from_millis(50));
-                            computed.fetch_add(1, Ordering::Relaxed);
-                            "result".to_string()
-                        })
+                        flight
+                            .run(Fingerprint(7), || {
+                                // Hold the slot long enough for every
+                                // follower to park on it.
+                                std::thread::sleep(std::time::Duration::from_millis(50));
+                                computed.fetch_add(1, Ordering::Relaxed);
+                                "result".to_string()
+                            })
+                            .unwrap()
                     })
                 })
                 .collect();
@@ -149,10 +245,67 @@ mod tests {
         std::thread::scope(|s| {
             for k in 0..4u64 {
                 let flight = &flight;
-                s.spawn(move || flight.run(Fingerprint(k), || k.to_string()));
+                s.spawn(move || flight.run(Fingerprint(k), || k.to_string()).unwrap());
             }
         });
         assert_eq!(flight.executed(), 4);
         assert_eq!(flight.coalesced(), 0);
+    }
+
+    /// A panicking leader hands every parked follower a structured
+    /// [`LeaderFailed`] (not a poisoned-mutex panic), and the *next*
+    /// identical request elects a fresh leader and succeeds.
+    #[test]
+    fn leader_panic_fails_followers_cleanly_and_slot_recovers() {
+        const FOLLOWERS: usize = 4;
+        let flight = SingleFlight::new();
+        let leader_in = Barrier::new(2);
+        std::thread::scope(|s| {
+            let leader = s.spawn(|| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    flight.run(Fingerprint(9), || {
+                        leader_in.wait();
+                        // Give the followers time to park on the slot.
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        panic!("leader exploded mid-compute");
+                    })
+                }))
+            });
+            leader_in.wait();
+            let followers: Vec<_> = (0..FOLLOWERS)
+                .map(|_| s.spawn(|| flight.run(Fingerprint(9), || "late".to_string())))
+                .collect();
+            assert!(leader.join().unwrap().is_err(), "panic reaches the leader");
+            for f in followers {
+                match f.join().unwrap() {
+                    Err(LeaderFailed) => {}
+                    Ok(v) => {
+                        // A follower that raced in after slot retirement
+                        // became a fresh leader — also a clean outcome.
+                        assert_eq!(&*v, "late");
+                    }
+                }
+            }
+        });
+        assert_eq!(flight.leader_failures(), 1);
+        // The failed slot was retired: a fresh request computes anew.
+        let fresh = flight.run(Fingerprint(9), || "fresh".to_string()).unwrap();
+        assert_eq!(&*fresh, "fresh");
+    }
+
+    /// Back-to-back panics never wedge the table: each failure retires
+    /// its slot, so sequential retries keep electing fresh leaders.
+    #[test]
+    fn repeated_leader_panics_never_poison() {
+        let flight = SingleFlight::new();
+        for _ in 0..3 {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                flight.run(Fingerprint(2), || panic!("boom"))
+            }));
+            assert!(r.is_err());
+        }
+        assert_eq!(flight.leader_failures(), 3);
+        let ok = flight.run(Fingerprint(2), || "ok".to_string()).unwrap();
+        assert_eq!(&*ok, "ok");
     }
 }

@@ -1,0 +1,154 @@
+//! Injectable filesystem backend.
+//!
+//! Every byte the store reads or writes goes through an [`IoBackend`],
+//! so fault-injection layers (the `argo-chaos` crate) can interpose
+//! deterministic failures — write errors, torn writes, failed renames,
+//! read errors, latency — on the *live* I/O path without touching the
+//! real filesystem semantics the store is built on. Production code
+//! uses [`RealIo`], a zero-cost passthrough to [`std::fs`].
+//!
+//! The trait surface is deliberately the store's exact touch-point set
+//! (eight operations), not a general VFS: each method corresponds to
+//! one failure class the store must degrade gracefully under.
+
+use std::fs::{self, File};
+use std::io::{self, Read as _, Write as _};
+use std::path::Path;
+use std::time::SystemTime;
+
+/// One directory entry as seen through [`IoBackend::read_dir`]: just
+/// the metadata the store consumes (name, kind, size, mtime).
+#[derive(Debug, Clone)]
+pub struct DirEntryInfo {
+    /// File or directory name (last path component).
+    pub name: String,
+    /// `true` for directories.
+    pub is_dir: bool,
+    /// File size in bytes (0 for directories).
+    pub len: u64,
+    /// Last-modified time ([`SystemTime::UNIX_EPOCH`] when unknown).
+    pub modified: SystemTime,
+}
+
+/// The store's filesystem access, as a fault-injectable trait.
+///
+/// Implementations must be thread-safe: one backend is shared by every
+/// read and write of a [`Store`](crate::Store) handle. A failed
+/// [`IoBackend::write_file`] may leave a partial file behind — exactly
+/// like a crashed writer — and the store's tmp-then-rename protocol
+/// already tolerates that (the orphan is never readable, gc sweeps it).
+pub trait IoBackend: Send + Sync + std::fmt::Debug {
+    /// [`fs::create_dir_all`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying (or injected) [`io::Error`].
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Reads a whole file ([`File::open`] + read to end).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying (or injected) [`io::Error`]; a missing
+    /// file is `NotFound`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// The store's full durable-write sequence: create, write all
+    /// bytes, fsync. A failure may leave a partial file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying (or injected) [`io::Error`].
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// [`fs::rename`] (atomic publish).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying (or injected) [`io::Error`].
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// [`fs::remove_file`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying (or injected) [`io::Error`].
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Lists a directory's entries with the metadata the store needs.
+    /// Entries whose metadata cannot be read are skipped, not errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying (or injected) [`io::Error`] when the
+    /// directory itself cannot be read.
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<DirEntryInfo>>;
+
+    /// Sets a file's mtime (the store's LRU clock).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying (or injected) [`io::Error`].
+    fn set_modified(&self, path: &Path, t: SystemTime) -> io::Result<()>;
+
+    /// [`fs::remove_dir_all`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying (or injected) [`io::Error`].
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The production backend: a direct passthrough to [`std::fs`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealIo;
+
+impl IoBackend for RealIo {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut file = File::open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        Ok(bytes)
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = File::create(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<DirEntryInfo>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(path)? {
+            let Ok(entry) = entry else { continue };
+            let Ok(meta) = entry.metadata() else { continue };
+            out.push(DirEntryInfo {
+                name: entry.file_name().to_string_lossy().into_owned(),
+                is_dir: meta.is_dir(),
+                len: meta.len(),
+                modified: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+            });
+        }
+        Ok(out)
+    }
+
+    fn set_modified(&self, path: &Path, t: SystemTime) -> io::Result<()> {
+        File::options().write(true).open(path)?.set_modified(t)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::remove_dir_all(path)
+    }
+}

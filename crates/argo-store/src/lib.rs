@@ -69,17 +69,46 @@
 //! hit, and the oldest are unlinked until the store fits the budget.
 //! Entries currently being read are pinned ([`PinGuard`]) and never
 //! evicted mid-read.
+//!
+//! ## Failure modes
+//!
+//! Every filesystem operation goes through an injectable [`IoBackend`]
+//! ([`Store::open_with_io`]), which is how the `argo-chaos` fault
+//! layer proves the degradation contract below on the *live* I/O path.
+//! The store never panics on and never propagates an I/O failure to a
+//! pipeline; each class degrades to a counted outcome:
+//!
+//! | failure | observed as | counter | entry afterwards |
+//! |---|---|---|---|
+//! | write/create error | dropped write | `write_errors` | absent (old value, if any, survives) |
+//! | failed fsync | dropped write | `write_errors` | absent; partial `tmp/` orphan, swept by gc |
+//! | failed rename (publish) | dropped write | `write_errors` | absent; tmp file unlinked best-effort |
+//! | torn/short write (crash, chaos) | corrupt miss on next read | `misses` + `corrupt` | unlinked on sight (self-heal) |
+//! | read error | plain miss | `misses` | left intact (may hit later) |
+//! | checksum / header mismatch | corrupt miss | `misses` + `corrupt` | unlinked on sight |
+//! | undecodable / infidel payload | corrupt miss | `misses` + `corrupt` | unlinked on sight |
+//! | other schema version | version-skew miss | `misses` + `version_skew` | left intact (gc may evict) |
+//! | induced latency | slower op | latency histograms | unchanged |
+//!
+//! Because a dropped write leaves the previous (or no) entry and a
+//! corrupt entry is rejected before decoding, a reader sees either the
+//! exact bytes that were stored or a miss — **never wrong data** —
+//! which is what makes warm-start replay byte-identical even after a
+//! faulty run. [`Store::fsck`] audits a store offline against the same
+//! classes and (with repair) unlinks what it finds.
 
 use argo_core::codec::Codec;
 use argo_core::{Artifact, Fingerprint};
 use argo_trace::{Counter, Histogram, Registry, LATENCY_US_BUCKETS};
 use std::collections::HashSet;
-use std::fs::{self, File};
-use std::io::{self, Read as _, Write as _};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime};
+
+pub mod backend;
+pub use backend::{DirEntryInfo, IoBackend, RealIo};
 
 /// Current on-disk schema version. Bump whenever the entry header or
 /// any [`Codec`] encoding changes shape; old entries then read as
@@ -196,6 +225,7 @@ impl Drop for PinGuard<'_> {
 #[derive(Debug)]
 pub struct Store {
     dir: PathBuf,
+    io: Arc<dyn IoBackend>,
     pins: Mutex<HashSet<PathBuf>>,
     /// Per-handle metrics registry (`argo_store_*` names). Deliberately
     /// NOT the process-global [`argo_trace::metrics`] registry: tests
@@ -220,11 +250,25 @@ impl Store {
     /// Returns the underlying [`io::Error`] if the directory (or its
     /// `tmp/` subdirectory) cannot be created.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Store> {
+        Store::open_with_io(dir, Arc::new(RealIo))
+    }
+
+    /// Opens a store whose every filesystem operation goes through
+    /// `io` — the hook the `argo-chaos` fault layer uses to inject
+    /// deterministic I/O failures on the live path. Production callers
+    /// use [`Store::open`] (a [`RealIo`] passthrough).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`io::Error`] if the directory (or its
+    /// `tmp/` subdirectory) cannot be created.
+    pub fn open_with_io(dir: impl Into<PathBuf>, io: Arc<dyn IoBackend>) -> io::Result<Store> {
         let dir = dir.into();
-        fs::create_dir_all(dir.join("tmp"))?;
+        io.create_dir_all(&dir.join("tmp"))?;
         let registry = Registry::new();
         Ok(Store {
             dir,
+            io,
             pins: Mutex::new(HashSet::new()),
             hits: registry.counter("argo_store_hits_total"),
             misses: registry.counter("argo_store_misses_total"),
@@ -310,7 +354,7 @@ impl Store {
     ) -> io::Result<()> {
         let final_path = self.entry_path(namespace, key);
         if let Some(parent) = final_path.parent() {
-            fs::create_dir_all(parent)?;
+            self.io.create_dir_all(parent)?;
         }
         let mut bytes = Vec::with_capacity(payload.len() + 64);
         bytes.extend_from_slice(&MAGIC);
@@ -331,14 +375,14 @@ impl Store {
             .dir
             .join("tmp")
             .join(format!("{}-{seq}.tmp", std::process::id()));
-        let mut f = File::create(&tmp)?;
-        f.write_all(&bytes)?;
-        f.sync_all()?;
-        drop(f);
-        match fs::rename(&tmp, &final_path) {
+        // A failed write_file may leave a partial tmp file — the same
+        // residue as a crashed writer; gc sweeps it, readers never see
+        // it. The caller counts the dropped write.
+        self.io.write_file(&tmp, &bytes)?;
+        match self.io.rename(&tmp, &final_path) {
             Ok(()) => Ok(()),
             Err(e) => {
-                let _ = fs::remove_file(&tmp);
+                let _ = self.io.remove_file(&tmp);
                 Err(e)
             }
         }
@@ -381,7 +425,7 @@ impl Store {
         self.hits.sub(1);
         self.misses.inc();
         self.corrupt.inc();
-        let _ = fs::remove_file(self.entry_path(namespace, key));
+        let _ = self.io.remove_file(&self.entry_path(namespace, key));
         None
     }
 
@@ -401,23 +445,17 @@ impl Store {
         // reader would miss — the pin keeps hot entries resident).
         let _pin = self.pin(namespace, key);
         let path = self.entry_path(namespace, key);
-        let mut file = match File::open(&path) {
-            Ok(f) => f,
-            Err(_) => {
-                self.misses.inc();
-                return None;
-            }
-        };
-        let mut bytes = Vec::new();
-        if file.read_to_end(&mut bytes).is_err() {
+        // A read error (missing file, or an injected fault) is a plain
+        // miss: the entry — if any — is left intact for a later retry.
+        let Ok(bytes) = self.io.read(&path) else {
             self.misses.inc();
             return None;
-        }
+        };
         match self.parse_entry(&bytes, namespace, key) {
             EntryParse::Valid { content, payload } => {
                 self.hits.inc();
                 // LRU clock: gc ranks by mtime, so refresh it on use.
-                let _ = file.set_modified(SystemTime::now());
+                let _ = self.io.set_modified(&path, SystemTime::now());
                 Some((content, payload))
             }
             EntryParse::VersionSkew => {
@@ -430,7 +468,7 @@ impl Store {
             EntryParse::Corrupt => {
                 self.misses.inc();
                 self.corrupt.inc();
-                let _ = fs::remove_file(&path);
+                let _ = self.io.remove_file(&path);
                 None
             }
         }
@@ -499,33 +537,32 @@ impl Store {
     /// Lists all live entries, newest-used first.
     pub fn ls(&self) -> Vec<EntryInfo> {
         let mut out = Vec::new();
-        let Ok(namespaces) = fs::read_dir(&self.dir) else {
+        let Ok(namespaces) = self.io.read_dir(&self.dir) else {
             return out;
         };
-        for ns in namespaces.flatten() {
-            let ns_name = ns.file_name().to_string_lossy().into_owned();
-            if ns_name == "tmp" || !ns.path().is_dir() {
+        for ns in namespaces {
+            if ns.name == "tmp" || !ns.is_dir {
                 continue;
             }
-            let Ok(entries) = fs::read_dir(ns.path()) else {
+            let Ok(entries) = self.io.read_dir(&self.dir.join(&ns.name)) else {
                 continue;
             };
-            for entry in entries.flatten() {
-                let name = entry.file_name().to_string_lossy().into_owned();
-                let Some(hex) = name.strip_suffix(".bin").filter(|h| h.len() == HEX_KEY_LEN) else {
+            for entry in entries {
+                let Some(hex) = entry
+                    .name
+                    .strip_suffix(".bin")
+                    .filter(|h| h.len() == HEX_KEY_LEN)
+                else {
                     continue;
                 };
                 let Ok(key) = u64::from_str_radix(hex, 16) else {
                     continue;
                 };
-                let Ok(meta) = entry.metadata() else {
-                    continue;
-                };
                 out.push(EntryInfo {
-                    namespace: ns_name.clone(),
+                    namespace: ns.name.clone(),
                     key: Fingerprint(key),
-                    bytes: meta.len(),
-                    last_used: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+                    bytes: entry.len,
+                    last_used: entry.modified,
                 });
             }
         }
@@ -561,16 +598,14 @@ impl Store {
 
         // Sweep crashed writers' orphans (never readable — writes that
         // completed were renamed out of tmp/).
-        if let Ok(entries) = fs::read_dir(self.dir.join("tmp")) {
+        let tmp_dir = self.dir.join("tmp");
+        if let Ok(entries) = self.io.read_dir(&tmp_dir) {
             let now = SystemTime::now();
-            for entry in entries.flatten() {
-                let stale = entry
-                    .metadata()
-                    .and_then(|m| m.modified())
-                    .ok()
-                    .and_then(|m| now.duration_since(m).ok())
-                    .is_some_and(|age| age >= TMP_SWEEP_AGE);
-                if stale && fs::remove_file(entry.path()).is_ok() {
+            for entry in entries {
+                let stale = now
+                    .duration_since(entry.modified)
+                    .is_ok_and(|age| age >= TMP_SWEEP_AGE);
+                if stale && self.io.remove_file(&tmp_dir.join(&entry.name)).is_ok() {
                     stats.tmp_swept += 1;
                 }
             }
@@ -588,7 +623,7 @@ impl Store {
             if pins.contains(&path) {
                 continue;
             }
-            if fs::remove_file(&path).is_ok() {
+            if self.io.remove_file(&path).is_ok() {
                 total -= entry.bytes;
                 stats.evicted += 1;
                 stats.reclaimed_bytes += entry.bytes;
@@ -606,16 +641,139 @@ impl Store {
     ///
     /// Returns the first filesystem error encountered.
     pub fn clear(&self) -> io::Result<()> {
-        let Ok(namespaces) = fs::read_dir(&self.dir) else {
+        let Ok(namespaces) = self.io.read_dir(&self.dir) else {
             return Ok(());
         };
-        for ns in namespaces.flatten() {
-            if ns.path().is_dir() {
-                fs::remove_dir_all(ns.path())?;
+        for ns in namespaces {
+            if ns.is_dir {
+                self.io.remove_dir_all(&self.dir.join(&ns.name))?;
             }
         }
-        fs::create_dir_all(self.dir.join("tmp"))?;
+        self.io.create_dir_all(&self.dir.join("tmp"))?;
         Ok(())
+    }
+
+    /// Audits every entry in the store offline, classifying each as
+    /// valid, corrupt (bad magic/header/checksum/truncation) or
+    /// version-skewed, and every file under `tmp/` as an orphan (fsck
+    /// runs against a quiescent store; live writers publish within
+    /// milliseconds). Reads are raw-envelope checks only — no payload
+    /// decode, no counters bumped, no LRU refresh, no self-healing.
+    ///
+    /// With `repair`, findings are unlinked: corrupt entries (as a
+    /// read would), tmp orphans (as gc eventually would) and — unlike
+    /// the read path, which preserves them for newer schemas —
+    /// version-skewed entries too: fsck repair is an explicit operator
+    /// action to reclaim a store in place.
+    pub fn fsck(&self, repair: bool) -> FsckReport {
+        let mut report = FsckReport::default();
+        for entry in self.ls() {
+            report.scanned += 1;
+            let path = self.entry_path(&entry.namespace, entry.key);
+            let class = match self.io.read(&path) {
+                Ok(bytes) => match self.parse_entry(&bytes, &entry.namespace, entry.key) {
+                    EntryParse::Valid { .. } => {
+                        report.valid += 1;
+                        continue;
+                    }
+                    EntryParse::VersionSkew => {
+                        report.version_skew += 1;
+                        FsckClass::VersionSkew
+                    }
+                    EntryParse::Corrupt => {
+                        report.corrupt += 1;
+                        FsckClass::Corrupt
+                    }
+                },
+                // Vanished or unreadable mid-scan: count it corrupt but
+                // never unlink what we could not inspect.
+                Err(_) => {
+                    report.corrupt += 1;
+                    report.findings.push(FsckFinding {
+                        path,
+                        class: FsckClass::Corrupt,
+                    });
+                    continue;
+                }
+            };
+            if repair && self.io.remove_file(&path).is_ok() {
+                report.repaired += 1;
+            }
+            report.findings.push(FsckFinding { path, class });
+        }
+        let tmp_dir = self.dir.join("tmp");
+        if let Ok(entries) = self.io.read_dir(&tmp_dir) {
+            for entry in entries {
+                report.tmp_orphans += 1;
+                let path = tmp_dir.join(&entry.name);
+                if repair && self.io.remove_file(&path).is_ok() {
+                    report.repaired += 1;
+                }
+                report.findings.push(FsckFinding {
+                    path,
+                    class: FsckClass::TmpOrphan,
+                });
+            }
+        }
+        report
+    }
+}
+
+/// Classification of one [`Store::fsck`] finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsckClass {
+    /// Bad magic, truncated/mis-addressed header, checksum mismatch,
+    /// or the file could not be read at all.
+    Corrupt,
+    /// Written by a different schema version.
+    VersionSkew,
+    /// An in-flight tmp file, orphaned by a crashed (or killed) writer.
+    TmpOrphan,
+}
+
+impl FsckClass {
+    /// Stable kebab-case label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FsckClass::Corrupt => "corrupt",
+            FsckClass::VersionSkew => "version-skew",
+            FsckClass::TmpOrphan => "tmp-orphan",
+        }
+    }
+}
+
+/// One problematic file found by [`Store::fsck`].
+#[derive(Debug, Clone)]
+pub struct FsckFinding {
+    /// Absolute path of the offending file.
+    pub path: PathBuf,
+    /// Why it was flagged.
+    pub class: FsckClass,
+}
+
+/// Outcome of one [`Store::fsck`] run.
+#[derive(Debug, Clone, Default)]
+pub struct FsckReport {
+    /// Entries examined (tmp orphans are extra).
+    pub scanned: u64,
+    /// Entries that passed every envelope check.
+    pub valid: u64,
+    /// Entries flagged [`FsckClass::Corrupt`].
+    pub corrupt: u64,
+    /// Entries flagged [`FsckClass::VersionSkew`].
+    pub version_skew: u64,
+    /// Files under `tmp/` ([`FsckClass::TmpOrphan`]).
+    pub tmp_orphans: u64,
+    /// Files unlinked (repair mode only).
+    pub repaired: u64,
+    /// Every flagged file, in scan order.
+    pub findings: Vec<FsckFinding>,
+}
+
+impl FsckReport {
+    /// Total problems found (corrupt + version-skew + tmp orphans).
+    pub fn problems(&self) -> u64 {
+        self.corrupt + self.version_skew + self.tmp_orphans
     }
 }
 
@@ -631,6 +789,7 @@ enum EntryParse {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::{self, File};
     use std::sync::atomic::AtomicU32;
 
     static TEST_DIR_SEQ: AtomicU32 = AtomicU32::new(0);
@@ -919,6 +1078,94 @@ mod tests {
         assert!(text.contains("argo_store_hits_total 5"), "{text}");
         assert!(text.contains("argo_store_misses_total 1"), "{text}");
         assert!(text.contains("argo_store_get_latency_us_count 6"), "{text}");
+    }
+
+    #[test]
+    fn fsck_classifies_and_repairs() {
+        let td = TestDir::new();
+        let store = Store::open(&td.0).unwrap();
+        // Two healthy entries, one truncated, one version-skewed, one
+        // tmp orphan.
+        for i in 0..4u64 {
+            store.put_value("unit", Fingerprint(i), &vec![i; 32]);
+        }
+        let truncated = store.entry_path("unit", Fingerprint(2));
+        let bytes = fs::read(&truncated).unwrap();
+        fs::write(&truncated, &bytes[..bytes.len() / 2]).unwrap();
+        let skewed = store.entry_path("unit", Fingerprint(3));
+        let mut bytes = fs::read(&skewed).unwrap();
+        bytes[4..8].copy_from_slice(&(SCHEMA_VERSION + 1).to_le_bytes());
+        fs::write(&skewed, &bytes).unwrap();
+        fs::write(td.0.join("tmp").join("1-0.tmp"), b"half").unwrap();
+
+        let report = store.fsck(false);
+        assert_eq!(report.scanned, 4);
+        assert_eq!(report.valid, 2);
+        assert_eq!(report.corrupt, 1);
+        assert_eq!(report.version_skew, 1);
+        assert_eq!(report.tmp_orphans, 1);
+        assert_eq!(report.problems(), 3);
+        assert_eq!(report.repaired, 0);
+        assert_eq!(report.findings.len(), 3);
+        assert!(truncated.exists(), "report mode never unlinks");
+        // fsck bumps no counters and heals nothing by itself.
+        assert_eq!(store.counters(), StoreCounters::default());
+
+        let report = store.fsck(true);
+        assert_eq!(report.repaired, 3);
+        assert!(!truncated.exists());
+        assert!(!skewed.exists());
+        assert_eq!(store.fsck(false).problems(), 0);
+        // The healthy entries still read back after repair.
+        assert_eq!(
+            store.get_value::<Vec<u64>>("unit", Fingerprint(0)),
+            Some(vec![0u64; 32])
+        );
+    }
+
+    #[test]
+    fn open_with_io_routes_through_the_backend() {
+        /// Counts operations, delegating to [`RealIo`].
+        #[derive(Debug, Default)]
+        struct CountingIo {
+            reads: AtomicU64,
+            writes: AtomicU64,
+        }
+        impl IoBackend for CountingIo {
+            fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+                RealIo.create_dir_all(path)
+            }
+            fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+                self.reads.fetch_add(1, Ordering::Relaxed);
+                RealIo.read(path)
+            }
+            fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+                RealIo.write_file(path, bytes)
+            }
+            fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+                RealIo.rename(from, to)
+            }
+            fn remove_file(&self, path: &Path) -> io::Result<()> {
+                RealIo.remove_file(path)
+            }
+            fn read_dir(&self, path: &Path) -> io::Result<Vec<DirEntryInfo>> {
+                RealIo.read_dir(path)
+            }
+            fn set_modified(&self, path: &Path, t: SystemTime) -> io::Result<()> {
+                RealIo.set_modified(path, t)
+            }
+            fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+                RealIo.remove_dir_all(path)
+            }
+        }
+
+        let td = TestDir::new();
+        let io = Arc::new(CountingIo::default());
+        let store = Store::open_with_io(&td.0, io.clone()).unwrap();
+        put_get_value_round_trips(&store);
+        assert_eq!(io.writes.load(Ordering::Relaxed), 1);
+        assert_eq!(io.reads.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -5,12 +5,15 @@
 //! argo-store stats --dir .argo-store --json
 //! argo-store ls    --dir .argo-store
 //! argo-store gc    --dir .argo-store --budget 67108864
+//! argo-store fsck  --dir .argo-store [--repair] [--json]
 //! argo-store clear --dir .argo-store
 //! ```
 //!
-//! Exits 0 on success, 2 on usage or I/O errors.
+//! Exits 0 on success, 2 on usage or I/O errors. `fsck` additionally
+//! exits 1 when it finds problems (corrupt, version-skewed or
+//! orphan-tmp files), so scripts can gate on store health.
 
-use argo_store::Store;
+use argo_store::{FsckReport, Store};
 use std::process::ExitCode;
 use std::time::SystemTime;
 
@@ -21,6 +24,8 @@ USAGE:
     argo-store ls    --dir DIR           all entries, newest-used first
     argo-store gc    --dir DIR --budget BYTES
                                          evict LRU entries over the budget
+    argo-store fsck  --dir DIR [--repair] [--json]
+                                         audit every entry; exit 1 on findings
     argo-store clear --dir DIR           remove every entry
     argo-store help
 ";
@@ -29,12 +34,14 @@ struct Options {
     dir: String,
     budget: Option<u64>,
     json: bool,
+    repair: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut dir = None;
     let mut budget = None;
     let mut json = false;
+    let mut repair = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -48,6 +55,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 budget = Some(value()?.parse().map_err(|_| "bad --budget".to_string())?);
             }
             "--json" => json = true,
+            "--repair" => repair = true,
             other => return Err(format!("unknown flag `{other}` (see `argo-store help`)")),
         }
     }
@@ -55,6 +63,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         dir: dir.ok_or("missing --dir DIR")?,
         budget,
         json,
+        repair,
     })
 }
 
@@ -105,14 +114,41 @@ fn stats_json(dir: &str, store: &Store) -> String {
     )
 }
 
-fn run(cmd: &str, args: &[String]) -> Result<(), String> {
+/// `fsck --json` output: per-class counts plus the flagged paths.
+fn fsck_json(report: &FsckReport) -> String {
+    let findings: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"class\": \"{}\", \"path\": \"{}\"}}",
+                f.class.label(),
+                f.path.display().to_string().escape_default()
+            )
+        })
+        .collect();
+    format!(
+        "{{\"scanned\": {}, \"valid\": {}, \"corrupt\": {}, \"version_skew\": {}, \
+         \"tmp_orphans\": {}, \"repaired\": {}, \"problems\": {}, \"findings\": [{}]}}",
+        report.scanned,
+        report.valid,
+        report.corrupt,
+        report.version_skew,
+        report.tmp_orphans,
+        report.repaired,
+        report.problems(),
+        findings.join(", ")
+    )
+}
+
+fn run(cmd: &str, args: &[String]) -> Result<ExitCode, String> {
     let opts = parse_args(args)?;
     let store = Store::open(&opts.dir).map_err(|e| format!("opening {}: {e}", opts.dir))?;
     match cmd {
         "stats" => {
             if opts.json {
                 println!("{}", stats_json(&opts.dir, &store));
-                return Ok(());
+                return Ok(ExitCode::SUCCESS);
             }
             let stats = store.stats();
             println!("store: {}", opts.dir);
@@ -124,7 +160,7 @@ fn run(cmd: &str, args: &[String]) -> Result<(), String> {
                  {} evictions, {} write-errors",
                 c.hits, c.misses, c.corrupt, c.version_skew, c.evictions, c.write_errors
             );
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "ls" => {
             let now = SystemTime::now();
@@ -138,7 +174,7 @@ fn run(cmd: &str, args: &[String]) -> Result<(), String> {
                     entry.namespace, entry.key.0, entry.bytes
                 );
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "gc" => {
             let budget = opts.budget.ok_or("gc needs --budget BYTES")?;
@@ -147,14 +183,43 @@ fn run(cmd: &str, args: &[String]) -> Result<(), String> {
                 "evicted {} entries ({} B), swept {} tmp orphans, {} B remain",
                 gc.evicted, gc.reclaimed_bytes, gc.tmp_swept, gc.remaining_bytes
             );
-            Ok(())
+            Ok(ExitCode::SUCCESS)
+        }
+        "fsck" => {
+            let report = store.fsck(opts.repair);
+            if opts.json {
+                println!("{}", fsck_json(&report));
+            } else {
+                for finding in &report.findings {
+                    println!("{:<12} {}", finding.class.label(), finding.path.display());
+                }
+                println!(
+                    "scanned {} entries: {} valid, {} corrupt, {} version-skew, \
+                     {} tmp orphans{}",
+                    report.scanned,
+                    report.valid,
+                    report.corrupt,
+                    report.version_skew,
+                    report.tmp_orphans,
+                    if opts.repair {
+                        format!("; repaired {}", report.repaired)
+                    } else {
+                        String::new()
+                    }
+                );
+            }
+            Ok(if report.problems() == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            })
         }
         "clear" => {
             store
                 .clear()
                 .map_err(|e| format!("clearing {}: {e}", opts.dir))?;
             println!("cleared {}", opts.dir);
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -168,7 +233,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some(cmd) => match run(cmd, &args[1..]) {
-            Ok(()) => ExitCode::SUCCESS,
+            Ok(code) => code,
             Err(e) => {
                 eprintln!("argo-store: {e}");
                 ExitCode::from(2)
@@ -191,6 +256,7 @@ mod tests {
         assert_eq!(o.dir, "/tmp/s");
         assert_eq!(o.budget, Some(1024));
         assert!(!o.json);
+        assert!(!o.repair);
         assert!(parse_args(&[]).is_err(), "--dir is required");
         assert!(parse_args(&["--budget".to_string(), "x".into()]).is_err());
         assert!(parse_args(&["--frob".to_string()]).is_err());
@@ -200,6 +266,29 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert!(parse_args(&args).unwrap().json);
+
+        let args: Vec<String> = ["--dir", "/tmp/s", "--repair"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(parse_args(&args).unwrap().repair);
+    }
+
+    #[test]
+    fn fsck_json_shape() {
+        let dir = std::env::temp_dir().join(format!("argo-store-fsck-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).unwrap();
+        use argo_core::Fingerprint;
+        store.put_value("unit", Fingerprint(1), &vec![1u64; 8]);
+        std::fs::write(dir.join("tmp").join("1-0.tmp"), b"half").unwrap();
+        let json = fsck_json(&store.fsck(false));
+        assert!(json.contains("\"scanned\": 1"), "{json}");
+        assert!(json.contains("\"valid\": 1"), "{json}");
+        assert!(json.contains("\"tmp_orphans\": 1"), "{json}");
+        assert!(json.contains("\"problems\": 1"), "{json}");
+        assert!(json.contains("\"class\": \"tmp-orphan\""), "{json}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

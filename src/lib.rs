@@ -33,7 +33,10 @@
 //! * [`serve`] — the long-running toolflow daemon: JSON-lines wire
 //!   protocol, single-flight request coalescing, bounded worker pool,
 //!   all sessions sharing one persistent store;
-//! * [`bench`](mod@bench) — the E1–E10 experiment drivers.
+//! * [`chaos`] — deterministic fault injection for the store's I/O
+//!   backend, proving every injected fault degrades to a counted miss;
+//! * [`bench`](mod@bench) — the E1–E10 experiment drivers plus the
+//!   `e13_chaos` fault-injection replay.
 
 // The session driver API, re-exported at the facade root so downstream
 // code can spell `argo::Toolflow` / `argo::Diagnostic` directly.
@@ -51,6 +54,7 @@ pub use argo_verify::{ToolflowVerifyExt, VerifyConfig, VerifyReport};
 pub use argo_adl as adl;
 pub use argo_apps as apps;
 pub use argo_bench as bench;
+pub use argo_chaos as chaos;
 pub use argo_core as core;
 pub use argo_dse as dse;
 pub use argo_htg as htg;

@@ -1,10 +1,14 @@
 //! Integration tests for the `argo-serve` daemon: wire-protocol
 //! roundtrips, single-flight dedupe of concurrent identical requests,
-//! hot replay through a shared persistent store, and admission control.
+//! hot replay through a shared persistent store, admission control,
+//! and the hardening paths — panic isolation, deadlines, graceful
+//! drain, and retry across a daemon restart.
 
 use argo_dse::Explorer;
 use argo_ir::parse::parse_program;
-use argo_serve::{Client, Listener, ServeConfig, Server, ServerHandle, Value};
+use argo_serve::{
+    Client, Listener, RetryClient, RetryPolicy, ServeConfig, Server, ServerHandle, Value,
+};
 use argo_store::Store;
 use std::sync::Arc;
 
@@ -202,6 +206,190 @@ fn warm_store_replays_with_zero_stage_runs() {
     server.shutdown();
     server.join();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: a `RetryClient` request that spans a daemon restart — the
+/// old daemon is fully gone before the new one boots — recovers through
+/// its transport retries and gets a reply byte-identical to the cold
+/// one, served without a single pipeline stage (warm store).
+#[cfg(unix)]
+#[test]
+fn retry_spanning_daemon_restart_is_byte_identical() {
+    use std::time::Duration;
+
+    let dir = temp_dir("retry-restart");
+    let sock = std::env::temp_dir().join(format!("argo-retry-{}.sock", std::process::id()));
+    let sock_str = sock.to_str().unwrap().to_string();
+    let boot_unix = |dir: &std::path::Path| {
+        Server::start(
+            Listener::unix(&sock_str).unwrap(),
+            tiny_explorer(Some(dir)),
+            ServeConfig::default(),
+        )
+        .unwrap()
+    };
+
+    // Cold pass on daemon A, then take A down completely.
+    let server = boot_unix(&dir);
+    let mut client = Client::connect_unix(&sock_str).unwrap();
+    let request = r#"{"id": 7, "kind": "compile", "app": "tiny", "cores": 2}"#;
+    let cold = client.request(request).unwrap();
+    assert!(cold.is_ok(), "{}", cold.terminal);
+    drop(client);
+    server.shutdown();
+    server.join();
+
+    // The retrying client dials a dead socket; daemon B boots over the
+    // same path and store a few backoffs later.
+    let (reply, retries, server) = std::thread::scope(|scope| {
+        let booter = scope.spawn(|| {
+            std::thread::sleep(Duration::from_millis(40));
+            boot_unix(&dir)
+        });
+        let mut retry = RetryClient::unix(
+            &sock_str,
+            RetryPolicy {
+                attempts: 50,
+                base: Duration::from_millis(5),
+                cap: Duration::from_millis(50),
+                seed: 11,
+            },
+        );
+        let reply = retry.request(request).unwrap();
+        (reply, retry.retries(), booter.join().unwrap())
+    });
+    assert!(retries > 0, "the request must actually have been retried");
+    assert_eq!(
+        reply.terminal, cold.terminal,
+        "the retried reply across the restart must be byte-identical"
+    );
+    assert_eq!(
+        server.stage_timings().backend.runs,
+        0,
+        "daemon B answers the retried request from the warm store"
+    );
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&sock);
+}
+
+/// Satellite: a request whose deadline elapsed before a worker picked
+/// it up is answered with a structured `deadline-exceeded` error frame
+/// — and a later request on the same connection still works once the
+/// deadline pressure is off (nothing transient was memoized).
+#[test]
+fn expired_deadline_yields_a_structured_error_frame() {
+    let server = boot(
+        None,
+        ServeConfig {
+            // A zero deadline is already expired at admission.
+            deadline_ms: Some(0),
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = Client::connect_tcp(server.addr()).unwrap();
+    let reply = client
+        .request(r#"{"id": 4, "kind": "compile", "app": "tiny", "cores": 2}"#)
+        .unwrap();
+    assert!(
+        reply.terminal.contains("\"frame\":\"error\"")
+            && reply.terminal.contains("\"code\":\"deadline-exceeded\""),
+        "{}",
+        reply.terminal
+    );
+    // Control requests have no deadline.
+    let stats = client.request(r#"{"id": 5, "kind": "stats"}"#).unwrap();
+    assert!(stats.is_ok());
+    let frame = stats.frame().unwrap();
+    let faults = frame.get("result").unwrap().get("faults").unwrap();
+    assert!(
+        faults.get("deadline_exceeded").unwrap().as_u64().unwrap() >= 1,
+        "the deadline shows up in the fault counters"
+    );
+    server.shutdown();
+    server.join();
+}
+
+/// Satellite: a panic inside request execution (here injected via a
+/// chaos store that panics on reads) is isolated to that request — the
+/// client gets a structured `internal-error` (or `leader-failed`)
+/// frame, and the daemon keeps serving.
+#[test]
+fn injected_panics_become_structured_errors_and_daemon_survives() {
+    use argo_chaos::{ChaosIo, FaultPlan};
+
+    let dir = temp_dir("panic-iso");
+    let io = Arc::new(ChaosIo::new(FaultPlan {
+        panic: 1000,
+        ..FaultPlan::quiet(3)
+    }));
+    let store = Store::open_with_io(&dir, io as Arc<dyn argo_store::IoBackend>).unwrap();
+    let mut explorer = Explorer::with_threads(2);
+    explorer.register_program("tiny", parse_program(TINY).unwrap(), "main");
+    let explorer = explorer.with_store(Arc::new(store));
+    let server = Server::start(
+        Listener::tcp("127.0.0.1:0").unwrap(),
+        explorer,
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let mut client = Client::connect_tcp(server.addr()).unwrap();
+
+    for id in 0..3 {
+        let reply = client
+            .request(&format!(
+                "{{\"id\": {id}, \"kind\": \"compile\", \"app\": \"tiny\", \"cores\": 2}}"
+            ))
+            .unwrap();
+        assert!(
+            reply.terminal.contains("\"frame\":\"error\"")
+                && (reply.terminal.contains("\"code\":\"internal-error\"")
+                    || reply.terminal.contains("\"code\":\"leader-failed\"")),
+            "expected a structured panic-isolation frame: {}",
+            reply.terminal
+        );
+    }
+    // Still alive, still answering.
+    let stats = client.request(r#"{"id": 9, "kind": "stats"}"#).unwrap();
+    assert!(stats.is_ok(), "{}", stats.terminal);
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: graceful drain. After shutdown begins, an already-open
+/// connection gets `shutting-down` error frames for new work, while
+/// control requests are still answered.
+#[test]
+fn drain_rejects_new_work_with_shutting_down() {
+    let server = boot(None, ServeConfig::default());
+    let mut client = Client::connect_tcp(server.addr()).unwrap();
+
+    let reply = client
+        .request(r#"{"id": 1, "kind": "compile", "app": "tiny", "cores": 2}"#)
+        .unwrap();
+    assert!(reply.is_ok(), "{}", reply.terminal);
+
+    server.shutdown();
+    let reply = client
+        .request(r#"{"id": 2, "kind": "compile", "app": "tiny", "cores": 4}"#)
+        .unwrap();
+    assert!(
+        reply.terminal.contains("\"frame\":\"error\"")
+            && reply.terminal.contains("\"code\":\"shutting-down\""),
+        "{}",
+        reply.terminal
+    );
+    let stats = client.request(r#"{"id": 3, "kind": "stats"}"#).unwrap();
+    assert!(
+        stats.is_ok(),
+        "control requests still answered during drain"
+    );
+
+    server.join();
 }
 
 #[test]
